@@ -1,0 +1,185 @@
+//! The bucket attack and its search-space accounting (paper §5.3.2 and
+//! Appendix A.6).
+//!
+//! The adversary observes, for each of the `n` protected subgraphs, a
+//! bucket of `k + 1` candidates (one real, `k` sentinels). Its classifier
+//! assigns each candidate a sentinel-confidence `y ∈ [0, 1]`; it eliminates
+//! candidates with `y ≥ γ`. Because eliminating a *real* subgraph destroys
+//! the attack (the true model leaves the search space), the paper bounds
+//! the adversary's power pessimistically: γ is set to the smallest value
+//! that keeps every real subgraph (sensitivity α = 1), and the remaining
+//! search space is `Π_i (1 + s_i)` where `s_i` counts surviving sentinels
+//! of bucket `i` — i.e. `[1 + (1 - β)k]^n` for uniform specificity β.
+
+use crate::sage::SageClassifier;
+use proteus_graph::Graph;
+
+/// One obfuscation bucket as the adversary sees it, with ground truth
+/// attached for evaluation.
+#[derive(Debug, Clone)]
+pub struct LabelledBucket {
+    /// The real protected subgraph.
+    pub real: Graph,
+    /// The `k` sentinels hiding it.
+    pub sentinels: Vec<Graph>,
+}
+
+/// Result of attacking a set of buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackReport {
+    /// Number of buckets (`n`).
+    pub n: usize,
+    /// Sentinels per bucket (`k`, the maximum across buckets).
+    pub k: usize,
+    /// The minimal decision threshold keeping all real subgraphs.
+    pub min_gamma: f64,
+    /// Fraction of sentinels (across all buckets) correctly eliminated at
+    /// that threshold.
+    pub specificity: f64,
+    /// log10 of the surviving search-space size.
+    pub log10_candidates: f64,
+}
+
+impl AttackReport {
+    /// Human-readable `a.bc x 10^e` rendering of the candidate count.
+    pub fn candidates_string(&self) -> String {
+        let e = self.log10_candidates.floor();
+        let mantissa = 10f64.powf(self.log10_candidates - e);
+        if self.log10_candidates < 3.0 {
+            format!("{:.2}", 10f64.powf(self.log10_candidates))
+        } else {
+            format!("{mantissa:.2}e{e:+03.0}")
+        }
+    }
+}
+
+/// Runs the α=1 attack with a trained classifier over labelled buckets.
+///
+/// # Panics
+/// Panics if `buckets` is empty.
+pub fn attack_buckets(clf: &SageClassifier, buckets: &[LabelledBucket]) -> AttackReport {
+    assert!(!buckets.is_empty(), "attack needs at least one bucket");
+    let real_conf: Vec<f64> = buckets.iter().map(|b| clf.confidence(&b.real)).collect();
+    // γ must strictly exceed every real confidence so that no real subgraph
+    // is eliminated (the paper's pessimistic optimum).
+    let min_gamma = real_conf
+        .iter()
+        .fold(0.0f64, |a, &b| a.max(b))
+        .min(1.0 - 1e-9)
+        + 1e-9;
+    let mut total_sentinels = 0usize;
+    let mut eliminated = 0usize;
+    let mut log10_candidates = 0.0f64;
+    let mut k_max = 0usize;
+    for bucket in buckets {
+        k_max = k_max.max(bucket.sentinels.len());
+        let mut survivors = 0usize;
+        for s in &bucket.sentinels {
+            let y = clf.confidence(s);
+            total_sentinels += 1;
+            if y >= min_gamma {
+                eliminated += 1;
+            } else {
+                survivors += 1;
+            }
+        }
+        log10_candidates += ((1 + survivors) as f64).log10();
+    }
+    AttackReport {
+        n: buckets.len(),
+        k: k_max,
+        min_gamma,
+        specificity: if total_sentinels == 0 {
+            0.0
+        } else {
+            eliminated as f64 / total_sentinels as f64
+        },
+        log10_candidates,
+    }
+}
+
+/// The analytic search-space size `log10[(1 + (1-β)k)^n]` (paper §5.3.2),
+/// for cross-checking measured reports.
+pub fn analytic_log10_candidates(n: usize, k: usize, specificity: f64) -> f64 {
+    let surviving = 1.0 + (1.0 - specificity) * k as f64;
+    n as f64 * surviving.log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sage::SageConfig;
+    use proteus_graph::{Activation, Op};
+
+    fn tiny_graph(tag: u64) -> Graph {
+        let mut g = Graph::new("t");
+        let mut prev = g.input([1, 4]);
+        for i in 0..(2 + (tag % 3)) {
+            let act = if (tag + i) % 2 == 0 { Activation::Relu } else { Activation::Tanh };
+            prev = g.add(Op::Activation(act), [prev]);
+        }
+        g.set_outputs([prev]);
+        g
+    }
+
+    fn buckets(n: usize, k: usize) -> Vec<LabelledBucket> {
+        (0..n)
+            .map(|i| LabelledBucket {
+                real: tiny_graph(i as u64),
+                sentinels: (0..k).map(|j| tiny_graph((i * k + j) as u64 + 100)).collect(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn untrained_classifier_leaves_search_space_large() {
+        let clf = SageClassifier::new(SageConfig::default(), 1);
+        let bs = buckets(10, 20);
+        let report = attack_buckets(&clf, &bs);
+        assert_eq!(report.n, 10);
+        assert_eq!(report.k, 20);
+        // an uninformative classifier cannot eliminate everything while
+        // keeping all real subgraphs
+        assert!(
+            report.log10_candidates > 5.0,
+            "log10 candidates {}",
+            report.log10_candidates
+        );
+    }
+
+    #[test]
+    fn analytic_formula_matches_uniform_case() {
+        // β = 0.5, k = 20, n = 10 -> (1 + 10)^10
+        let expected = 10.0 * 11f64.log10();
+        assert!((analytic_log10_candidates(10, 20, 0.5) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_specificity_leaves_single_candidate() {
+        assert_eq!(analytic_log10_candidates(10, 20, 1.0), 0.0);
+    }
+
+    #[test]
+    fn candidates_string_formats() {
+        let r = AttackReport {
+            n: 10,
+            k: 20,
+            min_gamma: 0.9,
+            specificity: 0.5,
+            log10_candidates: 10.0 * 11f64.log10(),
+        };
+        assert!(r.candidates_string().contains('e'));
+        let small = AttackReport { log10_candidates: 0.0, ..r };
+        assert_eq!(small.candidates_string(), "1.00");
+    }
+
+    #[test]
+    fn gamma_keeps_all_reals() {
+        let clf = SageClassifier::new(SageConfig::default(), 2);
+        let bs = buckets(6, 8);
+        let report = attack_buckets(&clf, &bs);
+        for b in &bs {
+            assert!(clf.confidence(&b.real) < report.min_gamma);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Graph → tensor featurization for the GNN adversary.
+//!
+//! Mirrors the paper's classifier input (Figure 7): per-node operator
+//! information (one-hot opcode embedding input) plus the adjacency
+//! structure. Degree features are appended so arity-implausible operator
+//! placements (the tell of naive sentinels) are visible to the model.
+
+use proteus_graph::{Graph, NodeId, OpCode};
+use proteus_nn::Matrix;
+use std::collections::HashMap;
+
+/// Width of the per-node feature vector.
+pub const NODE_FEATURES: usize = OpCode::COUNT + 2;
+
+/// Featurized graph: node features and a row-normalized (undirected)
+/// neighbor-aggregation matrix.
+#[derive(Debug, Clone)]
+pub struct GraphFeatures {
+    /// `n x NODE_FEATURES` node feature matrix.
+    pub nodes: Matrix,
+    /// `n x n` row-normalized adjacency (mean aggregator).
+    pub agg: Matrix,
+}
+
+impl GraphFeatures {
+    /// Extracts features from a computational graph.
+    pub fn of(graph: &Graph) -> GraphFeatures {
+        let ids = graph.node_ids();
+        let index: HashMap<NodeId, usize> =
+            ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        let n = ids.len().max(1);
+        let mut nodes = Matrix::zeros(n, NODE_FEATURES);
+        let succ = graph.successors();
+        for (row, &id) in ids.iter().enumerate() {
+            let node = graph.node(id).expect("live");
+            nodes.set(row, node.op.opcode().index(), 1.0);
+            // normalized in/out degree
+            nodes.set(row, OpCode::COUNT, node.inputs.len() as f32 / 4.0);
+            nodes.set(
+                row,
+                OpCode::COUNT + 1,
+                succ.get(&id).map(|s| s.len()).unwrap_or(0) as f32 / 4.0,
+            );
+        }
+        let mut agg = Matrix::zeros(n, n);
+        let adj = graph.undirected_adjacency();
+        for (row, &id) in ids.iter().enumerate() {
+            let neighbors = &adj[&id];
+            if neighbors.is_empty() {
+                agg.set(row, row, 1.0); // self-loop for isolated nodes
+                continue;
+            }
+            let w = 1.0 / neighbors.len() as f32;
+            for nb in neighbors {
+                agg.set(row, index[nb], w);
+            }
+        }
+        GraphFeatures { nodes, agg }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.rows()
+    }
+
+    /// True when the graph had no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.rows() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_graph::{Activation, Op};
+
+    #[test]
+    fn features_have_expected_shape() {
+        let mut g = Graph::new("t");
+        let x = g.input([1, 4]);
+        let r = g.add(Op::Activation(Activation::Relu), [x]);
+        let s = g.add(Op::Add, [x, r]);
+        g.set_outputs([s]);
+        let f = GraphFeatures::of(&g);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.nodes.cols(), NODE_FEATURES);
+        assert_eq!((f.agg.rows(), f.agg.cols()), (3, 3));
+    }
+
+    #[test]
+    fn opcode_onehot_set() {
+        let mut g = Graph::new("t");
+        let x = g.input([1, 4]);
+        let r = g.add(Op::Activation(Activation::Relu), [x]);
+        g.set_outputs([r]);
+        let f = GraphFeatures::of(&g);
+        // row order = arena order: input first, relu second
+        assert_eq!(f.nodes.get(0, OpCode::Input.index()), 1.0);
+        assert_eq!(f.nodes.get(1, OpCode::Relu.index()), 1.0);
+        // in-degree of relu is 1 -> 0.25 normalized
+        assert_eq!(f.nodes.get(1, OpCode::COUNT), 0.25);
+    }
+
+    #[test]
+    fn aggregation_rows_sum_to_one() {
+        let mut g = Graph::new("t");
+        let x = g.input([1, 4]);
+        let a = g.add(Op::Activation(Activation::Relu), [x]);
+        let b = g.add(Op::Activation(Activation::Tanh), [x]);
+        let s = g.add(Op::Add, [a, b]);
+        g.set_outputs([s]);
+        let f = GraphFeatures::of(&g);
+        for r in 0..f.agg.rows() {
+            let sum: f32 = (0..f.agg.cols()).map(|c| f.agg.get(r, c)).sum();
+            assert!((sum - 1.0).abs() < 1e-6, "row {r} sums to {sum}");
+        }
+    }
+}

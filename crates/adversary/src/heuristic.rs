@@ -1,0 +1,119 @@
+//! Statistics-based (heuristic) adversary (paper §5.3.1).
+//!
+//! Fits a Gaussian model to the four graph statistics of known-real
+//! subgraphs and classifies candidates by likelihood. The paper's claim —
+//! verified by experiment E3 — is that Proteus sentinels match the real
+//! statistic distributions closely enough that this adversary is no better
+//! than chance.
+
+use proteus_graph::{Graph, GraphStats};
+
+/// Per-dimension Gaussian likelihood model over [`GraphStats`].
+#[derive(Debug, Clone)]
+pub struct StatsAdversary {
+    mean: [f64; 4],
+    std: [f64; 4],
+    /// Log-likelihood threshold below which a graph is called a sentinel.
+    pub threshold: f64,
+}
+
+impl StatsAdversary {
+    /// Fits the model on known-real subgraphs and calibrates the threshold
+    /// to the `q`-quantile of their own log-likelihoods (so `q` of real
+    /// graphs would be misjudged — the adversary picks a small `q`).
+    pub fn fit(reals: &[Graph], q: f64) -> StatsAdversary {
+        let feats: Vec<[f64; 4]> = reals.iter().map(|g| GraphStats::of(g).to_vec()).collect();
+        let n = feats.len().max(1) as f64;
+        let mut mean = [0.0; 4];
+        let mut std = [0.0; 4];
+        for d in 0..4 {
+            mean[d] = feats.iter().map(|f| f[d]).sum::<f64>() / n;
+            let var = feats.iter().map(|f| (f[d] - mean[d]).powi(2)).sum::<f64>() / n;
+            std[d] = var.sqrt().max(1e-3);
+        }
+        let mut model = StatsAdversary { mean, std, threshold: f64::NEG_INFINITY };
+        let mut lls: Vec<f64> = feats.iter().map(|f| model.log_likelihood_vec(f)).collect();
+        lls.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let idx = ((lls.len() as f64 * q) as usize).min(lls.len().saturating_sub(1));
+        model.threshold = lls.get(idx).copied().unwrap_or(f64::NEG_INFINITY);
+        model
+    }
+
+    fn log_likelihood_vec(&self, f: &[f64; 4]) -> f64 {
+        (0..4)
+            .map(|d| {
+                let z = (f[d] - self.mean[d]) / self.std[d];
+                -0.5 * z * z - self.std[d].ln()
+            })
+            .sum()
+    }
+
+    /// Log-likelihood of a graph under the real-subgraph model.
+    pub fn log_likelihood(&self, g: &Graph) -> f64 {
+        self.log_likelihood_vec(&GraphStats::of(g).to_vec())
+    }
+
+    /// True when the adversary calls the graph a sentinel.
+    pub fn is_sentinel(&self, g: &Graph) -> bool {
+        self.log_likelihood(g) < self.threshold
+    }
+
+    /// Accuracy over labelled graphs `(graph, is_sentinel)`.
+    pub fn accuracy(&self, labelled: &[(Graph, bool)]) -> f64 {
+        if labelled.is_empty() {
+            return 0.0;
+        }
+        let correct = labelled
+            .iter()
+            .filter(|(g, label)| self.is_sentinel(g) == *label)
+            .count();
+        correct as f64 / labelled.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_graph::{Activation, Op};
+
+    fn chain(n: usize) -> Graph {
+        let mut g = Graph::new("c");
+        let mut prev = g.input([1, 4]);
+        for _ in 1..n {
+            prev = g.add(Op::Activation(Activation::Relu), [prev]);
+        }
+        g.set_outputs([prev]);
+        g
+    }
+
+    fn star(n: usize) -> Graph {
+        let mut g = Graph::new("s");
+        let hub = g.input([1, 4]);
+        let leaves: Vec<_> = (0..n - 1)
+            .map(|_| g.add(Op::Activation(Activation::Relu), [hub]))
+            .collect();
+        g.set_outputs(leaves);
+        g
+    }
+
+    #[test]
+    fn detects_statistically_different_graphs() {
+        let reals: Vec<Graph> = (8..16).map(chain).collect();
+        let adv = StatsAdversary::fit(&reals, 0.1);
+        // a star of the same size has very different degree stats
+        assert!(adv.is_sentinel(&star(12)));
+        // chains like the training data pass
+        assert!(!adv.is_sentinel(&chain(11)));
+    }
+
+    #[test]
+    fn accuracy_on_mixed_set() {
+        let reals: Vec<Graph> = (8..16).map(chain).collect();
+        let adv = StatsAdversary::fit(&reals, 0.1);
+        let labelled: Vec<(Graph, bool)> = (8..14)
+            .map(|n| (chain(n), false))
+            .chain((8..14).map(|n| (star(n), true)))
+            .collect();
+        assert!(adv.accuracy(&labelled) > 0.8);
+    }
+}

@@ -1,0 +1,38 @@
+//! Adversaries against the Proteus obfuscation (paper §5.3).
+//!
+//! Three attacker families, mirroring the paper's evaluation:
+//!
+//! - [`SageClassifier`] — the learning-based adversary: a GraphSAGE binary
+//!   classifier over opcode/degree features (Figure 7), attacked against
+//!   buckets with the pessimistic α=1 threshold and search-space accounting
+//!   of Appendix A.6 ([`attack_buckets`]).
+//! - [`StatsAdversary`] — the heuristic adversary using graph-statistic
+//!   likelihoods (§5.3.1).
+//! - [`ExpertReviewer`] — a codified version of the §5.3.3 expert survey's
+//!   visual pattern-matching.
+//!
+//! ```
+//! use proteus_adversary::{SageClassifier, SageConfig, Example};
+//! use proteus_graph::{Graph, Op, Activation};
+//!
+//! let mut g = Graph::new("x");
+//! let i = g.input([1, 8]);
+//! let r = g.add(Op::Activation(Activation::Relu), [i]);
+//! g.set_outputs([r]);
+//!
+//! let clf = SageClassifier::new(SageConfig::default(), 0);
+//! let confidence = clf.confidence(&g); // untrained: ~uninformative
+//! assert!((0.0..=1.0).contains(&confidence));
+//! ```
+
+pub mod attack;
+pub mod expert;
+pub mod features;
+pub mod heuristic;
+pub mod sage;
+
+pub use attack::{analytic_log10_candidates, attack_buckets, AttackReport, LabelledBucket};
+pub use expert::{ExpertReviewer, Suspicion};
+pub use features::{GraphFeatures, NODE_FEATURES};
+pub use heuristic::StatsAdversary;
+pub use sage::{Example, SageClassifier, SageConfig};

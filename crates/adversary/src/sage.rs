@@ -1,0 +1,254 @@
+//! GraphSAGE binary classifier (paper §5.3.2, Figure 7, Appendix A.5).
+//!
+//! Architecture, following the paper: operator embedding → two SAGEConv
+//! layers (mean aggregation over the neighborhood) → mean node reduction →
+//! linear head → sentinel-probability. Trained with binary cross-entropy.
+
+use crate::features::{GraphFeatures, NODE_FEATURES};
+use proteus_graph::Graph;
+use proteus_nn::{Adam, Linear, Matrix, ParamStore, Tape, Var};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Classifier hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SageConfig {
+    /// Opcode-embedding width.
+    pub embed: usize,
+    /// Hidden width of the SAGE layers.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Minibatch size (graphs per update).
+    pub batch: usize,
+}
+
+impl Default for SageConfig {
+    fn default() -> Self {
+        SageConfig { embed: 24, hidden: 24, epochs: 8, lr: 0.01, batch: 8 }
+    }
+}
+
+/// One SAGE layer: `h' = relu([h | mean_neigh(h)] W + b)`.
+#[derive(Debug, Clone)]
+struct SageLayer {
+    lin: Linear,
+}
+
+impl SageLayer {
+    fn new(
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+    ) -> SageLayer {
+        SageLayer { lin: Linear::new(name, 2 * in_dim, out_dim, store, rng) }
+    }
+
+    fn forward(&self, tape: &mut Tape, store: &ParamStore, h: Var, agg: Var) -> Var {
+        let neigh = tape.matmul(agg, h);
+        let cat = tape.concat_cols(h, neigh);
+        let out = self.lin.forward(tape, store, cat);
+        tape.relu(out)
+    }
+}
+
+/// The GNN adversary classifier.
+#[derive(Debug)]
+pub struct SageClassifier {
+    cfg: SageConfig,
+    store: ParamStore,
+    embed: Linear,
+    sage1: SageLayer,
+    sage2: SageLayer,
+    head: Linear,
+}
+
+/// A labelled training example: features + `1.0` for sentinel, `0.0` for a
+/// real subgraph.
+#[derive(Debug, Clone)]
+pub struct Example {
+    pub features: GraphFeatures,
+    pub label: f32,
+}
+
+impl Example {
+    /// Builds an example from a graph.
+    pub fn new(graph: &Graph, is_sentinel: bool) -> Example {
+        Example {
+            features: GraphFeatures::of(graph),
+            label: if is_sentinel { 1.0 } else { 0.0 },
+        }
+    }
+}
+
+impl SageClassifier {
+    /// Initializes an untrained classifier.
+    pub fn new(cfg: SageConfig, seed: u64) -> SageClassifier {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let embed = Linear::new("embed", NODE_FEATURES, cfg.embed, &mut store, &mut rng);
+        let sage1 = SageLayer::new("sage1", cfg.embed, cfg.hidden, &mut store, &mut rng);
+        let sage2 = SageLayer::new("sage2", cfg.hidden, cfg.hidden, &mut store, &mut rng);
+        let head = Linear::new("head", cfg.hidden, 1, &mut store, &mut rng);
+        SageClassifier { cfg, store, embed, sage1, sage2, head }
+    }
+
+    fn logit(&self, tape: &mut Tape, feats: &GraphFeatures) -> Var {
+        let x = tape.constant(feats.nodes.clone());
+        let agg = tape.constant(feats.agg.clone());
+        let h = self.embed.forward(tape, &self.store, x);
+        let h = tape.relu(h);
+        let h = self.sage1.forward(tape, &self.store, h, agg);
+        let h = self.sage2.forward(tape, &self.store, h, agg);
+        let pooled = tape.mean_rows(h);
+        self.head.forward(tape, &self.store, pooled)
+    }
+
+    /// Probability that `graph` is a sentinel.
+    pub fn confidence(&self, graph: &Graph) -> f64 {
+        self.confidence_features(&GraphFeatures::of(graph))
+    }
+
+    /// Probability from precomputed features.
+    pub fn confidence_features(&self, feats: &GraphFeatures) -> f64 {
+        let mut tape = Tape::new();
+        let logit = self.logit(&mut tape, feats);
+        let v = tape.value(logit).get(0, 0) as f64;
+        1.0 / (1.0 + (-v).exp())
+    }
+
+    /// Trains on labelled examples; returns per-epoch mean losses.
+    pub fn train(&mut self, examples: &[Example], seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut adam = Adam::new(self.cfg.lr);
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        let mut history = Vec::with_capacity(self.cfg.epochs);
+        for _ in 0..self.cfg.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
+            for chunk in order.chunks(self.cfg.batch.max(1)) {
+                let mut tape = Tape::new();
+                let mut total: Option<Var> = None;
+                for &i in chunk {
+                    let ex = &examples[i];
+                    if ex.features.is_empty() {
+                        continue;
+                    }
+                    let logit = self.logit(&mut tape, &ex.features);
+                    let t = tape.constant(Matrix::new(1, 1, vec![ex.label]));
+                    let loss = tape.bce_with_logits(logit, t);
+                    total = Some(match total {
+                        None => loss,
+                        Some(acc) => tape.add(acc, loss),
+                    });
+                }
+                let Some(loss) = total else { continue };
+                let scaled = tape.scale(loss, 1.0 / chunk.len() as f32);
+                epoch_loss += tape.value(scaled).get(0, 0);
+                batches += 1;
+                let grads = tape.backward(scaled);
+                adam.step(&mut self.store, &grads);
+            }
+            history.push(if batches == 0 { 0.0 } else { epoch_loss / batches as f32 });
+        }
+        history
+    }
+
+    /// Classification accuracy at threshold 0.5 over examples.
+    pub fn accuracy(&self, examples: &[Example]) -> f64 {
+        if examples.is_empty() {
+            return 0.0;
+        }
+        let correct = examples
+            .iter()
+            .filter(|ex| {
+                let p = self.confidence_features(&ex.features);
+                (p >= 0.5) == (ex.label >= 0.5)
+            })
+            .count();
+        correct as f64 / examples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_graph::{Activation, ConvAttrs, Op};
+    use rand::Rng;
+
+    /// Real-looking: conv->relu chains. Fake-looking: random opcode soup.
+    fn toy_dataset(n: usize, seed: u64) -> Vec<Example> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        for i in 0..n {
+            let len = rng.gen_range(4..9);
+            let mut g = Graph::new("toy");
+            let mut prev = g.input([1, 8, 8, 8]);
+            if i % 2 == 0 {
+                // "real": conv-relu alternation
+                for j in 0..len {
+                    prev = if j % 2 == 0 {
+                        g.add(Op::Conv(ConvAttrs::new(8, 8, 3).padding(1)), [prev])
+                    } else {
+                        g.add(Op::Activation(Activation::Relu), [prev])
+                    };
+                }
+                g.set_outputs([prev]);
+                out.push(Example::new(&g, false));
+            } else {
+                // "sentinel": implausible opcode sequences
+                for _ in 0..len {
+                    let op = match rng.gen_range(0..4) {
+                        0 => Op::Softmax { axis: -1 },
+                        1 => Op::Activation(Activation::Sigmoid),
+                        2 => Op::GlobalAveragePool,
+                        _ => Op::Flatten,
+                    };
+                    prev = g.add(op, [prev]);
+                }
+                g.set_outputs([prev]);
+                out.push(Example::new(&g, true));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn learns_to_separate_obvious_classes() {
+        let train = toy_dataset(60, 1);
+        let test = toy_dataset(30, 2);
+        let mut clf = SageClassifier::new(
+            SageConfig { epochs: 10, ..Default::default() },
+            7,
+        );
+        let history = clf.train(&train, 3);
+        assert!(history.last().unwrap() < history.first().unwrap());
+        let acc = clf.accuracy(&test);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn confidence_in_unit_interval() {
+        let clf = SageClassifier::new(SageConfig::default(), 0);
+        let mut g = Graph::new("t");
+        let x = g.input([1, 4]);
+        let r = g.add(Op::Activation(Activation::Relu), [x]);
+        g.set_outputs([r]);
+        let c = clf.confidence(&g);
+        assert!((0.0..=1.0).contains(&c));
+    }
+
+    #[test]
+    fn untrained_classifier_is_uninformative() {
+        let clf = SageClassifier::new(SageConfig::default(), 4);
+        let test = toy_dataset(40, 5);
+        let acc = clf.accuracy(&test);
+        assert!((0.2..=0.8).contains(&acc), "untrained accuracy {acc}");
+    }
+}

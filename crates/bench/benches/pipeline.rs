@@ -1,0 +1,102 @@
+//! Criterion micro-benchmarks of the Proteus pipeline stages.
+//!
+//! These complement the `fig*` binaries (which regenerate the paper's
+//! figures): here we time the mechanism itself — partitioning, sentinel
+//! generation, operator population, graph optimization, and the adversary's
+//! inference — so regressions in any substrate are visible.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use proteus::{detect_regime, populate, BigramModel, PopulationConfig};
+use proteus_adversary::{SageClassifier, SageConfig};
+use proteus_graph::{Graph, TensorMap};
+use proteus_graphgen::{induce_orientation, UGraph};
+use proteus_models::{build, ModelKind};
+use proteus_opt::{Optimizer, Profile};
+use proteus_partition::{partition_balanced, PartitionPlan};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_partition(c: &mut Criterion) {
+    let g = build(ModelKind::ResNet);
+    c.bench_function("partition_resnet_n10_restarts16", |b| {
+        b.iter(|| partition_balanced(&g, 10, 16, 42))
+    });
+}
+
+fn bench_extract_reassemble(c: &mut Criterion) {
+    let g = build(ModelKind::GoogleNet);
+    let a = partition_balanced(&g, 12, 8, 7);
+    c.bench_function("extract_plus_reassemble_googlenet", |b| {
+        b.iter(|| {
+            let plan = PartitionPlan::extract(&g, &TensorMap::new(), &a).unwrap();
+            plan.reassemble_identity().unwrap()
+        })
+    });
+}
+
+fn bench_optimize(c: &mut Criterion) {
+    let g = build(ModelKind::ResNet);
+    let opt = Optimizer::new(Profile::OrtLike);
+    c.bench_function("optimize_resnet_ort", |b| {
+        b.iter(|| opt.optimize(&g, &TensorMap::new()))
+    });
+    let bert = build(ModelKind::DistilBert);
+    c.bench_function("optimize_distilbert_ort", |b| {
+        b.iter(|| opt.optimize(&bert, &TensorMap::new()))
+    });
+}
+
+fn bench_populate(c: &mut Criterion) {
+    let corpus: Vec<Graph> = vec![build(ModelKind::ResNet), build(ModelKind::MobileNet)];
+    let refs: Vec<&Graph> = corpus.iter().collect();
+    let bigram = BigramModel::fit(&refs, 0.1);
+    let piece = {
+        let g = build(ModelKind::ResNet);
+        let a = partition_balanced(&g, 10, 8, 3);
+        let plan = PartitionPlan::extract(&g, &TensorMap::new(), &a).unwrap();
+        plan.pieces[0].graph.clone()
+    };
+    let topo = UGraph::from_graph(&piece);
+    let dag = induce_orientation(&topo);
+    let regime = detect_regime(&piece);
+    let cfg = PopulationConfig::default();
+    c.bench_function("operator_population_one_sentinel", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(5),
+            |mut rng| populate(&dag, regime, &bigram, &cfg, &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_adversary(c: &mut Criterion) {
+    let clf = SageClassifier::new(SageConfig::default(), 3);
+    let piece = {
+        let g = build(ModelKind::ResNet);
+        let a = partition_balanced(&g, 10, 8, 3);
+        let plan = PartitionPlan::extract(&g, &TensorMap::new(), &a).unwrap();
+        plan.pieces[0].graph.clone()
+    };
+    c.bench_function("gnn_confidence_one_subgraph", |b| {
+        b.iter(|| clf.confidence(&piece))
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let g = build(ModelKind::Bert);
+    c.bench_function("wire_encode_decode_bert", |b| {
+        b.iter(|| {
+            let bytes = proteus_graph::wire::encode_graph(&g);
+            let mut buf = bytes;
+            proteus_graph::wire::decode_graph(&mut buf).unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_partition, bench_extract_reassemble, bench_optimize,
+              bench_populate, bench_adversary, bench_wire
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Figure 4 (a/b): execution time of DL models — Unoptimized vs Best
+//! Attainable vs Proteus, under the ONNXRuntime-like and Hidet-like
+//! optimizers. The headline claim: Proteus stays within ~10% of Best
+//! Attainable on average (geomean slowdown 1.08x for ORT, 1.02x for Hidet).
+//!
+//! Usage: `cargo run --release -p proteus-bench --bin fig4 [-- --profile ort|hidet]`
+
+use proteus_bench::{latency_triple, print_header, print_row};
+use proteus_models::{build, ModelKind};
+use proteus_opt::Profile;
+
+fn run(profile: Profile, models: &[ModelKind]) {
+    println!("\n== Figure 4{}: {} ==\n", if profile == Profile::OrtLike { "a" } else { "b" }, profile.name());
+    let widths = [12usize, 14, 16, 12, 10];
+    print_header(
+        &["model", "unoptimized", "best attainable", "proteus", "slowdown"],
+        &widths,
+    );
+    let mut log_sum = 0.0f64;
+    for &kind in models {
+        let g = build(kind);
+        let (unopt, best, proteus) = latency_triple(&g, profile, 8, 42);
+        let slowdown = proteus / best;
+        log_sum += slowdown.ln();
+        print_row(
+            &[
+                kind.to_string(),
+                format!("{unopt:.0} us"),
+                format!("{best:.0} us"),
+                format!("{proteus:.0} us"),
+                format!("{slowdown:.2}x"),
+            ],
+            &widths,
+        );
+    }
+    let geomean = (log_sum / models.len() as f64).exp();
+    println!("\nGeomean slowdown of Proteus over Best Attainable: {geomean:.3}x");
+    println!("(paper: 1.08x for ONNXRuntime, 1.02x for Hidet)");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args
+        .iter()
+        .position(|a| a == "--profile")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("both");
+
+    // model lists follow the paper's Figure 4a/4b x-axes
+    let fig4a = [
+        ModelKind::MobileNet,
+        ModelKind::ResNet,
+        ModelKind::DenseNet,
+        ModelKind::GoogleNet,
+        ModelKind::ResNeXt,
+        ModelKind::Bert,
+        ModelKind::Roberta,
+        ModelKind::DistilBert,
+    ];
+    let fig4b = [
+        ModelKind::AlexNet,
+        ModelKind::Inception,
+        ModelKind::MobileNet,
+        ModelKind::ResNet,
+        ModelKind::DenseNet,
+        ModelKind::ResNeXt,
+        ModelKind::Bert,
+        ModelKind::DistilBert,
+    ];
+
+    if which == "ort" || which == "both" {
+        run(Profile::OrtLike, &fig4a);
+    }
+    if which == "hidet" || which == "both" {
+        run(Profile::HidetLike, &fig4b);
+    }
+}

@@ -1,0 +1,149 @@
+//! The random-opcode baseline (paper §5.3.2, "Datasets" item 1).
+//!
+//! Same GraphRNN topologies as real Proteus sentinels, but operators drawn
+//! uniformly at random with no syntactic or semantic constraints. The paper
+//! uses this baseline to show that naive sentinel generation collapses the
+//! adversary's search space — often to a single candidate — whereas full
+//! Proteus does not (Figure 6's "Random Opcodes" columns).
+
+use proteus_graph::{
+    Activation, BatchNormAttrs, ConvAttrs, GemmAttrs, Graph, LayerNormAttrs, NodeId, Op,
+    PoolAttrs, Shape,
+};
+use proteus_graphgen::{induce_orientation, TopologySampler, UGraph};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Draws a uniformly random operator with arbitrary attributes — no arity
+/// or shape discipline whatsoever.
+fn random_op(rng: &mut StdRng) -> Op {
+    let channels = [8usize, 16, 32, 64, 128][rng.gen_range(0..5)];
+    let out_channels = [8usize, 16, 32, 64, 128][rng.gen_range(0..5)];
+    match rng.gen_range(0..18) {
+        0 => Op::Conv(ConvAttrs::new(channels, out_channels, [1, 3, 5][rng.gen_range(0..3)])),
+        1 => Op::Gemm(GemmAttrs::new(channels, out_channels)),
+        2 => Op::MatMul,
+        3 => Op::BatchNorm(BatchNormAttrs { channels }),
+        4 => Op::LayerNorm(LayerNormAttrs { dim: channels }),
+        5 => Op::Activation(Activation::ALL[rng.gen_range(0..Activation::ALL.len())]),
+        6 => Op::Softmax { axis: 1 },
+        7 => Op::Add,
+        8 => Op::Sub,
+        9 => Op::Mul,
+        10 => Op::Div,
+        11 => Op::MaxPool(PoolAttrs::new(3, 1, 1)),
+        12 => Op::AveragePool(PoolAttrs::new(3, 1, 1)),
+        13 => Op::GlobalAveragePool,
+        14 => Op::Concat { axis: 1 },
+        15 => Op::Flatten,
+        16 => Op::Dropout { p: rng.gen_range(10..60) },
+        _ => Op::Identity,
+    }
+}
+
+/// Populates one topology with uniformly random opcodes.
+///
+/// The result is intentionally *not* guaranteed to pass [`Graph::validate`]
+/// — that is the point of the baseline: arity and shape violations are the
+/// signal a learning-based adversary exploits.
+pub fn random_opcode_graph(topology: &UGraph, rng: &mut StdRng) -> Graph {
+    let dag = induce_orientation(topology);
+    let preds = dag.preds();
+    let topo = dag.topo_order();
+    let mut g = Graph::new("baseline-sentinel");
+    let mut ids: Vec<Option<NodeId>> = vec![None; dag.len()];
+    for &i in &topo {
+        let inputs: Vec<NodeId> = preds[i].iter().map(|&p| ids[p].expect("topo")).collect();
+        let op = if inputs.is_empty() {
+            // even the baseline needs sources to look like sources
+            if rng.gen_bool(0.7) {
+                Op::Input { shape: Shape::from([1, 64, 16, 16]) }
+            } else {
+                Op::Constant { shape: Shape::from([1, 64, 16, 16]) }
+            }
+        } else {
+            random_op(rng)
+        };
+        ids[i] = Some(g.add(op, inputs));
+    }
+    let succs = dag.succs();
+    let outs: Vec<NodeId> = (0..dag.len())
+        .filter(|&i| succs[i].is_empty())
+        .map(|i| ids[i].expect("assigned"))
+        .collect();
+    g.set_outputs(outs);
+    g
+}
+
+/// Generates `k` random-opcode sentinels with topologies similar to the
+/// protected subgraph (same Algorithm 1 band as real Proteus).
+pub fn random_opcode_sentinels(
+    protected: &Graph,
+    k: usize,
+    sampler: &TopologySampler,
+    beta: f64,
+    rng: &mut StdRng,
+) -> Vec<Graph> {
+    let topo = UGraph::from_graph(protected);
+    sampler
+        .sample_similar(&topo, beta, k, rng)
+        .iter()
+        .map(|t| random_opcode_graph(t, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn chain_topology(n: usize) -> UGraph {
+        let mut g = UGraph::new(n);
+        for i in 1..n {
+            g.add_edge(i - 1, i);
+        }
+        g
+    }
+
+    #[test]
+    fn baseline_graphs_cover_topology() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = chain_topology(10);
+        let g = random_opcode_graph(&t, &mut rng);
+        assert_eq!(g.len(), 10);
+        assert_eq!(g.edge_count(), 9);
+    }
+
+    #[test]
+    fn baseline_frequently_violates_arity() {
+        // On branchy topologies, random opcodes routinely put unary ops on
+        // multi-input nodes — the tell the adversary learns.
+        let mut topo = chain_topology(12);
+        for i in 3..10 {
+            topo.add_edge(0, i);
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let violations = (0..30)
+            .filter(|_| {
+                let g = random_opcode_graph(&topo, &mut rng);
+                g.validate().is_err()
+            })
+            .count();
+        assert!(violations > 10, "only {violations}/30 invalid");
+    }
+
+    #[test]
+    fn sentinel_count_respected() {
+        let pool: Vec<UGraph> = (5..20).map(chain_topology).collect();
+        let sampler = TopologySampler::new(pool);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut protected = Graph::new("p");
+        let mut prev = protected.input([1, 8]);
+        for _ in 0..9 {
+            prev = protected.add(Op::Identity, [prev]);
+        }
+        protected.set_outputs([prev]);
+        let sentinels = random_opcode_sentinels(&protected, 7, &sampler, 2.0, &mut rng);
+        assert_eq!(sentinels.len(), 7);
+    }
+}

@@ -1,0 +1,196 @@
+//! The obfuscated bucket — the wire artifact exchanged with the optimizer
+//! party (paper Figure 1's "Obfuscated Bucket").
+//!
+//! [`ObfuscatedModel`] is everything the optimizer (and hence an
+//! interceptor) sees: for each of the `n` protected subgraphs, `k + 1`
+//! anonymized candidate subgraphs in shuffled order. Which member is real
+//! is recorded only in [`ObfuscationSecrets`], which never leaves the model
+//! owner.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use proteus_graph::wire::{
+    decode_graph, decode_params, encode_graph, encode_params, WireError,
+};
+use proteus_graph::{Graph, TensorMap};
+use proteus_partition::PartitionPlan;
+use serde::{Deserialize, Serialize};
+
+/// One candidate subgraph: structure plus (optional) parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BucketMember {
+    pub graph: Graph,
+    pub params: TensorMap,
+}
+
+/// The `k + 1` candidates hiding one protected subgraph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Bucket {
+    pub members: Vec<BucketMember>,
+}
+
+/// Everything the optimizer party receives.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ObfuscatedModel {
+    pub buckets: Vec<Bucket>,
+}
+
+impl ObfuscatedModel {
+    /// Total number of subgraphs across all buckets.
+    pub fn total_subgraphs(&self) -> usize {
+        self.buckets.iter().map(|b| b.members.len()).sum()
+    }
+
+    /// `n` — the number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Serializes the model to its byte wire format.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(self.buckets.len() as u32);
+        for bucket in &self.buckets {
+            buf.put_u32_le(bucket.members.len() as u32);
+            for member in &bucket.members {
+                let g = encode_graph(&member.graph);
+                let p = encode_params(&member.graph, &member.params);
+                buf.put_u32_le(g.len() as u32);
+                buf.put_slice(&g);
+                buf.put_u32_le(p.len() as u32);
+                buf.put_slice(&p);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes a model from [`ObfuscatedModel::to_bytes`] output.
+    ///
+    /// # Errors
+    /// Returns [`WireError`] on malformed input.
+    pub fn from_bytes(mut data: Bytes) -> Result<ObfuscatedModel, WireError> {
+        let need = |data: &Bytes, n: usize| -> Result<(), WireError> {
+            if data.remaining() < n {
+                Err(WireError("truncated bucket".into()))
+            } else {
+                Ok(())
+            }
+        };
+        need(&data, 4)?;
+        let nb = data.get_u32_le() as usize;
+        if nb > 1_000_000 {
+            return Err(WireError(format!("implausible bucket count {nb}")));
+        }
+        let mut buckets = Vec::with_capacity(nb);
+        for _ in 0..nb {
+            need(&data, 4)?;
+            let nm = data.get_u32_le() as usize;
+            if nm > 1_000_000 {
+                return Err(WireError(format!("implausible member count {nm}")));
+            }
+            let mut members = Vec::with_capacity(nm);
+            for _ in 0..nm {
+                need(&data, 4)?;
+                let glen = data.get_u32_le() as usize;
+                need(&data, glen)?;
+                let mut gbytes = data.split_to(glen);
+                let graph = decode_graph(&mut gbytes)?;
+                need(&data, 4)?;
+                let plen = data.get_u32_le() as usize;
+                need(&data, plen)?;
+                let mut pbytes = data.split_to(plen);
+                let params = decode_params(&mut pbytes)?;
+                members.push(BucketMember { graph, params });
+            }
+            buckets.push(Bucket { members });
+        }
+        Ok(ObfuscatedModel { buckets })
+    }
+}
+
+/// The model owner's private reassembly material.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObfuscationSecrets {
+    /// The partition plan (boundary wiring, original interfaces).
+    pub plan: PartitionPlan,
+    /// For bucket `i`, the index of the real subgraph within
+    /// `buckets[i].members`.
+    pub real_positions: Vec<usize>,
+}
+
+/// Strips identifying names from a graph: the graph gets a neutral name and
+/// every node is renamed to `op_index`. The real subgraph and the sentinels
+/// must be indistinguishable by labels.
+pub fn anonymize(graph: &Graph, tag: usize) -> Graph {
+    let (mut g, _) = graph.compact();
+    g.set_name(format!("subgraph_{tag}"));
+    let ids = g.node_ids();
+    for (i, id) in ids.into_iter().enumerate() {
+        let base = {
+            let node = g.node(id).expect("live");
+            node.op.opcode()
+        };
+        if let Some(node) = g.node_mut(id) {
+            node.name = format!("{}_{}", format!("{base:?}").to_lowercase(), i);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_graph::{Activation, ConvAttrs, Op};
+
+    fn member(seed: u64) -> BucketMember {
+        let mut g = Graph::new(format!("m{seed}"));
+        let x = g.input([1, 3, 8, 8]);
+        let c = g.add(Op::Conv(ConvAttrs::new(3, 4, 3).padding(1)), [x]);
+        let r = g.add(Op::Activation(Activation::Relu), [c]);
+        g.set_outputs([r]);
+        let params = TensorMap::init_random(&g, seed);
+        BucketMember { graph: g, params }
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let model = ObfuscatedModel {
+            buckets: vec![
+                Bucket { members: vec![member(1), member(2)] },
+                Bucket { members: vec![member(3), member(4), member(5)] },
+            ],
+        };
+        let bytes = model.to_bytes();
+        let back = ObfuscatedModel::from_bytes(bytes).unwrap();
+        assert_eq!(back.num_buckets(), 2);
+        assert_eq!(back.total_subgraphs(), 5);
+        for (a, b) in model.buckets.iter().zip(&back.buckets) {
+            for (ma, mb) in a.members.iter().zip(&b.members) {
+                assert_eq!(ma.graph.len(), mb.graph.len());
+                assert_eq!(ma.params.len(), mb.params.len());
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_bytes_rejected() {
+        let model = ObfuscatedModel { buckets: vec![Bucket { members: vec![member(1)] }] };
+        let bytes = model.to_bytes();
+        let truncated = bytes.slice(0..bytes.len() / 2);
+        assert!(ObfuscatedModel::from_bytes(truncated).is_err());
+    }
+
+    #[test]
+    fn anonymize_strips_names() {
+        let m = member(9);
+        let anon = anonymize(&m.graph, 3);
+        assert_eq!(anon.name(), "subgraph_3");
+        for (_, node) in anon.iter() {
+            assert!(
+                !node.name.contains("m9"),
+                "leaked name {}",
+                node.name
+            );
+        }
+        assert_eq!(anon.len(), m.graph.len());
+    }
+}

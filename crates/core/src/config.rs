@@ -1,0 +1,104 @@
+//! Proteus configuration (paper §4.4, Figure 8's tunable parameters).
+
+use crate::operators::PopulationConfig;
+use proteus_graphgen::GraphRnnConfig;
+
+/// How many partitions to create.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionSpec {
+    /// Exactly `n` subgraphs (the paper's `n` parameter).
+    Count(usize),
+    /// `n = ⌊N / size⌋` — the paper's "subgraph size 8–16 sweet spot"
+    /// convention (§5.2).
+    TargetSize(usize),
+}
+
+impl Default for PartitionSpec {
+    fn default() -> Self {
+        PartitionSpec::TargetSize(8)
+    }
+}
+
+/// How sentinel graphs are produced for each protected subgraph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SentinelMode {
+    /// GraphRNN topology sampling + SMT operator population (§4.1.2).
+    #[default]
+    Generative,
+    /// Minor modifications over the protected subgraph itself — for models
+    /// that closely resemble popular architectures (§4.1.2 last paragraph,
+    /// used by the SEResNet case study).
+    Perturb,
+}
+
+/// Full configuration of the obfuscation pipeline.
+#[derive(Debug, Clone)]
+pub struct ProteusConfig {
+    /// Partitioning granularity (`n`).
+    pub partitions: PartitionSpec,
+    /// Sentinels per protected subgraph (`k`).
+    pub k: usize,
+    /// Balance restarts of the Karger–Stein loop.
+    pub partition_restarts: usize,
+    /// Band width of Algorithm 1's uniform statistics band (in pool
+    /// standard deviations).
+    pub beta: f64,
+    /// Sentinel generation strategy.
+    pub mode: SentinelMode,
+    /// GraphRNN hyper-parameters (Generative mode).
+    pub graphrnn: GraphRnnConfig,
+    /// Topology pool size sampled from the trained GraphRNN.
+    pub topology_pool: usize,
+    /// Operator-population settings (Algorithm 2).
+    pub population: PopulationConfig,
+    /// Master seed; all randomness derives from it.
+    pub seed: u64,
+}
+
+impl Default for ProteusConfig {
+    fn default() -> Self {
+        ProteusConfig {
+            partitions: PartitionSpec::default(),
+            k: 20,
+            partition_restarts: 16,
+            beta: 2.0,
+            mode: SentinelMode::default(),
+            graphrnn: GraphRnnConfig::default(),
+            topology_pool: 200,
+            population: PopulationConfig::default(),
+            seed: 0xB0B,
+        }
+    }
+}
+
+impl ProteusConfig {
+    /// Resolves the partition count for a model with `model_nodes` nodes.
+    pub fn num_partitions(&self, model_nodes: usize) -> usize {
+        match self.partitions {
+            PartitionSpec::Count(n) => n.max(1),
+            PartitionSpec::TargetSize(s) => (model_nodes / s.max(1)).max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_resolution() {
+        let mut cfg = ProteusConfig::default();
+        cfg.partitions = PartitionSpec::Count(7);
+        assert_eq!(cfg.num_partitions(100), 7);
+        cfg.partitions = PartitionSpec::TargetSize(8);
+        assert_eq!(cfg.num_partitions(80), 10);
+        assert_eq!(cfg.num_partitions(3), 1);
+    }
+
+    #[test]
+    fn defaults_match_paper_choices() {
+        let cfg = ProteusConfig::default();
+        assert_eq!(cfg.k, 20);
+        assert_eq!(cfg.partitions, PartitionSpec::TargetSize(8));
+    }
+}

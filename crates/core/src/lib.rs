@@ -1,0 +1,74 @@
+//! # Proteus — preserving model confidentiality during graph optimizations
+//!
+//! A from-scratch Rust implementation of *Proteus* (MLSys 2024): an
+//! obfuscation mechanism that lets an independent optimizer party apply
+//! graph-level optimizations to a DNN computational graph without learning
+//! the protected architecture.
+//!
+//! The protocol (paper Figure 1):
+//!
+//! 1. **Obfuscation** ([`Proteus::obfuscate`]) — the protected graph is
+//!    partitioned into `n` balanced subgraphs (randomized edge contraction,
+//!    `proteus-partition`), and each subgraph is hidden among `k` *sentinel*
+//!    subgraphs produced by a GraphRNN topology generator + importance
+//!    sampler (`proteus-graphgen`) and an SMT-style operator population step
+//!    (`proteus-smt`, [`operators`]) filtered for semantic consistency
+//!    ([`semantic`]). The result is an anonymized, shuffled
+//!    [`ObfuscatedModel`] of `n` buckets with `k + 1` members each — a
+//!    search space of `O((k+1)^n)` architectures.
+//! 2. **Optimization** ([`optimize_model`]) — the optimizer party applies
+//!    its graph rewrites to every bucket member independently
+//!    (`proteus-opt` stands in for ONNXRuntime/Hidet).
+//! 3. **De-obfuscation** ([`Proteus::deobfuscate`]) — the owner extracts the
+//!    optimized real pieces using its [`ObfuscationSecrets`] and reassembles
+//!    the optimized model.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use proteus::{Proteus, ProteusConfig, PartitionSpec, optimize_model};
+//! use proteus_graph::{Graph, Op, Activation, ConvAttrs, TensorMap};
+//! use proteus_graphgen::GraphRnnConfig;
+//! use proteus_opt::{Optimizer, Profile};
+//!
+//! // the secret model
+//! let mut g = Graph::new("secret");
+//! let x = g.input([1, 3, 8, 8]);
+//! let c = g.add(Op::Conv(ConvAttrs::new(3, 8, 3).padding(1)), [x]);
+//! let r = g.add(Op::Activation(Activation::Relu), [c]);
+//! g.set_outputs([r]);
+//!
+//! // train the sentinel generator on public models only
+//! let config = ProteusConfig {
+//!     k: 2,
+//!     partitions: PartitionSpec::Count(1),
+//!     graphrnn: GraphRnnConfig { epochs: 1, ..Default::default() },
+//!     topology_pool: 10,
+//!     ..Default::default()
+//! };
+//! let corpus = vec![proteus_models::build(proteus_models::ModelKind::ResNet)];
+//! let proteus = Proteus::train(config, &corpus);
+//!
+//! // owner -> optimizer -> owner
+//! let (bucket, secrets) = proteus.obfuscate(&g, &TensorMap::new())?;
+//! let optimized = optimize_model(&bucket, &Optimizer::new(Profile::OrtLike));
+//! let (model, _params) = proteus.deobfuscate(&secrets, &optimized)?;
+//! assert!(model.validate().is_ok());
+//! # Ok::<(), proteus_graph::GraphError>(())
+//! ```
+
+pub mod baseline;
+pub mod bucket;
+pub mod config;
+pub mod operators;
+pub mod pipeline;
+pub mod semantic;
+pub mod sentinel;
+
+pub use baseline::{random_opcode_graph, random_opcode_sentinels};
+pub use bucket::{anonymize, Bucket, BucketMember, ObfuscatedModel, ObfuscationSecrets};
+pub use config::{PartitionSpec, ProteusConfig, SentinelMode};
+pub use operators::{detect_regime, populate, PopulationConfig, Regime};
+pub use pipeline::{optimize_model, optimize_model_serial, Proteus};
+pub use semantic::{top_percentile, BigramModel};
+pub use sentinel::SentinelFactory;

@@ -1,0 +1,328 @@
+//! The Proteus pipeline: obfuscate → (optimizer party) → de-obfuscate
+//! (paper Figure 1 and §4).
+
+use crate::bucket::{anonymize, Bucket, BucketMember, ObfuscatedModel, ObfuscationSecrets};
+use crate::config::ProteusConfig;
+use crate::sentinel::SentinelFactory;
+use proteus_graph::{Graph, GraphError, TensorMap};
+use proteus_opt::Optimizer;
+use proteus_partition::{partition_balanced, PartitionPlan};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The model-owner side of the protocol.
+#[derive(Debug)]
+pub struct Proteus {
+    config: ProteusConfig,
+    factory: SentinelFactory,
+}
+
+impl Proteus {
+    /// Trains a Proteus instance: the sentinel factory learns topology and
+    /// operator statistics from `corpus` (public models — *not* the
+    /// protected one).
+    pub fn train(config: ProteusConfig, corpus: &[Graph]) -> Proteus {
+        let factory = SentinelFactory::train(&config, corpus);
+        Proteus { config, factory }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ProteusConfig {
+        &self.config
+    }
+
+    /// The trained sentinel factory (exposed for evaluation harnesses).
+    pub fn factory(&self) -> &SentinelFactory {
+        &self.factory
+    }
+
+    /// Obfuscates a protected model: partitions it, hides every piece
+    /// among `k` sentinels, anonymizes and shuffles each bucket.
+    ///
+    /// Returns the artifact for the optimizer party and the owner's
+    /// secrets.
+    ///
+    /// # Errors
+    /// Propagates graph validation/shape failures of the protected model.
+    pub fn obfuscate(
+        &self,
+        graph: &Graph,
+        params: &TensorMap,
+    ) -> Result<(ObfuscatedModel, ObfuscationSecrets), GraphError> {
+        graph.validate()?;
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let n = self.config.num_partitions(graph.len());
+        let assignment =
+            partition_balanced(graph, n, self.config.partition_restarts, self.config.seed);
+        let plan = PartitionPlan::extract(graph, params, &assignment)?;
+
+        let mut buckets = Vec::with_capacity(plan.pieces.len());
+        let mut real_positions = Vec::with_capacity(plan.pieces.len());
+        for (i, piece) in plan.pieces.iter().enumerate() {
+            let sentinels =
+                self.factory
+                    .generate(&piece.graph, self.config.k, self.config.mode, &mut rng);
+            let mut members: Vec<BucketMember> = Vec::with_capacity(sentinels.len() + 1);
+            members.push(BucketMember {
+                graph: piece.graph.clone(),
+                params: piece.params.clone(),
+            });
+            for s in sentinels {
+                // sentinels carry plausible random parameters so that the
+                // presence/absence of weights does not mark the real piece
+                let sp = if piece.params.is_empty() {
+                    TensorMap::new()
+                } else {
+                    TensorMap::init_random(&s, self.config.seed ^ (i as u64) << 8)
+                };
+                members.push(BucketMember { graph: s, params: sp });
+            }
+            // shuffle and record where the real subgraph landed
+            let mut order: Vec<usize> = (0..members.len()).collect();
+            order.shuffle(&mut rng);
+            let real_at = order.iter().position(|&o| o == 0).expect("present");
+            let mut shuffled: Vec<BucketMember> = order
+                .into_iter()
+                .map(|o| members[o].clone())
+                .collect();
+            for (j, m) in shuffled.iter_mut().enumerate() {
+                m.graph = anonymize(&m.graph, i * 1000 + j);
+            }
+            real_positions.push(real_at);
+            buckets.push(Bucket { members: shuffled });
+        }
+        Ok((
+            ObfuscatedModel { buckets },
+            ObfuscationSecrets { plan, real_positions },
+        ))
+    }
+
+    /// De-obfuscates: extracts the optimized real pieces from the bucket and
+    /// reassembles the optimized protected model (paper §4.3).
+    ///
+    /// # Errors
+    /// Fails when the optimized buckets no longer match the plan (wrong
+    /// bucket count, broken piece interfaces).
+    pub fn deobfuscate(
+        &self,
+        secrets: &ObfuscationSecrets,
+        optimized: &ObfuscatedModel,
+    ) -> Result<(Graph, TensorMap), GraphError> {
+        if optimized.buckets.len() != secrets.plan.pieces.len() {
+            return Err(GraphError::Exec {
+                node: "<deobfuscate>".into(),
+                detail: format!(
+                    "expected {} buckets, got {}",
+                    secrets.plan.pieces.len(),
+                    optimized.buckets.len()
+                ),
+            });
+        }
+        let mut pieces = Vec::with_capacity(optimized.buckets.len());
+        for (bucket, &pos) in optimized.buckets.iter().zip(&secrets.real_positions) {
+            let member = bucket.members.get(pos).ok_or_else(|| GraphError::Exec {
+                node: "<deobfuscate>".into(),
+                detail: format!("real position {pos} out of bucket range"),
+            })?;
+            pieces.push((member.graph.clone(), member.params.clone()));
+        }
+        secrets.plan.reassemble(&pieces)
+    }
+}
+
+/// The optimizer party: optimizes every member of every bucket,
+/// independently and in parallel (the paper's step 3). The optimizer never
+/// learns which member is real.
+pub fn optimize_model(model: &ObfuscatedModel, optimizer: &Optimizer) -> ObfuscatedModel {
+    let num_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
+    let flat: Vec<(usize, usize, &BucketMember)> = model
+        .buckets
+        .iter()
+        .enumerate()
+        .flat_map(|(bi, b)| {
+            b.members
+                .iter()
+                .enumerate()
+                .map(move |(mi, m)| (bi, mi, m))
+        })
+        .collect();
+    let results: Vec<(usize, usize, BucketMember)> = crossbeam::thread::scope(|scope| {
+        let chunks: Vec<_> = flat.chunks(flat.len().div_ceil(num_threads).max(1)).collect();
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    chunk
+                        .iter()
+                        .map(|&(bi, mi, m)| {
+                            let (g, p, _) = optimizer.optimize(&m.graph, &m.params);
+                            (bi, mi, BucketMember { graph: g, params: p })
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("optimizer thread panicked"))
+            .collect()
+    })
+    .expect("thread scope");
+
+    let mut out = ObfuscatedModel {
+        buckets: model
+            .buckets
+            .iter()
+            .map(|b| Bucket { members: vec![BucketMember { graph: Graph::new(""), params: TensorMap::new() }; b.members.len()] })
+            .collect(),
+    };
+    for (bi, mi, member) in results {
+        out.buckets[bi].members[mi] = member;
+    }
+    out
+}
+
+/// Serial variant of [`optimize_model`] (for measurement baselines).
+pub fn optimize_model_serial(model: &ObfuscatedModel, optimizer: &Optimizer) -> ObfuscatedModel {
+    ObfuscatedModel {
+        buckets: model
+            .buckets
+            .iter()
+            .map(|b| Bucket {
+                members: b
+                    .members
+                    .iter()
+                    .map(|m| {
+                        let (g, p, _) = optimizer.optimize(&m.graph, &m.params);
+                        BucketMember { graph: g, params: p }
+                    })
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PartitionSpec;
+    use proteus_graph::{Executor, Tensor};
+    use proteus_graphgen::GraphRnnConfig;
+    use proteus_models::{build, ModelKind};
+    use proteus_opt::Profile;
+
+    fn quick_config(k: usize) -> ProteusConfig {
+        ProteusConfig {
+            k,
+            graphrnn: GraphRnnConfig { epochs: 2, max_nodes: 20, ..Default::default() },
+            topology_pool: 30,
+            ..Default::default()
+        }
+    }
+
+    fn small_model() -> (Graph, TensorMap) {
+        use proteus_graph::{Activation, ConvAttrs, Op};
+        let mut g = Graph::new("small");
+        let x = g.input([1, 3, 8, 8]);
+        let c1 = g.add(Op::Conv(ConvAttrs::new(3, 4, 3).padding(1)), [x]);
+        let r1 = g.add(Op::Activation(Activation::Relu), [c1]);
+        let c2 = g.add(Op::Conv(ConvAttrs::new(4, 4, 3).padding(1)), [r1]);
+        let a = g.add(Op::Add, [c2, r1]);
+        let r2 = g.add(Op::Activation(Activation::Relu), [a]);
+        let gap = g.add(Op::GlobalAveragePool, [r2]);
+        g.set_outputs([gap]);
+        let params = TensorMap::init_random(&g, 3);
+        (g, params)
+    }
+
+    #[test]
+    fn end_to_end_identity_roundtrip() {
+        // obfuscate + deobfuscate without optimization returns an
+        // equivalent model
+        let (g, params) = small_model();
+        let mut cfg = quick_config(3);
+        cfg.partitions = PartitionSpec::Count(3);
+        let proteus = Proteus::train(cfg, &[build(ModelKind::ResNet)]);
+        let (model, secrets) = proteus.obfuscate(&g, &params).unwrap();
+        assert_eq!(model.num_buckets(), 3);
+        assert_eq!(model.total_subgraphs(), 3 * 4);
+        let (back, back_params) = proteus.deobfuscate(&secrets, &model).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::random([1, 3, 8, 8], 1.0, &mut rng);
+        let a = Executor::new(&g, &params).run(&[x.clone()]).unwrap();
+        let b = Executor::new(&back, &back_params).run(&[x]).unwrap();
+        assert!(a[0].allclose(&b[0], 1e-4), "diff {}", a[0].max_abs_diff(&b[0]));
+    }
+
+    #[test]
+    fn end_to_end_with_optimizer_preserves_semantics() {
+        let (g, params) = small_model();
+        let mut cfg = quick_config(2);
+        cfg.partitions = PartitionSpec::Count(2);
+        let proteus = Proteus::train(cfg, &[build(ModelKind::MobileNet)]);
+        let (model, secrets) = proteus.obfuscate(&g, &params).unwrap();
+        for profile in [Profile::OrtLike, Profile::HidetLike] {
+            let optimized = optimize_model(&model, &Optimizer::new(profile));
+            let (back, back_params) = proteus.deobfuscate(&secrets, &optimized).unwrap();
+            let mut rng = StdRng::seed_from_u64(2);
+            let x = Tensor::random([1, 3, 8, 8], 1.0, &mut rng);
+            let a = Executor::new(&g, &params).run(&[x.clone()]).unwrap();
+            let b = Executor::new(&back, &back_params).run(&[x]).unwrap();
+            assert!(
+                a[0].allclose(&b[0], 1e-3),
+                "{profile:?}: diff {}",
+                a[0].max_abs_diff(&b[0])
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_hides_real_subgraph_names() {
+        let (g, params) = small_model();
+        let mut cfg = quick_config(2);
+        cfg.partitions = PartitionSpec::Count(2);
+        let proteus = Proteus::train(cfg, &[build(ModelKind::ResNet)]);
+        let (model, _) = proteus.obfuscate(&g, &params).unwrap();
+        for bucket in &model.buckets {
+            for m in &bucket.members {
+                assert!(m.graph.name().starts_with("subgraph_"));
+                for (_, node) in m.graph.iter() {
+                    assert!(!node.name.contains("small"), "leak: {}", node.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_optimization_agree() {
+        let (g, params) = small_model();
+        let mut cfg = quick_config(2);
+        cfg.partitions = PartitionSpec::Count(2);
+        let proteus = Proteus::train(cfg, &[build(ModelKind::ResNet)]);
+        let (model, _) = proteus.obfuscate(&g, &params).unwrap();
+        let opt = Optimizer::new(Profile::OrtLike);
+        let par = optimize_model(&model, &opt);
+        let ser = optimize_model_serial(&model, &opt);
+        for (a, b) in par.buckets.iter().zip(&ser.buckets) {
+            for (ma, mb) in a.members.iter().zip(&b.members) {
+                assert_eq!(ma.graph.len(), mb.graph.len());
+            }
+        }
+    }
+
+    #[test]
+    fn deobfuscate_rejects_mismatched_buckets() {
+        let (g, params) = small_model();
+        let mut cfg = quick_config(2);
+        cfg.partitions = PartitionSpec::Count(2);
+        let proteus = Proteus::train(cfg, &[build(ModelKind::ResNet)]);
+        let (model, secrets) = proteus.obfuscate(&g, &params).unwrap();
+        let mut broken = model.clone();
+        broken.buckets.pop();
+        assert!(proteus.deobfuscate(&secrets, &broken).is_err());
+    }
+}

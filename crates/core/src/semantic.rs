@@ -1,0 +1,170 @@
+//! Semantic consistency scoring (paper §4.1.2, Algorithm 2 lines 8–9).
+//!
+//! Syntactically valid operator assignments are not all equally plausible:
+//! real models overwhelmingly follow conventions like "convolution is
+//! followed by normalization or activation". Proteus quantifies this with
+//! the likelihood of the operator sequences along graph edges; this module
+//! implements that likelihood as a Laplace-smoothed bigram model over
+//! opcode pairs, fitted on real model graphs.
+
+use proteus_graph::{Graph, OpCode};
+
+/// Laplace-smoothed bigram model `P(opcode_dst | opcode_src)` over edges.
+#[derive(Debug, Clone)]
+pub struct BigramModel {
+    counts: Vec<Vec<f64>>,
+    totals: Vec<f64>,
+    alpha: f64,
+}
+
+impl BigramModel {
+    /// Fits the model on the edges of `corpus` graphs.
+    pub fn fit(corpus: &[&Graph], alpha: f64) -> BigramModel {
+        let v = OpCode::COUNT;
+        let mut counts = vec![vec![0.0; v]; v];
+        let mut totals = vec![0.0; v];
+        for g in corpus {
+            for (_, node) in g.iter() {
+                let dst = node.op.opcode().index();
+                for &inp in &node.inputs {
+                    if let Some(src_node) = g.node(inp) {
+                        let src = src_node.op.opcode().index();
+                        counts[src][dst] += 1.0;
+                        totals[src] += 1.0;
+                    }
+                }
+            }
+        }
+        BigramModel { counts, totals, alpha }
+    }
+
+    /// `log P(dst | src)` with Laplace smoothing.
+    pub fn log_prob(&self, src: OpCode, dst: OpCode) -> f64 {
+        let v = OpCode::COUNT as f64;
+        let c = self.counts[src.index()][dst.index()];
+        let t = self.totals[src.index()];
+        ((c + self.alpha) / (t + self.alpha * v)).ln()
+    }
+
+    /// Mean edge log-likelihood of a whole graph (length-normalized so
+    /// graphs of different sizes are comparable).
+    pub fn graph_log_likelihood(&self, g: &Graph) -> f64 {
+        let mut total = 0.0;
+        let mut edges = 0usize;
+        for (_, node) in g.iter() {
+            let dst = node.op.opcode();
+            for &inp in &node.inputs {
+                if let Some(src_node) = g.node(inp) {
+                    total += self.log_prob(src_node.op.opcode(), dst);
+                    edges += 1;
+                }
+            }
+        }
+        if edges == 0 {
+            0.0
+        } else {
+            total / edges as f64
+        }
+    }
+
+    /// Mean edge log-likelihood of an opcode assignment over an edge list
+    /// (used during operator population, before a [`Graph`] exists).
+    pub fn assignment_log_likelihood(
+        &self,
+        edges: &[(usize, usize)],
+        opcodes: &[OpCode],
+    ) -> f64 {
+        if edges.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = edges
+            .iter()
+            .map(|&(s, d)| self.log_prob(opcodes[s], opcodes[d]))
+            .sum();
+        total / edges.len() as f64
+    }
+}
+
+/// Keeps the top `pct` fraction (by score) of scored items — Algorithm 2's
+/// `TOPPERCENTILE`. Always keeps at least one item when input is nonempty.
+pub fn top_percentile<T>(mut scored: Vec<(T, f64)>, pct: f64) -> Vec<T> {
+    if scored.is_empty() {
+        return Vec::new();
+    }
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN scores"));
+    let keep = ((scored.len() as f64 * pct).ceil() as usize).clamp(1, scored.len());
+    scored.into_iter().take(keep).map(|(t, _)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_graph::{Activation, ConvAttrs, Op};
+
+    fn conv_relu_chain(n: usize) -> Graph {
+        let mut g = Graph::new("c");
+        let mut prev = g.input([1, 8, 8, 8]);
+        for i in 0..n {
+            prev = if i % 2 == 0 {
+                g.add(Op::Conv(ConvAttrs::new(8, 8, 3).padding(1)), [prev])
+            } else {
+                g.add(Op::Activation(Activation::Relu), [prev])
+            };
+        }
+        g.set_outputs([prev]);
+        g
+    }
+
+    #[test]
+    fn learned_bigrams_prefer_corpus_patterns() {
+        let corpus: Vec<Graph> = (4..10).map(conv_relu_chain).collect();
+        let refs: Vec<&Graph> = corpus.iter().collect();
+        let model = BigramModel::fit(&refs, 0.1);
+        assert!(
+            model.log_prob(OpCode::Conv, OpCode::Relu)
+                > model.log_prob(OpCode::Conv, OpCode::Softmax)
+        );
+        assert!(
+            model.log_prob(OpCode::Relu, OpCode::Conv)
+                > model.log_prob(OpCode::Relu, OpCode::Relu)
+        );
+    }
+
+    #[test]
+    fn realistic_graph_scores_higher() {
+        let corpus: Vec<Graph> = (4..10).map(conv_relu_chain).collect();
+        let refs: Vec<&Graph> = corpus.iter().collect();
+        let model = BigramModel::fit(&refs, 0.1);
+        let real = conv_relu_chain(6);
+        // implausible: softmax chain
+        let mut weird = Graph::new("w");
+        let mut prev = weird.input([1, 8, 8, 8]);
+        for _ in 0..6 {
+            prev = weird.add(Op::Softmax { axis: 1 }, [prev]);
+        }
+        weird.set_outputs([prev]);
+        assert!(model.graph_log_likelihood(&real) > model.graph_log_likelihood(&weird));
+    }
+
+    #[test]
+    fn top_percentile_keeps_best() {
+        let items = vec![("a", 0.1), ("b", 0.9), ("c", 0.5), ("d", 0.7)];
+        let kept = top_percentile(items, 0.5);
+        assert_eq!(kept, vec!["b", "d"]);
+        let one = top_percentile(vec![("x", 1.0)], 0.01);
+        assert_eq!(one, vec!["x"]);
+    }
+
+    #[test]
+    fn assignment_likelihood_matches_graph_likelihood() {
+        let corpus: Vec<Graph> = (4..8).map(conv_relu_chain).collect();
+        let refs: Vec<&Graph> = corpus.iter().collect();
+        let model = BigramModel::fit(&refs, 0.1);
+        // chain 0 -> 1 -> 2 with Input -> Conv -> Relu
+        let edges = vec![(0, 1), (1, 2)];
+        let codes = vec![OpCode::Input, OpCode::Conv, OpCode::Relu];
+        let ll = model.assignment_log_likelihood(&edges, &codes);
+        let g = conv_relu_chain(2);
+        assert!((ll - model.graph_log_likelihood(&g)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,199 @@
+//! The sentinel factory: trained topology generator + operator population,
+//! composed per the paper's §4.1.2 pipeline.
+
+use crate::config::{ProteusConfig, SentinelMode};
+use crate::operators::{detect_regime, populate, PopulationConfig};
+use crate::semantic::BigramModel;
+use proteus_graph::{Graph, TensorMap};
+use proteus_graphgen::{
+    induce_orientation, perturb_many, GraphRnn, PerturbConfig, TopologySampler, UGraph,
+};
+use proteus_partition::{partition_by_size, PartitionPlan};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A trained sentinel generator.
+///
+/// Training mirrors the paper: the GraphRNN learns topologies of *real*
+/// subgraphs (obtained by partitioning a corpus of public models), and the
+/// bigram model learns operator-sequence statistics from the same corpus.
+/// The protected model itself is never required to be in the corpus —
+/// experiments use leave-one-out corpora.
+#[derive(Debug)]
+pub struct SentinelFactory {
+    sampler: TopologySampler,
+    bigram: BigramModel,
+    population: PopulationConfig,
+    beta: f64,
+}
+
+impl SentinelFactory {
+    /// Trains the factory on a corpus of (public) models.
+    pub fn train(config: &ProteusConfig, corpus: &[Graph]) -> SentinelFactory {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5e47);
+        // 1. corpus of real subgraph topologies
+        let mut topologies: Vec<UGraph> = Vec::new();
+        for (i, g) in corpus.iter().enumerate() {
+            let assignment = partition_by_size(g, 8, 4, config.seed.wrapping_add(i as u64));
+            if let Ok(plan) = PartitionPlan::extract(g, &TensorMap::new(), &assignment) {
+                for piece in &plan.pieces {
+                    let u = UGraph::from_graph(&piece.graph);
+                    if u.len() >= 3 {
+                        topologies.push(u);
+                    }
+                }
+            }
+        }
+        // 2. train GraphRNN and sample the generation pool
+        let mut rnn = GraphRnn::new(config.graphrnn, config.seed ^ 0x6e11);
+        rnn.train(&topologies, config.seed ^ 0x7a21);
+        let mut pool = rnn.sample_many(config.topology_pool, 3, &mut rng);
+        // guarantee a usable pool even if the generator mode-collapses:
+        // fall back to corpus topologies (still "realistic" by construction)
+        if pool.len() < config.topology_pool / 2 {
+            pool.extend(topologies.iter().cloned());
+        }
+        let sampler = TopologySampler::new(pool);
+        // 3. operator-sequence statistics
+        let refs: Vec<&Graph> = corpus.iter().collect();
+        let bigram = BigramModel::fit(&refs, 0.1);
+        SentinelFactory {
+            sampler,
+            bigram,
+            population: config.population,
+            beta: config.beta,
+        }
+    }
+
+    /// The fitted bigram model (exposed for evaluation harnesses).
+    pub fn bigram(&self) -> &BigramModel {
+        &self.bigram
+    }
+
+    /// The topology sampler (exposed for evaluation harnesses).
+    pub fn sampler(&self) -> &TopologySampler {
+        &self.sampler
+    }
+
+    /// Generates `k` sentinels for one protected subgraph.
+    pub fn generate(
+        &self,
+        protected: &Graph,
+        k: usize,
+        mode: SentinelMode,
+        rng: &mut StdRng,
+    ) -> Vec<Graph> {
+        match mode {
+            SentinelMode::Perturb => {
+                perturb_many(protected, PerturbConfig::default(), k, rng)
+            }
+            SentinelMode::Generative => self.generate_generative(protected, k, rng),
+        }
+    }
+
+    fn generate_generative(&self, protected: &Graph, k: usize, rng: &mut StdRng) -> Vec<Graph> {
+        let regime = detect_regime(protected);
+        let topo = UGraph::from_graph(protected);
+        let mut out: Vec<Graph> = Vec::with_capacity(k);
+        let mut rounds = 0usize;
+        while out.len() < k && rounds < 8 {
+            rounds += 1;
+            let want = (k - out.len()).max(1) * 2;
+            let candidates = self
+                .sampler
+                .sample_similar(&topo, self.beta, want, rng);
+            for cand in candidates {
+                if out.len() >= k {
+                    break;
+                }
+                let dag = induce_orientation(&cand);
+                if let Some(g) = populate(&dag, regime, &self.bigram, &self.population, rng) {
+                    out.push(g);
+                }
+            }
+        }
+        // Population can fail on adversarial topologies; perturbation fills
+        // the remainder so the bucket always holds exactly k sentinels.
+        if out.len() < k {
+            let missing = k - out.len();
+            out.extend(perturb_many(protected, PerturbConfig::default(), missing, rng));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_models::{build, ModelKind};
+    use proteus_graphgen::GraphRnnConfig;
+
+    fn quick_config() -> ProteusConfig {
+        ProteusConfig {
+            graphrnn: GraphRnnConfig { epochs: 3, max_nodes: 24, ..Default::default() },
+            topology_pool: 40,
+            ..Default::default()
+        }
+    }
+
+    fn subgraph_of(kind: ModelKind) -> Graph {
+        let g = build(kind);
+        let a = partition_by_size(&g, 8, 4, 1);
+        let plan = PartitionPlan::extract(&g, &TensorMap::new(), &a).unwrap();
+        plan.pieces
+            .iter()
+            .map(|p| p.graph.clone())
+            .max_by_key(|g| g.len())
+            .expect("nonempty")
+    }
+
+    #[test]
+    fn factory_generates_k_valid_sentinels() {
+        let cfg = quick_config();
+        let corpus: Vec<Graph> = [ModelKind::ResNet, ModelKind::MobileNet]
+            .iter()
+            .map(|&k| build(k))
+            .collect();
+        let factory = SentinelFactory::train(&cfg, &corpus);
+        let protected = subgraph_of(ModelKind::GoogleNet);
+        let mut rng = StdRng::seed_from_u64(5);
+        let sentinels = factory.generate(&protected, 6, SentinelMode::Generative, &mut rng);
+        assert_eq!(sentinels.len(), 6);
+        for s in &sentinels {
+            s.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn perturb_mode_produces_protected_like_sentinels() {
+        let cfg = quick_config();
+        let corpus = vec![build(ModelKind::ResNet)];
+        let factory = SentinelFactory::train(&cfg, &corpus);
+        let protected = subgraph_of(ModelKind::SEResNet);
+        let mut rng = StdRng::seed_from_u64(6);
+        let sentinels = factory.generate(&protected, 5, SentinelMode::Perturb, &mut rng);
+        assert_eq!(sentinels.len(), 5);
+        for s in &sentinels {
+            s.validate().unwrap();
+            // perturbations stay within a few nodes of the original
+            let diff = (s.len() as i64 - protected.len() as i64).abs();
+            assert!(diff <= 4, "perturbed size {} vs {}", s.len(), protected.len());
+        }
+    }
+
+    #[test]
+    fn sentinels_are_diverse() {
+        let cfg = quick_config();
+        let corpus = vec![build(ModelKind::ResNet)];
+        let factory = SentinelFactory::train(&cfg, &corpus);
+        let protected = subgraph_of(ModelKind::ResNet);
+        let mut rng = StdRng::seed_from_u64(7);
+        let sentinels = factory.generate(&protected, 8, SentinelMode::Generative, &mut rng);
+        let mut distinct = std::collections::HashSet::new();
+        for s in &sentinels {
+            let sig: Vec<_> = s.iter().map(|(_, n)| n.op.opcode()).collect();
+            distinct.insert(format!("{sig:?}"));
+        }
+        assert!(distinct.len() >= 4, "only {} distinct sentinels", distinct.len());
+    }
+}

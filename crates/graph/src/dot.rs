@@ -1,0 +1,67 @@
+//! Graphviz DOT export, mirroring the subgraph renderings in the paper's
+//! appendix (Figures 12/13) and used by the survey harness.
+
+use crate::graph::Graph;
+use crate::op::Op;
+use std::fmt::Write as _;
+
+/// Renders the graph in Graphviz DOT syntax.
+///
+/// Operator attributes that the paper displays (kernel shape, strides,
+/// padding) are included in the node labels so a rendered sentinel looks
+/// exactly like the paper's survey material.
+pub fn to_dot(graph: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", sanitize(graph.name()));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"Helvetica\"];");
+    for (id, node) in graph.iter() {
+        let label = match &node.op {
+            Op::Conv(c) => format!(
+                "Conv\\nkernel shape: {}\\nstrides: {}\\npadding: {}",
+                c.kernel, c.stride, c.padding
+            ),
+            Op::MaxPool(p) | Op::AveragePool(p) => format!(
+                "{}\\nkernel shape: {}\\nstrides: {}\\npadding: {}",
+                if matches!(node.op, Op::MaxPool(_)) { "MaxPool" } else { "AveragePool" },
+                p.kernel,
+                p.stride,
+                p.padding
+            ),
+            other => format!("{other}"),
+        };
+        let _ = writeln!(out, "  {} [label=\"{}\"];", id, sanitize(&label));
+    }
+    for (id, node) in graph.iter() {
+        for &inp in &node.inputs {
+            let _ = writeln!(out, "  {inp} -> {id};");
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn sanitize(s: &str) -> String {
+    s.replace('"', "'")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Activation, ConvAttrs};
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut g = Graph::new("dot-test");
+        let x = g.input([1, 3, 8, 8]);
+        let c = g.add(Op::Conv(ConvAttrs::new(3, 8, 3).padding(1)), [x]);
+        let r = g.add(Op::Activation(Activation::Relu), [c]);
+        g.set_outputs([r]);
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("kernel shape: 3"));
+        assert!(dot.contains("Relu"));
+        assert!(dot.contains(&format!("{x} -> {c};")));
+        assert!(dot.contains(&format!("{c} -> {r};")));
+    }
+}

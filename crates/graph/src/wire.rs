@@ -1,0 +1,607 @@
+//! Binary wire codec for graphs and parameter stores.
+//!
+//! The obfuscated bucket is the artifact that actually crosses the trust
+//! boundary between model owner and optimizer (and that an adversary
+//! intercepts, per the paper's threat model §3.1), so it needs a concrete
+//! byte format. This is a compact little-endian tag-length-value encoding;
+//! it makes no cross-version stability promises beyond round-tripping with
+//! the same library version.
+
+use crate::graph::{Graph, Node, NodeId};
+use crate::op::{
+    Activation, BatchNormAttrs, ConvAlgo, ConvAttrs, GemmAttrs, LayerNormAttrs, Op, PoolAttrs,
+};
+use crate::shape::Shape;
+use crate::exec::{Tensor, TensorMap};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Decoding error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+type WResult<T> = std::result::Result<T, WireError>;
+
+fn need(buf: &impl Buf, n: usize, what: &str) -> WResult<()> {
+    if buf.remaining() < n {
+        Err(WireError(format!("truncated input reading {what}")))
+    } else {
+        Ok(())
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> WResult<String> {
+    need(buf, 4, "string length")?;
+    let len = buf.get_u32_le() as usize;
+    need(buf, len, "string body")?;
+    let raw = buf.split_to(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| WireError("invalid utf8".into()))
+}
+
+fn put_shape(buf: &mut BytesMut, s: &Shape) {
+    buf.put_u32_le(s.rank() as u32);
+    for &d in s.dims() {
+        buf.put_u64_le(d as u64);
+    }
+}
+
+fn get_shape(buf: &mut Bytes) -> WResult<Shape> {
+    need(buf, 4, "shape rank")?;
+    let rank = buf.get_u32_le() as usize;
+    if rank > 64 {
+        return Err(WireError(format!("implausible rank {rank}")));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        need(buf, 8, "shape dim")?;
+        dims.push(buf.get_u64_le() as usize);
+    }
+    Ok(Shape::new(dims))
+}
+
+fn act_tag(a: Activation) -> u8 {
+    Activation::ALL.iter().position(|&x| x == a).expect("known activation") as u8
+}
+
+fn act_from(tag: u8) -> WResult<Activation> {
+    Activation::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or_else(|| WireError(format!("bad activation tag {tag}")))
+}
+
+fn put_conv(buf: &mut BytesMut, c: &ConvAttrs) {
+    buf.put_u32_le(c.in_channels as u32);
+    buf.put_u32_le(c.out_channels as u32);
+    buf.put_u16_le(c.kernel as u16);
+    buf.put_u16_le(c.stride as u16);
+    buf.put_u16_le(c.padding as u16);
+    buf.put_u32_le(c.groups as u32);
+    buf.put_u8(c.has_bias as u8);
+    buf.put_u8(matches!(c.algo, ConvAlgo::Winograd) as u8);
+    match c.fused_act {
+        Some(a) => {
+            buf.put_u8(1);
+            buf.put_u8(act_tag(a));
+        }
+        None => buf.put_u8(0),
+    }
+    buf.put_u8(c.fused_add as u8);
+}
+
+fn get_conv(buf: &mut Bytes) -> WResult<ConvAttrs> {
+    need(buf, 4 + 4 + 2 + 2 + 2 + 4 + 3, "conv attrs")?;
+    let in_channels = buf.get_u32_le() as usize;
+    let out_channels = buf.get_u32_le() as usize;
+    let kernel = buf.get_u16_le() as usize;
+    let stride = buf.get_u16_le() as usize;
+    let padding = buf.get_u16_le() as usize;
+    let groups = buf.get_u32_le() as usize;
+    let has_bias = buf.get_u8() != 0;
+    let winograd = buf.get_u8() != 0;
+    let has_act = buf.get_u8() != 0;
+    let fused_act = if has_act {
+        need(buf, 1, "conv act tag")?;
+        Some(act_from(buf.get_u8())?)
+    } else {
+        None
+    };
+    need(buf, 1, "conv fused_add")?;
+    let fused_add = buf.get_u8() != 0;
+    Ok(ConvAttrs {
+        in_channels,
+        out_channels,
+        kernel,
+        stride,
+        padding,
+        groups,
+        has_bias,
+        algo: if winograd { ConvAlgo::Winograd } else { ConvAlgo::Direct },
+        fused_act,
+        fused_add,
+    })
+}
+
+fn put_op(buf: &mut BytesMut, op: &Op) {
+    match op {
+        Op::Input { shape } => {
+            buf.put_u8(0);
+            put_shape(buf, shape);
+        }
+        Op::Constant { shape } => {
+            buf.put_u8(1);
+            put_shape(buf, shape);
+        }
+        Op::Conv(c) => {
+            buf.put_u8(2);
+            put_conv(buf, c);
+        }
+        Op::Gemm(g) => {
+            buf.put_u8(3);
+            buf.put_u64_le(g.in_features as u64);
+            buf.put_u64_le(g.out_features as u64);
+            buf.put_u8(g.has_bias as u8);
+            match g.fused_act {
+                Some(a) => {
+                    buf.put_u8(1);
+                    buf.put_u8(act_tag(a));
+                }
+                None => buf.put_u8(0),
+            }
+        }
+        Op::MatMul => buf.put_u8(4),
+        Op::MatMulT => buf.put_u8(5),
+        Op::BatchNorm(b) => {
+            buf.put_u8(6);
+            buf.put_u64_le(b.channels as u64);
+        }
+        Op::LayerNorm(l) => {
+            buf.put_u8(7);
+            buf.put_u64_le(l.dim as u64);
+        }
+        Op::SkipLayerNorm(l) => {
+            buf.put_u8(8);
+            buf.put_u64_le(l.dim as u64);
+        }
+        Op::Activation(a) => {
+            buf.put_u8(9);
+            buf.put_u8(act_tag(*a));
+        }
+        Op::Softmax { axis } => {
+            buf.put_u8(10);
+            buf.put_i64_le(*axis as i64);
+        }
+        Op::Add => buf.put_u8(11),
+        Op::Sub => buf.put_u8(12),
+        Op::Mul => buf.put_u8(13),
+        Op::Div => buf.put_u8(14),
+        Op::AddAct(a) => {
+            buf.put_u8(15);
+            buf.put_u8(act_tag(*a));
+        }
+        Op::MaxPool(p) => {
+            buf.put_u8(16);
+            buf.put_u16_le(p.kernel as u16);
+            buf.put_u16_le(p.stride as u16);
+            buf.put_u16_le(p.padding as u16);
+        }
+        Op::AveragePool(p) => {
+            buf.put_u8(17);
+            buf.put_u16_le(p.kernel as u16);
+            buf.put_u16_le(p.stride as u16);
+            buf.put_u16_le(p.padding as u16);
+        }
+        Op::GlobalAveragePool => buf.put_u8(18),
+        Op::Concat { axis } => {
+            buf.put_u8(19);
+            buf.put_u64_le(*axis as u64);
+        }
+        Op::Flatten => buf.put_u8(20),
+        Op::Reshape { shape } => {
+            buf.put_u8(21);
+            put_shape(buf, shape);
+        }
+        Op::Transpose { perm } => {
+            buf.put_u8(22);
+            buf.put_u32_le(perm.len() as u32);
+            for &p in perm {
+                buf.put_u32_le(p as u32);
+            }
+        }
+        Op::Identity => buf.put_u8(23),
+        Op::Dropout { p } => {
+            buf.put_u8(24);
+            buf.put_u32_le(*p);
+        }
+        Op::ReduceMean { axes, keepdims } => {
+            buf.put_u8(25);
+            buf.put_u32_le(axes.len() as u32);
+            for &a in axes {
+                buf.put_u32_le(a as u32);
+            }
+            buf.put_u8(*keepdims as u8);
+        }
+        Op::Gather { vocab, dim } => {
+            buf.put_u8(26);
+            buf.put_u64_le(*vocab as u64);
+            buf.put_u64_le(*dim as u64);
+        }
+    }
+}
+
+fn get_op(buf: &mut Bytes) -> WResult<Op> {
+    need(buf, 1, "op tag")?;
+    let tag = buf.get_u8();
+    Ok(match tag {
+        0 => Op::Input { shape: get_shape(buf)? },
+        1 => Op::Constant { shape: get_shape(buf)? },
+        2 => Op::Conv(get_conv(buf)?),
+        3 => {
+            need(buf, 8 + 8 + 2, "gemm attrs")?;
+            let in_features = buf.get_u64_le() as usize;
+            let out_features = buf.get_u64_le() as usize;
+            let has_bias = buf.get_u8() != 0;
+            let has_act = buf.get_u8() != 0;
+            let fused_act = if has_act {
+                need(buf, 1, "gemm act tag")?;
+                Some(act_from(buf.get_u8())?)
+            } else {
+                None
+            };
+            Op::Gemm(GemmAttrs { in_features, out_features, has_bias, fused_act })
+        }
+        4 => Op::MatMul,
+        5 => Op::MatMulT,
+        6 => {
+            need(buf, 8, "bn channels")?;
+            Op::BatchNorm(BatchNormAttrs { channels: buf.get_u64_le() as usize })
+        }
+        7 => {
+            need(buf, 8, "ln dim")?;
+            Op::LayerNorm(LayerNormAttrs { dim: buf.get_u64_le() as usize })
+        }
+        8 => {
+            need(buf, 8, "skip-ln dim")?;
+            Op::SkipLayerNorm(LayerNormAttrs { dim: buf.get_u64_le() as usize })
+        }
+        9 => {
+            need(buf, 1, "activation tag")?;
+            Op::Activation(act_from(buf.get_u8())?)
+        }
+        10 => {
+            need(buf, 8, "softmax axis")?;
+            Op::Softmax { axis: buf.get_i64_le() as isize }
+        }
+        11 => Op::Add,
+        12 => Op::Sub,
+        13 => Op::Mul,
+        14 => Op::Div,
+        15 => {
+            need(buf, 1, "add-act tag")?;
+            Op::AddAct(act_from(buf.get_u8())?)
+        }
+        16 | 17 => {
+            need(buf, 6, "pool attrs")?;
+            let p = PoolAttrs::new(
+                buf.get_u16_le() as usize,
+                buf.get_u16_le() as usize,
+                buf.get_u16_le() as usize,
+            );
+            if tag == 16 {
+                Op::MaxPool(p)
+            } else {
+                Op::AveragePool(p)
+            }
+        }
+        18 => Op::GlobalAveragePool,
+        19 => {
+            need(buf, 8, "concat axis")?;
+            Op::Concat { axis: buf.get_u64_le() as usize }
+        }
+        20 => Op::Flatten,
+        21 => Op::Reshape { shape: get_shape(buf)? },
+        22 => {
+            need(buf, 4, "perm len")?;
+            let len = buf.get_u32_le() as usize;
+            if len > 64 {
+                return Err(WireError(format!("implausible perm length {len}")));
+            }
+            let mut perm = Vec::with_capacity(len);
+            for _ in 0..len {
+                need(buf, 4, "perm entry")?;
+                perm.push(buf.get_u32_le() as usize);
+            }
+            Op::Transpose { perm }
+        }
+        23 => Op::Identity,
+        24 => {
+            need(buf, 4, "dropout p")?;
+            Op::Dropout { p: buf.get_u32_le() }
+        }
+        25 => {
+            need(buf, 4, "axes len")?;
+            let len = buf.get_u32_le() as usize;
+            if len > 64 {
+                return Err(WireError(format!("implausible axes length {len}")));
+            }
+            let mut axes = Vec::with_capacity(len);
+            for _ in 0..len {
+                need(buf, 4, "axis")?;
+                axes.push(buf.get_u32_le() as usize);
+            }
+            need(buf, 1, "keepdims")?;
+            Op::ReduceMean { axes, keepdims: buf.get_u8() != 0 }
+        }
+        26 => {
+            need(buf, 16, "gather attrs")?;
+            Op::Gather {
+                vocab: buf.get_u64_le() as usize,
+                dim: buf.get_u64_le() as usize,
+            }
+        }
+        other => return Err(WireError(format!("unknown op tag {other}"))),
+    })
+}
+
+/// Encodes a graph (compacted: tombstones dropped, ids renumbered).
+pub fn encode_graph(graph: &Graph) -> Bytes {
+    let (g, _) = graph.compact();
+    let mut buf = BytesMut::new();
+    put_str(&mut buf, g.name());
+    buf.put_u32_le(g.len() as u32);
+    for (_, node) in g.iter() {
+        put_str(&mut buf, &node.name);
+        put_op(&mut buf, &node.op);
+        buf.put_u32_le(node.inputs.len() as u32);
+        for inp in &node.inputs {
+            buf.put_u32_le(inp.index() as u32);
+        }
+    }
+    buf.put_u32_le(g.outputs().len() as u32);
+    for out in g.outputs() {
+        buf.put_u32_le(out.index() as u32);
+    }
+    buf.freeze()
+}
+
+/// Decodes a graph from [`encode_graph`] bytes.
+pub fn decode_graph(buf: &mut Bytes) -> WResult<Graph> {
+    let name = get_str(buf)?;
+    let mut g = Graph::new(name);
+    need(buf, 4, "node count")?;
+    let count = buf.get_u32_le() as usize;
+    if count > 10_000_000 {
+        return Err(WireError(format!("implausible node count {count}")));
+    }
+    let mut ids: Vec<NodeId> = Vec::with_capacity(count);
+    let mut pending: Vec<Node> = Vec::with_capacity(count);
+    for _ in 0..count {
+        let node_name = get_str(buf)?;
+        let op = get_op(buf)?;
+        need(buf, 4, "input count")?;
+        let n_in = buf.get_u32_le() as usize;
+        if n_in > count {
+            return Err(WireError(format!("node has {n_in} inputs in {count}-node graph")));
+        }
+        let mut inputs = Vec::with_capacity(n_in);
+        for _ in 0..n_in {
+            need(buf, 4, "input id")?;
+            let raw = buf.get_u32_le() as usize;
+            if raw >= count {
+                return Err(WireError(format!("input id {raw} out of range")));
+            }
+            inputs.push(NodeId::from_index(raw));
+        }
+        pending.push(Node { op, inputs, name: node_name });
+    }
+    for node in pending {
+        let id = g.add_named(node.op, node.inputs, node.name);
+        ids.push(id);
+    }
+    need(buf, 4, "output count")?;
+    let n_out = buf.get_u32_le() as usize;
+    if n_out > count {
+        return Err(WireError(format!("{n_out} outputs in {count}-node graph")));
+    }
+    let mut outs = Vec::with_capacity(n_out);
+    for _ in 0..n_out {
+        need(buf, 4, "output id")?;
+        let raw = buf.get_u32_le() as usize;
+        if raw >= count {
+            return Err(WireError(format!("output id {raw} out of range")));
+        }
+        outs.push(NodeId::from_index(raw));
+    }
+    g.set_outputs(outs);
+    Ok(g)
+}
+
+/// Encodes a parameter store against a graph's (compacted) node numbering.
+pub fn encode_params(graph: &Graph, params: &TensorMap) -> Bytes {
+    let (_, mapping) = graph.compact();
+    let mut buf = BytesMut::new();
+    let entries: Vec<(u32, &[Tensor])> = graph
+        .iter()
+        .filter_map(|(id, _)| {
+            params
+                .get(id)
+                .map(|t| (mapping[&id].index() as u32, t))
+        })
+        .collect();
+    buf.put_u32_le(entries.len() as u32);
+    for (idx, tensors) in entries {
+        buf.put_u32_le(idx);
+        buf.put_u32_le(tensors.len() as u32);
+        for t in tensors {
+            put_shape(&mut buf, t.shape());
+            for &v in t.data() {
+                buf.put_f32_le(v);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a parameter store from [`encode_params`] bytes.
+pub fn decode_params(buf: &mut Bytes) -> WResult<TensorMap> {
+    need(buf, 4, "param entry count")?;
+    let count = buf.get_u32_le() as usize;
+    let mut map = TensorMap::new();
+    for _ in 0..count {
+        need(buf, 8, "param header")?;
+        let idx = buf.get_u32_le() as usize;
+        let n = buf.get_u32_le() as usize;
+        if n > 16 {
+            return Err(WireError(format!("implausible tensor count {n}")));
+        }
+        let mut tensors = Vec::with_capacity(n);
+        for _ in 0..n {
+            let shape = get_shape(buf)?;
+            let numel = shape.numel();
+            need(buf, numel * 4, "tensor data")?;
+            let mut data = Vec::with_capacity(numel);
+            for _ in 0..numel {
+                data.push(buf.get_f32_le());
+            }
+            tensors.push(Tensor::new(shape, data));
+        }
+        map.insert(NodeId::from_index(idx), tensors);
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Activation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rich_graph() -> Graph {
+        let mut g = Graph::new("rich");
+        let x = g.input([1, 3, 16, 16]);
+        let c = g.add(Op::Conv(ConvAttrs::new(3, 8, 3).padding(1)), [x]);
+        let bn = g.add(Op::BatchNorm(BatchNormAttrs { channels: 8 }), [c]);
+        let r = g.add(Op::Activation(Activation::Relu), [bn]);
+        let p = g.add(Op::MaxPool(PoolAttrs::new(2, 2, 0)), [r]);
+        let gap = g.add(Op::GlobalAveragePool, [p]);
+        let f = g.add(Op::Flatten, [gap]);
+        let fc = g.add(Op::Gemm(GemmAttrs::new(8, 4)), [f]);
+        let sm = g.add(Op::Softmax { axis: -1 }, [fc]);
+        g.set_outputs([sm]);
+        g
+    }
+
+    #[test]
+    fn graph_roundtrip() {
+        let g = rich_graph();
+        let bytes = encode_graph(&g);
+        let mut buf = bytes.clone();
+        let back = decode_graph(&mut buf).unwrap();
+        assert_eq!(back.len(), g.len());
+        assert_eq!(back.edge_count(), g.edge_count());
+        back.validate().unwrap();
+        let mut a: Vec<_> = g.iter().map(|(_, n)| n.op.opcode()).collect();
+        let mut b: Vec<_> = back.iter().map(|(_, n)| n.op.opcode()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert!(buf.is_empty(), "no trailing bytes");
+    }
+
+    #[test]
+    fn every_op_roundtrips() {
+        use crate::op::LayerNormAttrs;
+        let ops = vec![
+            Op::Input { shape: Shape::from([1, 2]) },
+            Op::Constant { shape: Shape::from([3]) },
+            Op::Conv(ConvAttrs::new(4, 8, 3).stride(2).padding(1).groups(2)),
+            Op::Gemm(GemmAttrs::new(5, 6)),
+            Op::MatMul,
+            Op::MatMulT,
+            Op::BatchNorm(BatchNormAttrs { channels: 7 }),
+            Op::LayerNorm(LayerNormAttrs { dim: 9 }),
+            Op::SkipLayerNorm(LayerNormAttrs { dim: 11 }),
+            Op::Activation(Activation::Gelu),
+            Op::Softmax { axis: -1 },
+            Op::Add,
+            Op::Sub,
+            Op::Mul,
+            Op::Div,
+            Op::AddAct(Activation::Relu6),
+            Op::MaxPool(PoolAttrs::new(3, 2, 1)),
+            Op::AveragePool(PoolAttrs::new(2, 2, 0)),
+            Op::GlobalAveragePool,
+            Op::Concat { axis: 1 },
+            Op::Flatten,
+            Op::Reshape { shape: Shape::from([2, 3]) },
+            Op::Transpose { perm: vec![1, 0, 2] },
+            Op::Identity,
+            Op::Dropout { p: 30 },
+            Op::ReduceMean { axes: vec![1, 2], keepdims: true },
+            Op::Gather { vocab: 100, dim: 16 },
+        ];
+        for op in ops {
+            let mut buf = BytesMut::new();
+            put_op(&mut buf, &op);
+            let mut bytes = buf.freeze();
+            let back = get_op(&mut bytes).unwrap();
+            assert_eq!(back, op);
+            assert!(bytes.is_empty());
+        }
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let g = rich_graph();
+        let params = TensorMap::init_random(&g, 11);
+        let bytes = encode_params(&g, &params);
+        let mut buf = bytes;
+        let back = decode_params(&mut buf).unwrap();
+        assert_eq!(back.len(), params.len());
+        // semantics preserved against the re-encoded graph
+        let gb = {
+            let mut b = encode_graph(&g);
+            decode_graph(&mut b).unwrap()
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = Tensor::random([1, 3, 16, 16], 1.0, &mut rng);
+        let a = crate::exec::Executor::new(&g, &params).run(&[x.clone()]).unwrap();
+        let b = crate::exec::Executor::new(&gb, &back).run(&[x]).unwrap();
+        assert!(a[0].allclose(&b[0], 1e-6));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let g = rich_graph();
+        let bytes = encode_graph(&g);
+        for cut in [0usize, 3, 10, bytes.len() / 2, bytes.len() - 1] {
+            let mut buf = bytes.slice(0..cut);
+            assert!(decode_graph(&mut buf).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn garbage_tag_rejected() {
+        let mut buf = BytesMut::new();
+        put_str(&mut buf, "g");
+        buf.put_u32_le(1);
+        put_str(&mut buf, "n");
+        buf.put_u8(200); // unknown op tag
+        let mut bytes = buf.freeze();
+        assert!(decode_graph(&mut bytes).is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! BFS adjacency sequencing (the GraphRNN data representation).
+//!
+//! GraphRNN (You et al., 2018) represents an undirected graph as a sequence
+//! of adjacency vectors under a BFS node ordering: node `i`'s vector records
+//! its connections to the previous `M` nodes. BFS orderings bound the
+//! lookback `M` needed to reconstruct the graph exactly.
+
+use crate::ugraph::UGraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// A BFS adjacency sequence: `seq[i]` is node `i+1`'s connectivity to the
+/// previous `min(i+1, m)` nodes, most-recent first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdjSeq {
+    /// Lookback window.
+    pub m: usize,
+    /// Adjacency vectors (length `n - 1` for an `n`-node graph).
+    pub rows: Vec<Vec<bool>>,
+}
+
+impl AdjSeq {
+    /// Number of nodes in the encoded graph.
+    pub fn num_nodes(&self) -> usize {
+        self.rows.len() + 1
+    }
+
+    /// Decodes the sequence back into an undirected graph.
+    pub fn to_graph(&self) -> UGraph {
+        let n = self.num_nodes();
+        let mut g = UGraph::new(n);
+        for (i, row) in self.rows.iter().enumerate() {
+            let node = i + 1;
+            for (k, &connected) in row.iter().enumerate() {
+                if connected {
+                    // k = 0 is the immediately preceding node
+                    let prev = node - 1 - k;
+                    g.add_edge(node, prev);
+                }
+            }
+        }
+        g
+    }
+}
+
+/// BFS order of `g` starting from `start`, with neighbor order shuffled by
+/// `rng` (GraphRNN trains on random BFS orderings for data augmentation).
+pub fn bfs_order(g: &UGraph, start: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut order = Vec::with_capacity(g.len());
+    let mut seen = vec![false; g.len()];
+    let mut q = VecDeque::new();
+    q.push_back(start);
+    seen[start] = true;
+    while let Some(u) = q.pop_front() {
+        order.push(u);
+        let mut neigh: Vec<usize> = g.neighbors(u).to_vec();
+        neigh.shuffle(rng);
+        for v in neigh {
+            if !seen[v] {
+                seen[v] = true;
+                q.push_back(v);
+            }
+        }
+    }
+    // disconnected remainders appended in index order (rare for our corpora)
+    for v in 0..g.len() {
+        if !seen[v] {
+            order.push(v);
+        }
+    }
+    order
+}
+
+/// Encodes `g` as a BFS adjacency sequence with lookback `m`, using a random
+/// start node and neighbor shuffling.
+pub fn encode(g: &UGraph, m: usize, rng: &mut StdRng) -> AdjSeq {
+    if g.is_empty() {
+        return AdjSeq { m, rows: Vec::new() };
+    }
+    let start = rng.gen_range(0..g.len());
+    let order = bfs_order(g, start, rng);
+    let mut pos = vec![0usize; g.len()];
+    for (i, &u) in order.iter().enumerate() {
+        pos[u] = i;
+    }
+    let mut rows = Vec::with_capacity(g.len().saturating_sub(1));
+    for i in 1..order.len() {
+        let node = order[i];
+        let window = m.min(i);
+        let mut row = vec![false; window];
+        for &nb in g.neighbors(node) {
+            let j = pos[nb];
+            if j < i && i - j <= window {
+                row[i - j - 1] = true;
+            }
+        }
+        rows.push(row);
+    }
+    AdjSeq { m, rows }
+}
+
+/// The maximum BFS lookback actually needed to encode `g` exactly (the
+/// largest `i - j` over edges under the given ordering).
+pub fn required_lookback(g: &UGraph, order: &[usize]) -> usize {
+    let mut pos = vec![0usize; g.len()];
+    for (i, &u) in order.iter().enumerate() {
+        pos[u] = i;
+    }
+    let mut max = 0;
+    for u in 0..g.len() {
+        for &v in g.neighbors(u) {
+            let (a, b) = (pos[u], pos[v]);
+            max = max.max(a.abs_diff(b));
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn path(n: usize) -> UGraph {
+        let mut g = UGraph::new(n);
+        for i in 1..n {
+            g.add_edge(i - 1, i);
+        }
+        g
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_path() {
+        let g = path(8);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..5 {
+            let seq = encode(&g, 8, &mut rng);
+            let back = seq.to_graph();
+            assert_eq!(back.len(), 8);
+            assert_eq!(back.edge_count(), 7);
+            // path has exactly two degree-1 endpoints
+            let deg1 = (0..8).filter(|&u| back.neighbors(u).len() == 1).count();
+            assert_eq!(deg1, 2);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [4usize, 7, 12] {
+            let mut g = UGraph::new(n);
+            for i in 1..n {
+                g.add_edge(i, rng.gen_range(0..i)); // random connected tree
+            }
+            for _ in 0..n {
+                let (u, v) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                g.add_edge(u, v);
+            }
+            let seq = encode(&g, n, &mut rng); // full lookback = exact
+            let back = seq.to_graph();
+            assert_eq!(back.edge_count(), g.edge_count());
+            // degree multiset preserved
+            let mut da: Vec<usize> = (0..n).map(|u| g.neighbors(u).len()).collect();
+            let mut db: Vec<usize> = (0..n).map(|u| back.neighbors(u).len()).collect();
+            da.sort_unstable();
+            db.sort_unstable();
+            assert_eq!(da, db);
+        }
+    }
+
+    #[test]
+    fn bfs_order_visits_everything_once() {
+        let g = path(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let order = bfs_order(&g, 5, &mut rng);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bfs_bounds_lookback_on_path() {
+        // On a path, BFS from an endpoint gives lookback 1; from the middle 2.
+        let g = path(9);
+        let mut rng = StdRng::seed_from_u64(2);
+        let order = bfs_order(&g, 0, &mut rng);
+        assert_eq!(required_lookback(&g, &order), 1);
+    }
+
+    #[test]
+    fn truncated_lookback_drops_long_edges() {
+        // star graph: center 0 connected to all; BFS from 0 has lookback up to n-1
+        let mut g = UGraph::new(6);
+        for i in 1..6 {
+            g.add_edge(0, i);
+        }
+        let mut rng = StdRng::seed_from_u64(4);
+        let seq = encode(&g, 2, &mut rng);
+        let back = seq.to_graph();
+        assert!(back.edge_count() <= g.edge_count());
+    }
+}

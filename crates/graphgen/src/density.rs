@@ -1,0 +1,136 @@
+//! Density estimation over graph statistics (paper Algorithm 1, line 3).
+//!
+//! Proteus needs the density `p(x)` of the GraphRNN pool's graph-statistic
+//! vectors `x = [avg_degree, clustering, diameter, num_nodes]` so that
+//! importance sampling can flatten the pool's distribution into a uniform
+//! band around the protected subgraph. A product of per-dimension Gaussian
+//! kernel density estimates is used (the statistics are weakly coupled at
+//! subgraph scale, and the paper only requires a density *estimate*).
+
+/// Per-dimension Gaussian KDE with Silverman bandwidth.
+#[derive(Debug, Clone)]
+pub struct Kde1d {
+    samples: Vec<f64>,
+    bandwidth: f64,
+}
+
+impl Kde1d {
+    /// Fits a 1-D KDE.
+    pub fn fit(samples: &[f64]) -> Kde1d {
+        let n = samples.len().max(1) as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let std = var.sqrt();
+        // Silverman's rule of thumb, floored so degenerate dims still work.
+        let bandwidth = (1.06 * std * n.powf(-0.2)).max(1e-3);
+        Kde1d { samples: samples.to_vec(), bandwidth }
+    }
+
+    /// Estimated density at `x`.
+    pub fn density(&self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let h = self.bandwidth;
+        let norm = 1.0 / ((2.0 * std::f64::consts::PI).sqrt() * h * self.samples.len() as f64);
+        self.samples
+            .iter()
+            .map(|&s| (-(x - s) * (x - s) / (2.0 * h * h)).exp())
+            .sum::<f64>()
+            * norm
+    }
+
+    /// The fitted bandwidth.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Population standard deviation of the fitted sample.
+    pub fn sample_std(&self) -> f64 {
+        let n = self.samples.len().max(1) as f64;
+        let mean = self.samples.iter().sum::<f64>() / n;
+        (self.samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n).sqrt()
+    }
+}
+
+/// Product density over the four graph statistics.
+#[derive(Debug, Clone)]
+pub struct StatsDensity {
+    dims: Vec<Kde1d>,
+}
+
+impl StatsDensity {
+    /// Fits a density to feature vectors (each `[f64; 4]`).
+    pub fn fit(features: &[[f64; 4]]) -> StatsDensity {
+        let dims = (0..4)
+            .map(|d| {
+                let col: Vec<f64> = features.iter().map(|f| f[d]).collect();
+                Kde1d::fit(&col)
+            })
+            .collect();
+        StatsDensity { dims }
+    }
+
+    /// Estimated joint density at `x` (product of marginals).
+    pub fn density(&self, x: &[f64; 4]) -> f64 {
+        self.dims
+            .iter()
+            .zip(x)
+            .map(|(kde, &v)| kde.density(v))
+            .product()
+    }
+
+    /// Per-dimension sample standard deviations (used to scale the uniform
+    /// band of Algorithm 1).
+    pub fn dim_stds(&self) -> [f64; 4] {
+        let mut out = [0.0; 4];
+        for (d, kde) in self.dims.iter().enumerate() {
+            out[d] = kde.sample_std();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kde_peaks_at_data() {
+        let kde = Kde1d::fit(&[0.0, 0.0, 0.0, 10.0]);
+        assert!(kde.density(0.0) > kde.density(5.0));
+        assert!(kde.density(0.0) > kde.density(10.0));
+    }
+
+    #[test]
+    fn kde_integrates_to_one_approximately() {
+        let kde = Kde1d::fit(&[1.0, 2.0, 3.0, 4.0]);
+        let mut integral = 0.0;
+        let (lo, hi, steps) = (-10.0, 15.0, 2500);
+        let dx = (hi - lo) / steps as f64;
+        for i in 0..steps {
+            integral += kde.density(lo + (i as f64 + 0.5) * dx) * dx;
+        }
+        assert!((integral - 1.0).abs() < 0.02, "integral {integral}");
+    }
+
+    #[test]
+    fn product_density_composes() {
+        let features = [
+            [1.0, 0.1, 3.0, 10.0],
+            [1.2, 0.0, 4.0, 12.0],
+            [0.9, 0.2, 3.0, 9.0],
+        ];
+        let d = StatsDensity::fit(&features);
+        let near = d.density(&[1.0, 0.1, 3.0, 10.0]);
+        let far = d.density(&[5.0, 0.9, 20.0, 50.0]);
+        assert!(near > far * 10.0, "near {near} far {far}");
+    }
+
+    #[test]
+    fn degenerate_dimension_does_not_blow_up() {
+        let features = [[1.0, 0.0, 2.0, 8.0]; 5];
+        let d = StatsDensity::fit(&features);
+        assert!(d.density(&[1.0, 0.0, 2.0, 8.0]).is_finite());
+    }
+}

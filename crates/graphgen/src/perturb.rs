@@ -1,0 +1,163 @@
+//! Sentinels by minor modification of popular-model subgraphs
+//! (paper §4.1.2, "Minor Modifications over Popular Models").
+//!
+//! When the protected model closely resembles a well-known architecture,
+//! GraphRNN sentinels sampled from scratch would look *less* like the
+//! protected subgraphs than the protected subgraphs look like the popular
+//! model. In that regime Proteus instead perturbs the popular topology:
+//! inserting and deleting nodes while preserving the opcodes of untouched
+//! nodes.
+
+use proteus_graph::{Activation, Graph, NodeId, Op};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Shape-preserving unary operators safe to splice into any edge.
+const SAFE_UNARY: [Op; 6] = [
+    Op::Activation(Activation::Relu),
+    Op::Activation(Activation::Sigmoid),
+    Op::Activation(Activation::Tanh),
+    Op::Activation(Activation::HardSigmoid),
+    Op::Identity,
+    Op::Dropout { p: 10 },
+];
+
+/// Configuration for the perturbation generator.
+#[derive(Debug, Clone, Copy)]
+pub struct PerturbConfig {
+    /// Minimum number of insert/delete edits per sentinel.
+    pub min_edits: usize,
+    /// Maximum number of edits per sentinel.
+    pub max_edits: usize,
+}
+
+impl Default for PerturbConfig {
+    fn default() -> Self {
+        PerturbConfig { min_edits: 1, max_edits: 4 }
+    }
+}
+
+/// Produces a sentinel by applying `edits` random insertions/deletions to a
+/// copy of `graph`. Unperturbed nodes keep their opcodes, as the paper
+/// specifies. The result is always a valid graph.
+pub fn perturb(graph: &Graph, cfg: PerturbConfig, rng: &mut StdRng) -> Graph {
+    let mut g = graph.clone();
+    let edits = rng.gen_range(cfg.min_edits..=cfg.max_edits.max(cfg.min_edits));
+    for _ in 0..edits {
+        if rng.gen_bool(0.5) {
+            insert_unary(&mut g, rng);
+        } else if !delete_unary(&mut g, rng) {
+            insert_unary(&mut g, rng);
+        }
+    }
+    let (compacted, _) = g.compact();
+    compacted
+}
+
+/// Inserts a random safe unary node on a random edge.
+fn insert_unary(g: &mut Graph, rng: &mut StdRng) {
+    let mut edges: Vec<(NodeId, usize)> = Vec::new();
+    for (id, node) in g.iter() {
+        for slot in 0..node.inputs.len() {
+            edges.push((id, slot));
+        }
+    }
+    let Some(&(dst, slot)) = edges.choose(rng) else { return };
+    let src = g.node(dst).expect("live").inputs[slot];
+    let op = SAFE_UNARY[rng.gen_range(0..SAFE_UNARY.len())].clone();
+    let mid = g.add(op, [src]);
+    g.node_mut(dst).expect("live").inputs[slot] = mid;
+}
+
+/// Deletes a random removable unary node (reconnecting its consumers to its
+/// input). Returns false when no such node exists.
+fn delete_unary(g: &mut Graph, rng: &mut StdRng) -> bool {
+    let candidates: Vec<NodeId> = g
+        .iter()
+        .filter(|(_, n)| n.op.is_elementwise_unary() && n.inputs.len() == 1)
+        .map(|(id, _)| id)
+        .collect();
+    let Some(&victim) = candidates.choose(rng) else { return false };
+    let input = g.node(victim).expect("live").inputs[0];
+    g.replace_uses(victim, input);
+    g.remove(victim);
+    true
+}
+
+/// Generates `count` perturbation sentinels from one protected subgraph.
+pub fn perturb_many(
+    graph: &Graph,
+    cfg: PerturbConfig,
+    count: usize,
+    rng: &mut StdRng,
+) -> Vec<Graph> {
+    (0..count).map(|_| perturb(graph, cfg, rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_graph::ConvAttrs;
+    use rand::SeedableRng;
+
+    fn base() -> Graph {
+        let mut g = Graph::new("block");
+        let x = g.input([1, 8, 16, 16]);
+        let c = g.add(Op::Conv(ConvAttrs::new(8, 8, 3).padding(1)), [x]);
+        let r = g.add(Op::Activation(Activation::Relu), [c]);
+        let c2 = g.add(Op::Conv(ConvAttrs::new(8, 8, 3).padding(1)), [r]);
+        let a = g.add(Op::Add, [c2, x]);
+        let r2 = g.add(Op::Activation(Activation::Relu), [a]);
+        g.set_outputs([r2]);
+        g
+    }
+
+    #[test]
+    fn perturbed_graphs_validate() {
+        let g = base();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            let p = perturb(&g, PerturbConfig::default(), &mut rng);
+            p.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn perturbation_changes_structure_usually() {
+        let g = base();
+        let mut rng = StdRng::seed_from_u64(1);
+        let sentinels = perturb_many(&g, PerturbConfig { min_edits: 2, max_edits: 4 }, 20, &mut rng);
+        let changed = sentinels.iter().filter(|p| p.len() != g.len()).count();
+        assert!(changed >= 10, "only {changed}/20 differ in node count");
+    }
+
+    #[test]
+    fn conv_opcodes_preserved() {
+        // deletions only touch unary elementwise ops; convs survive
+        let g = base();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let p = perturb(&g, PerturbConfig::default(), &mut rng);
+            let convs = p
+                .iter()
+                .filter(|(_, n)| matches!(n.op, Op::Conv(_)))
+                .count();
+            assert_eq!(convs, 2);
+        }
+    }
+
+    #[test]
+    fn inputs_never_removed() {
+        let g = base();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let p = perturb(&g, PerturbConfig::default(), &mut rng);
+            let inputs = p
+                .iter()
+                .filter(|(_, n)| matches!(n.op, Op::Input { .. }))
+                .count();
+            assert_eq!(inputs, 1);
+        }
+    }
+}

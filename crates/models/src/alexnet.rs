@@ -1,0 +1,60 @@
+//! AlexNet builder (the small plain CNN in the paper's Hidet evaluation).
+
+use proteus_graph::{Activation, ConvAttrs, GemmAttrs, Graph, Op, PoolAttrs};
+
+/// AlexNet (torchvision layout).
+pub fn alexnet() -> Graph {
+    let mut g = Graph::new("alexnet");
+    let x = g.input([1, 3, 224, 224]);
+    let c1 = g.add(Op::Conv(ConvAttrs::new(3, 64, 11).stride(4).padding(2)), [x]);
+    let r1 = g.add(Op::Activation(Activation::Relu), [c1]);
+    let p1 = g.add(Op::MaxPool(PoolAttrs::new(3, 2, 0)), [r1]);
+    let c2 = g.add(Op::Conv(ConvAttrs::new(64, 192, 5).padding(2)), [p1]);
+    let r2 = g.add(Op::Activation(Activation::Relu), [c2]);
+    let p2 = g.add(Op::MaxPool(PoolAttrs::new(3, 2, 0)), [r2]);
+    let c3 = g.add(Op::Conv(ConvAttrs::new(192, 384, 3).padding(1)), [p2]);
+    let r3 = g.add(Op::Activation(Activation::Relu), [c3]);
+    let c4 = g.add(Op::Conv(ConvAttrs::new(384, 256, 3).padding(1)), [r3]);
+    let r4 = g.add(Op::Activation(Activation::Relu), [c4]);
+    let c5 = g.add(Op::Conv(ConvAttrs::new(256, 256, 3).padding(1)), [r4]);
+    let r5 = g.add(Op::Activation(Activation::Relu), [c5]);
+    let p5 = g.add(Op::MaxPool(PoolAttrs::new(3, 2, 0)), [r5]);
+    let flat = g.add(Op::Flatten, [p5]);
+    let d1 = g.add(Op::Dropout { p: 50 }, [flat]);
+    let fc1 = g.add(Op::Gemm(GemmAttrs::new(256 * 6 * 6, 4096)), [d1]);
+    let r6 = g.add(Op::Activation(Activation::Relu), [fc1]);
+    let d2 = g.add(Op::Dropout { p: 50 }, [r6]);
+    let fc2 = g.add(Op::Gemm(GemmAttrs::new(4096, 4096)), [d2]);
+    let r7 = g.add(Op::Activation(Activation::Relu), [fc2]);
+    let fc3 = g.add(Op::Gemm(GemmAttrs::new(4096, 1000)), [r7]);
+    g.set_outputs([fc3]);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_graph::infer_shapes;
+
+    #[test]
+    fn alexnet_validates() {
+        let g = alexnet();
+        g.validate().unwrap();
+        let shapes = infer_shapes(&g).unwrap();
+        assert_eq!(shapes[&g.outputs()[0]].dims(), &[1, 1000]);
+    }
+
+    #[test]
+    fn alexnet_spatial_pipeline() {
+        let g = alexnet();
+        let shapes = infer_shapes(&g).unwrap();
+        // final pool output is 256 x 6 x 6 like torchvision's
+        let pool = g
+            .iter()
+            .filter(|(_, n)| matches!(n.op, Op::MaxPool(_)))
+            .map(|(id, _)| id)
+            .max()
+            .unwrap();
+        assert_eq!(shapes[&pool].dims(), &[1, 256, 6, 6]);
+    }
+}

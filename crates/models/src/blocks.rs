@@ -1,0 +1,127 @@
+//! Shared building blocks for the CNN model builders.
+
+use proteus_graph::{Activation, BatchNormAttrs, ConvAttrs, Graph, NodeId, Op};
+
+/// Appends `Conv -> BatchNorm` and returns the BN node.
+pub fn conv_bn(
+    g: &mut Graph,
+    x: NodeId,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+) -> NodeId {
+    let conv = g.add(
+        Op::Conv(ConvAttrs::new(in_ch, out_ch, kernel).stride(stride).padding(padding).bias(false)),
+        [x],
+    );
+    g.add(Op::BatchNorm(BatchNormAttrs { channels: out_ch }), [conv])
+}
+
+/// Appends `Conv -> BatchNorm -> act` and returns the activation node.
+pub fn conv_bn_act(
+    g: &mut Graph,
+    x: NodeId,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    act: Activation,
+) -> NodeId {
+    let bn = conv_bn(g, x, in_ch, out_ch, kernel, stride, padding);
+    g.add(Op::Activation(act), [bn])
+}
+
+/// Appends a grouped `Conv -> BatchNorm -> act`.
+#[allow(clippy::too_many_arguments)]
+pub fn grouped_conv_bn_act(
+    g: &mut Graph,
+    x: NodeId,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    groups: usize,
+    act: Activation,
+) -> NodeId {
+    let conv = g.add(
+        Op::Conv(
+            ConvAttrs::new(in_ch, out_ch, kernel)
+                .stride(stride)
+                .padding(padding)
+                .groups(groups)
+                .bias(false),
+        ),
+        [x],
+    );
+    let bn = g.add(Op::BatchNorm(BatchNormAttrs { channels: out_ch }), [conv]);
+    g.add(Op::Activation(act), [bn])
+}
+
+/// Appends a squeeze-and-excitation block (paper Figure 13) over `x` with
+/// `channels` channels and reduction ratio `r`: GAP -> 1x1 Conv -> Relu ->
+/// 1x1 Conv -> gate -> Mul. Returns the Mul node.
+pub fn squeeze_excite(
+    g: &mut Graph,
+    x: NodeId,
+    channels: usize,
+    r: usize,
+    gate: Activation,
+) -> NodeId {
+    let mid = (channels / r).max(1);
+    let gap = g.add(Op::GlobalAveragePool, [x]);
+    let fc1 = g.add(Op::Conv(ConvAttrs::new(channels, mid, 1)), [gap]);
+    let relu = g.add(Op::Activation(Activation::Relu), [fc1]);
+    let fc2 = g.add(Op::Conv(ConvAttrs::new(mid, channels, 1)), [relu]);
+    let gated = g.add(Op::Activation(gate), [fc2]);
+    g.add(Op::Mul, [x, gated])
+}
+
+/// Appends the classifier head `GAP -> Flatten -> Gemm` used by most CNNs.
+pub fn classifier_head(g: &mut Graph, x: NodeId, channels: usize, classes: usize) -> NodeId {
+    let gap = g.add(Op::GlobalAveragePool, [x]);
+    let flat = g.add(Op::Flatten, [gap]);
+    g.add(
+        Op::Gemm(proteus_graph::GemmAttrs::new(channels, classes)),
+        [flat],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_graph::infer_shapes;
+
+    #[test]
+    fn conv_bn_act_shapes() {
+        let mut g = Graph::new("t");
+        let x = g.input([1, 3, 32, 32]);
+        let y = conv_bn_act(&mut g, x, 3, 16, 3, 2, 1, Activation::Relu);
+        g.set_outputs([y]);
+        let shapes = infer_shapes(&g).unwrap();
+        assert_eq!(shapes[&y].dims(), &[1, 16, 16, 16]);
+    }
+
+    #[test]
+    fn squeeze_excite_preserves_shape() {
+        let mut g = Graph::new("t");
+        let x = g.input([1, 32, 8, 8]);
+        let y = squeeze_excite(&mut g, x, 32, 4, Activation::Sigmoid);
+        g.set_outputs([y]);
+        let shapes = infer_shapes(&g).unwrap();
+        assert_eq!(shapes[&y].dims(), &[1, 32, 8, 8]);
+    }
+
+    #[test]
+    fn classifier_head_shape() {
+        let mut g = Graph::new("t");
+        let x = g.input([1, 64, 7, 7]);
+        let y = classifier_head(&mut g, x, 64, 1000);
+        g.set_outputs([y]);
+        let shapes = infer_shapes(&g).unwrap();
+        assert_eq!(shapes[&y].dims(), &[1, 1000]);
+    }
+}

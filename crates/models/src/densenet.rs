@@ -1,0 +1,100 @@
+//! DenseNet builder (concatenative dense blocks).
+
+use crate::blocks::{classifier_head, conv_bn};
+use proteus_graph::{Activation, BatchNormAttrs, ConvAttrs, Graph, NodeId, Op, PoolAttrs};
+
+const GROWTH: usize = 32;
+
+/// One dense layer: BN -> ReLU -> 1x1 conv -> BN -> ReLU -> 3x3 conv,
+/// concatenated onto the running feature map.
+fn dense_layer(g: &mut Graph, x: NodeId, in_ch: usize) -> NodeId {
+    let bn1 = g.add(Op::BatchNorm(BatchNormAttrs { channels: in_ch }), [x]);
+    let r1 = g.add(Op::Activation(Activation::Relu), [bn1]);
+    let c1 = g.add(
+        Op::Conv(ConvAttrs::new(in_ch, 4 * GROWTH, 1).bias(false)),
+        [r1],
+    );
+    let bn2 = g.add(Op::BatchNorm(BatchNormAttrs { channels: 4 * GROWTH }), [c1]);
+    let r2 = g.add(Op::Activation(Activation::Relu), [bn2]);
+    let c2 = g.add(
+        Op::Conv(ConvAttrs::new(4 * GROWTH, GROWTH, 3).padding(1).bias(false)),
+        [r2],
+    );
+    g.add(Op::Concat { axis: 1 }, [x, c2])
+}
+
+/// Transition: BN -> ReLU -> 1x1 conv halving channels -> 2x2 avg pool.
+fn transition(g: &mut Graph, x: NodeId, in_ch: usize) -> (NodeId, usize) {
+    let out_ch = in_ch / 2;
+    let bn = g.add(Op::BatchNorm(BatchNormAttrs { channels: in_ch }), [x]);
+    let r = g.add(Op::Activation(Activation::Relu), [bn]);
+    let c = g.add(Op::Conv(ConvAttrs::new(in_ch, out_ch, 1).bias(false)), [r]);
+    let p = g.add(Op::AveragePool(PoolAttrs::new(2, 2, 0)), [c]);
+    (p, out_ch)
+}
+
+/// A compact DenseNet (dense blocks of 4/6/8/6 layers, growth 32). Keeps the
+/// characteristic Concat-heavy topology at a tractable node count.
+pub fn densenet() -> Graph {
+    let mut g = Graph::new("densenet");
+    let x = g.input([1, 3, 224, 224]);
+    let stem = conv_bn(&mut g, x, 3, 64, 7, 2, 3);
+    let stem = g.add(Op::Activation(Activation::Relu), [stem]);
+    let mut h = g.add(Op::MaxPool(PoolAttrs::new(3, 2, 1)), [stem]);
+    let mut ch = 64;
+    for (i, layers) in [4usize, 6, 8, 6].into_iter().enumerate() {
+        for _ in 0..layers {
+            h = dense_layer(&mut g, h, ch);
+            ch += GROWTH;
+        }
+        if i != 3 {
+            let (t, new_ch) = transition(&mut g, h, ch);
+            h = t;
+            ch = new_ch;
+        }
+    }
+    let bn = g.add(Op::BatchNorm(BatchNormAttrs { channels: ch }), [h]);
+    let relu = g.add(Op::Activation(Activation::Relu), [bn]);
+    let head = classifier_head(&mut g, relu, ch, 1000);
+    g.set_outputs([head]);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_graph::infer_shapes;
+
+    #[test]
+    fn densenet_validates() {
+        let g = densenet();
+        g.validate().unwrap();
+        let shapes = infer_shapes(&g).unwrap();
+        assert_eq!(shapes[&g.outputs()[0]].dims(), &[1, 1000]);
+    }
+
+    #[test]
+    fn densenet_is_concat_heavy() {
+        let g = densenet();
+        let concats = g
+            .iter()
+            .filter(|(_, n)| matches!(n.op, Op::Concat { .. }))
+            .count();
+        assert_eq!(concats, 24, "one concat per dense layer");
+    }
+
+    #[test]
+    fn channel_growth_matches() {
+        // after block 1 (4 layers from 64): 192 -> transition 96
+        // block 2 (6): 96+192=288 -> 144; block 3 (8): 144+256=400 -> 200;
+        // block 4 (6): 200+192=392 final channels
+        let g = densenet();
+        let shapes = infer_shapes(&g).unwrap();
+        let gap = g
+            .iter()
+            .find(|(_, n)| matches!(n.op, Op::GlobalAveragePool))
+            .map(|(id, _)| id)
+            .unwrap();
+        assert_eq!(shapes[&gap].dims()[1], 392);
+    }
+}

@@ -1,0 +1,155 @@
+//! GoogLeNet and a compact Inception-v3-style builder.
+
+use crate::blocks::{classifier_head, conv_bn_act};
+use proteus_graph::{Activation, Graph, NodeId, Op, PoolAttrs};
+
+/// The classic GoogLeNet inception module with four parallel branches
+/// joined by a channel concat.
+#[allow(clippy::too_many_arguments)]
+fn inception_module(
+    g: &mut Graph,
+    x: NodeId,
+    in_ch: usize,
+    b1: usize,
+    b2_red: usize,
+    b2: usize,
+    b3_red: usize,
+    b3: usize,
+    b4: usize,
+) -> (NodeId, usize) {
+    let br1 = conv_bn_act(g, x, in_ch, b1, 1, 1, 0, Activation::Relu);
+    let br2 = conv_bn_act(g, x, in_ch, b2_red, 1, 1, 0, Activation::Relu);
+    let br2 = conv_bn_act(g, br2, b2_red, b2, 3, 1, 1, Activation::Relu);
+    let br3 = conv_bn_act(g, x, in_ch, b3_red, 1, 1, 0, Activation::Relu);
+    let br3 = conv_bn_act(g, br3, b3_red, b3, 5, 1, 2, Activation::Relu);
+    let br4 = g.add(Op::MaxPool(PoolAttrs::new(3, 1, 1)), [x]);
+    let br4 = conv_bn_act(g, br4, in_ch, b4, 1, 1, 0, Activation::Relu);
+    let cat = g.add(Op::Concat { axis: 1 }, [br1, br2, br3, br4]);
+    (cat, b1 + b2 + b3 + b4)
+}
+
+/// GoogLeNet (Inception v1) with its nine inception modules.
+pub fn googlenet() -> Graph {
+    let mut g = Graph::new("googlenet");
+    let x = g.input([1, 3, 224, 224]);
+    let mut h = conv_bn_act(&mut g, x, 3, 64, 7, 2, 3, Activation::Relu);
+    h = g.add(Op::MaxPool(PoolAttrs::new(3, 2, 1)), [h]);
+    h = conv_bn_act(&mut g, h, 64, 64, 1, 1, 0, Activation::Relu);
+    h = conv_bn_act(&mut g, h, 64, 192, 3, 1, 1, Activation::Relu);
+    h = g.add(Op::MaxPool(PoolAttrs::new(3, 2, 1)), [h]);
+
+    let (mut h, mut ch) = inception_module(&mut g, h, 192, 64, 96, 128, 16, 32, 32);
+    let (h2, ch2) = inception_module(&mut g, h, ch, 128, 128, 192, 32, 96, 64);
+    h = g.add(Op::MaxPool(PoolAttrs::new(3, 2, 1)), [h2]);
+    ch = ch2;
+    for cfg in [
+        (192usize, 96usize, 208usize, 16usize, 48usize, 64usize),
+        (160, 112, 224, 24, 64, 64),
+        (128, 128, 256, 24, 64, 64),
+        (112, 144, 288, 32, 64, 64),
+        (256, 160, 320, 32, 128, 128),
+    ] {
+        let (nh, nch) = inception_module(&mut g, h, ch, cfg.0, cfg.1, cfg.2, cfg.3, cfg.4, cfg.5);
+        h = nh;
+        ch = nch;
+    }
+    h = g.add(Op::MaxPool(PoolAttrs::new(3, 2, 1)), [h]);
+    for cfg in [
+        (256usize, 160usize, 320usize, 32usize, 128usize, 128usize),
+        (384, 192, 384, 48, 128, 128),
+    ] {
+        let (nh, nch) = inception_module(&mut g, h, ch, cfg.0, cfg.1, cfg.2, cfg.3, cfg.4, cfg.5);
+        h = nh;
+        ch = nch;
+    }
+    let drop = g.add(Op::Dropout { p: 40 }, [h]);
+    let head = classifier_head(&mut g, drop, ch, 1000);
+    g.set_outputs([head]);
+    g
+}
+
+/// An Inception-v3-style factorized module: 1x1, 3x3, double-3x3 (a 5x5
+/// factorization), and pooled branches.
+fn inception_v3_module(g: &mut Graph, x: NodeId, in_ch: usize, width: usize) -> (NodeId, usize) {
+    let br1 = conv_bn_act(g, x, in_ch, width, 1, 1, 0, Activation::Relu);
+    let br2 = conv_bn_act(g, x, in_ch, width, 1, 1, 0, Activation::Relu);
+    let br2 = conv_bn_act(g, br2, width, width, 3, 1, 1, Activation::Relu);
+    let br3 = conv_bn_act(g, x, in_ch, width, 1, 1, 0, Activation::Relu);
+    let br3 = conv_bn_act(g, br3, width, width, 3, 1, 1, Activation::Relu);
+    let br3 = conv_bn_act(g, br3, width, width, 3, 1, 1, Activation::Relu);
+    let br4 = g.add(Op::AveragePool(PoolAttrs::new(3, 1, 1)), [x]);
+    let br4 = conv_bn_act(g, br4, in_ch, width, 1, 1, 0, Activation::Relu);
+    let cat = g.add(Op::Concat { axis: 1 }, [br1, br2, br3, br4]);
+    (cat, 4 * width)
+}
+
+/// A compact Inception-v3-style network.
+pub fn inception_v3() -> Graph {
+    let mut g = Graph::new("inception");
+    let x = g.input([1, 3, 299, 299]);
+    let mut h = conv_bn_act(&mut g, x, 3, 32, 3, 2, 0, Activation::Relu);
+    h = conv_bn_act(&mut g, h, 32, 32, 3, 1, 0, Activation::Relu);
+    h = conv_bn_act(&mut g, h, 32, 64, 3, 1, 1, Activation::Relu);
+    h = g.add(Op::MaxPool(PoolAttrs::new(3, 2, 0)), [h]);
+    h = conv_bn_act(&mut g, h, 64, 80, 1, 1, 0, Activation::Relu);
+    h = conv_bn_act(&mut g, h, 80, 192, 3, 1, 0, Activation::Relu);
+    h = g.add(Op::MaxPool(PoolAttrs::new(3, 2, 0)), [h]);
+    let mut ch = 192;
+    for width in [64usize, 64, 96] {
+        let (nh, nch) = inception_v3_module(&mut g, h, ch, width);
+        h = nh;
+        ch = nch;
+    }
+    h = g.add(Op::MaxPool(PoolAttrs::new(3, 2, 0)), [h]);
+    for width in [128usize, 128, 160] {
+        let (nh, nch) = inception_v3_module(&mut g, h, ch, width);
+        h = nh;
+        ch = nch;
+    }
+    let head = classifier_head(&mut g, h, ch, 1000);
+    g.set_outputs([head]);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_graph::infer_shapes;
+
+    #[test]
+    fn googlenet_validates_with_nine_modules() {
+        let g = googlenet();
+        g.validate().unwrap();
+        infer_shapes(&g).unwrap();
+        let concats = g
+            .iter()
+            .filter(|(_, n)| matches!(n.op, Op::Concat { .. }))
+            .count();
+        assert_eq!(concats, 9);
+    }
+
+    #[test]
+    fn googlenet_concat_channels() {
+        let g = googlenet();
+        let shapes = infer_shapes(&g).unwrap();
+        // final module output channels: 384+384+128+128 = 1024
+        let gap = g
+            .iter()
+            .find(|(_, n)| matches!(n.op, Op::GlobalAveragePool))
+            .map(|(id, _)| id)
+            .unwrap();
+        assert_eq!(shapes[&gap].dims()[1], 1024);
+    }
+
+    #[test]
+    fn inception_v3_validates() {
+        let g = inception_v3();
+        g.validate().unwrap();
+        let shapes = infer_shapes(&g).unwrap();
+        assert_eq!(shapes[&g.outputs()[0]].dims(), &[1, 1000]);
+        let branch_5x5_free = g
+            .iter()
+            .all(|(_, n)| !matches!(&n.op, Op::Conv(c) if c.kernel == 5));
+        assert!(branch_5x5_free, "v3 factorizes 5x5 into double 3x3");
+    }
+}

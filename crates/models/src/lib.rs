@@ -1,0 +1,160 @@
+//! Programmatic model zoo.
+//!
+//! The Proteus paper evaluates on torchvision CNNs and HuggingFace
+//! transformer encoders (paper §5.1, Figure 6) plus NATS-Bench cells for the
+//! NAS case study (§6.1). This crate rebuilds those architectures as
+//! [`proteus_graph::Graph`]s with realistic operator sequences, shapes, and
+//! block structure — the information the optimizer, partitioner, sentinel
+//! generator, and adversary consume.
+//!
+//! # Example
+//!
+//! ```
+//! use proteus_models::{build, ModelKind};
+//! let g = build(ModelKind::ResNet);
+//! assert!(g.len() > 50);
+//! assert!(proteus_graph::infer_shapes(&g).is_ok());
+//! ```
+
+pub mod alexnet;
+pub mod blocks;
+pub mod densenet;
+pub mod inception;
+pub mod mobilenet;
+pub mod nats;
+pub mod resnet;
+pub mod transformer;
+
+use proteus_graph::Graph;
+
+/// The models used throughout the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ModelKind {
+    AlexNet,
+    MobileNet,
+    ResNet,
+    DenseNet,
+    GoogleNet,
+    ResNeXt,
+    Inception,
+    MnasNet,
+    SEResNet,
+    Bert,
+    Roberta,
+    DistilBert,
+    Xlm,
+}
+
+impl ModelKind {
+    /// All zoo models, in a stable order.
+    pub const ALL: [ModelKind; 13] = [
+        ModelKind::AlexNet,
+        ModelKind::MobileNet,
+        ModelKind::ResNet,
+        ModelKind::DenseNet,
+        ModelKind::GoogleNet,
+        ModelKind::ResNeXt,
+        ModelKind::Inception,
+        ModelKind::MnasNet,
+        ModelKind::SEResNet,
+        ModelKind::Bert,
+        ModelKind::Roberta,
+        ModelKind::DistilBert,
+        ModelKind::Xlm,
+    ];
+
+    /// The lowercase name used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::AlexNet => "alexnet",
+            ModelKind::MobileNet => "mobilenet",
+            ModelKind::ResNet => "resnet",
+            ModelKind::DenseNet => "densenet",
+            ModelKind::GoogleNet => "googlenet",
+            ModelKind::ResNeXt => "resnext",
+            ModelKind::Inception => "inception",
+            ModelKind::MnasNet => "mnasnet",
+            ModelKind::SEResNet => "seresnet",
+            ModelKind::Bert => "bert",
+            ModelKind::Roberta => "roberta",
+            ModelKind::DistilBert => "distilbert",
+            ModelKind::Xlm => "xlm",
+        }
+    }
+
+    /// True for the transformer-encoder (language) models.
+    pub fn is_language(self) -> bool {
+        matches!(
+            self,
+            ModelKind::Bert | ModelKind::Roberta | ModelKind::DistilBert | ModelKind::Xlm
+        )
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds the computational graph of a zoo model.
+pub fn build(kind: ModelKind) -> Graph {
+    match kind {
+        ModelKind::AlexNet => alexnet::alexnet(),
+        ModelKind::MobileNet => mobilenet::mobilenet_v2(),
+        ModelKind::ResNet => resnet::resnet18(),
+        ModelKind::DenseNet => densenet::densenet(),
+        ModelKind::GoogleNet => inception::googlenet(),
+        ModelKind::ResNeXt => resnet::resnext(),
+        ModelKind::Inception => inception::inception_v3(),
+        ModelKind::MnasNet => mobilenet::mnasnet(),
+        ModelKind::SEResNet => resnet::seresnet(),
+        ModelKind::Bert => transformer::bert(),
+        ModelKind::Roberta => transformer::roberta(),
+        ModelKind::DistilBert => transformer::distilbert(),
+        ModelKind::Xlm => transformer::xlm(),
+    }
+}
+
+/// Builds the whole zoo (excluding NAS samples).
+pub fn zoo() -> Vec<(ModelKind, Graph)> {
+    ModelKind::ALL.iter().map(|&k| (k, build(k))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_graph::infer_shapes;
+
+    #[test]
+    fn every_model_validates_and_infers_shapes() {
+        for (kind, g) in zoo() {
+            g.validate().unwrap_or_else(|e| panic!("{kind}: {e}"));
+            infer_shapes(&g).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        }
+    }
+
+    #[test]
+    fn models_have_realistic_sizes() {
+        for (kind, g) in zoo() {
+            let n = g.len();
+            assert!(
+                (18..=420).contains(&n),
+                "{kind} has unexpected node count {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn names_match_paper_tables() {
+        assert_eq!(ModelKind::ResNet.name(), "resnet");
+        assert_eq!(ModelKind::Xlm.name(), "xlm");
+        assert_eq!(ModelKind::ALL.len(), 13);
+    }
+
+    #[test]
+    fn language_models_flagged() {
+        assert!(ModelKind::Bert.is_language());
+        assert!(!ModelKind::ResNet.is_language());
+    }
+}

@@ -1,0 +1,128 @@
+//! MobileNetV2 and MNASNet builders (inverted-residual families).
+
+use crate::blocks::{classifier_head, conv_bn, conv_bn_act, grouped_conv_bn_act};
+use proteus_graph::{Activation, Graph, NodeId, Op};
+
+/// An inverted residual block: 1x1 expand -> depthwise 3x3/5x5 -> 1x1
+/// project, with a residual add when the shapes allow it.
+fn inverted_residual(
+    g: &mut Graph,
+    x: NodeId,
+    in_ch: usize,
+    out_ch: usize,
+    stride: usize,
+    expand: usize,
+    kernel: usize,
+) -> NodeId {
+    let mid = in_ch * expand;
+    let mut h = x;
+    if expand != 1 {
+        h = conv_bn_act(g, h, in_ch, mid, 1, 1, 0, Activation::Relu6);
+    }
+    h = grouped_conv_bn_act(g, h, mid, mid, kernel, stride, kernel / 2, mid, Activation::Relu6);
+    h = conv_bn(g, h, mid, out_ch, 1, 1, 0);
+    if stride == 1 && in_ch == out_ch {
+        g.add(Op::Add, [h, x])
+    } else {
+        h
+    }
+}
+
+/// MobileNetV2 (torchvision layout, width 1.0).
+pub fn mobilenet_v2() -> Graph {
+    let mut g = Graph::new("mobilenet");
+    let x = g.input([1, 3, 224, 224]);
+    let mut h = conv_bn_act(&mut g, x, 3, 32, 3, 2, 1, Activation::Relu6);
+    // (expand, out_ch, repeats, stride)
+    let cfg: [(usize, usize, usize, usize); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    let mut in_ch = 32;
+    for (expand, out_ch, repeats, stride) in cfg {
+        for r in 0..repeats {
+            let s = if r == 0 { stride } else { 1 };
+            h = inverted_residual(&mut g, h, in_ch, out_ch, s, expand, 3);
+            in_ch = out_ch;
+        }
+    }
+    h = conv_bn_act(&mut g, h, 320, 1280, 1, 1, 0, Activation::Relu6);
+    let head = classifier_head(&mut g, h, 1280, 1000);
+    g.set_outputs([head]);
+    g
+}
+
+/// MNASNet-ish network: inverted residuals mixing 3x3 and 5x5 depthwise
+/// kernels (the signature of the MNAS search space).
+pub fn mnasnet() -> Graph {
+    let mut g = Graph::new("mnasnet");
+    let x = g.input([1, 3, 224, 224]);
+    let mut h = conv_bn_act(&mut g, x, 3, 32, 3, 2, 1, Activation::Relu);
+    // depthwise separable stem block
+    h = grouped_conv_bn_act(&mut g, h, 32, 32, 3, 1, 1, 32, Activation::Relu);
+    h = conv_bn(&mut g, h, 32, 16, 1, 1, 0);
+    // (expand, out_ch, repeats, stride, kernel)
+    let cfg: [(usize, usize, usize, usize, usize); 6] = [
+        (3, 24, 3, 2, 3),
+        (3, 40, 3, 2, 5),
+        (6, 80, 3, 2, 5),
+        (6, 96, 2, 1, 3),
+        (6, 192, 4, 2, 5),
+        (6, 320, 1, 1, 3),
+    ];
+    let mut in_ch = 16;
+    for (expand, out_ch, repeats, stride, kernel) in cfg {
+        for r in 0..repeats {
+            let s = if r == 0 { stride } else { 1 };
+            h = inverted_residual(&mut g, h, in_ch, out_ch, s, expand, kernel);
+            in_ch = out_ch;
+        }
+    }
+    h = conv_bn_act(&mut g, h, 320, 1280, 1, 1, 0, Activation::Relu);
+    let head = classifier_head(&mut g, h, 1280, 1000);
+    g.set_outputs([head]);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_graph::infer_shapes;
+
+    #[test]
+    fn mobilenet_shapes_and_depthwise() {
+        let g = mobilenet_v2();
+        g.validate().unwrap();
+        let shapes = infer_shapes(&g).unwrap();
+        assert_eq!(shapes[&g.outputs()[0]].dims(), &[1, 1000]);
+        let depthwise = g
+            .iter()
+            .filter(|(_, n)| matches!(&n.op, Op::Conv(c) if c.groups > 1))
+            .count();
+        assert_eq!(depthwise, 17, "one depthwise conv per inverted residual");
+    }
+
+    #[test]
+    fn mnasnet_mixes_kernels() {
+        let g = mnasnet();
+        g.validate().unwrap();
+        infer_shapes(&g).unwrap();
+        let k5 = g
+            .iter()
+            .filter(|(_, n)| matches!(&n.op, Op::Conv(c) if c.kernel == 5))
+            .count();
+        assert!(k5 >= 5, "expected several 5x5 depthwise convs, got {k5}");
+    }
+
+    #[test]
+    fn residual_adds_present() {
+        let g = mobilenet_v2();
+        let adds = g.iter().filter(|(_, n)| matches!(n.op, Op::Add)).count();
+        assert_eq!(adds, 10, "mobilenetv2 has 10 residual connections");
+    }
+}

@@ -1,0 +1,258 @@
+//! NATS-Bench-style cell sampler for the NAS case study (paper §6.1).
+//!
+//! The NATS-Bench topology search space defines a cell as a 4-node DAG where
+//! every edge `i -> j` (i < j) carries one of five candidate operations;
+//! node values are the sum of their incoming edges. Networks stack cells in
+//! three stages (16/32/64 channels) joined by residual reduction blocks.
+//! The small channel counts are what make "typically beneficial"
+//! optimizations (e.g. Winograd rewrites) backfire on these models — the
+//! effect the paper's first case study measures.
+
+use crate::blocks::{classifier_head, conv_bn, conv_bn_act};
+use proteus_graph::{Activation, BatchNormAttrs, ConvAttrs, Graph, NodeId, Op, PoolAttrs};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Candidate operation on a cell edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeOp {
+    None,
+    Skip,
+    Conv1x1,
+    Conv3x3,
+    AvgPool3x3,
+}
+
+impl EdgeOp {
+    /// All candidate operations, in NATS-Bench order.
+    pub const ALL: [EdgeOp; 5] = [
+        EdgeOp::None,
+        EdgeOp::Skip,
+        EdgeOp::Conv1x1,
+        EdgeOp::Conv3x3,
+        EdgeOp::AvgPool3x3,
+    ];
+}
+
+/// A sampled cell: operations for the six edges of the 4-node DAG, in the
+/// order (0→1, 0→2, 1→2, 0→3, 1→3, 2→3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellSpec {
+    pub edges: [EdgeOp; 6],
+}
+
+impl CellSpec {
+    /// Samples a cell whose output node is reachable from the input.
+    pub fn sample(rng: &mut StdRng) -> CellSpec {
+        loop {
+            let mut edges = [EdgeOp::None; 6];
+            for e in &mut edges {
+                *e = EdgeOp::ALL[rng.gen_range(0..EdgeOp::ALL.len())];
+            }
+            let spec = CellSpec { edges };
+            if spec.is_connected() {
+                return spec;
+            }
+        }
+    }
+
+    /// Edge indices incoming to each internal node (1, 2, 3).
+    fn incoming(node: usize) -> &'static [(usize, usize)] {
+        // (edge index, source node)
+        match node {
+            1 => &[(0, 0)],
+            2 => &[(1, 0), (2, 1)],
+            3 => &[(3, 0), (4, 1), (5, 2)],
+            _ => &[],
+        }
+    }
+
+    /// True when node 3 is reachable from node 0 through non-`None` edges.
+    pub fn is_connected(&self) -> bool {
+        let mut reach = [true, false, false, false];
+        for node in 1..4 {
+            for &(e, src) in Self::incoming(node) {
+                if self.edges[e] != EdgeOp::None && reach[src] {
+                    reach[node] = true;
+                }
+            }
+        }
+        reach[3]
+    }
+}
+
+fn edge_subgraph(g: &mut Graph, x: NodeId, op: EdgeOp, channels: usize) -> Option<NodeId> {
+    match op {
+        EdgeOp::None => None,
+        EdgeOp::Skip => Some(x),
+        EdgeOp::Conv1x1 | EdgeOp::Conv3x3 => {
+            let k = if op == EdgeOp::Conv1x1 { 1 } else { 3 };
+            // NATS uses ReLU-Conv-BN ordering.
+            let r = g.add(Op::Activation(Activation::Relu), [x]);
+            let c = g.add(
+                Op::Conv(ConvAttrs::new(channels, channels, k).padding(k / 2).bias(false)),
+                [r],
+            );
+            Some(g.add(Op::BatchNorm(BatchNormAttrs { channels }), [c]))
+        }
+        EdgeOp::AvgPool3x3 => Some(g.add(Op::AveragePool(PoolAttrs::new(3, 1, 1)), [x])),
+    }
+}
+
+/// Materializes one cell over input `x`. Returns the cell output node.
+fn build_cell(g: &mut Graph, x: NodeId, spec: &CellSpec, channels: usize) -> NodeId {
+    let mut values: [Option<NodeId>; 4] = [Some(x), None, None, None];
+    for node in 1..4 {
+        let mut terms: Vec<NodeId> = Vec::new();
+        for &(e, src) in CellSpec::incoming(node) {
+            if let Some(src_val) = values[src] {
+                if let Some(v) = edge_subgraph(g, src_val, spec.edges[e], channels) {
+                    terms.push(v);
+                }
+            }
+        }
+        values[node] = match terms.len() {
+            0 => None,
+            1 => Some(terms[0]),
+            _ => {
+                let mut acc = terms[0];
+                for &t in &terms[1..] {
+                    acc = g.add(Op::Add, [acc, t]);
+                }
+                Some(acc)
+            }
+        };
+    }
+    values[3].expect("CellSpec::sample guarantees connectivity")
+}
+
+/// Residual reduction block between stages (stride-2, doubles channels).
+fn reduction(g: &mut Graph, x: NodeId, in_ch: usize) -> NodeId {
+    let out_ch = in_ch * 2;
+    let main = conv_bn_act(g, x, in_ch, out_ch, 3, 2, 1, Activation::Relu);
+    let main = conv_bn(g, main, out_ch, out_ch, 3, 1, 1);
+    let skip = conv_bn(g, x, in_ch, out_ch, 1, 2, 0);
+    g.add(Op::Add, [main, skip])
+}
+
+/// Builds a NATS-Bench-style network from a cell specification.
+pub fn nats_model(spec: &CellSpec, cells_per_stage: usize) -> Graph {
+    let mut g = Graph::new("nats");
+    let x = g.input([1, 3, 32, 32]);
+    let mut h = conv_bn(&mut g, x, 3, 16, 3, 1, 1);
+    let mut ch = 16;
+    for stage in 0..3 {
+        if stage > 0 {
+            h = reduction(&mut g, h, ch);
+            ch *= 2;
+        }
+        for _ in 0..cells_per_stage {
+            h = build_cell(&mut g, h, spec, ch);
+        }
+    }
+    let bn = g.add(Op::BatchNorm(BatchNormAttrs { channels: ch }), [h]);
+    let relu = g.add(Op::Activation(Activation::Relu), [bn]);
+    let head = classifier_head(&mut g, relu, ch, 10);
+    g.set_outputs([head]);
+    g
+}
+
+/// Samples a random NATS-Bench-style model (the paper's §6.1 workload).
+pub fn sample_model(seed: u64, cells_per_stage: usize) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = CellSpec::sample(&mut rng);
+    nats_model(&spec, cells_per_stage)
+}
+
+/// Samples a convolution-heavy cell model: at least three convolutional
+/// edges, of which at least two are 3x3. The paper's first case study picks
+/// a NATS model on which "typically beneficial" optimizations backfire;
+/// conv3x3-rich cells at 16 channels are exactly that regime.
+pub fn sample_conv_rich_model(seed: u64, cells_per_stage: usize) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    loop {
+        let spec = CellSpec::sample(&mut rng);
+        let convs = spec
+            .edges
+            .iter()
+            .filter(|e| matches!(e, EdgeOp::Conv1x1 | EdgeOp::Conv3x3))
+            .count();
+        let conv3 = spec.edges.iter().filter(|e| **e == EdgeOp::Conv3x3).count();
+        if convs >= 3 && conv3 >= 2 {
+            return nats_model(&spec, cells_per_stage);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_graph::infer_shapes;
+
+    #[test]
+    fn sampled_models_validate() {
+        for seed in 0..8 {
+            let g = sample_model(seed, 3);
+            g.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            infer_shapes(&g).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn connectivity_enforced() {
+        let dead = CellSpec { edges: [EdgeOp::None; 6] };
+        assert!(!dead.is_connected());
+        let skip_through = CellSpec {
+            edges: [
+                EdgeOp::None,
+                EdgeOp::None,
+                EdgeOp::None,
+                EdgeOp::Skip,
+                EdgeOp::None,
+                EdgeOp::None,
+            ],
+        };
+        assert!(skip_through.is_connected());
+    }
+
+    #[test]
+    fn channels_are_small() {
+        let g = sample_model(1, 3);
+        let max_ch = g
+            .iter()
+            .filter_map(|(_, n)| match &n.op {
+                Op::Conv(c) => Some(c.out_channels),
+                _ => None,
+            })
+            .max()
+            .unwrap();
+        assert!(max_ch <= 128, "NATS nets keep small channel counts");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = sample_model(7, 2);
+        let b = sample_model(7, 2);
+        assert_eq!(a, b);
+        let c = sample_model(8, 2);
+        // different seeds usually differ (not guaranteed, but true for 7/8)
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn all_conv_cell_is_large() {
+        let spec = CellSpec {
+            edges: [
+                EdgeOp::Conv3x3,
+                EdgeOp::Conv3x3,
+                EdgeOp::Conv1x1,
+                EdgeOp::Conv3x3,
+                EdgeOp::Conv1x1,
+                EdgeOp::Conv3x3,
+            ],
+        };
+        let g = nats_model(&spec, 3);
+        g.validate().unwrap();
+        assert!(g.len() > 150, "got {}", g.len());
+    }
+}

@@ -1,0 +1,153 @@
+//! ResNet-18, ResNeXt-ish, and SEResNet builders.
+
+use crate::blocks::{classifier_head, conv_bn, conv_bn_act, grouped_conv_bn_act, squeeze_excite};
+use proteus_graph::{Activation, Graph, NodeId, Op, PoolAttrs};
+
+/// A basic residual block: two 3x3 conv-bn with a skip connection.
+fn basic_block(g: &mut Graph, x: NodeId, in_ch: usize, out_ch: usize, stride: usize) -> NodeId {
+    let main = conv_bn_act(g, x, in_ch, out_ch, 3, stride, 1, Activation::Relu);
+    let main = conv_bn(g, main, out_ch, out_ch, 3, 1, 1);
+    let skip = if stride != 1 || in_ch != out_ch {
+        conv_bn(g, x, in_ch, out_ch, 1, stride, 0)
+    } else {
+        x
+    };
+    let add = g.add(Op::Add, [main, skip]);
+    g.add(Op::Activation(Activation::Relu), [add])
+}
+
+fn stem(g: &mut Graph) -> NodeId {
+    let x = g.input([1, 3, 224, 224]);
+    let c = conv_bn_act(g, x, 3, 64, 7, 2, 3, Activation::Relu);
+    g.add(Op::MaxPool(PoolAttrs::new(3, 2, 1)), [c])
+}
+
+/// ResNet-18 (torchvision layout: stages 64/128/256/512, 2 blocks each).
+pub fn resnet18() -> Graph {
+    let mut g = Graph::new("resnet");
+    let mut x = stem(&mut g);
+    let mut in_ch = 64;
+    for (stage, &ch) in [64usize, 128, 256, 512].iter().enumerate() {
+        for block in 0..2 {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            x = basic_block(&mut g, x, in_ch, ch, stride);
+            in_ch = ch;
+        }
+    }
+    let head = classifier_head(&mut g, x, 512, 1000);
+    g.set_outputs([head]);
+    g
+}
+
+/// A ResNeXt-style bottleneck block with grouped 3x3 convolutions.
+fn resnext_block(
+    g: &mut Graph,
+    x: NodeId,
+    in_ch: usize,
+    out_ch: usize,
+    stride: usize,
+    groups: usize,
+) -> NodeId {
+    let width = out_ch / 2;
+    let a = conv_bn_act(g, x, in_ch, width, 1, 1, 0, Activation::Relu);
+    let b = grouped_conv_bn_act(g, a, width, width, 3, stride, 1, groups, Activation::Relu);
+    let c = conv_bn(g, b, width, out_ch, 1, 1, 0);
+    let skip = if stride != 1 || in_ch != out_ch {
+        conv_bn(g, x, in_ch, out_ch, 1, stride, 0)
+    } else {
+        x
+    };
+    let add = g.add(Op::Add, [c, skip]);
+    g.add(Op::Activation(Activation::Relu), [add])
+}
+
+/// ResNeXt-ish network (grouped bottlenecks, cardinality 32).
+pub fn resnext() -> Graph {
+    let mut g = Graph::new("resnext");
+    let mut x = stem(&mut g);
+    let mut in_ch = 64;
+    for (stage, &ch) in [256usize, 512, 1024].iter().enumerate() {
+        for block in 0..2 {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            x = resnext_block(&mut g, x, in_ch, ch, stride, 32);
+            in_ch = ch;
+        }
+    }
+    let head = classifier_head(&mut g, x, 1024, 1000);
+    g.set_outputs([head]);
+    g
+}
+
+/// A SEResNet basic block: basic residual block with a squeeze-excite gate
+/// on the main branch (paper §6.2, Figure 13 uses HardSigmoid gates).
+fn se_block(g: &mut Graph, x: NodeId, in_ch: usize, out_ch: usize, stride: usize) -> NodeId {
+    let main = conv_bn_act(g, x, in_ch, out_ch, 3, stride, 1, Activation::Relu);
+    let main = conv_bn(g, main, out_ch, out_ch, 3, 1, 1);
+    let main = squeeze_excite(g, main, out_ch, 16, Activation::Sigmoid);
+    let skip = if stride != 1 || in_ch != out_ch {
+        conv_bn(g, x, in_ch, out_ch, 1, stride, 0)
+    } else {
+        x
+    };
+    let add = g.add(Op::Add, [main, skip]);
+    g.add(Op::Activation(Activation::Relu), [add])
+}
+
+/// SEResNet: ResNet-18 skeleton with squeeze-excitation blocks. The paper's
+/// second case study (§6.2) protects exactly this kind of "ResNet plus SE"
+/// variant.
+pub fn seresnet() -> Graph {
+    let mut g = Graph::new("seresnet");
+    let mut x = stem(&mut g);
+    let mut in_ch = 64;
+    for (stage, &ch) in [64usize, 128, 256, 512].iter().enumerate() {
+        for block in 0..2 {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            x = se_block(&mut g, x, in_ch, ch, stride);
+            in_ch = ch;
+        }
+    }
+    let head = classifier_head(&mut g, x, 512, 1000);
+    g.set_outputs([head]);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_graph::infer_shapes;
+
+    #[test]
+    fn resnet18_structure() {
+        let g = resnet18();
+        g.validate().unwrap();
+        let shapes = infer_shapes(&g).unwrap();
+        let out = g.outputs()[0];
+        assert_eq!(shapes[&out].dims(), &[1, 1000]);
+        // 8 residual adds
+        let adds = g.iter().filter(|(_, n)| matches!(n.op, Op::Add)).count();
+        assert_eq!(adds, 8);
+    }
+
+    #[test]
+    fn resnext_uses_groups() {
+        let g = resnext();
+        g.validate().unwrap();
+        infer_shapes(&g).unwrap();
+        let grouped = g
+            .iter()
+            .filter(|(_, n)| matches!(&n.op, Op::Conv(c) if c.groups == 32))
+            .count();
+        assert_eq!(grouped, 6);
+    }
+
+    #[test]
+    fn seresnet_has_se_gates() {
+        let g = seresnet();
+        g.validate().unwrap();
+        infer_shapes(&g).unwrap();
+        let muls = g.iter().filter(|(_, n)| matches!(n.op, Op::Mul)).count();
+        assert_eq!(muls, 8, "one SE gate per block");
+        assert!(g.len() > resnet18().len());
+    }
+}

@@ -1,0 +1,140 @@
+//! Transformer-encoder builders (BERT, RoBERTa, DistilBERT, XLM).
+//!
+//! Single-head attention is used per layer (heads only change a pair of
+//! reshapes and do not affect the operator sequence statistics Proteus
+//! reasons about), matching the subgraph granularity the paper's figures
+//! show for language models.
+
+use proteus_graph::{
+    Activation, GemmAttrs, Graph, LayerNormAttrs, NodeId, Op, Shape,
+};
+
+/// Configuration of a transformer encoder.
+#[derive(Debug, Clone, Copy)]
+pub struct EncoderConfig {
+    pub vocab: usize,
+    pub hidden: usize,
+    pub layers: usize,
+    pub seq_len: usize,
+    pub ffn_mult: usize,
+}
+
+fn attention(g: &mut Graph, x: NodeId, cfg: &EncoderConfig) -> NodeId {
+    let h = cfg.hidden;
+    let q = g.add(Op::Gemm(GemmAttrs::new(h, h)), [x]);
+    let k = g.add(Op::Gemm(GemmAttrs::new(h, h)), [x]);
+    let v = g.add(Op::Gemm(GemmAttrs::new(h, h)), [x]);
+    let kt = g.add(Op::Transpose { perm: vec![0, 2, 1] }, [k]);
+    let scores = g.add(Op::MatMul, [q, kt]);
+    let scale = g.constant(Shape::new(vec![]));
+    let scaled = g.add(Op::Div, [scores, scale]);
+    let probs = g.add(Op::Softmax { axis: -1 }, [scaled]);
+    let ctx = g.add(Op::MatMul, [probs, v]);
+    g.add(Op::Gemm(GemmAttrs::new(h, h)), [ctx])
+}
+
+fn encoder_layer(g: &mut Graph, x: NodeId, cfg: &EncoderConfig) -> NodeId {
+    let h = cfg.hidden;
+    let att = attention(g, x, cfg);
+    let res1 = g.add(Op::Add, [x, att]);
+    let ln1 = g.add(Op::LayerNorm(LayerNormAttrs { dim: h }), [res1]);
+    let ff1 = g.add(Op::Gemm(GemmAttrs::new(h, h * cfg.ffn_mult)), [ln1]);
+    let act = g.add(Op::Activation(Activation::Gelu), [ff1]);
+    let ff2 = g.add(Op::Gemm(GemmAttrs::new(h * cfg.ffn_mult, h)), [act]);
+    let res2 = g.add(Op::Add, [ln1, ff2]);
+    g.add(Op::LayerNorm(LayerNormAttrs { dim: h }), [res2])
+}
+
+/// Builds a BERT-style encoder from a configuration.
+pub fn encoder(name: &str, cfg: EncoderConfig) -> Graph {
+    let mut g = Graph::new(name);
+    let ids = g.input([1, cfg.seq_len]);
+    let emb = g.add(Op::Gather { vocab: cfg.vocab, dim: cfg.hidden }, [ids]);
+    let pos = g.constant([1, cfg.seq_len, cfg.hidden]);
+    let sum = g.add(Op::Add, [emb, pos]);
+    let mut h = g.add(Op::LayerNorm(LayerNormAttrs { dim: cfg.hidden }), [sum]);
+    for _ in 0..cfg.layers {
+        h = encoder_layer(&mut g, h, &cfg);
+    }
+    // pooler over [CLS]-like reduced representation
+    let pooled = g.add(Op::ReduceMean { axes: vec![1], keepdims: false }, [h]);
+    let fc = g.add(Op::Gemm(GemmAttrs::new(cfg.hidden, cfg.hidden)), [pooled]);
+    let tanh = g.add(Op::Activation(Activation::Tanh), [fc]);
+    g.set_outputs([tanh]);
+    g
+}
+
+/// BERT-base: 12 layers, hidden 768.
+pub fn bert() -> Graph {
+    encoder(
+        "bert",
+        EncoderConfig { vocab: 30522, hidden: 768, layers: 12, seq_len: 128, ffn_mult: 4 },
+    )
+}
+
+/// RoBERTa-base: BERT layout with the larger 50k BPE vocabulary.
+pub fn roberta() -> Graph {
+    encoder(
+        "roberta",
+        EncoderConfig { vocab: 50265, hidden: 768, layers: 12, seq_len: 128, ffn_mult: 4 },
+    )
+}
+
+/// DistilBERT: 6 layers.
+pub fn distilbert() -> Graph {
+    encoder(
+        "distilbert",
+        EncoderConfig { vocab: 30522, hidden: 768, layers: 6, seq_len: 128, ffn_mult: 4 },
+    )
+}
+
+/// XLM: 16 wider layers (hidden 1024), the largest language model in the
+/// paper's Figure 6 (n = 25 partitions).
+pub fn xlm() -> Graph {
+    encoder(
+        "xlm",
+        EncoderConfig { vocab: 64139, hidden: 1024, layers: 16, seq_len: 128, ffn_mult: 4 },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_graph::infer_shapes;
+
+    #[test]
+    fn bert_validates() {
+        let g = bert();
+        g.validate().unwrap();
+        let shapes = infer_shapes(&g).unwrap();
+        assert_eq!(shapes[&g.outputs()[0]].dims(), &[1, 768]);
+    }
+
+    #[test]
+    fn layer_counts_scale_with_depth() {
+        let b = bert().len();
+        let d = distilbert().len();
+        let x = xlm().len();
+        assert!(d < b, "distilbert ({d}) smaller than bert ({b})");
+        assert!(x > b, "xlm ({x}) larger than bert ({b})");
+    }
+
+    #[test]
+    fn attention_pattern_present() {
+        let g = distilbert();
+        let softmaxes = g
+            .iter()
+            .filter(|(_, n)| matches!(n.op, Op::Softmax { .. }))
+            .count();
+        assert_eq!(softmaxes, 6, "one attention softmax per layer");
+        let matmuls = g.iter().filter(|(_, n)| matches!(n.op, Op::MatMul)).count();
+        assert_eq!(matmuls, 12, "QK^T and PV matmuls per layer");
+    }
+
+    #[test]
+    fn xlm_is_wider() {
+        let g = xlm();
+        let shapes = infer_shapes(&g).unwrap();
+        assert_eq!(shapes[&g.outputs()[0]].dims(), &[1, 1024]);
+    }
+}

@@ -1,0 +1,226 @@
+//! Dense row-major `f32` matrices — the value type of the autograd tape.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn new(rows: usize, cols: usize, data: Vec<f32>) -> Matrix {
+        assert_eq!(rows * cols, data.len(), "matrix data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Matrix filled with `v`.
+    pub fn full(rows: usize, cols: usize, v: f32) -> Matrix {
+        Matrix { rows, cols, data: vec![v; rows * cols] }
+    }
+
+    /// Xavier/Glorot-uniform initialization.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols).map(|_| rng.gen_range(-bound..=bound)).collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row-major elements.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable row-major elements.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// `self * other`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul dims {}x{} * {}x{}", self.rows, self.cols, other.rows, other.cols);
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self^T * other` (used by backward passes without materializing
+    /// transposes).
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_tn dims");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            for i in 0..self.cols {
+                let a = self.data[k * self.cols + i];
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * other^T`.
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_nt dims");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            for j in 0..other.rows {
+                let mut acc = 0.0;
+                for k in 0..self.cols {
+                    acc += self.data[i * self.cols + k] * other.data[j * other.cols + k];
+                }
+                out.data[i * other.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Elementwise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Elementwise combination with another same-shape matrix.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn zip(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "zip shape");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// Accumulates `other` into `self` (`self += other`).
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "add_assign shape");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_known() {
+        let a = Matrix::new(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::new(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transposed_matmuls_agree_with_explicit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Matrix::xavier(4, 3, &mut rng);
+        let b = Matrix::xavier(4, 5, &mut rng);
+        // a^T b
+        let tn = a.matmul_tn(&b);
+        let mut at = Matrix::zeros(3, 4);
+        for r in 0..4 {
+            for c in 0..3 {
+                at.set(c, r, a.get(r, c));
+            }
+        }
+        let explicit = at.matmul(&b);
+        for (x, y) in tn.data().iter().zip(explicit.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+
+        let c = Matrix::xavier(5, 3, &mut rng);
+        let d = Matrix::xavier(4, 3, &mut rng);
+        let nt = c.matmul_nt(&d);
+        assert_eq!((nt.rows(), nt.cols()), (5, 4));
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = Matrix::xavier(10, 10, &mut rng);
+        let bound = (6.0 / 20.0f32).sqrt();
+        assert!(m.data().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn zip_and_map() {
+        let a = Matrix::new(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::new(1, 3, vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.zip(&b, |x, y| x * y).data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.map(|x| x + 1.0).data(), &[2.0, 3.0, 4.0]);
+        assert_eq!(a.sum(), 6.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Rule-based graph-level optimizer with an analytical latency model —
+//! the ONNXRuntime/Hidet stand-in (paper §2.1, §5.1).
+//!
+//! The "optimizer party" of the Proteus protocol receives (sub)graphs and
+//! returns functionally-equivalent, faster versions. This crate provides:
+//!
+//! - [`rules`] — the graph-level rewrites the paper cites as representative
+//!   (identity elimination, reshape fusion, constant folding, Conv+BN
+//!   folding, Conv/Gemm/Add activation fusion, residual-add fusion, CSE,
+//!   transpose-pair elimination, Winograd algorithm selection);
+//! - [`Optimizer`] with two [`Profile`]s: `OrtLike` (full rule set) and
+//!   `HidetLike` (leaner graph-level set, faster kernels) — the two
+//!   optimizers of Figure 4;
+//! - [`cost`] — a roofline latency model standing in for A100 wall-clock
+//!   measurement (see DESIGN.md for the substitution argument);
+//! - [`verify`] — interpreter-backed equivalence checking of rewrites.
+//!
+//! ```
+//! use proteus_opt::{Optimizer, Profile};
+//! use proteus_graph::TensorMap;
+//! let g = proteus_models::build(proteus_models::ModelKind::ResNet);
+//! let opt = Optimizer::new(Profile::OrtLike);
+//! let report = opt.speedup(&g, &TensorMap::new())?;
+//! assert!(report.speedup() > 1.0);
+//! # Ok::<(), proteus_graph::GraphError>(())
+//! ```
+pub mod cost;
+pub mod rewriter;
+pub mod rules;
+pub mod verify;
+
+pub use cost::{estimate_runtime_us, node_latency_us, node_work, CostParams, NodeWork};
+pub use rewriter::{OptimizeStats, Optimizer, Profile, SpeedupReport};
+pub use verify::{check_equivalence, Equivalence};

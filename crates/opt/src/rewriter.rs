@@ -1,0 +1,310 @@
+//! The optimizer driver: profiles, fixpoint rewriting, and latency
+//! estimation.
+
+use crate::cost::{estimate_runtime_us, CostParams};
+use crate::rules::{self, Rule};
+use proteus_graph::{Graph, GraphError, TensorMap};
+
+/// Which optimizer the driver emulates (paper §5.1 evaluates both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Profile {
+    /// ONNXRuntime-style: the full graph-level rule set, including
+    /// speculative algorithm selection (Winograd).
+    #[default]
+    OrtLike,
+    /// Hidet-style: a leaner graph-level set (Hidet pushes most work to
+    /// operator-level scheduling), with faster per-kernel parameters.
+    HidetLike,
+}
+
+impl Profile {
+    /// The cost-model parameters of this profile.
+    pub fn cost_params(self) -> CostParams {
+        match self {
+            Profile::OrtLike => CostParams::ort_like(),
+            Profile::HidetLike => CostParams::hidet_like(),
+        }
+    }
+
+    /// The rewrite rules of this profile, in application order.
+    pub fn rules(self) -> Vec<(&'static str, Rule)> {
+        match self {
+            Profile::OrtLike => vec![
+                ("eliminate_identity", rules::eliminate_identity as Rule),
+                ("eliminate_dropout", rules::eliminate_dropout),
+                ("constant_fold", rules::constant_fold),
+                ("fold_bn_into_conv", rules::fold_bn_into_conv),
+                ("fuse_conv_add", rules::fuse_conv_add),
+                ("fuse_conv_act", rules::fuse_conv_act),
+                ("fuse_gemm_act", rules::fuse_gemm_act),
+                ("fuse_add_act", rules::fuse_add_act),
+                ("fuse_skip_layernorm", rules::fuse_skip_layernorm),
+                ("fuse_matmul_transpose", rules::fuse_matmul_transpose),
+                ("fuse_reshape_chain", rules::fuse_reshape_chain),
+                ("eliminate_transpose_pair", rules::eliminate_transpose_pair),
+                ("cse", rules::cse),
+                ("winograd_rewrite", rules::winograd_rewrite),
+            ],
+            Profile::HidetLike => vec![
+                ("eliminate_identity", rules::eliminate_identity as Rule),
+                ("eliminate_dropout", rules::eliminate_dropout),
+                ("constant_fold", rules::constant_fold),
+                ("fold_bn_into_conv", rules::fold_bn_into_conv),
+                ("fuse_conv_act", rules::fuse_conv_act),
+                ("fuse_gemm_act", rules::fuse_gemm_act),
+                ("cse", rules::cse),
+            ],
+        }
+    }
+
+    /// Table name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::OrtLike => "onnxruntime-like",
+            Profile::HidetLike => "hidet-like",
+        }
+    }
+}
+
+/// Statistics of one optimization run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OptimizeStats {
+    /// Total rewrites applied, per rule name.
+    pub rewrites: Vec<(String, usize)>,
+    /// Fixpoint iterations executed.
+    pub iterations: usize,
+    /// Node count before and after.
+    pub nodes_before: usize,
+    pub nodes_after: usize,
+}
+
+/// A graph-level optimizer (the "optimizer party" of the paper).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Optimizer {
+    profile: Profile,
+}
+
+impl Optimizer {
+    /// Creates an optimizer with the given profile.
+    pub fn new(profile: Profile) -> Optimizer {
+        Optimizer { profile }
+    }
+
+    /// The active profile.
+    pub fn profile(&self) -> Profile {
+        self.profile
+    }
+
+    /// Optimizes a graph to fixpoint. Returns the optimized graph (compacted
+    /// and dead-code-pruned), its parameters, and rewrite statistics.
+    ///
+    /// The input is never mutated — the optimizer party works on its own
+    /// copy, as in the paper's threat model.
+    pub fn optimize(&self, graph: &Graph, params: &TensorMap) -> (Graph, TensorMap, OptimizeStats) {
+        let mut g = graph.clone();
+        let mut p = params.clone();
+        let rules = self.profile.rules();
+        let mut stats = OptimizeStats {
+            nodes_before: g.len(),
+            ..Default::default()
+        };
+        let mut totals = vec![0usize; rules.len()];
+        const MAX_ITERS: usize = 12;
+        for iter in 0..MAX_ITERS {
+            stats.iterations = iter + 1;
+            let mut changed = 0usize;
+            for (i, (_, rule)) in rules.iter().enumerate() {
+                let n = rule(&mut g, &mut p);
+                totals[i] += n;
+                changed += n;
+            }
+            if changed == 0 {
+                break;
+            }
+        }
+        g.prune_dead();
+        let (compacted, mapping) = g.compact();
+        // remap parameters to compacted ids
+        let mut new_params = TensorMap::new();
+        for (old, new) in &mapping {
+            if let Some(t) = p.get(*old) {
+                new_params.insert(*new, t.to_vec());
+            }
+        }
+        stats.nodes_after = compacted.len();
+        stats.rewrites = rules
+            .iter()
+            .zip(totals)
+            .map(|((name, _), n)| (name.to_string(), n))
+            .collect();
+        (compacted, new_params, stats)
+    }
+
+    /// Estimated latency (µs) of a graph under this profile's cost model.
+    ///
+    /// # Errors
+    /// Propagates shape-inference failures.
+    pub fn estimate_us(&self, graph: &Graph) -> Result<f64, GraphError> {
+        estimate_runtime_us(graph, &self.profile.cost_params())
+    }
+
+    /// Convenience: `(unoptimized_us, optimized_us, speedup)` for a graph.
+    ///
+    /// # Errors
+    /// Propagates shape-inference failures.
+    pub fn speedup(&self, graph: &Graph, params: &TensorMap) -> Result<SpeedupReport, GraphError> {
+        let before = self.estimate_us(graph)?;
+        let (opt, _, stats) = self.optimize(graph, params);
+        let after = self.estimate_us(&opt)?;
+        Ok(SpeedupReport { unoptimized_us: before, optimized_us: after, stats })
+    }
+}
+
+/// Result of [`Optimizer::speedup`].
+#[derive(Debug, Clone)]
+pub struct SpeedupReport {
+    pub unoptimized_us: f64,
+    pub optimized_us: f64,
+    pub stats: OptimizeStats,
+}
+
+impl SpeedupReport {
+    /// `unoptimized / optimized` (>1 means the optimizer helped).
+    pub fn speedup(&self) -> f64 {
+        self.unoptimized_us / self.optimized_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_graph::{Activation, BatchNormAttrs, ConvAttrs, Executor, Op, Tensor};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn residual_block() -> Graph {
+        let mut g = Graph::new("block");
+        let x = g.input([1, 32, 8, 8]);
+        let c1 = g.add(Op::Conv(ConvAttrs::new(32, 32, 3).padding(1).bias(false)), [x]);
+        let b1 = g.add(Op::BatchNorm(BatchNormAttrs { channels: 32 }), [c1]);
+        let r1 = g.add(Op::Activation(Activation::Relu), [b1]);
+        let c2 = g.add(Op::Conv(ConvAttrs::new(32, 32, 3).padding(1).bias(false)), [r1]);
+        let b2 = g.add(Op::BatchNorm(BatchNormAttrs { channels: 32 }), [c2]);
+        let a = g.add(Op::Add, [b2, x]);
+        let r2 = g.add(Op::Activation(Activation::Relu), [a]);
+        let d = g.add(Op::Dropout { p: 10 }, [r2]);
+        g.set_outputs([d]);
+        g
+    }
+
+    #[test]
+    fn optimize_residual_block_collapses_kernels() {
+        let g = residual_block();
+        let params = TensorMap::init_random(&g, 21);
+        let opt = Optimizer::new(Profile::OrtLike);
+        let (og, op, stats) = opt.optimize(&g, &params);
+        og.validate().unwrap();
+        // conv-bn-relu + conv-bn-add-relu + dropout: collapses to 2 convs
+        assert_eq!(og.len(), 3, "{og:#?}");
+        assert!(stats.nodes_before > stats.nodes_after);
+
+        // semantics preserved
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Tensor::random([1, 32, 8, 8], 1.0, &mut rng);
+        let a = Executor::new(&g, &params).run(&[x.clone()]).unwrap();
+        let b = Executor::new(&og, &op).run(&[x]).unwrap();
+        assert!(
+            a[0].allclose(&b[0], 1e-3),
+            "max diff {}",
+            a[0].max_abs_diff(&b[0])
+        );
+    }
+
+    #[test]
+    fn optimization_improves_estimated_latency() {
+        let g = residual_block();
+        let params = TensorMap::init_random(&g, 5);
+        let opt = Optimizer::new(Profile::OrtLike);
+        let report = opt.speedup(&g, &params).unwrap();
+        assert!(
+            report.speedup() > 1.3,
+            "expected clear speedup, got {:.3}",
+            report.speedup()
+        );
+    }
+
+    #[test]
+    fn hidet_profile_applies_fewer_rules() {
+        let g = residual_block();
+        let params = TensorMap::init_random(&g, 6);
+        let (ort_g, _, _) = Optimizer::new(Profile::OrtLike).optimize(&g, &params);
+        let (hidet_g, _, _) = Optimizer::new(Profile::HidetLike).optimize(&g, &params);
+        assert!(ort_g.len() <= hidet_g.len());
+    }
+
+    #[test]
+    fn optimizer_is_idempotent() {
+        let g = residual_block();
+        let params = TensorMap::init_random(&g, 7);
+        let opt = Optimizer::new(Profile::OrtLike);
+        let (g1, p1, _) = opt.optimize(&g, &params);
+        let (g2, _, stats2) = opt.optimize(&g1, &p1);
+        assert_eq!(g1.len(), g2.len());
+        let total: usize = stats2
+            .rewrites
+            .iter()
+            .filter(|(name, _)| name != "winograd_rewrite")
+            .map(|(_, n)| n)
+            .sum();
+        assert_eq!(total, 0, "second run should be a no-op: {stats2:?}");
+    }
+
+    #[test]
+    fn zoo_models_optimize_and_validate() {
+        use proteus_models::{build, ModelKind};
+        for kind in [ModelKind::ResNet, ModelKind::MobileNet, ModelKind::Bert] {
+            let g = build(kind);
+            let opt = Optimizer::new(Profile::OrtLike);
+            let (og, _, stats) = opt.optimize(&g, &TensorMap::new());
+            og.validate().unwrap_or_else(|e| panic!("{kind}: {e}"));
+            proteus_graph::infer_shapes(&og).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert!(
+                stats.nodes_after < stats.nodes_before,
+                "{kind}: no reduction ({} -> {})",
+                stats.nodes_before,
+                stats.nodes_after
+            );
+        }
+    }
+
+    #[test]
+    fn zoo_models_speed_up() {
+        use proteus_models::{build, ModelKind};
+        let opt = Optimizer::new(Profile::OrtLike);
+        for kind in [ModelKind::ResNet, ModelKind::GoogleNet, ModelKind::DistilBert] {
+            let g = build(kind);
+            let report = opt.speedup(&g, &TensorMap::new()).unwrap();
+            assert!(
+                report.speedup() > 1.05,
+                "{kind}: speedup only {:.3}",
+                report.speedup()
+            );
+        }
+    }
+
+    #[test]
+    fn nats_models_slow_down_under_ort() {
+        // the paper's §6.1 phenomenon: graph optimization *hurts* the exotic
+        // small-channel NAS model
+        use proteus_models::nats;
+        let opt = Optimizer::new(Profile::OrtLike);
+        let g = nats::sample_conv_rich_model(3, 5);
+        let report = opt.speedup(&g, &TensorMap::new()).unwrap();
+        // not asserting an exact 2.15x — the shape is: optimized is slower
+        assert!(
+            report.speedup() < 1.0,
+            "NATS model should slow down, got speedup {:.3}",
+            report.speedup()
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Functional-equivalence verification of optimizer output.
+//!
+//! The paper's de-obfuscation step (§4.3) *assumes* the optimizer preserves
+//! functional correctness; this module lets the workspace check that
+//! assumption mechanically with the reference interpreter.
+
+use proteus_graph::{infer_shapes, Executor, Graph, GraphError, Op, Tensor, TensorMap};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Outcome of an equivalence check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Equivalence {
+    /// Outputs matched within tolerance on every probe.
+    Equivalent,
+    /// Outputs diverged; carries the worst absolute difference observed.
+    Diverged(f32),
+}
+
+impl Equivalence {
+    /// True when the graphs agreed.
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, Equivalence::Equivalent)
+    }
+}
+
+/// Runs both graphs on `probes` random inputs and compares outputs.
+///
+/// Input tensors are generated from the *first* graph's `Input` shapes;
+/// both graphs must declare identical input signatures (optimizers do not
+/// change calling conventions).
+///
+/// # Errors
+/// Propagates interpreter failures (missing parameters, shape errors).
+pub fn check_equivalence(
+    a: &Graph,
+    a_params: &TensorMap,
+    b: &Graph,
+    b_params: &TensorMap,
+    probes: usize,
+    tol: f32,
+    seed: u64,
+) -> Result<Equivalence, GraphError> {
+    let _ = infer_shapes(a)?;
+    let _ = infer_shapes(b)?;
+    let mut input_shapes: Vec<proteus_graph::Shape> = Vec::new();
+    let mut ids: Vec<_> = a
+        .iter()
+        .filter(|(_, n)| matches!(n.op, Op::Input { .. }))
+        .map(|(id, _)| id)
+        .collect();
+    ids.sort();
+    for id in ids {
+        if let Op::Input { shape } = &a.node(id).expect("live").op {
+            input_shapes.push(shape.clone());
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut worst = 0.0f32;
+    for _ in 0..probes {
+        let inputs: Vec<Tensor> = input_shapes
+            .iter()
+            .map(|s| Tensor::random(s.clone(), 1.0, &mut rng))
+            .collect();
+        let oa = Executor::new(a, a_params).run(&inputs)?;
+        let ob = Executor::new(b, b_params).run(&inputs)?;
+        if oa.len() != ob.len() {
+            return Ok(Equivalence::Diverged(f32::INFINITY));
+        }
+        for (ta, tb) in oa.iter().zip(&ob) {
+            worst = worst.max(ta.max_abs_diff(tb));
+        }
+    }
+    if worst <= tol {
+        Ok(Equivalence::Equivalent)
+    } else {
+        Ok(Equivalence::Diverged(worst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewriter::{Optimizer, Profile};
+    use proteus_graph::{Activation, ConvAttrs, GemmAttrs, PoolAttrs};
+
+    fn small_net() -> Graph {
+        let mut g = Graph::new("net");
+        let x = g.input([1, 3, 8, 8]);
+        let c = g.add(
+            Op::Conv(ConvAttrs::new(3, 4, 3).padding(1)),
+            [x],
+        );
+        let r = g.add(Op::Activation(Activation::Relu), [c]);
+        let p = g.add(Op::MaxPool(PoolAttrs::new(2, 2, 0)), [r]);
+        let f = g.add(Op::Flatten, [p]);
+        let fc = g.add(Op::Gemm(GemmAttrs::new(64, 5)), [f]);
+        g.set_outputs([fc]);
+        g
+    }
+
+    #[test]
+    fn optimizer_output_verifies() {
+        let g = small_net();
+        let params = TensorMap::init_random(&g, 33);
+        for profile in [Profile::OrtLike, Profile::HidetLike] {
+            let (og, op, _) = Optimizer::new(profile).optimize(&g, &params);
+            let eq = check_equivalence(&g, &params, &og, &op, 3, 1e-3, 1).unwrap();
+            assert!(eq.is_equivalent(), "{profile:?}: {eq:?}");
+        }
+    }
+
+    #[test]
+    fn divergence_is_detected() {
+        let g = small_net();
+        let params = TensorMap::init_random(&g, 34);
+        let other_params = TensorMap::init_random(&g, 35); // different weights
+        let eq = check_equivalence(&g, &params, &g, &other_params, 2, 1e-3, 2).unwrap();
+        assert!(!eq.is_equivalent());
+    }
+
+    #[cfg(test)]
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_elementwise_graph() -> impl Strategy<Value = Graph> {
+            proptest::collection::vec((0u8..6, proptest::num::u64::ANY), 2..25).prop_map(
+                |specs| {
+                    let mut g = Graph::new("prop");
+                    let mut ids = vec![g.input([2, 6])];
+                    for (kind, pick) in specs {
+                        let a = ids[(pick as usize) % ids.len()];
+                        let b = ids[(pick as usize / 3) % ids.len()];
+                        let id = match kind {
+                            0 => g.add(Op::Activation(Activation::Relu), [a]),
+                            1 => g.add(Op::Activation(Activation::Sigmoid), [a]),
+                            2 => g.add(Op::Identity, [a]),
+                            3 => g.add(Op::Dropout { p: 20 }, [a]),
+                            4 => g.add(Op::Add, [a, b]),
+                            _ => g.add(Op::Mul, [a, b]),
+                        };
+                        ids.push(id);
+                    }
+                    let last = *ids.last().expect("nonempty");
+                    g.set_outputs([last]);
+                    g
+                },
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            #[test]
+            fn optimizer_preserves_semantics_on_random_graphs(
+                g in arb_elementwise_graph(),
+                profile_ort in proptest::bool::ANY,
+            ) {
+                let params = TensorMap::new();
+                let profile = if profile_ort { Profile::OrtLike } else { Profile::HidetLike };
+                let (og, op, _) = Optimizer::new(profile).optimize(&g, &params);
+                og.validate().unwrap();
+                let eq = check_equivalence(&g, &params, &og, &op, 2, 1e-4, 7).unwrap();
+                prop_assert!(eq.is_equivalent(), "{:?}", eq);
+            }
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Karger–Stein-inspired randomized edge contraction (paper §4.1.1).
+//!
+//! The protected graph is partitioned by repeatedly contracting random
+//! edges of its undirected view until `n` super-nodes remain; each
+//! super-node becomes one subgraph. Because plain contraction produces
+//! partitions of wildly varying sizes — which leaks information (large
+//! pieces) and hurts optimization (tiny pieces) — the paper runs the
+//! contraction several times and keeps the assignment minimizing the
+//! standard deviation of partition sizes. [`partition_balanced`] implements
+//! exactly that loop.
+
+use proteus_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Union-find over arena indices.
+#[derive(Debug, Clone)]
+struct Dsu {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Dsu {
+        Dsu { parent: (0..n).collect(), size: vec![1; n] }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        true
+    }
+}
+
+/// A node→partition assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// Partition index for every live node.
+    pub partition_of: HashMap<NodeId, usize>,
+    /// Number of partitions.
+    pub num_partitions: usize,
+}
+
+impl Assignment {
+    /// Sizes of all partitions.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_partitions];
+        for &p in self.partition_of.values() {
+            sizes[p] += 1;
+        }
+        sizes
+    }
+
+    /// Population standard deviation of partition sizes — the balance metric
+    /// the paper's enhanced Karger–Stein loop minimizes.
+    pub fn size_std(&self) -> f64 {
+        let sizes = self.sizes();
+        if sizes.is_empty() {
+            return 0.0;
+        }
+        let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        let var = sizes
+            .iter()
+            .map(|&s| (s as f64 - mean) * (s as f64 - mean))
+            .sum::<f64>()
+            / sizes.len() as f64;
+        var.sqrt()
+    }
+
+    /// Node ids of each partition, sorted within each partition.
+    pub fn groups(&self) -> Vec<Vec<NodeId>> {
+        let mut groups = vec![Vec::new(); self.num_partitions];
+        for (&id, &p) in &self.partition_of {
+            groups[p].push(id);
+        }
+        for g in &mut groups {
+            g.sort();
+        }
+        groups
+    }
+}
+
+/// One run of randomized edge contraction down to (at most) `n` components.
+///
+/// If the undirected view has more than `n` connected components to begin
+/// with, the result simply keeps those components separate; the returned
+/// assignment may then have more than `n` partitions.
+pub fn contract_once(graph: &Graph, n: usize, rng: &mut StdRng) -> Assignment {
+    let arena = graph.arena_len();
+    let live: Vec<NodeId> = graph.node_ids();
+    let n = n.clamp(1, live.len().max(1));
+    let mut dsu = Dsu::new(arena);
+    // Undirected edge list (u < v deduplicated is unnecessary; duplicates
+    // only change the sampling distribution the way multi-edges do in
+    // Karger's algorithm, which is faithful to the original).
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(graph.edge_count());
+    for (id, node) in graph.iter() {
+        for &inp in &node.inputs {
+            edges.push((inp.index(), id.index()));
+        }
+    }
+    edges.shuffle(rng);
+    let mut components = live.len();
+    for (u, v) in edges {
+        if components <= n {
+            break;
+        }
+        if dsu.union(u, v) {
+            components -= 1;
+        }
+    }
+    // Map DSU roots to dense partition indices.
+    let mut root_to_part: HashMap<usize, usize> = HashMap::new();
+    let mut partition_of = HashMap::with_capacity(live.len());
+    for id in live {
+        let root = dsu.find(id.index());
+        let next = root_to_part.len();
+        let part = *root_to_part.entry(root).or_insert(next);
+        partition_of.insert(id, part);
+    }
+    Assignment { partition_of, num_partitions: root_to_part.len() }
+}
+
+/// The paper's balanced partitioning: run [`contract_once`] `restarts` times
+/// and keep the assignment with the smallest partition-size standard
+/// deviation. Deterministic in `seed`.
+pub fn partition_balanced(graph: &Graph, n: usize, restarts: usize, seed: u64) -> Assignment {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best: Option<Assignment> = None;
+    for _ in 0..restarts.max(1) {
+        let cand = contract_once(graph, n, &mut rng);
+        let better = match &best {
+            None => true,
+            Some(b) => cand.size_std() < b.size_std(),
+        };
+        if better {
+            best = Some(cand);
+        }
+    }
+    best.expect("at least one restart")
+}
+
+/// Partitions so that partitions have roughly `target_size` nodes each
+/// (the paper's `n = ⌊N / target⌋` convention, clamped to at least 1).
+pub fn partition_by_size(
+    graph: &Graph,
+    target_size: usize,
+    restarts: usize,
+    seed: u64,
+) -> Assignment {
+    let n = (graph.len() / target_size.max(1)).max(1);
+    partition_balanced(graph, n, restarts, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_graph::{Activation, Op};
+
+    fn chain(n: usize) -> Graph {
+        let mut g = Graph::new("chain");
+        let mut prev = g.input([1, 4]);
+        for _ in 1..n {
+            prev = g.add(Op::Activation(Activation::Relu), [prev]);
+        }
+        g.set_outputs([prev]);
+        g
+    }
+
+    #[test]
+    fn partitions_cover_all_nodes_exactly_once() {
+        let g = chain(40);
+        let a = partition_balanced(&g, 5, 8, 42);
+        assert_eq!(a.partition_of.len(), 40);
+        assert_eq!(a.sizes().iter().sum::<usize>(), 40);
+        assert_eq!(a.num_partitions, 5);
+    }
+
+    #[test]
+    fn partitions_are_contiguous_on_a_chain() {
+        // Contracting edges of a path always yields contiguous segments.
+        let g = chain(30);
+        let a = partition_balanced(&g, 4, 4, 7);
+        let ids = g.node_ids();
+        for w in ids.windows(2) {
+            let (p, q) = (a.partition_of[&w[0]], a.partition_of[&w[1]]);
+            // neighbors on the chain are either same partition or a boundary
+            let _ = (p, q); // contiguity check below
+        }
+        // each partition's ids form one contiguous run
+        for group in a.groups() {
+            for w in group.windows(2) {
+                assert_eq!(w[1].index() - w[0].index(), 1, "chain partitions contiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn balancing_reduces_std() {
+        let g = crate::tests_support::medium_graph();
+        let mut rng = StdRng::seed_from_u64(3);
+        let single = contract_once(&g, 8, &mut rng);
+        let balanced = partition_balanced(&g, 8, 32, 3);
+        assert!(
+            balanced.size_std() <= single.size_std() + 1e-9,
+            "balanced {} vs single {}",
+            balanced.size_std(),
+            single.size_std()
+        );
+    }
+
+    #[test]
+    fn n_clamped_to_node_count() {
+        let g = chain(5);
+        let a = partition_balanced(&g, 50, 2, 1);
+        assert_eq!(a.num_partitions, 5);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = chain(25);
+        let a = partition_balanced(&g, 5, 8, 11);
+        let b = partition_balanced(&g, 5, 8, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn partition_by_size_targets_average() {
+        let g = chain(64);
+        let a = partition_by_size(&g, 8, 16, 5);
+        assert_eq!(a.num_partitions, 8);
+        let sizes = a.sizes();
+        let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        assert!((mean - 8.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,159 @@
+//! Graph partitioning for Proteus (paper §4.1.1).
+//!
+//! Splits a protected computational graph into `n` balanced subgraphs via
+//! randomized edge contraction (a Karger–Stein-style scheme with
+//! balance-seeking restarts), extracts each partition as a standalone graph
+//! with `Input` placeholders on cut edges, and reassembles optimized pieces
+//! into the full model.
+//!
+//! # Example
+//!
+//! ```
+//! use proteus_partition::{partition_balanced, PartitionPlan};
+//! use proteus_graph::{Graph, Op, Activation, TensorMap};
+//!
+//! let mut g = Graph::new("m");
+//! let mut prev = g.input([1, 16]);
+//! for _ in 0..15 {
+//!     prev = g.add(Op::Activation(Activation::Relu), [prev]);
+//! }
+//! g.set_outputs([prev]);
+//!
+//! let assignment = partition_balanced(&g, 4, 16, 42);
+//! let plan = PartitionPlan::extract(&g, &TensorMap::new(), &assignment)?;
+//! assert_eq!(plan.pieces.len(), 4);
+//! let (merged, _) = plan.reassemble_identity()?;
+//! assert_eq!(merged.len(), g.len());
+//! # Ok::<(), proteus_graph::GraphError>(())
+//! ```
+
+pub mod contract;
+pub mod plan;
+
+pub use contract::{contract_once, partition_balanced, partition_by_size, Assignment};
+pub use plan::{BoundaryRef, PartitionPlan, Piece};
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use proteus_graph::{Activation, ConvAttrs, Graph, Op};
+
+    /// A medium branching graph used by several tests.
+    pub fn medium_graph() -> Graph {
+        let mut g = Graph::new("medium");
+        let x = g.input([1, 8, 16, 16]);
+        let mut h = x;
+        for i in 0..10 {
+            let c = g.add(Op::Conv(ConvAttrs::new(8, 8, 3).padding(1)), [h]);
+            let r = g.add(Op::Activation(Activation::Relu), [c]);
+            h = if i % 3 == 2 { g.add(Op::Add, [r, h]) } else { r };
+        }
+        g.set_outputs([h]);
+        g
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use proteus_graph::{Activation, Graph, Op, TensorMap};
+
+    /// Builds a random DAG of unary/binary elementwise ops over one input.
+    fn arb_graph() -> impl Strategy<Value = Graph> {
+        // sequence of ops: each picks its input(s) among earlier nodes
+        proptest::collection::vec((0u8..4, proptest::num::u64::ANY), 3..40).prop_map(|specs| {
+            let mut g = Graph::new("prop");
+            let mut ids = vec![g.input([1, 8])];
+            for (kind, pick) in specs {
+                let a = ids[(pick as usize) % ids.len()];
+                let b = ids[(pick as usize / 7) % ids.len()];
+                let id = match kind {
+                    0 => g.add(Op::Activation(Activation::Relu), [a]),
+                    1 => g.add(Op::Activation(Activation::Tanh), [a]),
+                    2 => g.add(Op::Add, [a, b]),
+                    _ => g.add(Op::Mul, [a, b]),
+                };
+                ids.push(id);
+            }
+            let last = *ids.last().expect("nonempty");
+            g.set_outputs([last]);
+            g
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn partition_is_a_cover(g in arb_graph(), n in 1usize..8, seed in 0u64..500) {
+            let a = partition_balanced(&g, n, 4, seed);
+            prop_assert_eq!(a.partition_of.len(), g.len());
+            let sizes = a.sizes();
+            prop_assert_eq!(sizes.iter().sum::<usize>(), g.len());
+            prop_assert!(sizes.iter().all(|&s| s > 0), "no empty partitions");
+        }
+
+        #[test]
+        fn extract_reassemble_is_identity_on_structure(
+            g in arb_graph(),
+            n in 1usize..6,
+            seed in 0u64..500,
+        ) {
+            let a = partition_balanced(&g, n, 4, seed);
+            let plan = PartitionPlan::extract(&g, &TensorMap::new(), &a).unwrap();
+            let (merged, _) = plan.reassemble_identity().unwrap();
+            prop_assert_eq!(merged.len(), g.len());
+            prop_assert_eq!(merged.edge_count(), g.edge_count());
+            merged.validate().unwrap();
+            // opcode multiset preserved
+            let mut a_ops: Vec<_> = g.iter().map(|(_, n)| n.op.opcode()).collect();
+            let mut b_ops: Vec<_> = merged.iter().map(|(_, n)| n.op.opcode()).collect();
+            a_ops.sort();
+            b_ops.sort();
+            prop_assert_eq!(a_ops, b_ops);
+        }
+
+        #[test]
+        fn pieces_validate_and_infer(
+            g in arb_graph(),
+            n in 1usize..6,
+            seed in 0u64..500,
+        ) {
+            let a = partition_balanced(&g, n, 4, seed);
+            let plan = PartitionPlan::extract(&g, &TensorMap::new(), &a).unwrap();
+            for piece in &plan.pieces {
+                piece.graph.validate().unwrap();
+                proteus_graph::infer_shapes(&piece.graph).unwrap();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod zoo_tests {
+    use super::*;
+    use proteus_graph::TensorMap;
+    use proteus_models::{build, ModelKind};
+
+    #[test]
+    fn zoo_models_roundtrip_structurally() {
+        for kind in [ModelKind::ResNet, ModelKind::GoogleNet, ModelKind::DistilBert] {
+            let g = build(kind);
+            let a = partition_by_size(&g, 8, 8, 42);
+            let plan = PartitionPlan::extract(&g, &TensorMap::new(), &a).unwrap();
+            let (merged, _) = plan.reassemble_identity().unwrap();
+            assert_eq!(merged.len(), g.len(), "{kind}");
+            assert_eq!(merged.edge_count(), g.edge_count(), "{kind}");
+            proteus_graph::infer_shapes(&merged).unwrap();
+        }
+    }
+
+    #[test]
+    fn average_piece_size_near_target() {
+        let g = build(ModelKind::ResNet);
+        let a = partition_by_size(&g, 8, 16, 7);
+        let plan = PartitionPlan::extract(&g, &TensorMap::new(), &a).unwrap();
+        let avg = plan.average_piece_size();
+        assert!((6.0..=11.0).contains(&avg), "avg piece size {avg}");
+    }
+}

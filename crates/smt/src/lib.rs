@@ -1,0 +1,36 @@
+//! Finite-domain constraint solver — the Z3 stand-in for operator
+//! population (paper §4.1.2, Algorithm 2).
+//!
+//! The paper uses Z3 for exactly one job: *enumerate* assignments of DL
+//! operators (and their hyper-parameters) to the nodes of a sentinel
+//! topology, subject to syntactic constraints (arity, channel flow, kernel
+//! legality), while *blocking* each returned solution so the next query
+//! yields a new one. That job is a finite-domain constraint-satisfaction
+//! problem, which this crate solves with classic machinery:
+//!
+//! - backtracking search with minimum-remaining-values (MRV) variable
+//!   selection,
+//! - forward checking over binary table constraints and n-ary predicate
+//!   constraints,
+//! - solution enumeration with blocking nogoods
+//!   ([`Solver::block_solution`], mirroring Algorithm 2 line 12).
+//!
+//! # Example: graph 2-coloring
+//!
+//! ```
+//! use proteus_smt::Solver;
+//!
+//! let mut s = Solver::new();
+//! let a = s.add_var(vec![0, 1]);
+//! let b = s.add_var(vec![0, 1]);
+//! let c = s.add_var(vec![0, 1]);
+//! // a triangle is not 2-colorable
+//! s.not_equal(a, b);
+//! s.not_equal(b, c);
+//! s.not_equal(a, c);
+//! assert!(s.solve().is_none());
+//! ```
+
+pub mod solver;
+
+pub use solver::{Constraint, Solution, Solver, VarId};

@@ -1,0 +1,73 @@
+//! A two-party "optimization as a service" scenario over the byte wire
+//! format, mirroring the paper's workflow (Figure 1) with an explicit trust
+//! boundary: only serialized buckets cross it.
+//!
+//! The model owner protects a full zoo model (GoogLeNet); the service runs
+//! an ONNXRuntime-like optimizer; the owner reassembles and measures the
+//! retained speedup — the paper's headline "within ~10% of Best Attainable".
+//!
+//! Run with: `cargo run --release --example confidential_service`
+
+use proteus::{optimize_model, ObfuscatedModel, Proteus, ProteusConfig};
+use proteus_graph::TensorMap;
+use proteus_graphgen::GraphRnnConfig;
+use proteus_models::{build, ModelKind};
+use proteus_opt::{Optimizer, Profile};
+
+/// The optimizer party: receives bytes, returns bytes. Never sees the
+/// protected model, the plan, or the real positions.
+fn optimization_service(wire: bytes::Bytes) -> Result<bytes::Bytes, Box<dyn std::error::Error>> {
+    let bucket = ObfuscatedModel::from_bytes(wire)?;
+    println!(
+        "  [service] received {} buckets, {} subgraphs total",
+        bucket.num_buckets(),
+        bucket.total_subgraphs()
+    );
+    let optimized = optimize_model(&bucket, &Optimizer::new(Profile::OrtLike));
+    Ok(optimized.to_bytes())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // owner side ----------------------------------------------------------
+    let protected = build(ModelKind::GoogleNet);
+    println!("[owner] protecting {} ({} nodes)", protected.name(), protected.len());
+
+    let config = ProteusConfig {
+        k: 4,
+        graphrnn: GraphRnnConfig { epochs: 5, ..Default::default() },
+        topology_pool: 80,
+        ..Default::default()
+    };
+    let corpus: Vec<_> = [ModelKind::ResNet, ModelKind::MobileNet, ModelKind::DenseNet]
+        .iter()
+        .map(|&k| build(k))
+        .collect();
+    let proteus = Proteus::train(config, &corpus);
+    let (bucket, secrets) = proteus.obfuscate(&protected, &TensorMap::new())?;
+    let wire = bucket.to_bytes();
+    println!("[owner] sending {} bytes across the trust boundary", wire.len());
+
+    // trust boundary ------------------------------------------------------
+    let optimized_wire = optimization_service(wire)?;
+
+    // owner side ----------------------------------------------------------
+    let optimized = ObfuscatedModel::from_bytes(optimized_wire)?;
+    let (model, _params) = proteus.deobfuscate(&secrets, &optimized)?;
+    model.validate()?;
+
+    let optimizer = Optimizer::new(Profile::OrtLike);
+    let unopt = optimizer.estimate_us(&protected)?;
+    let (best_graph, _, _) = optimizer.optimize(&protected, &TensorMap::new());
+    let best = optimizer.estimate_us(&best_graph)?;
+    let with_proteus = optimizer.estimate_us(&model)?;
+    println!("[owner] reassembled optimized model: {} nodes", model.len());
+    println!("[owner] latency estimate:");
+    println!("          unoptimized      {unopt:10.1} us");
+    println!("          best attainable  {best:10.1} us  ({:.2}x)", unopt / best);
+    println!("          with Proteus     {with_proteus:10.1} us  ({:.2}x)", unopt / with_proteus);
+    println!(
+        "[owner] confidentiality cost: {:.1}% slower than best attainable (paper: <=10% avg)",
+        (with_proteus - best) / best * 100.0
+    );
+    Ok(())
+}

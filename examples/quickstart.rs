@@ -1,0 +1,71 @@
+//! Quickstart: protect a small CNN, have an "optimizer party" optimize the
+//! obfuscated bucket, de-obfuscate, and verify the optimized model computes
+//! exactly the same function.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use proteus::{optimize_model, PartitionSpec, Proteus, ProteusConfig};
+use proteus_graph::{Activation, ConvAttrs, Executor, Graph, Op, Tensor, TensorMap};
+use proteus_graphgen::GraphRnnConfig;
+use proteus_models::{build, ModelKind};
+use proteus_opt::{Optimizer, Profile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The model developer's secret architecture (with trained weights).
+    let mut secret = Graph::new("secret-model");
+    let x = secret.input([1, 3, 32, 32]);
+    // stride-2 stem (Winograd-ineligible), then a residual 3x3 block
+    let c1 = secret.add(Op::Conv(ConvAttrs::new(3, 64, 3).stride(2).padding(1)), [x]);
+    let r1 = secret.add(Op::Activation(Activation::Relu), [c1]);
+    let c2 = secret.add(Op::Conv(ConvAttrs::new(64, 64, 3).padding(1)), [r1]);
+    let skip = secret.add(Op::Add, [c2, r1]);
+    let r2 = secret.add(Op::Activation(Activation::Relu), [skip]);
+    let gap = secret.add(Op::GlobalAveragePool, [r2]);
+    secret.set_outputs([gap]);
+    let weights = TensorMap::init_random(&secret, 42);
+    println!("protected model: {} nodes, {} edges", secret.len(), secret.edge_count());
+
+    // 2. Train Proteus' sentinel generator on PUBLIC models only.
+    let config = ProteusConfig {
+        k: 5,
+        partitions: PartitionSpec::Count(2),
+        graphrnn: GraphRnnConfig { epochs: 4, ..Default::default() },
+        topology_pool: 60,
+        ..Default::default()
+    };
+    let corpus = vec![build(ModelKind::ResNet), build(ModelKind::MobileNet)];
+    let proteus = Proteus::train(config, &corpus);
+
+    // 3. Obfuscate: the optimizer party sees n buckets of k+1 candidates.
+    let (bucket, secrets) = proteus.obfuscate(&secret, &weights)?;
+    println!(
+        "obfuscated: {} buckets x {} members = {} subgraphs ({} bytes on the wire)",
+        bucket.num_buckets(),
+        bucket.buckets[0].members.len(),
+        bucket.total_subgraphs(),
+        bucket.to_bytes().len(),
+    );
+
+    // 4. The optimizer party optimizes every member (it cannot tell which
+    //    is real) and returns the bucket.
+    let optimized = optimize_model(&bucket, &Optimizer::new(Profile::OrtLike));
+
+    // 5. De-obfuscate and verify: identical function, faster graph.
+    let (model, params) = proteus.deobfuscate(&secrets, &optimized)?;
+    let mut rng = StdRng::seed_from_u64(7);
+    let probe = Tensor::random([1, 3, 32, 32], 1.0, &mut rng);
+    let before = Executor::new(&secret, &weights).run(&[probe.clone()])?;
+    let after = Executor::new(&model, &params).run(&[probe])?;
+    let diff = before[0].max_abs_diff(&after[0]);
+    println!("optimized model: {} nodes (was {})", model.len(), secret.len());
+    println!("max |output difference| = {diff:.2e}");
+    assert!(diff < 1e-3, "optimization must preserve semantics");
+
+    let optimizer = Optimizer::new(Profile::OrtLike);
+    let t_before = optimizer.estimate_us(&secret)?;
+    let t_after = optimizer.estimate_us(&model)?;
+    println!("estimated latency: {t_before:.1} us -> {t_after:.1} us ({:.2}x)", t_before / t_after);
+    Ok(())
+}

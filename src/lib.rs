@@ -1,0 +1,25 @@
+//! Workspace root crate for the Proteus reproduction.
+//!
+//! This crate only re-exports the member crates so that the repository-level
+//! `examples/` and `tests/` can exercise the whole public API surface from a
+//! single dependency. See the individual crates for the actual library:
+//!
+//! - [`proteus`] — the obfuscation pipeline (the paper's contribution)
+//! - [`proteus_graph`] — computational-graph IR
+//! - [`proteus_models`] — model zoo
+//! - [`proteus_partition`] — Karger–Stein-style partitioner
+//! - [`proteus_graphgen`] — GraphRNN topology generator + Algorithm 1/3
+//! - [`proteus_smt`] — finite-domain constraint solver (Z3 stand-in)
+//! - [`proteus_opt`] — graph-level optimizer + latency cost model
+//! - [`proteus_adversary`] — learning-based / heuristic / expert adversaries
+//! - [`proteus_nn`] — autograd + layers used by graphgen and the adversary
+
+pub use proteus;
+pub use proteus_adversary;
+pub use proteus_graph;
+pub use proteus_graphgen;
+pub use proteus_models;
+pub use proteus_nn;
+pub use proteus_opt;
+pub use proteus_partition;
+pub use proteus_smt;

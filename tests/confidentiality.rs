@@ -1,0 +1,120 @@
+//! Integration tests of the confidentiality properties: what the optimizer
+//! party (or an interceptor) can and cannot see in the bucket.
+
+use proteus::{PartitionSpec, Proteus, ProteusConfig};
+use proteus_adversary::{attack_buckets, LabelledBucket, SageClassifier, SageConfig};
+use proteus_graph::{GraphStats, TensorMap};
+use proteus_graphgen::GraphRnnConfig;
+use proteus_models::{build, ModelKind};
+
+fn quick_config(k: usize) -> ProteusConfig {
+    ProteusConfig {
+        k,
+        partitions: PartitionSpec::TargetSize(8),
+        graphrnn: GraphRnnConfig { epochs: 3, max_nodes: 24, ..Default::default() },
+        topology_pool: 40,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn bucket_never_contains_the_whole_model() {
+    // The paper's first design requirement: the model architecture in its
+    // entirety is never exposed. Every bucket member must be strictly
+    // smaller than the protected model.
+    let g = build(ModelKind::ResNet);
+    let proteus = Proteus::train(quick_config(2), &[build(ModelKind::MobileNet)]);
+    let (bucket, _) = proteus.obfuscate(&g, &TensorMap::new()).expect("obfuscate");
+    for b in &bucket.buckets {
+        for m in &b.members {
+            assert!(
+                m.graph.len() < g.len() / 2,
+                "a bucket member with {} nodes leaks too much of a {}-node model",
+                m.graph.len(),
+                g.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn real_positions_are_not_constant() {
+    // shuffling must actually move the real member around
+    let g = build(ModelKind::GoogleNet);
+    let proteus = Proteus::train(quick_config(3), &[build(ModelKind::ResNet)]);
+    let (_, secrets) = proteus.obfuscate(&g, &TensorMap::new()).expect("obfuscate");
+    let distinct: std::collections::HashSet<_> = secrets.real_positions.iter().collect();
+    assert!(
+        distinct.len() > 1,
+        "real subgraph always at position {:?}",
+        secrets.real_positions.first()
+    );
+}
+
+#[test]
+fn sentinel_statistics_band_protected_graph() {
+    // Algorithm 1's purpose: within a bucket, the real subgraph's
+    // statistics must not be an outlier. Check that for most buckets the
+    // real piece's node count lies within the sentinels' min..max band.
+    let g = build(ModelKind::MnasNet);
+    let proteus = Proteus::train(
+        quick_config(6),
+        &[build(ModelKind::MobileNet), build(ModelKind::ResNet)],
+    );
+    let (bucket, secrets) = proteus.obfuscate(&g, &TensorMap::new()).expect("obfuscate");
+    let mut inside = 0usize;
+    for (b, &pos) in bucket.buckets.iter().zip(&secrets.real_positions) {
+        let real_nodes = GraphStats::of(&b.members[pos].graph).num_nodes;
+        let sentinel_sizes: Vec<f64> = b
+            .members
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != pos)
+            .map(|(_, m)| GraphStats::of(&m.graph).num_nodes)
+            .collect();
+        let lo = sentinel_sizes.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = sentinel_sizes.iter().cloned().fold(0.0, f64::max);
+        if real_nodes >= lo - 2.0 && real_nodes <= hi + 2.0 {
+            inside += 1;
+        }
+    }
+    assert!(
+        inside * 3 >= bucket.buckets.len() * 2,
+        "real piece is a size outlier in {}/{} buckets",
+        bucket.buckets.len() - inside,
+        bucket.buckets.len()
+    );
+}
+
+#[test]
+fn untrained_adversary_faces_full_search_space() {
+    // with an uninformative classifier the search space must stay near
+    // (k+1)^n
+    let g = build(ModelKind::ResNet);
+    let proteus = Proteus::train(quick_config(4), &[build(ModelKind::MobileNet)]);
+    let (bucket, secrets) = proteus.obfuscate(&g, &TensorMap::new()).expect("obfuscate");
+    let labelled: Vec<LabelledBucket> = bucket
+        .buckets
+        .iter()
+        .zip(&secrets.real_positions)
+        .map(|(b, &pos)| LabelledBucket {
+            real: b.members[pos].graph.clone(),
+            sentinels: b
+                .members
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != pos)
+                .map(|(_, m)| m.graph.clone())
+                .collect(),
+        })
+        .collect();
+    let clf = SageClassifier::new(SageConfig::default(), 5);
+    let report = attack_buckets(&clf, &labelled);
+    let max_log10 = labelled.len() as f64 * 5f64.log10(); // (k+1)^n, k=4
+    assert!(
+        report.log10_candidates > max_log10 * 0.5,
+        "untrained adversary reduced the space to 10^{:.1} of 10^{:.1}",
+        report.log10_candidates,
+        max_log10
+    );
+}

@@ -1,0 +1,141 @@
+//! Cross-crate integration tests: the full obfuscate → optimize →
+//! de-obfuscate protocol on executable models, checked for functional
+//! equivalence with the reference interpreter.
+
+use proteus::{optimize_model, PartitionSpec, Proteus, ProteusConfig, SentinelMode};
+use proteus_graph::{
+    Activation, BatchNormAttrs, ConvAttrs, Executor, GemmAttrs, Graph, Op, PoolAttrs, Tensor,
+    TensorMap,
+};
+use proteus_graphgen::GraphRnnConfig;
+use proteus_models::{build, ModelKind};
+use proteus_opt::{Optimizer, Profile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quick_config(k: usize, n: usize) -> ProteusConfig {
+    ProteusConfig {
+        k,
+        partitions: PartitionSpec::Count(n),
+        graphrnn: GraphRnnConfig { epochs: 2, max_nodes: 20, ..Default::default() },
+        topology_pool: 30,
+        ..Default::default()
+    }
+}
+
+/// An executable CNN with residual, BN, pooling, and a classifier head —
+/// enough structure to exercise every optimizer rule family.
+fn executable_cnn() -> (Graph, TensorMap) {
+    let mut g = Graph::new("itest-cnn");
+    let x = g.input([1, 3, 12, 12]);
+    let c1 = g.add(Op::Conv(ConvAttrs::new(3, 8, 3).padding(1).bias(false)), [x]);
+    let b1 = g.add(Op::BatchNorm(BatchNormAttrs { channels: 8 }), [c1]);
+    let r1 = g.add(Op::Activation(Activation::Relu), [b1]);
+    let c2 = g.add(Op::Conv(ConvAttrs::new(8, 8, 3).padding(1).bias(false)), [r1]);
+    let b2 = g.add(Op::BatchNorm(BatchNormAttrs { channels: 8 }), [c2]);
+    let a = g.add(Op::Add, [b2, r1]);
+    let r2 = g.add(Op::Activation(Activation::Relu), [a]);
+    let p = g.add(Op::MaxPool(PoolAttrs::new(2, 2, 0)), [r2]);
+    let d = g.add(Op::Dropout { p: 20 }, [p]);
+    let f = g.add(Op::Flatten, [d]);
+    let fc = g.add(Op::Gemm(GemmAttrs::new(8 * 6 * 6, 10)), [f]);
+    g.set_outputs([fc]);
+    let params = TensorMap::init_random(&g, 77);
+    (g, params)
+}
+
+#[test]
+fn protocol_preserves_semantics_for_both_optimizers() {
+    let (g, params) = executable_cnn();
+    let proteus = Proteus::train(quick_config(3, 4), &[build(ModelKind::ResNet)]);
+    let (bucket, secrets) = proteus.obfuscate(&g, &params).expect("obfuscate");
+    assert_eq!(bucket.num_buckets(), 4);
+    assert_eq!(bucket.total_subgraphs(), 4 * 4);
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let probe = Tensor::random([1, 3, 12, 12], 1.0, &mut rng);
+    let expected = Executor::new(&g, &params).run(&[probe.clone()]).expect("run");
+
+    for profile in [Profile::OrtLike, Profile::HidetLike] {
+        let optimized = optimize_model(&bucket, &Optimizer::new(profile));
+        let (model, mparams) = proteus.deobfuscate(&secrets, &optimized).expect("deobfuscate");
+        model.validate().expect("valid");
+        let got = Executor::new(&model, &mparams).run(&[probe.clone()]).expect("run");
+        assert!(
+            got[0].allclose(&expected[0], 1e-2),
+            "{profile:?}: outputs diverged by {}",
+            got[0].max_abs_diff(&expected[0])
+        );
+    }
+}
+
+#[test]
+fn wire_roundtrip_through_the_whole_protocol() {
+    let (g, params) = executable_cnn();
+    let proteus = Proteus::train(quick_config(2, 3), &[build(ModelKind::MobileNet)]);
+    let (bucket, secrets) = proteus.obfuscate(&g, &params).expect("obfuscate");
+
+    // owner -> bytes -> service -> bytes -> owner
+    let wire = bucket.to_bytes();
+    let received = proteus::ObfuscatedModel::from_bytes(wire).expect("decode");
+    let optimized = optimize_model(&received, &Optimizer::new(Profile::OrtLike));
+    let wire_back = optimized.to_bytes();
+    let returned = proteus::ObfuscatedModel::from_bytes(wire_back).expect("decode");
+    let (model, mparams) = proteus.deobfuscate(&secrets, &returned).expect("deobfuscate");
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let probe = Tensor::random([1, 3, 12, 12], 1.0, &mut rng);
+    let expected = Executor::new(&g, &params).run(&[probe.clone()]).expect("run");
+    let got = Executor::new(&model, &mparams).run(&[probe]).expect("run");
+    assert!(got[0].allclose(&expected[0], 1e-2));
+}
+
+#[test]
+fn perturb_mode_protocol_roundtrip() {
+    let (g, params) = executable_cnn();
+    let mut config = quick_config(3, 3);
+    config.mode = SentinelMode::Perturb;
+    let proteus = Proteus::train(config, &[build(ModelKind::ResNet)]);
+    let (bucket, secrets) = proteus.obfuscate(&g, &params).expect("obfuscate");
+    let optimized = optimize_model(&bucket, &Optimizer::new(Profile::OrtLike));
+    let (model, mparams) = proteus.deobfuscate(&secrets, &optimized).expect("deobfuscate");
+    let mut rng = StdRng::seed_from_u64(3);
+    let probe = Tensor::random([1, 3, 12, 12], 1.0, &mut rng);
+    let expected = Executor::new(&g, &params).run(&[probe.clone()]).expect("run");
+    let got = Executor::new(&model, &mparams).run(&[probe]).expect("run");
+    assert!(got[0].allclose(&expected[0], 1e-2));
+}
+
+#[test]
+fn zoo_models_structural_protocol() {
+    // structure-only (no weights): every zoo model obfuscates and
+    // reassembles into a graph with identical opcode multiset and shapes
+    let proteus = Proteus::train(
+        quick_config(1, 6),
+        &[build(ModelKind::ResNet)],
+    );
+    for kind in [ModelKind::GoogleNet, ModelKind::DistilBert, ModelKind::MnasNet] {
+        let g = build(kind);
+        let (bucket, secrets) = proteus.obfuscate(&g, &TensorMap::new()).expect("obfuscate");
+        let (back, _) = proteus.deobfuscate(&secrets, &bucket).expect("identity deobfuscate");
+        assert_eq!(back.len(), g.len(), "{kind}");
+        proteus_graph::infer_shapes(&back).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        let _ = bucket;
+    }
+}
+
+#[test]
+fn sentinels_in_buckets_are_valid_graphs() {
+    let (g, params) = executable_cnn();
+    let proteus = Proteus::train(quick_config(4, 3), &[build(ModelKind::GoogleNet)]);
+    let (bucket, secrets) = proteus.obfuscate(&g, &params).expect("obfuscate");
+    for (bi, b) in bucket.buckets.iter().enumerate() {
+        for (mi, m) in b.members.iter().enumerate() {
+            m.graph
+                .validate()
+                .unwrap_or_else(|e| panic!("bucket {bi} member {mi}: {e}"));
+        }
+        // exactly one member is the real one
+        assert!(secrets.real_positions[bi] < b.members.len());
+    }
+}

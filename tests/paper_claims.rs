@@ -1,0 +1,62 @@
+//! Cross-checks of analytic quantities against numbers printed in the
+//! paper itself. These don't run the full pipeline — they pin our formulas
+//! to the paper's published tables, so the harness math is known-correct
+//! before any measurement is interpreted.
+
+use proteus_adversary::analytic_log10_candidates;
+
+/// Figure 6 rows: (n, k, specificity, paper's candidate count).
+/// The paper computes candidates = [1 + (1-β)k]^n; our helper must agree
+/// with every published row to within rounding of the printed mantissa.
+#[test]
+fn figure6_candidate_counts_match_paper_rows() {
+    let rows = [
+        // model, n, k, specificity, paper candidates (log10)
+        ("densenet-proteus", 19usize, 20usize, 0.338, 8.33e21_f64),
+        ("googlenet-proteus", 11, 20, 0.346, 4.30e12),
+        ("inception-proteus", 19, 20, 0.229, 1.23e23),
+        ("mnasnet-proteus", 11, 20, 0.117, 9.59e13),
+        ("resnet-proteus", 10, 20, 0.451, 6.12e10),
+        ("mobilenet-proteus", 11, 20, 0.135, 7.72e13),
+        ("bert-proteus", 16, 20, 0.910, 1.37e7),
+        ("roberta-proteus", 16, 20, 0.862, 1.54e9),
+        ("xlm-proteus", 25, 20, 0.906, 2.99e11),
+        ("densenet-random", 19, 20, 0.000, 1.32e25),
+        ("mobilenet-random", 11, 20, 0.607, 2.66e10),
+    ];
+    for (name, n, k, spec, paper) in rows {
+        let ours = analytic_log10_candidates(n, k, spec);
+        let paper_log10 = paper.log10();
+        assert!(
+            (ours - paper_log10).abs() < 0.15,
+            "{name}: ours 10^{ours:.2} vs paper 10^{paper_log10:.2}"
+        );
+    }
+}
+
+/// §6.1: n = 24, k = 50, sensitivity 84.9% -> [50(1-0.849)]^24 ≈ 1.18e21.
+/// (The case study counts only surviving sentinels, not the +1 term, so we
+/// check the paper's own arithmetic directly.)
+#[test]
+fn nas_case_study_arithmetic() {
+    let survivors_per_bucket: f64 = 50.0 * (1.0 - 0.849);
+    let log10 = 24.0 * survivors_per_bucket.log10();
+    assert!((log10 - 1.18e21_f64.log10()).abs() < 0.1, "log10 = {log10}");
+}
+
+/// §6.2: n = 83, k = 20, sensitivity 44% -> [20(1-0.44)]^83 ≈ 1.22e87.
+#[test]
+fn seresnet_case_study_arithmetic() {
+    let survivors_per_bucket: f64 = 20.0 * (1.0 - 0.44);
+    let log10 = 83.0 * survivors_per_bucket.log10();
+    assert!((log10 - 1.22e87_f64.log10()).abs() < 0.2, "log10 = {log10}");
+}
+
+/// §4.1: hiding among O((k+1)^n) architectures; the paper's abstract quotes
+/// up to 10^32 possible models. With Figure 6's largest configuration
+/// (n = 25, k = 20) the full space is (k+1)^25 ≈ 10^33 — same order.
+#[test]
+fn abstract_search_space_order_of_magnitude() {
+    let full = analytic_log10_candidates(25, 20, 0.0);
+    assert!((31.0..=35.0).contains(&full), "log10 = {full}");
+}
