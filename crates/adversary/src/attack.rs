@@ -115,7 +115,11 @@ mod tests {
         let mut g = Graph::new("t");
         let mut prev = g.input([1, 4]);
         for i in 0..(2 + (tag % 3)) {
-            let act = if (tag + i) % 2 == 0 { Activation::Relu } else { Activation::Tanh };
+            let act = if (tag + i).is_multiple_of(2) {
+                Activation::Relu
+            } else {
+                Activation::Tanh
+            };
             prev = g.add(Op::Activation(act), [prev]);
         }
         g.set_outputs([prev]);
@@ -126,7 +130,9 @@ mod tests {
         (0..n)
             .map(|i| LabelledBucket {
                 real: tiny_graph(i as u64),
-                sentinels: (0..k).map(|j| tiny_graph((i * k + j) as u64 + 100)).collect(),
+                sentinels: (0..k)
+                    .map(|j| tiny_graph((i * k + j) as u64 + 100))
+                    .collect(),
             })
             .collect()
     }
@@ -169,7 +175,10 @@ mod tests {
             log10_candidates: 10.0 * 11f64.log10(),
         };
         assert!(r.candidates_string().contains('e'));
-        let small = AttackReport { log10_candidates: 0.0, ..r };
+        let small = AttackReport {
+            log10_candidates: 0.0,
+            ..r
+        };
         assert_eq!(small.candidates_string(), "1.00");
     }
 

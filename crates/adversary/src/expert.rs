@@ -66,8 +66,12 @@ impl ExpertReviewer {
                 let prev = g.node(node.inputs[0]).expect("live").op.opcode();
                 if !matches!(
                     prev,
-                    OpCode::Conv | OpCode::Input | OpCode::MaxPool | OpCode::AveragePool
-                        | OpCode::Concat | OpCode::Add
+                    OpCode::Conv
+                        | OpCode::Input
+                        | OpCode::MaxPool
+                        | OpCode::AveragePool
+                        | OpCode::Concat
+                        | OpCode::Add
                 ) {
                     bn_not_after_conv += 1;
                 }
@@ -117,19 +121,34 @@ impl ExpertReviewer {
             }
         }
         if double_act >= 2 {
-            fired.push(Suspicion { name: "stacked activations", weight: 0.6 });
+            fired.push(Suspicion {
+                name: "stacked activations",
+                weight: 0.6,
+            });
         }
         if bn_not_after_conv >= 1 {
-            fired.push(Suspicion { name: "batchnorm in odd position", weight: 0.5 });
+            fired.push(Suspicion {
+                name: "batchnorm in odd position",
+                weight: 0.5,
+            });
         }
         if softmax_feeds_conv >= 1 {
-            fired.push(Suspicion { name: "softmax feeding conv", weight: 0.8 });
+            fired.push(Suspicion {
+                name: "softmax feeding conv",
+                weight: 0.8,
+            });
         }
         if same_operand_binop >= 1 {
-            fired.push(Suspicion { name: "x op x binary node", weight: 0.5 });
+            fired.push(Suspicion {
+                name: "x op x binary node",
+                weight: 0.5,
+            });
         }
         if conv_count >= 2 && act_after_convlike * 2 < conv_count {
-            fired.push(Suspicion { name: "convs without consumers pattern", weight: 0.6 });
+            fired.push(Suspicion {
+                name: "convs without consumers pattern",
+                weight: 0.6,
+            });
         }
         fired
     }
@@ -191,9 +210,9 @@ mod tests {
 
     #[test]
     fn real_model_subgraphs_pass_mostly() {
+        use proteus_graph::TensorMap;
         use proteus_models::{build, ModelKind};
         use proteus_partition::{partition_by_size, PartitionPlan};
-        use proteus_graph::TensorMap;
         let expert = ExpertReviewer::default();
         let g = build(ModelKind::ResNet);
         let a = partition_by_size(&g, 10, 8, 3);

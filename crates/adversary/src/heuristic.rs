@@ -31,7 +31,11 @@ impl StatsAdversary {
             let var = feats.iter().map(|f| (f[d] - mean[d]).powi(2)).sum::<f64>() / n;
             std[d] = var.sqrt().max(1e-3);
         }
-        let mut model = StatsAdversary { mean, std, threshold: f64::NEG_INFINITY };
+        let mut model = StatsAdversary {
+            mean,
+            std,
+            threshold: f64::NEG_INFINITY,
+        };
         let mut lls: Vec<f64> = feats.iter().map(|f| model.log_likelihood_vec(f)).collect();
         lls.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         let idx = ((lls.len() as f64 * q) as usize).min(lls.len().saturating_sub(1));

@@ -28,7 +28,13 @@ pub struct SageConfig {
 
 impl Default for SageConfig {
     fn default() -> Self {
-        SageConfig { embed: 24, hidden: 24, epochs: 8, lr: 0.01, batch: 8 }
+        SageConfig {
+            embed: 24,
+            hidden: 24,
+            epochs: 8,
+            lr: 0.01,
+            batch: 8,
+        }
     }
 }
 
@@ -46,7 +52,9 @@ impl SageLayer {
         store: &mut ParamStore,
         rng: &mut StdRng,
     ) -> SageLayer {
-        SageLayer { lin: Linear::new(name, 2 * in_dim, out_dim, store, rng) }
+        SageLayer {
+            lin: Linear::new(name, 2 * in_dim, out_dim, store, rng),
+        }
     }
 
     fn forward(&self, tape: &mut Tape, store: &ParamStore, h: Var, agg: Var) -> Var {
@@ -95,7 +103,14 @@ impl SageClassifier {
         let sage1 = SageLayer::new("sage1", cfg.embed, cfg.hidden, &mut store, &mut rng);
         let sage2 = SageLayer::new("sage2", cfg.hidden, cfg.hidden, &mut store, &mut rng);
         let head = Linear::new("head", cfg.hidden, 1, &mut store, &mut rng);
-        SageClassifier { cfg, store, embed, sage1, sage2, head }
+        SageClassifier {
+            cfg,
+            store,
+            embed,
+            sage1,
+            sage2,
+            head,
+        }
     }
 
     fn logit(&self, tape: &mut Tape, feats: &GraphFeatures) -> Var {
@@ -155,7 +170,11 @@ impl SageClassifier {
                 let grads = tape.backward(scaled);
                 adam.step(&mut self.store, &grads);
             }
-            history.push(if batches == 0 { 0.0 } else { epoch_loss / batches as f32 });
+            history.push(if batches == 0 {
+                0.0
+            } else {
+                epoch_loss / batches as f32
+            });
         }
         history
     }
@@ -224,7 +243,10 @@ mod tests {
         let train = toy_dataset(60, 1);
         let test = toy_dataset(30, 2);
         let mut clf = SageClassifier::new(
-            SageConfig { epochs: 10, ..Default::default() },
+            SageConfig {
+                epochs: 10,
+                ..Default::default()
+            },
             7,
         );
         let history = clf.train(&train, 3);

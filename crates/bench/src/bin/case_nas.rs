@@ -10,7 +10,7 @@
 //!
 //! Usage: `cargo run --release -p proteus-bench --bin case_nas [-- --quick]`
 
-use proteus::{random_opcode_sentinels, Proteus, ProteusConfig, SentinelMode, PartitionSpec};
+use proteus::{random_opcode_sentinels, PartitionSpec, Proteus, ProteusConfig, SentinelMode};
 use proteus_adversary::{attack_buckets, LabelledBucket};
 use proteus_bench::{train_adversary, AttackScale};
 use proteus_graph::TensorMap;
@@ -23,7 +23,11 @@ use rand::SeedableRng;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let scale = if quick { AttackScale::quick() } else { AttackScale::full() };
+    let scale = if quick {
+        AttackScale::quick()
+    } else {
+        AttackScale::full()
+    };
     let k = if quick { 8 } else { 50 }; // paper's case study uses k = 50
     let n = 24; // paper: n = 24 (avg subgraph size 8)
 
@@ -34,7 +38,10 @@ fn main() {
     let unopt = optimizer.estimate_us(&model).expect("infers");
     let (best_graph, _, _) = optimizer.optimize(&model, &TensorMap::new());
     let best = optimizer.estimate_us(&best_graph).expect("infers");
-    println!("direct optimization:  {unopt:.0} us -> {best:.0} us  (slowdown {:.3}x; paper: 2.15x)", best / unopt);
+    println!(
+        "direct optimization:  {unopt:.0} us -> {best:.0} us  (slowdown {:.3}x; paper: 2.15x)",
+        best / unopt
+    );
 
     // Proteus path: partition, optimize pieces, reassemble
     let assignment = partition_balanced(&model, n, 16, 9);
@@ -59,7 +66,10 @@ fn main() {
     let config = ProteusConfig {
         k,
         partitions: PartitionSpec::Count(n),
-        graphrnn: GraphRnnConfig { epochs: scale.rnn_epochs, ..Default::default() },
+        graphrnn: GraphRnnConfig {
+            epochs: scale.rnn_epochs,
+            ..Default::default()
+        },
         topology_pool: scale.pool,
         ..Default::default()
     };
@@ -72,7 +82,10 @@ fn main() {
             proteus
                 .factory()
                 .generate(&piece.graph, k, SentinelMode::Generative, &mut rng);
-        buckets.push(LabelledBucket { real: piece.graph.clone(), sentinels });
+        buckets.push(LabelledBucket {
+            real: piece.graph.clone(),
+            sentinels,
+        });
         // training data for the adversary: zoo subgraphs + their sentinels
         if i < 4 {
             let corpus_piece = &corpus[i % corpus.len()];

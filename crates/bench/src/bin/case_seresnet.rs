@@ -11,7 +11,7 @@
 //!
 //! Usage: `cargo run --release -p proteus-bench --bin case_seresnet [-- --quick]`
 
-use proteus::{Proteus, ProteusConfig, SentinelMode, PartitionSpec};
+use proteus::{PartitionSpec, Proteus, ProteusConfig, SentinelMode};
 use proteus_adversary::{attack_buckets, LabelledBucket};
 use proteus_bench::{train_adversary, AttackScale};
 use proteus_graph::TensorMap;
@@ -24,7 +24,11 @@ use rand::SeedableRng;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let scale = if quick { AttackScale::quick() } else { AttackScale::full() };
+    let scale = if quick {
+        AttackScale::quick()
+    } else {
+        AttackScale::full()
+    };
     let k = if quick { 6 } else { 20 };
 
     let model = build(ModelKind::SEResNet);
@@ -68,7 +72,10 @@ fn main() {
         k,
         partitions: PartitionSpec::TargetSize(8),
         mode: SentinelMode::Perturb,
-        graphrnn: GraphRnnConfig { epochs: scale.rnn_epochs, ..Default::default() },
+        graphrnn: GraphRnnConfig {
+            epochs: scale.rnn_epochs,
+            ..Default::default()
+        },
         topology_pool: scale.pool,
         ..Default::default()
     };

@@ -29,13 +29,20 @@ fn main() {
 
     println!(
         "\n== Figure 10: avg subgraph size vs % speedup lost ({}) ==\n",
-        if balanced { "balanced partitioning" } else { "RAW Karger-Stein ablation" }
+        if balanced {
+            "balanced partitioning"
+        } else {
+            "RAW Karger-Stein ablation"
+        }
     );
     let mut widths = vec![12usize];
-    widths.extend(std::iter::repeat(9).take(sizes.len()));
+    widths.extend(std::iter::repeat_n(9, sizes.len()));
     let mut header = vec!["model".to_string()];
     header.extend(sizes.iter().map(|s| format!("size {s}")));
-    print_header(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>(), &widths);
+    print_header(
+        &header.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        &widths,
+    );
 
     let mut per_size_loss = vec![Vec::new(); sizes.len()];
     for kind in models {

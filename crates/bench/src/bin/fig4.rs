@@ -10,10 +10,24 @@ use proteus_models::{build, ModelKind};
 use proteus_opt::Profile;
 
 fn run(profile: Profile, models: &[ModelKind]) {
-    println!("\n== Figure 4{}: {} ==\n", if profile == Profile::OrtLike { "a" } else { "b" }, profile.name());
+    println!(
+        "\n== Figure 4{}: {} ==\n",
+        if profile == Profile::OrtLike {
+            "a"
+        } else {
+            "b"
+        },
+        profile.name()
+    );
     let widths = [12usize, 14, 16, 12, 10];
     print_header(
-        &["model", "unoptimized", "best attainable", "proteus", "slowdown"],
+        &[
+            "model",
+            "unoptimized",
+            "best attainable",
+            "proteus",
+            "slowdown",
+        ],
         &widths,
     );
     let mut log_sum = 0.0f64;

@@ -44,7 +44,10 @@ fn main() {
 
     let config = ProteusConfig {
         k: 4,
-        graphrnn: GraphRnnConfig { epochs: 10, ..Default::default() },
+        graphrnn: GraphRnnConfig {
+            epochs: 10,
+            ..Default::default()
+        },
         topology_pool: 200,
         ..Default::default()
     };
@@ -58,10 +61,11 @@ fn main() {
             // ablation: skip the uniform-band importance sampler, drawing
             // topologies straight from the pool density
             let topo = proteus_graphgen::UGraph::from_graph(piece);
-            let raw = proteus
-                .factory()
-                .sampler()
-                .sample_naive(&topo, proteus.config().beta, 4, &mut rng);
+            let raw =
+                proteus
+                    .factory()
+                    .sampler()
+                    .sample_naive(&topo, proteus.config().beta, 4, &mut rng);
             for t in raw {
                 let dag = proteus_graphgen::induce_orientation(&t);
                 if let Some(g) = proteus::populate(
@@ -84,19 +88,30 @@ fn main() {
         }
     }
 
-    let real_stats: Vec<[f64; 4]> =
-        real_pieces.iter().map(|g| GraphStats::of(g).to_vec()).collect();
-    let gen_stats: Vec<[f64; 4]> =
-        sentinels.iter().map(|g| GraphStats::of(g).to_vec()).collect();
+    let real_stats: Vec<[f64; 4]> = real_pieces
+        .iter()
+        .map(|g| GraphStats::of(g).to_vec())
+        .collect();
+    let gen_stats: Vec<[f64; 4]> = sentinels
+        .iter()
+        .map(|g| GraphStats::of(g).to_vec())
+        .collect();
 
     println!(
         "\n== Figure 5: graph statistics, real vs generated ({} real, {} sentinel{}) ==\n",
         real_stats.len(),
         gen_stats.len(),
-        if naive { ", NAIVE sampling ablation" } else { "" }
+        if naive {
+            ", NAIVE sampling ablation"
+        } else {
+            ""
+        }
     );
     let widths = [22usize, 16, 16, 10];
-    print_header(&["metric", "real mean+-std", "gen mean+-std", "KS dist"], &widths);
+    print_header(
+        &["metric", "real mean+-std", "gen mean+-std", "KS dist"],
+        &widths,
+    );
     for (d, name) in GraphStats::FEATURE_NAMES.iter().enumerate() {
         let real_col: Vec<f64> = real_stats.iter().map(|f| f[d]).collect();
         let gen_col: Vec<f64> = gen_stats.iter().map(|f| f[d]).collect();
@@ -123,6 +138,9 @@ fn main() {
         .chain(sentinels.iter().map(|g| (g.clone(), true)))
         .collect();
     let acc = adv.accuracy(&labelled);
-    println!("\nStats-likelihood adversary accuracy: {:.1}% (chance = 50%)", acc * 100.0);
+    println!(
+        "\nStats-likelihood adversary accuracy: {:.1}% (chance = 50%)",
+        acc * 100.0
+    );
     println!("(paper: distributions visually indistinguishable; Figure 5/11)");
 }

@@ -21,7 +21,11 @@ use proteus_models::ModelKind;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let scale = if quick { AttackScale::quick() } else { AttackScale::full() };
+    let scale = if quick {
+        AttackScale::quick()
+    } else {
+        AttackScale::full()
+    };
 
     // (model, n) rows follow the paper's Figure 6
     let rows: Vec<(ModelKind, usize)> = if quick {
@@ -44,7 +48,11 @@ fn main() {
         ]
     };
 
-    eprintln!("building sentinel material for {} models (k = {})...", rows.len(), scale.k);
+    eprintln!(
+        "building sentinel material for {} models (k = {})...",
+        rows.len(),
+        scale.k
+    );
     let materials: Vec<_> = rows
         .iter()
         .enumerate()
@@ -54,12 +62,14 @@ fn main() {
         })
         .collect();
 
-    println!("\n== Figure 6: search-space reduction (k = {}) ==\n", scale.k);
+    println!(
+        "\n== Figure 6: search-space reduction (k = {}) ==\n",
+        scale.k
+    );
     let widths = [12usize, 4, 4, 11, 9, 12, 11, 9, 12];
     print_header(
         &[
-            "model", "n", "k", "RO spec", "RO gamma", "RO cand", "PR spec", "PR gamma",
-            "PR cand",
+            "model", "n", "k", "RO spec", "RO gamma", "RO cand", "PR spec", "PR gamma", "PR cand",
         ],
         &widths,
     );
@@ -72,8 +82,7 @@ fn main() {
             scale.k.to_string(),
         ];
         for use_baseline in [true, false] {
-            let examples =
-                training_examples(&materials, kind, use_baseline, scale.k_train);
+            let examples = training_examples(&materials, kind, use_baseline, scale.k_train);
             let clf = train_adversary(&examples, scale.gnn_epochs, 7 + i as u64);
             let report = attack_buckets(&clf, &buckets_of(material, use_baseline));
             cells.push(format!("{:.3}", report.specificity));

@@ -4,7 +4,7 @@
 //!
 //! Usage: `cargo run --release -p proteus-bench --bin fig9 [-- --quick]`
 
-use proteus::{optimize_model_serial, Proteus, ProteusConfig, PartitionSpec};
+use proteus::{optimize_model_serial, PartitionSpec, Proteus, ProteusConfig};
 use proteus_adversary::analytic_log10_candidates;
 use proteus_bench::{print_header, print_row};
 use proteus_graph::TensorMap;
@@ -22,9 +22,18 @@ fn main() {
     println!("\n== Figure 9: analytic tradeoffs ==\n");
     let widths = [38usize, 22];
     print_header(&["item", "cost"], &widths);
-    print_row(&["recovery cost of adversary".into(), "O((k+1)^n)".into()], &widths);
-    print_row(&["computational overhead of optimizer".into(), "O(k)".into()], &widths);
-    print_row(&["quality of model optimizations".into(), "see fig10".into()], &widths);
+    print_row(
+        &["recovery cost of adversary".into(), "O((k+1)^n)".into()],
+        &widths,
+    );
+    print_row(
+        &["computational overhead of optimizer".into(), "O(k)".into()],
+        &widths,
+    );
+    print_row(
+        &["quality of model optimizations".into(), "see fig10".into()],
+        &widths,
+    );
 
     println!("\nSearch-space size for representative (n, k) at specificity 0:\n");
     let widths2 = [6usize, 6, 22];
@@ -51,7 +60,10 @@ fn main() {
     let config = ProteusConfig {
         k,
         partitions: PartitionSpec::TargetSize(8),
-        graphrnn: GraphRnnConfig { epochs: if quick { 2 } else { 6 }, ..Default::default() },
+        graphrnn: GraphRnnConfig {
+            epochs: if quick { 2 } else { 6 },
+            ..Default::default()
+        },
         topology_pool: if quick { 30 } else { 100 },
         ..Default::default()
     };

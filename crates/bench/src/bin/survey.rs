@@ -23,7 +23,11 @@ use rand::SeedableRng;
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let emit_dot = std::env::args().any(|a| a == "--dot");
-    let scale = if quick { AttackScale::quick() } else { AttackScale::full() };
+    let scale = if quick {
+        AttackScale::quick()
+    } else {
+        AttackScale::full()
+    };
     let trials = if quick { 3 } else { 10 };
 
     // survey pool: real subgraphs of size 8-16 from image + language models
@@ -51,7 +55,10 @@ fn main() {
     let corpus: Vec<Graph> = sources.iter().map(|&k| build(k)).collect();
     let config = ProteusConfig {
         k: 1,
-        graphrnn: GraphRnnConfig { epochs: scale.rnn_epochs, ..Default::default() },
+        graphrnn: GraphRnnConfig {
+            epochs: scale.rnn_epochs,
+            ..Default::default()
+        },
         topology_pool: scale.pool,
         ..Default::default()
     };
@@ -69,12 +76,11 @@ fn main() {
         let mut sentinels = Vec::new();
         let mut ro_sentinels = Vec::new();
         for r in &reals {
-            sentinels.extend(proteus.factory().generate(
-                r,
-                1,
-                SentinelMode::Generative,
-                &mut rng,
-            ));
+            sentinels.extend(
+                proteus
+                    .factory()
+                    .generate(r, 1, SentinelMode::Generative, &mut rng),
+            );
             ro_sentinels.extend(random_opcode_sentinels(
                 r,
                 1,
@@ -102,7 +108,9 @@ fn main() {
         }
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    println!("\n== Survey (A.8): expert identification accuracy over {trials} 20-graph surveys ==\n");
+    println!(
+        "\n== Survey (A.8): expert identification accuracy over {trials} 20-graph surveys ==\n"
+    );
     println!(
         "expert vs Proteus sentinels:       {:.1}%  (paper: 52%, i.e. chance)",
         mean(&proteus_accs) * 100.0

@@ -5,9 +5,7 @@
 //! bucket construction, the partition→optimize→reassemble latency pipeline,
 //! and table printing. See EXPERIMENTS.md for the experiment index.
 
-use proteus::{
-    random_opcode_sentinels, Proteus, ProteusConfig, SentinelMode,
-};
+use proteus::{random_opcode_sentinels, Proteus, ProteusConfig, SentinelMode};
 use proteus_adversary::{Example, LabelledBucket, SageClassifier, SageConfig};
 use proteus_graph::{Graph, TensorMap};
 use proteus_graphgen::GraphRnnConfig;
@@ -32,11 +30,13 @@ pub fn latency_triple(
     let optimizer = Optimizer::new(profile);
     let unopt = optimizer.estimate_us(graph).expect("model infers");
     let (best_graph, _, _) = optimizer.optimize(graph, &TensorMap::new());
-    let best = optimizer.estimate_us(&best_graph).expect("optimized infers");
+    let best = optimizer
+        .estimate_us(&best_graph)
+        .expect("optimized infers");
 
     let assignment = partition_by_size(graph, target_size, 16, seed);
-    let plan = PartitionPlan::extract(graph, &TensorMap::new(), &assignment)
-        .expect("extraction succeeds");
+    let plan =
+        PartitionPlan::extract(graph, &TensorMap::new(), &assignment).expect("extraction succeeds");
     let optimized: Vec<(Graph, TensorMap)> = plan
         .pieces
         .iter()
@@ -62,11 +62,13 @@ pub fn latency_triple_n(
     let optimizer = Optimizer::new(profile);
     let unopt = optimizer.estimate_us(graph).expect("model infers");
     let (best_graph, _, _) = optimizer.optimize(graph, &TensorMap::new());
-    let best = optimizer.estimate_us(&best_graph).expect("optimized infers");
+    let best = optimizer
+        .estimate_us(&best_graph)
+        .expect("optimized infers");
     let restarts = if balanced { 16 } else { 1 };
     let assignment = partition_balanced(graph, n, restarts, seed);
-    let plan = PartitionPlan::extract(graph, &TensorMap::new(), &assignment)
-        .expect("extraction succeeds");
+    let plan =
+        PartitionPlan::extract(graph, &TensorMap::new(), &assignment).expect("extraction succeeds");
     let optimized: Vec<(Graph, TensorMap)> = plan
         .pieces
         .iter()
@@ -98,12 +100,24 @@ pub struct AttackScale {
 impl AttackScale {
     /// Paper-scale settings.
     pub fn full() -> AttackScale {
-        AttackScale { k: 20, k_train: 4, rnn_epochs: 10, pool: 150, gnn_epochs: 8 }
+        AttackScale {
+            k: 20,
+            k_train: 4,
+            rnn_epochs: 10,
+            pool: 150,
+            gnn_epochs: 8,
+        }
     }
 
     /// Reduced settings for `--quick` runs.
     pub fn quick() -> AttackScale {
-        AttackScale { k: 8, k_train: 2, rnn_epochs: 4, pool: 60, gnn_epochs: 5 }
+        AttackScale {
+            k: 8,
+            k_train: 2,
+            rnn_epochs: 4,
+            pool: 60,
+            gnn_epochs: 5,
+        }
     }
 }
 
@@ -129,7 +143,10 @@ pub fn build_material(kind: ModelKind, n: usize, scale: AttackScale, seed: u64) 
         .collect();
     let config = ProteusConfig {
         k: scale.k,
-        graphrnn: GraphRnnConfig { epochs: scale.rnn_epochs, ..Default::default() },
+        graphrnn: GraphRnnConfig {
+            epochs: scale.rnn_epochs,
+            ..Default::default()
+        },
         topology_pool: scale.pool,
         seed,
         ..Default::default()
@@ -144,9 +161,10 @@ pub fn build_material(kind: ModelKind, n: usize, scale: AttackScale, seed: u64) 
     let mut proteus_sentinels = Vec::new();
     let mut baseline_sentinels = Vec::new();
     for piece in &plan.pieces {
-        let s = proteus
-            .factory()
-            .generate(&piece.graph, scale.k, SentinelMode::Generative, &mut rng);
+        let s =
+            proteus
+                .factory()
+                .generate(&piece.graph, scale.k, SentinelMode::Generative, &mut rng);
         let b = random_opcode_sentinels(
             &piece.graph,
             scale.k,
@@ -158,7 +176,13 @@ pub fn build_material(kind: ModelKind, n: usize, scale: AttackScale, seed: u64) 
         proteus_sentinels.push(s);
         baseline_sentinels.push(b);
     }
-    ModelMaterial { kind, n, pieces, proteus_sentinels, baseline_sentinels }
+    ModelMaterial {
+        kind,
+        n,
+        pieces,
+        proteus_sentinels,
+        baseline_sentinels,
+    }
 }
 
 fn build_ref(kind: &ModelKind) -> Graph {
@@ -208,7 +232,13 @@ pub fn training_examples(
 
 /// Trains the paper's GNN adversary on the leave-one-out example set.
 pub fn train_adversary(examples: &[Example], epochs: usize, seed: u64) -> SageClassifier {
-    let mut clf = SageClassifier::new(SageConfig { epochs, ..Default::default() }, seed);
+    let mut clf = SageClassifier::new(
+        SageConfig {
+            epochs,
+            ..Default::default()
+        },
+        seed,
+    );
     clf.train(examples, seed ^ 0x1234);
     clf
 }
@@ -225,7 +255,10 @@ pub fn print_row(cells: &[String], widths: &[usize]) {
 
 /// Prints a table header with a separator line.
 pub fn print_header(cells: &[&str], widths: &[usize]) {
-    print_row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    print_row(
+        &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
     let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
     println!("|-{}-|", sep.join("-|-"));
 }
@@ -239,13 +272,22 @@ mod tests {
         let g = build(ModelKind::ResNet);
         let (unopt, best, proteus) = latency_triple(&g, Profile::OrtLike, 8, 42);
         assert!(best < unopt, "best {best} !< unopt {unopt}");
-        assert!(proteus >= best * 0.999, "proteus {proteus} beats best {best}?");
+        assert!(
+            proteus >= best * 0.999,
+            "proteus {proteus} beats best {best}?"
+        );
         assert!(proteus < unopt, "proteus {proteus} !< unopt {unopt}");
     }
 
     #[test]
     fn quick_material_has_expected_shape() {
-        let scale = AttackScale { k: 2, k_train: 1, rnn_epochs: 1, pool: 15, gnn_epochs: 1 };
+        let scale = AttackScale {
+            k: 2,
+            k_train: 1,
+            rnn_epochs: 1,
+            pool: 15,
+            gnn_epochs: 1,
+        };
         let m = build_material(ModelKind::AlexNet, 3, scale, 7);
         assert_eq!(m.pieces.len(), 3);
         assert!(m.proteus_sentinels.iter().all(|s| s.len() == 2));

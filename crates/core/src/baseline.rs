@@ -7,8 +7,8 @@
 //! Proteus does not (Figure 6's "Random Opcodes" columns).
 
 use proteus_graph::{
-    Activation, BatchNormAttrs, ConvAttrs, GemmAttrs, Graph, LayerNormAttrs, NodeId, Op,
-    PoolAttrs, Shape,
+    Activation, BatchNormAttrs, ConvAttrs, GemmAttrs, Graph, LayerNormAttrs, NodeId, Op, PoolAttrs,
+    Shape,
 };
 use proteus_graphgen::{induce_orientation, TopologySampler, UGraph};
 use rand::rngs::StdRng;
@@ -17,10 +17,14 @@ use rand::Rng;
 /// Draws a uniformly random operator with arbitrary attributes — no arity
 /// or shape discipline whatsoever.
 fn random_op(rng: &mut StdRng) -> Op {
-    let channels = [8usize, 16, 32, 64, 128][rng.gen_range(0..5)];
-    let out_channels = [8usize, 16, 32, 64, 128][rng.gen_range(0..5)];
+    let channels = [8usize, 16, 32, 64, 128][rng.gen_range(0..5usize)];
+    let out_channels = [8usize, 16, 32, 64, 128][rng.gen_range(0..5usize)];
     match rng.gen_range(0..18) {
-        0 => Op::Conv(ConvAttrs::new(channels, out_channels, [1, 3, 5][rng.gen_range(0..3)])),
+        0 => Op::Conv(ConvAttrs::new(
+            channels,
+            out_channels,
+            [1, 3, 5][rng.gen_range(0..3usize)],
+        )),
         1 => Op::Gemm(GemmAttrs::new(channels, out_channels)),
         2 => Op::MatMul,
         3 => Op::BatchNorm(BatchNormAttrs { channels }),
@@ -36,7 +40,9 @@ fn random_op(rng: &mut StdRng) -> Op {
         13 => Op::GlobalAveragePool,
         14 => Op::Concat { axis: 1 },
         15 => Op::Flatten,
-        16 => Op::Dropout { p: rng.gen_range(10..60) },
+        16 => Op::Dropout {
+            p: rng.gen_range(10..60),
+        },
         _ => Op::Identity,
     }
 }
@@ -57,9 +63,13 @@ pub fn random_opcode_graph(topology: &UGraph, rng: &mut StdRng) -> Graph {
         let op = if inputs.is_empty() {
             // even the baseline needs sources to look like sources
             if rng.gen_bool(0.7) {
-                Op::Input { shape: Shape::from([1, 64, 16, 16]) }
+                Op::Input {
+                    shape: Shape::from([1, 64, 16, 16]),
+                }
             } else {
-                Op::Constant { shape: Shape::from([1, 64, 16, 16]) }
+                Op::Constant {
+                    shape: Shape::from([1, 64, 16, 16]),
+                }
             }
         } else {
             random_op(rng)

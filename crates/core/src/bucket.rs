@@ -8,9 +8,7 @@
 //! owner.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use proteus_graph::wire::{
-    decode_graph, decode_params, encode_graph, encode_params, WireError,
-};
+use proteus_graph::wire::{decode_graph, decode_params, encode_graph, encode_params, WireError};
 use proteus_graph::{Graph, TensorMap};
 use proteus_partition::PartitionPlan;
 use serde::{Deserialize, Serialize};
@@ -155,8 +153,12 @@ mod tests {
     fn wire_roundtrip() {
         let model = ObfuscatedModel {
             buckets: vec![
-                Bucket { members: vec![member(1), member(2)] },
-                Bucket { members: vec![member(3), member(4), member(5)] },
+                Bucket {
+                    members: vec![member(1), member(2)],
+                },
+                Bucket {
+                    members: vec![member(3), member(4), member(5)],
+                },
             ],
         };
         let bytes = model.to_bytes();
@@ -173,7 +175,11 @@ mod tests {
 
     #[test]
     fn corrupted_bytes_rejected() {
-        let model = ObfuscatedModel { buckets: vec![Bucket { members: vec![member(1)] }] };
+        let model = ObfuscatedModel {
+            buckets: vec![Bucket {
+                members: vec![member(1)],
+            }],
+        };
         let bytes = model.to_bytes();
         let truncated = bytes.slice(0..bytes.len() / 2);
         assert!(ObfuscatedModel::from_bytes(truncated).is_err());
@@ -185,11 +191,7 @@ mod tests {
         let anon = anonymize(&m.graph, 3);
         assert_eq!(anon.name(), "subgraph_3");
         for (_, node) in anon.iter() {
-            assert!(
-                !node.name.contains("m9"),
-                "leaked name {}",
-                node.name
-            );
+            assert!(!node.name.contains("m9"), "leaked name {}", node.name);
         }
         assert_eq!(anon.len(), m.graph.len());
     }

@@ -87,8 +87,10 @@ mod tests {
 
     #[test]
     fn partition_resolution() {
-        let mut cfg = ProteusConfig::default();
-        cfg.partitions = PartitionSpec::Count(7);
+        let mut cfg = ProteusConfig {
+            partitions: PartitionSpec::Count(7),
+            ..Default::default()
+        };
         assert_eq!(cfg.num_partitions(100), 7);
         cfg.partitions = PartitionSpec::TargetSize(8);
         assert_eq!(cfg.num_partitions(80), 10);

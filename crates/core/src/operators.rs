@@ -9,11 +9,11 @@
 //! consistency with the bigram model and filtered to the top percentile.
 
 use crate::semantic::{top_percentile, BigramModel};
-use proteus_graphgen::Dag;
 use proteus_graph::{
     Activation, BatchNormAttrs, ConvAttrs, GemmAttrs, Graph, LayerNormAttrs, NodeId, Op, OpCode,
     PoolAttrs,
 };
+use proteus_graphgen::Dag;
 use proteus_smt::{Solver, VarId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -34,10 +34,18 @@ pub fn detect_regime(graph: &Graph) -> Regime {
     let mut tfm = 0usize;
     for (_, node) in graph.iter() {
         match node.op.opcode() {
-            OpCode::Conv | OpCode::BatchNorm | OpCode::MaxPool | OpCode::AveragePool
+            OpCode::Conv
+            | OpCode::BatchNorm
+            | OpCode::MaxPool
+            | OpCode::AveragePool
             | OpCode::GlobalAveragePool => cnn += 1,
-            OpCode::Gemm | OpCode::LayerNorm | OpCode::SkipLayerNorm | OpCode::MatMul
-            | OpCode::MatMulT | OpCode::Gather | OpCode::Gelu => tfm += 1,
+            OpCode::Gemm
+            | OpCode::LayerNorm
+            | OpCode::SkipLayerNorm
+            | OpCode::MatMul
+            | OpCode::MatMulT
+            | OpCode::Gather
+            | OpCode::Gelu => tfm += 1,
             _ => {}
         }
     }
@@ -61,7 +69,10 @@ pub struct PopulationConfig {
 
 impl Default for PopulationConfig {
     fn default() -> Self {
-        PopulationConfig { max_solutions: 24, top_pct: 0.5 }
+        PopulationConfig {
+            max_solutions: 24,
+            top_pct: 0.5,
+        }
     }
 }
 
@@ -109,7 +120,13 @@ fn tfm_ops(in_degree: usize, is_primary_source: bool) -> Vec<OpCode> {
             OpCode::Softmax,
             OpCode::Dropout,
         ],
-        2 => vec![OpCode::Add, OpCode::Mul, OpCode::MatMulT, OpCode::MatMul, OpCode::Concat],
+        2 => vec![
+            OpCode::Add,
+            OpCode::Mul,
+            OpCode::MatMulT,
+            OpCode::MatMul,
+            OpCode::Concat,
+        ],
         _ => vec![OpCode::Concat],
     }
 }
@@ -147,8 +164,8 @@ fn enumerate_assignments(
     let mut op_vars: Vec<VarId> = Vec::with_capacity(n);
     let mut ch_vars: Vec<VarId> = Vec::with_capacity(n);
     let mut sp_vars: Vec<VarId> = Vec::with_capacity(n);
-    for i in 0..n {
-        let degree = preds[i].len();
+    for (i, pred) in preds.iter().enumerate().take(n) {
+        let degree = pred.len();
         let mut ops = match regime {
             Regime::Cnn => cnn_ops(degree, i == primary),
             Regime::Transformer => tfm_ops(degree, i == primary),
@@ -185,8 +202,11 @@ fn enumerate_assignments(
                         match op {
                             OpCode::Conv | OpCode::Gemm => si == sp, // ci free
                             OpCode::GlobalAveragePool => ci == cp && si == 0,
-                            OpCode::MatMulT | OpCode::MatMul | OpCode::Concat
-                            | OpCode::Add | OpCode::Mul => false, // wrong arity
+                            OpCode::MatMulT
+                            | OpCode::MatMul
+                            | OpCode::Concat
+                            | OpCode::Add
+                            | OpCode::Mul => false, // wrong arity
                             _ => ci == cp && si == sp,
                         }
                     },
@@ -209,12 +229,8 @@ fn enumerate_assignments(
                         let (op, ci, c1, c2) = (code(v[0]), v[1], v[2], v[3]);
                         let (si, s1, s2) = (v[4], v[5], v[6]);
                         match op {
-                            OpCode::Add | OpCode::Mul => {
-                                ci == c1 && c1 == c2 && si == s1.max(s2)
-                            }
-                            OpCode::Concat => {
-                                c1 == c2 && ci == c1 + c2 && s1 == s2 && si == s1
-                            }
+                            OpCode::Add | OpCode::Mul => ci == c1 && c1 == c2 && si == s1.max(s2),
+                            OpCode::Concat => c1 == c2 && ci == c1 + c2 && s1 == s2 && si == s1,
                             OpCode::MatMulT => {
                                 // q·kᵀ: equal model dims, output dim = seq
                                 c1 == c2 && ci == SEQ_LEN && si == 1 && s1 == 1 && s2 == 1
@@ -264,12 +280,7 @@ fn enumerate_assignments(
 }
 
 /// Materializes a populated assignment into a computational graph.
-fn build_graph(
-    dag: &Dag,
-    regime: Regime,
-    assignment: &Assignment,
-    rng: &mut StdRng,
-) -> Graph {
+fn build_graph(dag: &Dag, regime: Regime, assignment: &Assignment, rng: &mut StdRng) -> Graph {
     let n = dag.len();
     let preds = dag.preds();
     let succs = dag.succs();
@@ -301,8 +312,12 @@ fn build_graph(
             }
         };
         let op = match codev {
-            OpCode::Input => Op::Input { shape: shape_of(c, sp) },
-            OpCode::Constant => Op::Constant { shape: shape_of(c, sp) },
+            OpCode::Input => Op::Input {
+                shape: shape_of(c, sp),
+            },
+            OpCode::Constant => Op::Constant {
+                shape: shape_of(c, sp),
+            },
             OpCode::Conv => {
                 let kernel = *[1usize, 3, 5].choose(rng).expect("nonempty");
                 Op::Conv(
@@ -324,7 +339,9 @@ fn build_graph(
             OpCode::Softmax => Op::Softmax {
                 axis: if regime == Regime::Cnn { 1 } else { -1 },
             },
-            OpCode::Dropout => Op::Dropout { p: rng.gen_range(10..=50) },
+            OpCode::Dropout => Op::Dropout {
+                p: rng.gen_range(10..=50),
+            },
             OpCode::MaxPool => Op::MaxPool(PoolAttrs::new(3, 1, 1)),
             OpCode::AveragePool => Op::AveragePool(PoolAttrs::new(3, 1, 1)),
             OpCode::GlobalAveragePool => Op::GlobalAveragePool,
@@ -408,8 +425,7 @@ mod tests {
                 let g = populate(&dag, regime, &model, &cfg, &mut rng)
                     .unwrap_or_else(|| panic!("no assignment for n={n} {regime:?}"));
                 g.validate().unwrap();
-                infer_shapes(&g)
-                    .unwrap_or_else(|e| panic!("shapes n={n} {regime:?}: {e}\n{g:#?}"));
+                infer_shapes(&g).unwrap_or_else(|e| panic!("shapes n={n} {regime:?}: {e}\n{g:#?}"));
                 assert_eq!(g.len(), n);
             }
         }
@@ -434,8 +450,14 @@ mod tests {
         let model = bigram();
         let mut rng = StdRng::seed_from_u64(3);
         let dag = Dag::new(5, vec![(0, 1), (0, 2), (0, 3), (1, 4), (2, 4), (3, 4)]);
-        let g = populate(&dag, Regime::Cnn, &model, &PopulationConfig::default(), &mut rng)
-            .expect("satisfiable");
+        let g = populate(
+            &dag,
+            Regime::Cnn,
+            &model,
+            &PopulationConfig::default(),
+            &mut rng,
+        )
+        .expect("satisfiable");
         infer_shapes(&g).unwrap();
         let concats = g
             .iter()
@@ -471,7 +493,10 @@ mod tests {
         // with a corpus of conv->bn->relu models, populated chains should
         // frequently contain that motif rather than e.g. softmax chains
         let model = bigram();
-        let cfg = PopulationConfig { max_solutions: 32, top_pct: 0.25 };
+        let cfg = PopulationConfig {
+            max_solutions: 32,
+            top_pct: 0.25,
+        };
         let mut softmax_chains = 0;
         let mut total = 0;
         for seed in 0..20u64 {

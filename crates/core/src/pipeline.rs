@@ -76,16 +76,17 @@ impl Proteus {
                 } else {
                     TensorMap::init_random(&s, self.config.seed ^ (i as u64) << 8)
                 };
-                members.push(BucketMember { graph: s, params: sp });
+                members.push(BucketMember {
+                    graph: s,
+                    params: sp,
+                });
             }
             // shuffle and record where the real subgraph landed
             let mut order: Vec<usize> = (0..members.len()).collect();
             order.shuffle(&mut rng);
             let real_at = order.iter().position(|&o| o == 0).expect("present");
-            let mut shuffled: Vec<BucketMember> = order
-                .into_iter()
-                .map(|o| members[o].clone())
-                .collect();
+            let mut shuffled: Vec<BucketMember> =
+                order.into_iter().map(|o| members[o].clone()).collect();
             for (j, m) in shuffled.iter_mut().enumerate() {
                 m.graph = anonymize(&m.graph, i * 1000 + j);
             }
@@ -94,7 +95,10 @@ impl Proteus {
         }
         Ok((
             ObfuscatedModel { buckets },
-            ObfuscationSecrets { plan, real_positions },
+            ObfuscationSecrets {
+                plan,
+                real_positions,
+            },
         ))
     }
 
@@ -143,15 +147,12 @@ pub fn optimize_model(model: &ObfuscatedModel, optimizer: &Optimizer) -> Obfusca
         .buckets
         .iter()
         .enumerate()
-        .flat_map(|(bi, b)| {
-            b.members
-                .iter()
-                .enumerate()
-                .map(move |(mi, m)| (bi, mi, m))
-        })
+        .flat_map(|(bi, b)| b.members.iter().enumerate().map(move |(mi, m)| (bi, mi, m)))
         .collect();
     let results: Vec<(usize, usize, BucketMember)> = crossbeam::thread::scope(|scope| {
-        let chunks: Vec<_> = flat.chunks(flat.len().div_ceil(num_threads).max(1)).collect();
+        let chunks: Vec<_> = flat
+            .chunks(flat.len().div_ceil(num_threads).max(1))
+            .collect();
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
@@ -160,7 +161,14 @@ pub fn optimize_model(model: &ObfuscatedModel, optimizer: &Optimizer) -> Obfusca
                         .iter()
                         .map(|&(bi, mi, m)| {
                             let (g, p, _) = optimizer.optimize(&m.graph, &m.params);
-                            (bi, mi, BucketMember { graph: g, params: p })
+                            (
+                                bi,
+                                mi,
+                                BucketMember {
+                                    graph: g,
+                                    params: p,
+                                },
+                            )
                         })
                         .collect::<Vec<_>>()
                 })
@@ -177,7 +185,15 @@ pub fn optimize_model(model: &ObfuscatedModel, optimizer: &Optimizer) -> Obfusca
         buckets: model
             .buckets
             .iter()
-            .map(|b| Bucket { members: vec![BucketMember { graph: Graph::new(""), params: TensorMap::new() }; b.members.len()] })
+            .map(|b| Bucket {
+                members: vec![
+                    BucketMember {
+                        graph: Graph::new(""),
+                        params: TensorMap::new()
+                    };
+                    b.members.len()
+                ],
+            })
             .collect(),
     };
     for (bi, mi, member) in results {
@@ -198,7 +214,10 @@ pub fn optimize_model_serial(model: &ObfuscatedModel, optimizer: &Optimizer) -> 
                     .iter()
                     .map(|m| {
                         let (g, p, _) = optimizer.optimize(&m.graph, &m.params);
-                        BucketMember { graph: g, params: p }
+                        BucketMember {
+                            graph: g,
+                            params: p,
+                        }
                     })
                     .collect(),
             })
@@ -218,7 +237,11 @@ mod tests {
     fn quick_config(k: usize) -> ProteusConfig {
         ProteusConfig {
             k,
-            graphrnn: GraphRnnConfig { epochs: 2, max_nodes: 20, ..Default::default() },
+            graphrnn: GraphRnnConfig {
+                epochs: 2,
+                max_nodes: 20,
+                ..Default::default()
+            },
             topology_pool: 30,
             ..Default::default()
         }
@@ -253,9 +276,15 @@ mod tests {
         let (back, back_params) = proteus.deobfuscate(&secrets, &model).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let x = Tensor::random([1, 3, 8, 8], 1.0, &mut rng);
-        let a = Executor::new(&g, &params).run(&[x.clone()]).unwrap();
+        let a = Executor::new(&g, &params)
+            .run(std::slice::from_ref(&x))
+            .unwrap();
         let b = Executor::new(&back, &back_params).run(&[x]).unwrap();
-        assert!(a[0].allclose(&b[0], 1e-4), "diff {}", a[0].max_abs_diff(&b[0]));
+        assert!(
+            a[0].allclose(&b[0], 1e-4),
+            "diff {}",
+            a[0].max_abs_diff(&b[0])
+        );
     }
 
     #[test]
@@ -270,7 +299,9 @@ mod tests {
             let (back, back_params) = proteus.deobfuscate(&secrets, &optimized).unwrap();
             let mut rng = StdRng::seed_from_u64(2);
             let x = Tensor::random([1, 3, 8, 8], 1.0, &mut rng);
-            let a = Executor::new(&g, &params).run(&[x.clone()]).unwrap();
+            let a = Executor::new(&g, &params)
+                .run(std::slice::from_ref(&x))
+                .unwrap();
             let b = Executor::new(&back, &back_params).run(&[x]).unwrap();
             assert!(
                 a[0].allclose(&b[0], 1e-3),

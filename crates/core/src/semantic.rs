@@ -35,7 +35,11 @@ impl BigramModel {
                 }
             }
         }
-        BigramModel { counts, totals, alpha }
+        BigramModel {
+            counts,
+            totals,
+            alpha,
+        }
     }
 
     /// `log P(dst | src)` with Laplace smoothing.
@@ -69,11 +73,7 @@ impl BigramModel {
 
     /// Mean edge log-likelihood of an opcode assignment over an edge list
     /// (used during operator population, before a [`Graph`] exists).
-    pub fn assignment_log_likelihood(
-        &self,
-        edges: &[(usize, usize)],
-        opcodes: &[OpCode],
-    ) -> f64 {
+    pub fn assignment_log_likelihood(&self, edges: &[(usize, usize)], opcodes: &[OpCode]) -> f64 {
         if edges.is_empty() {
             return 0.0;
         }
@@ -125,8 +125,7 @@ mod tests {
                 > model.log_prob(OpCode::Conv, OpCode::Softmax)
         );
         assert!(
-            model.log_prob(OpCode::Relu, OpCode::Conv)
-                > model.log_prob(OpCode::Relu, OpCode::Relu)
+            model.log_prob(OpCode::Relu, OpCode::Conv) > model.log_prob(OpCode::Relu, OpCode::Relu)
         );
     }
 

@@ -84,9 +84,7 @@ impl SentinelFactory {
         rng: &mut StdRng,
     ) -> Vec<Graph> {
         match mode {
-            SentinelMode::Perturb => {
-                perturb_many(protected, PerturbConfig::default(), k, rng)
-            }
+            SentinelMode::Perturb => perturb_many(protected, PerturbConfig::default(), k, rng),
             SentinelMode::Generative => self.generate_generative(protected, k, rng),
         }
     }
@@ -99,9 +97,7 @@ impl SentinelFactory {
         while out.len() < k && rounds < 8 {
             rounds += 1;
             let want = (k - out.len()).max(1) * 2;
-            let candidates = self
-                .sampler
-                .sample_similar(&topo, self.beta, want, rng);
+            let candidates = self.sampler.sample_similar(&topo, self.beta, want, rng);
             for cand in candidates {
                 if out.len() >= k {
                     break;
@@ -116,7 +112,12 @@ impl SentinelFactory {
         // the remainder so the bucket always holds exactly k sentinels.
         if out.len() < k {
             let missing = k - out.len();
-            out.extend(perturb_many(protected, PerturbConfig::default(), missing, rng));
+            out.extend(perturb_many(
+                protected,
+                PerturbConfig::default(),
+                missing,
+                rng,
+            ));
         }
         out
     }
@@ -125,12 +126,16 @@ impl SentinelFactory {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proteus_models::{build, ModelKind};
     use proteus_graphgen::GraphRnnConfig;
+    use proteus_models::{build, ModelKind};
 
     fn quick_config() -> ProteusConfig {
         ProteusConfig {
-            graphrnn: GraphRnnConfig { epochs: 3, max_nodes: 24, ..Default::default() },
+            graphrnn: GraphRnnConfig {
+                epochs: 3,
+                max_nodes: 24,
+                ..Default::default()
+            },
             topology_pool: 40,
             ..Default::default()
         }
@@ -177,7 +182,12 @@ mod tests {
             s.validate().unwrap();
             // perturbations stay within a few nodes of the original
             let diff = (s.len() as i64 - protected.len() as i64).abs();
-            assert!(diff <= 4, "perturbed size {} vs {}", s.len(), protected.len());
+            assert!(
+                diff <= 4,
+                "perturbed size {} vs {}",
+                s.len(),
+                protected.len()
+            );
         }
     }
 
@@ -194,6 +204,10 @@ mod tests {
             let sig: Vec<_> = s.iter().map(|(_, n)| n.op.opcode()).collect();
             distinct.insert(format!("{sig:?}"));
         }
-        assert!(distinct.len() >= 4, "only {} distinct sentinels", distinct.len());
+        assert!(
+            distinct.len() >= 4,
+            "only {} distinct sentinels",
+            distinct.len()
+        );
     }
 }

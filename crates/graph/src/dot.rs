@@ -23,7 +23,11 @@ pub fn to_dot(graph: &Graph) -> String {
             ),
             Op::MaxPool(p) | Op::AveragePool(p) => format!(
                 "{}\\nkernel shape: {}\\nstrides: {}\\npadding: {}",
-                if matches!(node.op, Op::MaxPool(_)) { "MaxPool" } else { "AveragePool" },
+                if matches!(node.op, Op::MaxPool(_)) {
+                    "MaxPool"
+                } else {
+                    "AveragePool"
+                },
                 p.kernel,
                 p.stride,
                 p.padding

@@ -30,7 +30,11 @@ impl Tensor {
     /// Panics if `data.len() != shape.numel()`.
     pub fn new(shape: impl Into<Shape>, data: Vec<f32>) -> Tensor {
         let shape = shape.into();
-        assert_eq!(shape.numel(), data.len(), "tensor data does not match shape {shape}");
+        assert_eq!(
+            shape.numel(),
+            data.len(),
+            "tensor data does not match shape {shape}"
+        );
         Tensor { shape, data }
     }
 
@@ -38,14 +42,20 @@ impl Tensor {
     pub fn zeros(shape: impl Into<Shape>) -> Tensor {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor { shape, data: vec![0.0; n] }
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
     }
 
     /// Tensor filled with `value`.
     pub fn full(shape: impl Into<Shape>, value: f32) -> Tensor {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor { shape, data: vec![value; n] }
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
     }
 
     /// Tensor with i.i.d. uniform values in `[-scale, scale]`.
@@ -271,8 +281,7 @@ impl<'a> Executor<'a> {
                 }
                 Op::Constant { .. } => self.param(id, node, 0)?.clone(),
                 _ => {
-                    let ins: Vec<&Tensor> =
-                        node.inputs.iter().map(|i| &values[i]).collect();
+                    let ins: Vec<&Tensor> = node.inputs.iter().map(|i| &values[i]).collect();
                     self.eval(id, node, &ins)?
                 }
             };
@@ -298,14 +307,20 @@ impl<'a> Executor<'a> {
 
     fn eval(&self, id: NodeId, node: &crate::graph::Node, ins: &[&Tensor]) -> Result<Tensor> {
         let name = &node.name;
-        let fail = |detail: String| GraphError::Exec { node: name.clone(), detail };
+        let fail = |detail: String| GraphError::Exec {
+            node: name.clone(),
+            detail,
+        };
         Ok(match &node.op {
             Op::Input { .. } | Op::Constant { .. } => unreachable!("handled in run()"),
             Op::Conv(c) => {
                 let w = self.param(id, node, 0)?;
-                let b = if c.has_bias { Some(self.param(id, node, 1)?) } else { None };
-                let mut out = conv2d(ins[0], w, b, c.stride, c.padding, c.groups)
-                    .map_err(fail)?;
+                let b = if c.has_bias {
+                    Some(self.param(id, node, 1)?)
+                } else {
+                    None
+                };
+                let mut out = conv2d(ins[0], w, b, c.stride, c.padding, c.groups).map_err(fail)?;
                 if c.fused_add {
                     out = broadcast_binop(&out, ins[1], |x, y| x + y).map_err(fail)?;
                 }
@@ -318,7 +333,11 @@ impl<'a> Executor<'a> {
             }
             Op::Gemm(g) => {
                 let w = self.param(id, node, 0)?;
-                let b = if g.has_bias { Some(self.param(id, node, 1)?) } else { None };
+                let b = if g.has_bias {
+                    Some(self.param(id, node, 1)?)
+                } else {
+                    None
+                };
                 let mut out = gemm(ins[0], w, b).map_err(fail)?;
                 if let Some(act) = g.fused_act {
                     for v in out.data_mut() {
@@ -462,7 +481,9 @@ pub fn conv2d(
         return Err("only square kernels supported".into());
     }
     if cin % groups != 0 || cout % groups != 0 || cpg != cin / groups {
-        return Err(format!("bad conv grouping: cin={cin} cout={cout} groups={groups}"));
+        return Err(format!(
+            "bad conv grouping: cin={cin} cout={cout} groups={groups}"
+        ));
     }
     let oh = crate::shape::conv_out_dim(h, kh, stride, padding).ok_or("kernel too large")?;
     let ow = crate::shape::conv_out_dim(win, kw, stride, padding).ok_or("kernel too large")?;
@@ -712,7 +733,8 @@ fn pool(x: &Tensor, kernel: usize, stride: usize, padding: usize, mode: PoolMode
                             if ix < padding || ix - padding >= w {
                                 continue;
                             }
-                            let v = x.data()[((b * c + ch) * h + (iy - padding)) * w + (ix - padding)];
+                            let v =
+                                x.data()[((b * c + ch) * h + (iy - padding)) * w + (ix - padding)];
                             match mode {
                                 PoolMode::Max => acc = acc.max(v),
                                 PoolMode::Avg => acc += v,
@@ -738,8 +760,7 @@ fn global_average_pool(x: &Tensor) -> KResult {
     for b in 0..n {
         for ch in 0..c {
             let base = (b * c + ch) * h * w;
-            out[b * c + ch] =
-                x.data()[base..base + h * w].iter().sum::<f32>() / (h * w) as f32;
+            out[b * c + ch] = x.data()[base..base + h * w].iter().sum::<f32>() / (h * w) as f32;
         }
     }
     Ok(Tensor::new([n, c, 1, 1], out))
@@ -895,7 +916,10 @@ mod tests {
     #[test]
     fn conv2d_padding_and_stride() {
         let x = t([1, 1, 3, 3], (1..=9).map(|v| v as f32).collect());
-        let w = t([1, 1, 3, 3], vec![0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
+        let w = t(
+            [1, 1, 3, 3],
+            vec![0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0],
+        );
         // center-tap kernel with pad 1 reproduces the input
         let y = conv2d(&x, &w, None, 1, 1, 1).unwrap();
         assert_eq!(y.data(), x.data());
@@ -1017,7 +1041,10 @@ mod tests {
 
     #[test]
     fn reduce_mean_spatial() {
-        let x = t([1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0]);
+        let x = t(
+            [1, 2, 2, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+        );
         let y = reduce_mean(&x, &[2, 3], true).unwrap();
         assert_eq!(y.shape().dims(), &[1, 2, 1, 1]);
         assert_eq!(y.data(), &[2.5, 25.0]);
@@ -1063,7 +1090,12 @@ mod tests {
         let ln = g.add(Op::LayerNorm(LayerNormAttrs { dim: 8 }), [emb]);
         let q = g.add(Op::Gemm(GemmAttrs::new(8, 8)), [ln]);
         let k = g.add(Op::Gemm(GemmAttrs::new(8, 8)), [ln]);
-        let kt = g.add(Op::Transpose { perm: vec![0, 2, 1] }, [k]);
+        let kt = g.add(
+            Op::Transpose {
+                perm: vec![0, 2, 1],
+            },
+            [k],
+        );
         let att = g.add(Op::MatMul, [q, kt]);
         let sm = g.add(Op::Softmax { axis: -1 }, [att]);
         g.set_outputs([sm]);
@@ -1101,7 +1133,7 @@ mod tests {
         let params = TensorMap::new();
         let exec = Executor::new(&g, &params);
         let input = Tensor::new([2, 2], vec![1.0, -2.0, 3.0, -4.0]);
-        let out = exec.run(&[input.clone()]).unwrap();
+        let out = exec.run(std::slice::from_ref(&input)).unwrap();
         assert_eq!(out[0], input);
     }
 }

@@ -73,7 +73,11 @@ pub struct Graph {
 impl Graph {
     /// Creates an empty graph with the given name.
     pub fn new(name: impl Into<String>) -> Graph {
-        Graph { name: name.into(), nodes: Vec::new(), outputs: Vec::new() }
+        Graph {
+            name: name.into(),
+            nodes: Vec::new(),
+            outputs: Vec::new(),
+        }
     }
 
     /// The model/graph name.
@@ -125,13 +129,23 @@ impl Graph {
 
     /// Convenience: adds an [`Op::Input`] placeholder with the given shape.
     pub fn input(&mut self, shape: impl Into<Shape>) -> NodeId {
-        self.add(Op::Input { shape: shape.into() }, [])
+        self.add(
+            Op::Input {
+                shape: shape.into(),
+            },
+            [],
+        )
     }
 
     /// Convenience: adds an [`Op::Constant`] with the given shape. The value
     /// lives in a separate [`crate::TensorMap`].
     pub fn constant(&mut self, shape: impl Into<Shape>) -> NodeId {
-        self.add(Op::Constant { shape: shape.into() }, [])
+        self.add(
+            Op::Constant {
+                shape: shape.into(),
+            },
+            [],
+        )
     }
 
     /// Declares the graph outputs (replacing any previous declaration).
@@ -383,13 +397,13 @@ impl Graph {
             stack.extend(self.node(id).expect("live").inputs.iter().copied());
         }
         let mut removed = 0;
-        for i in 0..self.nodes.len() {
-            let keep = match &self.nodes[i] {
+        for (i, slot) in self.nodes.iter_mut().enumerate() {
+            let keep = match slot {
                 Some(n) => live[i] || matches!(n.op, Op::Input { .. }),
                 None => continue,
             };
             if !keep {
-                self.nodes[i] = None;
+                *slot = None;
                 removed += 1;
             }
         }

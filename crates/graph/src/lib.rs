@@ -57,7 +57,11 @@ pub enum GraphError {
     /// A node references an input id that does not exist (or was removed).
     DanglingInput { node: String, input: NodeId },
     /// A node has the wrong number of inputs for its operator.
-    BadArity { node: String, expected: String, got: usize },
+    BadArity {
+        node: String,
+        expected: String,
+        got: usize,
+    },
     /// The graph contains a cycle.
     Cyclic,
     /// Shape inference failed at a node.
@@ -72,7 +76,11 @@ impl fmt::Display for GraphError {
             GraphError::DanglingInput { node, input } => {
                 write!(f, "node `{node}` references missing input {input:?}")
             }
-            GraphError::BadArity { node, expected, got } => {
+            GraphError::BadArity {
+                node,
+                expected,
+                got,
+            } => {
                 write!(f, "node `{node}` expects {expected} inputs, got {got}")
             }
             GraphError::Cyclic => write!(f, "graph contains a cycle"),

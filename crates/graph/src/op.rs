@@ -163,7 +163,12 @@ pub struct GemmAttrs {
 
 impl GemmAttrs {
     pub fn new(in_features: usize, out_features: usize) -> Self {
-        GemmAttrs { in_features, out_features, has_bias: true, fused_act: None }
+        GemmAttrs {
+            in_features,
+            out_features,
+            has_bias: true,
+            fused_act: None,
+        }
     }
 }
 
@@ -177,7 +182,11 @@ pub struct PoolAttrs {
 
 impl PoolAttrs {
     pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
-        PoolAttrs { kernel, stride, padding }
+        PoolAttrs {
+            kernel,
+            stride,
+            padding,
+        }
     }
 }
 
@@ -202,9 +211,13 @@ pub struct LayerNormAttrs {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Op {
     /// Graph input placeholder with a fixed shape.
-    Input { shape: Shape },
+    Input {
+        shape: Shape,
+    },
     /// Constant tensor; its value lives in the weight store.
-    Constant { shape: Shape },
+    Constant {
+        shape: Shape,
+    },
     Conv(ConvAttrs),
     Gemm(GemmAttrs),
     /// Batched matrix multiplication of two activation tensors (attention).
@@ -217,7 +230,9 @@ pub enum Op {
     /// Fused `LayerNorm(a + b)` (ONNXRuntime's SkipLayerNormalization).
     SkipLayerNorm(LayerNormAttrs),
     Activation(Activation),
-    Softmax { axis: isize },
+    Softmax {
+        axis: isize,
+    },
     Add,
     Sub,
     Mul,
@@ -227,16 +242,30 @@ pub enum Op {
     MaxPool(PoolAttrs),
     AveragePool(PoolAttrs),
     GlobalAveragePool,
-    Concat { axis: usize },
+    Concat {
+        axis: usize,
+    },
     Flatten,
-    Reshape { shape: Shape },
-    Transpose { perm: Vec<usize> },
+    Reshape {
+        shape: Shape,
+    },
+    Transpose {
+        perm: Vec<usize>,
+    },
     Identity,
-    Dropout { p: u32 },
-    ReduceMean { axes: Vec<usize>, keepdims: bool },
+    Dropout {
+        p: u32,
+    },
+    ReduceMean {
+        axes: Vec<usize>,
+        keepdims: bool,
+    },
     /// Embedding lookup: maps integer token ids to rows of a `[vocab, dim]`
     /// table held in the weight store.
-    Gather { vocab: usize, dim: usize },
+    Gather {
+        vocab: usize,
+        dim: usize,
+    },
 }
 
 impl Op {
@@ -498,7 +527,13 @@ mod tests {
         assert_eq!(Op::MatMul.arity(), Some(2));
         assert_eq!(Op::Identity.arity(), Some(1));
         assert_eq!(Op::Concat { axis: 1 }.arity(), None);
-        assert_eq!(Op::Input { shape: Shape::from([1]) }.arity(), Some(0));
+        assert_eq!(
+            Op::Input {
+                shape: Shape::from([1])
+            }
+            .arity(),
+            Some(0)
+        );
     }
 
     #[test]

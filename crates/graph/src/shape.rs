@@ -51,8 +51,16 @@ impl Shape {
         let rank = a.len().max(b.len());
         let mut out = vec![0; rank];
         for i in 0..rank {
-            let da = if i < rank - a.len() { 1 } else { a[i - (rank - a.len())] };
-            let db = if i < rank - b.len() { 1 } else { b[i - (rank - b.len())] };
+            let da = if i < rank - a.len() {
+                1
+            } else {
+                a[i - (rank - a.len())]
+            };
+            let db = if i < rank - b.len() {
+                1
+            } else {
+                b[i - (rank - b.len())]
+            };
             out[i] = if da == db {
                 da
             } else if da == 1 {
@@ -108,7 +116,10 @@ pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, padding: usize) 
 }
 
 fn err(node: &str, detail: impl Into<String>) -> GraphError {
-    GraphError::ShapeMismatch { node: node.to_string(), detail: detail.into() }
+    GraphError::ShapeMismatch {
+        node: node.to_string(),
+        detail: detail.into(),
+    }
 }
 
 /// Infers the output shape of a single operator given its input shapes.
@@ -151,7 +162,9 @@ pub fn infer_op(op: &Op, name: &str, ins: &[&Shape]) -> Result<Shape> {
         }
         Op::Gemm(g) => {
             let dims = one(0).dims();
-            let last = *dims.last().ok_or_else(|| err(name, "gemm input is scalar"))?;
+            let last = *dims
+                .last()
+                .ok_or_else(|| err(name, "gemm input is scalar"))?;
             if last != g.in_features {
                 return Err(err(
                     name,
@@ -200,9 +213,15 @@ pub fn infer_op(op: &Op, name: &str, ins: &[&Shape]) -> Result<Shape> {
         }
         Op::LayerNorm(l) => {
             let s = one(0);
-            let last = *s.dims().last().ok_or_else(|| err(name, "layernorm on scalar"))?;
+            let last = *s
+                .dims()
+                .last()
+                .ok_or_else(|| err(name, "layernorm on scalar"))?;
             if last != l.dim {
-                return Err(err(name, format!("layernorm dim {} vs input {last}", l.dim)));
+                return Err(err(
+                    name,
+                    format!("layernorm dim {} vs input {last}", l.dim),
+                ));
             }
             Ok(s.clone())
         }
@@ -210,9 +229,15 @@ pub fn infer_op(op: &Op, name: &str, ins: &[&Shape]) -> Result<Shape> {
             let s = one(0)
                 .broadcast(one(1))
                 .ok_or_else(|| err(name, "skip-layernorm operands not broadcastable"))?;
-            let last = *s.dims().last().ok_or_else(|| err(name, "layernorm on scalar"))?;
+            let last = *s
+                .dims()
+                .last()
+                .ok_or_else(|| err(name, "layernorm on scalar"))?;
             if last != l.dim {
-                return Err(err(name, format!("layernorm dim {} vs input {last}", l.dim)));
+                return Err(err(
+                    name,
+                    format!("layernorm dim {} vs input {last}", l.dim),
+                ));
             }
             Ok(s)
         }
@@ -222,7 +247,10 @@ pub fn infer_op(op: &Op, name: &str, ins: &[&Shape]) -> Result<Shape> {
             let rank = s.rank() as isize;
             let ax = if *axis < 0 { axis + rank } else { *axis };
             if ax < 0 || ax >= rank {
-                return Err(err(name, format!("softmax axis {axis} out of range for {s}")));
+                return Err(err(
+                    name,
+                    format!("softmax axis {axis} out of range for {s}"),
+                ));
             }
             Ok(s.clone())
         }
@@ -233,10 +261,18 @@ pub fn infer_op(op: &Op, name: &str, ins: &[&Shape]) -> Result<Shape> {
             let (n, c, h, w) = one(0)
                 .nchw()
                 .ok_or_else(|| err(name, format!("pool input must be NCHW, got {}", one(0))))?;
-            let oh = conv_out_dim(h, p.kernel, p.stride, p.padding)
-                .ok_or_else(|| err(name, format!("pool kernel {} too large for h={h}", p.kernel)))?;
-            let ow = conv_out_dim(w, p.kernel, p.stride, p.padding)
-                .ok_or_else(|| err(name, format!("pool kernel {} too large for w={w}", p.kernel)))?;
+            let oh = conv_out_dim(h, p.kernel, p.stride, p.padding).ok_or_else(|| {
+                err(
+                    name,
+                    format!("pool kernel {} too large for h={h}", p.kernel),
+                )
+            })?;
+            let ow = conv_out_dim(w, p.kernel, p.stride, p.padding).ok_or_else(|| {
+                err(
+                    name,
+                    format!("pool kernel {} too large for w={w}", p.kernel),
+                )
+            })?;
             Ok(Shape::from([n, c, oh, ow]))
         }
         Op::GlobalAveragePool => {
@@ -350,11 +386,20 @@ mod tests {
         let a = Shape::from([4, 1, 3]);
         let b = Shape::from([2, 3]);
         assert_eq!(a.broadcast(&b).unwrap().dims(), &[4, 2, 3]);
-        assert_eq!(Shape::from([5]).broadcast(&Shape::from([5])).unwrap().dims(), &[5]);
+        assert_eq!(
+            Shape::from([5])
+                .broadcast(&Shape::from([5]))
+                .unwrap()
+                .dims(),
+            &[5]
+        );
         assert!(Shape::from([4]).broadcast(&Shape::from([3])).is_none());
         // scalar broadcasts with anything
         assert_eq!(
-            Shape::new(vec![]).broadcast(&Shape::from([2, 2])).unwrap().dims(),
+            Shape::new(vec![])
+                .broadcast(&Shape::from([2, 2]))
+                .unwrap()
+                .dims(),
             &[2, 2]
         );
     }
@@ -442,11 +487,22 @@ mod tests {
         // Gather -> LayerNorm -> MatMul(QK^T via transpose) -> Softmax
         let mut g = Graph::new("t");
         let ids = g.input([1, 128]);
-        let emb = g.add(Op::Gather { vocab: 1000, dim: 64 }, [ids]);
+        let emb = g.add(
+            Op::Gather {
+                vocab: 1000,
+                dim: 64,
+            },
+            [ids],
+        );
         let ln = g.add(Op::LayerNorm(crate::op::LayerNormAttrs { dim: 64 }), [emb]);
         let q = g.add(Op::Gemm(GemmAttrs::new(64, 64)), [ln]);
         let k = g.add(Op::Gemm(GemmAttrs::new(64, 64)), [ln]);
-        let kt = g.add(Op::Transpose { perm: vec![0, 2, 1] }, [k]);
+        let kt = g.add(
+            Op::Transpose {
+                perm: vec![0, 2, 1],
+            },
+            [k],
+        );
         let scores = g.add(Op::MatMul, [q, kt]);
         let probs = g.add(Op::Softmax { axis: -1 }, [scores]);
         g.set_outputs([probs]);
@@ -460,13 +516,23 @@ mod tests {
     fn reshape_must_preserve_numel() {
         let mut g = Graph::new("t");
         let x = g.input([2, 6]);
-        let r = g.add(Op::Reshape { shape: Shape::from([3, 4]) }, [x]);
+        let r = g.add(
+            Op::Reshape {
+                shape: Shape::from([3, 4]),
+            },
+            [x],
+        );
         g.set_outputs([r]);
         assert!(infer_shapes(&g).is_ok());
 
         let mut g2 = Graph::new("t2");
         let x2 = g2.input([2, 6]);
-        let r2 = g2.add(Op::Reshape { shape: Shape::from([5, 2]) }, [x2]);
+        let r2 = g2.add(
+            Op::Reshape {
+                shape: Shape::from([5, 2]),
+            },
+            [x2],
+        );
         g2.set_outputs([r2]);
         assert!(infer_shapes(&g2).is_err());
     }
@@ -475,8 +541,20 @@ mod tests {
     fn reduce_mean_shapes() {
         let mut g = Graph::new("t");
         let x = g.input([2, 16, 4, 4]);
-        let r = g.add(Op::ReduceMean { axes: vec![2, 3], keepdims: true }, [x]);
-        let r2 = g.add(Op::ReduceMean { axes: vec![2, 3], keepdims: false }, [x]);
+        let r = g.add(
+            Op::ReduceMean {
+                axes: vec![2, 3],
+                keepdims: true,
+            },
+            [x],
+        );
+        let r2 = g.add(
+            Op::ReduceMean {
+                axes: vec![2, 3],
+                keepdims: false,
+            },
+            [x],
+        );
         g.set_outputs([r, r2]);
         let shapes = infer_shapes(&g).unwrap();
         assert_eq!(shapes[&r].dims(), &[2, 16, 1, 1]);

@@ -50,7 +50,12 @@ impl GraphStats {
     /// The statistics as a fixed-order feature vector
     /// `[avg_degree, clustering, diameter, num_nodes]`.
     pub fn to_vec(self) -> [f64; 4] {
-        [self.avg_degree, self.clustering, self.diameter, self.num_nodes]
+        [
+            self.avg_degree,
+            self.clustering,
+            self.diameter,
+            self.num_nodes,
+        ]
     }
 
     /// Feature names matching [`GraphStats::to_vec`] order.
@@ -83,10 +88,7 @@ pub fn average_clustering(adj: &HashMap<NodeId, Vec<NodeId>>) -> f64 {
 }
 
 /// BFS distances from `src`; unreachable nodes are absent.
-pub fn bfs_distances(
-    adj: &HashMap<NodeId, Vec<NodeId>>,
-    src: NodeId,
-) -> HashMap<NodeId, usize> {
+pub fn bfs_distances(adj: &HashMap<NodeId, Vec<NodeId>>, src: NodeId) -> HashMap<NodeId, usize> {
     let mut dist = HashMap::new();
     dist.insert(src, 0usize);
     let mut q = VecDeque::new();
@@ -95,8 +97,8 @@ pub fn bfs_distances(
         let du = dist[&u];
         if let Some(neigh) = adj.get(&u) {
             for &v in neigh {
-                if !dist.contains_key(&v) {
-                    dist.insert(v, du + 1);
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
+                    e.insert(du + 1);
                     q.push_back(v);
                 }
             }
@@ -126,7 +128,7 @@ pub fn diameter(adj: &HashMap<NodeId, Vec<NodeId>>) -> usize {
 pub fn diameter_endpoints(adj: &HashMap<NodeId, Vec<NodeId>>) -> Option<(NodeId, NodeId)> {
     let component = largest_component(adj);
     let mut best: Option<(usize, NodeId, NodeId)> = None;
-    let mut nodes: Vec<NodeId> = component.iter().copied().collect();
+    let mut nodes: Vec<NodeId> = component.to_vec();
     nodes.sort();
     for &u in &nodes {
         let dist = bfs_distances(adj, u);
@@ -135,9 +137,7 @@ pub fn diameter_endpoints(adj: &HashMap<NodeId, Vec<NodeId>>) -> Option<(NodeId,
                 let cand = (d, u, v);
                 let better = match best {
                     None => true,
-                    Some((bd, bu, bv)) => {
-                        d > bd || (d == bd && (u, v) < (bu, bv))
-                    }
+                    Some((bd, bu, bv)) => d > bd || (d == bd && (u, v) < (bu, bv)),
                 };
                 if better {
                     best = Some(cand);

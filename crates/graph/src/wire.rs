@@ -7,12 +7,12 @@
 //! it makes no cross-version stability promises beyond round-tripping with
 //! the same library version.
 
+use crate::exec::{Tensor, TensorMap};
 use crate::graph::{Graph, Node, NodeId};
 use crate::op::{
     Activation, BatchNormAttrs, ConvAlgo, ConvAttrs, GemmAttrs, LayerNormAttrs, Op, PoolAttrs,
 };
 use crate::shape::Shape;
-use crate::exec::{Tensor, TensorMap};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 
@@ -73,7 +73,10 @@ fn get_shape(buf: &mut Bytes) -> WResult<Shape> {
 }
 
 fn act_tag(a: Activation) -> u8 {
-    Activation::ALL.iter().position(|&x| x == a).expect("known activation") as u8
+    Activation::ALL
+        .iter()
+        .position(|&x| x == a)
+        .expect("known activation") as u8
 }
 
 fn act_from(tag: u8) -> WResult<Activation> {
@@ -129,7 +132,11 @@ fn get_conv(buf: &mut Bytes) -> WResult<ConvAttrs> {
         padding,
         groups,
         has_bias,
-        algo: if winograd { ConvAlgo::Winograd } else { ConvAlgo::Direct },
+        algo: if winograd {
+            ConvAlgo::Winograd
+        } else {
+            ConvAlgo::Direct
+        },
         fused_act,
         fused_add,
     })
@@ -246,8 +253,12 @@ fn get_op(buf: &mut Bytes) -> WResult<Op> {
     need(buf, 1, "op tag")?;
     let tag = buf.get_u8();
     Ok(match tag {
-        0 => Op::Input { shape: get_shape(buf)? },
-        1 => Op::Constant { shape: get_shape(buf)? },
+        0 => Op::Input {
+            shape: get_shape(buf)?,
+        },
+        1 => Op::Constant {
+            shape: get_shape(buf)?,
+        },
         2 => Op::Conv(get_conv(buf)?),
         3 => {
             need(buf, 8 + 8 + 2, "gemm attrs")?;
@@ -261,21 +272,32 @@ fn get_op(buf: &mut Bytes) -> WResult<Op> {
             } else {
                 None
             };
-            Op::Gemm(GemmAttrs { in_features, out_features, has_bias, fused_act })
+            Op::Gemm(GemmAttrs {
+                in_features,
+                out_features,
+                has_bias,
+                fused_act,
+            })
         }
         4 => Op::MatMul,
         5 => Op::MatMulT,
         6 => {
             need(buf, 8, "bn channels")?;
-            Op::BatchNorm(BatchNormAttrs { channels: buf.get_u64_le() as usize })
+            Op::BatchNorm(BatchNormAttrs {
+                channels: buf.get_u64_le() as usize,
+            })
         }
         7 => {
             need(buf, 8, "ln dim")?;
-            Op::LayerNorm(LayerNormAttrs { dim: buf.get_u64_le() as usize })
+            Op::LayerNorm(LayerNormAttrs {
+                dim: buf.get_u64_le() as usize,
+            })
         }
         8 => {
             need(buf, 8, "skip-ln dim")?;
-            Op::SkipLayerNorm(LayerNormAttrs { dim: buf.get_u64_le() as usize })
+            Op::SkipLayerNorm(LayerNormAttrs {
+                dim: buf.get_u64_le() as usize,
+            })
         }
         9 => {
             need(buf, 1, "activation tag")?;
@@ -283,7 +305,9 @@ fn get_op(buf: &mut Bytes) -> WResult<Op> {
         }
         10 => {
             need(buf, 8, "softmax axis")?;
-            Op::Softmax { axis: buf.get_i64_le() as isize }
+            Op::Softmax {
+                axis: buf.get_i64_le() as isize,
+            }
         }
         11 => Op::Add,
         12 => Op::Sub,
@@ -309,10 +333,14 @@ fn get_op(buf: &mut Bytes) -> WResult<Op> {
         18 => Op::GlobalAveragePool,
         19 => {
             need(buf, 8, "concat axis")?;
-            Op::Concat { axis: buf.get_u64_le() as usize }
+            Op::Concat {
+                axis: buf.get_u64_le() as usize,
+            }
         }
         20 => Op::Flatten,
-        21 => Op::Reshape { shape: get_shape(buf)? },
+        21 => Op::Reshape {
+            shape: get_shape(buf)?,
+        },
         22 => {
             need(buf, 4, "perm len")?;
             let len = buf.get_u32_le() as usize;
@@ -329,7 +357,9 @@ fn get_op(buf: &mut Bytes) -> WResult<Op> {
         23 => Op::Identity,
         24 => {
             need(buf, 4, "dropout p")?;
-            Op::Dropout { p: buf.get_u32_le() }
+            Op::Dropout {
+                p: buf.get_u32_le(),
+            }
         }
         25 => {
             need(buf, 4, "axes len")?;
@@ -343,7 +373,10 @@ fn get_op(buf: &mut Bytes) -> WResult<Op> {
                 axes.push(buf.get_u32_le() as usize);
             }
             need(buf, 1, "keepdims")?;
-            Op::ReduceMean { axes, keepdims: buf.get_u8() != 0 }
+            Op::ReduceMean {
+                axes,
+                keepdims: buf.get_u8() != 0,
+            }
         }
         26 => {
             need(buf, 16, "gather attrs")?;
@@ -394,7 +427,9 @@ pub fn decode_graph(buf: &mut Bytes) -> WResult<Graph> {
         need(buf, 4, "input count")?;
         let n_in = buf.get_u32_le() as usize;
         if n_in > count {
-            return Err(WireError(format!("node has {n_in} inputs in {count}-node graph")));
+            return Err(WireError(format!(
+                "node has {n_in} inputs in {count}-node graph"
+            )));
         }
         let mut inputs = Vec::with_capacity(n_in);
         for _ in 0..n_in {
@@ -405,7 +440,11 @@ pub fn decode_graph(buf: &mut Bytes) -> WResult<Graph> {
             }
             inputs.push(NodeId::from_index(raw));
         }
-        pending.push(Node { op, inputs, name: node_name });
+        pending.push(Node {
+            op,
+            inputs,
+            name: node_name,
+        });
     }
     for node in pending {
         let id = g.add_named(node.op, node.inputs, node.name);
@@ -435,11 +474,7 @@ pub fn encode_params(graph: &Graph, params: &TensorMap) -> Bytes {
     let mut buf = BytesMut::new();
     let entries: Vec<(u32, &[Tensor])> = graph
         .iter()
-        .filter_map(|(id, _)| {
-            params
-                .get(id)
-                .map(|t| (mapping[&id].index() as u32, t))
-        })
+        .filter_map(|(id, _)| params.get(id).map(|t| (mapping[&id].index() as u32, t)))
         .collect();
     buf.put_u32_le(entries.len() as u32);
     for (idx, tensors) in entries {
@@ -526,8 +561,12 @@ mod tests {
     fn every_op_roundtrips() {
         use crate::op::LayerNormAttrs;
         let ops = vec![
-            Op::Input { shape: Shape::from([1, 2]) },
-            Op::Constant { shape: Shape::from([3]) },
+            Op::Input {
+                shape: Shape::from([1, 2]),
+            },
+            Op::Constant {
+                shape: Shape::from([3]),
+            },
             Op::Conv(ConvAttrs::new(4, 8, 3).stride(2).padding(1).groups(2)),
             Op::Gemm(GemmAttrs::new(5, 6)),
             Op::MatMul,
@@ -547,12 +586,22 @@ mod tests {
             Op::GlobalAveragePool,
             Op::Concat { axis: 1 },
             Op::Flatten,
-            Op::Reshape { shape: Shape::from([2, 3]) },
-            Op::Transpose { perm: vec![1, 0, 2] },
+            Op::Reshape {
+                shape: Shape::from([2, 3]),
+            },
+            Op::Transpose {
+                perm: vec![1, 0, 2],
+            },
             Op::Identity,
             Op::Dropout { p: 30 },
-            Op::ReduceMean { axes: vec![1, 2], keepdims: true },
-            Op::Gather { vocab: 100, dim: 16 },
+            Op::ReduceMean {
+                axes: vec![1, 2],
+                keepdims: true,
+            },
+            Op::Gather {
+                vocab: 100,
+                dim: 16,
+            },
         ];
         for op in ops {
             let mut buf = BytesMut::new();
@@ -579,7 +628,9 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(4);
         let x = Tensor::random([1, 3, 16, 16], 1.0, &mut rng);
-        let a = crate::exec::Executor::new(&g, &params).run(&[x.clone()]).unwrap();
+        let a = crate::exec::Executor::new(&g, &params)
+            .run(std::slice::from_ref(&x))
+            .unwrap();
         let b = crate::exec::Executor::new(&gb, &back).run(&[x]).unwrap();
         assert!(a[0].allclose(&b[0], 1e-6));
     }

@@ -65,8 +65,8 @@ pub fn bfs_order(g: &UGraph, start: usize, rng: &mut StdRng) -> Vec<usize> {
         }
     }
     // disconnected remainders appended in index order (rare for our corpora)
-    for v in 0..g.len() {
-        if !seen[v] {
+    for (v, &visited) in seen.iter().enumerate() {
+        if !visited {
             order.push(v);
         }
     }
@@ -77,7 +77,10 @@ pub fn bfs_order(g: &UGraph, start: usize, rng: &mut StdRng) -> Vec<usize> {
 /// start node and neighbor shuffling.
 pub fn encode(g: &UGraph, m: usize, rng: &mut StdRng) -> AdjSeq {
     if g.is_empty() {
-        return AdjSeq { m, rows: Vec::new() };
+        return AdjSeq {
+            m,
+            rows: Vec::new(),
+        };
     }
     let start = rng.gen_range(0..g.len());
     let order = bfs_order(g, start, rng);

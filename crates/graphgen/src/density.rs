@@ -23,7 +23,10 @@ impl Kde1d {
         let std = var.sqrt();
         // Silverman's rule of thumb, floored so degenerate dims still work.
         let bandwidth = (1.06 * std * n.powf(-0.2)).max(1e-3);
-        Kde1d { samples: samples.to_vec(), bandwidth }
+        Kde1d {
+            samples: samples.to_vec(),
+            bandwidth,
+        }
     }
 
     /// Estimated density at `x`.
@@ -49,7 +52,13 @@ impl Kde1d {
     pub fn sample_std(&self) -> f64 {
         let n = self.samples.len().max(1) as f64;
         let mean = self.samples.iter().sum::<f64>() / n;
-        (self.samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n).sqrt()
+        (self
+            .samples
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / n)
+            .sqrt()
     }
 }
 

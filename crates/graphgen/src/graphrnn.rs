@@ -32,7 +32,14 @@ pub struct GraphRnnConfig {
 
 impl Default for GraphRnnConfig {
     fn default() -> Self {
-        GraphRnnConfig { m: 8, hidden: 32, mlp_hidden: 32, epochs: 12, lr: 0.01, max_nodes: 40 }
+        GraphRnnConfig {
+            m: 8,
+            hidden: 32,
+            mlp_hidden: 32,
+            epochs: 12,
+            lr: 0.01,
+            max_nodes: 40,
+        }
     }
 }
 
@@ -54,7 +61,13 @@ impl GraphRnn {
         let gru = GruCell::new("rnn", cfg.m, cfg.hidden, &mut store, &mut rng);
         let mlp1 = Linear::new("edge1", cfg.hidden, cfg.mlp_hidden, &mut store, &mut rng);
         let mlp2 = Linear::new("edge2", cfg.mlp_hidden, cfg.m, &mut store, &mut rng);
-        GraphRnn { cfg, store, gru, mlp1, mlp2 }
+        GraphRnn {
+            cfg,
+            store,
+            gru,
+            mlp1,
+            mlp2,
+        }
     }
 
     /// The configuration.
@@ -127,13 +140,19 @@ impl GraphRnn {
                 }
                 let seq = encode(g, self.cfg.m, &mut rng);
                 let mut tape = Tape::new();
-                let Some(loss) = self.sequence_loss(&mut tape, &seq) else { continue };
+                let Some(loss) = self.sequence_loss(&mut tape, &seq) else {
+                    continue;
+                };
                 epoch_loss += tape.value(loss).get(0, 0);
                 count += 1;
                 let grads = tape.backward(loss);
                 adam.step(&mut self.store, &grads);
             }
-            history.push(if count == 0 { 0.0 } else { epoch_loss / count as f32 });
+            history.push(if count == 0 {
+                0.0
+            } else {
+                epoch_loss / count as f32
+            });
         }
         history
     }
@@ -164,7 +183,10 @@ impl GraphRnn {
             x = tape.constant(self.row_to_input(&row));
             rows.push(row);
         }
-        let seq = AdjSeq { m: self.cfg.m, rows };
+        let seq = AdjSeq {
+            m: self.cfg.m,
+            rows,
+        };
         seq.to_graph().largest_component()
     }
 
@@ -207,7 +229,11 @@ mod tests {
 
     #[test]
     fn training_reduces_loss() {
-        let cfg = GraphRnnConfig { epochs: 8, max_nodes: 20, ..Default::default() };
+        let cfg = GraphRnnConfig {
+            epochs: 8,
+            max_nodes: 20,
+            ..Default::default()
+        };
         let mut model = GraphRnn::new(cfg, 42);
         let history = model.train(&toy_corpus(), 7);
         assert!(history.len() == 8);
@@ -221,7 +247,11 @@ mod tests {
 
     #[test]
     fn samples_are_valid_connected_graphs() {
-        let cfg = GraphRnnConfig { epochs: 6, max_nodes: 24, ..Default::default() };
+        let cfg = GraphRnnConfig {
+            epochs: 6,
+            max_nodes: 24,
+            ..Default::default()
+        };
         let mut model = GraphRnn::new(cfg, 1);
         model.train(&toy_corpus(), 2);
         let mut rng = StdRng::seed_from_u64(3);
@@ -239,7 +269,11 @@ mod tests {
 
     #[test]
     fn sample_many_respects_min_size() {
-        let cfg = GraphRnnConfig { epochs: 4, max_nodes: 24, ..Default::default() };
+        let cfg = GraphRnnConfig {
+            epochs: 4,
+            max_nodes: 24,
+            ..Default::default()
+        };
         let mut model = GraphRnn::new(cfg, 5);
         model.train(&toy_corpus(), 6);
         let mut rng = StdRng::seed_from_u64(8);

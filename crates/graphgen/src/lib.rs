@@ -11,7 +11,7 @@
 //!    around the protected subgraph's statistics.
 //! 3. [`orient::induce_orientation`] — Algorithm 3: converting undirected
 //!    samples into DAGs via diameter-endpoint BFS orientation.
-//! 4. [`perturb`] — the alternative generator for protected models that
+//! 4. [`mod@perturb`] — the alternative generator for protected models that
 //!    resemble popular architectures.
 //!
 //! ```
@@ -64,8 +64,11 @@ mod proptests {
     use rand::SeedableRng;
 
     fn arb_ugraph() -> impl Strategy<Value = UGraph> {
-        (2usize..20, proptest::collection::vec((0usize..40, 0usize..40), 1..60)).prop_map(
-            |(n, pairs)| {
+        (
+            2usize..20,
+            proptest::collection::vec((0usize..40, 0usize..40), 1..60),
+        )
+            .prop_map(|(n, pairs)| {
                 let mut g = UGraph::new(n);
                 // spanning chain keeps it connected
                 for i in 1..n {
@@ -75,8 +78,7 @@ mod proptests {
                     g.add_edge(a % n, b % n);
                 }
                 g
-            },
-        )
+            })
     }
 
     proptest! {

@@ -34,7 +34,10 @@ pub struct PerturbConfig {
 
 impl Default for PerturbConfig {
     fn default() -> Self {
-        PerturbConfig { min_edits: 1, max_edits: 4 }
+        PerturbConfig {
+            min_edits: 1,
+            max_edits: 4,
+        }
     }
 }
 
@@ -45,9 +48,10 @@ pub fn perturb(graph: &Graph, cfg: PerturbConfig, rng: &mut StdRng) -> Graph {
     let mut g = graph.clone();
     let edits = rng.gen_range(cfg.min_edits..=cfg.max_edits.max(cfg.min_edits));
     for _ in 0..edits {
-        if rng.gen_bool(0.5) {
-            insert_unary(&mut g, rng);
-        } else if !delete_unary(&mut g, rng) {
+        // coin up: insert; coin down: delete, inserting only if nothing
+        // was deletable
+        let insert = rng.gen_bool(0.5);
+        if insert || !delete_unary(&mut g, rng) {
             insert_unary(&mut g, rng);
         }
     }
@@ -63,7 +67,9 @@ fn insert_unary(g: &mut Graph, rng: &mut StdRng) {
             edges.push((id, slot));
         }
     }
-    let Some(&(dst, slot)) = edges.choose(rng) else { return };
+    let Some(&(dst, slot)) = edges.choose(rng) else {
+        return;
+    };
     let src = g.node(dst).expect("live").inputs[slot];
     let op = SAFE_UNARY[rng.gen_range(0..SAFE_UNARY.len())].clone();
     let mid = g.add(op, [src]);
@@ -78,7 +84,9 @@ fn delete_unary(g: &mut Graph, rng: &mut StdRng) -> bool {
         .filter(|(_, n)| n.op.is_elementwise_unary() && n.inputs.len() == 1)
         .map(|(id, _)| id)
         .collect();
-    let Some(&victim) = candidates.choose(rng) else { return false };
+    let Some(&victim) = candidates.choose(rng) else {
+        return false;
+    };
     let input = g.node(victim).expect("live").inputs[0];
     g.replace_uses(victim, input);
     g.remove(victim);
@@ -127,7 +135,15 @@ mod tests {
     fn perturbation_changes_structure_usually() {
         let g = base();
         let mut rng = StdRng::seed_from_u64(1);
-        let sentinels = perturb_many(&g, PerturbConfig { min_edits: 2, max_edits: 4 }, 20, &mut rng);
+        let sentinels = perturb_many(
+            &g,
+            PerturbConfig {
+                min_edits: 2,
+                max_edits: 4,
+            },
+            20,
+            &mut rng,
+        );
         let changed = sentinels.iter().filter(|p| p.len() != g.len()).count();
         assert!(changed >= 10, "only {changed}/20 differ in node count");
     }

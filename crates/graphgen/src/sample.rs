@@ -255,18 +255,30 @@ mod tests {
         }
         let sampler = TopologySampler::new(pool);
         let protected = chain(8);
-        let mut rng = StdRng::seed_from_u64(4);
-        let imp = sampler.sample_similar(&protected, 3.0, 120, &mut rng);
-        let naive = sampler.sample_naive(&protected, 3.0, 120, &mut rng);
         let mode_frac = |xs: &[UGraph]| {
             let m = xs.iter().filter(|g| g.len() == 8).count();
             m as f64 / xs.len() as f64
         };
+        // The claim is statistical: a single draw can land a band that only
+        // contains the mode size (both samplers then return identical
+        // all-mode sets), so average over seeds. Seeding both samplers
+        // identically makes them draw the same band per round.
+        let rounds = 12;
+        let (mut imp_sum, mut naive_sum) = (0.0, 0.0);
+        for seed in 0..rounds {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let imp = sampler.sample_similar(&protected, 3.0, 120, &mut rng);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let naive = sampler.sample_naive(&protected, 3.0, 120, &mut rng);
+            imp_sum += mode_frac(&imp);
+            naive_sum += mode_frac(&naive);
+        }
         assert!(
-            mode_frac(&imp) < mode_frac(&naive),
-            "importance {} should be flatter than naive {}",
-            mode_frac(&imp),
-            mode_frac(&naive)
+            imp_sum < naive_sum,
+            "importance sampling should be flatter on average: \
+             importance {:.3} vs naive {:.3}",
+            imp_sum / rounds as f64,
+            naive_sum / rounds as f64
         );
     }
 }

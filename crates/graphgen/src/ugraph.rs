@@ -13,7 +13,9 @@ pub struct UGraph {
 impl UGraph {
     /// An edgeless graph with `n` nodes.
     pub fn new(n: usize) -> UGraph {
-        UGraph { adj: vec![Vec::new(); n] }
+        UGraph {
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Number of nodes.

@@ -6,7 +6,10 @@ use proteus_graph::{Activation, ConvAttrs, GemmAttrs, Graph, Op, PoolAttrs};
 pub fn alexnet() -> Graph {
     let mut g = Graph::new("alexnet");
     let x = g.input([1, 3, 224, 224]);
-    let c1 = g.add(Op::Conv(ConvAttrs::new(3, 64, 11).stride(4).padding(2)), [x]);
+    let c1 = g.add(
+        Op::Conv(ConvAttrs::new(3, 64, 11).stride(4).padding(2)),
+        [x],
+    );
     let r1 = g.add(Op::Activation(Activation::Relu), [c1]);
     let p1 = g.add(Op::MaxPool(PoolAttrs::new(3, 2, 0)), [r1]);
     let c2 = g.add(Op::Conv(ConvAttrs::new(64, 192, 5).padding(2)), [p1]);

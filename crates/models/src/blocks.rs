@@ -13,13 +13,19 @@ pub fn conv_bn(
     padding: usize,
 ) -> NodeId {
     let conv = g.add(
-        Op::Conv(ConvAttrs::new(in_ch, out_ch, kernel).stride(stride).padding(padding).bias(false)),
+        Op::Conv(
+            ConvAttrs::new(in_ch, out_ch, kernel)
+                .stride(stride)
+                .padding(padding)
+                .bias(false),
+        ),
         [x],
     );
     g.add(Op::BatchNorm(BatchNormAttrs { channels: out_ch }), [conv])
 }
 
 /// Appends `Conv -> BatchNorm -> act` and returns the activation node.
+#[allow(clippy::too_many_arguments)] // mirrors the conv hyper-parameter list
 pub fn conv_bn_act(
     g: &mut Graph,
     x: NodeId,

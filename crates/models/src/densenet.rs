@@ -14,7 +14,12 @@ fn dense_layer(g: &mut Graph, x: NodeId, in_ch: usize) -> NodeId {
         Op::Conv(ConvAttrs::new(in_ch, 4 * GROWTH, 1).bias(false)),
         [r1],
     );
-    let bn2 = g.add(Op::BatchNorm(BatchNormAttrs { channels: 4 * GROWTH }), [c1]);
+    let bn2 = g.add(
+        Op::BatchNorm(BatchNormAttrs {
+            channels: 4 * GROWTH,
+        }),
+        [c1],
+    );
     let r2 = g.add(Op::Activation(Activation::Relu), [bn2]);
     let c2 = g.add(
         Op::Conv(ConvAttrs::new(4 * GROWTH, GROWTH, 3).padding(1).bias(false)),

@@ -19,7 +19,17 @@ fn inverted_residual(
     if expand != 1 {
         h = conv_bn_act(g, h, in_ch, mid, 1, 1, 0, Activation::Relu6);
     }
-    h = grouped_conv_bn_act(g, h, mid, mid, kernel, stride, kernel / 2, mid, Activation::Relu6);
+    h = grouped_conv_bn_act(
+        g,
+        h,
+        mid,
+        mid,
+        kernel,
+        stride,
+        kernel / 2,
+        mid,
+        Activation::Relu6,
+    );
     h = conv_bn(g, h, mid, out_ch, 1, 1, 0);
     if stride == 1 && in_ch == out_ch {
         g.add(Op::Add, [h, x])

@@ -90,7 +90,11 @@ fn edge_subgraph(g: &mut Graph, x: NodeId, op: EdgeOp, channels: usize) -> Optio
             // NATS uses ReLU-Conv-BN ordering.
             let r = g.add(Op::Activation(Activation::Relu), [x]);
             let c = g.add(
-                Op::Conv(ConvAttrs::new(channels, channels, k).padding(k / 2).bias(false)),
+                Op::Conv(
+                    ConvAttrs::new(channels, channels, k)
+                        .padding(k / 2)
+                        .bias(false),
+                ),
                 [r],
             );
             Some(g.add(Op::BatchNorm(BatchNormAttrs { channels }), [c]))
@@ -200,7 +204,9 @@ mod tests {
 
     #[test]
     fn connectivity_enforced() {
-        let dead = CellSpec { edges: [EdgeOp::None; 6] };
+        let dead = CellSpec {
+            edges: [EdgeOp::None; 6],
+        };
         assert!(!dead.is_connected());
         let skip_through = CellSpec {
             edges: [

@@ -5,9 +5,7 @@
 //! reasons about), matching the subgraph granularity the paper's figures
 //! show for language models.
 
-use proteus_graph::{
-    Activation, GemmAttrs, Graph, LayerNormAttrs, NodeId, Op, Shape,
-};
+use proteus_graph::{Activation, GemmAttrs, Graph, LayerNormAttrs, NodeId, Op, Shape};
 
 /// Configuration of a transformer encoder.
 #[derive(Debug, Clone, Copy)]
@@ -24,7 +22,12 @@ fn attention(g: &mut Graph, x: NodeId, cfg: &EncoderConfig) -> NodeId {
     let q = g.add(Op::Gemm(GemmAttrs::new(h, h)), [x]);
     let k = g.add(Op::Gemm(GemmAttrs::new(h, h)), [x]);
     let v = g.add(Op::Gemm(GemmAttrs::new(h, h)), [x]);
-    let kt = g.add(Op::Transpose { perm: vec![0, 2, 1] }, [k]);
+    let kt = g.add(
+        Op::Transpose {
+            perm: vec![0, 2, 1],
+        },
+        [k],
+    );
     let scores = g.add(Op::MatMul, [q, kt]);
     let scale = g.constant(Shape::new(vec![]));
     let scaled = g.add(Op::Div, [scores, scale]);
@@ -49,7 +52,13 @@ fn encoder_layer(g: &mut Graph, x: NodeId, cfg: &EncoderConfig) -> NodeId {
 pub fn encoder(name: &str, cfg: EncoderConfig) -> Graph {
     let mut g = Graph::new(name);
     let ids = g.input([1, cfg.seq_len]);
-    let emb = g.add(Op::Gather { vocab: cfg.vocab, dim: cfg.hidden }, [ids]);
+    let emb = g.add(
+        Op::Gather {
+            vocab: cfg.vocab,
+            dim: cfg.hidden,
+        },
+        [ids],
+    );
     let pos = g.constant([1, cfg.seq_len, cfg.hidden]);
     let sum = g.add(Op::Add, [emb, pos]);
     let mut h = g.add(Op::LayerNorm(LayerNormAttrs { dim: cfg.hidden }), [sum]);
@@ -57,7 +66,13 @@ pub fn encoder(name: &str, cfg: EncoderConfig) -> Graph {
         h = encoder_layer(&mut g, h, &cfg);
     }
     // pooler over [CLS]-like reduced representation
-    let pooled = g.add(Op::ReduceMean { axes: vec![1], keepdims: false }, [h]);
+    let pooled = g.add(
+        Op::ReduceMean {
+            axes: vec![1],
+            keepdims: false,
+        },
+        [h],
+    );
     let fc = g.add(Op::Gemm(GemmAttrs::new(cfg.hidden, cfg.hidden)), [pooled]);
     let tanh = g.add(Op::Activation(Activation::Tanh), [fc]);
     g.set_outputs([tanh]);
@@ -68,7 +83,13 @@ pub fn encoder(name: &str, cfg: EncoderConfig) -> Graph {
 pub fn bert() -> Graph {
     encoder(
         "bert",
-        EncoderConfig { vocab: 30522, hidden: 768, layers: 12, seq_len: 128, ffn_mult: 4 },
+        EncoderConfig {
+            vocab: 30522,
+            hidden: 768,
+            layers: 12,
+            seq_len: 128,
+            ffn_mult: 4,
+        },
     )
 }
 
@@ -76,7 +97,13 @@ pub fn bert() -> Graph {
 pub fn roberta() -> Graph {
     encoder(
         "roberta",
-        EncoderConfig { vocab: 50265, hidden: 768, layers: 12, seq_len: 128, ffn_mult: 4 },
+        EncoderConfig {
+            vocab: 50265,
+            hidden: 768,
+            layers: 12,
+            seq_len: 128,
+            ffn_mult: 4,
+        },
     )
 }
 
@@ -84,7 +111,13 @@ pub fn roberta() -> Graph {
 pub fn distilbert() -> Graph {
     encoder(
         "distilbert",
-        EncoderConfig { vocab: 30522, hidden: 768, layers: 6, seq_len: 128, ffn_mult: 4 },
+        EncoderConfig {
+            vocab: 30522,
+            hidden: 768,
+            layers: 6,
+            seq_len: 128,
+            ffn_mult: 4,
+        },
     )
 }
 
@@ -93,7 +126,13 @@ pub fn distilbert() -> Graph {
 pub fn xlm() -> Graph {
     encoder(
         "xlm",
-        EncoderConfig { vocab: 64139, hidden: 1024, layers: 16, seq_len: 128, ffn_mult: 4 },
+        EncoderConfig {
+            vocab: 64139,
+            hidden: 1024,
+            layers: 16,
+            seq_len: 128,
+            ffn_mult: 4,
+        },
     )
 }
 

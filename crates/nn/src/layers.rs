@@ -28,7 +28,11 @@ impl Linear {
         let name = name.into();
         store.insert(format!("{name}.w"), Matrix::xavier(in_dim, out_dim, rng));
         store.insert(format!("{name}.b"), Matrix::zeros(1, out_dim));
-        Linear { name, in_dim, out_dim }
+        Linear {
+            name,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Applies the layer.
@@ -63,21 +67,24 @@ impl GruCell {
     ) -> GruCell {
         let name = name.into();
         for gate in ["z", "r", "n"] {
-            store.insert(format!("{name}.w{gate}"), Matrix::xavier(input_dim, hidden_dim, rng));
-            store.insert(format!("{name}.u{gate}"), Matrix::xavier(hidden_dim, hidden_dim, rng));
+            store.insert(
+                format!("{name}.w{gate}"),
+                Matrix::xavier(input_dim, hidden_dim, rng),
+            );
+            store.insert(
+                format!("{name}.u{gate}"),
+                Matrix::xavier(hidden_dim, hidden_dim, rng),
+            );
             store.insert(format!("{name}.b{gate}"), Matrix::zeros(1, hidden_dim));
         }
-        GruCell { name, input_dim, hidden_dim }
+        GruCell {
+            name,
+            input_dim,
+            hidden_dim,
+        }
     }
 
-    fn gate(
-        &self,
-        tape: &mut Tape,
-        store: &ParamStore,
-        gate: &str,
-        x: Var,
-        h: Var,
-    ) -> Var {
+    fn gate(&self, tape: &mut Tape, store: &ParamStore, gate: &str, x: Var, h: Var) -> Var {
         let w = tape.param(store, &format!("{}.w{gate}", self.name));
         let u = tape.param(store, &format!("{}.u{gate}", self.name));
         let b = tape.param(store, &format!("{}.b{gate}", self.name));
@@ -144,7 +151,10 @@ mod tests {
         let h2 = gru.step(&mut tape, &store, x, h1);
         let v = tape.value(h2);
         assert_eq!((v.rows(), v.cols()), (2, 6));
-        assert!(v.data().iter().all(|x| x.is_finite() && x.abs() <= 1.0 + 1e-5));
+        assert!(v
+            .data()
+            .iter()
+            .all(|x| x.is_finite() && x.abs() <= 1.0 + 1e-5));
     }
 
     fn gru_loss(store: &ParamStore, gru: &GruCell, x: &Matrix, t: &Matrix) -> (f32, Gradients) {

@@ -24,18 +24,28 @@ impl Matrix {
 
     /// All-zeros matrix.
     pub fn zeros(rows: usize, cols: usize) -> Matrix {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Matrix filled with `v`.
     pub fn full(rows: usize, cols: usize, v: f32) -> Matrix {
-        Matrix { rows, cols, data: vec![v; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
     }
 
     /// Xavier/Glorot-uniform initialization.
     pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
         let bound = (6.0 / (rows + cols) as f32).sqrt();
-        let data = (0..rows * cols).map(|_| rng.gen_range(-bound..=bound)).collect();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..=bound))
+            .collect();
         Matrix { rows, cols, data }
     }
 
@@ -74,7 +84,11 @@ impl Matrix {
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul dims {}x{} * {}x{}", self.rows, self.cols, other.rows, other.cols);
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dims {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
         let mut out = Matrix::zeros(self.rows, other.cols);
         for i in 0..self.rows {
             for k in 0..self.cols {
@@ -143,17 +157,30 @@ impl Matrix {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn zip(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "zip shape");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "zip shape"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 
     /// Accumulates `other` into `self` (`self += other`).
     pub fn add_assign(&mut self, other: &Matrix) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "add_assign shape");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add_assign shape"
+        );
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }

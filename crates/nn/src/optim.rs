@@ -43,7 +43,15 @@ pub struct Adam {
 impl Adam {
     /// Creates Adam with the usual defaults (`β1 = 0.9`, `β2 = 0.999`).
     pub fn new(lr: f32) -> Adam {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: HashMap::new(), v: HashMap::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
     }
 
     /// Applies one update step.
@@ -52,7 +60,9 @@ impl Adam {
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for (key, g) in grads.iter() {
-            let Some(p) = store.get_mut(key) else { continue };
+            let Some(p) = store.get_mut(key) else {
+                continue;
+            };
             let m = self
                 .m
                 .entry(key.clone())

@@ -145,7 +145,12 @@ impl Tape {
             .get(key)
             .unwrap_or_else(|| panic!("parameter `{key}` not found"))
             .clone();
-        self.push(TapeOp::Leaf { key: Some(key.to_string()) }, m)
+        self.push(
+            TapeOp::Leaf {
+                key: Some(key.to_string()),
+            },
+            m,
+        )
     }
 
     /// Matrix product.
@@ -286,11 +291,9 @@ impl Tape {
         let mut grads: Vec<Option<Matrix>> = vec![None; self.vals.len()];
         grads[loss.0] = Some(Matrix::full(1, 1, 1.0));
 
-        let acc = |grads: &mut Vec<Option<Matrix>>, v: Var, g: Matrix| {
-            match &mut grads[v.0] {
-                Some(existing) => existing.add_assign(&g),
-                slot @ None => *slot = Some(g),
-            }
+        let acc = |grads: &mut Vec<Option<Matrix>>, v: Var, g: Matrix| match &mut grads[v.0] {
+            Some(existing) => existing.add_assign(&g),
+            slot @ None => *slot = Some(g),
         };
 
         for idx in (0..self.ops.len()).rev() {
@@ -468,13 +471,7 @@ mod tests {
         let (_, grads) = mlp_loss(&store, &x, &t);
         for key in ["w1", "b1", "w2"] {
             let analytic = grads.get(key).unwrap().clone();
-            grad_check(
-                &mut store,
-                key,
-                &|s| mlp_loss(s, &x, &t).0,
-                &analytic,
-                2e-2,
-            );
+            grad_check(&mut store, key, &|s| mlp_loss(s, &x, &t).0, &analytic, 2e-2);
         }
     }
 

@@ -33,14 +33,22 @@ pub struct CostParams {
 impl CostParams {
     /// Parameters resembling ONNXRuntime CUDA kernels on an A100.
     pub fn ort_like() -> CostParams {
-        CostParams { launch_overhead_us: 5.0, peak_flops: 15.0e12, peak_bw: 1.3e12 }
+        CostParams {
+            launch_overhead_us: 5.0,
+            peak_flops: 15.0e12,
+            peak_bw: 1.3e12,
+        }
     }
 
     /// Parameters resembling Hidet-generated kernels: lower launch cost and
     /// better schedules (Hidet optimizes at the operator level, so graph
     /// partitioning costs it less — the effect behind Figure 4b).
     pub fn hidet_like() -> CostParams {
-        CostParams { launch_overhead_us: 3.0, peak_flops: 17.0e12, peak_bw: 1.45e12 }
+        CostParams {
+            launch_overhead_us: 3.0,
+            peak_flops: 17.0e12,
+            peak_bw: 1.45e12,
+        }
     }
 }
 
@@ -71,15 +79,15 @@ pub fn node_work(op: &Op, ins: &[&Shape], out: &Shape) -> NodeWork {
         Op::Conv(c) => {
             let (_, oc, oh, ow) = out.nchw().expect("conv output NCHW");
             let n = out.dims()[0] as f64;
-            let macs = n * oc as f64
+            let macs = n
+                * oc as f64
                 * oh as f64
                 * ow as f64
                 * (c.in_channels / c.groups.max(1)) as f64
                 * (c.kernel * c.kernel) as f64;
-            let weight_bytes = (c.out_channels * (c.in_channels / c.groups.max(1))
-                * c.kernel
-                * c.kernel) as f64
-                * BYTES_PER_ELEM;
+            let weight_bytes =
+                (c.out_channels * (c.in_channels / c.groups.max(1)) * c.kernel * c.kernel) as f64
+                    * BYTES_PER_ELEM;
             let mut flops = 2.0 * macs;
             let mut bytes = default_bytes + weight_bytes;
             let mut utilization = 1.0;
@@ -98,56 +106,110 @@ pub fn node_work(op: &Op, ins: &[&Shape], out: &Shape) -> NodeWork {
             if c.fused_act.is_some() {
                 flops += numel_out;
             }
-            NodeWork { flops, bytes, utilization, kernels: 1.0 }
+            NodeWork {
+                flops,
+                bytes,
+                utilization,
+                kernels: 1.0,
+            }
         }
         Op::Gemm(g) => {
             let rows = numel_out / g.out_features as f64;
             let flops = 2.0 * rows * (g.in_features * g.out_features) as f64
-                + if g.fused_act.is_some() { numel_out } else { 0.0 };
+                + if g.fused_act.is_some() {
+                    numel_out
+                } else {
+                    0.0
+                };
             let weight_bytes = (g.in_features * g.out_features) as f64 * BYTES_PER_ELEM;
-            NodeWork { flops, bytes: default_bytes + weight_bytes, utilization: 1.0, kernels: 1.0 }
+            NodeWork {
+                flops,
+                bytes: default_bytes + weight_bytes,
+                utilization: 1.0,
+                kernels: 1.0,
+            }
         }
         Op::MatMul | Op::MatMulT => {
             let a = ins[0].dims();
             let k = a[a.len() - 1] as f64;
             let flops = 2.0 * numel_out * k;
-            NodeWork { flops, bytes: default_bytes, utilization: 1.0, kernels: 1.0 }
+            NodeWork {
+                flops,
+                bytes: default_bytes,
+                utilization: 1.0,
+                kernels: 1.0,
+            }
         }
-        Op::BatchNorm(_) | Op::LayerNorm(_) => {
-            NodeWork { flops: 4.0 * numel_out, bytes: default_bytes, utilization: 1.0, kernels: 1.0 }
-        }
-        Op::SkipLayerNorm(_) => {
-            NodeWork { flops: 5.0 * numel_out, bytes: default_bytes, utilization: 1.0, kernels: 1.0 }
-        }
-        Op::Activation(_) | Op::Add | Op::Sub | Op::Mul | Op::Div => {
-            NodeWork { flops: numel_out, bytes: default_bytes, utilization: 1.0, kernels: 1.0 }
-        }
-        Op::AddAct(_) => {
-            NodeWork { flops: 2.0 * numel_out, bytes: default_bytes, utilization: 1.0, kernels: 1.0 }
-        }
-        Op::Softmax { .. } => {
-            NodeWork { flops: 4.0 * numel_out, bytes: 2.0 * default_bytes, utilization: 1.0, kernels: 1.0 }
-        }
+        Op::BatchNorm(_) | Op::LayerNorm(_) => NodeWork {
+            flops: 4.0 * numel_out,
+            bytes: default_bytes,
+            utilization: 1.0,
+            kernels: 1.0,
+        },
+        Op::SkipLayerNorm(_) => NodeWork {
+            flops: 5.0 * numel_out,
+            bytes: default_bytes,
+            utilization: 1.0,
+            kernels: 1.0,
+        },
+        Op::Activation(_) | Op::Add | Op::Sub | Op::Mul | Op::Div => NodeWork {
+            flops: numel_out,
+            bytes: default_bytes,
+            utilization: 1.0,
+            kernels: 1.0,
+        },
+        Op::AddAct(_) => NodeWork {
+            flops: 2.0 * numel_out,
+            bytes: default_bytes,
+            utilization: 1.0,
+            kernels: 1.0,
+        },
+        Op::Softmax { .. } => NodeWork {
+            flops: 4.0 * numel_out,
+            bytes: 2.0 * default_bytes,
+            utilization: 1.0,
+            kernels: 1.0,
+        },
         Op::MaxPool(p) | Op::AveragePool(p) => {
             let flops = numel_out * (p.kernel * p.kernel) as f64;
-            NodeWork { flops, bytes: default_bytes, utilization: 1.0, kernels: 1.0 }
+            NodeWork {
+                flops,
+                bytes: default_bytes,
+                utilization: 1.0,
+                kernels: 1.0,
+            }
         }
-        Op::GlobalAveragePool | Op::ReduceMean { .. } => {
-            NodeWork { flops: ins[0].numel() as f64, bytes: default_bytes, utilization: 1.0, kernels: 1.0 }
-        }
-        Op::Concat { .. } => {
-            NodeWork { flops: 0.0, bytes: default_bytes, utilization: 1.0, kernels: 1.0 }
-        }
+        Op::GlobalAveragePool | Op::ReduceMean { .. } => NodeWork {
+            flops: ins[0].numel() as f64,
+            bytes: default_bytes,
+            utilization: 1.0,
+            kernels: 1.0,
+        },
+        Op::Concat { .. } => NodeWork {
+            flops: 0.0,
+            bytes: default_bytes,
+            utilization: 1.0,
+            kernels: 1.0,
+        },
         // Data-movement ops: a kernel that copies the tensor.
-        Op::Flatten | Op::Reshape { .. } | Op::Identity | Op::Dropout { .. } => {
-            NodeWork { flops: 0.0, bytes: default_bytes, utilization: 1.0, kernels: 1.0 }
-        }
-        Op::Transpose { .. } => {
-            NodeWork { flops: 0.0, bytes: 2.0 * default_bytes, utilization: 1.0, kernels: 1.0 }
-        }
-        Op::Gather { .. } => {
-            NodeWork { flops: 0.0, bytes: 2.0 * out_bytes, utilization: 1.0, kernels: 1.0 }
-        }
+        Op::Flatten | Op::Reshape { .. } | Op::Identity | Op::Dropout { .. } => NodeWork {
+            flops: 0.0,
+            bytes: default_bytes,
+            utilization: 1.0,
+            kernels: 1.0,
+        },
+        Op::Transpose { .. } => NodeWork {
+            flops: 0.0,
+            bytes: 2.0 * default_bytes,
+            utilization: 1.0,
+            kernels: 1.0,
+        },
+        Op::Gather { .. } => NodeWork {
+            flops: 0.0,
+            bytes: 2.0 * out_bytes,
+            utilization: 1.0,
+            kernels: 1.0,
+        },
     }
 }
 

@@ -156,7 +156,11 @@ impl Optimizer {
         let before = self.estimate_us(graph)?;
         let (opt, _, stats) = self.optimize(graph, params);
         let after = self.estimate_us(&opt)?;
-        Ok(SpeedupReport { unoptimized_us: before, optimized_us: after, stats })
+        Ok(SpeedupReport {
+            unoptimized_us: before,
+            optimized_us: after,
+            stats,
+        })
     }
 }
 
@@ -185,10 +189,16 @@ mod tests {
     fn residual_block() -> Graph {
         let mut g = Graph::new("block");
         let x = g.input([1, 32, 8, 8]);
-        let c1 = g.add(Op::Conv(ConvAttrs::new(32, 32, 3).padding(1).bias(false)), [x]);
+        let c1 = g.add(
+            Op::Conv(ConvAttrs::new(32, 32, 3).padding(1).bias(false)),
+            [x],
+        );
         let b1 = g.add(Op::BatchNorm(BatchNormAttrs { channels: 32 }), [c1]);
         let r1 = g.add(Op::Activation(Activation::Relu), [b1]);
-        let c2 = g.add(Op::Conv(ConvAttrs::new(32, 32, 3).padding(1).bias(false)), [r1]);
+        let c2 = g.add(
+            Op::Conv(ConvAttrs::new(32, 32, 3).padding(1).bias(false)),
+            [r1],
+        );
         let b2 = g.add(Op::BatchNorm(BatchNormAttrs { channels: 32 }), [c2]);
         let a = g.add(Op::Add, [b2, x]);
         let r2 = g.add(Op::Activation(Activation::Relu), [a]);
@@ -211,7 +221,9 @@ mod tests {
         // semantics preserved
         let mut rng = StdRng::seed_from_u64(2);
         let x = Tensor::random([1, 32, 8, 8], 1.0, &mut rng);
-        let a = Executor::new(&g, &params).run(&[x.clone()]).unwrap();
+        let a = Executor::new(&g, &params)
+            .run(std::slice::from_ref(&x))
+            .unwrap();
         let b = Executor::new(&og, &op).run(&[x]).unwrap();
         assert!(
             a[0].allclose(&b[0], 1e-3),
@@ -281,7 +293,11 @@ mod tests {
     fn zoo_models_speed_up() {
         use proteus_models::{build, ModelKind};
         let opt = Optimizer::new(Profile::OrtLike);
-        for kind in [ModelKind::ResNet, ModelKind::GoogleNet, ModelKind::DistilBert] {
+        for kind in [
+            ModelKind::ResNet,
+            ModelKind::GoogleNet,
+            ModelKind::DistilBert,
+        ] {
             let g = build(kind);
             let report = opt.speedup(&g, &TensorMap::new()).unwrap();
             assert!(

@@ -6,9 +6,7 @@
 //! structure-only graphs (no weights) the BN-fold rule still merges
 //! structure, matching what a compiler does with real initializers.
 
-use proteus_graph::{
-    Activation, ConvAlgo, Executor, Graph, NodeId, Op, Shape, Tensor, TensorMap,
-};
+use proteus_graph::{Activation, ConvAlgo, Executor, Graph, NodeId, Op, Shape, Tensor, TensorMap};
 use std::collections::{HashMap, HashSet};
 
 /// A rewrite rule: sweeps the graph once, returns how many sites changed.
@@ -43,14 +41,16 @@ pub fn eliminate_identity(g: &mut Graph, _params: &mut TensorMap) -> usize {
         .iter()
         .filter(|(id, n)| match &n.op {
             Op::Identity => true,
-            Op::Reshape { shape } => shapes
-                .as_ref()
-                .map(|s| &s[&n.inputs[0]] == shape)
-                .unwrap_or(false)
-                && {
-                    let _ = id;
-                    true
-                },
+            Op::Reshape { shape } => {
+                shapes
+                    .as_ref()
+                    .map(|s| &s[&n.inputs[0]] == shape)
+                    .unwrap_or(false)
+                    && {
+                        let _ = id;
+                        true
+                    }
+            }
             _ => false,
         })
         .map(|(id, _)| id)
@@ -117,25 +117,25 @@ pub fn fold_bn_into_conv(g: &mut Graph, params: &mut TensorMap) -> usize {
             let factors: Vec<f32> = (0..out_ch)
                 .map(|c| scale.data()[c] / (var.data()[c] + EPS).sqrt())
                 .collect();
-            for oc in 0..out_ch {
+            for (oc, &f) in factors.iter().enumerate() {
                 for i in 0..per_out {
-                    w.data_mut()[oc * per_out + i] *= factors[oc];
+                    w.data_mut()[oc * per_out + i] *= f;
                 }
             }
             let old_bias = conv_p.get(1).cloned();
             let mut b = Tensor::zeros([out_ch]);
-            for oc in 0..out_ch {
+            for (oc, &f) in factors.iter().enumerate() {
                 let b0 = old_bias.as_ref().map(|t| t.data()[oc]).unwrap_or(0.0);
-                b.data_mut()[oc] = (b0 - mean.data()[oc]) * factors[oc] + bias.data()[oc];
+                b.data_mut()[oc] = (b0 - mean.data()[oc]) * f + bias.data()[oc];
             }
             params.insert(conv_id, vec![w, b]);
         }
         if let Some(node) = g.node_mut(conv_id) {
             if let Op::Conv(c) = &mut node.op {
-                c.has_bias = conv_has || c.has_bias && conv_has;
-                if conv_has {
-                    c.has_bias = true;
-                }
+                // The fold materializes a bias tensor exactly when the
+                // pattern carried parameters; structural (param-less) folds
+                // leave the conv unbiased.
+                c.has_bias = conv_has;
             }
         }
         params.remove(bn_id);
@@ -148,20 +148,28 @@ pub fn fold_bn_into_conv(g: &mut Graph, params: &mut TensorMap) -> usize {
 
 /// Fuses `Act(Conv(x))` into the convolution's epilogue.
 pub fn fuse_conv_act(g: &mut Graph, _params: &mut TensorMap) -> usize {
-    fuse_act_into(g, |op| matches!(op, Op::Conv(c) if c.fused_act.is_none()), |op, act| {
-        if let Op::Conv(c) = op {
-            c.fused_act = Some(act);
-        }
-    })
+    fuse_act_into(
+        g,
+        |op| matches!(op, Op::Conv(c) if c.fused_act.is_none()),
+        |op, act| {
+            if let Op::Conv(c) = op {
+                c.fused_act = Some(act);
+            }
+        },
+    )
 }
 
 /// Fuses `Act(Gemm(x))` into the GEMM epilogue.
 pub fn fuse_gemm_act(g: &mut Graph, _params: &mut TensorMap) -> usize {
-    fuse_act_into(g, |op| matches!(op, Op::Gemm(a) if a.fused_act.is_none()), |op, act| {
-        if let Op::Gemm(a) = op {
-            a.fused_act = Some(act);
-        }
-    })
+    fuse_act_into(
+        g,
+        |op| matches!(op, Op::Gemm(a) if a.fused_act.is_none()),
+        |op, act| {
+            if let Op::Gemm(a) = op {
+                a.fused_act = Some(act);
+            }
+        },
+    )
 }
 
 fn fuse_act_into(
@@ -478,8 +486,7 @@ pub fn constant_fold(g: &mut Graph, params: &mut TensorMap) -> usize {
             continue;
         }
         let all_const = node.inputs.iter().all(|&i| {
-            matches!(g.node(i).map(|n| &n.op), Some(Op::Constant { .. }))
-                && params.get(i).is_some()
+            matches!(g.node(i).map(|n| &n.op), Some(Op::Constant { .. })) && params.get(i).is_some()
         });
         if !all_const {
             continue;
@@ -506,7 +513,9 @@ pub fn constant_fold(g: &mut Graph, params: &mut TensorMap) -> usize {
             tmp_params.insert(n, p.to_vec());
         }
         tmp.set_outputs([n]);
-        let Ok(result) = Executor::new(&tmp, &tmp_params).run(&[]) else { continue };
+        let Ok(result) = Executor::new(&tmp, &tmp_params).run(&[]) else {
+            continue;
+        };
         let value = result.into_iter().next().expect("one output");
         let shape: Shape = value.shape().clone();
         let folded = g.add(Op::Constant { shape }, []);
@@ -536,7 +545,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(17);
         for _ in 0..3 {
             let x = Tensor::random(input_shape.to_vec(), 1.0, &mut rng);
-            let a = Executor::new(before, before_p).run(&[x.clone()]).unwrap();
+            let a = Executor::new(before, before_p)
+                .run(std::slice::from_ref(&x))
+                .unwrap();
             let b = Executor::new(after, after_p).run(&[x]).unwrap();
             assert_eq!(a.len(), b.len());
             for (ta, tb) in a.iter().zip(&b) {
@@ -590,7 +601,10 @@ mod tests {
     fn bn_fold_structural_when_weightless() {
         let mut g = Graph::new("t");
         let x = g.input([1, 3, 8, 8]);
-        let c = g.add(Op::Conv(ConvAttrs::new(3, 6, 3).padding(1).bias(false)), [x]);
+        let c = g.add(
+            Op::Conv(ConvAttrs::new(3, 6, 3).padding(1).bias(false)),
+            [x],
+        );
         let bn = g.add(Op::BatchNorm(BatchNormAttrs { channels: 6 }), [c]);
         g.set_outputs([bn]);
         let mut pm = TensorMap::new();
@@ -666,7 +680,9 @@ mod tests {
         let x1 = Tensor::random([2, 8], 1.0, &mut rng);
         let x2 = Tensor::random([2, 8], 1.0, &mut rng);
         let empty = TensorMap::new();
-        let out_a = Executor::new(&before, &empty).run(&[x1.clone(), x2.clone()]).unwrap();
+        let out_a = Executor::new(&before, &empty)
+            .run(&[x1.clone(), x2.clone()])
+            .unwrap();
         let out_b = Executor::new(&g, &empty).run(&[x1, x2]).unwrap();
         assert!(out_a[0].allclose(&out_b[0], 1e-6));
     }
@@ -690,8 +706,18 @@ mod tests {
     fn reshape_chain_collapses() {
         let mut g = Graph::new("t");
         let x = g.input([2, 12]);
-        let r1 = g.add(Op::Reshape { shape: Shape::from([4, 6]) }, [x]);
-        let r2 = g.add(Op::Reshape { shape: Shape::from([3, 8]) }, [r1]);
+        let r1 = g.add(
+            Op::Reshape {
+                shape: Shape::from([4, 6]),
+            },
+            [x],
+        );
+        let r2 = g.add(
+            Op::Reshape {
+                shape: Shape::from([3, 8]),
+            },
+            [r1],
+        );
         g.set_outputs([r2]);
         let before = g.clone();
         let mut pm = TensorMap::new();
@@ -705,8 +731,18 @@ mod tests {
     fn transpose_pair_eliminated() {
         let mut g = Graph::new("t");
         let x = g.input([2, 3, 4]);
-        let t1 = g.add(Op::Transpose { perm: vec![2, 0, 1] }, [x]);
-        let t2 = g.add(Op::Transpose { perm: vec![1, 2, 0] }, [t1]);
+        let t1 = g.add(
+            Op::Transpose {
+                perm: vec![2, 0, 1],
+            },
+            [x],
+        );
+        let t2 = g.add(
+            Op::Transpose {
+                perm: vec![1, 2, 0],
+            },
+            [t1],
+        );
         let r = g.add(Op::Activation(Activation::Relu), [t2]);
         g.set_outputs([r]);
         let before = g.clone();
@@ -721,8 +757,18 @@ mod tests {
     fn non_inverse_transposes_kept() {
         let mut g = Graph::new("t");
         let x = g.input([2, 3, 4]);
-        let t1 = g.add(Op::Transpose { perm: vec![2, 0, 1] }, [x]);
-        let t2 = g.add(Op::Transpose { perm: vec![2, 0, 1] }, [t1]);
+        let t1 = g.add(
+            Op::Transpose {
+                perm: vec![2, 0, 1],
+            },
+            [x],
+        );
+        let t2 = g.add(
+            Op::Transpose {
+                perm: vec![2, 0, 1],
+            },
+            [t1],
+        );
         g.set_outputs([t2]);
         let mut pm = TensorMap::new();
         assert_eq!(eliminate_transpose_pair(&mut g, &mut pm), 0);
@@ -733,7 +779,10 @@ mod tests {
         let mut g = Graph::new("t");
         let x = g.input([1, 64, 16, 16]);
         let c1 = g.add(Op::Conv(ConvAttrs::new(64, 64, 3).padding(1)), [x]);
-        let c2 = g.add(Op::Conv(ConvAttrs::new(64, 64, 3).stride(2).padding(1)), [c1]);
+        let c2 = g.add(
+            Op::Conv(ConvAttrs::new(64, 64, 3).stride(2).padding(1)),
+            [c1],
+        );
         let c3 = g.add(Op::Conv(ConvAttrs::new(64, 128, 1)), [c2]);
         g.set_outputs([c3]);
         let mut pm = TensorMap::new();

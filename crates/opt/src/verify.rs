@@ -87,10 +87,7 @@ mod tests {
     fn small_net() -> Graph {
         let mut g = Graph::new("net");
         let x = g.input([1, 3, 8, 8]);
-        let c = g.add(
-            Op::Conv(ConvAttrs::new(3, 4, 3).padding(1)),
-            [x],
-        );
+        let c = g.add(Op::Conv(ConvAttrs::new(3, 4, 3).padding(1)), [x]);
         let r = g.add(Op::Activation(Activation::Relu), [c]);
         let p = g.add(Op::MaxPool(PoolAttrs::new(2, 2, 0)), [r]);
         let f = g.add(Op::Flatten, [p]);
@@ -125,28 +122,26 @@ mod tests {
         use proptest::prelude::*;
 
         fn arb_elementwise_graph() -> impl Strategy<Value = Graph> {
-            proptest::collection::vec((0u8..6, proptest::num::u64::ANY), 2..25).prop_map(
-                |specs| {
-                    let mut g = Graph::new("prop");
-                    let mut ids = vec![g.input([2, 6])];
-                    for (kind, pick) in specs {
-                        let a = ids[(pick as usize) % ids.len()];
-                        let b = ids[(pick as usize / 3) % ids.len()];
-                        let id = match kind {
-                            0 => g.add(Op::Activation(Activation::Relu), [a]),
-                            1 => g.add(Op::Activation(Activation::Sigmoid), [a]),
-                            2 => g.add(Op::Identity, [a]),
-                            3 => g.add(Op::Dropout { p: 20 }, [a]),
-                            4 => g.add(Op::Add, [a, b]),
-                            _ => g.add(Op::Mul, [a, b]),
-                        };
-                        ids.push(id);
-                    }
-                    let last = *ids.last().expect("nonempty");
-                    g.set_outputs([last]);
-                    g
-                },
-            )
+            proptest::collection::vec((0u8..6, proptest::num::u64::ANY), 2..25).prop_map(|specs| {
+                let mut g = Graph::new("prop");
+                let mut ids = vec![g.input([2, 6])];
+                for (kind, pick) in specs {
+                    let a = ids[(pick as usize) % ids.len()];
+                    let b = ids[(pick as usize / 3) % ids.len()];
+                    let id = match kind {
+                        0 => g.add(Op::Activation(Activation::Relu), [a]),
+                        1 => g.add(Op::Activation(Activation::Sigmoid), [a]),
+                        2 => g.add(Op::Identity, [a]),
+                        3 => g.add(Op::Dropout { p: 20 }, [a]),
+                        4 => g.add(Op::Add, [a, b]),
+                        _ => g.add(Op::Mul, [a, b]),
+                    };
+                    ids.push(id);
+                }
+                let last = *ids.last().expect("nonempty");
+                g.set_outputs([last]);
+                g
+            })
         }
 
         proptest! {

@@ -24,7 +24,10 @@ struct Dsu {
 
 impl Dsu {
     fn new(n: usize) -> Dsu {
-        Dsu { parent: (0..n).collect(), size: vec![1; n] }
+        Dsu {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
     }
 
     fn find(&mut self, x: usize) -> usize {
@@ -46,7 +49,11 @@ impl Dsu {
         if ra == rb {
             return false;
         }
-        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[small] = big;
         self.size[big] += self.size[small];
         true
@@ -139,7 +146,10 @@ pub fn contract_once(graph: &Graph, n: usize, rng: &mut StdRng) -> Assignment {
         let part = *root_to_part.entry(root).or_insert(next);
         partition_of.insert(id, part);
     }
-    Assignment { partition_of, num_partitions: root_to_part.len() }
+    Assignment {
+        partition_of,
+        num_partitions: root_to_part.len(),
+    }
 }
 
 /// The paper's balanced partitioning: run [`contract_once`] `restarts` times
@@ -211,7 +221,11 @@ mod tests {
         // each partition's ids form one contiguous run
         for group in a.groups() {
             for w in group.windows(2) {
-                assert_eq!(w[1].index() - w[0].index(), 1, "chain partitions contiguous");
+                assert_eq!(
+                    w[1].index() - w[0].index(),
+                    1,
+                    "chain partitions contiguous"
+                );
             }
         }
     }

@@ -45,7 +45,11 @@ pub(crate) mod tests_support {
         for i in 0..10 {
             let c = g.add(Op::Conv(ConvAttrs::new(8, 8, 3).padding(1)), [h]);
             let r = g.add(Op::Activation(Activation::Relu), [c]);
-            h = if i % 3 == 2 { g.add(Op::Add, [r, h]) } else { r };
+            h = if i % 3 == 2 {
+                g.add(Op::Add, [r, h])
+            } else {
+                r
+            };
         }
         g.set_outputs([h]);
         g
@@ -137,7 +141,11 @@ mod zoo_tests {
 
     #[test]
     fn zoo_models_roundtrip_structurally() {
-        for kind in [ModelKind::ResNet, ModelKind::GoogleNet, ModelKind::DistilBert] {
+        for kind in [
+            ModelKind::ResNet,
+            ModelKind::GoogleNet,
+            ModelKind::DistilBert,
+        ] {
             let g = build(kind);
             let a = partition_by_size(&g, 8, 8, 42);
             let plan = PartitionPlan::extract(&g, &TensorMap::new(), &a).unwrap();

@@ -72,9 +72,7 @@ impl PartitionPlan {
         let succ = graph.successors();
         for (id, _) in graph.iter() {
             let p = assignment.partition_of[&id];
-            let crosses = succ[&id]
-                .iter()
-                .any(|s| assignment.partition_of[s] != p)
+            let crosses = succ[&id].iter().any(|s| assignment.partition_of[s] != p)
                 || graph.outputs().contains(&id);
             if crosses {
                 interface[p].push(id);
@@ -236,7 +234,8 @@ impl PartitionPlan {
                     continue;
                 }
                 // inputs rewired in pass 2; keep local ids for now
-                let new_id = merged.add_named(node.op.clone(), node.inputs.clone(), node.name.clone());
+                let new_id =
+                    merged.add_named(node.op.clone(), node.inputs.clone(), node.name.clone());
                 if let Some(t) = params.get(id) {
                     merged_params.insert(new_id, t.to_vec());
                 }
@@ -255,8 +254,10 @@ impl PartitionPlan {
             let mut bref = start;
             for _ in 0..=self.pieces.len() {
                 let (g, _) = &optimized[bref.piece];
-                let out_local =
-                    *g.outputs().get(bref.output).ok_or_else(|| GraphError::Exec {
+                let out_local = *g
+                    .outputs()
+                    .get(bref.output)
+                    .ok_or_else(|| GraphError::Exec {
                         node: format!("<piece {}>", bref.piece),
                         detail: format!("missing interface output {}", bref.output),
                     })?;
@@ -391,14 +392,16 @@ mod tests {
         let (g, params) = small_cnn();
         let mut rng = StdRng::seed_from_u64(5);
         let input = Tensor::random([1, 3, 8, 8], 1.0, &mut rng);
-        let expected = Executor::new(&g, &params).run(&[input.clone()]).unwrap();
+        let expected = Executor::new(&g, &params)
+            .run(std::slice::from_ref(&input))
+            .unwrap();
 
         for n in 1..=5 {
             let a = partition_balanced(&g, n, 8, n as u64);
             let plan = PartitionPlan::extract(&g, &params, &a).unwrap();
             let (merged, merged_params) = plan.reassemble_identity().unwrap();
             let got = Executor::new(&merged, &merged_params)
-                .run(&[input.clone()])
+                .run(std::slice::from_ref(&input))
                 .unwrap();
             assert_eq!(got.len(), expected.len());
             assert!(
@@ -456,7 +459,10 @@ mod tests {
         partition_of.insert(i1, 1);
         partition_of.insert(i2, 1);
         partition_of.insert(b, 2);
-        let assignment = crate::contract::Assignment { partition_of, num_partitions: 3 };
+        let assignment = crate::contract::Assignment {
+            partition_of,
+            num_partitions: 3,
+        };
         let plan = PartitionPlan::extract(&g, &params, &assignment).unwrap();
         // "optimize": eliminate identities from piece 1, rerouting its
         // output straight to the placeholder
@@ -482,8 +488,12 @@ mod tests {
         merged.validate().unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let probe = Tensor::random([1, 4], 1.0, &mut rng);
-        let expected = Executor::new(&g, &params).run(&[probe.clone()]).unwrap();
-        let got = Executor::new(&merged, &merged_params).run(&[probe]).unwrap();
+        let expected = Executor::new(&g, &params)
+            .run(std::slice::from_ref(&probe))
+            .unwrap();
+        let got = Executor::new(&merged, &merged_params)
+            .run(&[probe])
+            .unwrap();
         assert!(got[0].allclose(&expected[0], 1e-6));
     }
 

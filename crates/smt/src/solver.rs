@@ -18,6 +18,9 @@ impl VarId {
 /// A complete assignment: `values[var.index()]` is the chosen value.
 pub type Solution = Vec<i64>;
 
+/// Shared n-ary predicate over a constraint's variables.
+pub type PredFn = Rc<dyn Fn(&[i64]) -> bool>;
+
 /// A constraint over decision variables.
 #[derive(Clone)]
 pub enum Constraint {
@@ -32,7 +35,7 @@ pub enum Constraint {
     Pred {
         vars: Vec<VarId>,
         name: String,
-        f: Rc<dyn Fn(&[i64]) -> bool>,
+        f: PredFn,
     },
     /// A forbidden complete combination over the listed variables (blocking
     /// clause for solution enumeration).
@@ -53,9 +56,7 @@ impl fmt::Debug for Constraint {
                 .field("vars", vars)
                 .field("name", name)
                 .finish(),
-            Constraint::Nogood { pairs } => {
-                f.debug_struct("Nogood").field("pairs", pairs).finish()
-            }
+            Constraint::Nogood { pairs } => f.debug_struct("Nogood").field("pairs", pairs).finish(),
         }
     }
 }
@@ -138,7 +139,11 @@ impl Solver {
     where
         F: Fn(&[i64]) -> bool + 'static,
     {
-        self.push_constraint(Constraint::Pred { vars, name: name.into(), f: Rc::new(f) });
+        self.push_constraint(Constraint::Pred {
+            vars,
+            name: name.into(),
+            f: Rc::new(f),
+        });
     }
 
     /// Convenience: `a != b`.
@@ -171,18 +176,18 @@ impl Solver {
     /// unassigned. Returns false only if *definitely* violated.
     fn consistent(&self, c: &Constraint, assign: &[Option<i64>]) -> bool {
         match c {
-            Constraint::Table2 { a, b, allowed } => {
-                match (assign[a.0], assign[b.0]) {
-                    (Some(x), Some(y)) => allowed.contains(&(x, y)),
-                    (Some(x), None) => self.domains_current(b, assign)
-                        .iter()
-                        .any(|&y| allowed.contains(&(x, y))),
-                    (None, Some(y)) => self.domains_current(a, assign)
-                        .iter()
-                        .any(|&x| allowed.contains(&(x, y))),
-                    (None, None) => true,
-                }
-            }
+            Constraint::Table2 { a, b, allowed } => match (assign[a.0], assign[b.0]) {
+                (Some(x), Some(y)) => allowed.contains(&(x, y)),
+                (Some(x), None) => self
+                    .domains_current(b, assign)
+                    .iter()
+                    .any(|&y| allowed.contains(&(x, y))),
+                (None, Some(y)) => self
+                    .domains_current(a, assign)
+                    .iter()
+                    .any(|&x| allowed.contains(&(x, y))),
+                (None, None) => true,
+            },
             Constraint::Pred { vars, f, .. } => {
                 let unassigned: Vec<usize> = vars
                     .iter()
@@ -192,18 +197,18 @@ impl Solver {
                     .collect();
                 match unassigned.len() {
                     0 => {
-                        let vals: Vec<i64> =
-                            vars.iter().map(|v| assign[v.0].expect("assigned")).collect();
+                        let vals: Vec<i64> = vars
+                            .iter()
+                            .map(|v| assign[v.0].expect("assigned"))
+                            .collect();
                         f(&vals)
                     }
                     1 => {
                         // forward check: some value of the free var must work
                         let free_pos = unassigned[0];
                         let free_var = vars[free_pos];
-                        let mut vals: Vec<i64> = vars
-                            .iter()
-                            .map(|v| assign[v.0].unwrap_or(0))
-                            .collect();
+                        let mut vals: Vec<i64> =
+                            vars.iter().map(|v| assign[v.0].unwrap_or(0)).collect();
                         self.domains[free_var.0].iter().any(|&candidate| {
                             vals[free_pos] = candidate;
                             f(&vals)
@@ -214,9 +219,7 @@ impl Solver {
             }
             Constraint::Nogood { pairs } => {
                 // violated only if every pair matches
-                !pairs
-                    .iter()
-                    .all(|&(v, val)| assign[v.0] == Some(val))
+                !pairs.iter().all(|&(v, val)| assign[v.0] == Some(val))
             }
         }
     }
@@ -267,8 +270,7 @@ impl Solver {
             if assign[v].is_some() {
                 continue;
             }
-            let viable = self
-                .domains[v]
+            let viable = self.domains[v]
                 .clone()
                 .into_iter()
                 .filter(|&val| {

@@ -17,11 +17,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let k = 6;
     // The protected model is ResNet; the adversary trains on *other* models.
     let protected = build(ModelKind::ResNet);
-    let train_models = [ModelKind::MobileNet, ModelKind::GoogleNet, ModelKind::DenseNet];
+    let train_models = [
+        ModelKind::MobileNet,
+        ModelKind::GoogleNet,
+        ModelKind::DenseNet,
+    ];
 
     let config = ProteusConfig {
         k,
-        graphrnn: GraphRnnConfig { epochs: 4, ..Default::default() },
+        graphrnn: GraphRnnConfig {
+            epochs: 4,
+            ..Default::default()
+        },
         topology_pool: 60,
         ..Default::default()
     };
@@ -32,16 +39,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Build the protected model's buckets (what the adversary intercepts).
     let assignment = partition_by_size(&protected, 8, 16, 3);
     let plan = PartitionPlan::extract(&protected, &TensorMap::new(), &assignment)?;
-    println!("protected model split into n = {} subgraphs, k = {k}", plan.pieces.len());
+    println!(
+        "protected model split into n = {} subgraphs, k = {k}",
+        plan.pieces.len()
+    );
 
     let mut proteus_buckets = Vec::new();
     let mut baseline_buckets = Vec::new();
     for piece in &plan.pieces {
         proteus_buckets.push(LabelledBucket {
             real: piece.graph.clone(),
-            sentinels: proteus
-                .factory()
-                .generate(&piece.graph, k, SentinelMode::Generative, &mut rng),
+            sentinels: proteus.factory().generate(
+                &piece.graph,
+                k,
+                SentinelMode::Generative,
+                &mut rng,
+            ),
         });
         baseline_buckets.push(LabelledBucket {
             real: piece.graph.clone(),
@@ -83,15 +96,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     for (name, examples, buckets) in [
-        ("random-opcode baseline", &baseline_examples, &baseline_buckets),
+        (
+            "random-opcode baseline",
+            &baseline_examples,
+            &baseline_buckets,
+        ),
         ("Proteus", &proteus_examples, &proteus_buckets),
     ] {
-        let mut clf = SageClassifier::new(SageConfig { epochs: 6, ..Default::default() }, 11);
+        let mut clf = SageClassifier::new(
+            SageConfig {
+                epochs: 6,
+                ..Default::default()
+            },
+            11,
+        );
         let history = clf.train(examples, 13);
         let report = attack_buckets(&clf, buckets);
         println!("\n--- attacking {name} sentinels ---");
-        println!("classifier training loss: {:.3} -> {:.3}", history[0], history.last().unwrap());
-        println!("min gamma keeping all real subgraphs: {:.3}", report.min_gamma);
+        println!(
+            "classifier training loss: {:.3} -> {:.3}",
+            history[0],
+            history.last().unwrap()
+        );
+        println!(
+            "min gamma keeping all real subgraphs: {:.3}",
+            report.min_gamma
+        );
         println!("specificity at that gamma: {:.3}", report.specificity);
         println!(
             "surviving search space: {} architectures (10^{:.1})",

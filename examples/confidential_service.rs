@@ -30,11 +30,18 @@ fn optimization_service(wire: bytes::Bytes) -> Result<bytes::Bytes, Box<dyn std:
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // owner side ----------------------------------------------------------
     let protected = build(ModelKind::GoogleNet);
-    println!("[owner] protecting {} ({} nodes)", protected.name(), protected.len());
+    println!(
+        "[owner] protecting {} ({} nodes)",
+        protected.name(),
+        protected.len()
+    );
 
     let config = ProteusConfig {
         k: 4,
-        graphrnn: GraphRnnConfig { epochs: 5, ..Default::default() },
+        graphrnn: GraphRnnConfig {
+            epochs: 5,
+            ..Default::default()
+        },
         topology_pool: 80,
         ..Default::default()
     };
@@ -45,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let proteus = Proteus::train(config, &corpus);
     let (bucket, secrets) = proteus.obfuscate(&protected, &TensorMap::new())?;
     let wire = bucket.to_bytes();
-    println!("[owner] sending {} bytes across the trust boundary", wire.len());
+    println!(
+        "[owner] sending {} bytes across the trust boundary",
+        wire.len()
+    );
 
     // trust boundary ------------------------------------------------------
     let optimized_wire = optimization_service(wire)?;
@@ -63,8 +73,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("[owner] reassembled optimized model: {} nodes", model.len());
     println!("[owner] latency estimate:");
     println!("          unoptimized      {unopt:10.1} us");
-    println!("          best attainable  {best:10.1} us  ({:.2}x)", unopt / best);
-    println!("          with Proteus     {with_proteus:10.1} us  ({:.2}x)", unopt / with_proteus);
+    println!(
+        "          best attainable  {best:10.1} us  ({:.2}x)",
+        unopt / best
+    );
+    println!(
+        "          with Proteus     {with_proteus:10.1} us  ({:.2}x)",
+        unopt / with_proteus
+    );
     println!(
         "[owner] confidentiality cost: {:.1}% slower than best attainable (paper: <=10% avg)",
         (with_proteus - best) / best * 100.0

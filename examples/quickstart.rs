@@ -25,13 +25,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gap = secret.add(Op::GlobalAveragePool, [r2]);
     secret.set_outputs([gap]);
     let weights = TensorMap::init_random(&secret, 42);
-    println!("protected model: {} nodes, {} edges", secret.len(), secret.edge_count());
+    println!(
+        "protected model: {} nodes, {} edges",
+        secret.len(),
+        secret.edge_count()
+    );
 
     // 2. Train Proteus' sentinel generator on PUBLIC models only.
     let config = ProteusConfig {
         k: 5,
         partitions: PartitionSpec::Count(2),
-        graphrnn: GraphRnnConfig { epochs: 4, ..Default::default() },
+        graphrnn: GraphRnnConfig {
+            epochs: 4,
+            ..Default::default()
+        },
         topology_pool: 60,
         ..Default::default()
     };
@@ -56,16 +63,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (model, params) = proteus.deobfuscate(&secrets, &optimized)?;
     let mut rng = StdRng::seed_from_u64(7);
     let probe = Tensor::random([1, 3, 32, 32], 1.0, &mut rng);
-    let before = Executor::new(&secret, &weights).run(&[probe.clone()])?;
+    let before = Executor::new(&secret, &weights).run(std::slice::from_ref(&probe))?;
     let after = Executor::new(&model, &params).run(&[probe])?;
     let diff = before[0].max_abs_diff(&after[0]);
-    println!("optimized model: {} nodes (was {})", model.len(), secret.len());
+    println!(
+        "optimized model: {} nodes (was {})",
+        model.len(),
+        secret.len()
+    );
     println!("max |output difference| = {diff:.2e}");
     assert!(diff < 1e-3, "optimization must preserve semantics");
 
     let optimizer = Optimizer::new(Profile::OrtLike);
     let t_before = optimizer.estimate_us(&secret)?;
     let t_after = optimizer.estimate_us(&model)?;
-    println!("estimated latency: {t_before:.1} us -> {t_after:.1} us ({:.2}x)", t_before / t_after);
+    println!(
+        "estimated latency: {t_before:.1} us -> {t_after:.1} us ({:.2}x)",
+        t_before / t_after
+    );
     Ok(())
 }

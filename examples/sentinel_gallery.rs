@@ -15,14 +15,21 @@ use rand::SeedableRng;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = ProteusConfig {
         k: 2,
-        graphrnn: GraphRnnConfig { epochs: 5, ..Default::default() },
+        graphrnn: GraphRnnConfig {
+            epochs: 5,
+            ..Default::default()
+        },
         topology_pool: 80,
         ..Default::default()
     };
-    let corpus: Vec<_> = [ModelKind::ResNet, ModelKind::MobileNet, ModelKind::GoogleNet]
-        .iter()
-        .map(|&k| build(k))
-        .collect();
+    let corpus: Vec<_> = [
+        ModelKind::ResNet,
+        ModelKind::MobileNet,
+        ModelKind::GoogleNet,
+    ]
+    .iter()
+    .map(|&k| build(k))
+    .collect();
     let proteus = Proteus::train(config, &corpus);
     let mut rng = StdRng::seed_from_u64(2024);
 
@@ -45,11 +52,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let ps = GraphStats::of(&piece);
         let ss = GraphStats::of(&sentinel);
         println!("//==================================================================");
-        println!("// {kind}: REAL subgraph ({} nodes, avg deg {:.2}, diam {})", piece.len(), ps.avg_degree, ps.diameter);
+        println!(
+            "// {kind}: REAL subgraph ({} nodes, avg deg {:.2}, diam {})",
+            piece.len(),
+            ps.avg_degree,
+            ps.diameter
+        );
         println!("//==================================================================");
         println!("{}", to_dot(&piece));
         println!("//------------------------------------------------------------------");
-        println!("// {kind}: SENTINEL ({} nodes, avg deg {:.2}, diam {})", sentinel.len(), ss.avg_degree, ss.diameter);
+        println!(
+            "// {kind}: SENTINEL ({} nodes, avg deg {:.2}, diam {})",
+            sentinel.len(),
+            ss.avg_degree,
+            ss.diameter
+        );
         println!("//------------------------------------------------------------------");
         println!("{}", to_dot(&sentinel));
     }

@@ -1,0 +1,164 @@
+//! Offline shim for the `criterion` benchmark harness.
+//!
+//! Implements the entry points used by `crates/bench/benches/pipeline.rs`:
+//! [`Criterion::bench_function`], [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! [`BatchSize`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//! Instead of criterion's statistical machinery, each benchmark runs a
+//! fixed number of timed samples and prints `mean`/`min` wall-clock per
+//! iteration — enough to track the `BENCH_*.json` latency trajectory
+//! offline. `cargo bench` runs these; `cargo test` only compiles them.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; all variants behave identically in
+/// this shim (setup is always excluded from timing, one input per call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Per-benchmark measurement driver handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            timings: Vec::with_capacity(samples),
+        }
+    }
+
+    /// Time `routine` once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up pass (lazy allocations, caches).
+        std_black_box(routine());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std_black_box(routine());
+            self.timings.push(t0.elapsed());
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std_black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            std_black_box(routine(input));
+            self.timings.push(t0.elapsed());
+        }
+    }
+}
+
+/// Benchmark registry/configuration (mirror of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (builder-style, like upstream).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one named benchmark and print its timing summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        let n = b.timings.len().max(1);
+        let total: Duration = b.timings.iter().sum();
+        let mean = total / n as u32;
+        let min = b.timings.iter().min().copied().unwrap_or_default();
+        println!("{name:<44} mean {mean:>12.3?}   min {min:>12.3?}   ({n} samples)");
+        self
+    }
+}
+
+/// Mirror of `criterion_group!`: defines a function running each target
+/// against a shared [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirror of `criterion_main!`: generates `main` for a `harness = false`
+/// bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_samples_plus_warmup() {
+        let mut calls = 0usize;
+        Criterion::default()
+            .sample_size(5)
+            .bench_function("shim_self_test", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn iter_batched_gives_fresh_inputs() {
+        let mut produced = 0usize;
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    produced += 1;
+                    vec![produced]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(produced, 4);
+    }
+}

@@ -1,0 +1,281 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Implements the subset used by this workspace's property tests:
+//! integer-range strategies, tuple strategies, [`collection::vec`],
+//! [`num::u64::ANY`] / [`bool::ANY`], [`Strategy::prop_map`], the
+//! [`proptest!`] macro with `#![proptest_config(...)]`, and the
+//! `prop_assert!`/`prop_assert_eq!` macros.
+//!
+//! Unlike real proptest there is **no shrinking** and no failure
+//! persistence: each test runs `cases` deterministically-seeded random
+//! inputs (seeded from the test's name, so runs are reproducible and
+//! failures can be replayed by re-running the test) and assertion macros
+//! panic immediately with the failing values in the message.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SeedableRng};
+
+/// Runner configuration (mirror of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic per-test RNG. Public for use by the `proptest!` macro.
+#[doc(hidden)]
+pub mod test_runner {
+    use super::*;
+
+    pub fn deterministic_rng(test_name: &str) -> StdRng {
+        // FNV-1a over the test name: stable seeds without global state.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// A generator of random values (mirror of `proptest::strategy::Strategy`,
+/// minus shrinking).
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+}
+
+pub mod collection {
+    use super::*;
+
+    /// `Vec` strategy: random length drawn from `size`, elements from
+    /// `element` (mirror of `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+macro_rules! any_module {
+    ($($mod_name:ident => $t:ty, $any_ty:ident;)*) => {$(
+        pub mod $mod_name {
+            use super::*;
+
+            /// Uniform strategy over the whole value space.
+            pub struct $any_ty;
+            pub const ANY: $any_ty = $any_ty;
+
+            impl Strategy for $any_ty {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen()
+                }
+            }
+        }
+    )*};
+}
+
+any_module! {
+    bool => bool, AnyBool;
+}
+
+pub mod num {
+    use super::*;
+
+    any_module! {
+        u8 => u8, AnyU8;
+        u16 => u16, AnyU16;
+        u32 => u32, AnyU32;
+        u64 => u64, AnyU64;
+        usize => usize, AnyUsize;
+        i32 => i32, AnyI32;
+        i64 => i64, AnyI64;
+    }
+}
+
+// `SampleRange` is referenced so the `rand` shim's range machinery is the
+// single source of uniform-sampling behavior for both crates.
+#[allow(dead_code)]
+fn _uniformity_is_delegated<T, R: SampleRange<T>>() {}
+
+/// Mirror of `proptest::proptest!`: expands each `fn name(arg in strategy)`
+/// into a `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        #[test]
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::deterministic_rng(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Mirror of `prop_assert!` — panics instead of returning `Err` (no
+/// shrinking to feed in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Mirror of `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Mirror of `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        let mut rng = crate::test_runner::deterministic_rng("bounds");
+        let s = collection::vec((0u8..4, crate::num::u64::ANY), 3..40);
+        for _ in 0..100 {
+            let v = crate::Strategy::generate(&s, &mut rng);
+            assert!((3..40).contains(&v.len()));
+            assert!(v.iter().all(|&(k, _)| k < 4));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = crate::test_runner::deterministic_rng("map");
+        let s = (2usize..5).prop_map(|n| n * 10);
+        for _ in 0..50 {
+            let v = crate::Strategy::generate(&s, &mut rng);
+            assert!(v == 20 || v == 30 || v == 40);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_form_runs(x in 1usize..10, flip in crate::bool::ANY) {
+            prop_assert!((1..10).contains(&x));
+            let _ = flip;
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline shim for the `serde` crate.
+//!
+//! Provides the `Serialize`/`Deserialize` names (trait + derive-macro
+//! pairs, like `serde` with the `derive` feature) so that the workspace's
+//! annotations compile without the registry. The traits are markers: no
+//! in-tree code calls serde's data model. See `shims/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

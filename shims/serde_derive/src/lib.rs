@@ -1,0 +1,20 @@
+//! Offline shim for serde's derive macros.
+//!
+//! The workspace annotates its wire-adjacent types with
+//! `#[derive(Serialize, Deserialize)]`, but nothing in-tree drives serde's
+//! data model — the actual byte format is the hand-rolled codec in
+//! `proteus-graph::wire`. These derives therefore only need to keep the
+//! annotations compiling; they expand to nothing. Swapping in the real
+//! `serde`/`serde_derive` later requires no source changes.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

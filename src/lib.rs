@@ -13,6 +13,56 @@
 //! - [`proteus_opt`] — graph-level optimizer + latency cost model
 //! - [`proteus_adversary`] — learning-based / heuristic / expert adversaries
 //! - [`proteus_nn`] — autograd + layers used by graphgen and the adversary
+//!
+//! # Quickstart
+//!
+//! The full protocol round trip — obfuscate a secret model, let the
+//! untrusted optimizer party optimize every bucket member, de-obfuscate,
+//! and check that the optimized model computes the same function (a
+//! condensed version of `examples/quickstart.rs`):
+//!
+//! ```
+//! use proteus::{optimize_model, PartitionSpec, Proteus, ProteusConfig};
+//! use proteus_graph::{Activation, Executor, Graph, Op, Tensor, TensorMap};
+//! use proteus_graphgen::GraphRnnConfig;
+//! use proteus_models::{build, ModelKind};
+//! use proteus_opt::{Optimizer, Profile};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // The model developer's secret architecture (with trained weights).
+//! let mut secret = Graph::new("secret-model");
+//! let x = secret.input([1, 16]);
+//! let a = secret.add(Op::Gemm(proteus_graph::GemmAttrs::new(16, 16)), [x]);
+//! let r = secret.add(Op::Activation(Activation::Relu), [a]);
+//! let skip = secret.add(Op::Add, [r, x]);
+//! let out = secret.add(Op::Activation(Activation::Tanh), [skip]);
+//! secret.set_outputs([out]);
+//! let weights = TensorMap::init_random(&secret, 42);
+//!
+//! // Train the sentinel generator on PUBLIC models only, then obfuscate:
+//! // the optimizer party sees n buckets of k+1 anonymized candidates.
+//! let config = ProteusConfig {
+//!     k: 2,
+//!     partitions: PartitionSpec::Count(1),
+//!     graphrnn: GraphRnnConfig { epochs: 1, ..Default::default() },
+//!     topology_pool: 12,
+//!     ..Default::default()
+//! };
+//! let proteus = Proteus::train(config, &[build(ModelKind::MobileNet)]);
+//! let (bucket, secrets) = proteus.obfuscate(&secret, &weights)?;
+//! assert_eq!(bucket.buckets[0].members.len(), 3); // k + 1
+//!
+//! // The optimizer party optimizes every member (it cannot tell which is
+//! // real); the developer de-obfuscates and verifies semantics survived.
+//! let optimized = optimize_model(&bucket, &Optimizer::new(Profile::OrtLike));
+//! let (model, params) = proteus.deobfuscate(&secrets, &optimized)?;
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let probe = Tensor::random([1, 16], 1.0, &mut rng);
+//! let before = Executor::new(&secret, &weights).run(&[probe.clone()])?;
+//! let after = Executor::new(&model, &params).run(&[probe])?;
+//! assert!(before[0].max_abs_diff(&after[0]) < 1e-3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 pub use proteus;
 pub use proteus_adversary;

@@ -11,7 +11,11 @@ fn quick_config(k: usize) -> ProteusConfig {
     ProteusConfig {
         k,
         partitions: PartitionSpec::TargetSize(8),
-        graphrnn: GraphRnnConfig { epochs: 3, max_nodes: 24, ..Default::default() },
+        graphrnn: GraphRnnConfig {
+            epochs: 3,
+            max_nodes: 24,
+            ..Default::default()
+        },
         topology_pool: 40,
         ..Default::default()
     }

@@ -17,7 +17,11 @@ fn quick_config(k: usize, n: usize) -> ProteusConfig {
     ProteusConfig {
         k,
         partitions: PartitionSpec::Count(n),
-        graphrnn: GraphRnnConfig { epochs: 2, max_nodes: 20, ..Default::default() },
+        graphrnn: GraphRnnConfig {
+            epochs: 2,
+            max_nodes: 20,
+            ..Default::default()
+        },
         topology_pool: 30,
         ..Default::default()
     }
@@ -28,10 +32,16 @@ fn quick_config(k: usize, n: usize) -> ProteusConfig {
 fn executable_cnn() -> (Graph, TensorMap) {
     let mut g = Graph::new("itest-cnn");
     let x = g.input([1, 3, 12, 12]);
-    let c1 = g.add(Op::Conv(ConvAttrs::new(3, 8, 3).padding(1).bias(false)), [x]);
+    let c1 = g.add(
+        Op::Conv(ConvAttrs::new(3, 8, 3).padding(1).bias(false)),
+        [x],
+    );
     let b1 = g.add(Op::BatchNorm(BatchNormAttrs { channels: 8 }), [c1]);
     let r1 = g.add(Op::Activation(Activation::Relu), [b1]);
-    let c2 = g.add(Op::Conv(ConvAttrs::new(8, 8, 3).padding(1).bias(false)), [r1]);
+    let c2 = g.add(
+        Op::Conv(ConvAttrs::new(8, 8, 3).padding(1).bias(false)),
+        [r1],
+    );
     let b2 = g.add(Op::BatchNorm(BatchNormAttrs { channels: 8 }), [c2]);
     let a = g.add(Op::Add, [b2, r1]);
     let r2 = g.add(Op::Activation(Activation::Relu), [a]);
@@ -54,13 +64,19 @@ fn protocol_preserves_semantics_for_both_optimizers() {
 
     let mut rng = StdRng::seed_from_u64(1);
     let probe = Tensor::random([1, 3, 12, 12], 1.0, &mut rng);
-    let expected = Executor::new(&g, &params).run(&[probe.clone()]).expect("run");
+    let expected = Executor::new(&g, &params)
+        .run(std::slice::from_ref(&probe))
+        .expect("run");
 
     for profile in [Profile::OrtLike, Profile::HidetLike] {
         let optimized = optimize_model(&bucket, &Optimizer::new(profile));
-        let (model, mparams) = proteus.deobfuscate(&secrets, &optimized).expect("deobfuscate");
+        let (model, mparams) = proteus
+            .deobfuscate(&secrets, &optimized)
+            .expect("deobfuscate");
         model.validate().expect("valid");
-        let got = Executor::new(&model, &mparams).run(&[probe.clone()]).expect("run");
+        let got = Executor::new(&model, &mparams)
+            .run(std::slice::from_ref(&probe))
+            .expect("run");
         assert!(
             got[0].allclose(&expected[0], 1e-2),
             "{profile:?}: outputs diverged by {}",
@@ -81,11 +97,15 @@ fn wire_roundtrip_through_the_whole_protocol() {
     let optimized = optimize_model(&received, &Optimizer::new(Profile::OrtLike));
     let wire_back = optimized.to_bytes();
     let returned = proteus::ObfuscatedModel::from_bytes(wire_back).expect("decode");
-    let (model, mparams) = proteus.deobfuscate(&secrets, &returned).expect("deobfuscate");
+    let (model, mparams) = proteus
+        .deobfuscate(&secrets, &returned)
+        .expect("deobfuscate");
 
     let mut rng = StdRng::seed_from_u64(2);
     let probe = Tensor::random([1, 3, 12, 12], 1.0, &mut rng);
-    let expected = Executor::new(&g, &params).run(&[probe.clone()]).expect("run");
+    let expected = Executor::new(&g, &params)
+        .run(std::slice::from_ref(&probe))
+        .expect("run");
     let got = Executor::new(&model, &mparams).run(&[probe]).expect("run");
     assert!(got[0].allclose(&expected[0], 1e-2));
 }
@@ -98,10 +118,14 @@ fn perturb_mode_protocol_roundtrip() {
     let proteus = Proteus::train(config, &[build(ModelKind::ResNet)]);
     let (bucket, secrets) = proteus.obfuscate(&g, &params).expect("obfuscate");
     let optimized = optimize_model(&bucket, &Optimizer::new(Profile::OrtLike));
-    let (model, mparams) = proteus.deobfuscate(&secrets, &optimized).expect("deobfuscate");
+    let (model, mparams) = proteus
+        .deobfuscate(&secrets, &optimized)
+        .expect("deobfuscate");
     let mut rng = StdRng::seed_from_u64(3);
     let probe = Tensor::random([1, 3, 12, 12], 1.0, &mut rng);
-    let expected = Executor::new(&g, &params).run(&[probe.clone()]).expect("run");
+    let expected = Executor::new(&g, &params)
+        .run(std::slice::from_ref(&probe))
+        .expect("run");
     let got = Executor::new(&model, &mparams).run(&[probe]).expect("run");
     assert!(got[0].allclose(&expected[0], 1e-2));
 }
@@ -110,14 +134,17 @@ fn perturb_mode_protocol_roundtrip() {
 fn zoo_models_structural_protocol() {
     // structure-only (no weights): every zoo model obfuscates and
     // reassembles into a graph with identical opcode multiset and shapes
-    let proteus = Proteus::train(
-        quick_config(1, 6),
-        &[build(ModelKind::ResNet)],
-    );
-    for kind in [ModelKind::GoogleNet, ModelKind::DistilBert, ModelKind::MnasNet] {
+    let proteus = Proteus::train(quick_config(1, 6), &[build(ModelKind::ResNet)]);
+    for kind in [
+        ModelKind::GoogleNet,
+        ModelKind::DistilBert,
+        ModelKind::MnasNet,
+    ] {
         let g = build(kind);
         let (bucket, secrets) = proteus.obfuscate(&g, &TensorMap::new()).expect("obfuscate");
-        let (back, _) = proteus.deobfuscate(&secrets, &bucket).expect("identity deobfuscate");
+        let (back, _) = proteus
+            .deobfuscate(&secrets, &bucket)
+            .expect("identity deobfuscate");
         assert_eq!(back.len(), g.len(), "{kind}");
         proteus_graph::infer_shapes(&back).unwrap_or_else(|e| panic!("{kind}: {e}"));
         let _ = bucket;
