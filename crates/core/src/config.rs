@@ -51,6 +51,10 @@ pub struct ProteusConfig {
     pub topology_pool: usize,
     /// Operator-population settings (Algorithm 2).
     pub population: PopulationConfig,
+    /// Worker threads for the optimizer party's bucket fan-out
+    /// ([`crate::optimize_model_with_threads`]). `None` uses all available
+    /// parallelism.
+    pub optimizer_threads: Option<usize>,
     /// Master seed; all randomness derives from it.
     pub seed: u64,
 }
@@ -66,6 +70,7 @@ impl Default for ProteusConfig {
             graphrnn: GraphRnnConfig::default(),
             topology_pool: 200,
             population: PopulationConfig::default(),
+            optimizer_threads: None,
             seed: 0xB0B,
         }
     }

@@ -69,6 +69,6 @@ pub use baseline::{random_opcode_graph, random_opcode_sentinels};
 pub use bucket::{anonymize, Bucket, BucketMember, ObfuscatedModel, ObfuscationSecrets};
 pub use config::{PartitionSpec, ProteusConfig, SentinelMode};
 pub use operators::{detect_regime, populate, PopulationConfig, Regime};
-pub use pipeline::{optimize_model, optimize_model_serial, Proteus};
+pub use pipeline::{optimize_model, optimize_model_serial, optimize_model_with_threads, Proteus};
 pub use semantic::{top_percentile, BigramModel};
 pub use sentinel::SentinelFactory;

@@ -1,0 +1,468 @@
+//! Cached graph analyses for the rewrite engine.
+//!
+//! The optimizer party runs the same graph-level passes over `(k+1)×n`
+//! subgraphs per obfuscated model, so recomputing successors, use counts,
+//! topological order, and shapes from scratch inside every rule is the
+//! system's hottest waste. This module computes them once per graph
+//! *generation* (see [`Graph::generation`]) into dense, arena-indexed
+//! storage:
+//!
+//! - [`NodeMap<T>`] — a `Vec` keyed by [`NodeId`] arena index, replacing the
+//!   `HashMap<NodeId, _>` allocations of the naive helpers;
+//! - [`GraphAnalysis`] — successors, use counts, topological order, and an
+//!   opcode → nodes index computed in one O(V+E) pass, plus lazily-computed
+//!   shape inference, all stamped with the generation they were computed at.
+//!
+//! A `GraphAnalysis` is a *snapshot*: rules may keep reading it while they
+//! mutate the graph (the sweep semantics the rewrite rules are written
+//! against), but reusing a snapshot for a *new* sweep after mutations is a
+//! bug. [`GraphAnalysis::assert_fresh`] panics on that in debug builds.
+
+use crate::graph::{Graph, NodeId};
+use crate::op::OpCode;
+use crate::shape::{infer_op, Shape};
+use crate::{GraphError, Result};
+use std::cell::OnceCell;
+use std::ops::{Index, IndexMut};
+
+/// A dense secondary map over a graph's node arena: `T` per arena slot,
+/// indexed by [`NodeId`]. Tombstoned and never-written slots hold
+/// `T::default()`.
+///
+/// Indexing with an id minted *after* the map was created panics (the map
+/// is sized to the arena it was built against).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeMap<T> {
+    data: Vec<T>,
+}
+
+impl<T: Default + Clone> NodeMap<T> {
+    /// A map with `arena_len` default-initialized slots.
+    pub fn new(arena_len: usize) -> NodeMap<T> {
+        NodeMap {
+            data: vec![T::default(); arena_len],
+        }
+    }
+
+    /// A map sized for `graph`'s arena.
+    pub fn for_graph(graph: &Graph) -> NodeMap<T> {
+        NodeMap::new(graph.arena_len())
+    }
+}
+
+impl<T> NodeMap<T> {
+    /// Number of slots (the arena length at construction).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the map has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Fallible slot access (`None` for out-of-range ids).
+    pub fn get(&self, id: NodeId) -> Option<&T> {
+        self.data.get(id.index())
+    }
+
+    /// Fallible mutable slot access.
+    pub fn get_mut(&mut self, id: NodeId) -> Option<&mut T> {
+        self.data.get_mut(id.index())
+    }
+
+    /// Iterates `(id, value)` over all slots in arena order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &T)> {
+        self.data
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (NodeId::from_index(i), v))
+    }
+}
+
+impl<T> Index<NodeId> for NodeMap<T> {
+    type Output = T;
+    fn index(&self, id: NodeId) -> &T {
+        &self.data[id.index()]
+    }
+}
+
+impl<T> IndexMut<NodeId> for NodeMap<T> {
+    fn index_mut(&mut self, id: NodeId) -> &mut T {
+        &mut self.data[id.index()]
+    }
+}
+
+/// All standard graph analyses, computed together and generation-stamped.
+///
+/// Successor lists are stored in CSR form (one flat edge array plus
+/// offsets) rather than a `Vec<Vec<_>>` — the analysis is recomputed once
+/// per graph generation on the optimizer's hottest path, so per-node heap
+/// allocations matter.
+#[derive(Debug)]
+pub struct GraphAnalysis {
+    generation: u64,
+    arena_len: usize,
+    use_counts: NodeMap<usize>,
+    /// CSR offsets into `succ_edges`; slot `i` covers
+    /// `succ_edges[succ_offsets[i]..succ_offsets[i + 1]]`.
+    succ_offsets: Vec<u32>,
+    succ_edges: Vec<NodeId>,
+    topo: Result<Vec<NodeId>>,
+    by_opcode: Vec<Vec<NodeId>>,
+    /// Lazily-computed shape table; inner `None` means inference failed
+    /// (mirrors `infer_shapes(g).ok()`). Lazy because only one rule needs
+    /// shapes — eagerly inferring them would bloat every other sweep.
+    shapes: OnceCell<Option<NodeMap<Shape>>>,
+}
+
+impl GraphAnalysis {
+    /// Computes successors, use counts (graph outputs count as a use, as in
+    /// [`Graph::use_counts`]), topological order, and the opcode index in
+    /// one O(V+E) pass over `graph`.
+    ///
+    /// The topological order is bit-compatible with [`Graph::topo_order`]
+    /// (same tie-breaking), so rules that switched to the cached order
+    /// rewrite in exactly the same sequence as before.
+    pub fn compute(graph: &Graph) -> GraphAnalysis {
+        let arena_len = graph.arena_len();
+        let mut use_counts: NodeMap<usize> = NodeMap::new(arena_len);
+        let mut indegree: NodeMap<usize> = NodeMap::new(arena_len);
+        let mut consumer_counts: Vec<u32> = vec![0; arena_len];
+        let mut by_opcode: Vec<Vec<NodeId>> = vec![Vec::new(); OpCode::COUNT];
+        let mut live = 0usize;
+        let mut edges = 0usize;
+        let mut dangling: Option<GraphError> = None;
+        for (id, node) in graph.iter() {
+            live += 1;
+            by_opcode[node.op.opcode().index()].push(id);
+            indegree[id] = node.inputs.len();
+            edges += node.inputs.len();
+            for &inp in &node.inputs {
+                if !graph.contains(inp) && dangling.is_none() {
+                    dangling = Some(GraphError::DanglingInput {
+                        node: node.name.clone(),
+                        input: inp,
+                    });
+                }
+                if let Some(c) = use_counts.get_mut(inp) {
+                    *c += 1;
+                }
+                if let Some(c) = consumer_counts.get_mut(inp.index()) {
+                    *c += 1;
+                }
+            }
+        }
+        for &out in graph.outputs() {
+            if let Some(c) = use_counts.get_mut(out) {
+                *c += 1;
+            }
+        }
+        // CSR successors: prefix-sum offsets, then a second edge sweep in
+        // arena order (which keeps each successor list in consumer arena
+        // order — the ordering `Graph::successors` produces).
+        let mut succ_offsets: Vec<u32> = Vec::with_capacity(arena_len + 1);
+        let mut acc = 0u32;
+        succ_offsets.push(0);
+        for &c in &consumer_counts {
+            acc += c;
+            succ_offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = succ_offsets[..arena_len].to_vec();
+        let mut succ_edges: Vec<NodeId> = vec![NodeId::from_index(0); edges];
+        for (id, node) in graph.iter() {
+            for &inp in &node.inputs {
+                if let Some(c) = cursor.get_mut(inp.index()) {
+                    succ_edges[*c as usize] = id;
+                    *c += 1;
+                }
+            }
+        }
+        let succ_of = |id: NodeId| -> &[NodeId] {
+            &succ_edges[succ_offsets[id.index()] as usize..succ_offsets[id.index() + 1] as usize]
+        };
+        let topo = match dangling {
+            Some(e) => Err(e),
+            None => {
+                // Kahn's algorithm with the exact tie-breaking of
+                // `Graph::topo_order`: seed with zero-indegree ids ascending,
+                // pop from the back (largest id first).
+                let mut ready: Vec<NodeId> = graph
+                    .iter()
+                    .filter(|&(id, _)| indegree[id] == 0)
+                    .map(|(id, _)| id)
+                    .collect();
+                let mut order: Vec<NodeId> = Vec::with_capacity(live);
+                while let Some(id) = ready.pop() {
+                    order.push(id);
+                    for &u in succ_of(id) {
+                        indegree[u] -= 1;
+                        if indegree[u] == 0 {
+                            ready.push(u);
+                        }
+                    }
+                }
+                if order.len() == live {
+                    Ok(order)
+                } else {
+                    Err(GraphError::Cyclic)
+                }
+            }
+        };
+        GraphAnalysis {
+            generation: graph.generation(),
+            arena_len,
+            use_counts,
+            succ_offsets,
+            succ_edges,
+            topo,
+            by_opcode,
+            shapes: OnceCell::new(),
+        }
+    }
+
+    /// The graph generation this analysis was computed at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// True when this analysis still matches `graph`'s current generation.
+    pub fn is_fresh(&self, graph: &Graph) -> bool {
+        self.generation == graph.generation() && self.arena_len == graph.arena_len()
+    }
+
+    /// Panics in debug builds when this analysis is stale for `graph` — the
+    /// guard that catches engines (or rules) reusing a snapshot across
+    /// mutations without recomputing. Release builds skip the check.
+    pub fn assert_fresh(&self, graph: &Graph) {
+        debug_assert!(
+            self.is_fresh(graph),
+            "stale GraphAnalysis: computed at generation {} but graph `{}` is at {} \
+             (a rule or engine mutated the graph without invalidating its analysis)",
+            self.generation,
+            graph.name(),
+            graph.generation(),
+        );
+    }
+
+    /// Consumers of `id` (the inverse edge list), in arena order of the
+    /// consumer — identical contents to [`Graph::successors`]. Empty for
+    /// ids outside the snapshot arena.
+    pub fn succ_of(&self, id: NodeId) -> &[NodeId] {
+        let i = id.index();
+        if i + 1 >= self.succ_offsets.len() {
+            return &[];
+        }
+        &self.succ_edges[self.succ_offsets[i] as usize..self.succ_offsets[i + 1] as usize]
+    }
+
+    /// Fan-out per node, counting graph outputs as consumers — identical to
+    /// [`Graph::use_counts`].
+    pub fn use_counts(&self) -> &NodeMap<usize> {
+        &self.use_counts
+    }
+
+    /// Number of consumers of `id` (0 for ids outside the snapshot arena).
+    pub fn use_count(&self, id: NodeId) -> usize {
+        self.use_counts.get(id).copied().unwrap_or(0)
+    }
+
+    /// The topological order (inputs before users), or the error
+    /// [`Graph::topo_order`] would report.
+    pub fn topo(&self) -> Result<&[NodeId]> {
+        match &self.topo {
+            Ok(order) => Ok(order),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// Live nodes of one opcode, in arena order.
+    pub fn of_opcode(&self, code: OpCode) -> &[NodeId] {
+        &self.by_opcode[code.index()]
+    }
+
+    /// Live nodes whose opcode is in `codes`, merged into arena order —
+    /// the per-rule worklist seed.
+    pub fn nodes_with(&self, codes: &[OpCode]) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = Vec::new();
+        for &c in codes {
+            out.extend_from_slice(self.of_opcode(c));
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Inferred shape per node, or `None` when inference fails — the cached
+    /// equivalent of `infer_shapes(graph).ok()`. Computed on first access
+    /// and memoized. `graph` must be the graph this analysis was computed
+    /// from, at the same generation (checked in debug builds).
+    pub fn shapes(&self, graph: &Graph) -> Option<&NodeMap<Shape>> {
+        self.assert_fresh(graph);
+        self.shapes
+            .get_or_init(|| {
+                let order = self.topo.as_ref().ok()?;
+                let mut table: NodeMap<Shape> = NodeMap::new(self.arena_len);
+                for &id in order {
+                    let node = graph.node(id)?;
+                    let ins: Vec<&Shape> = node.inputs.iter().map(|&i| &table[i]).collect();
+                    match infer_op(&node.op, &node.name, &ins) {
+                        Ok(s) => table[id] = s,
+                        Err(_) => return None,
+                    }
+                }
+                Some(table)
+            })
+            .as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Activation, Op};
+    use std::collections::HashMap;
+
+    fn diamond() -> (Graph, [NodeId; 4]) {
+        let mut g = Graph::new("diamond");
+        let x = g.input([1, 8]);
+        let r = g.add(Op::Activation(Activation::Relu), [x]);
+        let s = g.add(Op::Activation(Activation::Sigmoid), [x]);
+        let a = g.add(Op::Add, [r, s]);
+        g.set_outputs([a]);
+        (g, [x, r, s, a])
+    }
+
+    #[test]
+    fn matches_naive_helpers() {
+        let (g, _) = diamond();
+        let a = GraphAnalysis::compute(&g);
+        let naive_succ = g.successors();
+        let naive_uses = g.use_counts();
+        for (id, _) in g.iter() {
+            assert_eq!(a.succ_of(id), naive_succ[&id].as_slice(), "succ of {id}");
+            assert_eq!(a.use_count(id), naive_uses[&id], "uses of {id}");
+        }
+        assert!(a.succ_of(NodeId::from_index(999)).is_empty());
+        assert_eq!(a.topo().unwrap(), g.topo_order().unwrap().as_slice());
+    }
+
+    #[test]
+    fn topo_order_bit_compatible_on_branchy_graph() {
+        // A wider graph exercises the tie-breaking path.
+        let mut g = Graph::new("wide");
+        let x = g.input([1, 4]);
+        let y = g.input([1, 4]);
+        let mut layer: Vec<NodeId> = vec![x, y];
+        for _ in 0..4 {
+            let mut next = Vec::new();
+            for i in 0..layer.len() {
+                let a = layer[i];
+                let b = layer[(i + 1) % layer.len()];
+                next.push(g.add(Op::Add, [a, b]));
+                next.push(g.add(Op::Activation(Activation::Relu), [a]));
+            }
+            layer = next;
+        }
+        g.set_outputs(layer.iter().copied().take(3).collect::<Vec<_>>());
+        let a = GraphAnalysis::compute(&g);
+        assert_eq!(a.topo().unwrap(), g.topo_order().unwrap().as_slice());
+    }
+
+    #[test]
+    fn shapes_match_infer_shapes() {
+        let (g, _) = diamond();
+        let a = GraphAnalysis::compute(&g);
+        let naive = crate::shape::infer_shapes(&g).unwrap();
+        let table = a.shapes(&g).expect("diamond infers");
+        for (id, shape) in &naive {
+            assert_eq!(&table[*id], shape);
+        }
+    }
+
+    #[test]
+    fn shape_failure_memoized_as_none() {
+        let mut g = Graph::new("bad");
+        let x = g.input([1, 4]);
+        let y = g.input([1, 5]);
+        let a = g.add(Op::Add, [x, y]); // 4 vs 5: not broadcastable
+        g.set_outputs([a]);
+        let an = GraphAnalysis::compute(&g);
+        assert!(an.shapes(&g).is_none());
+        assert!(an.shapes(&g).is_none()); // second hit uses the memo
+    }
+
+    #[test]
+    fn opcode_index_covers_live_nodes() {
+        let (g, [x, r, s, a]) = diamond();
+        let an = GraphAnalysis::compute(&g);
+        assert_eq!(an.of_opcode(OpCode::Input), &[x]);
+        assert_eq!(an.of_opcode(OpCode::Relu), &[r]);
+        assert_eq!(an.of_opcode(OpCode::Add), &[a]);
+        assert_eq!(
+            an.nodes_with(&[OpCode::Relu, OpCode::Sigmoid]),
+            vec![r, s],
+            "multi-opcode seed is in arena order"
+        );
+        assert!(an.of_opcode(OpCode::Conv).is_empty());
+    }
+
+    #[test]
+    fn detects_cycles_and_dangling_like_topo_order() {
+        let (mut g, [x, r, _, a]) = diamond();
+        g.node_mut(r).unwrap().inputs = vec![a];
+        assert_eq!(GraphAnalysis::compute(&g).topo(), Err(GraphError::Cyclic));
+        g.node_mut(r).unwrap().inputs = vec![x];
+        let victim = r;
+        g.remove(victim);
+        assert!(matches!(
+            GraphAnalysis::compute(&g).topo(),
+            Err(GraphError::DanglingInput { .. })
+        ));
+    }
+
+    #[test]
+    fn freshness_tracks_generation() {
+        let (mut g, [x, ..]) = diamond();
+        let a = GraphAnalysis::compute(&g);
+        assert!(a.is_fresh(&g));
+        a.assert_fresh(&g);
+        g.add(Op::Activation(Activation::Tanh), [x]);
+        assert!(!a.is_fresh(&g));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn stale_access_panics_in_debug() {
+        let (mut g, [x, ..]) = diamond();
+        let a = GraphAnalysis::compute(&g);
+        g.add(Op::Activation(Activation::Tanh), [x]);
+        // A rule that mutated the graph and then reads shapes off the old
+        // snapshot must trip the guard.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = a.shapes(&g);
+        }));
+        assert!(err.is_err(), "stale shapes() access should panic in debug");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            a.assert_fresh(&g);
+        }));
+        assert!(err.is_err(), "assert_fresh on stale analysis should panic");
+    }
+
+    #[test]
+    fn node_map_basics() {
+        let (g, [x, r, ..]) = diamond();
+        let mut m: NodeMap<usize> = NodeMap::for_graph(&g);
+        assert_eq!(m.len(), g.arena_len());
+        m[x] = 7;
+        *m.get_mut(r).unwrap() = 9;
+        assert_eq!(m[x], 7);
+        assert_eq!(m.get(r), Some(&9));
+        assert_eq!(m.get(NodeId::from_index(100)), None);
+        let collected: HashMap<NodeId, usize> = m
+            .iter()
+            .filter(|&(_, &v)| v != 0)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        assert_eq!(collected.len(), 2);
+    }
+}

@@ -51,6 +51,13 @@ pub struct Node {
 
 /// A directed acyclic computational graph.
 ///
+/// Every mutation bumps a monotonic *generation* counter; cached analyses
+/// ([`crate::analysis::GraphAnalysis`]) are stamped with the generation they
+/// were computed at so stale reads can be detected. Mutations also record
+/// which opcodes were involved (the mutated node and its edge neighborhood)
+/// in a dirty bitmask that the worklist rewrite engine drains to decide
+/// which rules need to re-run.
+///
 /// # Example
 ///
 /// ```
@@ -63,11 +70,28 @@ pub struct Node {
 /// assert_eq!(g.len(), 3);
 /// assert!(g.validate().is_ok());
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Graph {
     name: String,
     nodes: Vec<Option<Node>>,
     outputs: Vec<NodeId>,
+    /// Live node count (arena entries minus tombstones), maintained O(1).
+    live: usize,
+    /// Monotonic mutation counter; see [`Graph::generation`].
+    generation: u64,
+    /// Bitmask over [`crate::op::OpCode::index`] of opcodes touched by
+    /// mutations since the last [`Graph::take_dirty_ops`].
+    dirty_ops: u64,
+}
+
+/// Structural equality: name, arena contents, and outputs. Bookkeeping
+/// fields (generation counter, dirty mask) are deliberately excluded so two
+/// graphs with identical structure but different mutation histories compare
+/// equal — the engine-parity tests rely on this.
+impl PartialEq for Graph {
+    fn eq(&self, other: &Graph) -> bool {
+        self.name == other.name && self.nodes == other.nodes && self.outputs == other.outputs
+    }
 }
 
 impl Graph {
@@ -77,6 +101,9 @@ impl Graph {
             name: name.into(),
             nodes: Vec::new(),
             outputs: Vec::new(),
+            live: 0,
+            generation: 0,
+            dirty_ops: 0,
         }
     }
 
@@ -90,9 +117,57 @@ impl Graph {
         self.name = name.into();
     }
 
-    /// Number of live (non-removed) nodes.
+    /// Number of live (non-removed) nodes. O(1): the count is maintained
+    /// across mutations instead of scanning the arena.
     pub fn len(&self) -> usize {
-        self.nodes.iter().filter(|n| n.is_some()).count()
+        self.live
+    }
+
+    /// Monotonic mutation counter. Bumped by every structural mutation
+    /// (including [`Graph::node_mut`], which conservatively counts as one).
+    /// Cached analyses compare this against the generation they were
+    /// computed at to detect staleness.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Drains the dirty-opcode bitmask accumulated since the last call: one
+    /// bit per [`crate::op::OpCode::index`] of every node involved in a
+    /// mutation (the node itself plus the endpoints of every edge that
+    /// changed). The worklist rewrite engine uses this to decide which rules
+    /// could possibly have gained a new match.
+    pub fn take_dirty_ops(&mut self) -> u64 {
+        std::mem::take(&mut self.dirty_ops)
+    }
+
+    /// Marks one mutation event: bumps the generation and records `id`'s
+    /// opcode (if live) in the dirty mask.
+    fn touch(&mut self, id: NodeId) {
+        self.generation += 1;
+        self.mark(id);
+    }
+
+    /// Records `id`'s opcode in the dirty mask without bumping the
+    /// generation (used for the neighborhood of a mutation).
+    fn mark(&mut self, id: NodeId) {
+        // The dirty mask is one u64 bit per opcode; growing past 64 opcodes
+        // would silently alias bits in release builds.
+        const _: () = assert!(crate::op::OpCode::COUNT <= 64);
+        if let Some(node) = self.nodes.get(id.index()).and_then(|n| n.as_ref()) {
+            self.dirty_ops |= 1u64 << node.op.opcode().index();
+        }
+    }
+
+    /// Marks the current inputs of `id` (their use counts / consumer sets
+    /// are affected by mutations of `id`).
+    fn mark_inputs(&mut self, id: NodeId) {
+        let inputs = match self.nodes.get(id.index()).and_then(|n| n.as_ref()) {
+            Some(node) => node.inputs.clone(),
+            None => return,
+        };
+        for inp in inputs {
+            self.mark(inp);
+        }
     }
 
     /// True when the graph has no live nodes.
@@ -114,6 +189,9 @@ impl Graph {
         let inputs: Vec<NodeId> = inputs.into_iter().collect();
         let name = format!("{}_{}", op_base_name(&op), id.0);
         self.nodes.push(Some(Node { op, inputs, name }));
+        self.live += 1;
+        self.touch(id);
+        self.mark_inputs(id);
         id
     }
 
@@ -153,7 +231,15 @@ impl Graph {
     where
         I: IntoIterator<Item = NodeId>,
     {
-        self.outputs = outputs.into_iter().collect();
+        let old = std::mem::replace(&mut self.outputs, outputs.into_iter().collect());
+        self.generation += 1;
+        for out in old {
+            self.mark(out);
+        }
+        let new: Vec<NodeId> = self.outputs.clone();
+        for out in new {
+            self.mark(out);
+        }
     }
 
     /// The declared graph outputs.
@@ -166,8 +252,13 @@ impl Graph {
         self.nodes.get(id.index()).and_then(|n| n.as_ref())
     }
 
-    /// Mutable lookup.
+    /// Mutable lookup. Conservatively counts as a mutation of `id` and its
+    /// current edge neighborhood (the caller may change the op or inputs).
     pub fn node_mut(&mut self, id: NodeId) -> Option<&mut Node> {
+        if self.contains(id) {
+            self.touch(id);
+            self.mark_inputs(id);
+        }
         self.nodes.get_mut(id.index()).and_then(|n| n.as_mut())
     }
 
@@ -188,20 +279,38 @@ impl Graph {
     /// Removes a node, leaving a tombstone. Edges pointing at the node are
     /// *not* rewritten; callers (the optimizer) must reroute uses first.
     pub fn remove(&mut self, id: NodeId) {
+        if !self.contains(id) {
+            return;
+        }
+        self.touch(id);
+        self.mark_inputs(id);
         if let Some(slot) = self.nodes.get_mut(id.index()) {
             *slot = None;
+            self.live -= 1;
         }
     }
 
     /// Replaces every use of `old` (as an input of any node, and as a graph
     /// output) with `new`.
     pub fn replace_uses(&mut self, old: NodeId, new: NodeId) {
-        for node in self.nodes.iter_mut().flatten() {
+        self.touch(old);
+        self.mark(new);
+        let mut rewritten: Vec<NodeId> = Vec::new();
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            let Some(node) = node else { continue };
+            let mut changed = false;
             for inp in &mut node.inputs {
                 if *inp == old {
                     *inp = new;
+                    changed = true;
                 }
             }
+            if changed {
+                rewritten.push(NodeId(i as u32));
+            }
+        }
+        for id in rewritten {
+            self.mark(id);
         }
         for out in &mut self.outputs {
             if *out == old {
@@ -367,6 +476,7 @@ impl Graph {
             let new_id = NodeId(out.nodes.len() as u32);
             mapping.insert(id, new_id);
             out.nodes.push(Some(node.clone()));
+            out.live += 1;
         }
         for node in out.nodes.iter_mut().flatten() {
             for inp in &mut node.inputs {
@@ -396,18 +506,20 @@ impl Graph {
             live[id.index()] = true;
             stack.extend(self.node(id).expect("live").inputs.iter().copied());
         }
-        let mut removed = 0;
-        for (i, slot) in self.nodes.iter_mut().enumerate() {
+        let mut victims: Vec<NodeId> = Vec::new();
+        for (i, slot) in self.nodes.iter().enumerate() {
             let keep = match slot {
                 Some(n) => live[i] || matches!(n.op, Op::Input { .. }),
                 None => continue,
             };
             if !keep {
-                *slot = None;
-                removed += 1;
+                victims.push(NodeId(i as u32));
             }
         }
-        removed
+        for &v in &victims {
+            self.remove(v);
+        }
+        victims.len()
     }
 }
 
@@ -581,6 +693,89 @@ mod tests {
         assert_eq!(uses[&r], 1);
         assert_eq!(uses[&s], 1);
         assert_eq!(uses[&a], 1); // graph output counts as a use
+    }
+
+    #[test]
+    fn live_count_tracks_mutations() {
+        let (mut g, [x, r, _, a]) = diamond();
+        let scan = |g: &Graph| g.iter().count();
+        assert_eq!(g.len(), scan(&g));
+        g.remove(r);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.len(), scan(&g));
+        g.remove(r); // double remove is a no-op
+        assert_eq!(g.len(), 3);
+        let t = g.add(Op::Activation(Activation::Tanh), [x]);
+        assert_eq!(g.len(), 4);
+        g.replace_uses(a, t);
+        g.prune_dead();
+        assert_eq!(g.len(), scan(&g));
+        let (c, _) = g.compact();
+        assert_eq!(c.len(), scan(&c));
+    }
+
+    #[test]
+    fn generation_bumps_on_every_mutation() {
+        let (mut g, [x, r, _, _]) = diamond();
+        let mut last = g.generation();
+        let mut expect_bump = |g: &Graph, what: &str| {
+            assert!(g.generation() > last, "{what} must bump the generation");
+            last = g.generation();
+        };
+        g.add(Op::Identity, [x]);
+        expect_bump(&g, "add");
+        g.node_mut(r).unwrap();
+        expect_bump(&g, "node_mut");
+        g.replace_uses(r, x);
+        expect_bump(&g, "replace_uses");
+        g.remove(r);
+        expect_bump(&g, "remove");
+        g.set_outputs([x]);
+        expect_bump(&g, "set_outputs");
+        let gen = g.generation();
+        let _ = g.node(x); // reads do not bump
+        let _ = g.len();
+        assert_eq!(g.generation(), gen);
+    }
+
+    #[test]
+    fn dirty_ops_record_mutation_neighborhood() {
+        use crate::op::OpCode;
+        let bit = |c: OpCode| 1u64 << c.index();
+        let (mut g, [x, r, s, a]) = diamond();
+        let _ = g.take_dirty_ops();
+        assert_eq!(g.take_dirty_ops(), 0, "drained mask stays clear on reads");
+        // removing the add dirties it and its inputs (relu, sigmoid)
+        g.remove(a);
+        let mask = g.take_dirty_ops();
+        assert_ne!(mask & bit(OpCode::Add), 0);
+        assert_ne!(mask & bit(OpCode::Relu), 0);
+        assert_ne!(mask & bit(OpCode::Sigmoid), 0);
+        assert_eq!(mask & bit(OpCode::Input), 0);
+        // rerouting relu's consumers dirties relu, the replacement, and the
+        // rewritten consumers
+        g.replace_uses(r, s);
+        let mask = g.take_dirty_ops();
+        assert_ne!(mask & bit(OpCode::Relu), 0);
+        assert_ne!(mask & bit(OpCode::Sigmoid), 0);
+        // node_mut conservatively dirties the node and its inputs
+        g.node_mut(s).unwrap();
+        let mask = g.take_dirty_ops();
+        assert_ne!(mask & bit(OpCode::Sigmoid), 0);
+        assert_ne!(mask & bit(OpCode::Input), 0);
+        let _ = x;
+    }
+
+    #[test]
+    fn structural_equality_ignores_history() {
+        let (a, _) = diamond();
+        let (mut b, [x, r, _, _]) = diamond();
+        // extra mutations that restore the same structure
+        b.node_mut(r).unwrap().inputs = vec![x];
+        assert_ne!(a.generation(), b.generation());
+        assert_eq!(a, b, "same structure must compare equal");
+        b.remove(r);
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! workspace needs from an IR:
 //!
 //! - graph construction and surgery ([`Graph`]),
+//! - cached, generation-stamped analyses for the rewrite engine
+//!   ([`analysis::GraphAnalysis`], [`analysis::NodeMap`]),
 //! - static shape inference ([`shape::infer_shapes`]),
 //! - the graph statistics used by Proteus' sentinel sampler and by the
 //!   heuristic adversary ([`stats::GraphStats`]),
@@ -31,6 +33,7 @@
 //! assert_eq!(shapes[&relu].dims(), &[1, 8, 32, 32]);
 //! ```
 
+pub mod analysis;
 pub mod dot;
 pub mod exec;
 pub mod graph;
@@ -39,6 +42,7 @@ pub mod shape;
 pub mod stats;
 pub mod wire;
 
+pub use analysis::{GraphAnalysis, NodeMap};
 pub use exec::{Executor, Tensor, TensorMap};
 pub use graph::{Graph, Node, NodeId};
 pub use op::{

@@ -208,7 +208,7 @@ pub struct LayerNormAttrs {
 /// (weights, biases, BN statistics, embedding tables) are *not* stored inline
 /// — they live in a [`crate::TensorMap`] keyed by node id, mirroring how ONNX
 /// separates initializers from graph structure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Op {
     /// Graph input placeholder with a fixed shape.
     Input {
@@ -468,6 +468,18 @@ impl OpCode {
 
     /// Number of distinct opcodes.
     pub const COUNT: usize = Self::ALL.len();
+
+    /// The opcodes an [`Op::Activation`] node can carry (one per
+    /// [`Activation`] kind) — the anchor set of activation-fusion rules.
+    pub const ACTIVATIONS: [OpCode; 7] = [
+        OpCode::Relu,
+        OpCode::Relu6,
+        OpCode::Sigmoid,
+        OpCode::HardSigmoid,
+        OpCode::Tanh,
+        OpCode::Gelu,
+        OpCode::Silu,
+    ];
 
     /// Stable dense index of this opcode in `[0, COUNT)`.
     pub fn index(self) -> usize {

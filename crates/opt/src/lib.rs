@@ -25,10 +25,12 @@
 //! # Ok::<(), proteus_graph::GraphError>(())
 //! ```
 pub mod cost;
+mod naive;
 pub mod rewriter;
 pub mod rules;
 pub mod verify;
 
 pub use cost::{estimate_runtime_us, node_latency_us, node_work, CostParams, NodeWork};
-pub use rewriter::{OptimizeStats, Optimizer, Profile, SpeedupReport};
+pub use rewriter::{Anchors, Engine, OptimizeStats, Optimizer, Profile, RuleSpec, SpeedupReport};
+pub use rules::{apply_once, RewriteCtx, Rule};
 pub use verify::{check_equivalence, Equivalence};

@@ -1,0 +1,589 @@
+//! The retained original rewrite engine — the naive-fixpoint baseline.
+//!
+//! This module is a verbatim retention of the seed's rule sweeps and
+//! fixpoint driver: every rule recomputes `use_counts()` / `topo_order()` /
+//! `infer_shapes()` from scratch as `HashMap<NodeId, _>` allocations, CSE
+//! keys are debug-formatted strings, and the driver blindly re-runs every
+//! rule each iteration. It exists for two reasons:
+//!
+//! 1. **Measurement baseline** — `crates/bench/src/bin/perf.rs` reports the
+//!    worklist engine's speedup against this implementation, so the number
+//!    tracks "new engine vs. old engine", not a moving target.
+//! 2. **Parity oracle** — the engine-parity tests assert the worklist
+//!    engine produces bit-identical graphs to this independent
+//!    implementation on every model, which is a far stronger check than
+//!    comparing two schedulers over shared sweep code.
+//!
+//! Do not "improve" this module; that would silently re-baseline the perf
+//! trajectory. Fixes belong in [`crate::rules`].
+
+use proteus_graph::{Activation, ConvAlgo, Executor, Graph, NodeId, Op, Shape, Tensor, TensorMap};
+use std::collections::{HashMap, HashSet};
+
+/// A rewrite rule: sweeps the graph once, returns how many sites changed.
+type LegacyRule = fn(&mut Graph, &mut TensorMap) -> usize;
+
+/// Number of consumers of each node, counting graph outputs as consumers.
+fn use_counts(g: &Graph) -> HashMap<NodeId, usize> {
+    g.use_counts()
+}
+
+/// All ancestors of `node` (transitive inputs).
+fn ancestors(g: &Graph, node: NodeId) -> HashSet<NodeId> {
+    let mut out = HashSet::new();
+    let mut stack = vec![node];
+    while let Some(id) = stack.pop() {
+        if let Some(n) = g.node(id) {
+            for &inp in &n.inputs {
+                if out.insert(inp) {
+                    stack.push(inp);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Removes `Identity` nodes and `Reshape`s whose output equals their input
+/// shape (ONNXRuntime "Identity Elimination").
+fn eliminate_identity(g: &mut Graph, _params: &mut TensorMap) -> usize {
+    let shapes = proteus_graph::infer_shapes(g).ok();
+    let victims: Vec<NodeId> = g
+        .iter()
+        .filter(|(id, n)| match &n.op {
+            Op::Identity => true,
+            Op::Reshape { shape } => {
+                shapes
+                    .as_ref()
+                    .map(|s| &s[&n.inputs[0]] == shape)
+                    .unwrap_or(false)
+                    && {
+                        let _ = id;
+                        true
+                    }
+            }
+            _ => false,
+        })
+        .map(|(id, _)| id)
+        .collect();
+    for id in &victims {
+        let input = g.node(*id).expect("live").inputs[0];
+        g.replace_uses(*id, input);
+        g.remove(*id);
+    }
+    victims.len()
+}
+
+/// Removes inference-mode `Dropout` nodes.
+fn eliminate_dropout(g: &mut Graph, _params: &mut TensorMap) -> usize {
+    let victims: Vec<NodeId> = g
+        .iter()
+        .filter(|(_, n)| matches!(n.op, Op::Dropout { .. }))
+        .map(|(id, _)| id)
+        .collect();
+    for id in &victims {
+        let input = g.node(*id).expect("live").inputs[0];
+        g.replace_uses(*id, input);
+        g.remove(*id);
+    }
+    victims.len()
+}
+
+/// Folds `BatchNorm(Conv(x))` into the convolution (weight rewrite when
+/// parameters are present; structural fold when both are weightless).
+fn fold_bn_into_conv(g: &mut Graph, params: &mut TensorMap) -> usize {
+    let uses = use_counts(g);
+    let candidates: Vec<(NodeId, NodeId)> = g
+        .iter()
+        .filter_map(|(bn_id, bn)| match &bn.op {
+            Op::BatchNorm(_) => {
+                let conv_id = bn.inputs[0];
+                match g.node(conv_id).map(|n| &n.op) {
+                    Some(Op::Conv(c))
+                        if uses[&conv_id] == 1 && c.fused_act.is_none() && !c.fused_add =>
+                    {
+                        Some((bn_id, conv_id))
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        })
+        .collect();
+    let mut applied = 0;
+    for (bn_id, conv_id) in candidates {
+        let conv_has = params.get(conv_id).is_some();
+        let bn_has = params.get(bn_id).is_some();
+        if conv_has != bn_has {
+            continue; // cannot fold half-parameterized patterns safely
+        }
+        if conv_has {
+            let bn_p = params.get(bn_id).expect("checked").to_vec();
+            let (scale, bias, mean, var) = (&bn_p[0], &bn_p[1], &bn_p[2], &bn_p[3]);
+            let conv_p = params.get(conv_id).expect("checked").to_vec();
+            let mut w = conv_p[0].clone();
+            let out_ch = w.shape().dims()[0];
+            let per_out = w.shape().numel() / out_ch;
+            const EPS: f32 = 1e-5;
+            let factors: Vec<f32> = (0..out_ch)
+                .map(|c| scale.data()[c] / (var.data()[c] + EPS).sqrt())
+                .collect();
+            for (oc, &f) in factors.iter().enumerate() {
+                for i in 0..per_out {
+                    w.data_mut()[oc * per_out + i] *= f;
+                }
+            }
+            let old_bias = conv_p.get(1).cloned();
+            let mut b = Tensor::zeros([out_ch]);
+            for (oc, &f) in factors.iter().enumerate() {
+                let b0 = old_bias.as_ref().map(|t| t.data()[oc]).unwrap_or(0.0);
+                b.data_mut()[oc] = (b0 - mean.data()[oc]) * f + bias.data()[oc];
+            }
+            params.insert(conv_id, vec![w, b]);
+        }
+        if let Some(node) = g.node_mut(conv_id) {
+            if let Op::Conv(c) = &mut node.op {
+                // The fold materializes a bias tensor exactly when the
+                // pattern carried parameters; structural (param-less) folds
+                // leave the conv unbiased.
+                c.has_bias = conv_has;
+            }
+        }
+        params.remove(bn_id);
+        g.replace_uses(bn_id, conv_id);
+        g.remove(bn_id);
+        applied += 1;
+    }
+    applied
+}
+
+/// Fuses `Act(Conv(x))` into the convolution's epilogue.
+fn fuse_conv_act(g: &mut Graph, _params: &mut TensorMap) -> usize {
+    fuse_act_into(
+        g,
+        |op| matches!(op, Op::Conv(c) if c.fused_act.is_none()),
+        |op, act| {
+            if let Op::Conv(c) = op {
+                c.fused_act = Some(act);
+            }
+        },
+    )
+}
+
+/// Fuses `Act(Gemm(x))` into the GEMM epilogue.
+fn fuse_gemm_act(g: &mut Graph, _params: &mut TensorMap) -> usize {
+    fuse_act_into(
+        g,
+        |op| matches!(op, Op::Gemm(a) if a.fused_act.is_none()),
+        |op, act| {
+            if let Op::Gemm(a) = op {
+                a.fused_act = Some(act);
+            }
+        },
+    )
+}
+
+fn fuse_act_into(
+    g: &mut Graph,
+    eligible: impl Fn(&Op) -> bool,
+    set_act: impl Fn(&mut Op, Activation),
+) -> usize {
+    let uses = use_counts(g);
+    let candidates: Vec<(NodeId, NodeId, Activation)> = g
+        .iter()
+        .filter_map(|(act_id, n)| match &n.op {
+            Op::Activation(a) => {
+                let prod = n.inputs[0];
+                match g.node(prod) {
+                    Some(p) if eligible(&p.op) && uses[&prod] == 1 => Some((act_id, prod, *a)),
+                    _ => None,
+                }
+            }
+            _ => None,
+        })
+        .collect();
+    let count = candidates.len();
+    for (act_id, prod, act) in candidates {
+        // recheck liveness (earlier rewrites in this sweep may invalidate)
+        if g.node(act_id).is_none() || g.node(prod).is_none() {
+            continue;
+        }
+        set_act(&mut g.node_mut(prod).expect("live").op, act);
+        g.replace_uses(act_id, prod);
+        g.remove(act_id);
+    }
+    count
+}
+
+/// Fuses `Add(Conv(x), y)` (residual add) into the convolution when `y`
+/// does not depend on the convolution. The fused activation slot must still
+/// be empty so the `conv -> add -> act` order is preserved.
+fn fuse_conv_add(g: &mut Graph, _params: &mut TensorMap) -> usize {
+    let uses = use_counts(g);
+    let mut applied = 0;
+    let adds: Vec<NodeId> = g
+        .iter()
+        .filter(|(_, n)| matches!(n.op, Op::Add))
+        .map(|(id, _)| id)
+        .collect();
+    for add_id in adds {
+        let Some(add) = g.node(add_id) else { continue };
+        let (a, b) = (add.inputs[0], add.inputs[1]);
+        let pick = |g: &Graph, conv: NodeId, other: NodeId| -> bool {
+            matches!(
+                g.node(conv).map(|n| &n.op),
+                Some(Op::Conv(c)) if !c.fused_add && c.fused_act.is_none()
+            ) && uses[&conv] == 1
+                && !ancestors(g, other).contains(&conv)
+                && conv != other
+        };
+        let (conv_id, other) = if pick(g, a, b) {
+            (a, b)
+        } else if pick(g, b, a) {
+            (b, a)
+        } else {
+            continue;
+        };
+        if let Op::Conv(c) = &mut g.node_mut(conv_id).expect("live").op {
+            c.fused_add = true;
+        }
+        g.node_mut(conv_id).expect("live").inputs.push(other);
+        g.replace_uses(add_id, conv_id);
+        g.remove(add_id);
+        applied += 1;
+    }
+    applied
+}
+
+/// Fuses `Act(Add(a, b))` into a single [`Op::AddAct`] kernel.
+fn fuse_add_act(g: &mut Graph, _params: &mut TensorMap) -> usize {
+    let uses = use_counts(g);
+    let candidates: Vec<(NodeId, NodeId, Activation)> = g
+        .iter()
+        .filter_map(|(act_id, n)| match &n.op {
+            Op::Activation(a) => {
+                let prod = n.inputs[0];
+                match g.node(prod).map(|p| &p.op) {
+                    Some(Op::Add) if uses[&prod] == 1 => Some((act_id, prod, *a)),
+                    _ => None,
+                }
+            }
+            _ => None,
+        })
+        .collect();
+    let count = candidates.len();
+    for (act_id, add_id, act) in candidates {
+        if g.node(act_id).is_none() || g.node(add_id).is_none() {
+            continue;
+        }
+        g.node_mut(add_id).expect("live").op = Op::AddAct(act);
+        g.replace_uses(act_id, add_id);
+        g.remove(act_id);
+    }
+    count
+}
+
+/// Fuses `LayerNorm(Add(a, b))` into a single [`Op::SkipLayerNorm`] kernel
+/// (ONNXRuntime's SkipLayerNormalization, the dominant transformer fusion).
+fn fuse_skip_layernorm(g: &mut Graph, params: &mut TensorMap) -> usize {
+    let uses = use_counts(g);
+    let candidates: Vec<(NodeId, NodeId)> = g
+        .iter()
+        .filter_map(|(ln_id, n)| match &n.op {
+            Op::LayerNorm(_) => {
+                let add_id = n.inputs[0];
+                match g.node(add_id).map(|p| &p.op) {
+                    Some(Op::Add) if uses[&add_id] == 1 => Some((ln_id, add_id)),
+                    _ => None,
+                }
+            }
+            _ => None,
+        })
+        .collect();
+    let count = candidates.len();
+    for (ln_id, add_id) in candidates {
+        if g.node(ln_id).is_none() || g.node(add_id).is_none() {
+            continue;
+        }
+        let attrs = match &g.node(ln_id).expect("live").op {
+            Op::LayerNorm(l) => l.clone(),
+            _ => continue,
+        };
+        g.node_mut(add_id).expect("live").op = Op::SkipLayerNorm(attrs);
+        if let Some(p) = params.remove(ln_id) {
+            params.insert(add_id, p);
+        }
+        g.replace_uses(ln_id, add_id);
+        g.remove(ln_id);
+    }
+    count
+}
+
+/// Fuses `MatMul(a, Transpose(b))` (transpose of the last two dims) into a
+/// single [`Op::MatMulT`] (ONNXRuntime's FusedMatMul with `transB`), the
+/// Q·Kᵀ pattern of attention.
+fn fuse_matmul_transpose(g: &mut Graph, _params: &mut TensorMap) -> usize {
+    let uses = use_counts(g);
+    let candidates: Vec<(NodeId, NodeId)> = g
+        .iter()
+        .filter_map(|(mm_id, n)| match &n.op {
+            Op::MatMul => {
+                let t_id = n.inputs[1];
+                match g.node(t_id).map(|p| &p.op) {
+                    Some(Op::Transpose { perm }) if uses[&t_id] == 1 => {
+                        let r = perm.len();
+                        let swaps_last_two = r >= 2
+                            && perm[..r - 2].iter().enumerate().all(|(i, &p)| p == i)
+                            && perm[r - 2] == r - 1
+                            && perm[r - 1] == r - 2;
+                        if swaps_last_two {
+                            Some((mm_id, t_id))
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        })
+        .collect();
+    let count = candidates.len();
+    for (mm_id, t_id) in candidates {
+        if g.node(mm_id).is_none() || g.node(t_id).is_none() {
+            continue;
+        }
+        let src = g.node(t_id).expect("live").inputs[0];
+        let mm = g.node_mut(mm_id).expect("live");
+        mm.op = Op::MatMulT;
+        mm.inputs[1] = src;
+        g.remove(t_id);
+    }
+    count
+}
+
+/// Collapses `Reshape(Reshape(x))` chains (ONNXRuntime "Reshape Fusion").
+fn fuse_reshape_chain(g: &mut Graph, _params: &mut TensorMap) -> usize {
+    let uses = use_counts(g);
+    let candidates: Vec<(NodeId, NodeId)> = g
+        .iter()
+        .filter_map(|(outer, n)| match &n.op {
+            Op::Reshape { .. } => {
+                let inner = n.inputs[0];
+                match g.node(inner).map(|p| &p.op) {
+                    Some(Op::Reshape { .. }) if uses[&inner] == 1 => Some((outer, inner)),
+                    _ => None,
+                }
+            }
+            _ => None,
+        })
+        .collect();
+    let count = candidates.len();
+    for (outer, inner) in candidates {
+        if g.node(outer).is_none() || g.node(inner).is_none() {
+            continue;
+        }
+        let src = g.node(inner).expect("live").inputs[0];
+        g.node_mut(outer).expect("live").inputs = vec![src];
+        g.remove(inner);
+    }
+    count
+}
+
+/// Eliminates inverse `Transpose(Transpose(x))` pairs.
+fn eliminate_transpose_pair(g: &mut Graph, _params: &mut TensorMap) -> usize {
+    let uses = use_counts(g);
+    let mut applied = 0;
+    let candidates: Vec<(NodeId, NodeId)> = g
+        .iter()
+        .filter_map(|(outer, n)| match &n.op {
+            Op::Transpose { perm: p2 } => {
+                let inner = n.inputs[0];
+                match g.node(inner).map(|p| &p.op) {
+                    Some(Op::Transpose { perm: p1 }) if uses[&inner] == 1 => {
+                        // p2 ∘ p1 == identity?
+                        let identity = p2.iter().enumerate().all(|(i, &x)| p1[x] == i);
+                        if identity {
+                            Some((outer, inner))
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        })
+        .collect();
+    for (outer, inner) in candidates {
+        if g.node(outer).is_none() || g.node(inner).is_none() {
+            continue;
+        }
+        let src = g.node(inner).expect("live").inputs[0];
+        g.replace_uses(outer, src);
+        g.remove(outer);
+        g.remove(inner);
+        applied += 1;
+    }
+    applied
+}
+
+/// Switches eligible 3x3/stride-1/ungrouped convolutions to the Winograd
+/// algorithm. This mirrors a "typically beneficial" library heuristic tuned
+/// on ImageNet-scale models: at the small channel counts of NAS cells the
+/// transform utilization collapses and the rewrite backfires (paper §6.1).
+fn winograd_rewrite(g: &mut Graph, _params: &mut TensorMap) -> usize {
+    let mut applied = 0;
+    let ids: Vec<NodeId> = g.node_ids();
+    for id in ids {
+        if let Some(node) = g.node_mut(id) {
+            if let Op::Conv(c) = &mut node.op {
+                if c.kernel == 3 && c.stride == 1 && c.groups == 1 && c.algo == ConvAlgo::Direct {
+                    c.algo = ConvAlgo::Winograd;
+                    applied += 1;
+                }
+            }
+        }
+    }
+    applied
+}
+
+/// Common-subexpression elimination: merges nodes with identical operators
+/// and identical inputs. `Input` nodes never merge; `Constant`s merge only
+/// when their values are present and bit-identical.
+fn cse(g: &mut Graph, params: &mut TensorMap) -> usize {
+    let Ok(order) = g.topo_order() else { return 0 };
+    let mut seen: HashMap<String, NodeId> = HashMap::new();
+    let mut applied = 0;
+    for id in order {
+        let Some(node) = g.node(id) else { continue };
+        if matches!(node.op, Op::Input { .. }) {
+            continue;
+        }
+        // Parameterized nodes (Conv, Gemm, BN, Constant, ...) compute with
+        // their own weights: two such nodes are the same expression only if
+        // their parameter tensors are present and bit-identical.
+        let key = if proteus_graph::exec::param_signature(&node.op).is_empty() {
+            format!("{:?}|{:?}", node.op, node.inputs)
+        } else {
+            match params.get(id) {
+                Some(t) => format!("{:?}|{:?}|{:?}", node.op, node.inputs, t),
+                None => continue,
+            }
+        };
+        match seen.get(&key) {
+            Some(&canon) => {
+                g.replace_uses(id, canon);
+                params.remove(id);
+                g.remove(id);
+                applied += 1;
+            }
+            None => {
+                seen.insert(key, id);
+            }
+        }
+    }
+    applied
+}
+
+/// Constant folding: evaluates nodes whose inputs are all value-carrying
+/// `Constant`s and replaces them with a new `Constant`.
+fn constant_fold(g: &mut Graph, params: &mut TensorMap) -> usize {
+    let Ok(order) = g.topo_order() else { return 0 };
+    let mut applied = 0;
+    for id in order {
+        let Some(node) = g.node(id) else { continue };
+        if matches!(node.op, Op::Constant { .. } | Op::Input { .. }) || node.inputs.is_empty() {
+            continue;
+        }
+        let all_const = node.inputs.iter().all(|&i| {
+            matches!(g.node(i).map(|n| &n.op), Some(Op::Constant { .. })) && params.get(i).is_some()
+        });
+        if !all_const {
+            continue;
+        }
+        // ops with their own parameters need those too
+        if !proteus_graph::exec::param_signature(&node.op).is_empty() && params.get(id).is_none() {
+            continue;
+        }
+        // Build a tiny graph: clone constants + this node, execute.
+        let mut tmp = Graph::new("fold");
+        let mut tmp_params = TensorMap::new();
+        let mut input_map = Vec::new();
+        for &i in &node.inputs {
+            let shape = match g.node(i).map(|n| &n.op) {
+                Some(Op::Constant { shape }) => shape.clone(),
+                _ => unreachable!("checked all_const"),
+            };
+            let c = tmp.constant(shape);
+            tmp_params.insert(c, params.get(i).expect("checked").to_vec());
+            input_map.push(c);
+        }
+        let n = tmp.add(node.op.clone(), input_map);
+        if let Some(p) = params.get(id) {
+            tmp_params.insert(n, p.to_vec());
+        }
+        tmp.set_outputs([n]);
+        let Ok(result) = Executor::new(&tmp, &tmp_params).run(&[]) else {
+            continue;
+        };
+        let value = result.into_iter().next().expect("one output");
+        let shape: Shape = value.shape().clone();
+        let folded = g.add(Op::Constant { shape }, []);
+        params.insert(folded, vec![value]);
+        params.remove(id);
+        g.replace_uses(id, folded);
+        g.remove(id);
+        applied += 1;
+    }
+    applied
+}
+
+/// The original fixpoint driver: every rule, every iteration, until a full
+/// pass changes nothing (capped at the shared iteration limit). `totals`
+/// is indexed like `rules`; returns the executed pass count.
+pub(crate) fn run_fixpoint(
+    g: &mut Graph,
+    p: &mut TensorMap,
+    rules: &[crate::rewriter::RuleSpec],
+    totals: &mut [usize],
+) -> usize {
+    let legacy: Vec<LegacyRule> = rules.iter().map(|r| by_name(r.name)).collect();
+    let mut iterations = 0;
+    for _ in 0..crate::rewriter::MAX_ITERS {
+        iterations += 1;
+        let mut changed = 0usize;
+        for (i, rule) in legacy.iter().enumerate() {
+            let n = rule(g, p);
+            totals[i] += n;
+            changed += n;
+        }
+        if changed == 0 {
+            break;
+        }
+    }
+    g.take_dirty_ops();
+    iterations
+}
+
+/// Resolves a rule name from the shared catalog to its retained legacy
+/// implementation.
+fn by_name(name: &str) -> LegacyRule {
+    match name {
+        "eliminate_identity" => eliminate_identity,
+        "eliminate_dropout" => eliminate_dropout,
+        "constant_fold" => constant_fold,
+        "fold_bn_into_conv" => fold_bn_into_conv,
+        "fuse_conv_add" => fuse_conv_add,
+        "fuse_conv_act" => fuse_conv_act,
+        "fuse_gemm_act" => fuse_gemm_act,
+        "fuse_add_act" => fuse_add_act,
+        "fuse_skip_layernorm" => fuse_skip_layernorm,
+        "fuse_matmul_transpose" => fuse_matmul_transpose,
+        "fuse_reshape_chain" => fuse_reshape_chain,
+        "eliminate_transpose_pair" => eliminate_transpose_pair,
+        "cse" => cse,
+        "winograd_rewrite" => winograd_rewrite,
+        other => panic!("no retained legacy implementation for rule `{other}`"),
+    }
+}

@@ -1,9 +1,9 @@
-//! The optimizer driver: profiles, fixpoint rewriting, and latency
-//! estimation.
+//! The optimizer driver: profiles, the worklist rewrite engine (plus the
+//! retained naive-fixpoint baseline), and latency estimation.
 
 use crate::cost::{estimate_runtime_us, CostParams};
-use crate::rules::{self, Rule};
-use proteus_graph::{Graph, GraphError, TensorMap};
+use crate::rules::{self, RewriteCtx, Rule};
+use proteus_graph::{Graph, GraphAnalysis, GraphError, OpCode, TensorMap};
 
 /// Which optimizer the driver emulates (paper §5.1 evaluates both).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -27,33 +27,44 @@ impl Profile {
     }
 
     /// The rewrite rules of this profile, in application order.
-    pub fn rules(self) -> Vec<(&'static str, Rule)> {
+    pub fn rules(self) -> Vec<RuleSpec> {
+        let all = RuleSpec::catalog();
+        let pick = |names: &[&str]| -> Vec<RuleSpec> {
+            names
+                .iter()
+                .map(|n| {
+                    *all.iter()
+                        .find(|r| r.name == *n)
+                        .expect("profile names a cataloged rule")
+                })
+                .collect()
+        };
         match self {
-            Profile::OrtLike => vec![
-                ("eliminate_identity", rules::eliminate_identity as Rule),
-                ("eliminate_dropout", rules::eliminate_dropout),
-                ("constant_fold", rules::constant_fold),
-                ("fold_bn_into_conv", rules::fold_bn_into_conv),
-                ("fuse_conv_add", rules::fuse_conv_add),
-                ("fuse_conv_act", rules::fuse_conv_act),
-                ("fuse_gemm_act", rules::fuse_gemm_act),
-                ("fuse_add_act", rules::fuse_add_act),
-                ("fuse_skip_layernorm", rules::fuse_skip_layernorm),
-                ("fuse_matmul_transpose", rules::fuse_matmul_transpose),
-                ("fuse_reshape_chain", rules::fuse_reshape_chain),
-                ("eliminate_transpose_pair", rules::eliminate_transpose_pair),
-                ("cse", rules::cse),
-                ("winograd_rewrite", rules::winograd_rewrite),
-            ],
-            Profile::HidetLike => vec![
-                ("eliminate_identity", rules::eliminate_identity as Rule),
-                ("eliminate_dropout", rules::eliminate_dropout),
-                ("constant_fold", rules::constant_fold),
-                ("fold_bn_into_conv", rules::fold_bn_into_conv),
-                ("fuse_conv_act", rules::fuse_conv_act),
-                ("fuse_gemm_act", rules::fuse_gemm_act),
-                ("cse", rules::cse),
-            ],
+            Profile::OrtLike => pick(&[
+                "eliminate_identity",
+                "eliminate_dropout",
+                "constant_fold",
+                "fold_bn_into_conv",
+                "fuse_conv_add",
+                "fuse_conv_act",
+                "fuse_gemm_act",
+                "fuse_add_act",
+                "fuse_skip_layernorm",
+                "fuse_matmul_transpose",
+                "fuse_reshape_chain",
+                "eliminate_transpose_pair",
+                "cse",
+                "winograd_rewrite",
+            ]),
+            Profile::HidetLike => pick(&[
+                "eliminate_identity",
+                "eliminate_dropout",
+                "constant_fold",
+                "fold_bn_into_conv",
+                "fuse_conv_act",
+                "fuse_gemm_act",
+                "cse",
+            ]),
         }
     }
 
@@ -64,6 +75,140 @@ impl Profile {
             Profile::HidetLike => "hidet-like",
         }
     }
+}
+
+/// Which opcodes can possibly enable a rule: the opcode of every node the
+/// rule's match predicate examines (the anchor it scans for plus the
+/// neighbors whose op or fan-out it inspects). The worklist engine re-runs
+/// a rule only when a mutation has touched one of its anchor opcodes.
+#[derive(Debug, Clone, Copy)]
+pub enum Anchors {
+    /// Any mutation can enable the rule (global sweeps such as CSE and
+    /// constant folding, whose matches depend on arbitrary nodes and
+    /// parameter tensors).
+    Any,
+    /// Only mutations touching these opcodes can enable the rule.
+    Ops(&'static [OpCode]),
+    /// `Ops`, extended with every activation opcode (for the `Act(x)`
+    /// fusion rules).
+    OpsAndActivations(&'static [OpCode]),
+}
+
+impl Anchors {
+    /// Bitmask over [`OpCode::index`] — compared against
+    /// [`Graph::take_dirty_ops`] masks.
+    pub fn mask(self) -> u64 {
+        let ops_mask = |ops: &[OpCode]| ops.iter().fold(0u64, |m, c| m | (1u64 << c.index()));
+        match self {
+            Anchors::Any => !0,
+            Anchors::Ops(ops) => ops_mask(ops),
+            Anchors::OpsAndActivations(ops) => ops_mask(ops) | ops_mask(&OpCode::ACTIVATIONS),
+        }
+    }
+}
+
+/// One rewrite rule plus the metadata the engine schedules it by.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleSpec {
+    /// Stable rule name (used in [`OptimizeStats::rewrites`]).
+    pub name: &'static str,
+    /// The sweep itself.
+    pub apply: Rule,
+    /// Which opcodes can enable this rule.
+    pub anchors: Anchors,
+}
+
+impl RuleSpec {
+    /// Every known rule with its anchor set. Profiles pick ordered subsets
+    /// of this catalog.
+    pub fn catalog() -> Vec<RuleSpec> {
+        let spec = |name, apply, anchors| RuleSpec {
+            name,
+            apply,
+            anchors,
+        };
+        vec![
+            spec(
+                "eliminate_identity",
+                rules::eliminate_identity as Rule,
+                Anchors::Ops(&[OpCode::Identity, OpCode::Reshape]),
+            ),
+            spec(
+                "eliminate_dropout",
+                rules::eliminate_dropout,
+                Anchors::Ops(&[OpCode::Dropout]),
+            ),
+            spec("constant_fold", rules::constant_fold, Anchors::Any),
+            spec(
+                "fold_bn_into_conv",
+                rules::fold_bn_into_conv,
+                Anchors::Ops(&[OpCode::BatchNorm, OpCode::Conv]),
+            ),
+            spec(
+                "fuse_conv_add",
+                rules::fuse_conv_add,
+                Anchors::Ops(&[OpCode::Add, OpCode::Conv]),
+            ),
+            spec(
+                "fuse_conv_act",
+                rules::fuse_conv_act,
+                Anchors::OpsAndActivations(&[OpCode::Conv]),
+            ),
+            spec(
+                "fuse_gemm_act",
+                rules::fuse_gemm_act,
+                Anchors::OpsAndActivations(&[OpCode::Gemm]),
+            ),
+            spec(
+                "fuse_add_act",
+                rules::fuse_add_act,
+                Anchors::OpsAndActivations(&[OpCode::Add]),
+            ),
+            spec(
+                "fuse_skip_layernorm",
+                rules::fuse_skip_layernorm,
+                Anchors::Ops(&[OpCode::LayerNorm, OpCode::Add]),
+            ),
+            spec(
+                "fuse_matmul_transpose",
+                rules::fuse_matmul_transpose,
+                Anchors::Ops(&[OpCode::MatMul, OpCode::Transpose]),
+            ),
+            spec(
+                "fuse_reshape_chain",
+                rules::fuse_reshape_chain,
+                Anchors::Ops(&[OpCode::Reshape]),
+            ),
+            spec(
+                "eliminate_transpose_pair",
+                rules::eliminate_transpose_pair,
+                Anchors::Ops(&[OpCode::Transpose]),
+            ),
+            spec("cse", rules::cse, Anchors::Any),
+            spec(
+                "winograd_rewrite",
+                rules::winograd_rewrite,
+                Anchors::Ops(&[OpCode::Conv]),
+            ),
+        ]
+    }
+}
+
+/// Which rewrite engine drives the fixpoint (both produce bit-identical
+/// optimized graphs; the parity tests in `tests/engine_parity.rs` enforce
+/// it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// Dirty-opcode worklist: analyses cached per graph generation, rules
+    /// re-run only when a mutation touched one of their anchor opcodes.
+    #[default]
+    Worklist,
+    /// The seed's engine, retained verbatim in `crates/opt/src/naive.rs`:
+    /// every rule every iteration, each sweep recomputing its
+    /// `HashMap`-based analyses from scratch. The measurement baseline
+    /// (`BENCH_opt.json` compares against it) and the independent parity
+    /// oracle.
+    NaiveFixpoint,
 }
 
 /// Statistics of one optimization run.
@@ -82,17 +227,38 @@ pub struct OptimizeStats {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Optimizer {
     profile: Profile,
+    engine: Engine,
 }
 
+/// Iteration cap shared by both engines. The naive engine runs at most this
+/// many full passes; the worklist engine at most this many rounds (a round
+/// is the worklist equivalent of one pass, with clean rules skipped), so
+/// even non-converging inputs produce identical graphs.
+pub(crate) const MAX_ITERS: usize = 12;
+
 impl Optimizer {
-    /// Creates an optimizer with the given profile.
+    /// Creates an optimizer with the given profile and the default
+    /// (worklist) engine.
     pub fn new(profile: Profile) -> Optimizer {
-        Optimizer { profile }
+        Optimizer {
+            profile,
+            engine: Engine::default(),
+        }
+    }
+
+    /// Creates an optimizer with an explicit engine.
+    pub fn with_engine(profile: Profile, engine: Engine) -> Optimizer {
+        Optimizer { profile, engine }
     }
 
     /// The active profile.
     pub fn profile(&self) -> Profile {
         self.profile
+    }
+
+    /// The active rewrite engine.
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// Optimizes a graph to fixpoint. Returns the optimized graph (compacted
@@ -109,19 +275,12 @@ impl Optimizer {
             ..Default::default()
         };
         let mut totals = vec![0usize; rules.len()];
-        const MAX_ITERS: usize = 12;
-        for iter in 0..MAX_ITERS {
-            stats.iterations = iter + 1;
-            let mut changed = 0usize;
-            for (i, (_, rule)) in rules.iter().enumerate() {
-                let n = rule(&mut g, &mut p);
-                totals[i] += n;
-                changed += n;
+        stats.iterations = match self.engine {
+            Engine::Worklist => run_worklist(&mut g, &mut p, &rules, &mut totals),
+            Engine::NaiveFixpoint => {
+                crate::naive::run_fixpoint(&mut g, &mut p, &rules, &mut totals)
             }
-            if changed == 0 {
-                break;
-            }
-        }
+        };
         g.prune_dead();
         let (compacted, mapping) = g.compact();
         // remap parameters to compacted ids
@@ -135,7 +294,7 @@ impl Optimizer {
         stats.rewrites = rules
             .iter()
             .zip(totals)
-            .map(|((name, _), n)| (name.to_string(), n))
+            .map(|(rule, n)| (rule.name.to_string(), n))
             .collect();
         (compacted, new_params, stats)
     }
@@ -162,6 +321,87 @@ impl Optimizer {
             stats,
         })
     }
+}
+
+/// The worklist engine. Rules run in profile order, but a rule is skipped
+/// when no mutation since its last run touched one of its anchor opcodes —
+/// its previous sweep already proved there is nothing to do. The analysis
+/// snapshot is recomputed only when the graph generation moved, so quiet
+/// stretches of the rule list share one snapshot. Returns the number of
+/// rounds in which at least one rule ran.
+///
+/// Round `k` applies exactly the rewrites naive pass `k` applies (skips are
+/// provably no-ops), so both engines yield bit-identical graphs — including
+/// at the shared iteration cap.
+fn run_worklist(
+    g: &mut Graph,
+    p: &mut TensorMap,
+    rules: &[RuleSpec],
+    totals: &mut [usize],
+) -> usize {
+    let masks: Vec<u64> = rules.iter().map(|r| r.anchors.mask()).collect();
+    // Opcodes dirtied since each rule last ran. Everything starts dirty
+    // (construction-time dirt in the clone is discarded — the first round
+    // runs every rule regardless).
+    let mut pending: Vec<u64> = vec![!0u64; rules.len()];
+    g.take_dirty_ops();
+    let mut analysis = GraphAnalysis::compute(g);
+    let mut rounds = 0;
+    for _ in 0..MAX_ITERS {
+        if pending
+            .iter()
+            .zip(&masks)
+            .all(|(&pend, &mask)| pend & mask == 0)
+        {
+            break;
+        }
+        rounds += 1;
+        for (i, rule) in rules.iter().enumerate() {
+            if pending[i] & masks[i] == 0 {
+                continue;
+            }
+            if !analysis.is_fresh(g) {
+                analysis = GraphAnalysis::compute(g);
+            } else {
+                analysis.assert_fresh(g);
+            }
+            pending[i] = 0;
+            let n = (rule.apply)(&mut RewriteCtx {
+                graph: g,
+                params: p,
+                analysis: &analysis,
+            });
+            totals[i] += n;
+            let dirt = g.take_dirty_ops();
+            if dirt != 0 {
+                for pend in pending.iter_mut() {
+                    *pend |= dirt;
+                }
+            }
+        }
+    }
+    // In debug builds, verify the skip logic against ground truth: at
+    // quiescence every rule must be a no-op. A failure here means a rule
+    // mutated state the dirty tracking missed.
+    #[cfg(debug_assertions)]
+    if rounds < MAX_ITERS {
+        for rule in rules {
+            let analysis = GraphAnalysis::compute(g);
+            let n = (rule.apply)(&mut RewriteCtx {
+                graph: g,
+                params: p,
+                analysis: &analysis,
+            });
+            assert_eq!(
+                n, 0,
+                "worklist engine quiesced while rule `{}` still applies — \
+                 a mutation escaped the dirty-opcode tracking",
+                rule.name
+            );
+            g.take_dirty_ops();
+        }
+    }
+    rounds
 }
 
 /// Result of [`Optimizer::speedup`].
