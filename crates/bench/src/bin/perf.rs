@@ -206,7 +206,69 @@ fn main() {
         (8 + 1) * 3,
         e2e.mean()
     );
+    let batch_mean = e2e.mean();
     series.push(e2e);
+
+    // Streamed end-to-end: the session API pipelines the two parties —
+    // the optimizer works on frame i while the owner generates frame
+    // i + 1. Uses LEGACY_REQUEST_ID so the result must be bit-identical
+    // to the batch wrapper above (asserted: this is the session/legacy
+    // parity gate in its end-to-end form).
+    let optimizer = Optimizer::new(Profile::OrtLike);
+    let (batch_model, batch_secrets) = proteus.obfuscate(&g, &params).expect("obfuscate");
+    let batch_back = proteus
+        .deobfuscate(
+            &batch_secrets,
+            &proteus.optimize_obfuscated(&batch_model, &optimizer),
+        )
+        .expect("deobfuscate");
+    let samples: Vec<f64> = (0..e2e_iters)
+        .map(|_| {
+            let t = Instant::now();
+            let session = proteus
+                .obfuscate_session(&g, &params, proteus::LEGACY_REQUEST_ID)
+                .expect("session");
+            let (tx, rx) = std::sync::mpsc::channel();
+            let back = std::thread::scope(|scope| {
+                let producer = scope.spawn(move || {
+                    let mut session = session;
+                    while let Some(frame) = session.next_frame() {
+                        if tx.send(frame).is_err() {
+                            break;
+                        }
+                    }
+                    session.finish().expect("secrets")
+                });
+                let mut optimized = Vec::new();
+                for frame in rx {
+                    optimized.push(frame.optimize(&optimizer, None));
+                }
+                let secrets = producer.join().expect("producer thread");
+                let mut reassembly = proteus.deobfuscate_session(&secrets);
+                for frame in optimized {
+                    reassembly.accept(frame).expect("accept");
+                }
+                reassembly.finish().expect("reassemble")
+            });
+            let us = t.elapsed().as_secs_f64() * 1e6;
+            assert_eq!(
+                back.0, batch_back.0,
+                "streamed pipeline diverged from the batch wrapper"
+            );
+            std::hint::black_box(back);
+            us
+        })
+        .collect();
+    let streamed = Series {
+        label: "pipeline/streamed-session-overlap".to_string(),
+        samples,
+    };
+    println!(
+        "Streamed pipeline (same work, obfuscation/optimization overlapped): mean {:.0} us ({:.2}x vs batch)",
+        streamed.mean(),
+        batch_mean / streamed.mean(),
+    );
+    series.push(streamed);
 
     // fig4 regression band: bit-identical engines must leave the paper
     // reproduction untouched. latency_triple is deterministic, so this is

@@ -6,9 +6,20 @@
 //! anonymized candidate subgraphs in shuffled order. Which member is real
 //! is recorded only in [`ObfuscationSecrets`], which never leaves the model
 //! owner.
+//!
+//! On the wire each bucket travels as one [`SealedBucket`] frame (magic,
+//! version, bucket index, payload checksum — see [`proteus_graph::wire`]),
+//! so the two parties can stream buckets one at a time instead of shipping
+//! the whole model as a single blob: the optimizer works on bucket *i*
+//! while the owner is still generating bucket *i + 1*. The batch
+//! [`ObfuscatedModel::to_bytes`] format is simply a frame count followed by
+//! the same frames, which is what makes the streaming and batch paths
+//! byte-compatible.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use proteus_graph::wire::{decode_graph, decode_params, encode_graph, encode_params, WireError};
+use proteus_graph::wire::{
+    decode_frame, decode_graph, decode_params, encode_frame, encode_graph, encode_params, WireError,
+};
 use proteus_graph::{Graph, TensorMap};
 use proteus_partition::PartitionPlan;
 use serde::{Deserialize, Serialize};
@@ -24,6 +35,137 @@ pub struct BucketMember {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Bucket {
     pub members: Vec<BucketMember>,
+}
+
+/// One bucket sealed for transport: the bucket plus its position in the
+/// obfuscated model, framed and checksummed on the wire.
+///
+/// This is the unit of the streaming protocol:
+/// [`crate::ObfuscationSession`] yields sealed buckets one at a time and
+/// [`crate::DeobfuscationSession`] accepts them back in any order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SealedBucket {
+    /// Which bucket of the model this is (`0..num_buckets`).
+    pub bucket_index: u32,
+    /// How many buckets the full model has — every frame carries the
+    /// total so a receiver can size its reassembly state from any frame.
+    pub num_buckets: u32,
+    /// The `k + 1` anonymized candidates.
+    pub bucket: Bucket,
+}
+
+fn encode_member(buf: &mut BytesMut, member: &BucketMember) {
+    let g = encode_graph(&member.graph);
+    let p = encode_params(&member.graph, &member.params);
+    buf.put_u32_le(g.len() as u32);
+    buf.put_slice(&g);
+    buf.put_u32_le(p.len() as u32);
+    buf.put_slice(&p);
+}
+
+fn decode_member(data: &mut Bytes) -> Result<BucketMember, WireError> {
+    let need = |data: &Bytes, n: usize, what: &str| -> Result<(), WireError> {
+        if data.remaining() < n {
+            Err(WireError::truncated(what))
+        } else {
+            Ok(())
+        }
+    };
+    need(data, 4, "member graph length")?;
+    let glen = data.get_u32_le() as usize;
+    need(data, glen, "member graph body")?;
+    let mut gbytes = data.split_to(glen);
+    let graph = decode_graph(&mut gbytes)?;
+    need(data, 4, "member params length")?;
+    let plen = data.get_u32_le() as usize;
+    need(data, plen, "member params body")?;
+    let mut pbytes = data.split_to(plen);
+    let params = decode_params(&mut pbytes)?;
+    Ok(BucketMember { graph, params })
+}
+
+/// Seals a borrowed bucket into frame bytes — the shared encoder behind
+/// [`SealedBucket::to_bytes`] and [`ObfuscatedModel::to_bytes`] (which
+/// must stay byte-compatible, and neither should clone the bucket to
+/// serialize it).
+fn encode_sealed(bucket_index: u32, num_buckets: u32, bucket: &Bucket) -> Bytes {
+    let mut payload = BytesMut::new();
+    payload.put_u32_le(num_buckets);
+    payload.put_u32_le(bucket.members.len() as u32);
+    for member in &bucket.members {
+        encode_member(&mut payload, member);
+    }
+    encode_frame(bucket_index, &payload.freeze())
+}
+
+impl SealedBucket {
+    /// Serializes to one wire frame.
+    pub fn to_bytes(&self) -> Bytes {
+        encode_sealed(self.bucket_index, self.num_buckets, &self.bucket)
+    }
+
+    /// Decodes one sealed bucket from the front of `data`, leaving any
+    /// trailing bytes (for decoding a stream of frames).
+    ///
+    /// # Errors
+    /// Typed [`WireError`]s: unknown wire versions, bad magic, checksum
+    /// mismatches, truncation, malformed payload fields.
+    pub fn decode_from(data: &mut Bytes) -> Result<SealedBucket, WireError> {
+        let frame = decode_frame(data)?;
+        let mut payload = frame.payload;
+        if payload.remaining() < 8 {
+            return Err(WireError::truncated("sealed bucket header"));
+        }
+        let num_buckets = payload.get_u32_le();
+        let nm = payload.get_u32_le() as usize;
+        if nm > 1_000_000 {
+            return Err(WireError::malformed(format!(
+                "implausible member count {nm}"
+            )));
+        }
+        if frame.bucket_index >= num_buckets {
+            return Err(WireError::malformed(format!(
+                "bucket index {} out of range for {num_buckets}-bucket model",
+                frame.bucket_index
+            )));
+        }
+        let mut members = Vec::with_capacity(nm);
+        for _ in 0..nm {
+            members.push(decode_member(&mut payload)?);
+        }
+        if !payload.is_empty() {
+            return Err(WireError::malformed(format!(
+                "{} trailing bytes in sealed bucket payload",
+                payload.remaining()
+            )));
+        }
+        Ok(SealedBucket {
+            bucket_index: frame.bucket_index,
+            num_buckets,
+            bucket: Bucket { members },
+        })
+    }
+
+    /// Decodes a sealed bucket from exactly one frame.
+    ///
+    /// # Errors
+    /// As [`SealedBucket::decode_from`], plus trailing garbage after the
+    /// frame is rejected.
+    pub fn from_bytes(mut data: Bytes) -> Result<SealedBucket, WireError> {
+        let sealed = SealedBucket::decode_from(&mut data)?;
+        if !data.is_empty() {
+            return Err(WireError::malformed(format!(
+                "{} trailing bytes after sealed bucket frame",
+                data.remaining()
+            )));
+        }
+        Ok(sealed)
+    }
+
+    /// Unwraps the transported bucket.
+    pub fn into_bucket(self) -> Bucket {
+        self.bucket
+    }
 }
 
 /// Everything the optimizer party receives.
@@ -43,20 +185,17 @@ impl ObfuscatedModel {
         self.buckets.len()
     }
 
-    /// Serializes the model to its byte wire format.
+    /// Serializes the model to its byte wire format: a bucket count
+    /// followed by one [`SealedBucket`] frame per bucket. The bytes are
+    /// identical to concatenating the frames of a streaming session behind
+    /// the same count, so batch and streamed transfers are interchangeable
+    /// on the wire.
     pub fn to_bytes(&self) -> Bytes {
+        let nb = self.buckets.len() as u32;
         let mut buf = BytesMut::new();
-        buf.put_u32_le(self.buckets.len() as u32);
-        for bucket in &self.buckets {
-            buf.put_u32_le(bucket.members.len() as u32);
-            for member in &bucket.members {
-                let g = encode_graph(&member.graph);
-                let p = encode_params(&member.graph, &member.params);
-                buf.put_u32_le(g.len() as u32);
-                buf.put_slice(&g);
-                buf.put_u32_le(p.len() as u32);
-                buf.put_slice(&p);
-            }
+        buf.put_u32_le(nb);
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            buf.put_slice(&encode_sealed(i as u32, nb, bucket));
         }
         buf.freeze()
     }
@@ -64,42 +203,34 @@ impl ObfuscatedModel {
     /// Deserializes a model from [`ObfuscatedModel::to_bytes`] output.
     ///
     /// # Errors
-    /// Returns [`WireError`] on malformed input.
+    /// Returns [`WireError`] on malformed input — including frames out of
+    /// order, from unknown wire versions, or with corrupted checksums.
     pub fn from_bytes(mut data: Bytes) -> Result<ObfuscatedModel, WireError> {
-        let need = |data: &Bytes, n: usize| -> Result<(), WireError> {
-            if data.remaining() < n {
-                Err(WireError("truncated bucket".into()))
-            } else {
-                Ok(())
-            }
-        };
-        need(&data, 4)?;
+        if data.remaining() < 4 {
+            return Err(WireError::truncated("bucket count"));
+        }
         let nb = data.get_u32_le() as usize;
         if nb > 1_000_000 {
-            return Err(WireError(format!("implausible bucket count {nb}")));
+            return Err(WireError::malformed(format!(
+                "implausible bucket count {nb}"
+            )));
         }
         let mut buckets = Vec::with_capacity(nb);
-        for _ in 0..nb {
-            need(&data, 4)?;
-            let nm = data.get_u32_le() as usize;
-            if nm > 1_000_000 {
-                return Err(WireError(format!("implausible member count {nm}")));
+        for i in 0..nb {
+            let sealed = SealedBucket::decode_from(&mut data)?;
+            if sealed.bucket_index as usize != i || sealed.num_buckets as usize != nb {
+                return Err(WireError::malformed(format!(
+                    "frame {}/{} at position {i} of a {nb}-bucket model",
+                    sealed.bucket_index, sealed.num_buckets
+                )));
             }
-            let mut members = Vec::with_capacity(nm);
-            for _ in 0..nm {
-                need(&data, 4)?;
-                let glen = data.get_u32_le() as usize;
-                need(&data, glen)?;
-                let mut gbytes = data.split_to(glen);
-                let graph = decode_graph(&mut gbytes)?;
-                need(&data, 4)?;
-                let plen = data.get_u32_le() as usize;
-                need(&data, plen)?;
-                let mut pbytes = data.split_to(plen);
-                let params = decode_params(&mut pbytes)?;
-                members.push(BucketMember { graph, params });
-            }
-            buckets.push(Bucket { members });
+            buckets.push(sealed.bucket);
+        }
+        if !data.is_empty() {
+            return Err(WireError::malformed(format!(
+                "{} trailing bytes after final frame",
+                data.remaining()
+            )));
         }
         Ok(ObfuscatedModel { buckets })
     }
@@ -149,9 +280,8 @@ mod tests {
         BucketMember { graph: g, params }
     }
 
-    #[test]
-    fn wire_roundtrip() {
-        let model = ObfuscatedModel {
+    fn two_bucket_model() -> ObfuscatedModel {
+        ObfuscatedModel {
             buckets: vec![
                 Bucket {
                     members: vec![member(1), member(2)],
@@ -160,7 +290,12 @@ mod tests {
                     members: vec![member(3), member(4), member(5)],
                 },
             ],
-        };
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let model = two_bucket_model();
         let bytes = model.to_bytes();
         let back = ObfuscatedModel::from_bytes(bytes).unwrap();
         assert_eq!(back.num_buckets(), 2);
@@ -174,6 +309,56 @@ mod tests {
     }
 
     #[test]
+    fn model_bytes_are_count_plus_sealed_frames() {
+        let model = two_bucket_model();
+        let mut expected = BytesMut::new();
+        expected.put_u32_le(2);
+        for (i, bucket) in model.buckets.iter().enumerate() {
+            let sealed = SealedBucket {
+                bucket_index: i as u32,
+                num_buckets: 2,
+                bucket: bucket.clone(),
+            };
+            expected.put_slice(&sealed.to_bytes());
+        }
+        assert_eq!(model.to_bytes().to_vec(), expected.freeze().to_vec());
+    }
+
+    #[test]
+    fn sealed_bucket_roundtrip() {
+        let sealed = SealedBucket {
+            bucket_index: 1,
+            num_buckets: 3,
+            bucket: Bucket {
+                members: vec![member(7), member(8)],
+            },
+        };
+        let back = SealedBucket::from_bytes(sealed.to_bytes()).unwrap();
+        assert_eq!(back.bucket_index, 1);
+        assert_eq!(back.num_buckets, 3);
+        assert_eq!(back.bucket.members.len(), 2);
+        for (a, b) in sealed.bucket.members.iter().zip(&back.bucket.members) {
+            assert_eq!(a.graph.len(), b.graph.len());
+            assert_eq!(a.params.len(), b.params.len());
+        }
+    }
+
+    #[test]
+    fn sealed_bucket_rejects_index_out_of_range() {
+        let sealed = SealedBucket {
+            bucket_index: 5,
+            num_buckets: 3,
+            bucket: Bucket {
+                members: vec![member(1)],
+            },
+        };
+        assert!(matches!(
+            SealedBucket::from_bytes(sealed.to_bytes()),
+            Err(WireError::Malformed { .. })
+        ));
+    }
+
+    #[test]
     fn corrupted_bytes_rejected() {
         let model = ObfuscatedModel {
             buckets: vec![Bucket {
@@ -183,6 +368,32 @@ mod tests {
         let bytes = model.to_bytes();
         let truncated = bytes.slice(0..bytes.len() / 2);
         assert!(ObfuscatedModel::from_bytes(truncated).is_err());
+        // flip one payload byte: the frame checksum catches it
+        let mut raw = bytes.to_vec();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x10;
+        assert!(ObfuscatedModel::from_bytes(Bytes::copy_from_slice(&raw)).is_err());
+    }
+
+    #[test]
+    fn model_from_bytes_rejects_out_of_order_frames() {
+        let model = two_bucket_model();
+        let nb = 2u32;
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(nb);
+        // swap the two frames
+        for i in [1usize, 0] {
+            let sealed = SealedBucket {
+                bucket_index: i as u32,
+                num_buckets: nb,
+                bucket: model.buckets[i].clone(),
+            };
+            buf.put_slice(&sealed.to_bytes());
+        }
+        assert!(matches!(
+            ObfuscatedModel::from_bytes(buf.freeze()),
+            Err(WireError::Malformed { .. })
+        ));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Proteus configuration (paper §4.4, Figure 8's tunable parameters).
 
+use crate::error::ProteusError;
 use crate::operators::PopulationConfig;
 use proteus_graphgen::GraphRnnConfig;
 
@@ -84,6 +85,46 @@ impl ProteusConfig {
             PartitionSpec::TargetSize(s) => (model_nodes / s.max(1)).max(1),
         }
     }
+
+    /// Rejects degenerate configurations with [`ProteusError::Config`]
+    /// instead of letting them surface as empty buckets or panics deep in
+    /// the pipeline. Run by [`crate::ProteusBuilder::train`] and by every
+    /// [`crate::Proteus::obfuscate_session`] call.
+    ///
+    /// # Errors
+    /// [`ProteusError::Config`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ProteusError> {
+        if self.k == 0 {
+            return Err(ProteusError::config(
+                "k must be at least 1 (a bucket needs sentinels to hide the real subgraph)",
+            ));
+        }
+        if self.topology_pool < self.k {
+            return Err(ProteusError::config(format!(
+                "topology_pool ({}) must be at least k ({}) so every bucket can draw distinct topologies",
+                self.topology_pool, self.k
+            )));
+        }
+        match self.partitions {
+            PartitionSpec::Count(0) => {
+                return Err(ProteusError::config(
+                    "partitions: Count(0) — the model must be cut into at least one piece",
+                ));
+            }
+            PartitionSpec::TargetSize(0) => {
+                return Err(ProteusError::config(
+                    "partitions: TargetSize(0) — target subgraph size must be at least 1",
+                ));
+            }
+            _ => {}
+        }
+        if self.partition_restarts == 0 {
+            return Err(ProteusError::config(
+                "partition_restarts must be at least 1 (the Karger-Stein loop needs one attempt)",
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -107,5 +148,49 @@ mod tests {
         let cfg = ProteusConfig::default();
         assert_eq!(cfg.k, 20);
         assert_eq!(cfg.partitions, PartitionSpec::TargetSize(8));
+        cfg.validate().expect("defaults validate");
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        let ok = ProteusConfig::default();
+        for (label, cfg) in [
+            ("k=0", ProteusConfig { k: 0, ..ok.clone() }),
+            (
+                "pool<k",
+                ProteusConfig {
+                    k: 30,
+                    topology_pool: 10,
+                    ..ok.clone()
+                },
+            ),
+            (
+                "count=0",
+                ProteusConfig {
+                    partitions: PartitionSpec::Count(0),
+                    ..ok.clone()
+                },
+            ),
+            (
+                "size=0",
+                ProteusConfig {
+                    partitions: PartitionSpec::TargetSize(0),
+                    ..ok.clone()
+                },
+            ),
+            (
+                "restarts=0",
+                ProteusConfig {
+                    partition_restarts: 0,
+                    ..ok.clone()
+                },
+            ),
+        ] {
+            let err = cfg.validate().expect_err(label);
+            assert!(
+                matches!(err, ProteusError::Config { .. }),
+                "{label}: wrong variant {err:?}"
+            );
+        }
     }
 }

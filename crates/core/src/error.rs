@@ -1,0 +1,116 @@
+//! The workspace-level error type of the Proteus service API.
+//!
+//! Every fallible operation on the owner/optimizer surface —
+//! configuration validation, partitioning, wire decode, graph
+//! validation/reassembly, and protocol-state violations in the streaming
+//! sessions — reports through [`ProteusError`]. Library code never
+//! panics on malformed input; panics are reserved for internal
+//! invariants.
+
+use proteus_graph::{GraphError, WireError};
+use std::fmt;
+
+/// Any failure of the Proteus owner/optimizer API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProteusError {
+    /// A [`crate::ProteusConfig`] is degenerate (rejected by
+    /// [`crate::ProteusConfig::validate`]) or the training corpus is
+    /// unusable.
+    Config { detail: String },
+    /// Partitioning the protected model failed (the plan could not be
+    /// extracted or its piece interfaces are broken).
+    Partition { detail: String },
+    /// A wire frame or payload failed to decode.
+    Wire(WireError),
+    /// Graph validation, shape inference, execution, or reassembly failed.
+    Graph(GraphError),
+    /// A streaming session was driven out of protocol: secrets requested
+    /// before all frames were emitted, a duplicate or out-of-range frame
+    /// accepted, reassembly attempted while frames are still missing, ...
+    Protocol { detail: String },
+}
+
+impl ProteusError {
+    /// Shorthand for [`ProteusError::Config`].
+    pub fn config(detail: impl Into<String>) -> ProteusError {
+        ProteusError::Config {
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand for [`ProteusError::Partition`].
+    pub fn partition(detail: impl Into<String>) -> ProteusError {
+        ProteusError::Partition {
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand for [`ProteusError::Protocol`].
+    pub fn protocol(detail: impl Into<String>) -> ProteusError {
+        ProteusError::Protocol {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for ProteusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProteusError::Config { detail } => write!(f, "invalid configuration: {detail}"),
+            ProteusError::Partition { detail } => write!(f, "partitioning failed: {detail}"),
+            ProteusError::Wire(e) => write!(f, "{e}"),
+            ProteusError::Graph(e) => write!(f, "{e}"),
+            ProteusError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ProteusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProteusError::Wire(e) => Some(e),
+            ProteusError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for ProteusError {
+    fn from(e: WireError) -> ProteusError {
+        ProteusError::Wire(e)
+    }
+}
+
+impl From<GraphError> for ProteusError {
+    fn from(e: GraphError) -> ProteusError {
+        ProteusError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = ProteusError::config("k must be at least 1 (got 0)");
+        assert!(e.to_string().contains("k must be at least 1"));
+        let e: ProteusError = WireError::UnknownVersion {
+            got: 9,
+            supported: 1,
+        }
+        .into();
+        assert!(e.to_string().contains("unknown wire version 9"));
+        let e: ProteusError = GraphError::Cyclic.into();
+        assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn sources_chain_to_underlying_errors() {
+        use std::error::Error;
+        let e = ProteusError::from(WireError::truncated("frame header"));
+        assert!(e.source().is_some());
+        let e = ProteusError::protocol("secrets requested early");
+        assert!(e.source().is_none());
+    }
+}

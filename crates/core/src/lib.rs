@@ -16,17 +16,27 @@
 //!    ([`semantic`]). The result is an anonymized, shuffled
 //!    [`ObfuscatedModel`] of `n` buckets with `k + 1` members each — a
 //!    search space of `O((k+1)^n)` architectures.
-//! 2. **Optimization** ([`optimize_model`]) — the optimizer party applies
-//!    its graph rewrites to every bucket member independently
-//!    (`proteus-opt` stands in for ONNXRuntime/Hidet).
-//! 3. **De-obfuscation** ([`Proteus::deobfuscate`]) — the owner extracts the
-//!    optimized real pieces using its [`ObfuscationSecrets`] and reassembles
-//!    the optimized model.
+//! 2. **Optimization** ([`optimize_model`], or [`SealedBucket::optimize`]
+//!    per streamed frame) — the optimizer party applies its graph rewrites
+//!    to every bucket member independently (`proteus-opt` stands in for
+//!    ONNXRuntime/Hidet).
+//! 3. **De-obfuscation** ([`DeobfuscationSession`] /
+//!    [`Proteus::deobfuscate`]) — the owner extracts the optimized real
+//!    pieces using its [`ObfuscationSecrets`] and reassembles the
+//!    optimized model.
 //!
-//! # Quickstart
+//! # Quickstart: the session API
+//!
+//! A trained [`Proteus`] is immutable and shareable across requests
+//! (train once via [`ProteusBuilder`], wrap in an `Arc`). Each request
+//! opens an [`ObfuscationSession`] keyed by a `request_id`: buckets
+//! stream across the trust boundary one [`SealedBucket`] frame at a time,
+//! and the [`DeobfuscationSession`] accepts optimized frames back in any
+//! order. Same `request_id` → byte-identical frames; every failure is a
+//! typed [`ProteusError`].
 //!
 //! ```
-//! use proteus::{Proteus, ProteusConfig, PartitionSpec, optimize_model};
+//! use proteus::{Proteus, ProteusConfig, ProteusError, PartitionSpec};
 //! use proteus_graph::{Graph, Op, Activation, ConvAttrs, TensorMap};
 //! use proteus_graphgen::GraphRnnConfig;
 //! use proteus_opt::{Optimizer, Profile};
@@ -38,37 +48,70 @@
 //! let r = g.add(Op::Activation(Activation::Relu), [c]);
 //! g.set_outputs([r]);
 //!
-//! // train the sentinel generator on public models only
-//! let config = ProteusConfig {
-//!     k: 2,
-//!     partitions: PartitionSpec::Count(1),
-//!     graphrnn: GraphRnnConfig { epochs: 1, ..Default::default() },
-//!     topology_pool: 10,
-//!     ..Default::default()
-//! };
-//! let corpus = vec![proteus_models::build(proteus_models::ModelKind::ResNet)];
-//! let proteus = Proteus::train(config, &corpus);
+//! // train the sentinel generator on public models only (validated,
+//! // train-once; `train_shared()` returns an Arc for request handlers)
+//! let proteus = Proteus::builder()
+//!     .config(ProteusConfig {
+//!         k: 2,
+//!         partitions: PartitionSpec::Count(1),
+//!         graphrnn: GraphRnnConfig { epochs: 1, ..Default::default() },
+//!         topology_pool: 10,
+//!         ..Default::default()
+//!     })
+//!     .corpus_model(proteus_models::build(proteus_models::ModelKind::ResNet))
+//!     .train()?;
 //!
-//! // owner -> optimizer -> owner
-//! let (bucket, secrets) = proteus.obfuscate(&g, &TensorMap::new())?;
-//! let optimized = optimize_model(&bucket, &Optimizer::new(Profile::OrtLike));
-//! let (model, _params) = proteus.deobfuscate(&secrets, &optimized)?;
+//! // owner -> optimizer -> owner, one frame at a time
+//! let optimizer = Optimizer::new(Profile::OrtLike);
+//! let mut session = proteus.obfuscate_session(&g, &TensorMap::new(), 7)?;
+//! let mut optimized_frames = Vec::new();
+//! while let Some(frame) = session.next_frame() {
+//!     // `frame.to_bytes()` is what would cross the trust boundary; the
+//!     // optimizer party can work on this frame while the owner
+//!     // generates the next one
+//!     optimized_frames.push(frame.optimize(&optimizer, None));
+//! }
+//! let secrets = session.finish()?;
+//! let mut reassembly = proteus.deobfuscate_session(&secrets);
+//! for frame in optimized_frames {
+//!     reassembly.accept(frame)?; // any order
+//! }
+//! let (model, _params) = reassembly.finish()?;
 //! assert!(model.validate().is_ok());
-//! # Ok::<(), proteus_graph::GraphError>(())
+//! # Ok::<(), ProteusError>(())
 //! ```
+//!
+//! ## Migrating from the one-shot functions
+//!
+//! [`Proteus::obfuscate`] / [`optimize_model`] / [`Proteus::deobfuscate`]
+//! remain available and now return [`ProteusError`]; they are wrappers
+//! over the sessions with [`LEGACY_REQUEST_ID`], bit-identical to driving
+//! a session by hand.
 
 pub mod baseline;
 pub mod bucket;
 pub mod config;
+pub mod error;
 pub mod operators;
 pub mod pipeline;
 pub mod semantic;
 pub mod sentinel;
+pub mod session;
 
 pub use baseline::{random_opcode_graph, random_opcode_sentinels};
-pub use bucket::{anonymize, Bucket, BucketMember, ObfuscatedModel, ObfuscationSecrets};
+pub use bucket::{
+    anonymize, Bucket, BucketMember, ObfuscatedModel, ObfuscationSecrets, SealedBucket,
+};
 pub use config::{PartitionSpec, ProteusConfig, SentinelMode};
+pub use error::ProteusError;
 pub use operators::{detect_regime, populate, PopulationConfig, Regime};
-pub use pipeline::{optimize_model, optimize_model_serial, optimize_model_with_threads, Proteus};
+pub use pipeline::{
+    optimize_bucket, optimize_model, optimize_model_serial, optimize_model_with_threads, Proteus,
+    ProteusBuilder,
+};
 pub use semantic::{top_percentile, BigramModel};
 pub use sentinel::SentinelFactory;
+pub use session::{
+    derive_member_seed, derive_request_seed, splitmix64, DeobfuscationSession, ObfuscationSession,
+    LEGACY_REQUEST_ID,
+};

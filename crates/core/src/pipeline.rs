@@ -1,15 +1,23 @@
 //! The Proteus pipeline: obfuscate → (optimizer party) → de-obfuscate
 //! (paper Figure 1 and §4).
+//!
+//! The primary surface is session-based ([`Proteus::obfuscate_session`],
+//! [`DeobfuscationSession`]): a trained [`Proteus`] is immutable and
+//! shareable across requests, each request streams [`SealedBucket`] frames
+//! across the trust boundary, and every failure is a typed
+//! [`ProteusError`]. The one-shot [`Proteus::obfuscate`] /
+//! [`Proteus::deobfuscate`] functions are kept as thin, bit-identical
+//! wrappers over the sessions for callers that want the whole model at
+//! once.
 
-use crate::bucket::{anonymize, Bucket, BucketMember, ObfuscatedModel, ObfuscationSecrets};
+use crate::bucket::{Bucket, BucketMember, ObfuscatedModel, ObfuscationSecrets, SealedBucket};
 use crate::config::ProteusConfig;
+use crate::error::ProteusError;
 use crate::sentinel::SentinelFactory;
-use proteus_graph::{Graph, GraphError, TensorMap};
+use crate::session::{DeobfuscationSession, ObfuscationSession, LEGACY_REQUEST_ID};
+use proteus_graph::{Graph, TensorMap};
 use proteus_opt::Optimizer;
-use proteus_partition::{partition_balanced, PartitionPlan};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use std::sync::Arc;
 
 /// The model-owner side of the protocol.
 #[derive(Debug)]
@@ -18,10 +26,122 @@ pub struct Proteus {
     factory: SentinelFactory,
 }
 
+/// Builds a trained [`Proteus`] instance with validation up front.
+///
+/// Training happens exactly once, in [`ProteusBuilder::train`]; the
+/// resulting [`Proteus`] is immutable (train-once semantics), so one
+/// instance can serve many concurrent obfuscation requests — share it via
+/// [`Arc`] ([`ProteusBuilder::train_shared`]) and give each request its
+/// own `request_id` (see [`Proteus::obfuscate_session`]).
+///
+/// ```
+/// use proteus::{PartitionSpec, ProteusBuilder, ProteusConfig};
+/// use proteus_graphgen::GraphRnnConfig;
+///
+/// let proteus = ProteusBuilder::new()
+///     .config(ProteusConfig {
+///         k: 2,
+///         partitions: PartitionSpec::Count(1),
+///         graphrnn: GraphRnnConfig { epochs: 1, ..Default::default() },
+///         topology_pool: 10,
+///         ..Default::default()
+///     })
+///     .corpus_model(proteus_models::build(proteus_models::ModelKind::ResNet))
+///     .train_shared()?;
+/// let worker = std::sync::Arc::clone(&proteus); // shareable across requests
+/// # drop(worker);
+/// # Ok::<(), proteus::ProteusError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ProteusBuilder {
+    config: ProteusConfig,
+    corpus: Vec<Graph>,
+}
+
+impl ProteusBuilder {
+    /// Starts from the default (paper §4.4) configuration and an empty
+    /// corpus.
+    pub fn new() -> ProteusBuilder {
+        ProteusBuilder::default()
+    }
+
+    /// Replaces the whole configuration.
+    pub fn config(mut self, config: ProteusConfig) -> ProteusBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Sets `k`, the number of sentinels per protected subgraph.
+    pub fn k(mut self, k: usize) -> ProteusBuilder {
+        self.config.k = k;
+        self
+    }
+
+    /// Sets the partitioning granularity.
+    pub fn partitions(mut self, partitions: crate::config::PartitionSpec) -> ProteusBuilder {
+        self.config.partitions = partitions;
+        self
+    }
+
+    /// Sets the master seed all per-request seeds derive from.
+    pub fn seed(mut self, seed: u64) -> ProteusBuilder {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Adds one public model to the training corpus.
+    pub fn corpus_model(mut self, model: Graph) -> ProteusBuilder {
+        self.corpus.push(model);
+        self
+    }
+
+    /// Adds public models to the training corpus.
+    pub fn corpus(mut self, models: impl IntoIterator<Item = Graph>) -> ProteusBuilder {
+        self.corpus.extend(models);
+        self
+    }
+
+    /// Validates the configuration and corpus, then trains the sentinel
+    /// factory (the one-time cost; everything after is per-request).
+    ///
+    /// # Errors
+    /// [`ProteusError::Config`] for degenerate configurations
+    /// ([`ProteusConfig::validate`]) or an empty corpus — an untrained
+    /// generator would emit sentinels with no resemblance to real models.
+    pub fn train(self) -> Result<Proteus, ProteusError> {
+        self.config.validate()?;
+        if self.corpus.is_empty() {
+            return Err(ProteusError::config(
+                "training corpus is empty — the sentinel generator needs public models to learn \
+                 topology and operator statistics from",
+            ));
+        }
+        Ok(Proteus::train(self.config, &self.corpus))
+    }
+
+    /// [`ProteusBuilder::train`], wrapped in an [`Arc`] for sharing across
+    /// request handlers/threads.
+    ///
+    /// # Errors
+    /// As [`ProteusBuilder::train`].
+    pub fn train_shared(self) -> Result<Arc<Proteus>, ProteusError> {
+        self.train().map(Arc::new)
+    }
+}
+
 impl Proteus {
+    /// Starts a [`ProteusBuilder`] — the validating construction path.
+    pub fn builder() -> ProteusBuilder {
+        ProteusBuilder::new()
+    }
+
     /// Trains a Proteus instance: the sentinel factory learns topology and
     /// operator statistics from `corpus` (public models — *not* the
     /// protected one).
+    ///
+    /// This legacy entry point performs no validation; prefer
+    /// [`Proteus::builder`], which rejects degenerate configurations with
+    /// typed errors before paying the training cost.
     pub fn train(config: ProteusConfig, corpus: &[Graph]) -> Proteus {
         let factory = SentinelFactory::train(&config, corpus);
         Proteus { config, factory }
@@ -37,69 +157,61 @@ impl Proteus {
         &self.factory
     }
 
+    /// Opens a streaming obfuscation session for one request: partitions
+    /// the protected model up front, then yields one [`SealedBucket`]
+    /// frame per call so the optimizer party can start on bucket *i*
+    /// while bucket *i + 1* is still being generated.
+    ///
+    /// All randomness derives from `seed ⊕ request_id` through splitmix64
+    /// ([`crate::session::derive_request_seed`]): the same `request_id`
+    /// reproduces byte-identical frames, distinct requests share nothing.
+    ///
+    /// # Errors
+    /// [`ProteusError::Config`] for degenerate configurations,
+    /// [`ProteusError::Graph`] when the protected model fails validation,
+    /// [`ProteusError::Partition`] when plan extraction fails.
+    pub fn obfuscate_session<'p>(
+        &'p self,
+        graph: &Graph,
+        params: &TensorMap,
+        request_id: u64,
+    ) -> Result<ObfuscationSession<'p>, ProteusError> {
+        ObfuscationSession::new(self, graph, params, request_id)
+    }
+
+    /// Opens a reassembly session that accepts optimized frames in any
+    /// order (the receiving half of [`Proteus::obfuscate_session`]).
+    pub fn deobfuscate_session<'s>(
+        &self,
+        secrets: &'s ObfuscationSecrets,
+    ) -> DeobfuscationSession<'s> {
+        DeobfuscationSession::new(secrets)
+    }
+
     /// Obfuscates a protected model: partitions it, hides every piece
     /// among `k` sentinels, anonymizes and shuffles each bucket.
     ///
     /// Returns the artifact for the optimizer party and the owner's
     /// secrets.
     ///
+    /// This is the one-shot compatibility wrapper over
+    /// [`Proteus::obfuscate_session`] with [`LEGACY_REQUEST_ID`]; its
+    /// output is bit-identical to draining that session.
+    ///
     /// # Errors
-    /// Propagates graph validation/shape failures of the protected model.
+    /// As [`Proteus::obfuscate_session`].
     pub fn obfuscate(
         &self,
         graph: &Graph,
         params: &TensorMap,
-    ) -> Result<(ObfuscatedModel, ObfuscationSecrets), GraphError> {
-        graph.validate()?;
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let n = self.config.num_partitions(graph.len());
-        let assignment =
-            partition_balanced(graph, n, self.config.partition_restarts, self.config.seed);
-        let plan = PartitionPlan::extract(graph, params, &assignment)?;
-
-        let mut buckets = Vec::with_capacity(plan.pieces.len());
-        let mut real_positions = Vec::with_capacity(plan.pieces.len());
-        for (i, piece) in plan.pieces.iter().enumerate() {
-            let sentinels =
-                self.factory
-                    .generate(&piece.graph, self.config.k, self.config.mode, &mut rng);
-            let mut members: Vec<BucketMember> = Vec::with_capacity(sentinels.len() + 1);
-            members.push(BucketMember {
-                graph: piece.graph.clone(),
-                params: piece.params.clone(),
-            });
-            for s in sentinels {
-                // sentinels carry plausible random parameters so that the
-                // presence/absence of weights does not mark the real piece
-                let sp = if piece.params.is_empty() {
-                    TensorMap::new()
-                } else {
-                    TensorMap::init_random(&s, self.config.seed ^ (i as u64) << 8)
-                };
-                members.push(BucketMember {
-                    graph: s,
-                    params: sp,
-                });
-            }
-            // shuffle and record where the real subgraph landed
-            let mut order: Vec<usize> = (0..members.len()).collect();
-            order.shuffle(&mut rng);
-            let real_at = order.iter().position(|&o| o == 0).expect("present");
-            let mut shuffled: Vec<BucketMember> =
-                order.into_iter().map(|o| members[o].clone()).collect();
-            for (j, m) in shuffled.iter_mut().enumerate() {
-                m.graph = anonymize(&m.graph, i * 1000 + j);
-            }
-            real_positions.push(real_at);
-            buckets.push(Bucket { members: shuffled });
+    ) -> Result<(ObfuscatedModel, ObfuscationSecrets), ProteusError> {
+        let mut session = self.obfuscate_session(graph, params, LEGACY_REQUEST_ID)?;
+        let mut buckets = Vec::with_capacity(session.num_buckets());
+        for sealed in session.by_ref() {
+            buckets.push(sealed.into_bucket());
         }
-        Ok((
-            ObfuscatedModel { buckets },
-            ObfuscationSecrets {
-                plan,
-                real_positions,
-            },
-        ))
+        let secrets = session.finish()?;
+        Ok((ObfuscatedModel { buckets }, secrets))
     }
 
     /// Runs the optimizer party's bucket fan-out with this instance's
@@ -117,33 +229,46 @@ impl Proteus {
     /// De-obfuscates: extracts the optimized real pieces from the bucket and
     /// reassembles the optimized protected model (paper §4.3).
     ///
+    /// This is the batch compatibility wrapper over
+    /// [`DeobfuscationSession`]: every bucket is accepted as one frame,
+    /// then reassembled.
+    ///
     /// # Errors
-    /// Fails when the optimized buckets no longer match the plan (wrong
-    /// bucket count, broken piece interfaces).
+    /// [`ProteusError::Protocol`] when the optimized buckets no longer
+    /// match the plan (wrong bucket count, real position out of range),
+    /// [`ProteusError::Graph`] when piece interfaces broke.
     pub fn deobfuscate(
         &self,
         secrets: &ObfuscationSecrets,
         optimized: &ObfuscatedModel,
-    ) -> Result<(Graph, TensorMap), GraphError> {
-        if optimized.buckets.len() != secrets.plan.pieces.len() {
-            return Err(GraphError::Exec {
-                node: "<deobfuscate>".into(),
-                detail: format!(
-                    "expected {} buckets, got {}",
-                    secrets.plan.pieces.len(),
-                    optimized.buckets.len()
-                ),
-            });
+    ) -> Result<(Graph, TensorMap), ProteusError> {
+        let nb = secrets.plan.pieces.len();
+        if optimized.buckets.len() != nb {
+            return Err(ProteusError::protocol(format!(
+                "expected {nb} buckets, got {}",
+                optimized.buckets.len()
+            )));
         }
-        let mut pieces = Vec::with_capacity(optimized.buckets.len());
-        for (bucket, &pos) in optimized.buckets.iter().zip(&secrets.real_positions) {
-            let member = bucket.members.get(pos).ok_or_else(|| GraphError::Exec {
-                node: "<deobfuscate>".into(),
-                detail: format!("real position {pos} out of bucket range"),
-            })?;
-            pieces.push((member.graph.clone(), member.params.clone()));
+        let mut session = self.deobfuscate_session(secrets);
+        for (i, bucket) in optimized.buckets.iter().enumerate() {
+            // by-ref accept: clones only each bucket's real member
+            session.accept_ref(i as u32, nb as u32, bucket)?;
         }
-        secrets.plan.reassemble(&pieces)
+        session.finish()
+    }
+}
+
+impl SealedBucket {
+    /// Optimizes every member of this frame (the optimizer party's work
+    /// on one streamed bucket), preserving the frame header. Reuse one
+    /// [`Optimizer`] handle across frames — its rule catalog is built
+    /// once at construction.
+    pub fn optimize(&self, optimizer: &Optimizer, threads: Option<usize>) -> SealedBucket {
+        SealedBucket {
+            bucket_index: self.bucket_index,
+            num_buckets: self.num_buckets,
+            bucket: optimize_bucket(&self.bucket, optimizer, threads),
+        }
     }
 }
 
@@ -156,46 +281,72 @@ pub fn optimize_model(model: &ObfuscatedModel, optimizer: &Optimizer) -> Obfusca
     optimize_model_with_threads(model, optimizer, None)
 }
 
+/// Optimizes the members of one bucket with the dynamic work queue — the
+/// per-frame unit of the streaming protocol.
+pub fn optimize_bucket(bucket: &Bucket, optimizer: &Optimizer, threads: Option<usize>) -> Bucket {
+    let members: Vec<&BucketMember> = bucket.members.iter().collect();
+    Bucket {
+        members: optimize_members(&members, optimizer, threads),
+    }
+}
+
 /// [`optimize_model`] with an explicit worker-thread count (`None` = all
 /// available parallelism).
+pub fn optimize_model_with_threads(
+    model: &ObfuscatedModel,
+    optimizer: &Optimizer,
+    threads: Option<usize>,
+) -> ObfuscatedModel {
+    let flat: Vec<&BucketMember> = model.buckets.iter().flat_map(|b| &b.members).collect();
+    let mut optimized = optimize_members(&flat, optimizer, threads).into_iter();
+    ObfuscatedModel {
+        buckets: model
+            .buckets
+            .iter()
+            .map(|b| Bucket {
+                members: b
+                    .members
+                    .iter()
+                    .map(|_| optimized.next().expect("one result per member"))
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+/// Shared fan-out core: optimizes a flat member list.
 ///
 /// Scheduling is dynamic: workers pull the next member off a shared atomic
 /// index instead of owning a pre-cut chunk. Bucket members vary wildly in
 /// size after partitioning (the real pieces are balanced, but sentinels are
 /// sampled around them), so static chunks routinely left threads idle
 /// behind one loaded with the big graphs.
-pub fn optimize_model_with_threads(
-    model: &ObfuscatedModel,
+fn optimize_members(
+    members: &[&BucketMember],
     optimizer: &Optimizer,
     threads: Option<usize>,
-) -> ObfuscatedModel {
+) -> Vec<BucketMember> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
-    let flat: Vec<(usize, usize, &BucketMember)> = model
-        .buckets
-        .iter()
-        .enumerate()
-        .flat_map(|(bi, b)| b.members.iter().enumerate().map(move |(mi, m)| (bi, mi, m)))
-        .collect();
     let num_threads = threads
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4)
         })
-        .clamp(1, flat.len().max(1));
+        .clamp(1, members.len().max(1));
     // Results land directly in their slot — no placeholder members, no
     // post-hoc reshuffling. The per-slot mutexes are uncontended (each is
     // locked exactly once).
     let slots: Vec<Mutex<Option<BucketMember>>> =
-        (0..flat.len()).map(|_| Mutex::new(None)).collect();
+        (0..members.len()).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     crossbeam::thread::scope(|scope| {
         for _ in 0..num_threads {
             scope.spawn(|_| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&(_, _, m)) = flat.get(i) else { break };
+                let Some(&m) = members.get(i) else { break };
                 let (g, p, _) = optimizer.optimize(&m.graph, &m.params);
                 *slots[i].lock().expect("slot poisoned") = Some(BucketMember {
                     graph: g,
@@ -206,27 +357,14 @@ pub fn optimize_model_with_threads(
     })
     .expect("thread scope");
 
-    let mut slots = slots.into_iter();
-    ObfuscatedModel {
-        buckets: model
-            .buckets
-            .iter()
-            .map(|b| Bucket {
-                members: b
-                    .members
-                    .iter()
-                    .map(|_| {
-                        slots
-                            .next()
-                            .expect("one slot per member")
-                            .into_inner()
-                            .expect("slot poisoned")
-                            .expect("worker filled slot")
-                    })
-                    .collect(),
-            })
-            .collect(),
-    }
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot poisoned")
+                .expect("worker filled slot")
+        })
+        .collect()
 }
 
 /// Serial variant of [`optimize_model`] (for measurement baselines).
@@ -260,6 +398,8 @@ mod tests {
     use proteus_graphgen::GraphRnnConfig;
     use proteus_models::{build, ModelKind};
     use proteus_opt::Profile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn quick_config(k: usize) -> ProteusConfig {
         ProteusConfig {
@@ -356,6 +496,55 @@ mod tests {
     }
 
     #[test]
+    fn sentinel_param_streams_are_pairwise_distinct() {
+        // The satellite fix for the seed-correlation bug: two sentinels
+        // must never share a parameter stream, even with identical
+        // topology. Initialize one sentinel graph under the derived seeds
+        // of several (bucket, member) slots and require distinct tensors.
+        use crate::session::{derive_member_seed, derive_request_seed};
+        let (probe, _) = small_model();
+        let request_seed = derive_request_seed(ProteusConfig::default().seed, LEGACY_REQUEST_ID);
+        let mut streams: Vec<Vec<f32>> = Vec::new();
+        for bucket in 0..4 {
+            for member in 1..=4 {
+                let seed = derive_member_seed(request_seed, bucket, member);
+                let pm = TensorMap::init_random(&probe, seed);
+                let mut flat: Vec<f32> = Vec::new();
+                for id in probe.node_ids() {
+                    if let Some(ts) = pm.get(id) {
+                        for t in ts {
+                            flat.extend_from_slice(t.data());
+                        }
+                    }
+                }
+                streams.push(flat);
+            }
+        }
+        assert!(
+            streams.iter().all(|s| !s.is_empty()),
+            "probe graph must carry parameters"
+        );
+        for i in 0..streams.len() {
+            for j in (i + 1)..streams.len() {
+                assert_ne!(
+                    streams[i], streams[j],
+                    "slots {i} and {j} drew the same parameter stream"
+                );
+            }
+        }
+        // the derivation itself is injective over a wider grid
+        let mut seeds = std::collections::HashSet::new();
+        for bucket in 0..64 {
+            for member in 0..64 {
+                assert!(
+                    seeds.insert(derive_member_seed(request_seed, bucket, member)),
+                    "seed collision at ({bucket}, {member})"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn parallel_and_serial_optimization_agree() {
         let (g, params) = small_model();
         let mut cfg = quick_config(2);
@@ -368,6 +557,34 @@ mod tests {
         for (a, b) in par.buckets.iter().zip(&ser.buckets) {
             for (ma, mb) in a.members.iter().zip(&b.members) {
                 assert_eq!(ma.graph.len(), mb.graph.len());
+            }
+        }
+    }
+
+    #[test]
+    fn per_bucket_and_whole_model_optimization_agree() {
+        let (g, params) = small_model();
+        let mut cfg = quick_config(2);
+        cfg.partitions = PartitionSpec::Count(2);
+        let proteus = Proteus::train(cfg, &[build(ModelKind::ResNet)]);
+        let (model, _) = proteus.obfuscate(&g, &params).unwrap();
+        let opt = Optimizer::new(Profile::OrtLike);
+        let whole = optimize_model(&model, &opt);
+        for (i, bucket) in model.buckets.iter().enumerate() {
+            let frame = SealedBucket {
+                bucket_index: i as u32,
+                num_buckets: model.buckets.len() as u32,
+                bucket: bucket.clone(),
+            };
+            let optimized = frame.optimize(&opt, Some(2));
+            assert_eq!(optimized.bucket_index, i as u32);
+            for (ma, mb) in optimized
+                .bucket
+                .members
+                .iter()
+                .zip(&whole.buckets[i].members)
+            {
+                assert_eq!(ma.graph, mb.graph, "bucket {i}");
             }
         }
     }
@@ -409,6 +626,64 @@ mod tests {
         let (model, secrets) = proteus.obfuscate(&g, &params).unwrap();
         let mut broken = model.clone();
         broken.buckets.pop();
-        assert!(proteus.deobfuscate(&secrets, &broken).is_err());
+        let err = proteus.deobfuscate(&secrets, &broken).unwrap_err();
+        assert!(
+            matches!(err, ProteusError::Protocol { .. }),
+            "wrong variant: {err:?}"
+        );
+    }
+
+    #[test]
+    fn builder_validates_before_training() {
+        let err = Proteus::builder()
+            .config(quick_config(0))
+            .corpus_model(build(ModelKind::ResNet))
+            .train()
+            .unwrap_err();
+        assert!(matches!(err, ProteusError::Config { .. }), "{err:?}");
+
+        let err = Proteus::builder()
+            .config(quick_config(2))
+            .train()
+            .unwrap_err();
+        assert!(
+            matches!(err, ProteusError::Config { .. }),
+            "empty corpus must be rejected: {err:?}"
+        );
+    }
+
+    #[test]
+    fn trained_proteus_is_shareable_across_threads() {
+        // compile-time guarantee that Arc<Proteus> can serve concurrent
+        // requests
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Proteus>();
+        assert_send_sync::<ObfuscatedModel>();
+        assert_send_sync::<SealedBucket>();
+
+        let (g, params) = small_model();
+        let mut cfg = quick_config(2);
+        cfg.partitions = PartitionSpec::Count(2);
+        let proteus = Proteus::builder()
+            .config(cfg)
+            .corpus_model(build(ModelKind::ResNet))
+            .train_shared()
+            .unwrap();
+        let handles: Vec<_> = (0..2u64)
+            .map(|rid| {
+                let proteus = Arc::clone(&proteus);
+                let g = g.clone();
+                let params = params.clone();
+                std::thread::spawn(move || {
+                    let mut session = proteus.obfuscate_session(&g, &params, rid).unwrap();
+                    let frames: Vec<_> = session.by_ref().collect();
+                    (frames, session.finish().unwrap())
+                })
+            })
+            .collect();
+        for h in handles {
+            let (frames, secrets) = h.join().unwrap();
+            assert_eq!(frames.len(), secrets.plan.pieces.len());
+        }
     }
 }

@@ -51,6 +51,7 @@ pub use op::{
 };
 pub use shape::{infer_shapes, Shape};
 pub use stats::GraphStats;
+pub use wire::{decode_frame, encode_frame, Frame, WireError, FRAME_MAGIC, WIRE_VERSION};
 
 use std::fmt;
 

@@ -1,11 +1,17 @@
-//! Binary wire codec for graphs and parameter stores.
+//! Binary wire codec for graphs and parameter stores, plus the versioned
+//! frame layer that every artifact crossing the trust boundary is wrapped
+//! in.
 //!
 //! The obfuscated bucket is the artifact that actually crosses the trust
 //! boundary between model owner and optimizer (and that an adversary
 //! intercepts, per the paper's threat model §3.1), so it needs a concrete
-//! byte format. This is a compact little-endian tag-length-value encoding;
-//! it makes no cross-version stability promises beyond round-tripping with
-//! the same library version.
+//! byte format. Graphs and parameter stores use a compact little-endian
+//! tag-length-value encoding; per-bucket payloads are wrapped in a
+//! [`Frame`] carrying a magic number, a wire-protocol version, the bucket
+//! index, and a payload checksum, so that a peer can stream buckets one at
+//! a time, reject frames from unknown protocol versions explicitly
+//! ([`WireError::UnknownVersion`]), and detect in-flight corruption
+//! ([`WireError::ChecksumMismatch`]) without ever panicking.
 
 use crate::exec::{Tensor, TensorMap};
 use crate::graph::{Graph, Node, NodeId};
@@ -16,13 +22,68 @@ use crate::shape::Shape;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 
-/// Decoding error.
+/// Magic bytes opening every [`Frame`].
+pub const FRAME_MAGIC: [u8; 4] = *b"PRTB";
+
+/// The wire-protocol version this library speaks. Decoders reject every
+/// other version with [`WireError::UnknownVersion`] — version negotiation
+/// is explicit, never a silent misparse.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Decoding error. Every malformed input maps to a typed variant — decode
+/// paths never panic.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct WireError(pub String);
+pub enum WireError {
+    /// The input ended before the named field could be read.
+    Truncated { context: String },
+    /// A field decoded to an impossible value (bad tag, out-of-range id,
+    /// implausible count, invalid UTF-8, ...).
+    Malformed { detail: String },
+    /// A frame did not start with [`FRAME_MAGIC`].
+    BadMagic { got: [u8; 4] },
+    /// A frame was produced by a wire-protocol version this library does
+    /// not speak.
+    UnknownVersion { got: u16, supported: u16 },
+    /// A frame's payload checksum did not match its header — the bytes
+    /// were corrupted in flight.
+    ChecksumMismatch { expected: u64, got: u64 },
+}
+
+impl WireError {
+    /// Shorthand for [`WireError::Truncated`].
+    pub fn truncated(context: impl Into<String>) -> WireError {
+        WireError::Truncated {
+            context: context.into(),
+        }
+    }
+
+    /// Shorthand for [`WireError::Malformed`].
+    pub fn malformed(detail: impl Into<String>) -> WireError {
+        WireError::Malformed {
+            detail: detail.into(),
+        }
+    }
+}
 
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "wire decode error: {}", self.0)
+        match self {
+            WireError::Truncated { context } => {
+                write!(f, "wire decode error: truncated input reading {context}")
+            }
+            WireError::Malformed { detail } => write!(f, "wire decode error: {detail}"),
+            WireError::BadMagic { got } => {
+                write!(f, "wire decode error: bad frame magic {got:02x?}")
+            }
+            WireError::UnknownVersion { got, supported } => write!(
+                f,
+                "wire decode error: unknown wire version {got} (this library speaks {supported})"
+            ),
+            WireError::ChecksumMismatch { expected, got } => write!(
+                f,
+                "wire decode error: payload checksum mismatch (header says {expected:#018x}, payload hashes to {got:#018x})"
+            ),
+        }
     }
 }
 
@@ -32,10 +93,122 @@ type WResult<T> = std::result::Result<T, WireError>;
 
 fn need(buf: &impl Buf, n: usize, what: &str) -> WResult<()> {
     if buf.remaining() < n {
-        Err(WireError(format!("truncated input reading {what}")))
+        Err(WireError::truncated(what))
     } else {
         Ok(())
     }
+}
+
+const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a over `data` — the frame payload checksum. Not cryptographic (the
+/// threat model's adversary is honest-but-curious, §3.1); it exists to
+/// catch transport corruption deterministically.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    fnv1a64_continue(FNV_OFFSET_BASIS, data)
+}
+
+/// Feeds more bytes into a running FNV-1a state — the framing code hashes
+/// header fields and payload incrementally instead of copying them into
+/// one buffer.
+fn fnv1a64_continue(mut h: u64, data: &[u8]) -> u64 {
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// One decoded wire frame: header fields plus the raw payload (the payload
+/// codec is the caller's concern — for Proteus it is a sealed bucket).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Protocol version the frame was encoded with (always
+    /// [`WIRE_VERSION`] after a successful decode).
+    pub version: u16,
+    /// Which bucket of the obfuscated model this frame carries.
+    pub bucket_index: u32,
+    /// The checksummed payload bytes.
+    pub payload: Bytes,
+}
+
+/// Wraps `payload` in a version-1 frame:
+///
+/// ```text
+/// magic[4] | version u16 | bucket_index u32 | payload_len u32 |
+/// checksum u64 | payload
+/// ```
+///
+/// The checksum is FNV-1a over the header fields after the magic
+/// (version, bucket index, payload length) followed by the payload, so
+/// single-byte corruption anywhere outside the checksum field itself is
+/// detected (and corruption *of* the checksum field trivially mismatches).
+///
+/// # Panics
+/// If `payload` exceeds `u32::MAX` bytes — the length field could not
+/// represent it and the frame would be undecodable. Buckets are bounded
+/// far below this by partitioning; hitting it is a caller bug, not a
+/// wire condition.
+pub fn encode_frame(bucket_index: u32, payload: &[u8]) -> Bytes {
+    assert!(
+        u32::try_from(payload.len()).is_ok(),
+        "frame payload of {} bytes exceeds the u32 length field",
+        payload.len()
+    );
+    let mut buf = BytesMut::with_capacity(22 + payload.len());
+    buf.put_slice(&FRAME_MAGIC);
+    buf.put_u16_le(WIRE_VERSION);
+    buf.put_u32_le(bucket_index);
+    buf.put_u32_le(payload.len() as u32);
+    let h = fnv1a64_continue(FNV_OFFSET_BASIS, &buf[4..14]);
+    buf.put_u64_le(fnv1a64_continue(h, payload));
+    buf.put_slice(payload);
+    buf.freeze()
+}
+
+/// Decodes one frame from the front of `buf`, leaving any trailing bytes
+/// (a stream of frames decodes by repeated calls).
+///
+/// # Errors
+/// [`WireError::BadMagic`] / [`WireError::UnknownVersion`] /
+/// [`WireError::ChecksumMismatch`] for the respective header violations,
+/// [`WireError::Truncated`] when the buffer ends early.
+pub fn decode_frame(buf: &mut Bytes) -> WResult<Frame> {
+    need(buf, 4, "frame magic")?;
+    let mut magic = [0u8; 4];
+    magic.copy_from_slice(&buf.split_to(4));
+    if magic != FRAME_MAGIC {
+        return Err(WireError::BadMagic { got: magic });
+    }
+    need(buf, 2, "frame version")?;
+    let version = buf.get_u16_le();
+    if version != WIRE_VERSION {
+        return Err(WireError::UnknownVersion {
+            got: version,
+            supported: WIRE_VERSION,
+        });
+    }
+    need(buf, 4 + 4 + 8, "frame header")?;
+    let bucket_index = buf.get_u32_le();
+    let payload_len = buf.get_u32_le() as usize;
+    let checksum = buf.get_u64_le();
+    need(buf, payload_len, "frame payload")?;
+    let payload = buf.split_to(payload_len);
+    let mut h = fnv1a64_continue(FNV_OFFSET_BASIS, &version.to_le_bytes());
+    h = fnv1a64_continue(h, &bucket_index.to_le_bytes());
+    h = fnv1a64_continue(h, &(payload_len as u32).to_le_bytes());
+    let got = fnv1a64_continue(h, &payload);
+    if got != checksum {
+        return Err(WireError::ChecksumMismatch {
+            expected: checksum,
+            got,
+        });
+    }
+    Ok(Frame {
+        version,
+        bucket_index,
+        payload,
+    })
 }
 
 fn put_str(buf: &mut BytesMut, s: &str) {
@@ -48,7 +221,7 @@ fn get_str(buf: &mut Bytes) -> WResult<String> {
     let len = buf.get_u32_le() as usize;
     need(buf, len, "string body")?;
     let raw = buf.split_to(len);
-    String::from_utf8(raw.to_vec()).map_err(|_| WireError("invalid utf8".into()))
+    String::from_utf8(raw.to_vec()).map_err(|_| WireError::malformed("invalid utf8"))
 }
 
 fn put_shape(buf: &mut BytesMut, s: &Shape) {
@@ -62,7 +235,7 @@ fn get_shape(buf: &mut Bytes) -> WResult<Shape> {
     need(buf, 4, "shape rank")?;
     let rank = buf.get_u32_le() as usize;
     if rank > 64 {
-        return Err(WireError(format!("implausible rank {rank}")));
+        return Err(WireError::malformed(format!("implausible rank {rank}")));
     }
     let mut dims = Vec::with_capacity(rank);
     for _ in 0..rank {
@@ -83,7 +256,7 @@ fn act_from(tag: u8) -> WResult<Activation> {
     Activation::ALL
         .get(tag as usize)
         .copied()
-        .ok_or_else(|| WireError(format!("bad activation tag {tag}")))
+        .ok_or_else(|| WireError::malformed(format!("bad activation tag {tag}")))
 }
 
 fn put_conv(buf: &mut BytesMut, c: &ConvAttrs) {
@@ -345,7 +518,9 @@ fn get_op(buf: &mut Bytes) -> WResult<Op> {
             need(buf, 4, "perm len")?;
             let len = buf.get_u32_le() as usize;
             if len > 64 {
-                return Err(WireError(format!("implausible perm length {len}")));
+                return Err(WireError::malformed(format!(
+                    "implausible perm length {len}"
+                )));
             }
             let mut perm = Vec::with_capacity(len);
             for _ in 0..len {
@@ -365,7 +540,9 @@ fn get_op(buf: &mut Bytes) -> WResult<Op> {
             need(buf, 4, "axes len")?;
             let len = buf.get_u32_le() as usize;
             if len > 64 {
-                return Err(WireError(format!("implausible axes length {len}")));
+                return Err(WireError::malformed(format!(
+                    "implausible axes length {len}"
+                )));
             }
             let mut axes = Vec::with_capacity(len);
             for _ in 0..len {
@@ -385,7 +562,7 @@ fn get_op(buf: &mut Bytes) -> WResult<Op> {
                 dim: buf.get_u64_le() as usize,
             }
         }
-        other => return Err(WireError(format!("unknown op tag {other}"))),
+        other => return Err(WireError::malformed(format!("unknown op tag {other}"))),
     })
 }
 
@@ -417,7 +594,9 @@ pub fn decode_graph(buf: &mut Bytes) -> WResult<Graph> {
     need(buf, 4, "node count")?;
     let count = buf.get_u32_le() as usize;
     if count > 10_000_000 {
-        return Err(WireError(format!("implausible node count {count}")));
+        return Err(WireError::malformed(format!(
+            "implausible node count {count}"
+        )));
     }
     let mut ids: Vec<NodeId> = Vec::with_capacity(count);
     let mut pending: Vec<Node> = Vec::with_capacity(count);
@@ -427,7 +606,7 @@ pub fn decode_graph(buf: &mut Bytes) -> WResult<Graph> {
         need(buf, 4, "input count")?;
         let n_in = buf.get_u32_le() as usize;
         if n_in > count {
-            return Err(WireError(format!(
+            return Err(WireError::malformed(format!(
                 "node has {n_in} inputs in {count}-node graph"
             )));
         }
@@ -436,7 +615,7 @@ pub fn decode_graph(buf: &mut Bytes) -> WResult<Graph> {
             need(buf, 4, "input id")?;
             let raw = buf.get_u32_le() as usize;
             if raw >= count {
-                return Err(WireError(format!("input id {raw} out of range")));
+                return Err(WireError::malformed(format!("input id {raw} out of range")));
             }
             inputs.push(NodeId::from_index(raw));
         }
@@ -453,14 +632,18 @@ pub fn decode_graph(buf: &mut Bytes) -> WResult<Graph> {
     need(buf, 4, "output count")?;
     let n_out = buf.get_u32_le() as usize;
     if n_out > count {
-        return Err(WireError(format!("{n_out} outputs in {count}-node graph")));
+        return Err(WireError::malformed(format!(
+            "{n_out} outputs in {count}-node graph"
+        )));
     }
     let mut outs = Vec::with_capacity(n_out);
     for _ in 0..n_out {
         need(buf, 4, "output id")?;
         let raw = buf.get_u32_le() as usize;
         if raw >= count {
-            return Err(WireError(format!("output id {raw} out of range")));
+            return Err(WireError::malformed(format!(
+                "output id {raw} out of range"
+            )));
         }
         outs.push(NodeId::from_index(raw));
     }
@@ -500,7 +683,9 @@ pub fn decode_params(buf: &mut Bytes) -> WResult<TensorMap> {
         let idx = buf.get_u32_le() as usize;
         let n = buf.get_u32_le() as usize;
         if n > 16 {
-            return Err(WireError(format!("implausible tensor count {n}")));
+            return Err(WireError::malformed(format!(
+                "implausible tensor count {n}"
+            )));
         }
         let mut tensors = Vec::with_capacity(n);
         for _ in 0..n {
@@ -654,5 +839,84 @@ mod tests {
         buf.put_u8(200); // unknown op tag
         let mut bytes = buf.freeze();
         assert!(decode_graph(&mut bytes).is_err());
+    }
+
+    #[test]
+    fn frame_roundtrip_preserves_header_and_payload() {
+        let payload = b"sealed bucket payload";
+        let bytes = encode_frame(7, payload);
+        let mut buf = bytes;
+        let frame = decode_frame(&mut buf).unwrap();
+        assert_eq!(frame.version, WIRE_VERSION);
+        assert_eq!(frame.bucket_index, 7);
+        assert_eq!(&frame.payload[..], payload);
+        assert!(buf.is_empty(), "no trailing bytes");
+    }
+
+    #[test]
+    fn frame_stream_decodes_sequentially() {
+        let mut stream = BytesMut::new();
+        for i in 0..3u32 {
+            stream.put_slice(&encode_frame(i, format!("payload {i}").as_bytes()));
+        }
+        let mut buf = stream.freeze();
+        for i in 0..3u32 {
+            let frame = decode_frame(&mut buf).unwrap();
+            assert_eq!(frame.bucket_index, i);
+        }
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn frame_rejects_unknown_version() {
+        let bytes = encode_frame(0, b"payload");
+        let mut raw = bytes.to_vec();
+        raw[4] = 99; // bump the version field
+        let mut buf = Bytes::copy_from_slice(&raw);
+        assert_eq!(
+            decode_frame(&mut buf),
+            Err(WireError::UnknownVersion {
+                got: 99,
+                supported: WIRE_VERSION
+            })
+        );
+    }
+
+    #[test]
+    fn frame_rejects_bad_magic() {
+        let bytes = encode_frame(0, b"payload");
+        let mut raw = bytes.to_vec();
+        raw[0] = b'X';
+        let mut buf = Bytes::copy_from_slice(&raw);
+        assert!(matches!(
+            decode_frame(&mut buf),
+            Err(WireError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn frame_detects_single_byte_corruption_everywhere() {
+        let bytes = encode_frame(3, b"some payload that is checksummed");
+        for pos in 0..bytes.len() {
+            let mut raw = bytes.to_vec();
+            raw[pos] ^= 0x40;
+            let mut buf = Bytes::copy_from_slice(&raw);
+            assert!(
+                decode_frame(&mut buf).is_err(),
+                "corruption at byte {pos} decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_rejects_truncation_at_every_length() {
+        let bytes = encode_frame(1, b"truncate me");
+        for cut in 0..bytes.len() {
+            let mut buf = bytes.slice(0..cut);
+            assert!(
+                matches!(decode_frame(&mut buf), Err(WireError::Truncated { .. })),
+                "cut at {cut} not rejected as truncated"
+            );
+        }
     }
 }

@@ -224,10 +224,22 @@ pub struct OptimizeStats {
 }
 
 /// A graph-level optimizer (the "optimizer party" of the paper).
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// The handle owns its profile's rule catalog, resolved once at
+/// construction — in the streaming protocol one `Optimizer` is reused
+/// across every [`Optimizer::optimize`] call (all members of all frames),
+/// so per-call catalog rebuilds are off the hot path.
+#[derive(Debug, Clone)]
 pub struct Optimizer {
     profile: Profile,
     engine: Engine,
+    rules: Vec<RuleSpec>,
+}
+
+impl Default for Optimizer {
+    fn default() -> Optimizer {
+        Optimizer::new(Profile::default())
+    }
 }
 
 /// Iteration cap shared by both engines. The naive engine runs at most this
@@ -240,15 +252,16 @@ impl Optimizer {
     /// Creates an optimizer with the given profile and the default
     /// (worklist) engine.
     pub fn new(profile: Profile) -> Optimizer {
-        Optimizer {
-            profile,
-            engine: Engine::default(),
-        }
+        Optimizer::with_engine(profile, Engine::default())
     }
 
     /// Creates an optimizer with an explicit engine.
     pub fn with_engine(profile: Profile, engine: Engine) -> Optimizer {
-        Optimizer { profile, engine }
+        Optimizer {
+            profile,
+            engine,
+            rules: profile.rules(),
+        }
     }
 
     /// The active profile.
@@ -261,6 +274,11 @@ impl Optimizer {
         self.engine
     }
 
+    /// The rule catalog this handle applies, in application order.
+    pub fn rules(&self) -> &[RuleSpec] {
+        &self.rules
+    }
+
     /// Optimizes a graph to fixpoint. Returns the optimized graph (compacted
     /// and dead-code-pruned), its parameters, and rewrite statistics.
     ///
@@ -269,17 +287,15 @@ impl Optimizer {
     pub fn optimize(&self, graph: &Graph, params: &TensorMap) -> (Graph, TensorMap, OptimizeStats) {
         let mut g = graph.clone();
         let mut p = params.clone();
-        let rules = self.profile.rules();
+        let rules = &self.rules;
         let mut stats = OptimizeStats {
             nodes_before: g.len(),
             ..Default::default()
         };
         let mut totals = vec![0usize; rules.len()];
         stats.iterations = match self.engine {
-            Engine::Worklist => run_worklist(&mut g, &mut p, &rules, &mut totals),
-            Engine::NaiveFixpoint => {
-                crate::naive::run_fixpoint(&mut g, &mut p, &rules, &mut totals)
-            }
+            Engine::Worklist => run_worklist(&mut g, &mut p, rules, &mut totals),
+            Engine::NaiveFixpoint => crate::naive::run_fixpoint(&mut g, &mut p, rules, &mut totals),
         };
         g.prune_dead();
         let (compacted, mapping) = g.compact();

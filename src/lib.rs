@@ -16,13 +16,14 @@
 //!
 //! # Quickstart
 //!
-//! The full protocol round trip — obfuscate a secret model, let the
-//! untrusted optimizer party optimize every bucket member, de-obfuscate,
-//! and check that the optimized model computes the same function (a
-//! condensed version of `examples/quickstart.rs`):
+//! The full protocol round trip over the streaming session API — train
+//! once, obfuscate a secret model one sealed bucket at a time, let the
+//! untrusted optimizer party optimize each frame as it arrives,
+//! reassemble, and check that the optimized model computes the same
+//! function (a condensed version of `examples/confidential_service.rs`):
 //!
 //! ```
-//! use proteus::{optimize_model, PartitionSpec, Proteus, ProteusConfig};
+//! use proteus::{PartitionSpec, Proteus, ProteusConfig, SealedBucket};
 //! use proteus_graph::{Activation, Executor, Graph, Op, Tensor, TensorMap};
 //! use proteus_graphgen::GraphRnnConfig;
 //! use proteus_models::{build, ModelKind};
@@ -39,23 +40,42 @@
 //! secret.set_outputs([out]);
 //! let weights = TensorMap::init_random(&secret, 42);
 //!
-//! // Train the sentinel generator on PUBLIC models only, then obfuscate:
-//! // the optimizer party sees n buckets of k+1 anonymized candidates.
-//! let config = ProteusConfig {
-//!     k: 2,
-//!     partitions: PartitionSpec::Count(1),
-//!     graphrnn: GraphRnnConfig { epochs: 1, ..Default::default() },
-//!     topology_pool: 12,
-//!     ..Default::default()
-//! };
-//! let proteus = Proteus::train(config, &[build(ModelKind::MobileNet)]);
-//! let (bucket, secrets) = proteus.obfuscate(&secret, &weights)?;
-//! assert_eq!(bucket.buckets[0].members.len(), 3); // k + 1
+//! // Train the sentinel generator on PUBLIC models only. The builder
+//! // validates the config; the trained instance is immutable and can be
+//! // shared (Arc) across concurrent requests.
+//! let proteus = Proteus::builder()
+//!     .config(ProteusConfig {
+//!         k: 2,
+//!         partitions: PartitionSpec::Count(1),
+//!         graphrnn: GraphRnnConfig { epochs: 1, ..Default::default() },
+//!         topology_pool: 12,
+//!         ..Default::default()
+//!     })
+//!     .corpus_model(build(ModelKind::MobileNet))
+//!     .train()?;
 //!
-//! // The optimizer party optimizes every member (it cannot tell which is
-//! // real); the developer de-obfuscates and verifies semantics survived.
-//! let optimized = optimize_model(&bucket, &Optimizer::new(Profile::OrtLike));
-//! let (model, params) = proteus.deobfuscate(&secrets, &optimized)?;
+//! // Each request streams sealed, versioned, checksummed frames across
+//! // the trust boundary; the same request_id replays byte-identical
+//! // frames. The optimizer party works frame by frame — it cannot tell
+//! // which of the k+1 members is real.
+//! let optimizer = Optimizer::new(Profile::OrtLike);
+//! let mut session = proteus.obfuscate_session(&secret, &weights, 1)?;
+//! let mut returned = Vec::new();
+//! while let Some(frame) = session.next_frame() {
+//!     assert_eq!(frame.bucket.members.len(), 3); // k + 1
+//!     let wire = frame.to_bytes(); // <- what actually crosses the boundary
+//!     let received = SealedBucket::from_bytes(wire)?;
+//!     returned.push(received.optimize(&optimizer, None));
+//! }
+//! let secrets = session.finish()?;
+//!
+//! // The developer reassembles from frames (any order) and verifies
+//! // semantics survived.
+//! let mut reassembly = proteus.deobfuscate_session(&secrets);
+//! for frame in returned {
+//!     reassembly.accept(frame)?;
+//! }
+//! let (model, params) = reassembly.finish()?;
 //! let mut rng = StdRng::seed_from_u64(7);
 //! let probe = Tensor::random([1, 16], 1.0, &mut rng);
 //! let before = Executor::new(&secret, &weights).run(&[probe.clone()])?;
@@ -63,6 +83,12 @@
 //! assert!(before[0].max_abs_diff(&after[0]) < 1e-3);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! Migrating from the one-shot API: [`proteus::Proteus::obfuscate`],
+//! [`proteus::optimize_model`], and [`proteus::Proteus::deobfuscate`]
+//! remain available as compatibility wrappers (now returning the typed
+//! [`proteus::ProteusError`]); they are bit-identical to driving a
+//! session with [`proteus::LEGACY_REQUEST_ID`].
 
 pub use proteus;
 pub use proteus_adversary;

@@ -1,0 +1,223 @@
+//! Session/legacy parity: the one-shot `obfuscate`/`deobfuscate` wrappers
+//! must be **bit-identical** to driving the streaming sessions by hand,
+//! across the model zoo — same buckets, same wire bytes, same reassembled
+//! graphs. Plus the determinism contract of the per-request seed
+//! derivation: the same `request_id` yields byte-identical frames across
+//! independent sessions, distinct ids diverge.
+//!
+//! CI runs this suite in release mode (the `session-service` job) so the
+//! compatibility wrappers cannot rot.
+
+use proteus::{
+    optimize_model, DeobfuscationSession, ObfuscatedModel, PartitionSpec, Proteus, ProteusConfig,
+    ProteusError, SealedBucket, LEGACY_REQUEST_ID,
+};
+use proteus_graph::{
+    Activation, BatchNormAttrs, ConvAttrs, GemmAttrs, Graph, Op, PoolAttrs, TensorMap,
+};
+use proteus_graphgen::GraphRnnConfig;
+use proteus_models::{build, ModelKind};
+use proteus_opt::{Optimizer, Profile};
+
+fn quick_config(k: usize, n: usize) -> ProteusConfig {
+    ProteusConfig {
+        k,
+        partitions: PartitionSpec::Count(n),
+        graphrnn: GraphRnnConfig {
+            epochs: 2,
+            max_nodes: 20,
+            ..Default::default()
+        },
+        topology_pool: 30,
+        ..Default::default()
+    }
+}
+
+/// An executable CNN with parameters, so parity also covers the sentinel
+/// parameter streams (structure-only models skip them).
+fn executable_cnn() -> (Graph, TensorMap) {
+    let mut g = Graph::new("parity-cnn");
+    let x = g.input([1, 3, 12, 12]);
+    let c1 = g.add(
+        Op::Conv(ConvAttrs::new(3, 8, 3).padding(1).bias(false)),
+        [x],
+    );
+    let b1 = g.add(Op::BatchNorm(BatchNormAttrs { channels: 8 }), [c1]);
+    let r1 = g.add(Op::Activation(Activation::Relu), [b1]);
+    let c2 = g.add(
+        Op::Conv(ConvAttrs::new(8, 8, 3).padding(1).bias(false)),
+        [r1],
+    );
+    let b2 = g.add(Op::BatchNorm(BatchNormAttrs { channels: 8 }), [c2]);
+    let a = g.add(Op::Add, [b2, r1]);
+    let r2 = g.add(Op::Activation(Activation::Relu), [a]);
+    let p = g.add(Op::MaxPool(PoolAttrs::new(2, 2, 0)), [r2]);
+    let f = g.add(Op::Flatten, [p]);
+    let fc = g.add(Op::Gemm(GemmAttrs::new(8 * 6 * 6, 10)), [f]);
+    g.set_outputs([fc]);
+    let params = TensorMap::init_random(&g, 77);
+    (g, params)
+}
+
+/// Drains a session into `(model, frame_bytes, secrets)`.
+fn drive_session(
+    proteus: &Proteus,
+    g: &Graph,
+    params: &TensorMap,
+    request_id: u64,
+) -> (ObfuscatedModel, Vec<Vec<u8>>, proteus::ObfuscationSecrets) {
+    let mut session = proteus
+        .obfuscate_session(g, params, request_id)
+        .expect("session opens");
+    let mut buckets = Vec::new();
+    let mut frames = Vec::new();
+    while let Some(frame) = session.next_frame() {
+        frames.push(frame.to_bytes().to_vec());
+        buckets.push(frame.into_bucket());
+    }
+    let secrets = session.finish().expect("all frames emitted");
+    (ObfuscatedModel { buckets }, frames, secrets)
+}
+
+#[test]
+fn wrapper_is_bit_identical_to_session_across_the_zoo() {
+    let proteus = Proteus::train(quick_config(2, 4), &[build(ModelKind::ResNet)]);
+    for kind in ModelKind::ALL {
+        let g = build(kind);
+        let (legacy_model, legacy_secrets) =
+            proteus.obfuscate(&g, &TensorMap::new()).expect("obfuscate");
+        let (session_model, _, session_secrets) =
+            drive_session(&proteus, &g, &TensorMap::new(), LEGACY_REQUEST_ID);
+
+        // identical wire bytes — covers graphs, params, order, framing
+        assert_eq!(
+            legacy_model.to_bytes().to_vec(),
+            session_model.to_bytes().to_vec(),
+            "{kind}: wrapper and session models diverge on the wire"
+        );
+        assert_eq!(
+            legacy_secrets.real_positions, session_secrets.real_positions,
+            "{kind}: real positions diverge"
+        );
+
+        // identical reassembly through both deobfuscation paths
+        let (legacy_back, _) = proteus
+            .deobfuscate(&legacy_secrets, &session_model)
+            .expect("wrapper deobfuscate");
+        let mut reassembly = DeobfuscationSession::new(&session_secrets);
+        let nb = session_model.num_buckets() as u32;
+        for (i, bucket) in session_model.buckets.iter().enumerate() {
+            reassembly
+                .accept(SealedBucket {
+                    bucket_index: i as u32,
+                    num_buckets: nb,
+                    bucket: bucket.clone(),
+                })
+                .expect("accept");
+        }
+        let (session_back, _) = reassembly.finish().expect("session deobfuscate");
+        assert_eq!(
+            legacy_back, session_back,
+            "{kind}: reassembled graphs diverge"
+        );
+    }
+}
+
+#[test]
+fn same_request_id_yields_byte_identical_frames() {
+    let (g, params) = executable_cnn();
+    let proteus = Proteus::train(quick_config(3, 3), &[build(ModelKind::MobileNet)]);
+    let (_, frames_a, _) = drive_session(&proteus, &g, &params, 0xFEED);
+    let (_, frames_b, _) = drive_session(&proteus, &g, &params, 0xFEED);
+    assert_eq!(frames_a.len(), frames_b.len());
+    for (i, (a, b)) in frames_a.iter().zip(&frames_b).enumerate() {
+        assert_eq!(a, b, "frame {i} differs across runs of one request_id");
+    }
+
+    // distinct request ids must not replay the same stream
+    let (_, frames_c, _) = drive_session(&proteus, &g, &params, 0xFEED + 1);
+    assert_ne!(
+        frames_a, frames_c,
+        "distinct request ids produced identical frame streams"
+    );
+}
+
+#[test]
+fn streamed_optimization_matches_batch_wrapper_bit_for_bit() {
+    let (g, params) = executable_cnn();
+    let proteus = Proteus::train(quick_config(2, 3), &[build(ModelKind::ResNet)]);
+    let optimizer = Optimizer::new(Profile::OrtLike);
+
+    // batch path: wrappers end to end
+    let (model, secrets) = proteus.obfuscate(&g, &params).expect("obfuscate");
+    let optimized = optimize_model(&model, &optimizer);
+    let (batch_graph, batch_params) = proteus
+        .deobfuscate(&secrets, &optimized)
+        .expect("deobfuscate");
+
+    // streaming path: frame-at-a-time, returned out of order
+    let mut session = proteus
+        .obfuscate_session(&g, &params, LEGACY_REQUEST_ID)
+        .expect("session");
+    let mut optimized_frames: Vec<SealedBucket> = session
+        .by_ref()
+        .map(|frame| frame.optimize(&optimizer, None))
+        .collect();
+    let secrets2 = session.finish().expect("secrets");
+    optimized_frames.reverse(); // any-order acceptance
+    let mut reassembly = proteus.deobfuscate_session(&secrets2);
+    for frame in optimized_frames {
+        reassembly.accept(frame).expect("accept");
+    }
+    let (stream_graph, stream_params) = reassembly.finish().expect("reassemble");
+
+    assert_eq!(batch_graph, stream_graph, "optimized graphs diverge");
+    assert_eq!(batch_params, stream_params, "optimized params diverge");
+}
+
+#[test]
+fn session_protocol_violations_are_typed_errors() {
+    let (g, params) = executable_cnn();
+    let proteus = Proteus::train(quick_config(2, 3), &[build(ModelKind::ResNet)]);
+
+    // secrets before all frames are emitted
+    let mut session = proteus
+        .obfuscate_session(&g, &params, 1)
+        .expect("session opens");
+    let first = session.next_frame().expect("one frame");
+    let err = session.finish().unwrap_err();
+    assert!(matches!(err, ProteusError::Protocol { .. }), "{err:?}");
+
+    // duplicate and mismatched frames on the receiving side
+    let mut session = proteus.obfuscate_session(&g, &params, 1).expect("session");
+    let frames: Vec<SealedBucket> = session.by_ref().collect();
+    let secrets = session.finish().expect("secrets");
+    let mut reassembly = proteus.deobfuscate_session(&secrets);
+    reassembly.accept(frames[0].clone()).expect("first accept");
+    let err = reassembly.accept(frames[0].clone()).unwrap_err();
+    assert!(matches!(err, ProteusError::Protocol { .. }), "{err:?}");
+    let mut alien = first;
+    alien.num_buckets += 7;
+    let err = reassembly.accept(alien).unwrap_err();
+    assert!(matches!(err, ProteusError::Protocol { .. }), "{err:?}");
+
+    // reassembly while frames are missing
+    let reassembly = proteus.deobfuscate_session(&secrets);
+    let err = reassembly.finish().unwrap_err();
+    assert!(matches!(err, ProteusError::Protocol { .. }), "{err:?}");
+}
+
+#[test]
+fn config_validation_front_loads_degenerate_requests() {
+    let (g, params) = executable_cnn();
+    let mut cfg = quick_config(2, 3);
+    cfg.k = 0; // degenerate — but legacy train() does not validate
+    let proteus = Proteus::train(cfg, &[build(ModelKind::ResNet)]);
+    let err = proteus.obfuscate_session(&g, &params, 1).unwrap_err();
+    assert!(matches!(err, ProteusError::Config { .. }), "{err:?}");
+    let err = proteus.obfuscate(&g, &params).unwrap_err();
+    assert!(
+        matches!(err, ProteusError::Config { .. }),
+        "legacy wrapper must surface the same typed error: {err:?}"
+    );
+}

@@ -1,0 +1,205 @@
+//! Wire-protocol robustness: random buckets must round-trip exactly, and
+//! every malformed input — truncation, single-byte corruption, unknown
+//! versions, bad magic — must come back as a typed [`WireError`], never a
+//! panic or a silent misparse.
+
+use bytes::Bytes;
+use proteus::{Bucket, BucketMember, ObfuscatedModel, SealedBucket};
+use proteus_graph::{Activation, Graph, Op, Shape, TensorMap, WireError, WIRE_VERSION};
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random small executable-ish DAGs with parameters — shaped like the
+    /// anonymized subgraphs that actually cross the wire.
+    fn arb_member() -> impl Strategy<Value = BucketMember> {
+        (
+            proptest::collection::vec((0u8..7, proptest::num::u64::ANY), 2..14),
+            proptest::num::u64::ANY,
+        )
+            .prop_map(|(specs, seed)| {
+                let mut g = Graph::new("wiretest");
+                let mut ids = vec![g.input([2, 3, 4])];
+                for (kind, pick) in specs {
+                    let a = ids[(pick as usize) % ids.len()];
+                    let b = ids[(pick as usize / 5) % ids.len()];
+                    let id = match kind {
+                        0 => g.add(Op::Activation(Activation::Relu), [a]),
+                        1 => g.add(Op::Activation(Activation::Gelu), [a]),
+                        2 => g.add(Op::Identity, [a]),
+                        3 => g.add(Op::Add, [a, b]),
+                        4 => g.add(Op::Mul, [a, b]),
+                        5 => g.add(
+                            Op::Reshape {
+                                shape: Shape::from([2, 12]),
+                            },
+                            [a],
+                        ),
+                        _ => g.add(
+                            Op::Transpose {
+                                perm: vec![0, 2, 1],
+                            },
+                            [a],
+                        ),
+                    };
+                    ids.push(id);
+                }
+                let last = *ids.last().expect("nonempty");
+                g.set_outputs([last]);
+                let params = TensorMap::init_random(&g, seed);
+                BucketMember { graph: g, params }
+            })
+    }
+
+    fn arb_sealed() -> impl Strategy<Value = SealedBucket> {
+        (
+            proptest::collection::vec(arb_member(), 1..5),
+            0u32..4,
+            proptest::num::u64::ANY,
+        )
+            .prop_map(|(members, index, total_salt)| {
+                let num_buckets = index + 1 + (total_salt % 4) as u32;
+                SealedBucket {
+                    bucket_index: index,
+                    num_buckets,
+                    bucket: Bucket { members },
+                }
+            })
+    }
+
+    fn assert_members_equal(a: &Bucket, b: &Bucket) {
+        assert_eq!(a.members.len(), b.members.len());
+        for (ma, mb) in a.members.iter().zip(&b.members) {
+            // encode is compacting, so compare codec-normalized forms
+            assert_eq!(ma.graph.len(), mb.graph.len());
+            assert_eq!(ma.graph.edge_count(), mb.graph.edge_count());
+            assert_eq!(ma.params.len(), mb.params.len());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn sealed_bucket_roundtrips(sealed in arb_sealed()) {
+            let bytes = sealed.to_bytes();
+            let back = SealedBucket::from_bytes(bytes).unwrap();
+            prop_assert_eq!(back.bucket_index, sealed.bucket_index);
+            prop_assert_eq!(back.num_buckets, sealed.num_buckets);
+            assert_members_equal(&sealed.bucket, &back.bucket);
+            // a re-encode of the decoded frame is byte-stable
+            let bytes_a = sealed.to_bytes();
+            let bytes_b = back.to_bytes();
+            prop_assert_eq!(bytes_a.to_vec(), bytes_b.to_vec());
+        }
+
+        #[test]
+        fn corrupted_frames_rejected_not_panicked(
+            sealed in arb_sealed(),
+            pos_pick in proptest::num::u64::ANY,
+            bit in 0u8..8,
+        ) {
+            let bytes = sealed.to_bytes().to_vec();
+            let pos = (pos_pick as usize) % bytes.len();
+            let mut raw = bytes;
+            raw[pos] ^= 1u8 << bit;
+            // every single-bit corruption must surface as a typed error —
+            // the checksum covers header fields and payload alike
+            let got = SealedBucket::from_bytes(Bytes::copy_from_slice(&raw));
+            prop_assert!(got.is_err(), "corruption at byte {} bit {} was accepted", pos, bit);
+        }
+
+        #[test]
+        fn truncated_frames_rejected(sealed in arb_sealed(), cut_pick in proptest::num::u64::ANY) {
+            let bytes = sealed.to_bytes();
+            let cut = (cut_pick as usize) % bytes.len();
+            let got = SealedBucket::from_bytes(bytes.slice(0..cut));
+            prop_assert!(got.is_err(), "cut at {} was accepted", cut);
+        }
+
+        #[test]
+        fn unknown_versions_rejected_with_typed_error(
+            sealed in arb_sealed(),
+            version in proptest::num::u64::ANY,
+        ) {
+            let version = match (version % 0xFFFF) as u16 {
+                WIRE_VERSION => WIRE_VERSION + 1,
+                v => v,
+            };
+            let mut raw = sealed.to_bytes().to_vec();
+            raw[4..6].copy_from_slice(&version.to_le_bytes());
+            match SealedBucket::from_bytes(Bytes::copy_from_slice(&raw)) {
+                Err(WireError::UnknownVersion { got, supported }) => {
+                    prop_assert_eq!(got, version);
+                    prop_assert_eq!(supported, WIRE_VERSION);
+                }
+                other => prop_assert!(false, "expected UnknownVersion, got {:?}", other),
+            }
+        }
+
+        #[test]
+        fn model_blob_roundtrips_and_rejects_corruption(
+            members in proptest::collection::vec(arb_member(), 2..7),
+            pos_pick in proptest::num::u64::ANY,
+        ) {
+            // split members into two buckets
+            let split = members.len() / 2;
+            let model = ObfuscatedModel {
+                buckets: vec![
+                    Bucket { members: members[..split].to_vec() },
+                    Bucket { members: members[split..].to_vec() },
+                ],
+            };
+            let bytes = model.to_bytes();
+            let back = ObfuscatedModel::from_bytes(bytes.clone()).unwrap();
+            prop_assert_eq!(back.num_buckets(), model.num_buckets());
+            prop_assert_eq!(back.total_subgraphs(), model.total_subgraphs());
+
+            // corrupt one byte past the model header: typed error, no panic
+            let mut raw = bytes.to_vec();
+            let pos = 4 + (pos_pick as usize) % (raw.len() - 4);
+            raw[pos] ^= 0x20;
+            prop_assert!(
+                ObfuscatedModel::from_bytes(Bytes::copy_from_slice(&raw)).is_err(),
+                "corruption at byte {} was accepted", pos
+            );
+        }
+    }
+}
+
+#[test]
+fn bad_magic_is_a_typed_error() {
+    let sealed = SealedBucket {
+        bucket_index: 0,
+        num_buckets: 1,
+        bucket: Bucket {
+            members: Vec::new(),
+        },
+    };
+    let mut raw = sealed.to_bytes().to_vec();
+    raw[0..4].copy_from_slice(b"JUNK");
+    assert!(matches!(
+        SealedBucket::from_bytes(Bytes::copy_from_slice(&raw)),
+        Err(WireError::BadMagic { .. })
+    ));
+}
+
+#[test]
+fn checksum_mismatch_is_a_typed_error() {
+    let sealed = SealedBucket {
+        bucket_index: 0,
+        num_buckets: 1,
+        bucket: Bucket {
+            members: Vec::new(),
+        },
+    };
+    let mut raw = sealed.to_bytes().to_vec();
+    let last = raw.len() - 1;
+    raw[last] ^= 0xFF; // payload byte (or checksum when payload is tiny)
+    let got = SealedBucket::from_bytes(Bytes::copy_from_slice(&raw));
+    assert!(
+        matches!(got, Err(WireError::ChecksumMismatch { .. })),
+        "{got:?}"
+    );
+}

@@ -9,8 +9,8 @@
 //! - [`sentinel_gallery_flow`] <-> `examples/sentinel_gallery.rs`
 
 use proteus::{
-    optimize_model, random_opcode_sentinels, ObfuscatedModel, PartitionSpec, Proteus,
-    ProteusConfig, SentinelMode,
+    optimize_model, random_opcode_sentinels, PartitionSpec, Proteus, ProteusConfig, SealedBucket,
+    SentinelMode,
 };
 use proteus_adversary::{attack_buckets, Example, LabelledBucket, SageClassifier, SageConfig};
 use proteus_graph::{
@@ -96,29 +96,37 @@ fn quickstart_flow() {
     );
 }
 
-/// `examples/confidential_service.rs`: only serialized bytes cross the
-/// trust boundary, in both directions.
+/// `examples/confidential_service.rs`: only serialized frames cross the
+/// trust boundary, one sealed bucket at a time, in both directions.
 #[test]
 fn confidential_service_flow() {
     let (secret, weights) = secret_cnn();
     let proteus = trained();
-    let (bucket, secrets) = proteus.obfuscate(&secret, &weights).expect("obfuscate");
+    let optimizer = Optimizer::new(Profile::OrtLike);
 
-    // owner -> service
-    let wire = bucket.to_bytes();
-    assert!(!wire.is_empty());
+    // owner -> service -> owner, frame by frame
+    let mut session = proteus
+        .obfuscate_session(&secret, &weights, 0xCAFE)
+        .expect("session opens");
+    let mut returned_wire = Vec::new();
+    while let Some(frame) = session.next_frame() {
+        // owner seals the frame...
+        let wire = frame.to_bytes();
+        assert!(!wire.is_empty());
+        // ...the service decodes, optimizes, re-seals...
+        let received = SealedBucket::from_bytes(wire).expect("service decode");
+        assert_eq!(received.bucket.members.len(), proteus.config().k + 1);
+        returned_wire.push(received.optimize(&optimizer, None).to_bytes());
+    }
+    let secrets = session.finish().expect("secrets after all frames");
 
-    // service side: decode, optimize every member, re-encode
-    let received = ObfuscatedModel::from_bytes(wire).expect("service decode");
-    assert_eq!(received.num_buckets(), bucket.num_buckets());
-    assert_eq!(received.total_subgraphs(), bucket.total_subgraphs());
-    let optimized_wire = optimize_model(&received, &Optimizer::new(Profile::OrtLike)).to_bytes();
-
-    // service -> owner
-    let optimized = ObfuscatedModel::from_bytes(optimized_wire).expect("owner decode");
-    let (model, params) = proteus
-        .deobfuscate(&secrets, &optimized)
-        .expect("deobfuscate");
+    // ...and the owner reassembles from frames in any order
+    let mut reassembly = proteus.deobfuscate_session(&secrets);
+    returned_wire.reverse();
+    for wire in returned_wire {
+        reassembly.accept_bytes(wire).expect("owner decode");
+    }
+    let (model, params) = reassembly.finish().expect("reassemble");
     model.validate().expect("reassembled model is well-formed");
 
     let mut rng = StdRng::seed_from_u64(11);
