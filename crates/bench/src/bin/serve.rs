@@ -1,0 +1,295 @@
+//! Multi-tenant serving load generator: drives the shared-pool
+//! [`ServeRuntime`] with an open-loop stream of concurrent obfuscation
+//! requests across the model zoo and writes `BENCH_serve.json`
+//! (throughput, p50/p95/p99 latency-to-last-frame, peak concurrency,
+//! queue depths).
+//!
+//! Every run also *asserts* concurrency parity: each request's optimized
+//! frames and reassembled model must be bit-identical to the serial
+//! single-session path, so the binary doubles as a regression gate. CI
+//! runs it in smoke mode (`--smoke`, one 8-request wave) where the parity
+//! assertions still hold even though the timings are noisy.
+//!
+//! Usage: `cargo run --release -p proteus-bench --bin serve [-- --smoke] [-- --out PATH]`
+
+use proteus::serve::ServeRuntime;
+use proteus::{
+    DeobfuscationSession, PartitionSpec, Proteus, ProteusConfig, SealedBucket, ServeConfig,
+};
+use proteus_graph::{Graph, TensorMap};
+use proteus_graphgen::GraphRnnConfig;
+use proteus_models::{build, ModelKind};
+use proteus_opt::{Optimizer, Profile};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// The full-mode request mix: a rotation over the zoo's CNN family (the
+/// transformer models partition into same-sized pieces; the rotation
+/// keeps per-request cost bounded while varying shapes and loads).
+const ZOO: [ModelKind; 6] = [
+    ModelKind::AlexNet,
+    ModelKind::MobileNet,
+    ModelKind::ResNet,
+    ModelKind::DenseNet,
+    ModelKind::GoogleNet,
+    ModelKind::MnasNet,
+];
+
+/// Smoke mode trims the rotation to the two cheapest models — the job
+/// exists to keep the binary and its parity assertions from rotting, not
+/// to produce meaningful timings on shared runners.
+const ZOO_SMOKE: [ModelKind; 2] = [ModelKind::AlexNet, ModelKind::ResNet];
+
+fn request_model(rid: u64, smoke: bool) -> Graph {
+    if smoke {
+        build(ZOO_SMOKE[rid as usize % ZOO_SMOKE.len()])
+    } else {
+        build(ZOO[rid as usize % ZOO.len()])
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+struct RequestResult {
+    rid: u64,
+    latency_to_last_frame_ms: f64,
+    /// The sealed input frames this request submitted (captured so the
+    /// serial parity reference re-optimizes the *same* frames without
+    /// paying generation twice).
+    input_frames: Vec<SealedBucket>,
+    secrets: proteus::ObfuscationSecrets,
+    optimized_frames: Vec<SealedBucket>,
+    reassembled: (Graph, TensorMap),
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let requests: u64 = if smoke { 8 } else { 24 };
+    let interval = if smoke {
+        Duration::ZERO
+    } else {
+        Duration::from_millis(100)
+    };
+    let serve_config = ServeConfig {
+        workers: 4,
+        window: 2,
+    };
+
+    println!("== training shared Proteus instance ==");
+    let proteus = Proteus::builder()
+        .config(ProteusConfig {
+            k: 3,
+            // the paper's subgraph-size sweet spot: pieces stay near the
+            // generator's topology sizes, so per-frame cost is bounded
+            // and bucket counts scale with model size
+            partitions: PartitionSpec::TargetSize(8),
+            graphrnn: GraphRnnConfig {
+                epochs: 3,
+                max_nodes: 20,
+                ..Default::default()
+            },
+            topology_pool: 40,
+            ..Default::default()
+        })
+        .corpus(
+            [
+                ModelKind::ResNeXt,
+                ModelKind::Inception,
+                ModelKind::SEResNet,
+            ]
+            .iter()
+            .map(|&k| build(k)),
+        )
+        .train_shared()
+        .expect("train");
+
+    let runtime =
+        ServeRuntime::new(Optimizer::new(Profile::OrtLike), serve_config).expect("runtime");
+    println!(
+        "== open-loop load: {requests} requests, {:.1}ms inter-arrival, {} workers, window {} ==",
+        interval.as_secs_f64() * 1e3,
+        runtime.stats().workers,
+        serve_config.window,
+    );
+
+    // open-loop generator: request i arrives at t0 + i*interval whether or
+    // not earlier requests finished — the pool must absorb the burst
+    let active = AtomicUsize::new(0);
+    let max_active = AtomicUsize::new(0);
+    let t0 = Instant::now() + Duration::from_millis(5);
+    let mut results: Vec<RequestResult> = std::thread::scope(|scope| {
+        let joins: Vec<_> = (0..requests)
+            .map(|rid| {
+                let proteus = &proteus;
+                let runtime = &runtime;
+                let active = &active;
+                let max_active = &max_active;
+                scope.spawn(move || {
+                    let arrival = t0 + interval * rid as u32;
+                    while Instant::now() < arrival {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    let now_active = active.fetch_add(1, Ordering::SeqCst) + 1;
+                    max_active.fetch_max(now_active, Ordering::SeqCst);
+
+                    let graph = request_model(rid, smoke);
+                    let mut session = proteus
+                        .obfuscate_session(&graph, &TensorMap::new(), rid)
+                        .expect("session");
+                    let handle = runtime.handle(rid);
+                    let n = session.num_buckets();
+                    let mut input_frames: Vec<SealedBucket> = Vec::with_capacity(n);
+                    let mut optimized: Vec<SealedBucket> = Vec::with_capacity(n);
+                    while let Some(frame) = session.next_frame() {
+                        input_frames.push(frame.clone());
+                        handle.submit(frame).expect("submit");
+                        while let Some(done) = handle.try_recv() {
+                            optimized.push(done);
+                        }
+                    }
+                    while optimized.len() < n {
+                        optimized.push(handle.recv().expect("recv"));
+                    }
+                    // the measured quantity: arrival -> last optimized
+                    // frame received (includes queueing behind tenants)
+                    let latency_to_last_frame_ms = (Instant::now() - arrival).as_secs_f64() * 1e3;
+                    active.fetch_sub(1, Ordering::SeqCst);
+
+                    let secrets = session.finish().expect("secrets");
+                    let mut reassembly = DeobfuscationSession::new(&secrets);
+                    optimized.sort_by_key(|f| f.bucket_index);
+                    for f in &optimized {
+                        reassembly.accept(f.clone()).expect("accept");
+                    }
+                    let reassembled = reassembly.finish().expect("finish");
+                    RequestResult {
+                        rid,
+                        latency_to_last_frame_ms,
+                        input_frames,
+                        secrets,
+                        optimized_frames: optimized,
+                        reassembled,
+                    }
+                })
+            })
+            .collect();
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("client thread"))
+            .collect()
+    });
+    let wall = t0.elapsed();
+    let stats = runtime.stats();
+    let peak_concurrency = max_active.load(Ordering::SeqCst);
+
+    // parity gate: every request bit-identical to the serial path —
+    // the captured input frames re-optimized one member at a time
+    println!("== verifying parity against the serial session path ==");
+    let optimizer = Optimizer::new(Profile::OrtLike);
+    for r in &results {
+        let want_frames: Vec<SealedBucket> = r
+            .input_frames
+            .iter()
+            .map(|f| f.optimize(&optimizer, Some(1)))
+            .collect();
+        assert_eq!(
+            r.optimized_frames.len(),
+            want_frames.len(),
+            "request {}: frame count diverged",
+            r.rid
+        );
+        for (got, want) in r.optimized_frames.iter().zip(&want_frames) {
+            assert_eq!(
+                got.to_bytes().to_vec(),
+                want.to_bytes().to_vec(),
+                "request {}: optimized frame {} diverged from serial path",
+                r.rid,
+                want.bucket_index
+            );
+        }
+        let mut reassembly = DeobfuscationSession::new(&r.secrets);
+        for f in want_frames {
+            reassembly.accept(f).expect("accept");
+        }
+        let (want_graph, want_params) = reassembly.finish().expect("finish");
+        assert_eq!(
+            r.reassembled.0, want_graph,
+            "request {}: reassembled graph diverged",
+            r.rid
+        );
+        assert_eq!(
+            r.reassembled.1, want_params,
+            "request {}: reassembled tensors diverged",
+            r.rid
+        );
+    }
+    println!(
+        "   all {} requests bit-identical to the serial path",
+        results.len()
+    );
+
+    results.sort_by(|a, b| {
+        a.latency_to_last_frame_ms
+            .partial_cmp(&b.latency_to_last_frame_ms)
+            .expect("finite latencies")
+    });
+    let latencies: Vec<f64> = results.iter().map(|r| r.latency_to_last_frame_ms).collect();
+    let throughput = requests as f64 / wall.as_secs_f64();
+    let (p50, p95, p99) = (
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+    );
+    println!(
+        "\nthroughput        {throughput:8.1} req/s ({requests} requests in {:.1}ms)",
+        wall.as_secs_f64() * 1e3
+    );
+    println!("latency to last   p50 {p50:7.1}ms  p95 {p95:7.1}ms  p99 {p99:7.1}ms");
+    println!("peak concurrency  {peak_concurrency} requests in flight");
+    println!(
+        "pool              {} workers, {} member tasks, max queue depth {}",
+        stats.workers, stats.tasks_executed, stats.max_queue_depth
+    );
+
+    if !smoke {
+        assert!(
+            peak_concurrency >= 8,
+            "shared pool sustained only {peak_concurrency} concurrent requests (need >= 8)"
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"BENCH_serve\",\n  \"mode\": \"{}\",\n  \"requests\": {},\n  \
+         \"open_loop_interval_ms\": {:.1},\n  \"workers\": {},\n  \"window\": {},\n  \
+         \"throughput_rps\": {:.1},\n  \"latency_to_last_frame_ms\": \
+         {{\"p50\": {:.2}, \"p95\": {:.2}, \"p99\": {:.2}}},\n  \
+         \"peak_concurrent_requests\": {},\n  \"max_queue_depth\": {},\n  \
+         \"tasks_executed\": {},\n  \
+         \"parity\": \"per-request outputs bit-identical to the serial session path (asserted)\"\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        requests,
+        interval.as_secs_f64() * 1e3,
+        stats.workers,
+        serve_config.window,
+        throughput,
+        p50,
+        p95,
+        p99,
+        peak_concurrency,
+        stats.max_queue_depth,
+        stats.tasks_executed,
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_serve.json");
+    println!("\nwrote {out_path}");
+    println!("parity assertions passed");
+}

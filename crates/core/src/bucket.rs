@@ -84,66 +84,119 @@ fn decode_member(data: &mut Bytes) -> Result<BucketMember, WireError> {
     Ok(BucketMember { graph, params })
 }
 
-/// Seals a borrowed bucket into frame bytes — the shared encoder behind
-/// [`SealedBucket::to_bytes`] and [`ObfuscatedModel::to_bytes`] (which
-/// must stay byte-compatible, and neither should clone the bucket to
-/// serialize it).
-fn encode_sealed(bucket_index: u32, num_buckets: u32, bucket: &Bucket) -> Bytes {
+/// Builds the frame payload of one sealed bucket (bucket count, member
+/// count, members) — shared by the v1 and v2 frame encoders.
+fn encode_sealed_payload(num_buckets: u32, bucket: &Bucket) -> Bytes {
     let mut payload = BytesMut::new();
     payload.put_u32_le(num_buckets);
     payload.put_u32_le(bucket.members.len() as u32);
     for member in &bucket.members {
         encode_member(&mut payload, member);
     }
-    encode_frame(bucket_index, &payload.freeze())
+    payload.freeze()
+}
+
+/// Seals a borrowed bucket into v1 frame bytes — the shared encoder behind
+/// [`SealedBucket::to_bytes`] and [`ObfuscatedModel::to_bytes`] (which
+/// must stay byte-compatible, and neither should clone the bucket to
+/// serialize it).
+fn encode_sealed(bucket_index: u32, num_buckets: u32, bucket: &Bucket) -> Bytes {
+    encode_frame(bucket_index, &encode_sealed_payload(num_buckets, bucket))
+}
+
+/// Parses a sealed bucket out of a decoded [`proteus_graph::wire::Frame`]
+/// payload — the shared decoder behind the single-request and multiplexed
+/// entry points.
+fn decode_sealed_payload(bucket_index: u32, mut payload: Bytes) -> Result<SealedBucket, WireError> {
+    if payload.remaining() < 8 {
+        return Err(WireError::truncated("sealed bucket header"));
+    }
+    let num_buckets = payload.get_u32_le();
+    let nm = payload.get_u32_le() as usize;
+    if nm > 1_000_000 {
+        return Err(WireError::malformed(format!(
+            "implausible member count {nm}"
+        )));
+    }
+    if bucket_index >= num_buckets {
+        return Err(WireError::malformed(format!(
+            "bucket index {bucket_index} out of range for {num_buckets}-bucket model"
+        )));
+    }
+    let mut members = Vec::with_capacity(nm);
+    for _ in 0..nm {
+        members.push(decode_member(&mut payload)?);
+    }
+    if !payload.is_empty() {
+        return Err(WireError::malformed(format!(
+            "{} trailing bytes in sealed bucket payload",
+            payload.remaining()
+        )));
+    }
+    Ok(SealedBucket {
+        bucket_index,
+        num_buckets,
+        bucket: Bucket { members },
+    })
 }
 
 impl SealedBucket {
-    /// Serializes to one wire frame.
+    /// Serializes to one single-request (v1) wire frame.
     pub fn to_bytes(&self) -> Bytes {
         encode_sealed(self.bucket_index, self.num_buckets, &self.bucket)
     }
 
+    /// Serializes to one multiplexed (v2) wire frame tagged with
+    /// `request_id`, so the frame can share a byte stream with frames of
+    /// other concurrent requests.
+    pub fn to_mux_bytes(&self, request_id: u64) -> Bytes {
+        proteus_graph::wire::encode_frame_v2(
+            request_id,
+            self.bucket_index,
+            &encode_sealed_payload(self.num_buckets, &self.bucket),
+        )
+    }
+
     /// Decodes one sealed bucket from the front of `data`, leaving any
-    /// trailing bytes (for decoding a stream of frames).
+    /// trailing bytes (for decoding a stream of frames). Accepts v1 and
+    /// v2 frames alike; use [`SealedBucket::decode_mux_from`] when the
+    /// caller needs the demultiplexing request id.
     ///
     /// # Errors
     /// Typed [`WireError`]s: unknown wire versions, bad magic, checksum
     /// mismatches, truncation, malformed payload fields.
     pub fn decode_from(data: &mut Bytes) -> Result<SealedBucket, WireError> {
+        SealedBucket::decode_mux_from(data).map(|(_, sealed)| sealed)
+    }
+
+    /// Decodes one frame from the front of `data` and returns it together
+    /// with its request id — the demultiplexing entry point for a byte
+    /// stream carrying interleaved requests. Legacy v1 frames carry no id
+    /// on the wire and decode to request id `0`
+    /// ([`crate::LEGACY_REQUEST_ID`]).
+    ///
+    /// # Errors
+    /// As [`SealedBucket::decode_from`].
+    pub fn decode_mux_from(data: &mut Bytes) -> Result<(u64, SealedBucket), WireError> {
         let frame = decode_frame(data)?;
-        let mut payload = frame.payload;
-        if payload.remaining() < 8 {
-            return Err(WireError::truncated("sealed bucket header"));
-        }
-        let num_buckets = payload.get_u32_le();
-        let nm = payload.get_u32_le() as usize;
-        if nm > 1_000_000 {
+        let sealed = decode_sealed_payload(frame.bucket_index, frame.payload)?;
+        Ok((frame.request_id, sealed))
+    }
+
+    /// Decodes a sealed bucket plus request id from exactly one frame.
+    ///
+    /// # Errors
+    /// As [`SealedBucket::decode_mux_from`], plus trailing garbage after
+    /// the frame is rejected.
+    pub fn from_mux_bytes(mut data: Bytes) -> Result<(u64, SealedBucket), WireError> {
+        let (request_id, sealed) = SealedBucket::decode_mux_from(&mut data)?;
+        if !data.is_empty() {
             return Err(WireError::malformed(format!(
-                "implausible member count {nm}"
+                "{} trailing bytes after sealed bucket frame",
+                data.remaining()
             )));
         }
-        if frame.bucket_index >= num_buckets {
-            return Err(WireError::malformed(format!(
-                "bucket index {} out of range for {num_buckets}-bucket model",
-                frame.bucket_index
-            )));
-        }
-        let mut members = Vec::with_capacity(nm);
-        for _ in 0..nm {
-            members.push(decode_member(&mut payload)?);
-        }
-        if !payload.is_empty() {
-            return Err(WireError::malformed(format!(
-                "{} trailing bytes in sealed bucket payload",
-                payload.remaining()
-            )));
-        }
-        Ok(SealedBucket {
-            bucket_index: frame.bucket_index,
-            num_buckets,
-            bucket: Bucket { members },
-        })
+        Ok((request_id, sealed))
     }
 
     /// Decodes a sealed bucket from exactly one frame.
@@ -239,6 +292,13 @@ impl ObfuscatedModel {
 /// The model owner's private reassembly material.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ObfuscationSecrets {
+    /// The request these secrets belong to. Reassembly sessions use it to
+    /// reject frames injected from a different request's stream and to
+    /// name the request in protocol errors. Defaults to `0`
+    /// ([`crate::LEGACY_REQUEST_ID`]) when deserializing secrets persisted
+    /// before this field existed — matching the v1-frame semantics.
+    #[serde(default)]
+    pub request_id: u64,
     /// The partition plan (boundary wiring, original interfaces).
     pub plan: PartitionPlan,
     /// For bucket `i`, the index of the real subgraph within
@@ -341,6 +401,29 @@ mod tests {
             assert_eq!(a.graph.len(), b.graph.len());
             assert_eq!(a.params.len(), b.params.len());
         }
+    }
+
+    #[test]
+    fn sealed_bucket_mux_roundtrip_carries_request_id() {
+        let sealed = SealedBucket {
+            bucket_index: 0,
+            num_buckets: 2,
+            bucket: Bucket {
+                members: vec![member(11)],
+            },
+        };
+        let wire = sealed.to_mux_bytes(0xFACE);
+        let (rid, back) = SealedBucket::from_mux_bytes(wire).unwrap();
+        assert_eq!(rid, 0xFACE);
+        assert_eq!(back.bucket_index, 0);
+        assert_eq!(back.num_buckets, 2);
+        assert_eq!(back.bucket.members.len(), 1);
+        // a v1 frame decodes through the mux entry point as request id 0
+        let (rid, _) = SealedBucket::from_mux_bytes(sealed.to_bytes()).unwrap();
+        assert_eq!(rid, 0);
+        // and a v2 frame decodes through the v1 entry point, dropping the id
+        let again = SealedBucket::from_bytes(sealed.to_mux_bytes(7)).unwrap();
+        assert_eq!(again.bucket.members.len(), 1);
     }
 
     #[test]

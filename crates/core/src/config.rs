@@ -127,9 +127,71 @@ impl ProteusConfig {
     }
 }
 
+/// Configuration of the multi-tenant serving runtime
+/// ([`crate::serve::ServeRuntime`]): the shared optimizer worker pool and
+/// the per-request flow-control window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads in the shared optimizer pool. `0` means "all
+    /// available parallelism" (the serving analogue of
+    /// [`ProteusConfig::optimizer_threads`]`: None`).
+    pub workers: usize,
+    /// Per-request backpressure window: the maximum number of frames a
+    /// request may have in flight (submitted but not yet optimized).
+    /// Submitting past the window blocks the producer until a frame
+    /// completes, so one request can never flood the shared pool.
+    pub window: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            window: 4,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Resolves the worker count (`0` → available parallelism).
+    pub fn num_workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            self.workers
+        }
+    }
+
+    /// Rejects degenerate serving configurations.
+    ///
+    /// # Errors
+    /// [`ProteusError::Config`] when the window is zero — no request could
+    /// ever submit a frame.
+    pub fn validate(&self) -> Result<(), ProteusError> {
+        if self.window == 0 {
+            return Err(ProteusError::config(
+                "serve window must be at least 1 (a zero window deadlocks every submit)",
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn serve_config_defaults_and_validation() {
+        let cfg = ServeConfig::default();
+        cfg.validate().expect("defaults validate");
+        assert!(cfg.num_workers() >= 1);
+        assert_eq!(ServeConfig { workers: 3, ..cfg }.num_workers(), 3);
+        let err = ServeConfig { window: 0, ..cfg }.validate().unwrap_err();
+        assert!(matches!(err, ProteusError::Config { .. }), "{err:?}");
+    }
 
     #[test]
     fn partition_resolution() {

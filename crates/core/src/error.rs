@@ -25,9 +25,22 @@ pub enum ProteusError {
     /// Graph validation, shape inference, execution, or reassembly failed.
     Graph(GraphError),
     /// A streaming session was driven out of protocol: secrets requested
-    /// before all frames were emitted, a duplicate or out-of-range frame
-    /// accepted, reassembly attempted while frames are still missing, ...
+    /// before all frames were emitted, an out-of-range or cross-request
+    /// frame accepted, reassembly attempted while frames are still
+    /// missing, ...
     Protocol { detail: String },
+    /// A frame for a bucket the session (or serving runtime) has already
+    /// accepted arrived again. Split out from [`ProteusError::Protocol`]
+    /// so replay/duplication — the failure mode a lossy or adversarial
+    /// transport actually produces — is matchable without string
+    /// inspection. The first accepted frame is always retained; a
+    /// duplicate is never silently overwritten.
+    DuplicateFrame {
+        /// Bucket index the duplicate claimed.
+        bucket_index: u32,
+        /// Request the frame belonged to.
+        request_id: u64,
+    },
 }
 
 impl ProteusError {
@@ -61,6 +74,13 @@ impl fmt::Display for ProteusError {
             ProteusError::Wire(e) => write!(f, "{e}"),
             ProteusError::Graph(e) => write!(f, "{e}"),
             ProteusError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
+            ProteusError::DuplicateFrame {
+                bucket_index,
+                request_id,
+            } => write!(
+                f,
+                "protocol violation: duplicate frame for bucket {bucket_index} of request {request_id:#x}"
+            ),
         }
     }
 }
@@ -103,6 +123,17 @@ mod tests {
         assert!(e.to_string().contains("unknown wire version 9"));
         let e: ProteusError = GraphError::Cyclic.into();
         assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn duplicate_frame_is_its_own_variant() {
+        let e = ProteusError::DuplicateFrame {
+            bucket_index: 3,
+            request_id: 0xBEEF,
+        };
+        assert!(e.to_string().contains("duplicate frame for bucket 3"));
+        assert!(e.to_string().contains("0xbeef"));
+        assert!(!matches!(e, ProteusError::Protocol { .. }));
     }
 
     #[test]

@@ -96,13 +96,14 @@ pub mod operators;
 pub mod pipeline;
 pub mod semantic;
 pub mod sentinel;
+pub mod serve;
 pub mod session;
 
 pub use baseline::{random_opcode_graph, random_opcode_sentinels};
 pub use bucket::{
     anonymize, Bucket, BucketMember, ObfuscatedModel, ObfuscationSecrets, SealedBucket,
 };
-pub use config::{PartitionSpec, ProteusConfig, SentinelMode};
+pub use config::{PartitionSpec, ProteusConfig, SentinelMode, ServeConfig};
 pub use error::ProteusError;
 pub use operators::{detect_regime, populate, PopulationConfig, Regime};
 pub use pipeline::{
@@ -111,6 +112,7 @@ pub use pipeline::{
 };
 pub use semantic::{top_percentile, BigramModel};
 pub use sentinel::SentinelFactory;
+pub use serve::{RequestHandle, ServeRuntime, ServeStats, StealQueues};
 pub use session::{
     derive_member_seed, derive_request_seed, splitmix64, DeobfuscationSession, ObfuscationSession,
     LEGACY_REQUEST_ID,

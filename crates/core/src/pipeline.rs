@@ -316,17 +316,20 @@ pub fn optimize_model_with_threads(
 
 /// Shared fan-out core: optimizes a flat member list.
 ///
-/// Scheduling is dynamic: workers pull the next member off a shared atomic
-/// index instead of owning a pre-cut chunk. Bucket members vary wildly in
-/// size after partitioning (the real pieces are balanced, but sentinels are
-/// sampled around them), so static chunks routinely left threads idle
-/// behind one loaded with the big graphs.
+/// Scheduling is the same work-stealing scheduler the serving runtime
+/// uses ([`crate::serve::StealQueues`]): every member becomes one task on
+/// a per-worker deque, and a worker whose deque runs dry steals from the
+/// others. Bucket members vary wildly in size after partitioning (the
+/// real pieces are balanced, but sentinels are sampled around them), so
+/// static chunks routinely left threads idle behind one loaded with the
+/// big graphs — and a single shared queue serializes every pop on one
+/// lock.
 fn optimize_members(
     members: &[&BucketMember],
     optimizer: &Optimizer,
     threads: Option<usize>,
 ) -> Vec<BucketMember> {
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use crate::serve::StealQueues;
     use std::sync::Mutex;
 
     let num_threads = threads
@@ -341,17 +344,26 @@ fn optimize_members(
     // locked exactly once).
     let slots: Vec<Mutex<Option<BucketMember>>> =
         (0..members.len()).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
+    let queues: StealQueues<usize> = StealQueues::new(num_threads);
+    for i in 0..members.len() {
+        queues.push(i);
+    }
     crossbeam::thread::scope(|scope| {
-        for _ in 0..num_threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&m) = members.get(i) else { break };
-                let (g, p, _) = optimizer.optimize(&m.graph, &m.params);
-                *slots[i].lock().expect("slot poisoned") = Some(BucketMember {
-                    graph: g,
-                    params: p,
-                });
+        for w in 0..num_threads {
+            let queues = &queues;
+            let slots = &slots;
+            scope.spawn(move |_| {
+                // every task is queued before the workers start, so an
+                // empty scan (own deque + all steals) means the batch is
+                // drained
+                while let Some(i) = queues.pop(w) {
+                    let m = members[i];
+                    let (g, p, _) = optimizer.optimize(&m.graph, &m.params);
+                    *slots[i].lock().expect("slot poisoned") = Some(BucketMember {
+                        graph: g,
+                        params: p,
+                    });
+                }
             });
         }
     })

@@ -1,0 +1,791 @@
+//! Multi-tenant serving runtime: many concurrent obfuscation requests
+//! multiplexed over one shared optimizer worker pool.
+//!
+//! PR 3's sessions made a single request streamable; at service scale the
+//! optimizer party faces *many* owners at once, and spawning a thread
+//! fan-out per call (the old [`crate::optimize_model`] behavior) lets any
+//! one request grab every core while others queue behind it. The
+//! [`ServeRuntime`] inverts that: a fixed pool of workers is created once,
+//! every request's [`SealedBucket`] frames are split into per-member tasks
+//! on a work-stealing scheduler ([`StealQueues`]), and workers interleave
+//! members of *different* requests — so a request with one small bucket is
+//! not stuck behind a tenant streaming a hundred large ones.
+//!
+//! Flow control is per request: a [`RequestHandle`] admits at most
+//! [`ServeConfig::window`] frames in flight (submitted but not yet
+//! optimized); submitting past the window blocks the producer, which is
+//! exactly the backpressure a bounded transport would exert. Completed
+//! frames are reassembled member-by-member and surface on the handle in
+//! completion order — [`crate::DeobfuscationSession`] accepts them in any
+//! order, so nothing downstream cares that bucket 3 finished before
+//! bucket 0.
+//!
+//! On the wire, concurrent requests share one byte stream via the v2
+//! multiplexed frame ([`proteus_graph::wire::encode_frame_v2`]): the
+//! header carries a `request_id`, [`RequestHandle::submit_bytes`] rejects
+//! frames whose id does not match the handle (cross-request injection),
+//! and v1 single-request frames are still decoded for backward
+//! compatibility.
+//!
+//! # Example
+//!
+//! ```
+//! use proteus::serve::{ServeRuntime};
+//! use proteus::{PartitionSpec, Proteus, ProteusConfig, ServeConfig};
+//! use proteus_graph::TensorMap;
+//! use proteus_graphgen::GraphRnnConfig;
+//! use proteus_opt::{Optimizer, Profile};
+//!
+//! let proteus = Proteus::builder()
+//!     .config(ProteusConfig {
+//!         k: 2,
+//!         partitions: PartitionSpec::Count(2),
+//!         graphrnn: GraphRnnConfig { epochs: 1, ..Default::default() },
+//!         topology_pool: 10,
+//!         ..Default::default()
+//!     })
+//!     .corpus_model(proteus_models::build(proteus_models::ModelKind::ResNet))
+//!     .train_shared()?;
+//!
+//! // the optimizer party: one pool shared by every request
+//! let runtime = ServeRuntime::new(
+//!     Optimizer::new(Profile::OrtLike),
+//!     ServeConfig { workers: 2, window: 2 },
+//! )?;
+//!
+//! // each request streams through the shared pool under its own id
+//! let secret = proteus_models::build(proteus_models::ModelKind::AlexNet);
+//! let (optimized, _params) = runtime.serve_request(&proteus, &secret, &TensorMap::new(), 11)?;
+//! assert!(optimized.validate().is_ok());
+//! assert!(runtime.stats().tasks_executed > 0);
+//! # Ok::<(), proteus::ProteusError>(())
+//! ```
+
+use crate::bucket::{Bucket, BucketMember, SealedBucket};
+use crate::config::ServeConfig;
+use crate::error::ProteusError;
+use crate::pipeline::Proteus;
+use crate::session::DeobfuscationSession;
+use bytes::Bytes;
+use proteus_graph::{Graph, TensorMap};
+use proteus_opt::Optimizer;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::thread::JoinHandle;
+
+/// A work-stealing task scheduler over plain std primitives: one deque
+/// per worker, round-robin placement, and steal-from-the-back when a
+/// worker's own deque runs dry.
+///
+/// Used by the [`ServeRuntime`] pool (persistent workers) and by the
+/// batch fan-out in [`crate::optimize_model_with_threads`] (scoped
+/// workers) — both face the same imbalance: bucket members vary wildly in
+/// size, so fixed chunking leaves workers idle behind one loaded with the
+/// big graphs, and a single shared queue serializes every pop on one
+/// lock.
+///
+/// ```
+/// use proteus::serve::StealQueues;
+///
+/// let q: StealQueues<usize> = StealQueues::new(2);
+/// for task in 0..4 {
+///     q.push(task);
+/// }
+/// // worker 1 drains its own deque, then steals worker 0's
+/// let drained: Vec<usize> = std::iter::from_fn(|| q.pop(1)).collect();
+/// assert_eq!(drained.len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct StealQueues<T> {
+    queues: Vec<Mutex<VecDeque<T>>>,
+    next: AtomicUsize,
+}
+
+impl<T> StealQueues<T> {
+    /// Creates one deque per worker (at least one).
+    pub fn new(workers: usize) -> StealQueues<T> {
+        StealQueues {
+            queues: (0..workers.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// How many worker deques the scheduler has.
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Places one task, round-robin across worker deques.
+    pub fn push(&self, item: T) {
+        let w = self.next.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        self.queues[w]
+            .lock()
+            .expect("queue poisoned")
+            .push_back(item);
+    }
+
+    /// Pops the next task for `worker`: the front of its own deque, or —
+    /// when that is empty — a steal from the back of another worker's.
+    pub fn pop(&self, worker: usize) -> Option<T> {
+        let n = self.queues.len();
+        let own = worker % n;
+        if let Some(item) = self.queues[own].lock().expect("queue poisoned").pop_front() {
+            return Some(item);
+        }
+        for off in 1..n {
+            let victim = (own + off) % n;
+            if let Some(item) = self.queues[victim]
+                .lock()
+                .expect("queue poisoned")
+                .pop_back()
+            {
+                return Some(item);
+            }
+        }
+        None
+    }
+}
+
+/// One unit of pool work: optimize a single bucket member of one
+/// request's frame.
+struct Task {
+    req: Arc<RequestState>,
+    bucket_index: u32,
+    member: usize,
+    graph: Graph,
+    params: TensorMap,
+}
+
+/// A frame being reassembled from its optimized members.
+struct PartialBucket {
+    num_buckets: u32,
+    remaining: usize,
+    slots: Vec<Option<BucketMember>>,
+}
+
+/// Request-side state: window accounting, partial reassembly, completed
+/// frames.
+struct RequestInner {
+    /// Frames submitted but not yet fully optimized.
+    inflight: usize,
+    /// Bucket indices ever submitted on this handle (duplicate defense).
+    seen: HashSet<u32>,
+    /// Frames with members still being optimized.
+    partial: HashMap<u32, PartialBucket>,
+    /// Fully optimized frames, in completion order.
+    done: VecDeque<SealedBucket>,
+    /// Set when the runtime shuts down — receivers stop blocking.
+    closed: bool,
+}
+
+struct RequestState {
+    request_id: u64,
+    window: usize,
+    inner: Mutex<RequestInner>,
+    cv: Condvar,
+}
+
+/// Counters of a running [`ServeRuntime`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Member-optimization tasks executed since construction.
+    pub tasks_executed: usize,
+    /// High-water mark of tasks queued and not yet claimed by a worker.
+    pub max_queue_depth: usize,
+}
+
+struct PoolShared {
+    optimizer: Optimizer,
+    queues: StealQueues<Task>,
+    /// Tasks pushed and not yet claimed; the park/wake signal.
+    pending: AtomicUsize,
+    park: Mutex<()>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    tasks_executed: AtomicUsize,
+    max_queue_depth: AtomicUsize,
+    /// Every handle ever created, so shutdown can wake blocked clients.
+    requests: Mutex<Vec<Weak<RequestState>>>,
+}
+
+impl PoolShared {
+    fn push_task(&self, task: Task) {
+        self.queues.push(task);
+        let depth = self.pending.fetch_add(1, Ordering::SeqCst) + 1;
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+        let _guard = self.park.lock().expect("park poisoned");
+        self.cv.notify_all();
+    }
+
+    fn run_task(&self, task: Task) {
+        let (graph, params, _) = self.optimizer.optimize(&task.graph, &task.params);
+        self.tasks_executed.fetch_add(1, Ordering::Relaxed);
+        let mut inner = task.req.inner.lock().expect("request poisoned");
+        let partial = inner
+            .partial
+            .get_mut(&task.bucket_index)
+            .expect("partial bucket exists until its last member lands");
+        partial.slots[task.member] = Some(BucketMember { graph, params });
+        partial.remaining -= 1;
+        if partial.remaining == 0 {
+            let finished = inner
+                .partial
+                .remove(&task.bucket_index)
+                .expect("just updated");
+            let members: Vec<BucketMember> = finished
+                .slots
+                .into_iter()
+                .map(|slot| slot.expect("every member optimized"))
+                .collect();
+            inner.done.push_back(SealedBucket {
+                bucket_index: task.bucket_index,
+                num_buckets: finished.num_buckets,
+                bucket: Bucket { members },
+            });
+            inner.inflight -= 1;
+            task.req.cv.notify_all();
+        }
+    }
+
+    fn worker_loop(&self, worker: usize) {
+        loop {
+            if let Some(task) = self.queues.pop(worker) {
+                self.pending.fetch_sub(1, Ordering::SeqCst);
+                self.run_task(task);
+                continue;
+            }
+            let mut guard = self.park.lock().expect("park poisoned");
+            while self.pending.load(Ordering::SeqCst) == 0 && !self.shutdown.load(Ordering::SeqCst)
+            {
+                guard = self.cv.wait(guard).expect("park poisoned");
+            }
+            if self.pending.load(Ordering::SeqCst) == 0 && self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+        }
+    }
+}
+
+/// The optimizer party as a long-lived service: a fixed worker pool that
+/// interleaves sealed-bucket frames from many concurrent requests.
+///
+/// Construct once (per process, per optimizer profile), then open one
+/// [`RequestHandle`] per obfuscation request with [`ServeRuntime::handle`]
+/// — or drive a whole owner-side request through
+/// [`ServeRuntime::serve_request`]. Dropping the runtime drains every
+/// queued task, stops the workers, and unblocks any waiting client with a
+/// typed error.
+///
+/// See the [module docs](crate::serve) for the scheduling and
+/// backpressure model, and the README's "Serving architecture" section
+/// for the deployment picture.
+#[derive(Debug)]
+pub struct ServeRuntime {
+    shared: Arc<PoolShared>,
+    config: ServeConfig,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for PoolShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolShared")
+            .field("workers", &self.queues.workers())
+            .field("pending", &self.pending.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeRuntime {
+    /// Starts the worker pool.
+    ///
+    /// # Errors
+    /// [`ProteusError::Config`] when `config` is degenerate
+    /// ([`ServeConfig::validate`]).
+    pub fn new(optimizer: Optimizer, config: ServeConfig) -> Result<ServeRuntime, ProteusError> {
+        config.validate()?;
+        let workers = config.num_workers();
+        let shared = Arc::new(PoolShared {
+            optimizer,
+            queues: StealQueues::new(workers),
+            pending: AtomicUsize::new(0),
+            park: Mutex::new(()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            tasks_executed: AtomicUsize::new(0),
+            max_queue_depth: AtomicUsize::new(0),
+            requests: Mutex::new(Vec::new()),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("proteus-serve-{w}"))
+                    .spawn(move || shared.worker_loop(w))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Ok(ServeRuntime {
+            shared,
+            config,
+            workers: handles,
+        })
+    }
+
+    /// The configuration the pool was started with.
+    pub fn config(&self) -> ServeConfig {
+        self.config
+    }
+
+    /// Current pool counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            workers: self.workers.len(),
+            tasks_executed: self.shared.tasks_executed.load(Ordering::Relaxed),
+            max_queue_depth: self.shared.max_queue_depth.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Opens a handle for one request's frame stream. Handles are cheap;
+    /// every concurrent request gets its own, all sharing this pool.
+    pub fn handle(&self, request_id: u64) -> RequestHandle {
+        let state = Arc::new(RequestState {
+            request_id,
+            window: self.config.window,
+            inner: Mutex::new(RequestInner {
+                inflight: 0,
+                seen: HashSet::new(),
+                partial: HashMap::new(),
+                done: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let mut requests = self.shared.requests.lock().expect("registry poisoned");
+        // prune dead entries on every registration so a long-lived
+        // runtime's registry stays proportional to *live* requests, not
+        // to every request ever served
+        requests.retain(|w| w.strong_count() > 0);
+        requests.push(Arc::downgrade(&state));
+        drop(requests);
+        RequestHandle {
+            pool: Arc::clone(&self.shared),
+            state,
+        }
+    }
+
+    /// Drives one owner-side request end to end through the shared pool:
+    /// streams the obfuscation session's frames in (overlapping generation
+    /// with optimization), collects optimized frames as they complete, and
+    /// reassembles the optimized protected model.
+    ///
+    /// The result is bit-identical to the serial single-session path —
+    /// the concurrency stress suite asserts exactly that.
+    ///
+    /// # Errors
+    /// Everything [`Proteus::obfuscate_session`], [`RequestHandle`], and
+    /// [`DeobfuscationSession`] can reject.
+    pub fn serve_request(
+        &self,
+        proteus: &Proteus,
+        graph: &Graph,
+        params: &TensorMap,
+        request_id: u64,
+    ) -> Result<(Graph, TensorMap), ProteusError> {
+        let mut session = proteus.obfuscate_session(graph, params, request_id)?;
+        let handle = self.handle(request_id);
+        let mut completed: Vec<SealedBucket> = Vec::with_capacity(session.num_buckets());
+        while let Some(frame) = session.next_frame() {
+            handle.submit(frame)?;
+            // opportunistically drain finished frames while generating
+            while let Some(done) = handle.try_recv() {
+                completed.push(done);
+            }
+        }
+        let secrets = session.finish()?;
+        let mut reassembly = DeobfuscationSession::new(&secrets);
+        for frame in completed {
+            reassembly.accept(frame)?;
+        }
+        while !reassembly.is_complete() {
+            reassembly.accept(handle.recv()?)?;
+        }
+        reassembly.finish()
+    }
+}
+
+impl Drop for ServeRuntime {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _guard = self.shared.park.lock().expect("park poisoned");
+            self.shared.cv.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // workers have drained every queued task; unblock any client still
+        // waiting on a handle
+        let mut requests = self.shared.requests.lock().expect("registry poisoned");
+        for weak in requests.drain(..) {
+            if let Some(req) = weak.upgrade() {
+                req.inner.lock().expect("request poisoned").closed = true;
+                req.cv.notify_all();
+            }
+        }
+    }
+}
+
+/// One request's lane into a [`ServeRuntime`]: submit sealed frames
+/// (blocking once the backpressure window fills), receive optimized
+/// frames in completion order.
+///
+/// Cloning is cheap and clones refer to the same lane, so a producer
+/// thread can submit while a consumer thread receives.
+#[derive(Debug, Clone)]
+pub struct RequestHandle {
+    pool: Arc<PoolShared>,
+    state: Arc<RequestState>,
+}
+
+impl std::fmt::Debug for RequestState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RequestState")
+            .field("request_id", &self.request_id)
+            .field("window", &self.window)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RequestHandle {
+    /// The request this handle serves.
+    pub fn request_id(&self) -> u64 {
+        self.state.request_id
+    }
+
+    /// Frames submitted and not yet fully optimized.
+    pub fn in_flight(&self) -> usize {
+        self.state.inner.lock().expect("request poisoned").inflight
+    }
+
+    /// Submits one sealed frame to the shared pool, splitting it into
+    /// per-member tasks. Blocks while the request already has
+    /// [`ServeConfig::window`] frames in flight — the backpressure that
+    /// keeps one tenant from flooding the pool.
+    ///
+    /// # Errors
+    /// [`ProteusError::DuplicateFrame`] when this bucket index was already
+    /// submitted on this handle; [`ProteusError::Protocol`] when the
+    /// runtime has shut down.
+    pub fn submit(&self, frame: SealedBucket) -> Result<(), ProteusError> {
+        let SealedBucket {
+            bucket_index,
+            num_buckets,
+            bucket,
+        } = frame;
+        {
+            let mut inner = self.state.inner.lock().expect("request poisoned");
+            if inner.seen.contains(&bucket_index) {
+                return Err(ProteusError::DuplicateFrame {
+                    bucket_index,
+                    request_id: self.state.request_id,
+                });
+            }
+            while inner.inflight >= self.state.window && !inner.closed {
+                inner = self.state.cv.wait(inner).expect("request poisoned");
+            }
+            if inner.closed {
+                return Err(ProteusError::protocol(format!(
+                    "request {:#x}: serve runtime shut down while submitting bucket {bucket_index}",
+                    self.state.request_id
+                )));
+            }
+            // re-check: a concurrent producer on a cloned handle may have
+            // submitted the same bucket while we waited on the window
+            if !inner.seen.insert(bucket_index) {
+                return Err(ProteusError::DuplicateFrame {
+                    bucket_index,
+                    request_id: self.state.request_id,
+                });
+            }
+            if bucket.members.is_empty() {
+                // nothing to optimize; complete immediately so recv() and
+                // reassembly see the frame
+                inner.done.push_back(SealedBucket {
+                    bucket_index,
+                    num_buckets,
+                    bucket: Bucket {
+                        members: Vec::new(),
+                    },
+                });
+                self.state.cv.notify_all();
+                return Ok(());
+            }
+            inner.inflight += 1;
+            inner.partial.insert(
+                bucket_index,
+                PartialBucket {
+                    num_buckets,
+                    remaining: bucket.members.len(),
+                    slots: (0..bucket.members.len()).map(|_| None).collect(),
+                },
+            );
+        }
+        for (member, m) in bucket.members.into_iter().enumerate() {
+            self.pool.push_task(Task {
+                req: Arc::clone(&self.state),
+                bucket_index,
+                member,
+                graph: m.graph,
+                params: m.params,
+            });
+        }
+        Ok(())
+    }
+
+    /// Decodes one multiplexed wire frame and submits it, rejecting
+    /// frames whose request id does not match this handle — a frame
+    /// injected from another request's stream never reaches this
+    /// request's pipeline.
+    ///
+    /// # Errors
+    /// [`ProteusError::Wire`] on decode failure, [`ProteusError::Protocol`]
+    /// on a request-id mismatch, plus everything
+    /// [`RequestHandle::submit`] rejects.
+    pub fn submit_bytes(&self, wire: Bytes) -> Result<(), ProteusError> {
+        let (request_id, sealed) = SealedBucket::from_mux_bytes(wire)?;
+        if request_id != self.state.request_id {
+            return Err(ProteusError::protocol(format!(
+                "frame for request {request_id:#x} injected into the stream of request {:#x}",
+                self.state.request_id
+            )));
+        }
+        self.submit(sealed)
+    }
+
+    /// Returns the next fully optimized frame, blocking until one
+    /// completes. Frames surface in completion order, not bucket order.
+    ///
+    /// # Errors
+    /// [`ProteusError::Protocol`] when nothing is in flight (the frame
+    /// being waited for was never submitted — blocking would deadlock) or
+    /// when the runtime shut down with this request's queue empty.
+    pub fn recv(&self) -> Result<SealedBucket, ProteusError> {
+        let mut inner = self.state.inner.lock().expect("request poisoned");
+        loop {
+            if let Some(frame) = inner.done.pop_front() {
+                return Ok(frame);
+            }
+            if inner.closed {
+                return Err(ProteusError::protocol(format!(
+                    "request {:#x}: serve runtime shut down with no completed frames pending",
+                    self.state.request_id
+                )));
+            }
+            if inner.inflight == 0 {
+                return Err(ProteusError::protocol(format!(
+                    "request {:#x}: recv with no frames in flight",
+                    self.state.request_id
+                )));
+            }
+            inner = self.state.cv.wait(inner).expect("request poisoned");
+        }
+    }
+
+    /// Returns the next fully optimized frame if one is ready.
+    pub fn try_recv(&self) -> Option<SealedBucket> {
+        self.state
+            .inner
+            .lock()
+            .expect("request poisoned")
+            .done
+            .pop_front()
+    }
+
+    /// [`RequestHandle::recv`], encoded as one v2 multiplexed wire frame
+    /// tagged with this request's id — ready to share a response byte
+    /// stream with other requests.
+    ///
+    /// # Errors
+    /// As [`RequestHandle::recv`].
+    pub fn recv_bytes(&self) -> Result<Bytes, ProteusError> {
+        self.recv()
+            .map(|frame| frame.to_mux_bytes(self.state.request_id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PartitionSpec, ProteusConfig};
+    use proteus_graphgen::GraphRnnConfig;
+    use proteus_models::{build, ModelKind};
+    use proteus_opt::Profile;
+
+    fn quick_proteus() -> Proteus {
+        Proteus::train(
+            ProteusConfig {
+                k: 2,
+                partitions: PartitionSpec::Count(3),
+                graphrnn: GraphRnnConfig {
+                    epochs: 2,
+                    max_nodes: 20,
+                    ..Default::default()
+                },
+                topology_pool: 30,
+                ..Default::default()
+            },
+            &[build(ModelKind::ResNet)],
+        )
+    }
+
+    fn runtime(workers: usize, window: usize) -> ServeRuntime {
+        ServeRuntime::new(
+            Optimizer::new(Profile::OrtLike),
+            ServeConfig { workers, window },
+        )
+        .expect("runtime starts")
+    }
+
+    #[test]
+    fn steal_queues_drain_from_any_worker() {
+        let q: StealQueues<u32> = StealQueues::new(3);
+        for i in 0..10 {
+            q.push(i);
+        }
+        let mut seen: Vec<u32> = std::iter::from_fn(|| q.pop(2)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert!(q.pop(0).is_none());
+    }
+
+    #[test]
+    fn served_request_matches_serial_session() {
+        let proteus = quick_proteus();
+        let g = build(ModelKind::AlexNet);
+        let optimizer = Optimizer::new(Profile::OrtLike);
+        let rt = runtime(2, 2);
+        let (served, served_params) = rt
+            .serve_request(&proteus, &g, &TensorMap::new(), 5)
+            .expect("serve");
+
+        // serial reference: same session, frames optimized inline
+        let mut session = proteus
+            .obfuscate_session(&g, &TensorMap::new(), 5)
+            .expect("session");
+        let frames: Vec<SealedBucket> = session
+            .by_ref()
+            .map(|f| f.optimize(&optimizer, Some(1)))
+            .collect();
+        let secrets = session.finish().expect("secrets");
+        let mut reassembly = DeobfuscationSession::new(&secrets);
+        for f in frames {
+            reassembly.accept(f).expect("accept");
+        }
+        let (serial, serial_params) = reassembly.finish().expect("finish");
+        assert_eq!(served, serial, "pool output diverged from serial path");
+        assert_eq!(served_params, serial_params);
+        assert!(rt.stats().tasks_executed >= 9, "3 buckets x 3 members");
+    }
+
+    #[test]
+    fn duplicate_submission_is_rejected_with_typed_variant() {
+        let proteus = quick_proteus();
+        let g = build(ModelKind::AlexNet);
+        let rt = runtime(1, 4);
+        let mut session = proteus
+            .obfuscate_session(&g, &TensorMap::new(), 9)
+            .expect("session");
+        let frame = session.next_frame().expect("frame");
+        let handle = rt.handle(9);
+        handle.submit(frame.clone()).expect("first submit");
+        let err = handle.submit(frame).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ProteusError::DuplicateFrame {
+                    bucket_index: 0,
+                    request_id: 9
+                }
+            ),
+            "{err:?}"
+        );
+        // the original frame still completes
+        let done = handle.recv().expect("completes");
+        assert_eq!(done.bucket_index, 0);
+    }
+
+    #[test]
+    fn recv_without_inflight_is_a_typed_error_not_a_deadlock() {
+        let rt = runtime(1, 1);
+        let handle = rt.handle(1);
+        let err = handle.recv().unwrap_err();
+        assert!(matches!(err, ProteusError::Protocol { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn cross_request_injection_is_rejected_at_submit() {
+        let proteus = quick_proteus();
+        let g = build(ModelKind::AlexNet);
+        let rt = runtime(1, 4);
+        let mut session = proteus
+            .obfuscate_session(&g, &TensorMap::new(), 21)
+            .expect("session");
+        let frame = session.next_frame().expect("frame");
+        let handle = rt.handle(22); // a different request's lane
+        let err = handle.submit_bytes(frame.to_mux_bytes(21)).unwrap_err();
+        assert!(matches!(err, ProteusError::Protocol { .. }), "{err:?}");
+        assert_eq!(handle.in_flight(), 0, "injected frame must not enqueue");
+        // the matching lane accepts the same bytes
+        let own = rt.handle(21);
+        own.submit_bytes(frame.to_mux_bytes(21)).expect("submit");
+        let done = own.recv_bytes().expect("optimized frame returns");
+        let (rid, _) = SealedBucket::from_mux_bytes(done).expect("decodes");
+        assert_eq!(rid, 21);
+    }
+
+    #[test]
+    fn shutdown_unblocks_waiting_receivers() {
+        let rt = runtime(1, 1);
+        let handle = rt.handle(2);
+        drop(rt);
+        let err = handle.recv().unwrap_err();
+        assert!(matches!(err, ProteusError::Protocol { .. }), "{err:?}");
+        let err = handle
+            .submit(SealedBucket {
+                bucket_index: 0,
+                num_buckets: 1,
+                bucket: Bucket {
+                    members: Vec::new(),
+                },
+            })
+            .unwrap_err();
+        assert!(matches!(err, ProteusError::Protocol { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn backpressure_window_bounds_inflight_frames() {
+        let proteus = quick_proteus();
+        let g = build(ModelKind::AlexNet);
+        let rt = runtime(1, 1);
+        let mut session = proteus
+            .obfuscate_session(&g, &TensorMap::new(), 3)
+            .expect("session");
+        let handle = rt.handle(3);
+        let mut submitted = 0;
+        while let Some(frame) = session.next_frame() {
+            // window = 1: submit blocks until the previous frame finished,
+            // so in_flight can never exceed 1
+            handle.submit(frame).expect("submit");
+            submitted += 1;
+            assert!(handle.in_flight() <= 1, "window violated");
+        }
+        for _ in 0..submitted {
+            handle.recv().expect("frame");
+        }
+    }
+}

@@ -212,6 +212,7 @@ impl<'p> ObfuscationSession<'p> {
             )));
         }
         Ok(ObfuscationSecrets {
+            request_id: self.request_id,
             plan: self.plan,
             real_positions: self.real_positions,
         })
@@ -337,9 +338,12 @@ impl<'s> DeobfuscationSession<'s> {
             )));
         }
         if self.slots[i].is_some() {
-            return Err(ProteusError::protocol(format!(
-                "duplicate frame for bucket {i}"
-            )));
+            // never overwrite: the first accepted frame stays, the replay
+            // is rejected with the dedicated variant
+            return Err(ProteusError::DuplicateFrame {
+                bucket_index: i as u32,
+                request_id: self.secrets.request_id,
+            });
         }
         self.secrets.real_positions.get(i).copied().ok_or_else(|| {
             ProteusError::protocol(format!("secrets record no real position for bucket {i}"))
@@ -348,12 +352,44 @@ impl<'s> DeobfuscationSession<'s> {
 
     /// Decodes one frame from its wire bytes and accepts it.
     ///
+    /// Accepts v1 and v2 frames alike but performs no request-id check —
+    /// the single-stream path, where every frame on the connection belongs
+    /// to this session by construction. On a shared (multiplexed) stream
+    /// use [`DeobfuscationSession::accept_mux_bytes`].
+    ///
     /// # Errors
     /// [`ProteusError::Wire`] on decode failure (unknown version,
     /// corrupted checksum, truncation), plus everything
     /// [`DeobfuscationSession::accept`] rejects.
     pub fn accept_bytes(&mut self, wire: Bytes) -> Result<(), ProteusError> {
         self.accept(SealedBucket::from_bytes(wire)?)
+    }
+
+    /// Decodes one multiplexed frame and accepts it after checking that
+    /// its request id matches this session's secrets — frames injected
+    /// from another request's stream are rejected before any of their
+    /// content is taken, so multiplexed transports cannot leak data
+    /// across requests. Legacy v1 frames decode to request id `0`
+    /// ([`LEGACY_REQUEST_ID`]) and are accepted exactly when the secrets
+    /// belong to that id.
+    ///
+    /// # Errors
+    /// [`ProteusError::Protocol`] on a request-id mismatch, plus
+    /// everything [`DeobfuscationSession::accept_bytes`] rejects.
+    pub fn accept_mux_bytes(&mut self, mut wire: Bytes) -> Result<(), ProteusError> {
+        let (request_id, sealed) = SealedBucket::decode_mux_from(&mut wire)?;
+        if !wire.is_empty() {
+            return Err(ProteusError::Wire(proteus_graph::WireError::malformed(
+                format!("{} trailing bytes after sealed bucket frame", wire.len()),
+            )));
+        }
+        let expected = self.secrets.request_id;
+        if request_id != expected {
+            return Err(ProteusError::protocol(format!(
+                "frame for request {request_id:#x} injected into the stream of request {expected:#x}"
+            )));
+        }
+        self.accept(sealed)
     }
 
     /// Reassembles the protected model from the collected real pieces

@@ -51,7 +51,10 @@ pub use op::{
 };
 pub use shape::{infer_shapes, Shape};
 pub use stats::GraphStats;
-pub use wire::{decode_frame, encode_frame, Frame, WireError, FRAME_MAGIC, WIRE_VERSION};
+pub use wire::{
+    decode_frame, encode_frame, encode_frame_v2, peek_frame_request_id, Frame, WireError,
+    FRAME_MAGIC, WIRE_VERSION, WIRE_VERSION_V1, WIRE_VERSION_V2,
+};
 
 use std::fmt;
 

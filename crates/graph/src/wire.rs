@@ -25,10 +25,22 @@ use std::fmt;
 /// Magic bytes opening every [`Frame`].
 pub const FRAME_MAGIC: [u8; 4] = *b"PRTB";
 
-/// The wire-protocol version this library speaks. Decoders reject every
-/// other version with [`WireError::UnknownVersion`] — version negotiation
-/// is explicit, never a silent misparse.
-pub const WIRE_VERSION: u16 = 1;
+/// The original single-request frame version: no request id, one
+/// obfuscation request per byte stream. Still encoded by
+/// [`encode_frame`] and still accepted by [`decode_frame`] — existing
+/// single-request byte formats are stable across the v2 protocol bump.
+pub const WIRE_VERSION_V1: u16 = 1;
+
+/// The multiplexed frame version: the header carries a `request_id`, so
+/// one byte stream can interleave frames of many concurrent requests
+/// (encoded by [`encode_frame_v2`]).
+pub const WIRE_VERSION_V2: u16 = 2;
+
+/// The newest wire-protocol version this library speaks. Decoders accept
+/// [`WIRE_VERSION_V1`] and [`WIRE_VERSION_V2`] and reject every other
+/// version with [`WireError::UnknownVersion`] — version negotiation is
+/// explicit, never a silent misparse.
+pub const WIRE_VERSION: u16 = WIRE_VERSION_V2;
 
 /// Decoding error. Every malformed input maps to a typed variant — decode
 /// paths never panic.
@@ -77,7 +89,7 @@ impl fmt::Display for WireError {
             }
             WireError::UnknownVersion { got, supported } => write!(
                 f,
-                "wire decode error: unknown wire version {got} (this library speaks {supported})"
+                "wire decode error: unknown wire version {got} (this library speaks versions up to {supported})"
             ),
             WireError::ChecksumMismatch { expected, got } => write!(
                 f,
@@ -123,9 +135,12 @@ fn fnv1a64_continue(mut h: u64, data: &[u8]) -> u64 {
 /// codec is the caller's concern — for Proteus it is a sealed bucket).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
-    /// Protocol version the frame was encoded with (always
-    /// [`WIRE_VERSION`] after a successful decode).
+    /// Protocol version the frame was encoded with ([`WIRE_VERSION_V1`]
+    /// or [`WIRE_VERSION_V2`] after a successful decode).
     pub version: u16,
+    /// Which request of a multiplexed stream this frame belongs to.
+    /// Version-1 frames carry no request id on the wire and decode to `0`.
+    pub request_id: u64,
     /// Which bucket of the obfuscated model this frame carries.
     pub bucket_index: u32,
     /// The checksummed payload bytes.
@@ -144,6 +159,10 @@ pub struct Frame {
 /// single-byte corruption anywhere outside the checksum field itself is
 /// detected (and corruption *of* the checksum field trivially mismatches).
 ///
+/// This remains the encoding of every single-request artifact, so those
+/// byte formats are stable across the v2 protocol addition; multiplexed
+/// streams use [`encode_frame_v2`].
+///
 /// # Panics
 /// If `payload` exceeds `u32::MAX` bytes — the length field could not
 /// represent it and the frame would be undecodable. Buckets are bounded
@@ -157,7 +176,7 @@ pub fn encode_frame(bucket_index: u32, payload: &[u8]) -> Bytes {
     );
     let mut buf = BytesMut::with_capacity(22 + payload.len());
     buf.put_slice(&FRAME_MAGIC);
-    buf.put_u16_le(WIRE_VERSION);
+    buf.put_u16_le(WIRE_VERSION_V1);
     buf.put_u32_le(bucket_index);
     buf.put_u32_le(payload.len() as u32);
     let h = fnv1a64_continue(FNV_OFFSET_BASIS, &buf[4..14]);
@@ -166,8 +185,76 @@ pub fn encode_frame(bucket_index: u32, payload: &[u8]) -> Bytes {
     buf.freeze()
 }
 
+/// Wraps `payload` in a version-2 *multiplexed* frame:
+///
+/// ```text
+/// magic[4] | version u16 | request_id u64 | bucket_index u32 |
+/// payload_len u32 | checksum u64 | payload
+/// ```
+///
+/// The request id sits in the checksummed header, so one byte stream can
+/// carry interleaved frames of many concurrent requests and a receiver
+/// can demultiplex them — corruption of the id is caught like any other
+/// header corruption.
+///
+/// # Panics
+/// As [`encode_frame`], if `payload` exceeds `u32::MAX` bytes.
+pub fn encode_frame_v2(request_id: u64, bucket_index: u32, payload: &[u8]) -> Bytes {
+    assert!(
+        u32::try_from(payload.len()).is_ok(),
+        "frame payload of {} bytes exceeds the u32 length field",
+        payload.len()
+    );
+    let mut buf = BytesMut::with_capacity(30 + payload.len());
+    buf.put_slice(&FRAME_MAGIC);
+    buf.put_u16_le(WIRE_VERSION_V2);
+    buf.put_u64_le(request_id);
+    buf.put_u32_le(bucket_index);
+    buf.put_u32_le(payload.len() as u32);
+    let h = fnv1a64_continue(FNV_OFFSET_BASIS, &buf[4..22]);
+    buf.put_u64_le(fnv1a64_continue(h, payload));
+    buf.put_slice(payload);
+    buf.freeze()
+}
+
+/// Reads the request id out of a frame header without decoding — or
+/// checksum-verifying — the payload: the cheap peek a demultiplexing
+/// router needs to pick the owning lane before handing the untouched
+/// bytes on for full validation. v1 frames carry no id and peek as `0`.
+///
+/// # Errors
+/// [`WireError::BadMagic`] / [`WireError::UnknownVersion`] /
+/// [`WireError::Truncated`] for headers too malformed to route.
+pub fn peek_frame_request_id(data: &[u8]) -> WResult<u64> {
+    if data.len() < 6 {
+        return Err(WireError::truncated("frame header peek"));
+    }
+    let mut magic = [0u8; 4];
+    magic.copy_from_slice(&data[0..4]);
+    if magic != FRAME_MAGIC {
+        return Err(WireError::BadMagic { got: magic });
+    }
+    match u16::from_le_bytes([data[4], data[5]]) {
+        WIRE_VERSION_V1 => Ok(0),
+        WIRE_VERSION_V2 => {
+            if data.len() < 14 {
+                return Err(WireError::truncated("frame request id"));
+            }
+            let mut id = [0u8; 8];
+            id.copy_from_slice(&data[6..14]);
+            Ok(u64::from_le_bytes(id))
+        }
+        got => Err(WireError::UnknownVersion {
+            got,
+            supported: WIRE_VERSION,
+        }),
+    }
+}
+
 /// Decodes one frame from the front of `buf`, leaving any trailing bytes
-/// (a stream of frames decodes by repeated calls).
+/// (a stream of frames decodes by repeated calls). Accepts both
+/// [`WIRE_VERSION_V1`] and [`WIRE_VERSION_V2`] frames — a v2 receiver
+/// stays backward compatible with v1 senders.
 ///
 /// # Errors
 /// [`WireError::BadMagic`] / [`WireError::UnknownVersion`] /
@@ -182,12 +269,18 @@ pub fn decode_frame(buf: &mut Bytes) -> WResult<Frame> {
     }
     need(buf, 2, "frame version")?;
     let version = buf.get_u16_le();
-    if version != WIRE_VERSION {
+    if version != WIRE_VERSION_V1 && version != WIRE_VERSION_V2 {
         return Err(WireError::UnknownVersion {
             got: version,
             supported: WIRE_VERSION,
         });
     }
+    let request_id = if version == WIRE_VERSION_V2 {
+        need(buf, 8, "frame request id")?;
+        buf.get_u64_le()
+    } else {
+        0
+    };
     need(buf, 4 + 4 + 8, "frame header")?;
     let bucket_index = buf.get_u32_le();
     let payload_len = buf.get_u32_le() as usize;
@@ -195,6 +288,9 @@ pub fn decode_frame(buf: &mut Bytes) -> WResult<Frame> {
     need(buf, payload_len, "frame payload")?;
     let payload = buf.split_to(payload_len);
     let mut h = fnv1a64_continue(FNV_OFFSET_BASIS, &version.to_le_bytes());
+    if version == WIRE_VERSION_V2 {
+        h = fnv1a64_continue(h, &request_id.to_le_bytes());
+    }
     h = fnv1a64_continue(h, &bucket_index.to_le_bytes());
     h = fnv1a64_continue(h, &(payload_len as u32).to_le_bytes());
     let got = fnv1a64_continue(h, &payload);
@@ -206,6 +302,7 @@ pub fn decode_frame(buf: &mut Bytes) -> WResult<Frame> {
     }
     Ok(Frame {
         version,
+        request_id,
         bucket_index,
         payload,
     })
@@ -847,10 +944,107 @@ mod tests {
         let bytes = encode_frame(7, payload);
         let mut buf = bytes;
         let frame = decode_frame(&mut buf).unwrap();
-        assert_eq!(frame.version, WIRE_VERSION);
+        assert_eq!(frame.version, WIRE_VERSION_V1);
+        assert_eq!(frame.request_id, 0, "v1 frames decode to request id 0");
         assert_eq!(frame.bucket_index, 7);
         assert_eq!(&frame.payload[..], payload);
         assert!(buf.is_empty(), "no trailing bytes");
+    }
+
+    #[test]
+    fn v2_frame_roundtrip_preserves_request_id() {
+        let payload = b"multiplexed sealed bucket payload";
+        let bytes = encode_frame_v2(0xDEAD_BEEF_CAFE_F00D, 3, payload);
+        let mut buf = bytes;
+        let frame = decode_frame(&mut buf).unwrap();
+        assert_eq!(frame.version, WIRE_VERSION_V2);
+        assert_eq!(frame.request_id, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(frame.bucket_index, 3);
+        assert_eq!(&frame.payload[..], payload);
+        assert!(buf.is_empty(), "no trailing bytes");
+    }
+
+    #[test]
+    fn mixed_version_stream_decodes_sequentially() {
+        // a v2 receiver must demultiplex a stream that interleaves v1
+        // (legacy single-request) and v2 (multiplexed) frames
+        let mut stream = BytesMut::new();
+        stream.put_slice(&encode_frame(0, b"legacy"));
+        stream.put_slice(&encode_frame_v2(42, 1, b"mux a"));
+        stream.put_slice(&encode_frame_v2(7, 0, b"mux b"));
+        stream.put_slice(&encode_frame(1, b"legacy tail"));
+        let mut buf = stream.freeze();
+        let ids: Vec<(u16, u64, u32)> = (0..4)
+            .map(|_| {
+                let f = decode_frame(&mut buf).unwrap();
+                (f.version, f.request_id, f.bucket_index)
+            })
+            .collect();
+        assert_eq!(
+            ids,
+            vec![
+                (WIRE_VERSION_V1, 0, 0),
+                (WIRE_VERSION_V2, 42, 1),
+                (WIRE_VERSION_V2, 7, 0),
+                (WIRE_VERSION_V1, 0, 1),
+            ]
+        );
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn peek_reads_request_id_without_decoding() {
+        let v2 = encode_frame_v2(0xFEED_F00D, 9, b"payload");
+        assert_eq!(peek_frame_request_id(&v2).unwrap(), 0xFEED_F00D);
+        let v1 = encode_frame(9, b"payload");
+        assert_eq!(peek_frame_request_id(&v1).unwrap(), 0);
+        // malformed headers are typed errors, not panics
+        assert!(matches!(
+            peek_frame_request_id(b"JUNKxx"),
+            Err(WireError::BadMagic { .. })
+        ));
+        assert!(matches!(
+            peek_frame_request_id(&v2[..5]),
+            Err(WireError::Truncated { .. })
+        ));
+        let mut raw = v2.to_vec();
+        raw[4] = 9;
+        assert!(matches!(
+            peek_frame_request_id(&raw),
+            Err(WireError::UnknownVersion { got: 9, .. })
+        ));
+        // the peek does NOT validate payload integrity — that stays the
+        // full decoder's job
+        let last = raw.len() - 1;
+        raw[4] = WIRE_VERSION_V2 as u8;
+        raw[last] ^= 0xFF;
+        assert_eq!(peek_frame_request_id(&raw).unwrap(), 0xFEED_F00D);
+    }
+
+    #[test]
+    fn v2_frame_detects_single_byte_corruption_everywhere() {
+        let bytes = encode_frame_v2(0x1234_5678_9ABC_DEF0, 5, b"checksummed mux payload");
+        for pos in 0..bytes.len() {
+            let mut raw = bytes.to_vec();
+            raw[pos] ^= 0x40;
+            let mut buf = Bytes::copy_from_slice(&raw);
+            assert!(
+                decode_frame(&mut buf).is_err(),
+                "corruption at byte {pos} decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_frame_rejects_truncation_at_every_length() {
+        let bytes = encode_frame_v2(99, 1, b"truncate the mux frame");
+        for cut in 0..bytes.len() {
+            let mut buf = bytes.slice(0..cut);
+            assert!(
+                matches!(decode_frame(&mut buf), Err(WireError::Truncated { .. })),
+                "cut at {cut} not rejected as truncated"
+            );
+        }
     }
 
     #[test]

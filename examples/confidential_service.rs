@@ -1,158 +1,224 @@
-//! A two-party "optimization as a service" scenario over the streaming
-//! wire protocol, mirroring the paper's workflow (Figure 1) with an
-//! explicit trust boundary: only versioned, checksummed bucket frames
-//! cross it.
+//! Multi-tenant "optimization as a service" over ONE multiplexed byte
+//! stream, mirroring the paper's workflow (Figure 1) at serving scale:
+//! several model owners stream sealed buckets concurrently, and a single
+//! shared [`ServeRuntime`] worker pool optimizes their frames interleaved.
 //!
-//! The model owner protects a full zoo model (GoogLeNet) and streams one
-//! sealed bucket at a time to the service thread, which optimizes frames
-//! as they arrive — bucket *i* is being optimized while the owner is
-//! still generating bucket *i + 1* — and returns them over its own
-//! channel. A `DeobfuscationSession` reassembles the optimized model
-//! from frames in whatever order they come back.
+//! The trust boundary is two byte streams. Every frame on them is a
+//! versioned, checksummed **v2 multiplexed frame** whose header carries a
+//! `request_id`: the service demultiplexes incoming frames into one
+//! runtime lane per request (frames injected with a foreign id are
+//! rejected, typed), and each owner demultiplexes the shared response
+//! stream back to its own reassembly session with
+//! [`DeobfuscationSession::accept_mux_bytes`].
 //!
 //! Run with: `cargo run --release --example confidential_service`
 
-use proteus::{DeobfuscationSession, Proteus, ProteusConfig, SealedBucket};
-use proteus_graph::TensorMap;
+use proteus::serve::{RequestHandle, ServeRuntime};
+use proteus::{DeobfuscationSession, Proteus, ProteusConfig, ServeConfig};
+use proteus_graph::{peek_frame_request_id, TensorMap};
 use proteus_graphgen::GraphRnnConfig;
 use proteus_models::{build, ModelKind};
 use proteus_opt::{Optimizer, Profile};
-use std::sync::mpsc;
-use std::time::Instant;
+use std::collections::HashMap;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// The tenants: each protects a different zoo model under its own
+/// request id.
+const CLIENTS: [(u64, ModelKind); 3] = [
+    (0xA1, ModelKind::AlexNet),
+    (0xB2, ModelKind::ResNet),
+    (0xC3, ModelKind::MnasNet),
+];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // owner side ----------------------------------------------------------
-    let protected = build(ModelKind::GoogleNet);
-    println!(
-        "[owner] protecting {} ({} nodes)",
-        protected.name(),
-        protected.len()
-    );
-
+    // one trained instance serves every request (train-once semantics)
     let config = ProteusConfig {
-        k: 4,
+        k: 3,
         graphrnn: GraphRnnConfig {
-            epochs: 5,
+            epochs: 4,
+            max_nodes: 20,
             ..Default::default()
         },
-        topology_pool: 80,
+        topology_pool: 60,
         ..Default::default()
     };
-    let corpus: Vec<_> = [ModelKind::ResNet, ModelKind::MobileNet, ModelKind::DenseNet]
-        .iter()
-        .map(|&k| build(k))
-        .collect();
-    // train once; the instance then serves any number of requests
-    let proteus = Proteus::builder().config(config).corpus(corpus).train()?;
-
-    // every request gets its own id — same id, byte-identical frames
-    let request_id = std::env::var("PROTEUS_REQUEST_ID")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0xCAFE);
+    let corpus: Vec<_> = [
+        ModelKind::MobileNet,
+        ModelKind::DenseNet,
+        ModelKind::GoogleNet,
+    ]
+    .iter()
+    .map(|&k| build(k))
+    .collect();
+    let proteus = Proteus::builder()
+        .config(config)
+        .corpus(corpus)
+        .train_shared()?;
     let start = Instant::now();
-    let mut session = proteus.obfuscate_session(&protected, &TensorMap::new(), request_id)?;
-    println!(
-        "[owner] request {request_id:#x}: streaming {} buckets\n",
-        session.num_buckets()
-    );
 
-    // trust boundary: two channels of frame bytes ------------------------
+    // trust boundary: ONE multiplexed stream each way -------------------
     let (to_service, service_inbox) = mpsc::channel::<bytes::Bytes>();
     let (to_owner, owner_inbox) = mpsc::channel::<bytes::Bytes>();
 
-    let (reassembled, wire_bytes) = std::thread::scope(
-        |scope| -> Result<_, Box<dyn std::error::Error + Send + Sync>> {
-            // The optimizer party: receives frames, returns frames. Never
-            // sees the protected model, the plan, or the real positions.
-            // One Optimizer handle (and its rule catalog) is reused across
-            // every frame of the stream.
+    std::thread::scope(
+        |scope| -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+            // The optimizer party: a shared worker pool, one lane per request
+            // id. It never sees the protected models, the plans, or the real
+            // positions — only interleaved anonymized frames.
             scope.spawn(move || {
-                let optimizer = Optimizer::new(Profile::OrtLike);
+                let runtime = ServeRuntime::new(
+                    Optimizer::new(Profile::OrtLike),
+                    ServeConfig {
+                        workers: 4,
+                        window: 2,
+                    },
+                )
+                .expect("runtime starts");
+                let mut lanes: HashMap<u64, RequestHandle> = HashMap::new();
+                let forward = |rid: u64, lane: &RequestHandle, out: &mpsc::Sender<bytes::Bytes>| {
+                    while let Some(frame) = lane.try_recv() {
+                        println!(
+                            "  [service] t={:>7.1}ms request {rid:#x} bucket {}/{} optimized",
+                            start.elapsed().as_secs_f64() * 1e3,
+                            frame.bucket_index + 1,
+                            frame.num_buckets,
+                        );
+                        if out.send(frame.to_mux_bytes(rid)).is_err() {
+                            return;
+                        }
+                    }
+                };
                 for wire in service_inbox {
-                    let frame = match SealedBucket::from_bytes(wire) {
-                        Ok(f) => f,
+                    // demultiplex: a header-only peek names the lane; the
+                    // lane's submit performs the full (checksum) decode
+                    let rid = match peek_frame_request_id(&wire) {
+                        Ok(rid) => rid,
                         Err(e) => {
                             eprintln!("  [service] rejecting frame: {e}");
                             continue;
                         }
                     };
-                    let t = Instant::now();
-                    let optimized = frame.optimize(&optimizer, None);
-                    println!(
-                        "  [service] t={:>6.1}ms bucket {}/{} optimized ({} members, {:.1}ms)",
-                        start.elapsed().as_secs_f64() * 1e3,
-                        frame.bucket_index + 1,
-                        frame.num_buckets,
-                        frame.bucket.members.len(),
-                        t.elapsed().as_secs_f64() * 1e3,
-                    );
-                    if to_owner.send(optimized.to_bytes()).is_err() {
-                        break; // owner hung up
+                    let lane = lanes.entry(rid).or_insert_with(|| runtime.handle(rid));
+                    if let Err(e) = lane.submit_bytes(wire) {
+                        eprintln!("  [service] rejecting frame for {rid:#x}: {e}");
+                    }
+                    for (&rid, lane) in &lanes {
+                        forward(rid, lane, &to_owner);
                     }
                 }
-                // dropping `to_owner` closes the return stream
+                // input stream closed: drain every lane
+                loop {
+                    let mut busy = false;
+                    for (&rid, lane) in &lanes {
+                        // read in_flight BEFORE draining: a frame that
+                        // completes between the two calls either drains
+                        // now or was counted busy, so nothing strands
+                        busy |= lane.in_flight() > 0;
+                        forward(rid, lane, &to_owner);
+                    }
+                    if !busy {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                let stats = runtime.stats();
+                println!(
+                    "  [service] pool done: {} workers, {} member tasks, max queue depth {}",
+                    stats.workers, stats.tasks_executed, stats.max_queue_depth
+                );
+                // dropping `to_owner` closes the response stream
             });
 
-            // owner: generate and ship frames one at a time; the service
-            // overlaps its optimization with our generation of the next
-            // bucket
-            let mut wire_bytes = 0usize;
-            while let Some(frame) = session.next_frame() {
-                let wire = frame.to_bytes();
-                wire_bytes += wire.len();
-                println!(
-                    "[owner]   t={:>6.1}ms bucket {}/{} sealed ({} bytes)",
-                    start.elapsed().as_secs_f64() * 1e3,
-                    frame.bucket_index + 1,
-                    frame.num_buckets,
-                    wire.len(),
-                );
-                to_service.send(wire)?;
+            // owner-side demultiplexer: one response stream in, one channel
+            // per client out
+            let mut client_txs: HashMap<u64, mpsc::Sender<bytes::Bytes>> = HashMap::new();
+            let mut client_rxs: HashMap<u64, mpsc::Receiver<bytes::Bytes>> = HashMap::new();
+            for (rid, _) in CLIENTS {
+                let (tx, rx) = mpsc::channel();
+                client_txs.insert(rid, tx);
+                client_rxs.insert(rid, rx);
             }
-            drop(to_service); // end of stream
-            let secrets = session.finish()?;
+            scope.spawn(move || {
+                for wire in owner_inbox {
+                    let Ok(rid) = peek_frame_request_id(&wire) else {
+                        eprintln!("[owner-demux] undecodable response frame");
+                        continue;
+                    };
+                    let Some(tx) = client_txs.get(&rid) else {
+                        eprintln!("[owner-demux] response for unknown request {rid:#x}");
+                        continue;
+                    };
+                    let _ = tx.send(wire);
+                }
+            });
 
-            // frames come back in completion order; the session accepts any
-            let mut reassembly = DeobfuscationSession::new(&secrets);
-            for wire in owner_inbox {
-                reassembly.accept_bytes(wire)?;
+            // the tenants: generate frames, ship them over the SHARED stream,
+            // reassemble from the demultiplexed responses
+            let mut joins = Vec::new();
+            for (rid, kind) in CLIENTS {
+                let proteus = Arc::clone(&proteus);
+                let to_service = to_service.clone();
+                let responses = client_rxs.remove(&rid).expect("own channel");
+                joins.push(scope.spawn(move || -> Result<(), proteus::ProteusError> {
+                    let protected = build(kind);
+                    println!(
+                        "[client {rid:#x}] protecting {} ({} nodes)",
+                        protected.name(),
+                        protected.len()
+                    );
+                    let mut session =
+                        proteus.obfuscate_session(&protected, &TensorMap::new(), rid)?;
+                    let mut wire_bytes = 0usize;
+                    while let Some(frame) = session.next_frame() {
+                        let wire = frame.to_mux_bytes(rid);
+                        wire_bytes += wire.len();
+                        if to_service.send(wire).is_err() {
+                            break;
+                        }
+                    }
+                    drop(to_service); // this tenant's frames are all shipped
+                    let secrets = session.finish()?;
+                    let mut reassembly = DeobfuscationSession::new(&secrets);
+                    while !reassembly.is_complete() {
+                        let wire = responses
+                            .recv()
+                            .expect("service closed before completing the request");
+                        reassembly.accept_mux_bytes(wire)?;
+                    }
+                    let (model, _params) = reassembly.finish()?;
+                    model.validate()?;
+
+                    // what did confidentiality cost this tenant?
+                    let optimizer = Optimizer::new(Profile::OrtLike);
+                    let unopt = optimizer.estimate_us(&protected)?;
+                    let (best_graph, _, _) = optimizer.optimize(&protected, &TensorMap::new());
+                    let best = optimizer.estimate_us(&best_graph)?;
+                    let with_proteus = optimizer.estimate_us(&model)?;
+                    println!(
+                        "[client {rid:#x}] t={:>7.1}ms done: {} nodes, {wire_bytes} frame bytes, \
+                     latency estimate {unopt:.0} -> {with_proteus:.0} us \
+                     (best attainable {best:.0} us, overhead {:+.1}%)",
+                        start.elapsed().as_secs_f64() * 1e3,
+                        model.len(),
+                        (with_proteus - best) / best * 100.0,
+                    );
+                    Ok(())
+                }));
             }
-            Ok((reassembly.finish()?, wire_bytes))
+            drop(to_service); // the scope's own sender
+            for j in joins {
+                j.join().expect("client thread").expect("client succeeds");
+            }
+            Ok(())
         },
     )
     .map_err(|e| -> Box<dyn std::error::Error> { e })?;
 
-    let (model, _params) = reassembled;
-    model.validate()?;
     println!(
-        "\n[owner] t={:>6.1}ms reassembled optimized model: {} nodes, {} frame bytes total",
-        start.elapsed().as_secs_f64() * 1e3,
-        model.len(),
-        wire_bytes,
-    );
-
-    // owner side: what did confidentiality cost? -------------------------
-    let optimizer = Optimizer::new(Profile::OrtLike);
-    let unopt = optimizer.estimate_us(&protected)?;
-    let (best_graph, _, _) = optimizer.optimize(&protected, &TensorMap::new());
-    let best = optimizer.estimate_us(&best_graph)?;
-    let with_proteus = optimizer.estimate_us(&model)?;
-    println!("[owner] latency estimate:");
-    println!("          unoptimized      {unopt:10.1} us");
-    println!(
-        "          best attainable  {best:10.1} us  ({:.2}x)",
-        unopt / best
-    );
-    println!(
-        "          with Proteus     {with_proteus:10.1} us  ({:.2}x)",
-        unopt / with_proteus
-    );
-    println!(
-        "[owner] confidentiality cost: {:.1}% slower than best attainable for this \
-         request's partitioning\n        (paper: ~10% averaged across models; the calibrated \
-         fig4 reproduction measures a 1.07-1.14x geomean)",
-        (with_proteus - best) / best * 100.0
+        "\nall {} concurrent requests served over one multiplexed stream in {:.1}ms",
+        CLIENTS.len(),
+        start.elapsed().as_secs_f64() * 1e3
     );
     Ok(())
 }

@@ -1,0 +1,158 @@
+//! Adversary accuracy regression bands: the three attacker families of
+//! the paper's §5.3 evaluation, run on a fixed-seed zoo sample, must stay
+//! inside pinned accuracy bands — so a runtime/scheduling refactor (like
+//! the serving pool) cannot silently change obfuscation quality. The
+//! sentinel generator, the attack harness, and every seed here are fully
+//! deterministic; drift outside a band means the *obfuscation output*
+//! changed, not the measurement.
+//!
+//! Bands are pinned wide enough to absorb harmless float-association
+//! differences across platforms, and tight enough that "sentinels became
+//! trivially distinguishable" (or "the classifier went blind") fails.
+
+use proteus_adversary::{attack_buckets, ExpertReviewer, StatsAdversary};
+use proteus_bench::{
+    buckets_of, build_material, train_adversary, training_examples, AttackScale, ModelMaterial,
+};
+use proteus_graph::Graph;
+use proteus_models::ModelKind;
+use std::sync::OnceLock;
+
+const SEED: u64 = 0x5EED;
+const HOLDOUT: ModelKind = ModelKind::AlexNet;
+
+/// Leave-one-out material for a fixed three-model sample, built once.
+fn materials() -> &'static Vec<ModelMaterial> {
+    static MATERIALS: OnceLock<Vec<ModelMaterial>> = OnceLock::new();
+    MATERIALS.get_or_init(|| {
+        let scale = AttackScale {
+            k: 3,
+            k_train: 2,
+            rnn_epochs: 2,
+            pool: 30,
+            gnn_epochs: 3,
+        };
+        [HOLDOUT, ModelKind::MobileNet, ModelKind::ResNet]
+            .iter()
+            .map(|&kind| build_material(kind, 8, scale, SEED))
+            .collect()
+    })
+}
+
+/// The holdout model's pieces and sentinels as `(graph, is_sentinel)`
+/// pairs — the evaluation set for the threshold adversaries.
+fn labelled_holdout() -> Vec<(Graph, bool)> {
+    let m = materials()
+        .iter()
+        .find(|m| m.kind == HOLDOUT)
+        .expect("holdout material");
+    let mut out = Vec::new();
+    for (piece, sentinels) in m.pieces.iter().zip(&m.proteus_sentinels) {
+        out.push((piece.clone(), false));
+        for s in sentinels {
+            out.push((s.clone(), true));
+        }
+    }
+    out
+}
+
+#[test]
+fn sage_classifier_attack_stays_in_band() {
+    // full leave-one-out protocol: attack every sample model with a
+    // classifier trained on the other two, aggregate over all 72
+    // sentinels (3 models x 8 buckets x k=3) so the band has fine
+    // granularity
+    let materials = materials();
+    let mut specificities = Vec::new();
+    let mut log10_total = 0.0;
+    for m in materials.iter() {
+        let examples = training_examples(materials, m.kind, false, 2);
+        assert!(!examples.is_empty());
+        let clf = train_adversary(&examples, 3, SEED);
+        let report = attack_buckets(&clf, &buckets_of(m, false));
+        assert_eq!(report.n, 8);
+        assert_eq!(report.k, 3);
+        // α=1 semantics: the threshold keeps every real subgraph by
+        // construction, so γ is a probability strictly inside (0, 1)
+        assert!(
+            report.min_gamma > 0.0 && report.min_gamma < 1.0,
+            "{}: degenerate gamma {}",
+            m.kind,
+            report.min_gamma
+        );
+        specificities.push(report.specificity);
+        log10_total += report.log10_candidates;
+    }
+    let mean_specificity = specificities.iter().sum::<f64>() / specificities.len() as f64;
+    eprintln!("sage mean specificity {mean_specificity:.3}, log10 candidates {log10_total:.2}, per-model {specificities:?}");
+    // pinned around the fixed-seed measurement (0.819 at this quick
+    // scale): a drop below the floor means the classifier went blind, a
+    // rise to 1.0 means every sentinel became trivially separable
+    assert!(
+        (0.35..=0.95).contains(&mean_specificity),
+        "Sage mean specificity {mean_specificity:.3} left the pinned band [0.35, 0.95] \
+         (per-model: {specificities:?})"
+    );
+    // the aggregate surviving search space must not collapse to the real
+    // models (measured 3.36; log10 = 0 would mean every sentinel
+    // eliminated everywhere)
+    assert!(
+        log10_total >= 0.8,
+        "search space collapsed to 10^{log10_total:.2} across the sample"
+    );
+}
+
+#[test]
+fn stats_adversary_accuracy_stays_in_band() {
+    // fit on the *other* models' real pieces (the adversary's public
+    // knowledge), evaluate on the holdout's pieces + sentinels
+    let reals: Vec<Graph> = materials()
+        .iter()
+        .filter(|m| m.kind != HOLDOUT)
+        .flat_map(|m| m.pieces.iter().cloned())
+        .collect();
+    let adv = StatsAdversary::fit(&reals, 0.05);
+    let labelled = labelled_holdout();
+    let acc = adv.accuracy(&labelled);
+    eprintln!("stats adversary accuracy {acc:.3}");
+    // statistics-band sentinels keep the heuristic near chance; the test
+    // pins both directions — a drop below the floor means the adversary
+    // broke, a jump above the ceiling means the sentinels' statistics
+    // drifted out of the real models' band
+    assert!(
+        (0.10..=0.75).contains(&acc),
+        "StatsAdversary accuracy {acc:.3} left the pinned band [0.10, 0.75] (measured 0.250)"
+    );
+}
+
+#[test]
+fn expert_reviewer_accuracy_stays_in_band() {
+    let expert = ExpertReviewer::default();
+    let labelled = labelled_holdout();
+    let acc = expert.accuracy(&labelled);
+    eprintln!("expert reviewer accuracy {acc:.3}");
+    // semantic filtering keeps codified expert heuristics near chance
+    // (paper §5.3.3: experts did no better than guessing)
+    assert!(
+        (0.10..=0.80).contains(&acc),
+        "ExpertReviewer accuracy {acc:.3} left the pinned band [0.10, 0.80] (measured 0.250)"
+    );
+}
+
+#[test]
+fn fixed_seed_material_is_deterministic() {
+    // the regression bands above are only meaningful if the fixture is
+    // reproducible: rebuilding one material with the same seed must give
+    // identical sentinels
+    let scale = AttackScale {
+        k: 2,
+        k_train: 1,
+        rnn_epochs: 1,
+        pool: 15,
+        gnn_epochs: 1,
+    };
+    let a = build_material(HOLDOUT, 2, scale, SEED);
+    let b = build_material(HOLDOUT, 2, scale, SEED);
+    assert_eq!(a.pieces, b.pieces);
+    assert_eq!(a.proteus_sentinels, b.proteus_sentinels);
+}

@@ -195,7 +195,16 @@ fn session_protocol_violations_are_typed_errors() {
     let mut reassembly = proteus.deobfuscate_session(&secrets);
     reassembly.accept(frames[0].clone()).expect("first accept");
     let err = reassembly.accept(frames[0].clone()).unwrap_err();
-    assert!(matches!(err, ProteusError::Protocol { .. }), "{err:?}");
+    assert!(
+        matches!(
+            err,
+            ProteusError::DuplicateFrame {
+                bucket_index: 0,
+                request_id: 1
+            }
+        ),
+        "duplicates get the dedicated variant: {err:?}"
+    );
     let mut alien = first;
     alien.num_buckets += 7;
     let err = reassembly.accept(alien).unwrap_err();
@@ -205,6 +214,98 @@ fn session_protocol_violations_are_typed_errors() {
     let reassembly = proteus.deobfuscate_session(&secrets);
     let err = reassembly.finish().unwrap_err();
     assert!(matches!(err, ProteusError::Protocol { .. }), "{err:?}");
+}
+
+#[test]
+fn duplicate_frame_is_rejected_and_never_overwrites() {
+    // Regression: a replayed bucket frame must surface as the dedicated
+    // DuplicateFrame variant, and the first accepted frame must survive —
+    // even when the replay carries *different* (e.g. tampered) content.
+    let (g, params) = executable_cnn();
+    let proteus = Proteus::train(quick_config(2, 3), &[build(ModelKind::ResNet)]);
+    let mut session = proteus
+        .obfuscate_session(&g, &params, 0xD0)
+        .expect("session");
+    let frames: Vec<SealedBucket> = session.by_ref().collect();
+    let secrets = session.finish().expect("secrets");
+
+    // clean run: the expected reassembly
+    let mut clean = proteus.deobfuscate_session(&secrets);
+    for f in &frames {
+        clean.accept(f.clone()).expect("accept");
+    }
+    let (expected_graph, expected_params) = clean.finish().expect("finish");
+
+    // replayed run: bucket 0 arrives again with its members reversed (a
+    // tampered duplicate) — rejected, and reassembly is unaffected
+    let mut reassembly = proteus.deobfuscate_session(&secrets);
+    reassembly.accept(frames[0].clone()).expect("first accept");
+    let mut tampered = frames[0].clone();
+    tampered.bucket.members.reverse();
+    let err = reassembly.accept(tampered).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ProteusError::DuplicateFrame {
+                bucket_index: 0,
+                request_id: 0xD0
+            }
+        ),
+        "{err:?}"
+    );
+    assert_eq!(reassembly.received(), 1, "duplicate must not count");
+    for f in frames.iter().skip(1) {
+        reassembly.accept(f.clone()).expect("accept rest");
+    }
+    let (got_graph, got_params) = reassembly.finish().expect("finish");
+    assert_eq!(got_graph, expected_graph, "duplicate overwrote bucket 0");
+    assert_eq!(got_params, expected_params);
+}
+
+#[test]
+fn mux_acceptance_checks_request_identity() {
+    // accept_mux_bytes binds a reassembly session to its request id: the
+    // matching id (v2) and the legacy v1 encoding of the same request are
+    // accepted; a frame from another request's stream is rejected intact.
+    let (g, params) = executable_cnn();
+    let proteus = Proteus::train(quick_config(2, 2), &[build(ModelKind::ResNet)]);
+    let mut session = proteus
+        .obfuscate_session(&g, &params, 0xA11CE)
+        .expect("session");
+    let frames: Vec<SealedBucket> = session.by_ref().collect();
+    let secrets = session.finish().expect("secrets");
+    assert_eq!(secrets.request_id, 0xA11CE, "secrets record their request");
+
+    let mut reassembly = proteus.deobfuscate_session(&secrets);
+    let err = reassembly
+        .accept_mux_bytes(frames[0].to_mux_bytes(0xBAD))
+        .unwrap_err();
+    assert!(matches!(err, ProteusError::Protocol { .. }), "{err:?}");
+    assert_eq!(reassembly.received(), 0, "injected frame must not land");
+    for f in &frames {
+        reassembly
+            .accept_mux_bytes(f.to_mux_bytes(0xA11CE))
+            .expect("matching id accepted");
+    }
+    reassembly.finish().expect("reassembles");
+
+    // the legacy wrapper's secrets carry LEGACY_REQUEST_ID, so v1 frames
+    // (request id 0 on the wire) pass the identity check
+    let (model, legacy_secrets) = proteus.obfuscate(&g, &params).expect("obfuscate");
+    assert_eq!(legacy_secrets.request_id, LEGACY_REQUEST_ID);
+    let mut reassembly = proteus.deobfuscate_session(&legacy_secrets);
+    let nb = model.num_buckets() as u32;
+    for (i, bucket) in model.buckets.iter().enumerate() {
+        let sealed = SealedBucket {
+            bucket_index: i as u32,
+            num_buckets: nb,
+            bucket: bucket.clone(),
+        };
+        reassembly
+            .accept_mux_bytes(sealed.to_bytes())
+            .expect("v1 frame accepted by the mux path");
+    }
+    reassembly.finish().expect("reassembles");
 }
 
 #[test]
