@@ -270,6 +270,69 @@ fn main() {
     );
     series.push(streamed);
 
+    // Cold start vs warm start: the trained-state artifact replaces the
+    // per-process training cost with a load + checksum validation. The
+    // warm-started instance must be indistinguishable on the wire, so the
+    // parity assertion covers the full model zoo (this is the perf-harness
+    // half of the artifact determinism gate; tests/artifact_robustness.rs
+    // is the other).
+    let artifact_bytes = proteus.to_artifact_bytes();
+    let cold_cfg = proteus.config().clone();
+    let cold_samples: Vec<f64> = (0..e2e_iters)
+        .map(|_| {
+            let t = Instant::now();
+            let trained = Proteus::train(cold_cfg.clone(), &[build(ModelKind::ResNet)]);
+            let us = t.elapsed().as_secs_f64() * 1e6;
+            std::hint::black_box(trained);
+            us
+        })
+        .collect();
+    let warm_samples: Vec<f64> = (0..e2e_iters)
+        .map(|_| {
+            let t = Instant::now();
+            let loaded = Proteus::from_artifact_bytes(&artifact_bytes).expect("artifact loads");
+            let us = t.elapsed().as_secs_f64() * 1e6;
+            std::hint::black_box(loaded);
+            us
+        })
+        .collect();
+    let cold = Series {
+        label: "startup/cold-train".to_string(),
+        samples: cold_samples,
+    };
+    let warm = Series {
+        label: "startup/warm-artifact-load".to_string(),
+        samples: warm_samples,
+    };
+    println!(
+        "\nCold start (train) {:.0} us vs warm start (artifact load) {:.0} us ({:.1}x faster, {} artifact bytes)",
+        cold.mean(),
+        warm.mean(),
+        cold.mean() / warm.mean(),
+        artifact_bytes.len(),
+    );
+    let warm_proteus = Proteus::from_artifact_bytes(&artifact_bytes).expect("artifact loads");
+    for kind in ModelKind::ALL {
+        let zoo_model = build(kind);
+        let (a, _) = proteus
+            .obfuscate(&zoo_model, &TensorMap::new())
+            .expect("obfuscate");
+        let (b, _) = warm_proteus
+            .obfuscate(&zoo_model, &TensorMap::new())
+            .expect("obfuscate");
+        assert_eq!(
+            a.to_bytes(),
+            b.to_bytes(),
+            "{kind}: warm-started instance diverged from the trained one on the wire"
+        );
+    }
+    println!(
+        "artifact parity: warm-started wire bytes identical across the {} zoo models",
+        ModelKind::ALL.len()
+    );
+    series.push(cold);
+    series.push(warm);
+
     // fig4 regression band: bit-identical engines must leave the paper
     // reproduction untouched. latency_triple is deterministic, so this is
     // safe to assert even in smoke mode.

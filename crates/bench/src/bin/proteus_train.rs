@@ -1,0 +1,272 @@
+//! `proteus-train` — offline training and artifact management for the
+//! warm-start serving workflow (see `proteus::artifact`).
+//!
+//! Subcommands:
+//!
+//! - `train --out PATH [options]` — train a sentinel generator on named
+//!   zoo models and save it as a `PRTA` artifact. The corpus names are
+//!   recorded as artifact provenance so `verify` can retrain and compare.
+//! - `inspect PATH` — decode, validate every checksum, and print the
+//!   artifact summary (version, fingerprint, sections, trained-state
+//!   sizes).
+//! - `verify PATH [--probe MODEL,...]` — the determinism gate: load the
+//!   artifact, retrain a fresh instance from the recorded provenance under
+//!   the embedded config, and hard-assert (a) the fresh instance
+//!   re-serializes to the same state sections and (b) both instances
+//!   produce bit-identical obfuscation wire bytes on the probe models.
+//!
+//! Examples:
+//!
+//! ```text
+//! proteus-train train --out zoo.prta --corpus resnet,mobilenet --quick
+//! proteus-train inspect zoo.prta
+//! proteus-train verify zoo.prta --probe alexnet,bert
+//! ```
+
+use proteus::{PartitionSpec, Proteus, ProteusConfig, TrainedArtifact};
+use proteus_graph::TensorMap;
+use proteus_graphgen::GraphRnnConfig;
+use proteus_models::{build, ModelKind};
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: proteus-train <subcommand>\n\
+         \n\
+         \x20 train --out PATH [--corpus a,b,..] [--k N] [--epochs N] [--pool N]\n\
+         \x20       [--seed N] [--target-size N] [--quick]\n\
+         \x20 inspect PATH\n\
+         \x20 verify PATH [--probe a,b,..]\n\
+         \n\
+         model names: {}",
+        ModelKind::ALL
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_kind(name: &str) -> Result<ModelKind, String> {
+    ModelKind::ALL
+        .iter()
+        .copied()
+        .find(|k| k.name() == name)
+        .ok_or_else(|| format!("unknown model `{name}`"))
+}
+
+fn parse_kinds(list: &str) -> Result<Vec<ModelKind>, String> {
+    list.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse_kind)
+        .collect()
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_usize(args: &[String], flag: &str, default: usize) -> Result<usize, String> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{flag} expects an integer, got `{v}`")),
+    }
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let out = flag_value(args, "--out").ok_or("train requires --out PATH")?;
+    let quick = args.iter().any(|a| a == "--quick");
+    let corpus_names = flag_value(args, "--corpus").unwrap_or_else(|| {
+        if quick {
+            "resnet".to_string()
+        } else {
+            "resnet,mobilenet,densenet,googlenet".to_string()
+        }
+    });
+    let kinds = parse_kinds(&corpus_names)?;
+    if kinds.is_empty() {
+        return Err("--corpus names no models".to_string());
+    }
+    let config = ProteusConfig {
+        k: parse_usize(args, "--k", if quick { 2 } else { 8 })?,
+        partitions: PartitionSpec::TargetSize(parse_usize(args, "--target-size", 8)?),
+        graphrnn: GraphRnnConfig {
+            epochs: parse_usize(args, "--epochs", if quick { 1 } else { 8 })?,
+            max_nodes: if quick { 16 } else { 40 },
+            ..Default::default()
+        },
+        topology_pool: parse_usize(args, "--pool", if quick { 12 } else { 120 })?,
+        seed: flag_value(args, "--seed")
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("--seed expects u64, got `{v}`"))
+            })
+            .transpose()?
+            .unwrap_or(0xB0B),
+        ..Default::default()
+    };
+    let provenance: String = kinds.iter().map(|k| k.name()).collect::<Vec<_>>().join(",");
+    println!(
+        "training on [{provenance}] (k={}, pool={}) ...",
+        config.k, config.topology_pool
+    );
+    let t = Instant::now();
+    let proteus = Proteus::builder()
+        .config(config)
+        .corpus(kinds.iter().map(|&k| build(k)))
+        .train()
+        .map_err(|e| e.to_string())?;
+    let train_ms = t.elapsed().as_secs_f64() * 1e3;
+    let artifact = TrainedArtifact::from_proteus(&proteus, provenance);
+    let bytes = artifact.to_bytes();
+    std::fs::write(&out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "trained in {train_ms:.0} ms, wrote {} bytes to {out} (config fingerprint {:#018x})",
+        bytes.len(),
+        proteus.config_fingerprint()
+    );
+    Ok(())
+}
+
+fn cmd_inspect(path: &str) -> Result<(), String> {
+    let data = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let (artifact, summary) =
+        TrainedArtifact::from_bytes_with_summary(&data).map_err(|e| e.to_string())?;
+    println!("artifact            {path} ({} bytes)", data.len());
+    println!("format version      {}", summary.version);
+    println!("config fingerprint  {:#018x}", summary.config_fingerprint);
+    println!(
+        "provenance          {}",
+        if summary.provenance.is_empty() {
+            "(none)"
+        } else {
+            &summary.provenance
+        }
+    );
+    println!("sentinel pool       {} topologies", summary.pool_len);
+    println!(
+        "graphrnn            {} parameters, {} scalars",
+        summary.rnn_params, summary.rnn_scalars
+    );
+    println!("bigram vocabulary   {} opcodes", summary.bigram_vocab);
+    let cfg = artifact.config();
+    println!(
+        "config              k={}, partitions={:?}, beta={}, pool={}, seed={:#x}",
+        cfg.k, cfg.partitions, cfg.beta, cfg.topology_pool, cfg.seed
+    );
+    println!("sections:");
+    for (name, len) in &summary.section_bytes {
+        println!("  {name:<8} {len:>10} bytes (checksum ok)");
+    }
+    Ok(())
+}
+
+fn cmd_verify(path: &str, args: &[String]) -> Result<(), String> {
+    let data = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let t = Instant::now();
+    let (artifact, summary) =
+        TrainedArtifact::from_bytes_with_summary(&data).map_err(|e| e.to_string())?;
+    let loaded = artifact.clone().into_proteus().map_err(|e| e.to_string())?;
+    let load_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "decode + validate + load: {load_ms:.1} ms ({} sections, every checksum verified)",
+        summary.section_bytes.len()
+    );
+
+    let probes: Vec<ModelKind> = match flag_value(args, "--probe") {
+        Some(list) => parse_kinds(&list)?,
+        None => vec![ModelKind::AlexNet],
+    };
+
+    if summary.provenance.is_empty() {
+        println!("no provenance recorded: skipping the retrain comparison");
+    } else {
+        let kinds = parse_kinds(&summary.provenance)
+            .map_err(|e| format!("provenance is not a zoo corpus ({e}); cannot retrain"))?;
+        println!(
+            "retraining fresh from provenance [{}] ...",
+            summary.provenance
+        );
+        let t = Instant::now();
+        let fresh = Proteus::builder()
+            .config(artifact.config().clone())
+            .corpus(kinds.iter().map(|&k| build(k)))
+            .train()
+            .map_err(|e| e.to_string())?;
+        let train_ms = t.elapsed().as_secs_f64() * 1e3;
+        println!("retrained in {train_ms:.0} ms (warm start was {load_ms:.1} ms)");
+        // compare against the original file bytes: the retrained state,
+        // serialized with the same provenance, must reproduce the artifact
+        // byte for byte
+        let refreshed = TrainedArtifact::from_proteus(&fresh, summary.provenance.clone());
+        if refreshed.to_bytes()[..] != data[..] {
+            return Err("retrained state diverges from the artifact".to_string());
+        }
+        println!("state check: retrained artifact bytes are identical to the file");
+        for &probe in &probes {
+            let g = build(probe);
+            let (a, _) = fresh
+                .obfuscate(&g, &TensorMap::new())
+                .map_err(|e| e.to_string())?;
+            let (b, _) = loaded
+                .obfuscate(&g, &TensorMap::new())
+                .map_err(|e| e.to_string())?;
+            if a.to_bytes() != b.to_bytes() {
+                return Err(format!(
+                    "obfuscation wire bytes diverge on probe `{}`",
+                    probe.name()
+                ));
+            }
+            println!(
+                "probe {:<12} fresh-vs-loaded wire bytes identical ({} buckets)",
+                probe.name(),
+                a.num_buckets()
+            );
+        }
+    }
+
+    // loaded instance must also round-trip an obfuscation on its own
+    for &probe in &probes {
+        let g = build(probe);
+        let (model, secrets) = loaded
+            .obfuscate(&g, &TensorMap::new())
+            .map_err(|e| e.to_string())?;
+        let (back, _) = loaded
+            .deobfuscate(&secrets, &model)
+            .map_err(|e| e.to_string())?;
+        back.validate().map_err(|e| e.to_string())?;
+    }
+    println!("verify OK");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("train") => cmd_train(&args[1..]),
+        Some("inspect") => match args.get(1) {
+            Some(path) if !path.starts_with("--") => cmd_inspect(path),
+            _ => Err("inspect requires PATH".to_string()),
+        },
+        Some("verify") => match args.get(1) {
+            Some(path) if !path.starts_with("--") => cmd_verify(path, &args[2..]),
+            _ => Err("verify requires PATH".to_string()),
+        },
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

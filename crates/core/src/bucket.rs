@@ -27,13 +27,16 @@ use serde::{Deserialize, Serialize};
 /// One candidate subgraph: structure plus (optional) parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BucketMember {
+    /// The anonymized subgraph.
     pub graph: Graph,
+    /// Its parameter tensors (empty for structure-only protocols).
     pub params: TensorMap,
 }
 
 /// The `k + 1` candidates hiding one protected subgraph.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Bucket {
+    /// The candidates, in shuffled on-the-wire order.
     pub members: Vec<BucketMember>,
 }
 
@@ -224,6 +227,7 @@ impl SealedBucket {
 /// Everything the optimizer party receives.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ObfuscatedModel {
+    /// One bucket per protected subgraph, in bucket-index order.
     pub buckets: Vec<Bucket>,
 }
 

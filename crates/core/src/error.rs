@@ -7,6 +7,7 @@
 //! panics on malformed input; panics are reserved for internal
 //! invariants.
 
+use crate::artifact::ArtifactError;
 use proteus_graph::{GraphError, WireError};
 use std::fmt;
 
@@ -16,10 +17,16 @@ pub enum ProteusError {
     /// A [`crate::ProteusConfig`] is degenerate (rejected by
     /// [`crate::ProteusConfig::validate`]) or the training corpus is
     /// unusable.
-    Config { detail: String },
+    Config {
+        /// What was wrong.
+        detail: String,
+    },
     /// Partitioning the protected model failed (the plan could not be
     /// extracted or its piece interfaces are broken).
-    Partition { detail: String },
+    Partition {
+        /// What was wrong.
+        detail: String,
+    },
     /// A wire frame or payload failed to decode.
     Wire(WireError),
     /// Graph validation, shape inference, execution, or reassembly failed.
@@ -28,7 +35,10 @@ pub enum ProteusError {
     /// before all frames were emitted, an out-of-range or cross-request
     /// frame accepted, reassembly attempted while frames are still
     /// missing, ...
-    Protocol { detail: String },
+    Protocol {
+        /// What was wrong.
+        detail: String,
+    },
     /// A frame for a bucket the session (or serving runtime) has already
     /// accepted arrived again. Split out from [`ProteusError::Protocol`]
     /// so replay/duplication — the failure mode a lossy or adversarial
@@ -41,6 +51,11 @@ pub enum ProteusError {
         /// Request the frame belonged to.
         request_id: u64,
     },
+    /// A trained-state artifact failed to encode, decode, or validate
+    /// (see [`crate::artifact`]): bad magic, version skew, a section
+    /// checksum mismatch, malformed state, a config-fingerprint mismatch,
+    /// or file I/O.
+    Artifact(ArtifactError),
 }
 
 impl ProteusError {
@@ -81,6 +96,7 @@ impl fmt::Display for ProteusError {
                 f,
                 "protocol violation: duplicate frame for bucket {bucket_index} of request {request_id:#x}"
             ),
+            ProteusError::Artifact(e) => write!(f, "{e}"),
         }
     }
 }
@@ -90,8 +106,15 @@ impl std::error::Error for ProteusError {
         match self {
             ProteusError::Wire(e) => Some(e),
             ProteusError::Graph(e) => Some(e),
+            ProteusError::Artifact(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<ArtifactError> for ProteusError {
+    fn from(e: ArtifactError) -> ProteusError {
+        ProteusError::Artifact(e)
     }
 }
 

@@ -87,7 +87,19 @@
 //! remain available and now return [`ProteusError`]; they are wrappers
 //! over the sessions with [`LEGACY_REQUEST_ID`], bit-identical to driving
 //! a session by hand.
+//!
+//! ## Warm starts
+//!
+//! Training is model-independent and happens once; persist it with
+//! [`Proteus::save_artifact`] and cold-start serving processes from the
+//! checksummed `PRTA` artifact with [`Proteus::load_artifact`] (or
+//! [`Proteus::load_artifact_expecting`] to pin the deployment config) —
+//! milliseconds instead of the GraphRNN/partition training cost, and
+//! bit-identical on the wire. See [`artifact`].
 
+#![warn(missing_docs)]
+
+pub mod artifact;
 pub mod baseline;
 pub mod bucket;
 pub mod config;
@@ -99,6 +111,10 @@ pub mod sentinel;
 pub mod serve;
 pub mod session;
 
+pub use artifact::{
+    config_fingerprint, ArtifactError, ArtifactSummary, TrainedArtifact, ARTIFACT_MAGIC,
+    ARTIFACT_VERSION,
+};
 pub use baseline::{random_opcode_graph, random_opcode_sentinels};
 pub use bucket::{
     anonymize, Bucket, BucketMember, ObfuscatedModel, ObfuscationSecrets, SealedBucket,

@@ -23,8 +23,10 @@ use rand::Rng;
 /// subgraph so a CNN piece hides among CNN-looking sentinels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Regime {
+    /// Convolutional models: conv/norm/pool/activation operator families.
     #[default]
     Cnn,
+    /// Transformer models: gemm/matmul/layernorm/gather operator families.
     Transformer,
 }
 

@@ -147,6 +147,14 @@ impl Proteus {
         Proteus { config, factory }
     }
 
+    /// Reassembles a trained instance from its parts — the loading half
+    /// of the trained-state artifact ([`crate::artifact`]). The parts must
+    /// come from a factory trained (or loaded) under `config`; the
+    /// artifact decoder enforces that.
+    pub(crate) fn from_trained_parts(config: ProteusConfig, factory: SentinelFactory) -> Proteus {
+        Proteus { config, factory }
+    }
+
     /// The configuration in effect.
     pub fn config(&self) -> &ProteusConfig {
         &self.config

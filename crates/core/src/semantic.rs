@@ -42,6 +42,62 @@ impl BigramModel {
         }
     }
 
+    /// The raw edge-count matrix `counts[src][dst]`, indexed by
+    /// [`OpCode::index`] (exported for trained-state persistence).
+    pub fn counts(&self) -> &[Vec<f64>] {
+        &self.counts
+    }
+
+    /// Per-source-opcode edge totals (exported for trained-state
+    /// persistence).
+    pub fn totals(&self) -> &[f64] {
+        &self.totals
+    }
+
+    /// The Laplace smoothing constant.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Reassembles a fitted model from exported state (the inverse of
+    /// [`BigramModel::counts`] / [`BigramModel::totals`] /
+    /// [`BigramModel::alpha`]).
+    ///
+    /// # Errors
+    /// Returns a description of the defect when the matrices are not
+    /// `OpCode::COUNT`-square/long or a count is not finite.
+    pub fn from_parts(
+        counts: Vec<Vec<f64>>,
+        totals: Vec<f64>,
+        alpha: f64,
+    ) -> Result<BigramModel, String> {
+        let v = OpCode::COUNT;
+        if counts.len() != v || totals.len() != v {
+            return Err(format!(
+                "bigram state sized {}x{} / {}, expected {v}x{v} / {v}",
+                counts.len(),
+                counts.first().map_or(0, Vec::len),
+                totals.len()
+            ));
+        }
+        for row in &counts {
+            if row.len() != v {
+                return Err(format!("bigram row of width {}, expected {v}", row.len()));
+            }
+            if row.iter().any(|c| !c.is_finite()) {
+                return Err("non-finite bigram count".to_string());
+            }
+        }
+        if totals.iter().any(|t| !t.is_finite()) || !alpha.is_finite() {
+            return Err("non-finite bigram total or alpha".to_string());
+        }
+        Ok(BigramModel {
+            counts,
+            totals,
+            alpha,
+        })
+    }
+
     /// `log P(dst | src)` with Laplace smoothing.
     pub fn log_prob(&self, src: OpCode, dst: OpCode) -> f64 {
         let v = OpCode::COUNT as f64;

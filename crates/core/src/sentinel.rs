@@ -21,6 +21,7 @@ use rand::SeedableRng;
 /// experiments use leave-one-out corpora.
 #[derive(Debug)]
 pub struct SentinelFactory {
+    rnn: GraphRnn,
     sampler: TopologySampler,
     bigram: BigramModel,
     population: PopulationConfig,
@@ -58,6 +59,7 @@ impl SentinelFactory {
         let refs: Vec<&Graph> = corpus.iter().collect();
         let bigram = BigramModel::fit(&refs, 0.1);
         SentinelFactory {
+            rnn,
             sampler,
             bigram,
             population: config.population,
@@ -65,9 +67,47 @@ impl SentinelFactory {
         }
     }
 
+    /// Reassembles a trained factory from persisted state: the GraphRNN
+    /// weights, the sampled topology pool (in its original order — the
+    /// sampler's draws depend on it), and the fitted bigram model. The
+    /// sampler's statistics and density are recomputed deterministically
+    /// from the pool, so a factory rebuilt this way generates the same
+    /// sentinels, bit for bit, as the one that was saved.
+    pub fn from_parts(
+        rnn: GraphRnn,
+        pool: Vec<UGraph>,
+        bigram: BigramModel,
+        population: PopulationConfig,
+        beta: f64,
+    ) -> SentinelFactory {
+        SentinelFactory {
+            rnn,
+            sampler: TopologySampler::new(pool),
+            bigram,
+            population,
+            beta,
+        }
+    }
+
+    /// The trained GraphRNN topology generator (exposed for persistence
+    /// and evaluation harnesses).
+    pub fn rnn(&self) -> &GraphRnn {
+        &self.rnn
+    }
+
     /// The fitted bigram model (exposed for evaluation harnesses).
     pub fn bigram(&self) -> &BigramModel {
         &self.bigram
+    }
+
+    /// The operator-population settings in effect.
+    pub fn population(&self) -> &PopulationConfig {
+        &self.population
+    }
+
+    /// The statistics band width (`beta`) in effect.
+    pub fn beta(&self) -> f64 {
+        self.beta
     }
 
     /// The topology sampler (exposed for evaluation harnesses).

@@ -33,6 +33,8 @@
 //! assert_eq!(shapes[&relu].dims(), &[1, 8, 32, 32]);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod analysis;
 pub mod dot;
 pub mod exec;
@@ -63,19 +65,37 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 pub enum GraphError {
     /// A node references an input id that does not exist (or was removed).
-    DanglingInput { node: String, input: NodeId },
+    DanglingInput {
+        /// Name of the referencing node.
+        node: String,
+        /// The missing input id.
+        input: NodeId,
+    },
     /// A node has the wrong number of inputs for its operator.
     BadArity {
+        /// Name of the offending node.
         node: String,
+        /// Human-readable description of the expected arity.
         expected: String,
+        /// Number of inputs actually present.
         got: usize,
     },
     /// The graph contains a cycle.
     Cyclic,
     /// Shape inference failed at a node.
-    ShapeMismatch { node: String, detail: String },
+    ShapeMismatch {
+        /// Name of the node where inference failed.
+        node: String,
+        /// What went wrong.
+        detail: String,
+    },
     /// Execution failed (e.g. a missing parameter tensor).
-    Exec { node: String, detail: String },
+    Exec {
+        /// Name of the node where execution failed.
+        node: String,
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for GraphError {

@@ -16,13 +16,16 @@ use std::fmt;
 /// epilogues on [`ConvAttrs`]/[`GemmAttrs`] after optimizer rewrites.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Activation {
+    /// `max(x, 0)`.
     Relu,
     /// `min(max(x, 0), 6)` — used by MobileNet-family models.
     Relu6,
+    /// `1 / (1 + e^{-x})`.
     Sigmoid,
     /// Piecewise-linear sigmoid approximation used by e.g. squeeze-excite
     /// blocks in efficient CNNs.
     HardSigmoid,
+    /// Hyperbolic tangent.
     Tanh,
     /// Gaussian error linear unit (tanh approximation), used by BERT-family
     /// models.
@@ -75,21 +78,31 @@ impl fmt::Display for Activation {
 /// optimizations discussed in the paper's NAS case study (§6.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum ConvAlgo {
+    /// Direct (im2col-style) convolution.
     #[default]
     Direct,
+    /// F(2x2, 3x3) Winograd-transformed convolution.
     Winograd,
 }
 
 /// Attributes of a 2-D convolution.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ConvAttrs {
+    /// Input channel count.
     pub in_channels: usize,
+    /// Output channel count.
     pub out_channels: usize,
+    /// Square kernel size.
     pub kernel: usize,
+    /// Stride (same in both spatial dimensions).
     pub stride: usize,
+    /// Zero padding (same on all sides).
     pub padding: usize,
+    /// Grouped-convolution group count (`in_channels` for depthwise).
     pub groups: usize,
+    /// Whether a bias vector is added to the output.
     pub has_bias: bool,
+    /// Algorithm selected by the optimizer.
     pub algo: ConvAlgo,
     /// Fused activation epilogue (set by optimizer rewrites).
     pub fused_act: Option<Activation>,
@@ -115,21 +128,25 @@ impl ConvAttrs {
         }
     }
 
+    /// Builder: sets the stride.
     pub fn stride(mut self, stride: usize) -> Self {
         self.stride = stride;
         self
     }
 
+    /// Builder: sets the zero padding.
     pub fn padding(mut self, padding: usize) -> Self {
         self.padding = padding;
         self
     }
 
+    /// Builder: sets the group count.
     pub fn groups(mut self, groups: usize) -> Self {
         self.groups = groups;
         self
     }
 
+    /// Builder: enables or disables the bias term.
     pub fn bias(mut self, has_bias: bool) -> Self {
         self.has_bias = has_bias;
         self
@@ -154,14 +171,18 @@ impl ConvAttrs {
 /// Attributes of a fully-connected (`Gemm`) layer: `y = act(x W^T + b)`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct GemmAttrs {
+    /// Input feature dimension.
     pub in_features: usize,
+    /// Output feature dimension.
     pub out_features: usize,
+    /// Whether a bias vector is added to the output.
     pub has_bias: bool,
     /// Fused activation epilogue (set by optimizer rewrites).
     pub fused_act: Option<Activation>,
 }
 
 impl GemmAttrs {
+    /// A fully-connected layer with a bias and no fused activation.
     pub fn new(in_features: usize, out_features: usize) -> Self {
         GemmAttrs {
             in_features,
@@ -175,12 +196,16 @@ impl GemmAttrs {
 /// Attributes of max/average pooling.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct PoolAttrs {
+    /// Square pooling window size.
     pub kernel: usize,
+    /// Stride (same in both spatial dimensions).
     pub stride: usize,
+    /// Zero padding (same on all sides).
     pub padding: usize,
 }
 
 impl PoolAttrs {
+    /// Pooling attributes from window/stride/padding.
     pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
         PoolAttrs {
             kernel,
@@ -193,12 +218,14 @@ impl PoolAttrs {
 /// Attributes of (inference-mode) batch normalization.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct BatchNormAttrs {
+    /// Channel count the per-channel statistics are stored for.
     pub channels: usize,
 }
 
 /// Attributes of layer normalization over the last dimension.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct LayerNormAttrs {
+    /// Size of the normalized (last) dimension.
     pub dim: usize,
 }
 
@@ -212,58 +239,90 @@ pub struct LayerNormAttrs {
 pub enum Op {
     /// Graph input placeholder with a fixed shape.
     Input {
+        /// The input tensor's shape.
         shape: Shape,
     },
     /// Constant tensor; its value lives in the weight store.
     Constant {
+        /// The constant tensor's shape.
         shape: Shape,
     },
+    /// 2-D convolution.
     Conv(ConvAttrs),
+    /// Fully-connected layer `y = act(x W^T + b)`.
     Gemm(GemmAttrs),
     /// Batched matrix multiplication of two activation tensors (attention).
     MatMul,
     /// Batched `a · bᵀ` (transposed on the last two dims) — produced by the
     /// optimizer's FusedMatMul rewrite of `MatMul(a, Transpose(b))`.
     MatMulT,
+    /// Inference-mode batch normalization.
     BatchNorm(BatchNormAttrs),
+    /// Layer normalization over the last dimension.
     LayerNorm(LayerNormAttrs),
     /// Fused `LayerNorm(a + b)` (ONNXRuntime's SkipLayerNormalization).
     SkipLayerNorm(LayerNormAttrs),
+    /// Standalone elementwise activation.
     Activation(Activation),
+    /// Softmax along `axis` (negative values count from the back).
     Softmax {
+        /// The normalized axis.
         axis: isize,
     },
+    /// Elementwise addition.
     Add,
+    /// Elementwise subtraction.
     Sub,
+    /// Elementwise multiplication.
     Mul,
+    /// Elementwise division.
     Div,
     /// Fused elementwise add followed by an activation (optimizer output).
     AddAct(Activation),
+    /// 2-D max pooling.
     MaxPool(PoolAttrs),
+    /// 2-D average pooling.
     AveragePool(PoolAttrs),
+    /// Spatial mean over each channel (`NCHW -> NC11`).
     GlobalAveragePool,
+    /// Concatenation along `axis`.
     Concat {
+        /// The concatenated axis.
         axis: usize,
     },
+    /// Flattens all dimensions after the batch dimension.
     Flatten,
+    /// Reshape to a fixed target shape.
     Reshape {
+        /// The target shape.
         shape: Shape,
     },
+    /// Dimension permutation.
     Transpose {
+        /// `perm[i]` is the source axis of output axis `i`.
         perm: Vec<usize>,
     },
+    /// Pass-through (rewrites eliminate it).
     Identity,
+    /// Dropout — an inference no-op carrying its training keep rate, kept
+    /// in the IR so the DropoutElimination rewrite has something to do.
     Dropout {
+        /// Drop probability in percent (integral so `Op` stays `Eq`).
         p: u32,
     },
+    /// Mean reduction over `axes`.
     ReduceMean {
+        /// The reduced axes.
         axes: Vec<usize>,
+        /// Whether reduced axes are kept as size-1 dimensions.
         keepdims: bool,
     },
     /// Embedding lookup: maps integer token ids to rows of a `[vocab, dim]`
     /// table held in the weight store.
     Gather {
+        /// Vocabulary (table row) count.
         vocab: usize,
+        /// Embedding dimension.
         dim: usize,
     },
 }
@@ -392,6 +451,7 @@ impl fmt::Display for Op {
 /// of the SMT-based operator population step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 #[repr(u8)]
+#[allow(missing_docs)] // each variant names the `Op` (or `Activation`) it abbreviates
 pub enum OpCode {
     Input,
     Constant,

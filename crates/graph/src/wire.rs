@@ -47,18 +47,37 @@ pub const WIRE_VERSION: u16 = WIRE_VERSION_V2;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
     /// The input ended before the named field could be read.
-    Truncated { context: String },
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: String,
+    },
     /// A field decoded to an impossible value (bad tag, out-of-range id,
     /// implausible count, invalid UTF-8, ...).
-    Malformed { detail: String },
+    Malformed {
+        /// What was wrong.
+        detail: String,
+    },
     /// A frame did not start with [`FRAME_MAGIC`].
-    BadMagic { got: [u8; 4] },
+    BadMagic {
+        /// The four bytes found instead.
+        got: [u8; 4],
+    },
     /// A frame was produced by a wire-protocol version this library does
     /// not speak.
-    UnknownVersion { got: u16, supported: u16 },
+    UnknownVersion {
+        /// Version found in the frame header.
+        got: u16,
+        /// Newest version this library supports.
+        supported: u16,
+    },
     /// A frame's payload checksum did not match its header — the bytes
     /// were corrupted in flight.
-    ChecksumMismatch { expected: u64, got: u64 },
+    ChecksumMismatch {
+        /// Checksum the header claimed.
+        expected: u64,
+        /// Checksum the received bytes hash to.
+        got: u64,
+    },
 }
 
 impl WireError {

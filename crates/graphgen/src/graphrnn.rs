@@ -75,6 +75,69 @@ impl GraphRnn {
         &self.cfg
     }
 
+    /// Snapshots the trained weights as `(name, matrix)` pairs, sorted by
+    /// parameter name so the export order is deterministic (the backing
+    /// store is a hash map). This is the state `proteus-core::artifact`
+    /// persists for warm starts.
+    pub fn export_weights(&self) -> Vec<(String, Matrix)> {
+        let mut out: Vec<(String, Matrix)> = self
+            .store
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Reconstructs a generator from exported weights (the inverse of
+    /// [`GraphRnn::export_weights`]): builds the `cfg`-shaped parameter
+    /// skeleton, then overwrites every parameter with the imported matrix.
+    ///
+    /// # Errors
+    /// Returns a description of the first mismatch when the imported set
+    /// does not exactly cover the skeleton: a missing or unknown parameter
+    /// name, a duplicate, or a matrix of the wrong shape.
+    pub fn from_weights(
+        cfg: GraphRnnConfig,
+        weights: Vec<(String, Matrix)>,
+    ) -> Result<GraphRnn, String> {
+        // Seed value is irrelevant: every Xavier-initialized matrix is
+        // overwritten below, and construction draws nothing else.
+        let mut rnn = GraphRnn::new(cfg, 0);
+        let expected = rnn.store.len();
+        let mut imported = 0usize;
+        let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        for (name, matrix) in &weights {
+            if !seen.insert(name.as_str()) {
+                return Err(format!("duplicate parameter `{name}`"));
+            }
+            let Some(current) = rnn.store.get(name) else {
+                return Err(format!(
+                    "unknown parameter `{name}` for this GraphRNN configuration"
+                ));
+            };
+            if (current.rows(), current.cols()) != (matrix.rows(), matrix.cols()) {
+                return Err(format!(
+                    "parameter `{name}` has shape {}x{}, expected {}x{}",
+                    matrix.rows(),
+                    matrix.cols(),
+                    current.rows(),
+                    current.cols()
+                ));
+            }
+            imported += 1;
+        }
+        if imported != expected {
+            return Err(format!(
+                "imported {imported} parameters, the configuration defines {expected}"
+            ));
+        }
+        for (name, matrix) in weights {
+            rnn.store.insert(name, matrix);
+        }
+        Ok(rnn)
+    }
+
     fn row_to_input(&self, row: &[bool]) -> Matrix {
         let mut m = Matrix::zeros(1, self.cfg.m);
         for (k, &b) in row.iter().take(self.cfg.m).enumerate() {

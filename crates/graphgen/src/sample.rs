@@ -52,6 +52,14 @@ impl TopologySampler {
         &self.density
     }
 
+    /// The pool topologies in sampling order. Rebuilding a sampler from
+    /// this exact sequence ([`TopologySampler::new`] recomputes statistics
+    /// and density deterministically) reproduces its draws bit for bit —
+    /// the property the trained-state artifact relies on.
+    pub fn topologies(&self) -> impl ExactSizeIterator<Item = &UGraph> {
+        self.pool.iter().map(|(g, _)| g)
+    }
+
     /// Algorithm 1: samples `count` topologies statistically similar to
     /// `protected`, with band width `beta` (in units of per-dimension pool
     /// standard deviations).

@@ -49,6 +49,47 @@ impl UGraph {
         &self.adj[u]
     }
 
+    /// The raw adjacency lists, in their exact in-memory order.
+    ///
+    /// Neighbor order is an observable property of a topology: orientation
+    /// induction and statistics walk the lists as stored, so persisting a
+    /// trained pool (see `proteus-core::artifact`) must round-trip the
+    /// lists verbatim — not as a canonicalized edge set.
+    pub fn adjacency(&self) -> &[Vec<usize>] {
+        &self.adj
+    }
+
+    /// Rebuilds a graph from raw adjacency lists, preserving neighbor
+    /// order exactly (the inverse of [`UGraph::adjacency`]).
+    ///
+    /// # Errors
+    /// Returns a description of the first violation when the lists do not
+    /// form a simple undirected graph: an out-of-range endpoint, a
+    /// self-loop, a duplicate neighbor, or an asymmetric edge.
+    pub fn from_adjacency(adj: Vec<Vec<usize>>) -> Result<UGraph, String> {
+        let n = adj.len();
+        for (u, neigh) in adj.iter().enumerate() {
+            let mut seen = std::collections::HashSet::with_capacity(neigh.len());
+            for &v in neigh {
+                if v >= n {
+                    return Err(format!(
+                        "node {u} lists out-of-range neighbor {v} (n = {n})"
+                    ));
+                }
+                if v == u {
+                    return Err(format!("node {u} lists a self-loop"));
+                }
+                if !seen.insert(v) {
+                    return Err(format!("node {u} lists neighbor {v} twice"));
+                }
+                if !adj[v].contains(&u) {
+                    return Err(format!("edge {u}-{v} is asymmetric: {v} does not list {u}"));
+                }
+            }
+        }
+        Ok(UGraph { adj })
+    }
+
     /// Builds the undirected view of a computational graph, densely
     /// renumbering nodes.
     pub fn from_graph(g: &Graph) -> UGraph {

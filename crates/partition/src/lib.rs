@@ -27,6 +27,8 @@
 //! # Ok::<(), proteus_graph::GraphError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod contract;
 pub mod plan;
 

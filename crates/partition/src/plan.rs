@@ -17,7 +17,9 @@ use std::collections::HashMap;
 /// `piece`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BoundaryRef {
+    /// Index of the producing piece in the plan.
     pub piece: usize,
+    /// Index into that piece's output list.
     pub output: usize,
 }
 

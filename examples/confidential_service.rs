@@ -51,10 +51,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .iter()
     .map(|&k| build(k))
     .collect();
-    let proteus = Proteus::builder()
-        .config(config)
+    let trained = Proteus::builder()
+        .config(config.clone())
         .corpus(corpus)
-        .train_shared()?;
+        .train()?;
+
+    // Warm start: the training above would normally happen offline. The
+    // trained state is persisted as a checksummed PRTA artifact, and the
+    // serving process cold-starts from it in milliseconds — bit-identical
+    // on the wire to the instance that saved it. `load_artifact_expecting`
+    // pins the deployment config: an artifact trained under a different
+    // configuration is rejected with a typed fingerprint mismatch.
+    let artifact_path = std::env::temp_dir().join(format!(
+        "proteus_confidential_service_{}.prta",
+        std::process::id()
+    ));
+    trained.save_artifact(&artifact_path)?;
+    drop(trained);
+    let warm = Instant::now();
+    let proteus = Arc::new(Proteus::load_artifact_expecting(&artifact_path, &config)?);
+    println!(
+        "warm start: loaded trained state from {} in {:.1} ms (fingerprint {:#018x})",
+        artifact_path.display(),
+        warm.elapsed().as_secs_f64() * 1e3,
+        proteus.config_fingerprint(),
+    );
     let start = Instant::now();
 
     // trust boundary: ONE multiplexed stream each way -------------------
@@ -220,5 +241,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         CLIENTS.len(),
         start.elapsed().as_secs_f64() * 1e3
     );
+    std::fs::remove_file(&artifact_path).ok();
     Ok(())
 }

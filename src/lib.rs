@@ -89,6 +89,55 @@
 //! remain available as compatibility wrappers (now returning the typed
 //! [`proteus::ProteusError`]); they are bit-identical to driving a
 //! session with [`proteus::LEGACY_REQUEST_ID`].
+//!
+//! # Artifacts & warm start
+//!
+//! Training is the expensive, model-independent step — do it offline,
+//! persist the result as a checksummed `PRTA` artifact
+//! ([`proteus::artifact`]), and cold-start serving processes from the
+//! file in milliseconds. The loaded instance obfuscates bit-identically
+//! to the one that saved it:
+//!
+//! ```
+//! use proteus::{PartitionSpec, Proteus, ProteusConfig};
+//! use proteus_graph::TensorMap;
+//! use proteus_graphgen::GraphRnnConfig;
+//! use proteus_models::{build, ModelKind};
+//!
+//! let config = ProteusConfig {
+//!     k: 2,
+//!     partitions: PartitionSpec::Count(1),
+//!     graphrnn: GraphRnnConfig { epochs: 1, ..Default::default() },
+//!     topology_pool: 12,
+//!     ..Default::default()
+//! };
+//! // offline: train once and ship the artifact
+//! let trained = Proteus::builder()
+//!     .config(config.clone())
+//!     .corpus_model(build(ModelKind::MobileNet))
+//!     .train()?;
+//! let path = std::env::temp_dir().join(format!(
+//!     "proteus-quickstart-{}.prta",
+//!     std::process::id()
+//! ));
+//! trained.save_artifact(&path)?;
+//!
+//! // serving: cold-start from the artifact in a request handler. The
+//! // deployment pins its config — an artifact trained under any other
+//! // configuration is rejected with a typed fingerprint mismatch.
+//! let serving = Proteus::load_artifact_expecting(&path, &config)?;
+//! let model = build(ModelKind::AlexNet);
+//! let (a, _) = trained.obfuscate(&model, &TensorMap::new())?;
+//! let (b, _) = serving.obfuscate(&model, &TensorMap::new())?;
+//! assert_eq!(a.to_bytes(), b.to_bytes()); // bit-identical on the wire
+//! # std::fs::remove_file(&path).ok();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The `proteus-train` binary (`crates/bench`) wraps this workflow:
+//! `train` saves an artifact with its corpus recorded as provenance,
+//! `inspect` prints a validated summary, and `verify` retrains from the
+//! provenance and asserts bit-identical wire output.
 
 pub use proteus;
 pub use proteus_adversary;

@@ -1,0 +1,259 @@
+//! Trained-state artifact robustness and determinism.
+//!
+//! Two contracts are enforced here. **Robustness**: every malformed
+//! artifact — truncation at any length, any single-bit corruption,
+//! version skew, bad magic, internally inconsistent fingerprints — is
+//! rejected with a typed [`ArtifactError`], never a panic or a silent
+//! misparse (mirroring `tests/wire_robustness.rs` for the bucket
+//! protocol). **Determinism**: a `Proteus` loaded from an artifact is
+//! indistinguishable on the wire from the freshly trained instance that
+//! saved it, across the full model zoo, through both the session path and
+//! the multi-tenant serving runtime.
+//!
+//! CI runs this suite in release mode in the `perf-smoke` job alongside
+//! `proteus-train verify`.
+
+use proteus::{
+    ArtifactError, PartitionSpec, Proteus, ProteusConfig, ProteusError, ServeConfig, ServeRuntime,
+    TrainedArtifact, ARTIFACT_VERSION,
+};
+use proteus_graph::wire::{decode_frame, encode_frame};
+use proteus_graph::TensorMap;
+use proteus_graphgen::GraphRnnConfig;
+use proteus_models::{build, ModelKind};
+use proteus_opt::{Optimizer, Profile};
+use std::sync::OnceLock;
+
+fn quick_config() -> ProteusConfig {
+    ProteusConfig {
+        k: 2,
+        partitions: PartitionSpec::Count(3),
+        graphrnn: GraphRnnConfig {
+            epochs: 2,
+            max_nodes: 20,
+            ..Default::default()
+        },
+        topology_pool: 24,
+        ..Default::default()
+    }
+}
+
+/// One shared trained instance (training dominates suite time) plus its
+/// artifact bytes.
+fn trained() -> &'static (Proteus, Vec<u8>) {
+    static TRAINED: OnceLock<(Proteus, Vec<u8>)> = OnceLock::new();
+    TRAINED.get_or_init(|| {
+        let proteus = Proteus::train(
+            quick_config(),
+            &[build(ModelKind::ResNet), build(ModelKind::MobileNet)],
+        );
+        let bytes = proteus.to_artifact_bytes().to_vec();
+        (proteus, bytes)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// determinism: save → load → obfuscate parity
+
+#[test]
+fn loaded_artifact_obfuscates_bit_identically_across_the_zoo() {
+    let (fresh, bytes) = trained();
+    let loaded = Proteus::from_artifact_bytes(bytes).expect("artifact loads");
+    assert_eq!(fresh.config_fingerprint(), loaded.config_fingerprint());
+    for kind in ModelKind::ALL {
+        let g = build(kind);
+        let (a, sa) = fresh.obfuscate(&g, &TensorMap::new()).expect("obfuscate");
+        let (b, sb) = loaded.obfuscate(&g, &TensorMap::new()).expect("obfuscate");
+        assert_eq!(
+            a.to_bytes().to_vec(),
+            b.to_bytes().to_vec(),
+            "{kind}: wire bytes diverge between trained and loaded instances"
+        );
+        assert_eq!(
+            sa.real_positions, sb.real_positions,
+            "{kind}: secrets diverge"
+        );
+    }
+}
+
+#[test]
+fn parity_holds_for_distinct_request_ids_and_params() {
+    let (fresh, bytes) = trained();
+    let loaded = Proteus::from_artifact_bytes(bytes).expect("artifact loads");
+    let g = build(ModelKind::ResNet);
+    let params = TensorMap::init_random(&g, 99);
+    for request_id in [0u64, 7, 0xDEAD_BEEF] {
+        let frames_fresh: Vec<Vec<u8>> = fresh
+            .obfuscate_session(&g, &params, request_id)
+            .expect("session")
+            .map(|f| f.to_bytes().to_vec())
+            .collect();
+        let frames_loaded: Vec<Vec<u8>> = loaded
+            .obfuscate_session(&g, &params, request_id)
+            .expect("session")
+            .map(|f| f.to_bytes().to_vec())
+            .collect();
+        assert_eq!(
+            frames_fresh, frames_loaded,
+            "request {request_id:#x}: session frames diverge"
+        );
+    }
+}
+
+#[test]
+fn save_load_serve_roundtrip_matches_fresh_pipeline() {
+    // the full deployment path: load from bytes, serve a request through
+    // the multi-tenant runtime, reassemble — bit-identical to the freshly
+    // trained serial path.
+    let (fresh, bytes) = trained();
+    let loaded = Proteus::from_artifact_bytes(bytes).expect("artifact loads");
+    let optimizer = Optimizer::new(Profile::OrtLike);
+
+    for kind in [ModelKind::AlexNet, ModelKind::Bert] {
+        let g = build(kind);
+        // fresh instance, serial session path
+        let (model, secrets) = fresh.obfuscate(&g, &TensorMap::new()).expect("obfuscate");
+        let reference = proteus::optimize_model(&model, &optimizer);
+        let (ref_back, _) = fresh
+            .deobfuscate(&secrets, &reference)
+            .expect("deobfuscate");
+
+        // loaded instance, serving runtime path
+        let runtime =
+            ServeRuntime::new(optimizer.clone(), ServeConfig::default()).expect("runtime");
+        let handle = runtime.handle(42);
+        let mut session = loaded
+            .obfuscate_session(&g, &TensorMap::new(), proteus::LEGACY_REQUEST_ID)
+            .expect("session");
+        let mut submitted = 0usize;
+        for frame in session.by_ref() {
+            handle.submit(frame).expect("submit");
+            submitted += 1;
+        }
+        let secrets = session.finish().expect("secrets");
+        let mut reassembly = loaded.deobfuscate_session(&secrets);
+        for _ in 0..submitted {
+            reassembly
+                .accept(handle.recv().expect("recv"))
+                .expect("accept");
+        }
+        let (served_back, _) = reassembly.finish().expect("reassemble");
+        assert_eq!(
+            ref_back, served_back,
+            "{kind}: warm-started serve path diverged from the fresh serial path"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// robustness: malformed artifacts are typed errors, never panics
+
+#[test]
+fn version_skew_is_rejected_for_every_other_version() {
+    let (_, bytes) = trained();
+    for version in [0u16, 2, 3, 255, u16::MAX] {
+        let mut raw = bytes.clone();
+        raw[4..6].copy_from_slice(&version.to_le_bytes());
+        match TrainedArtifact::from_bytes(&raw) {
+            Err(ArtifactError::UnknownVersion { got, supported }) => {
+                assert_eq!(got, version);
+                assert_eq!(supported, ARTIFACT_VERSION);
+            }
+            other => panic!("version {version}: expected UnknownVersion, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn truncation_at_every_length_is_rejected() {
+    let (_, bytes) = trained();
+    // every prefix: dense over the header and first section, sampled
+    // beyond (the artifact is tens of kilobytes)
+    let mut cuts: Vec<usize> = (0..64.min(bytes.len())).collect();
+    cuts.extend((64..bytes.len()).step_by(997));
+    cuts.push(bytes.len() - 1);
+    for cut in cuts {
+        assert!(
+            TrainedArtifact::from_bytes(&bytes[..cut]).is_err(),
+            "truncation at {cut} was accepted"
+        );
+    }
+}
+
+#[test]
+fn tampered_config_section_is_a_fingerprint_mismatch() {
+    // Rebuild the artifact with a modified config payload behind a *valid*
+    // section checksum: the per-section framing passes, and the meta
+    // fingerprint cross-check must catch the inconsistency.
+    let (_, bytes) = trained();
+    let mut buf = bytes::Bytes::copy_from_slice(&bytes[10..]);
+    let mut rebuilt: Vec<u8> = bytes[..10].to_vec();
+    for _ in 0..5 {
+        let frame = decode_frame(&mut buf).expect("section decodes");
+        let mut payload = frame.payload.to_vec();
+        if frame.bucket_index == 1 {
+            // SECTION_CONFIG: flip the stored k
+            payload[9] ^= 0x01;
+        }
+        rebuilt.extend_from_slice(&encode_frame(frame.bucket_index, &payload));
+    }
+    match TrainedArtifact::from_bytes(&rebuilt) {
+        Err(ArtifactError::FingerprintMismatch { .. }) => {}
+        other => panic!("expected FingerprintMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn artifact_errors_surface_through_proteus_error() {
+    let err = Proteus::from_artifact_bytes(b"NOPE").unwrap_err();
+    assert!(
+        matches!(err, ProteusError::Artifact(ArtifactError::BadMagic { .. })),
+        "wrong variant: {err:?}"
+    );
+    let err = Proteus::load_artifact("/nonexistent/proteus.prta").unwrap_err();
+    assert!(
+        matches!(err, ProteusError::Artifact(ArtifactError::Io { .. })),
+        "wrong variant: {err:?}"
+    );
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn single_bit_corruption_anywhere_is_rejected(
+            pos_pick in proptest::num::u64::ANY,
+            bit in 0u8..8,
+        ) {
+            let (_, bytes) = trained();
+            let pos = (pos_pick as usize) % bytes.len();
+            let mut raw = bytes.clone();
+            raw[pos] ^= 1u8 << bit;
+            prop_assert!(
+                TrainedArtifact::from_bytes(&raw).is_err(),
+                "corruption at byte {} bit {} was accepted", pos, bit
+            );
+        }
+
+        #[test]
+        fn random_truncation_is_rejected(cut_pick in proptest::num::u64::ANY) {
+            let (_, bytes) = trained();
+            let cut = (cut_pick as usize) % bytes.len();
+            prop_assert!(
+                TrainedArtifact::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {} was accepted", cut
+            );
+        }
+
+        #[test]
+        fn garbage_never_panics(data in proptest::collection::vec(proptest::num::u8::ANY, 0..256)) {
+            // arbitrary bytes: any result is fine as long as it is a typed
+            // error or a (vanishingly unlikely) valid artifact, not a panic
+            let _ = TrainedArtifact::from_bytes(&data);
+        }
+    }
+}
