@@ -125,11 +125,18 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         .train()
         .map_err(|e| e.to_string())?;
     let train_ms = t.elapsed().as_secs_f64() * 1e3;
+    // warm the full sentinel inventory so the artifact ships pre-built
+    // sentinels: serving processes skip both training *and* first-draw
+    // generation (and `verify` reproduces the sweep deterministically)
+    let t = Instant::now();
+    let warmed = proteus.warm_inventory();
+    let warm_ms = t.elapsed().as_secs_f64() * 1e3;
     let artifact = TrainedArtifact::from_proteus(&proteus, provenance);
     let bytes = artifact.to_bytes();
     std::fs::write(&out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
     println!(
-        "trained in {train_ms:.0} ms, wrote {} bytes to {out} (config fingerprint {:#018x})",
+        "trained in {train_ms:.0} ms, warmed {warmed} sentinels in {warm_ms:.0} ms, \
+         wrote {} bytes to {out} (config fingerprint {:#018x})",
         bytes.len(),
         proteus.config_fingerprint()
     );
@@ -157,6 +164,10 @@ fn cmd_inspect(path: &str) -> Result<(), String> {
         summary.rnn_params, summary.rnn_scalars
     );
     println!("bigram vocabulary   {} opcodes", summary.bigram_vocab);
+    println!(
+        "sentinel inventory  {} persisted sentinels",
+        summary.sentinel_entries
+    );
     let cfg = artifact.config();
     println!(
         "config              k={}, partitions={:?}, beta={}, pool={}, seed={:#x}",
@@ -203,6 +214,11 @@ fn cmd_verify(path: &str, args: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         let train_ms = t.elapsed().as_secs_f64() * 1e3;
         println!("retrained in {train_ms:.0} ms (warm start was {load_ms:.1} ms)");
+        // artifacts written by `train` carry a fully warmed inventory;
+        // reproduce the deterministic sweep before comparing bytes
+        if summary.sentinel_entries > 0 {
+            fresh.warm_inventory();
+        }
         // compare against the original file bytes: the retrained state,
         // serialized with the same provenance, must reproduce the artifact
         // byte for byte

@@ -20,17 +20,25 @@
 //! FNV-1a checksum over header + payload), so section integrity rides on
 //! the exact framing primitives the bucket protocol already proves out:
 //! a single flipped byte anywhere in an artifact is rejected with a typed
-//! error, never misparsed. The five sections, in file order:
+//! error, never misparsed. The sections, in file order:
 //!
 //! | tag | section | payload |
 //! |-----|---------|---------|
-//! | 0 | [`SECTION_META`]   | config fingerprint, provenance string |
-//! | 1 | [`SECTION_CONFIG`] | canonical [`ProteusConfig`] encoding |
-//! | 2 | [`SECTION_RNN`]    | GraphRNN weights, sorted by name |
-//! | 3 | [`SECTION_POOL`]   | sentinel topology pool, adjacency-exact |
-//! | 4 | [`SECTION_BIGRAM`] | bigram counts/totals/alpha, bit-exact |
+//! | 0 | [`SECTION_META`]      | config fingerprint, provenance string |
+//! | 1 | [`SECTION_CONFIG`]    | canonical [`ProteusConfig`] encoding |
+//! | 2 | [`SECTION_RNN`]       | GraphRNN weights, sorted by name |
+//! | 3 | [`SECTION_POOL`]      | sentinel topology pool, adjacency-exact |
+//! | 4 | [`SECTION_BIGRAM`]    | bigram counts/totals/alpha, bit-exact |
+//! | 5 | [`SECTION_SENTINELS`] | warm sentinel inventory, key-sorted (v2) |
 //!
-//! See `docs/WIRE.md` for the byte-by-byte layout.
+//! Version 2 (current) adds the sentinel-inventory section — the warm
+//! sentinels built by the serving runtime persist across restarts, so a
+//! cold-started process begins with whatever inventory the saving process
+//! had accumulated. Version 1 artifacts (five sections, no
+//! `sentinel_variants` config field) still load; their inventory starts
+//! empty and is rebuilt on demand, with identical wire output either way
+//! (the inventory is pure memoization). See `docs/WIRE.md` for the
+//! byte-by-byte layout.
 //!
 //! # Determinism contract
 //!
@@ -45,12 +53,16 @@
 
 use crate::config::{PartitionSpec, ProteusConfig, SentinelMode};
 use crate::error::ProteusError;
+use crate::inventory::{RegimeTag, SentinelKey};
 use crate::operators::PopulationConfig;
 use crate::pipeline::Proteus;
 use crate::semantic::BigramModel;
 use crate::sentinel::SentinelFactory;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use proteus_graph::wire::{decode_frame, encode_frame, fnv1a64, WireError};
+use proteus_graph::wire::{
+    decode_frame, decode_graph, encode_frame, encode_graph, fnv1a64, WireError,
+};
+use proteus_graph::Graph;
 use proteus_graphgen::{GraphRnn, GraphRnnConfig, UGraph};
 use proteus_nn::Matrix;
 use std::fmt;
@@ -59,10 +71,13 @@ use std::path::Path;
 /// Magic bytes opening every trained-state artifact.
 pub const ARTIFACT_MAGIC: [u8; 4] = *b"PRTA";
 
-/// The newest artifact format version this library reads and writes.
-/// Unknown versions are rejected with [`ArtifactError::UnknownVersion`] —
-/// never misparsed.
-pub const ARTIFACT_VERSION: u16 = 1;
+/// The newest artifact format version this library writes. Version 1
+/// files (no sentinel section) are still read; unknown versions are
+/// rejected with [`ArtifactError::UnknownVersion`] — never misparsed.
+pub const ARTIFACT_VERSION: u16 = 2;
+
+/// The oldest artifact format version this library reads.
+pub const ARTIFACT_VERSION_MIN: u16 = 1;
 
 /// Section tag: config fingerprint + provenance.
 pub const SECTION_META: u32 = 0;
@@ -74,13 +89,16 @@ pub const SECTION_RNN: u32 = 2;
 pub const SECTION_POOL: u32 = 3;
 /// Section tag: the fitted bigram model.
 pub const SECTION_BIGRAM: u32 = 4;
+/// Section tag: the warm sentinel inventory (artifact version ≥ 2).
+pub const SECTION_SENTINELS: u32 = 5;
 
-const SECTION_TAGS: [u32; 5] = [
+const SECTION_TAGS: [u32; 6] = [
     SECTION_META,
     SECTION_CONFIG,
     SECTION_RNN,
     SECTION_POOL,
     SECTION_BIGRAM,
+    SECTION_SENTINELS,
 ];
 
 /// Human-readable name of a section tag (for errors and `inspect`).
@@ -91,6 +109,7 @@ pub fn section_name(tag: u32) -> &'static str {
         SECTION_RNN => "rnn",
         SECTION_POOL => "pool",
         SECTION_BIGRAM => "bigram",
+        SECTION_SENTINELS => "sentinels",
         _ => "unknown",
     }
 }
@@ -294,6 +313,13 @@ fn get_str(buf: &mut Bytes, what: &str) -> AResult<String> {
 /// by bit pattern: two configs have equal encodings iff they are
 /// observably identical to the pipeline.
 fn encode_config(config: &ProteusConfig) -> Bytes {
+    encode_config_versioned(config, ARTIFACT_VERSION)
+}
+
+/// [`encode_config`] targeting an explicit artifact version: version 1
+/// stops at the seed (the historical layout), version 2 appends
+/// `sentinel_variants`.
+fn encode_config_versioned(config: &ProteusConfig, version: u16) -> Bytes {
     let mut buf = BytesMut::new();
     match config.partitions {
         PartitionSpec::Count(n) => {
@@ -330,10 +356,13 @@ fn encode_config(config: &ProteusConfig) -> Bytes {
         }
     }
     buf.put_u64_le(config.seed);
+    if version >= 2 {
+        buf.put_u64_le(config.sentinel_variants as u64);
+    }
     buf.freeze()
 }
 
-fn decode_config(buf: &mut Bytes) -> AResult<ProteusConfig> {
+fn decode_config(buf: &mut Bytes, version: u16) -> AResult<ProteusConfig> {
     need(buf, 9, "partition spec")?;
     let partitions = match buf.get_u8() {
         0 => PartitionSpec::Count(buf.get_u64_le() as usize),
@@ -386,6 +415,13 @@ fn decode_config(buf: &mut Bytes) -> AResult<ProteusConfig> {
     };
     need(buf, 8, "seed")?;
     let seed = buf.get_u64_le();
+    // v1 artifacts predate the variants field; they load under the default
+    let sentinel_variants = if version >= 2 {
+        need(buf, 8, "sentinel variants")?;
+        buf.get_u64_le() as usize
+    } else {
+        ProteusConfig::default().sentinel_variants
+    };
     Ok(ProteusConfig {
         partitions,
         k,
@@ -396,6 +432,7 @@ fn decode_config(buf: &mut Bytes) -> AResult<ProteusConfig> {
         topology_pool,
         population,
         optimizer_threads,
+        sentinel_variants,
         seed,
     })
 }
@@ -565,6 +602,92 @@ fn decode_bigram(buf: &mut Bytes) -> AResult<BigramModel> {
 }
 
 // ---------------------------------------------------------------------------
+// sentinel inventory
+
+/// Entries are encoded in strictly ascending key order (the inventory's
+/// canonical snapshot order), each graph as its wire encoding behind a
+/// length prefix.
+fn encode_sentinels(entries: &[(SentinelKey, Graph)]) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(entries.len() as u32);
+    for (key, graph) in entries {
+        buf.put_u32_le(key.topo);
+        buf.put_u8(key.regime as u8);
+        buf.put_u32_le(key.variant);
+        let g = encode_graph(graph);
+        buf.put_u32_le(g.len() as u32);
+        buf.put_slice(&g);
+    }
+    buf.freeze()
+}
+
+/// `pool_len` and `variants` bound the key space: a key naming a topology
+/// or variant the loaded factory cannot build is rejected rather than
+/// silently memoizing a sentinel no inline path could produce.
+fn decode_sentinels(
+    buf: &mut Bytes,
+    pool_len: usize,
+    variants: usize,
+) -> AResult<Vec<(SentinelKey, Graph)>> {
+    need(buf, 4, "sentinel entry count")?;
+    let count = buf.get_u32_le() as usize;
+    let key_space = pool_len.saturating_mul(2).saturating_mul(variants);
+    if count > key_space {
+        return Err(ArtifactError::malformed(format!(
+            "sentinel entry count {count} exceeds the key space \
+             ({pool_len} topologies x 2 regimes x {variants} variants)"
+        )));
+    }
+    let mut out: Vec<(SentinelKey, Graph)> = Vec::with_capacity(count);
+    for i in 0..count {
+        need(buf, 4 + 1 + 4 + 4, "sentinel entry header")?;
+        let topo = buf.get_u32_le();
+        let regime = match buf.get_u8() {
+            0 => RegimeTag::Cnn,
+            1 => RegimeTag::Transformer,
+            other => {
+                return Err(ArtifactError::malformed(format!(
+                    "sentinel entry {i}: unknown regime tag {other}"
+                )))
+            }
+        };
+        let variant = buf.get_u32_le();
+        if topo as usize >= pool_len || variant as usize >= variants {
+            return Err(ArtifactError::malformed(format!(
+                "sentinel entry {i}: key (topo {topo}, variant {variant}) outside the \
+                 {pool_len}-topology, {variants}-variant key space"
+            )));
+        }
+        let key = SentinelKey {
+            topo,
+            regime,
+            variant,
+        };
+        if let Some((prev, _)) = out.last() {
+            if *prev >= key {
+                return Err(ArtifactError::malformed(format!(
+                    "sentinel entry {i}: keys are not in strictly ascending order"
+                )));
+            }
+        }
+        let len = buf.get_u32_le() as usize;
+        need(buf, len, "sentinel graph bytes")?;
+        let mut graph_buf = buf.split_to(len);
+        let graph = decode_graph(&mut graph_buf).map_err(|e| {
+            ArtifactError::malformed(format!("sentinel entry {i}: graph rejected: {e}"))
+        })?;
+        if !graph_buf.is_empty() {
+            return Err(ArtifactError::malformed(format!(
+                "sentinel entry {i}: {} trailing bytes after graph",
+                graph_buf.len()
+            )));
+        }
+        out.push((key, graph));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
 // the artifact
 
 /// A decoded trained-state artifact: everything
@@ -578,6 +701,7 @@ pub struct TrainedArtifact {
     rnn_weights: Vec<(String, Matrix)>,
     pool: Vec<UGraph>,
     bigram: BigramModel,
+    sentinels: Vec<(SentinelKey, Graph)>,
 }
 
 /// A human-oriented summary of an artifact (the `proteus-train inspect`
@@ -599,6 +723,9 @@ pub struct ArtifactSummary {
     pub rnn_scalars: usize,
     /// Bigram vocabulary size (`OpCode::COUNT` at save time).
     pub bigram_vocab: usize,
+    /// Warm sentinel inventory entries persisted in the artifact (always
+    /// 0 for version-1 files, which predate the section).
+    pub sentinel_entries: usize,
     /// `(section name, payload bytes)` per section, in file order.
     pub section_bytes: Vec<(&'static str, usize)>,
 }
@@ -626,7 +753,15 @@ impl TrainedArtifact {
             rnn_weights: factory.rnn().export_weights(),
             pool: factory.sampler().topologies().cloned().collect(),
             bigram: factory.bigram().clone(),
+            // whatever the inventory has accumulated so far, key-sorted;
+            // an idle instance simply persists an empty section
+            sentinels: proteus.inventory().snapshot(),
         }
+    }
+
+    /// The warm sentinel inventory entries the artifact carries.
+    pub fn sentinels(&self) -> &[(SentinelKey, Graph)] {
+        &self.sentinels
     }
 
     /// The configuration the artifact was trained under.
@@ -646,12 +781,13 @@ impl TrainedArtifact {
         meta.put_u64_le(fnv1a64(&config_payload));
         put_str(&mut meta, &self.provenance);
 
-        let sections: [(u32, Bytes); 5] = [
+        let sections: [(u32, Bytes); 6] = [
             (SECTION_META, meta.freeze()),
             (SECTION_CONFIG, config_payload),
             (SECTION_RNN, encode_rnn_weights(&self.rnn_weights)),
             (SECTION_POOL, encode_pool(self.pool.iter())),
             (SECTION_BIGRAM, encode_bigram(&self.bigram)),
+            (SECTION_SENTINELS, encode_sentinels(&self.sentinels)),
         ];
         let mut buf = BytesMut::new();
         buf.put_slice(&ARTIFACT_MAGIC);
@@ -694,7 +830,7 @@ impl TrainedArtifact {
             return Err(ArtifactError::truncated("artifact version"));
         }
         let version = u16::from_le_bytes([data[4], data[5]]);
-        if version != ARTIFACT_VERSION {
+        if !(ARTIFACT_VERSION_MIN..=ARTIFACT_VERSION).contains(&version) {
             return Err(ArtifactError::UnknownVersion {
                 got: version,
                 supported: ARTIFACT_VERSION,
@@ -710,7 +846,7 @@ impl TrainedArtifact {
             )));
         }
         let mut buf = Bytes::copy_from_slice(&data[10..]);
-        let mut payloads: [Option<Bytes>; 5] = [None, None, None, None, None];
+        let mut payloads: [Option<Bytes>; 6] = [None, None, None, None, None, None];
         let mut section_bytes: Vec<(&'static str, usize)> = Vec::with_capacity(count);
         let mut prev_slot: Option<usize> = None;
         for index in 0..count {
@@ -728,6 +864,14 @@ impl TrainedArtifact {
                 )));
             }
             let tag = frame.bucket_index;
+            // the sentinel section exists only in version ≥ 2 files; a v1
+            // file carrying it was not written by any released encoder
+            if version < 2 && tag == SECTION_SENTINELS {
+                return Err(ArtifactError::malformed(format!(
+                    "section `sentinels` (tag {SECTION_SENTINELS}) requires artifact version 2, \
+                     file is version {version}"
+                )));
+            }
             let slot = SECTION_TAGS
                 .iter()
                 .position(|&t| t == tag)
@@ -768,6 +912,12 @@ impl TrainedArtifact {
         let mut rnn = take(SECTION_RNN)?;
         let mut pool = take(SECTION_POOL)?;
         let mut bigram = take(SECTION_BIGRAM)?;
+        // required in v2 (possibly empty), absent by definition in v1
+        let sentinels_payload = if version >= 2 {
+            Some(take(SECTION_SENTINELS)?)
+        } else {
+            None
+        };
 
         need(&meta, 8, "config fingerprint")?;
         let recorded = meta.get_u64_le();
@@ -787,7 +937,7 @@ impl TrainedArtifact {
         }
 
         let mut config_buf = config_payload.clone();
-        let config = decode_config(&mut config_buf)?;
+        let config = decode_config(&mut config_buf, version)?;
         if !config_buf.is_empty() {
             return Err(ArtifactError::malformed(format!(
                 "{} trailing bytes in config section",
@@ -821,6 +971,19 @@ impl TrainedArtifact {
             }
             decoded
         };
+        let sentinels = match sentinels_payload {
+            Some(mut payload) => {
+                let decoded = decode_sentinels(&mut payload, pool.len(), config.sentinel_variants)?;
+                if !payload.is_empty() {
+                    return Err(ArtifactError::malformed(format!(
+                        "{} trailing bytes in sentinels section",
+                        payload.len()
+                    )));
+                }
+                decoded
+            }
+            None => Vec::new(),
+        };
 
         let summary = ArtifactSummary {
             version,
@@ -830,6 +993,7 @@ impl TrainedArtifact {
             rnn_params: rnn_weights.len(),
             rnn_scalars: rnn_weights.iter().map(|(_, m)| m.data().len()).sum(),
             bigram_vocab: bigram.counts().len(),
+            sentinel_entries: sentinels.len(),
             section_bytes,
         };
         Ok((
@@ -839,6 +1003,7 @@ impl TrainedArtifact {
                 rnn_weights,
                 pool,
                 bigram,
+                sentinels,
             },
             summary,
         ))
@@ -864,8 +1029,13 @@ impl TrainedArtifact {
             self.bigram,
             self.config.population,
             self.config.beta,
+            SentinelFactory::generation_seed(self.config.seed),
+            self.config.sentinel_variants,
         );
-        Ok(Proteus::from_trained_parts(self.config, factory))
+        let proteus = Proteus::from_trained_parts(self.config, factory);
+        // warm entries persisted at save time skip their first inline build
+        proteus.inventory().prefill(self.sentinels);
+        Ok(proteus)
     }
 }
 
@@ -1015,7 +1185,10 @@ mod tests {
         assert_eq!(summary.rnn_params, 13);
         assert!(summary.rnn_scalars > 0);
         let names: Vec<&str> = summary.section_bytes.iter().map(|(n, _)| *n).collect();
-        assert_eq!(names, vec!["meta", "config", "rnn", "pool", "bigram"]);
+        assert_eq!(
+            names,
+            vec!["meta", "config", "rnn", "pool", "bigram", "sentinels"]
+        );
     }
 
     #[test]
@@ -1064,7 +1237,7 @@ mod tests {
         let bytes = quick_proteus().to_artifact_bytes();
         let mut buf = Bytes::copy_from_slice(&bytes[10..]);
         let mut rebuilt: Vec<u8> = bytes[..10].to_vec();
-        for _ in 0..5 {
+        while !buf.is_empty() {
             let frame = decode_frame(&mut buf).expect("section decodes");
             rebuilt.extend_from_slice(&encode_frame_v2(0, frame.bucket_index, &frame.payload));
         }
@@ -1081,11 +1254,12 @@ mod tests {
         // file must not be a second accepted encoding of the artifact
         let bytes = quick_proteus().to_artifact_bytes();
         let mut buf = Bytes::copy_from_slice(&bytes[10..]);
-        let mut frames = Vec::with_capacity(5);
-        for _ in 0..5 {
+        let mut frames = Vec::with_capacity(6);
+        while !buf.is_empty() {
             frames.push(decode_frame(&mut buf).expect("section decodes"));
         }
-        frames.swap(0, 4);
+        assert_eq!(frames.len(), 6);
+        frames.swap(0, 5);
         let mut rebuilt: Vec<u8> = bytes[..10].to_vec();
         for frame in &frames {
             rebuilt.extend_from_slice(&encode_frame(frame.bucket_index, &frame.payload));
@@ -1094,6 +1268,111 @@ mod tests {
         assert!(
             matches!(err, ArtifactError::Malformed { .. }),
             "wrong variant: {err:?}"
+        );
+    }
+
+    // a version-1 file for the same trained state, built with the v1
+    // config layout and without the sentinel section
+    fn v1_bytes_of(proteus: &Proteus) -> Vec<u8> {
+        let artifact = TrainedArtifact::from_proteus(proteus, "v1");
+        let config_payload = encode_config_versioned(&artifact.config, 1);
+        let mut meta = BytesMut::new();
+        meta.put_u64_le(fnv1a64(&config_payload));
+        put_str(&mut meta, &artifact.provenance);
+        let sections: [(u32, Bytes); 5] = [
+            (SECTION_META, meta.freeze()),
+            (SECTION_CONFIG, config_payload),
+            (SECTION_RNN, encode_rnn_weights(&artifact.rnn_weights)),
+            (SECTION_POOL, encode_pool(artifact.pool.iter())),
+            (SECTION_BIGRAM, encode_bigram(&artifact.bigram)),
+        ];
+        let mut buf = BytesMut::new();
+        buf.put_slice(&ARTIFACT_MAGIC);
+        buf.put_u16_le(1);
+        buf.put_u32_le(sections.len() as u32);
+        for (tag, payload) in &sections {
+            buf.put_slice(&encode_frame(*tag, payload));
+        }
+        buf.to_vec()
+    }
+
+    #[test]
+    fn v1_artifacts_still_load() {
+        let fresh = quick_proteus();
+        let v1 = v1_bytes_of(fresh);
+        let (artifact, summary) = TrainedArtifact::from_bytes_with_summary(&v1).unwrap();
+        assert_eq!(summary.version, 1);
+        assert_eq!(summary.sentinel_entries, 0);
+        // the variants field predates v1; it loads under the default
+        assert_eq!(
+            artifact.config().sentinel_variants,
+            ProteusConfig::default().sentinel_variants
+        );
+        let loaded = artifact.into_proteus().unwrap();
+        assert_eq!(loaded.inventory().len(), 0);
+        // wire parity: the v1-loaded instance obfuscates identically
+        let g = build(ModelKind::AlexNet);
+        let (a, _) = fresh.obfuscate(&g, &TensorMap::new()).unwrap();
+        let (b, _) = loaded.obfuscate(&g, &TensorMap::new()).unwrap();
+        assert_eq!(a.to_bytes().to_vec(), b.to_bytes().to_vec());
+    }
+
+    #[test]
+    fn v1_files_cannot_carry_a_sentinel_section() {
+        let fresh = quick_proteus();
+        let v1 = v1_bytes_of(fresh);
+        // append an (empty) sentinel section frame and bump the count
+        let mut forged = v1.clone();
+        let empty = encode_sentinels(&[]);
+        forged.extend_from_slice(&encode_frame(SECTION_SENTINELS, &empty));
+        forged[6] += 1; // section_count low byte: 5 -> 6
+        let err = TrainedArtifact::from_bytes(&forged).unwrap_err();
+        assert!(
+            matches!(err, ArtifactError::Malformed { .. }),
+            "wrong variant: {err:?}"
+        );
+    }
+
+    #[test]
+    fn persisted_inventory_round_trips_and_prefills() {
+        let fresh = quick_proteus();
+        // warm the shared inventory (idempotent across test ordering)
+        let built = fresh.warm_inventory();
+        assert!(built > 0, "nothing warmed");
+        let bytes = fresh.to_artifact_bytes();
+        let (artifact, summary) = TrainedArtifact::from_bytes_with_summary(&bytes).unwrap();
+        assert_eq!(summary.version, ARTIFACT_VERSION);
+        assert_eq!(summary.sentinel_entries, artifact.sentinels().len());
+        assert!(summary.sentinel_entries > 0, "warm entries not persisted");
+        let loaded = artifact.into_proteus().unwrap();
+        assert_eq!(loaded.inventory().len(), summary.sentinel_entries);
+        // prefilled entries match what the loaded factory would build
+        for (key, graph) in loaded.inventory().snapshot().iter().take(6) {
+            let rebuilt = loaded
+                .factory()
+                .build_sentinel(*key)
+                .expect("persisted key builds");
+            assert_eq!(
+                encode_graph(graph).to_vec(),
+                encode_graph(&rebuilt).to_vec(),
+                "persisted entry for {key:?} diverges from the pure build"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_sentinel_section_is_rejected() {
+        let fresh = quick_proteus();
+        fresh.warm_inventory();
+        let bytes = fresh.to_artifact_bytes().to_vec();
+        // flip a byte inside the final (sentinels) section payload
+        let mut corrupt = bytes.clone();
+        let at = corrupt.len() - 8;
+        corrupt[at] ^= 0x01;
+        let err = TrainedArtifact::from_bytes(&corrupt).unwrap_err();
+        assert!(
+            matches!(err, ArtifactError::Section { .. }),
+            "checksum must catch payload corruption: {err:?}"
         );
     }
 
@@ -1146,6 +1425,10 @@ mod tests {
             },
             ProteusConfig {
                 mode: SentinelMode::Perturb,
+                ..base.clone()
+            },
+            ProteusConfig {
+                sentinel_variants: base.sentinel_variants + 1,
                 ..base.clone()
             },
         ];

@@ -18,7 +18,8 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use proteus_graph::wire::{
-    decode_frame, decode_graph, decode_params, encode_frame, encode_graph, encode_params, WireError,
+    decode_frame, decode_graph, decode_params, encode_frame, encode_graph, encode_params, fnv1a64,
+    WireError,
 };
 use proteus_graph::{Graph, TensorMap};
 use proteus_partition::PartitionPlan;
@@ -329,6 +330,33 @@ pub fn anonymize(graph: &Graph, tag: usize) -> Graph {
     g
 }
 
+/// [`anonymize`], but *content-addressed*: the graph's name is derived
+/// from a hash of its own (already-anonymized) wire encoding instead of a
+/// caller-supplied slot tag. Two structurally identical members therefore
+/// encode to identical wire bytes wherever they appear — across slots,
+/// buckets, requests, and tenants — which is what lets the serving
+/// runtime's optimized-member cache recognize a repeated sentinel by its
+/// bytes alone. Names still leak nothing: the hash is computed over the
+/// anonymized form, whose only inputs are topology, opcodes, and
+/// attributes the optimizer sees anyway.
+pub fn anonymize_content(graph: &Graph) -> Graph {
+    let (mut g, _) = graph.compact();
+    let ids = g.node_ids();
+    for (i, id) in ids.into_iter().enumerate() {
+        let base = {
+            let node = g.node(id).expect("live");
+            node.op.opcode()
+        };
+        if let Some(node) = g.node_mut(id) {
+            node.name = format!("{}_{}", format!("{base:?}").to_lowercase(), i);
+        }
+    }
+    g.set_name("subgraph".to_string());
+    let salt = fnv1a64(&encode_graph(&g));
+    g.set_name(format!("subgraph_{salt:016x}"));
+    g
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -492,5 +520,29 @@ mod tests {
             assert!(!node.name.contains("m9"), "leaked name {}", node.name);
         }
         assert_eq!(anon.len(), m.graph.len());
+    }
+
+    #[test]
+    fn content_anonymization_is_position_independent() {
+        // same structure under different original names → identical bytes
+        let a = member(9).graph;
+        let mut b = a.clone();
+        b.set_name("completely_different".to_string());
+        let (ea, eb) = (
+            encode_graph(&anonymize_content(&a)),
+            encode_graph(&anonymize_content(&b)),
+        );
+        assert_eq!(ea, eb, "identical structures got different wire bytes");
+        let anon = anonymize_content(&a);
+        assert!(anon.name().starts_with("subgraph_"), "{}", anon.name());
+        for (_, node) in anon.iter() {
+            assert!(!node.name.contains("m9"), "leaked name {}", node.name);
+        }
+        // a structural change moves the content hash
+        let mut c = Graph::new("m9".to_string());
+        let x = c.input([1, 3, 8, 8]);
+        let r = c.add(Op::Activation(Activation::Relu), [x]);
+        c.set_outputs([r]);
+        assert_ne!(anonymize_content(&c).name(), anon.name());
     }
 }

@@ -52,6 +52,13 @@ pub struct ProteusConfig {
     pub topology_pool: usize,
     /// Operator-population settings (Algorithm 2).
     pub population: PopulationConfig,
+    /// Distinct sentinel variants per (topology, regime) pair. Sentinel
+    /// content is a pure function of `(topology index, regime, variant)`
+    /// ([`crate::SentinelKey`]), so this bounds the warm inventory at
+    /// `topology_pool x 2 x sentinel_variants` entries while keeping
+    /// buckets diverse — each draw picks a variant at random from the
+    /// session's per-request stream.
+    pub sentinel_variants: usize,
     /// Worker threads for the optimizer party's bucket fan-out
     /// ([`crate::optimize_model_with_threads`]). `None` uses all available
     /// parallelism.
@@ -71,6 +78,7 @@ impl Default for ProteusConfig {
             graphrnn: GraphRnnConfig::default(),
             topology_pool: 200,
             population: PopulationConfig::default(),
+            sentinel_variants: 4,
             optimizer_threads: None,
             seed: 0xB0B,
         }
@@ -123,6 +131,11 @@ impl ProteusConfig {
                 "partition_restarts must be at least 1 (the Karger-Stein loop needs one attempt)",
             ));
         }
+        if self.sentinel_variants == 0 {
+            return Err(ProteusError::config(
+                "sentinel_variants must be at least 1 (every sentinel draw needs a variant)",
+            ));
+        }
         Ok(())
     }
 }
@@ -141,6 +154,12 @@ pub struct ServeConfig {
     /// Submitting past the window blocks the producer until a frame
     /// completes, so one request can never flood the shared pool.
     pub window: usize,
+    /// Capacity (entries) of the shared optimized-member cache
+    /// ([`crate::serve::OptimizedCache`]): bucket members whose wire
+    /// bytes and optimizer profile match a cached entry skip the worker
+    /// pool entirely. `0` disables the cache — every member is optimized
+    /// from scratch, the pre-cache behavior.
+    pub cache_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -148,6 +167,7 @@ impl Default for ServeConfig {
         ServeConfig {
             workers: 0,
             window: 4,
+            cache_capacity: 4096,
         }
     }
 }
@@ -244,6 +264,13 @@ mod tests {
                 "restarts=0",
                 ProteusConfig {
                     partition_restarts: 0,
+                    ..ok.clone()
+                },
+            ),
+            (
+                "variants=0",
+                ProteusConfig {
+                    sentinel_variants: 0,
                     ..ok.clone()
                 },
             ),

@@ -104,7 +104,9 @@ pub mod baseline;
 pub mod bucket;
 pub mod config;
 pub mod error;
+pub mod inventory;
 pub mod operators;
+pub mod phase;
 pub mod pipeline;
 pub mod semantic;
 pub mod sentinel;
@@ -117,18 +119,23 @@ pub use artifact::{
 };
 pub use baseline::{random_opcode_graph, random_opcode_sentinels};
 pub use bucket::{
-    anonymize, Bucket, BucketMember, ObfuscatedModel, ObfuscationSecrets, SealedBucket,
+    anonymize, anonymize_content, Bucket, BucketMember, ObfuscatedModel, ObfuscationSecrets,
+    SealedBucket,
 };
 pub use config::{PartitionSpec, ProteusConfig, SentinelMode, ServeConfig};
 pub use error::ProteusError;
+pub use inventory::{InventoryStats, RegimeTag, SentinelInventory, SentinelKey};
 pub use operators::{detect_regime, populate, PopulationConfig, Regime};
+pub use phase::{semantic_ns, PhaseBreakdown};
 pub use pipeline::{
     optimize_bucket, optimize_model, optimize_model_serial, optimize_model_with_threads, Proteus,
     ProteusBuilder,
 };
 pub use semantic::{top_percentile, BigramModel};
 pub use sentinel::SentinelFactory;
-pub use serve::{RequestHandle, ServeRuntime, ServeStats, StealQueues};
+pub use serve::{
+    OptimizedCache, RequestHandle, SentinelPool, ServeRuntime, ServeStats, StealQueues,
+};
 pub use session::{
     derive_member_seed, derive_request_seed, splitmix64, DeobfuscationSession, ObfuscationSession,
     LEGACY_REQUEST_ID,

@@ -13,6 +13,7 @@
 use crate::bucket::{Bucket, BucketMember, ObfuscatedModel, ObfuscationSecrets, SealedBucket};
 use crate::config::ProteusConfig;
 use crate::error::ProteusError;
+use crate::inventory::SentinelInventory;
 use crate::sentinel::SentinelFactory;
 use crate::session::{DeobfuscationSession, ObfuscationSession, LEGACY_REQUEST_ID};
 use proteus_graph::{Graph, TensorMap};
@@ -24,6 +25,7 @@ use std::sync::Arc;
 pub struct Proteus {
     config: ProteusConfig,
     factory: SentinelFactory,
+    inventory: SentinelInventory,
 }
 
 /// Builds a trained [`Proteus`] instance with validation up front.
@@ -144,7 +146,12 @@ impl Proteus {
     /// typed errors before paying the training cost.
     pub fn train(config: ProteusConfig, corpus: &[Graph]) -> Proteus {
         let factory = SentinelFactory::train(&config, corpus);
-        Proteus { config, factory }
+        let inventory = SentinelInventory::new(factory.key_space().len());
+        Proteus {
+            config,
+            factory,
+            inventory,
+        }
     }
 
     /// Reassembles a trained instance from its parts — the loading half
@@ -152,7 +159,12 @@ impl Proteus {
     /// come from a factory trained (or loaded) under `config`; the
     /// artifact decoder enforces that.
     pub(crate) fn from_trained_parts(config: ProteusConfig, factory: SentinelFactory) -> Proteus {
-        Proteus { config, factory }
+        let inventory = SentinelInventory::new(factory.key_space().len());
+        Proteus {
+            config,
+            factory,
+            inventory,
+        }
     }
 
     /// The configuration in effect.
@@ -163,6 +175,29 @@ impl Proteus {
     /// The trained sentinel factory (exposed for evaluation harnesses).
     pub fn factory(&self) -> &SentinelFactory {
         &self.factory
+    }
+
+    /// The warm sentinel inventory shared by every session opened on this
+    /// instance. Sessions memoize through it transparently; disable it
+    /// ([`SentinelInventory::set_enabled`]) to force inline generation —
+    /// the output bytes do not change either way.
+    pub fn inventory(&self) -> &SentinelInventory {
+        &self.inventory
+    }
+
+    /// Synchronously builds every sentinel in the factory's key space
+    /// into the inventory (the blocking warm path; the serving runtime's
+    /// [`crate::serve::SentinelPool`] does the same in the background).
+    /// Returns the number of keys that produced a sentinel. Idempotent —
+    /// already-memoized keys are skipped at lookup cost.
+    pub fn warm_inventory(&self) -> usize {
+        let mut built = 0;
+        for key in self.factory.key_space() {
+            if self.factory.sentinel(key, Some(&self.inventory)).is_some() {
+                built += 1;
+            }
+        }
+        built
     }
 
     /// Opens a streaming obfuscation session for one request: partitions

@@ -1,16 +1,30 @@
 //! The sentinel factory: trained topology generator + operator population,
 //! composed per the paper's §4.1.2 pipeline.
+//!
+//! # Sentinels as pure functions
+//!
+//! Sentinel *content* is a pure function of the trained state and a
+//! [`SentinelKey`]: [`SentinelFactory::build_sentinel`] resolves the key's
+//! topology from the pool, orients it, and populates operators with a
+//! fresh generator seeded from the factory's generation seed and the key —
+//! never from the caller's randomness. The session's per-request stream
+//! only *selects* keys (band sampling + a variant draw per candidate) and
+//! shuffles buckets. This split is what makes the warm inventory
+//! ([`SentinelInventory`]) sound: memoizing `build_sentinel` by key cannot
+//! change any output byte, so warm and inline draws are interchangeable.
 
 use crate::config::{ProteusConfig, SentinelMode};
-use crate::operators::{detect_regime, populate, PopulationConfig};
+use crate::inventory::{SentinelInventory, SentinelKey};
+use crate::operators::{detect_regime, populate, PopulationConfig, Regime};
 use crate::semantic::BigramModel;
+use crate::session::splitmix64;
 use proteus_graph::{Graph, TensorMap};
 use proteus_graphgen::{
     induce_orientation, perturb_many, GraphRnn, PerturbConfig, TopologySampler, UGraph,
 };
 use proteus_partition::{partition_by_size, PartitionPlan};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// A trained sentinel generator.
 ///
@@ -26,6 +40,8 @@ pub struct SentinelFactory {
     bigram: BigramModel,
     population: PopulationConfig,
     beta: f64,
+    gen_seed: u64,
+    variants: usize,
 }
 
 impl SentinelFactory {
@@ -64,7 +80,17 @@ impl SentinelFactory {
             bigram,
             population: config.population,
             beta: config.beta,
+            gen_seed: SentinelFactory::generation_seed(config.seed),
+            variants: config.sentinel_variants.max(1),
         }
+    }
+
+    /// The sentinel-generation seed derived from a master seed. Both
+    /// [`SentinelFactory::train`] and artifact restoration derive through
+    /// this one function, so a factory rebuilt from persisted state builds
+    /// byte-identical sentinels for every key.
+    pub fn generation_seed(master_seed: u64) -> u64 {
+        splitmix64(master_seed ^ 0x9e17_51de)
     }
 
     /// Reassembles a trained factory from persisted state: the GraphRNN
@@ -79,6 +105,8 @@ impl SentinelFactory {
         bigram: BigramModel,
         population: PopulationConfig,
         beta: f64,
+        gen_seed: u64,
+        variants: usize,
     ) -> SentinelFactory {
         SentinelFactory {
             rnn,
@@ -86,6 +114,8 @@ impl SentinelFactory {
             bigram,
             population,
             beta,
+            gen_seed,
+            variants: variants.max(1),
         }
     }
 
@@ -115,7 +145,80 @@ impl SentinelFactory {
         &self.sampler
     }
 
+    /// The sentinel-generation seed in effect (persisted by the artifact).
+    pub fn gen_seed(&self) -> u64 {
+        self.gen_seed
+    }
+
+    /// Sentinel variants per (topology, regime) pair.
+    pub fn variants(&self) -> usize {
+        self.variants
+    }
+
+    /// Every key this factory can build: the full
+    /// `topology_pool x 2 regimes x variants` space, in canonical (sorted)
+    /// order. This is the warm inventory's working set; its length bounds
+    /// the inventory capacity.
+    pub fn key_space(&self) -> Vec<SentinelKey> {
+        let mut keys = Vec::with_capacity(self.sampler.len().saturating_mul(2 * self.variants));
+        for topo in 0..self.sampler.len() as u32 {
+            for regime in [Regime::Cnn, Regime::Transformer] {
+                for variant in 0..self.variants as u32 {
+                    keys.push(SentinelKey::new(topo, regime, variant));
+                }
+            }
+        }
+        keys
+    }
+
+    /// Builds the sentinel a key names, from scratch. Pure: the operator
+    /// population draws from a fresh generator seeded by the factory's
+    /// generation seed and the key, so equal keys yield bit-identical
+    /// graphs. `None` when the key's topology index is out of range or the
+    /// topology admits no valid operator assignment.
+    pub fn build_sentinel(&self, key: SentinelKey) -> Option<Graph> {
+        let topo = self.sampler.topology(key.topo as usize)?;
+        let dag = induce_orientation(topo);
+        // injective pack: variant fills the low 32 bits, the regime bit
+        // and topology index sit above it
+        let packed = ((key.topo as u64) << 33) | ((key.regime as u64) << 32) | key.variant as u64;
+        let mut rng = StdRng::seed_from_u64(splitmix64(self.gen_seed ^ splitmix64(packed)));
+        populate(
+            &dag,
+            key.regime.into(),
+            &self.bigram,
+            &self.population,
+            &mut rng,
+        )
+    }
+
+    /// [`SentinelFactory::build_sentinel`] through an optional warm
+    /// inventory. An enabled inventory answers memoized keys directly and
+    /// memoizes fresh builds; a disabled or absent inventory builds inline.
+    /// Either way the result is the same bytes — the inventory is pure
+    /// memoization.
+    pub fn sentinel(
+        &self,
+        key: SentinelKey,
+        inventory: Option<&SentinelInventory>,
+    ) -> Option<Graph> {
+        match inventory.filter(|inv| inv.is_enabled()) {
+            Some(inv) => {
+                if let Some(memo) = inv.lookup(&key) {
+                    return memo;
+                }
+                let built = self.build_sentinel(key);
+                inv.store(key, built.clone());
+                built
+            }
+            None => self.build_sentinel(key),
+        }
+    }
+
     /// Generates `k` sentinels for one protected subgraph.
+    ///
+    /// Equivalent to [`SentinelFactory::generate_with`] without an
+    /// inventory — every sentinel is built inline.
     pub fn generate(
         &self,
         protected: &Graph,
@@ -123,13 +226,38 @@ impl SentinelFactory {
         mode: SentinelMode,
         rng: &mut StdRng,
     ) -> Vec<Graph> {
+        self.generate_with(protected, k, mode, rng, None)
+    }
+
+    /// Generates `k` sentinels for one protected subgraph, drawing warm
+    /// members from `inventory` when one is supplied.
+    ///
+    /// The caller's `rng` only selects topology positions and variants
+    /// (and feeds the perturb fallback); sentinel content comes from
+    /// [`SentinelFactory::sentinel`]. The stream is consumed identically
+    /// whether or not an inventory is present, so warm and inline runs of
+    /// the same stream return byte-identical sentinels in the same order.
+    pub fn generate_with(
+        &self,
+        protected: &Graph,
+        k: usize,
+        mode: SentinelMode,
+        rng: &mut StdRng,
+        inventory: Option<&SentinelInventory>,
+    ) -> Vec<Graph> {
         match mode {
             SentinelMode::Perturb => perturb_many(protected, PerturbConfig::default(), k, rng),
-            SentinelMode::Generative => self.generate_generative(protected, k, rng),
+            SentinelMode::Generative => self.generate_generative(protected, k, rng, inventory),
         }
     }
 
-    fn generate_generative(&self, protected: &Graph, k: usize, rng: &mut StdRng) -> Vec<Graph> {
+    fn generate_generative(
+        &self,
+        protected: &Graph,
+        k: usize,
+        rng: &mut StdRng,
+        inventory: Option<&SentinelInventory>,
+    ) -> Vec<Graph> {
         let regime = detect_regime(protected);
         let topo = UGraph::from_graph(protected);
         let mut out: Vec<Graph> = Vec::with_capacity(k);
@@ -137,13 +265,16 @@ impl SentinelFactory {
         while out.len() < k && rounds < 8 {
             rounds += 1;
             let want = (k - out.len()).max(1) * 2;
-            let candidates = self.sampler.sample_similar(&topo, self.beta, want, rng);
-            for cand in candidates {
+            let positions = self
+                .sampler
+                .sample_similar_indices(&topo, self.beta, want, rng);
+            for pos in positions {
                 if out.len() >= k {
                     break;
                 }
-                let dag = induce_orientation(&cand);
-                if let Some(g) = populate(&dag, regime, &self.bigram, &self.population, rng) {
+                let variant = rng.gen_range(0..self.variants) as u32;
+                let key = SentinelKey::new(pos as u32, regime, variant);
+                if let Some(g) = self.sentinel(key, inventory) {
                     out.push(g);
                 }
             }
@@ -229,6 +360,87 @@ mod tests {
                 protected.len()
             );
         }
+    }
+
+    #[test]
+    fn build_sentinel_is_pure() {
+        let cfg = quick_config();
+        let corpus = vec![build(ModelKind::ResNet)];
+        let factory = SentinelFactory::train(&cfg, &corpus);
+        let keys = factory.key_space();
+        assert_eq!(
+            keys.len(),
+            factory.sampler().len() * 2 * cfg.sentinel_variants
+        );
+        let mut built = 0;
+        for key in keys.iter().take(12) {
+            let a = factory.build_sentinel(*key);
+            let b = factory.build_sentinel(*key);
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(
+                        proteus_graph::wire::encode_graph(&a),
+                        proteus_graph::wire::encode_graph(&b),
+                        "key {key:?} not pure"
+                    );
+                    built += 1;
+                }
+                (None, None) => {}
+                other => panic!("key {key:?} flip-flopped: {other:?}"),
+            }
+        }
+        assert!(built > 0, "no key in the prefix built a sentinel");
+        // out-of-range topology index is a clean None
+        assert!(factory
+            .build_sentinel(SentinelKey::new(u32::MAX, Regime::Cnn, 0))
+            .is_none());
+    }
+
+    #[test]
+    fn inventory_draws_match_inline_generation() {
+        let cfg = quick_config();
+        let corpus = vec![build(ModelKind::ResNet)];
+        let factory = SentinelFactory::train(&cfg, &corpus);
+        let protected = subgraph_of(ModelKind::GoogleNet);
+        let wire = |gs: &[Graph]| -> Vec<bytes::Bytes> {
+            gs.iter().map(proteus_graph::wire::encode_graph).collect()
+        };
+        let inv = SentinelInventory::new(factory.key_space().len());
+        let mut rng = StdRng::seed_from_u64(9);
+        let warm = factory.generate_with(
+            &protected,
+            6,
+            SentinelMode::Generative,
+            &mut rng,
+            Some(&inv),
+        );
+        let mut rng = StdRng::seed_from_u64(9);
+        let inline = factory.generate_with(&protected, 6, SentinelMode::Generative, &mut rng, None);
+        assert_eq!(wire(&warm), wire(&inline), "warm vs inline diverged");
+        // a replay of the same stream hits the memo and still matches
+        let mut rng = StdRng::seed_from_u64(9);
+        let again = factory.generate_with(
+            &protected,
+            6,
+            SentinelMode::Generative,
+            &mut rng,
+            Some(&inv),
+        );
+        assert_eq!(wire(&again), wire(&inline));
+        assert!(inv.stats().hits > 0, "replay never hit the inventory");
+        // a disabled inventory is bypassed entirely
+        inv.set_enabled(false);
+        let before = inv.stats();
+        let mut rng = StdRng::seed_from_u64(9);
+        let bypassed = factory.generate_with(
+            &protected,
+            6,
+            SentinelMode::Generative,
+            &mut rng,
+            Some(&inv),
+        );
+        assert_eq!(wire(&bypassed), wire(&inline));
+        assert_eq!(inv.stats(), before, "disabled inventory was touched");
     }
 
     #[test]

@@ -27,6 +27,19 @@
 //! and v1 single-request frames are still decoded for backward
 //! compatibility.
 //!
+//! Two serving-only accelerations ride on top. The shared
+//! [`OptimizedCache`] replays optimizer outputs for bucket members whose
+//! exact wire bytes were optimized before — sentinels are anonymized
+//! content-addressed ([`crate::bucket::anonymize_content`]), so the same
+//! sentinel repeating across buckets, requests, or tenants costs the pool
+//! exactly one optimization. The [`SentinelPool`] warms a trained
+//! instance's [`crate::SentinelInventory`] in a background thread so
+//! sessions draw pre-built sentinels instead of generating them inline on
+//! the request path. Both are pure memoization: served bytes stay
+//! bit-identical to the cold path, and the per-request
+//! [`RequestHandle::phases`] breakdown measures the win instead of
+//! asserting it.
+//!
 //! # Example
 //!
 //! ```
@@ -50,7 +63,7 @@
 //! // the optimizer party: one pool shared by every request
 //! let runtime = ServeRuntime::new(
 //!     Optimizer::new(Profile::OrtLike),
-//!     ServeConfig { workers: 2, window: 2 },
+//!     ServeConfig { workers: 2, window: 2, ..Default::default() },
 //! )?;
 //!
 //! // each request streams through the shared pool under its own id
@@ -64,15 +77,18 @@
 use crate::bucket::{Bucket, BucketMember, SealedBucket};
 use crate::config::ServeConfig;
 use crate::error::ProteusError;
+use crate::phase::PhaseBreakdown;
 use crate::pipeline::Proteus;
 use crate::session::DeobfuscationSession;
 use bytes::Bytes;
+use proteus_graph::wire::{encode_graph, encode_params, fnv1a64};
 use proteus_graph::{Graph, TensorMap};
-use proteus_opt::Optimizer;
+use proteus_opt::{Optimizer, Profile};
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A work-stealing task scheduler over plain std primitives: one deque
 /// per worker, round-robin placement, and steal-from-the-back when a
@@ -149,6 +165,245 @@ impl<T> StealQueues<T> {
     }
 }
 
+/// One cached optimizer output, retained with its full key so a
+/// fingerprint collision can never substitute the wrong graph.
+#[derive(Debug)]
+struct CacheEntry {
+    key: Bytes,
+    graph: Graph,
+    params: TensorMap,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    /// Entries bucketed by the 64-bit fingerprint of their full key.
+    buckets: HashMap<u64, Vec<CacheEntry>>,
+    /// Insertion order of fingerprints, for FIFO eviction.
+    order: VecDeque<u64>,
+}
+
+/// A shared cache of optimizer outputs, keyed by the member's exact wire
+/// bytes plus the optimizer profile.
+///
+/// Sentinel members are anonymized content-addressed
+/// ([`crate::bucket::anonymize_content`]): the same sentinel drawn into
+/// different buckets, requests, or tenants serializes to identical bytes,
+/// so its optimized form is computed once by the worker pool and replayed
+/// on every later appearance. Real subgraphs are partitioned under a
+/// per-request seed and essentially never repeat — they miss and take the
+/// pool as before, which is exactly right: the cache must never make the
+/// protected pieces distinguishable by *skipping* them, and it does not,
+/// because hits and misses produce byte-identical frames.
+///
+/// The u64 fingerprint only buckets; every hit compares the full key
+/// bytes, so a collision degrades to a miss, never to a wrong answer.
+/// Eviction is FIFO at [`ServeConfig::cache_capacity`] entries; capacity
+/// `0` disables the cache entirely (every member goes to the pool).
+#[derive(Debug)]
+pub struct OptimizedCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl OptimizedCache {
+    /// Creates a cache holding at most `capacity` optimized members;
+    /// `0` disables caching (lookups miss, inserts drop).
+    pub fn new(capacity: usize) -> OptimizedCache {
+        OptimizedCache {
+            capacity,
+            inner: Mutex::new(CacheInner::default()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Whether the cache stores anything at all (capacity > 0).
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Maximum resident entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache poisoned").order.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that returned a cached member.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing and sent the member to the pool.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// The cache key of one unoptimized bucket member: a profile tag byte
+    /// (outputs differ per optimizer profile) followed by the member's
+    /// canonical wire encoding. [`encode_graph`] compacts before writing,
+    /// so structurally identical graphs key identically regardless of
+    /// their in-memory node numbering.
+    pub fn key_for(profile: Profile, graph: &Graph, params: &TensorMap) -> Bytes {
+        let tag: u8 = match profile {
+            Profile::OrtLike => 0,
+            Profile::HidetLike => 1,
+        };
+        let mut buf = Vec::new();
+        buf.push(tag);
+        buf.extend_from_slice(&encode_graph(graph));
+        buf.extend_from_slice(&encode_params(graph, params));
+        Bytes::from(buf)
+    }
+
+    /// Returns the optimized member cached under `key`, counting a hit or
+    /// miss. Always a miss when disabled.
+    pub fn lookup(&self, key: &Bytes) -> Option<BucketMember> {
+        if !self.is_enabled() {
+            return None;
+        }
+        let fp = fnv1a64(key);
+        let found = {
+            let inner = self.inner.lock().expect("cache poisoned");
+            inner
+                .buckets
+                .get(&fp)
+                .and_then(|bucket| bucket.iter().find(|e| e.key == *key))
+                .map(|e| BucketMember {
+                    graph: e.graph.clone(),
+                    params: e.params.clone(),
+                })
+        };
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Publishes one optimized member under its key, evicting the oldest
+    /// entry when full. Returns whether the entry was stored (`false`
+    /// when disabled or when a racing worker already published this key —
+    /// the first result stays, and determinism makes both identical).
+    pub fn insert(&self, key: Bytes, graph: Graph, params: TensorMap) -> bool {
+        if !self.is_enabled() {
+            return false;
+        }
+        let fp = fnv1a64(&key);
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        if inner
+            .buckets
+            .get(&fp)
+            .is_some_and(|bucket| bucket.iter().any(|e| e.key == key))
+        {
+            return false;
+        }
+        if inner.order.len() >= self.capacity {
+            if let Some(old_fp) = inner.order.pop_front() {
+                if let Some(bucket) = inner.buckets.get_mut(&old_fp) {
+                    if !bucket.is_empty() {
+                        bucket.remove(0);
+                    }
+                    if bucket.is_empty() {
+                        inner.buckets.remove(&old_fp);
+                    }
+                }
+            }
+        }
+        inner
+            .buckets
+            .entry(fp)
+            .or_default()
+            .push(CacheEntry { key, graph, params });
+        inner.order.push_back(fp);
+        true
+    }
+}
+
+/// A background warmer that fills a trained [`Proteus`] instance's
+/// sentinel inventory ahead of traffic.
+///
+/// Sentinels are pure functions of the trained state and a
+/// [`crate::SentinelKey`] ([`crate::SentinelFactory::build_sentinel`]),
+/// so they can be built before any request arrives: the warmer walks the
+/// factory's full key space on its own thread, memoizing each result into
+/// the shared [`crate::SentinelInventory`]. Sessions that run while the
+/// warmer is still going simply build-and-store the keys it has not
+/// reached yet — the inventory is idempotent, so the two producers never
+/// disagree.
+///
+/// Dropping the pool stops the warmer at the next key boundary and joins
+/// the thread; [`SentinelPool::join`] waits for a full sweep and reports
+/// how many keys resolved to a sentinel.
+#[derive(Debug)]
+pub struct SentinelPool {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<usize>>,
+}
+
+impl SentinelPool {
+    /// Spawns the warmer over a shared trained instance.
+    pub fn spawn(proteus: Arc<Proteus>) -> SentinelPool {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("proteus-sentinel-warmer".into())
+            .spawn(move || {
+                let factory = proteus.factory();
+                let inventory = proteus.inventory();
+                let mut built = 0usize;
+                for key in factory.key_space() {
+                    if flag.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if factory.sentinel(key, Some(inventory)).is_some() {
+                        built += 1;
+                    }
+                }
+                built
+            })
+            .expect("spawn sentinel warmer");
+        SentinelPool {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Asks the warmer to stop after the key it is currently building.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Waits for the sweep to finish (or honor [`SentinelPool::stop`])
+    /// and returns how many keys resolved to a sentinel.
+    pub fn join(mut self) -> usize {
+        self.handle
+            .take()
+            .map(|h| h.join().expect("sentinel warmer panicked"))
+            .unwrap_or(0)
+    }
+}
+
+impl Drop for SentinelPool {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
 /// One unit of pool work: optimize a single bucket member of one
 /// request's frame.
 struct Task {
@@ -157,6 +412,9 @@ struct Task {
     member: usize,
     graph: Graph,
     params: TensorMap,
+    /// When the optimized cache is enabled, the member's key — the worker
+    /// publishes its result there for later requests.
+    cache_key: Option<Bytes>,
 }
 
 /// A frame being reassembled from its optimized members.
@@ -186,6 +444,10 @@ struct RequestState {
     window: usize,
     inner: Mutex<RequestInner>,
     cv: Condvar,
+    /// Worker-pool optimizer nanoseconds spent on this request's members.
+    optimize_ns: AtomicU64,
+    /// Frame encode/decode nanoseconds on the byte-stream entry points.
+    wire_ns: AtomicU64,
 }
 
 /// Counters of a running [`ServeRuntime`].
@@ -193,14 +455,22 @@ struct RequestState {
 pub struct ServeStats {
     /// Worker threads in the pool.
     pub workers: usize,
-    /// Member-optimization tasks executed since construction.
+    /// Member-optimization tasks executed since construction. Cache hits
+    /// never become tasks, so this counts optimizer invocations.
     pub tasks_executed: usize,
     /// High-water mark of tasks queued and not yet claimed by a worker.
     pub max_queue_depth: usize,
+    /// Bucket members served straight from the [`OptimizedCache`].
+    pub cache_hits: usize,
+    /// Members that missed the cache and went to the worker pool.
+    pub cache_misses: usize,
+    /// Entries currently resident in the [`OptimizedCache`].
+    pub cache_entries: usize,
 }
 
 struct PoolShared {
     optimizer: Optimizer,
+    cache: OptimizedCache,
     queues: StealQueues<Task>,
     /// Tasks pushed and not yet claimed; the park/wake signal.
     pending: AtomicUsize,
@@ -223,7 +493,14 @@ impl PoolShared {
     }
 
     fn run_task(&self, task: Task) {
+        let started = Instant::now();
         let (graph, params, _) = self.optimizer.optimize(&task.graph, &task.params);
+        task.req
+            .optimize_ns
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        if let Some(key) = task.cache_key {
+            self.cache.insert(key, graph.clone(), params.clone());
+        }
         self.tasks_executed.fetch_add(1, Ordering::Relaxed);
         let mut inner = task.req.inner.lock().expect("request poisoned");
         let partial = inner
@@ -311,6 +588,7 @@ impl ServeRuntime {
         let workers = config.num_workers();
         let shared = Arc::new(PoolShared {
             optimizer,
+            cache: OptimizedCache::new(config.cache_capacity),
             queues: StealQueues::new(workers),
             pending: AtomicUsize::new(0),
             park: Mutex::new(()),
@@ -347,7 +625,16 @@ impl ServeRuntime {
             workers: self.workers.len(),
             tasks_executed: self.shared.tasks_executed.load(Ordering::Relaxed),
             max_queue_depth: self.shared.max_queue_depth.load(Ordering::Relaxed),
+            cache_hits: self.shared.cache.hits(),
+            cache_misses: self.shared.cache.misses(),
+            cache_entries: self.shared.cache.len(),
         }
+    }
+
+    /// The shared optimized-member cache (disabled at
+    /// [`ServeConfig::cache_capacity`] `= 0`).
+    pub fn cache(&self) -> &OptimizedCache {
+        &self.shared.cache
     }
 
     /// Opens a handle for one request's frame stream. Handles are cheap;
@@ -364,6 +651,8 @@ impl ServeRuntime {
                 closed: false,
             }),
             cv: Condvar::new(),
+            optimize_ns: AtomicU64::new(0),
+            wire_ns: AtomicU64::new(0),
         });
         let mut requests = self.shared.requests.lock().expect("registry poisoned");
         // prune dead entries on every registration so a long-lived
@@ -487,14 +776,41 @@ impl RequestHandle {
             num_buckets,
             bucket,
         } = frame;
+        if self
+            .state
+            .inner
+            .lock()
+            .expect("request poisoned")
+            .seen
+            .contains(&bucket_index)
+        {
+            return Err(ProteusError::DuplicateFrame {
+                bucket_index,
+                request_id: self.state.request_id,
+            });
+        }
+        // classify members against the shared optimized-member cache
+        // *outside* the request lock: hits are prefilled into their
+        // reassembly slots, misses become pool tasks carrying their key so
+        // the worker can publish its result for later requests
+        let profile = self.pool.optimizer.profile();
+        let mut slots: Vec<Option<BucketMember>> = Vec::with_capacity(bucket.members.len());
+        let mut misses: Vec<(usize, Graph, TensorMap, Option<Bytes>)> = Vec::new();
+        for (member, m) in bucket.members.into_iter().enumerate() {
+            let key = self
+                .pool
+                .cache
+                .is_enabled()
+                .then(|| OptimizedCache::key_for(profile, &m.graph, &m.params));
+            if let Some(hit) = key.as_ref().and_then(|k| self.pool.cache.lookup(k)) {
+                slots.push(Some(hit));
+            } else {
+                slots.push(None);
+                misses.push((member, m.graph, m.params, key));
+            }
+        }
         {
             let mut inner = self.state.inner.lock().expect("request poisoned");
-            if inner.seen.contains(&bucket_index) {
-                return Err(ProteusError::DuplicateFrame {
-                    bucket_index,
-                    request_id: self.state.request_id,
-                });
-            }
             while inner.inflight >= self.state.window && !inner.closed {
                 inner = self.state.cv.wait(inner).expect("request poisoned");
             }
@@ -505,21 +821,25 @@ impl RequestHandle {
                 )));
             }
             // re-check: a concurrent producer on a cloned handle may have
-            // submitted the same bucket while we waited on the window
+            // submitted the same bucket while we classified or waited
             if !inner.seen.insert(bucket_index) {
                 return Err(ProteusError::DuplicateFrame {
                     bucket_index,
                     request_id: self.state.request_id,
                 });
             }
-            if bucket.members.is_empty() {
-                // nothing to optimize; complete immediately so recv() and
-                // reassembly see the frame
+            if misses.is_empty() {
+                // every member cached (or the frame was empty): nothing to
+                // optimize, complete immediately so recv() and reassembly
+                // see the frame without a trip through the pool
                 inner.done.push_back(SealedBucket {
                     bucket_index,
                     num_buckets,
                     bucket: Bucket {
-                        members: Vec::new(),
+                        members: slots
+                            .into_iter()
+                            .map(|slot| slot.expect("all members cached"))
+                            .collect(),
                     },
                 });
                 self.state.cv.notify_all();
@@ -530,18 +850,19 @@ impl RequestHandle {
                 bucket_index,
                 PartialBucket {
                     num_buckets,
-                    remaining: bucket.members.len(),
-                    slots: (0..bucket.members.len()).map(|_| None).collect(),
+                    remaining: misses.len(),
+                    slots,
                 },
             );
         }
-        for (member, m) in bucket.members.into_iter().enumerate() {
+        for (member, graph, params, cache_key) in misses {
             self.pool.push_task(Task {
                 req: Arc::clone(&self.state),
                 bucket_index,
                 member,
-                graph: m.graph,
-                params: m.params,
+                graph,
+                params,
+                cache_key,
             });
         }
         Ok(())
@@ -557,7 +878,12 @@ impl RequestHandle {
     /// on a request-id mismatch, plus everything
     /// [`RequestHandle::submit`] rejects.
     pub fn submit_bytes(&self, wire: Bytes) -> Result<(), ProteusError> {
-        let (request_id, sealed) = SealedBucket::from_mux_bytes(wire)?;
+        let started = Instant::now();
+        let decoded = SealedBucket::from_mux_bytes(wire);
+        self.state
+            .wire_ns
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let (request_id, sealed) = decoded?;
         if request_id != self.state.request_id {
             return Err(ProteusError::protocol(format!(
                 "frame for request {request_id:#x} injected into the stream of request {:#x}",
@@ -613,8 +939,27 @@ impl RequestHandle {
     /// # Errors
     /// As [`RequestHandle::recv`].
     pub fn recv_bytes(&self) -> Result<Bytes, ProteusError> {
-        self.recv()
-            .map(|frame| frame.to_mux_bytes(self.state.request_id))
+        let frame = self.recv()?;
+        let started = Instant::now();
+        let bytes = frame.to_mux_bytes(self.state.request_id);
+        self.state
+            .wire_ns
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        Ok(bytes)
+    }
+
+    /// The optimizer-side phase breakdown of this request so far:
+    /// worker-pool optimization time spent on its members and wire
+    /// encode/decode time on the byte-stream entry points (blocking —
+    /// backpressure waits and `recv` waits — is deliberately excluded).
+    /// Merge with [`crate::ObfuscationSession::phases`] for the owner's
+    /// full per-request picture.
+    pub fn phases(&self) -> PhaseBreakdown {
+        PhaseBreakdown {
+            optimization_ns: self.state.optimize_ns.load(Ordering::Relaxed),
+            wire_ns: self.state.wire_ns.load(Ordering::Relaxed),
+            ..PhaseBreakdown::default()
+        }
     }
 }
 
@@ -646,7 +991,23 @@ mod tests {
     fn runtime(workers: usize, window: usize) -> ServeRuntime {
         ServeRuntime::new(
             Optimizer::new(Profile::OrtLike),
-            ServeConfig { workers, window },
+            ServeConfig {
+                workers,
+                window,
+                ..Default::default()
+            },
+        )
+        .expect("runtime starts")
+    }
+
+    fn runtime_uncached(workers: usize, window: usize) -> ServeRuntime {
+        ServeRuntime::new(
+            Optimizer::new(Profile::OrtLike),
+            ServeConfig {
+                workers,
+                window,
+                cache_capacity: 0,
+            },
         )
         .expect("runtime starts")
     }
@@ -765,6 +1126,157 @@ mod tests {
             })
             .unwrap_err();
         assert!(matches!(err, ProteusError::Protocol { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn optimized_cache_replays_only_exact_keys() {
+        let cache = OptimizedCache::new(2);
+        let g1 = build(ModelKind::AlexNet);
+        let g2 = build(ModelKind::MobileNet);
+        let k1 = OptimizedCache::key_for(Profile::OrtLike, &g1, &TensorMap::new());
+        let k2 = OptimizedCache::key_for(Profile::OrtLike, &g2, &TensorMap::new());
+        // the profile participates in the key: same graph, different tag
+        let k1_hidet = OptimizedCache::key_for(Profile::HidetLike, &g1, &TensorMap::new());
+        assert_ne!(k1, k1_hidet);
+
+        assert!(cache.lookup(&k1).is_none());
+        assert!(cache.insert(k1.clone(), g1.clone(), TensorMap::new()));
+        let hit = cache.lookup(&k1).expect("cached");
+        assert_eq!(hit.graph, g1);
+        assert!(cache.lookup(&k2).is_none(), "exact-key match only");
+        // duplicate insert is a no-op, not a second resident copy
+        assert!(!cache.insert(k1.clone(), g1.clone(), TensorMap::new()));
+        assert_eq!(cache.len(), 1);
+
+        // FIFO eviction: filling past capacity drops the oldest key
+        assert!(cache.insert(k2.clone(), g2.clone(), TensorMap::new()));
+        assert!(cache.insert(k1_hidet.clone(), g1.clone(), TensorMap::new()));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&k1).is_none(), "oldest entry evicted");
+        assert!(cache.lookup(&k2).is_some());
+        assert!(cache.lookup(&k1_hidet).is_some());
+
+        // capacity 0 disables storage entirely
+        let disabled = OptimizedCache::new(0);
+        assert!(!disabled.is_enabled());
+        assert!(!disabled.insert(k1.clone(), g1, TensorMap::new()));
+        assert!(disabled.lookup(&k1).is_none());
+        assert_eq!(disabled.len(), 0);
+    }
+
+    #[test]
+    fn cache_replays_identical_requests_without_new_tasks() {
+        let proteus = quick_proteus();
+        let g = build(ModelKind::AlexNet);
+        let rt = runtime(2, 2);
+        let (first, first_params) = rt
+            .serve_request(&proteus, &g, &TensorMap::new(), 5)
+            .expect("first serve");
+        let tasks_after_first = rt.stats().tasks_executed;
+        assert!(tasks_after_first > 0);
+        let (second, second_params) = rt
+            .serve_request(&proteus, &g, &TensorMap::new(), 5)
+            .expect("replay serve");
+        let stats = rt.stats();
+        assert_eq!(first, second, "cache hit diverged from pool output");
+        assert_eq!(first_params, second_params);
+        assert_eq!(
+            stats.tasks_executed, tasks_after_first,
+            "a replayed request must be served entirely from the cache"
+        );
+        assert!(stats.cache_hits > 0);
+        assert_eq!(stats.cache_entries, tasks_after_first);
+    }
+
+    #[test]
+    fn disabling_the_cache_preserves_output_bytes() {
+        let proteus = quick_proteus();
+        let g = build(ModelKind::AlexNet);
+        let cached = runtime(2, 2);
+        let uncached = runtime_uncached(2, 2);
+        let (a, pa) = cached
+            .serve_request(&proteus, &g, &TensorMap::new(), 11)
+            .expect("cached serve");
+        let (b, pb) = uncached
+            .serve_request(&proteus, &g, &TensorMap::new(), 11)
+            .expect("uncached serve");
+        assert_eq!(a, b, "cache toggled the served output");
+        assert_eq!(pa, pb);
+        let stats = uncached.stats();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_misses, 0);
+        assert_eq!(stats.cache_entries, 0);
+    }
+
+    #[test]
+    fn handle_phases_record_optimizer_and_wire_time() {
+        let proteus = quick_proteus();
+        let g = build(ModelKind::AlexNet);
+        let rt = runtime_uncached(2, 4);
+        let mut session = proteus
+            .obfuscate_session(&g, &TensorMap::new(), 33)
+            .expect("session");
+        let handle = rt.handle(33);
+        assert_eq!(handle.phases(), PhaseBreakdown::default());
+        let mut submitted = 0;
+        while let Some(frame) = session.next_frame() {
+            handle
+                .submit_bytes(frame.to_mux_bytes(33))
+                .expect("submit bytes");
+            submitted += 1;
+        }
+        for _ in 0..submitted {
+            handle.recv_bytes().expect("optimized frame");
+        }
+        let phases = handle.phases();
+        assert!(phases.optimization_ns > 0, "{phases:?}");
+        assert!(phases.wire_ns > 0, "{phases:?}");
+        assert_eq!(phases.generation_ns, 0, "generation belongs to the session");
+        // the owner's session saw the generation side
+        let owner = session.phases();
+        assert!(owner.generation_ns > 0, "{owner:?}");
+        assert_eq!(owner.optimization_ns, 0);
+    }
+
+    #[test]
+    fn sentinel_pool_warms_the_shared_inventory() {
+        let proteus = Arc::new(Proteus::train(
+            ProteusConfig {
+                k: 2,
+                partitions: PartitionSpec::Count(2),
+                graphrnn: GraphRnnConfig {
+                    epochs: 2,
+                    max_nodes: 20,
+                    ..Default::default()
+                },
+                topology_pool: 8,
+                sentinel_variants: 2,
+                ..Default::default()
+            },
+            &[build(ModelKind::ResNet)],
+        ));
+        assert!(proteus.inventory().is_empty());
+        let warmer = SentinelPool::spawn(Arc::clone(&proteus));
+        let built = warmer.join();
+        assert!(built > 0);
+        // every key is memoized (even failed builds), so sessions never
+        // re-derive a key the warmer already visited
+        let keys = proteus.factory().key_space();
+        assert_eq!(proteus.inventory().len(), keys.len());
+        // warm entries are byte-identical to pure rebuilds
+        for key in keys.into_iter().take(6) {
+            let warm = proteus.inventory().lookup(&key).expect("memoized");
+            let pure = proteus.factory().build_sentinel(key);
+            match (warm, pure) {
+                (Some(w), Some(p)) => assert_eq!(encode_graph(&w), encode_graph(&p)),
+                (None, None) => {}
+                (w, p) => panic!("warm {w:?} vs pure {p:?} diverged for {key:?}"),
+            }
+        }
+        // a stopped warmer joins promptly and the sweep stays idempotent
+        let warmer = SentinelPool::spawn(Arc::clone(&proteus));
+        warmer.stop();
+        let _ = warmer.join();
     }
 
     #[test]

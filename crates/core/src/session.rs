@@ -26,8 +26,9 @@
 //! [`LEGACY_REQUEST_ID`]; the parity tests prove the wrapper output is
 //! bit-identical to a hand-driven session.
 
-use crate::bucket::{anonymize, Bucket, BucketMember, ObfuscationSecrets, SealedBucket};
+use crate::bucket::{anonymize_content, Bucket, BucketMember, ObfuscationSecrets, SealedBucket};
 use crate::error::ProteusError;
+use crate::phase::{self, PhaseBreakdown};
 use crate::pipeline::Proteus;
 use bytes::Bytes;
 use proteus_graph::{Graph, TensorMap};
@@ -90,6 +91,7 @@ pub struct ObfuscationSession<'p> {
     plan: PartitionPlan,
     real_positions: Vec<usize>,
     emitted: usize,
+    phases: PhaseBreakdown,
 }
 
 impl<'p> ObfuscationSession<'p> {
@@ -116,7 +118,15 @@ impl<'p> ObfuscationSession<'p> {
             plan,
             real_positions: Vec::with_capacity(buckets),
             emitted: 0,
+            phases: PhaseBreakdown::default(),
         })
+    }
+
+    /// The owner-side phase breakdown accumulated so far: generation time
+    /// (net of semantic scoring) and the semantic-scoring share of every
+    /// frame emitted by this session.
+    pub fn phases(&self) -> PhaseBreakdown {
+        self.phases
     }
 
     /// The caller-supplied request id this session is keyed by.
@@ -146,10 +156,15 @@ impl<'p> ObfuscationSession<'p> {
         let i = self.emitted;
         let piece = self.plan.pieces.get(i)?;
         let config = self.proteus.config();
-        let sentinels =
-            self.proteus
-                .factory()
-                .generate(&piece.graph, config.k, config.mode, &mut self.rng);
+        let frame_start = std::time::Instant::now();
+        let semantic_before = phase::semantic_ns();
+        let sentinels = self.proteus.factory().generate_with(
+            &piece.graph,
+            config.k,
+            config.mode,
+            &mut self.rng,
+            Some(self.proteus.inventory()),
+        );
         let mut members: Vec<BucketMember> = Vec::with_capacity(sentinels.len() + 1);
         members.push(BucketMember {
             graph: piece.graph.clone(),
@@ -185,11 +200,20 @@ impl<'p> ObfuscationSession<'p> {
         }
         let mut shuffled: Vec<BucketMember> = slots.into_iter().flatten().collect();
         debug_assert_eq!(shuffled.len(), order.len(), "inverse is a permutation");
-        for (j, m) in shuffled.iter_mut().enumerate() {
-            m.graph = anonymize(&m.graph, i * 1000 + j);
+        for m in shuffled.iter_mut() {
+            m.graph = anonymize_content(&m.graph);
         }
         self.real_positions.push(real_at);
         self.emitted += 1;
+        // phases are disjoint: the semantic share measured inside populate
+        // is subtracted from the frame's wall time
+        let semantic_delta = phase::semantic_ns().saturating_sub(semantic_before);
+        let frame_ns = frame_start.elapsed().as_nanos() as u64;
+        self.phases.semantic_ns = self.phases.semantic_ns.saturating_add(semantic_delta);
+        self.phases.generation_ns = self
+            .phases
+            .generation_ns
+            .saturating_add(frame_ns.saturating_sub(semantic_delta));
         Some(SealedBucket {
             bucket_index: i as u32,
             num_buckets: self.plan.pieces.len() as u32,

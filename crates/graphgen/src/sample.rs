@@ -60,6 +60,16 @@ impl TopologySampler {
         self.pool.iter().map(|(g, _)| g)
     }
 
+    /// The topology at pool position `index` (sampling order), if any.
+    /// Pool positions are the stable identity the warm sentinel inventory
+    /// keys on: [`TopologySampler::sample_similar_indices`] draws
+    /// positions, and a position resolves to the same topology for the
+    /// lifetime of the trained state (and across artifact round trips —
+    /// the pool is persisted order-exact).
+    pub fn topology(&self, index: usize) -> Option<&UGraph> {
+        self.pool.get(index).map(|(g, _)| g)
+    }
+
     /// Algorithm 1: samples `count` topologies statistically similar to
     /// `protected`, with band width `beta` (in units of per-dimension pool
     /// standard deviations).
@@ -77,6 +87,23 @@ impl TopologySampler {
         rng: &mut StdRng,
     ) -> Vec<UGraph> {
         self.sample_inner(protected, beta, count, rng, true)
+            .into_iter()
+            .map(|i| self.pool[i].0.clone())
+            .collect()
+    }
+
+    /// [`TopologySampler::sample_similar`], but returning pool *positions*
+    /// instead of cloned topologies. Consumes the randomness stream
+    /// identically to `sample_similar`, so the two are interchangeable
+    /// draw-for-draw; resolve a position with [`TopologySampler::topology`].
+    pub fn sample_similar_indices(
+        &self,
+        protected: &UGraph,
+        beta: f64,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Vec<usize> {
+        self.sample_inner(protected, beta, count, rng, true)
     }
 
     /// Ablation: identical band, but *without* the importance correction —
@@ -89,6 +116,9 @@ impl TopologySampler {
         rng: &mut StdRng,
     ) -> Vec<UGraph> {
         self.sample_inner(protected, beta, count, rng, false)
+            .into_iter()
+            .map(|i| self.pool[i].0.clone())
+            .collect()
     }
 
     fn sample_inner(
@@ -98,7 +128,7 @@ impl TopologySampler {
         count: usize,
         rng: &mut StdRng,
         importance: bool,
-    ) -> Vec<UGraph> {
+    ) -> Vec<usize> {
         if self.pool.is_empty() || count == 0 {
             return Vec::new();
         }
@@ -134,7 +164,7 @@ impl TopologySampler {
                 if accepted.len() >= count {
                     break;
                 }
-                let (g, f) = &self.pool[i];
+                let (_, f) = &self.pool[i];
                 if !in_band(f) {
                     continue;
                 }
@@ -149,7 +179,7 @@ impl TopologySampler {
                     1.0
                 };
                 if rng.gen::<f64>() < accept_prob {
-                    accepted.push(g.clone());
+                    accepted.push(i);
                 }
             }
         }
@@ -173,8 +203,7 @@ impl TopologySampler {
             by_dist.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
             let mut cursor = 0;
             while accepted.len() < count {
-                let idx = by_dist[cursor % by_dist.len()].1;
-                accepted.push(self.pool[idx].0.clone());
+                accepted.push(by_dist[cursor % by_dist.len()].1);
                 cursor += 1;
             }
         }

@@ -93,6 +93,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     ServeConfig {
                         workers: 4,
                         window: 2,
+                        ..Default::default()
                     },
                 )
                 .expect("runtime starts");

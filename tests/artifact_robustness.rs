@@ -151,7 +151,7 @@ fn save_load_serve_roundtrip_matches_fresh_pipeline() {
 #[test]
 fn version_skew_is_rejected_for_every_other_version() {
     let (_, bytes) = trained();
-    for version in [0u16, 2, 3, 255, u16::MAX] {
+    for version in [0u16, 3, 255, u16::MAX] {
         let mut raw = bytes.clone();
         raw[4..6].copy_from_slice(&version.to_le_bytes());
         match TrainedArtifact::from_bytes(&raw) {
@@ -162,6 +162,14 @@ fn version_skew_is_rejected_for_every_other_version() {
             other => panic!("version {version}: expected UnknownVersion, got {other:?}"),
         }
     }
+    // relabeling a v2 file as v1 must not silently misparse: the v2-only
+    // config tail and sentinel section are both illegal under v1 rules
+    let mut raw = bytes.clone();
+    raw[4..6].copy_from_slice(&1u16.to_le_bytes());
+    assert!(
+        TrainedArtifact::from_bytes(&raw).is_err(),
+        "v2 bytes relabeled as v1 were accepted"
+    );
 }
 
 #[test]
@@ -188,7 +196,7 @@ fn tampered_config_section_is_a_fingerprint_mismatch() {
     let (_, bytes) = trained();
     let mut buf = bytes::Bytes::copy_from_slice(&bytes[10..]);
     let mut rebuilt: Vec<u8> = bytes[..10].to_vec();
-    for _ in 0..5 {
+    for _ in 0..6 {
         let frame = decode_frame(&mut buf).expect("section decodes");
         let mut payload = frame.payload.to_vec();
         if frame.bucket_index == 1 {

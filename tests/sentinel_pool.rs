@@ -1,0 +1,178 @@
+//! Property battery for the warm sentinel inventory: concurrent
+//! draw/refill interleavings, bounded-capacity exhaustion, and the
+//! persisted artifact section must all be invisible on the wire —
+//! sentinels are pure functions of the trained state and their key, and
+//! the inventory is only a memo over that function.
+//!
+//! CI runs this suite in release mode (the `serve-stress` job).
+
+use proptest::prelude::*;
+use proteus::{
+    PartitionSpec, Proteus, ProteusConfig, SentinelInventory, SentinelPool, TrainedArtifact,
+};
+use proteus_graph::wire::encode_graph;
+use proteus_graph::TensorMap;
+use proteus_graphgen::GraphRnnConfig;
+use proteus_models::{build, ModelKind};
+use std::sync::Arc;
+
+fn tiny_config(seed: u64) -> ProteusConfig {
+    ProteusConfig {
+        k: 2,
+        partitions: PartitionSpec::Count(2),
+        graphrnn: GraphRnnConfig {
+            epochs: 2,
+            max_nodes: 16,
+            ..Default::default()
+        },
+        topology_pool: 8,
+        sentinel_variants: 2,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn train(seed: u64) -> Proteus {
+    Proteus::train(tiny_config(seed), &[build(ModelKind::ResNet)])
+}
+
+/// All sealed frame bytes of one request.
+fn frames(proteus: &Proteus, rid: u64) -> Vec<Vec<u8>> {
+    proteus
+        .obfuscate_session(&build(ModelKind::AlexNet), &TensorMap::new(), rid)
+        .expect("session")
+        .map(|f| f.to_bytes().to_vec())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // Sessions racing the background warmer — some draws hit entries the
+    // warmer just built, some build inline and store first — must emit
+    // the same bytes as an identically trained instance that never uses
+    // an inventory at all. The join with no timeout doubles as the
+    // no-deadlock check.
+    #[test]
+    fn concurrent_draws_race_the_warmer_without_divergence(
+        seed in 0u64..1_000,
+        clients in 2usize..4,
+    ) {
+        let warm = Arc::new(train(seed));
+        let reference = train(seed);
+        reference.inventory().set_enabled(false);
+
+        let warmer = SentinelPool::spawn(Arc::clone(&warm));
+        let raced: Vec<(u64, Vec<Vec<u8>>)> = std::thread::scope(|scope| {
+            let joins: Vec<_> = (0..clients as u64)
+                .map(|rid| {
+                    let warm = Arc::clone(&warm);
+                    scope.spawn(move || (rid, frames(&warm, rid)))
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().expect("client")).collect()
+        });
+        let built = warmer.join();
+        prop_assert!(built > 0, "warmer built nothing");
+        prop_assert_eq!(warm.inventory().len(), warm.factory().key_space().len());
+
+        for (rid, got) in raced {
+            let want = frames(&reference, rid);
+            prop_assert_eq!(
+                got, want,
+                "request {} diverged while racing the warmer", rid
+            );
+        }
+    }
+
+    // A bounded inventory that fills up (store refused past capacity)
+    // must degrade to inline building with identical results, and what
+    // it did memoize must replay byte-identically.
+    #[test]
+    fn exhausted_inventory_falls_back_inline(
+        seed in 0u64..1_000,
+        capacity in 0usize..6,
+    ) {
+        let proteus = train(seed);
+        let factory = proteus.factory();
+        let small = SentinelInventory::new(capacity);
+        for key in factory.key_space() {
+            let via_memo = factory.sentinel(key, Some(&small));
+            let pure = factory.build_sentinel(key);
+            prop_assert_eq!(
+                via_memo.as_ref().map(encode_graph),
+                pure.as_ref().map(encode_graph),
+                "key {:?} diverged through the bounded inventory", key
+            );
+        }
+        prop_assert!(small.len() <= capacity, "bounded inventory overflowed");
+        // second sweep: stored keys replay, refused keys rebuild — same bytes
+        for key in factory.key_space() {
+            let replay = factory.sentinel(key, Some(&small)).map(|g| encode_graph(&g));
+            let pure = factory.build_sentinel(key).map(|g| encode_graph(&g));
+            prop_assert_eq!(replay, pure);
+        }
+    }
+
+    // Any single-byte corruption inside the persisted sentinel section
+    // is a typed artifact error, never a panic or a silent misparse.
+    #[test]
+    fn corrupted_inventory_section_is_rejected(
+        pos_pick in proptest::num::u64::ANY,
+        bit in 0u8..8,
+    ) {
+        let proteus = train(7);
+        proteus.warm_inventory();
+        let bytes = proteus.to_artifact_bytes().to_vec();
+
+        // the sentinel section is the last of the six section frames;
+        // find where it starts by walking the preceding five
+        let mut buf = bytes::Bytes::copy_from_slice(&bytes[10..]);
+        let total = buf.len();
+        for _ in 0..5 {
+            proteus_graph::wire::decode_frame(&mut buf).expect("section frame");
+        }
+        let tail_start = 10 + (total - buf.len());
+        prop_assert!(tail_start < bytes.len());
+
+        let pos = tail_start + (pos_pick as usize) % (bytes.len() - tail_start);
+        let mut raw = bytes.clone();
+        raw[pos] ^= 1u8 << bit;
+        prop_assert!(
+            TrainedArtifact::from_bytes(&raw).is_err(),
+            "sentinel-section corruption at byte {} bit {} was accepted", pos, bit
+        );
+    }
+}
+
+/// A warm-started process must serve the persisted inventory's sentinels
+/// byte-identically to the instance that built them — and actually *use*
+/// it (no rebuild on first draw).
+#[test]
+fn persisted_inventory_round_trips_through_serving() {
+    let proteus = train(11);
+    let warmed = proteus.warm_inventory();
+    assert!(warmed > 0);
+    let bytes = proteus.to_artifact_bytes();
+    let loaded = Proteus::from_artifact_bytes(&bytes).expect("artifact loads");
+    assert_eq!(
+        loaded.inventory().len(),
+        warmed,
+        "prefilled inventory carries every persisted sentinel"
+    );
+
+    for rid in [0u64, 5, 0xFEED] {
+        assert_eq!(
+            frames(&proteus, rid),
+            frames(&loaded, rid),
+            "request {rid:#x}: warm-started frames diverge"
+        );
+    }
+    // the prefilled entries must actually serve draws; only negative keys
+    // (builds that fail, which the artifact does not persist) may miss
+    let stats = loaded.inventory().stats();
+    assert!(
+        stats.hits > 0,
+        "loaded instance never drew from the inventory"
+    );
+}

@@ -104,6 +104,10 @@ fn concurrent_clients_are_bit_identical_to_serial_path() {
         ServeConfig {
             workers: 4,
             window: 2,
+            // cache off: this test pins the pool's exact task accounting
+            // (one task per member); cache semantics are pinned by
+            // tests/serve_latency.rs
+            cache_capacity: 0,
         },
     )
     .expect("runtime");
@@ -194,6 +198,7 @@ fn multiplexed_byte_stream_serves_interleaved_requests() {
         ServeConfig {
             workers: 2,
             window: 4,
+            ..Default::default()
         },
     )
     .expect("runtime");
@@ -282,6 +287,7 @@ fn window_one_under_contention_still_converges() {
         ServeConfig {
             workers: 1,
             window: 1,
+            ..Default::default()
         },
     )
     .expect("runtime");
