@@ -100,6 +100,7 @@ fn main() {
         } else {
             ServeConfig::default().cache_capacity
         },
+        ..Default::default()
     };
 
     println!("== training shared Proteus instance ==");

@@ -56,6 +56,49 @@ pub enum ProteusError {
     /// checksum mismatch, malformed state, a config-fingerprint mismatch,
     /// or file I/O.
     Artifact(ArtifactError),
+    /// An optimizer worker panicked while executing a task of this
+    /// request. The panic was contained (`catch_unwind`) — the pool and
+    /// every other request lane keep running — but this request's
+    /// in-flight frames are abandoned: the lane fails closed rather than
+    /// emitting a frame with missing members. Retryable: the fleet
+    /// re-dispatches the request (determinism makes the replay
+    /// bit-identical).
+    WorkerCrashed {
+        /// Request whose lane failed.
+        request_id: u64,
+        /// Panic payload / failure site.
+        detail: String,
+    },
+    /// The request exceeded its latency deadline while waiting on the
+    /// runtime. Terminal, not retryable: the deadline is the caller's
+    /// end-to-end budget, and re-dispatching past it cannot make the
+    /// response timely.
+    Deadline {
+        /// Request that timed out.
+        request_id: u64,
+        /// Time actually elapsed when the deadline check fired.
+        elapsed_ms: u64,
+    },
+    /// The replica backing this lane is gone — killed mid-request, shut
+    /// down, or never spawned. Retryable: the fleet marks the replica
+    /// down and re-dispatches to a healthy one.
+    ReplicaUnavailable {
+        /// Which replica failed ([`crate::ServeConfig::replica_label`]).
+        replica: usize,
+        /// What happened to it.
+        detail: String,
+    },
+    /// The fleet's bounded retry budget ran out without any replica
+    /// completing the request. Carries the final attempt's error so the
+    /// caller can see *why* the last replica failed.
+    RetriesExhausted {
+        /// Request that could not be served.
+        request_id: u64,
+        /// Total dispatch attempts made (initial + retries).
+        attempts: u32,
+        /// The error from the final attempt.
+        last: Box<ProteusError>,
+    },
 }
 
 impl ProteusError {
@@ -79,6 +122,22 @@ impl ProteusError {
             detail: detail.into(),
         }
     }
+
+    /// Whether a fleet may re-dispatch the request after this error.
+    ///
+    /// Only failures of the *serving substrate* — a crashed worker or a
+    /// lost replica — are retryable: request-id-keyed determinism
+    /// guarantees the replay is bit-identical on any replica, so retrying
+    /// is safe and transparent. Everything else is a property of the
+    /// request or the protocol ([`ProteusError::Deadline`] included: the
+    /// latency budget is already spent) and will fail identically on every
+    /// replica.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ProteusError::WorkerCrashed { .. } | ProteusError::ReplicaUnavailable { .. }
+        )
+    }
 }
 
 impl fmt::Display for ProteusError {
@@ -97,6 +156,28 @@ impl fmt::Display for ProteusError {
                 "protocol violation: duplicate frame for bucket {bucket_index} of request {request_id:#x}"
             ),
             ProteusError::Artifact(e) => write!(f, "{e}"),
+            ProteusError::WorkerCrashed { request_id, detail } => write!(
+                f,
+                "worker crashed serving request {request_id:#x}: {detail}"
+            ),
+            ProteusError::Deadline {
+                request_id,
+                elapsed_ms,
+            } => write!(
+                f,
+                "request {request_id:#x} exceeded its deadline after {elapsed_ms}ms"
+            ),
+            ProteusError::ReplicaUnavailable { replica, detail } => {
+                write!(f, "replica {replica} unavailable: {detail}")
+            }
+            ProteusError::RetriesExhausted {
+                request_id,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "request {request_id:#x} failed after {attempts} attempts; last error: {last}"
+            ),
         }
     }
 }
@@ -107,6 +188,7 @@ impl std::error::Error for ProteusError {
             ProteusError::Wire(e) => Some(e),
             ProteusError::Graph(e) => Some(e),
             ProteusError::Artifact(e) => Some(e),
+            ProteusError::RetriesExhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -166,5 +248,47 @@ mod tests {
         assert!(e.source().is_some());
         let e = ProteusError::protocol("secrets requested early");
         assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn fault_family_displays_and_retryability() {
+        let crash = ProteusError::WorkerCrashed {
+            request_id: 0xAB,
+            detail: "fault injection: task 3".into(),
+        };
+        assert!(crash.to_string().contains("0xab"));
+        assert!(crash.is_retryable());
+
+        let gone = ProteusError::ReplicaUnavailable {
+            replica: 2,
+            detail: "killed at task 5".into(),
+        };
+        assert!(gone.to_string().contains("replica 2"));
+        assert!(gone.is_retryable());
+
+        let late = ProteusError::Deadline {
+            request_id: 7,
+            elapsed_ms: 120,
+        };
+        assert!(late.to_string().contains("120ms"));
+        assert!(!late.is_retryable(), "deadline budget is already spent");
+
+        let spent = ProteusError::RetriesExhausted {
+            request_id: 7,
+            attempts: 3,
+            last: Box::new(crash.clone()),
+        };
+        assert!(spent.to_string().contains("after 3 attempts"));
+        assert!(spent.to_string().contains("worker crashed"));
+        assert!(!spent.is_retryable());
+        use std::error::Error;
+        assert_eq!(
+            spent.source().map(ToString::to_string),
+            Some(crash.to_string()),
+            "RetriesExhausted chains to the final attempt's error"
+        );
+        // the family stays matchable and comparable
+        assert_eq!(spent.clone(), spent);
+        assert!(!matches!(crash, ProteusError::Protocol { .. }));
     }
 }

@@ -1,0 +1,887 @@
+//! Fault-tolerant replica fleet: N warm [`ServeRuntime`] replicas behind
+//! a consistent-hash router, with deadlines, bounded retry re-dispatch,
+//! and graceful drain/respawn.
+//!
+//! A single [`ServeRuntime`] is crash-contained (worker panics fail one
+//! lane, the supervisor respawns worker threads), but a *replica-level*
+//! loss — the whole runtime killed mid-request — still takes every lane
+//! on it down. The fleet is the recovery layer above that blast radius:
+//!
+//! - **Routing.** Requests are placed on a consistent-hash ring keyed by
+//!   `request_id` ([`Fleet::route`]): each replica owns
+//!   [`FleetConfig::virtual_nodes`] ring points, a request walks the ring
+//!   from `splitmix64(request_id)` and lands on the first replica that is
+//!   [`ReplicaState::Up`]. Draining or down replicas are skipped without
+//!   remapping the rest of the keyspace.
+//! - **Health + re-dispatch.** A retryable failure (typed
+//!   [`ProteusError::WorkerCrashed`] or
+//!   [`ProteusError::ReplicaUnavailable`] — see
+//!   [`ProteusError::is_retryable`]) marks the replica, backs off
+//!   (doubling from [`FleetConfig::backoff_ms`]), and re-dispatches to
+//!   the next replica in ring order, at most [`FleetConfig::max_retries`]
+//!   times before surfacing [`ProteusError::RetriesExhausted`].
+//! - **Deadlines.** [`FleetConfig::deadline_ms`] bounds the request end
+//!   to end — generation, window waits, optimization, and backoff all
+//!   charge against it — surfacing [`ProteusError::Deadline`] (terminal:
+//!   the budget is spent, so no retry).
+//! - **Drain/respawn.** [`Fleet::drain`] stops routing to a replica,
+//!   waits for its in-flight requests to complete, and drops the runtime
+//!   (which drains its queues); [`Fleet::respawn`] builds a fresh runtime
+//!   in the slot. A replica lost to the kill fault is auto-respawned with
+//!   its faults cleared — fresh-process semantics — when
+//!   [`FleetConfig::auto_respawn`] is set.
+//!
+//! **Why re-dispatch is safe** (the determinism argument): every byte a
+//! replica produces for request `r` is a pure function of the shared
+//! trained state and `r` — sentinel draws derive from
+//! `splitmix64(master_seed ^ r)`, optimization is deterministic, and the
+//! optimized-member cache is pure memoization. A re-dispatched request
+//! therefore must produce bit-identical wire bytes on any replica; the
+//! fleet **hard-asserts** this by recording each completed bucket's bytes
+//! across attempts and panicking on any divergence. That assert failing
+//! would mean the confidentiality protocol itself is broken (an owner
+//! could not deobfuscate reliably), so it is an invariant, not an error
+//! path.
+
+// Same panic discipline as `serve.rs`: the request path returns typed
+// errors; the only deliberate panic is the re-dispatch determinism
+// hard-assert documented above.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::bucket::SealedBucket;
+use crate::config::{FaultPlan, ServeConfig};
+use crate::error::ProteusError;
+use crate::phase::PhaseBreakdown;
+use crate::pipeline::Proteus;
+use crate::serve::{ServeRuntime, ServeStats};
+use crate::session::{splitmix64, DeobfuscationSession};
+use bytes::Bytes;
+use proteus_graph::{Graph, TensorMap};
+use proteus_opt::Optimizer;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Locks a fleet-internal mutex, recovering from poison. The protected
+/// data (a runtime slot `Option<Arc<..>>` or a `Copy` config) cannot be
+/// left half-mutated by a panic, so the poison flag carries no
+/// information here.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Configuration of a [`Fleet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Number of replicas (each one full [`ServeRuntime`]).
+    pub replicas: usize,
+    /// Per-replica serving configuration. The fleet overrides
+    /// [`ServeConfig::replica_label`] with each replica's index.
+    pub serve: ServeConfig,
+    /// End-to-end latency budget per request in milliseconds; `0`
+    /// disables deadlines.
+    pub deadline_ms: u64,
+    /// Re-dispatch attempts after the first (so `max_retries = 2` allows
+    /// three dispatches total).
+    pub max_retries: u32,
+    /// Initial backoff between re-dispatch attempts; doubles per retry,
+    /// capped at 8 doublings and at the remaining deadline.
+    pub backoff_ms: u64,
+    /// Automatically respawn a replica that fails with
+    /// [`ProteusError::ReplicaUnavailable`], clearing its fault plan
+    /// (fresh-process semantics).
+    pub auto_respawn: bool,
+    /// Ring points per replica on the consistent-hash ring. More points
+    /// smooth the key distribution; 16 is plenty for small fleets.
+    pub virtual_nodes: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            replicas: 2,
+            serve: ServeConfig::default(),
+            deadline_ms: 0,
+            max_retries: 2,
+            backoff_ms: 5,
+            auto_respawn: true,
+            virtual_nodes: 16,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Rejects degenerate fleet configurations.
+    ///
+    /// # Errors
+    /// [`ProteusError::Config`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ProteusError> {
+        if self.replicas == 0 {
+            return Err(ProteusError::config(
+                "fleet replicas must be at least 1 (a fleet needs a replica to route to)",
+            ));
+        }
+        if self.virtual_nodes == 0 {
+            return Err(ProteusError::config(
+                "fleet virtual_nodes must be at least 1 (a replica needs a ring point)",
+            ));
+        }
+        self.serve.validate()
+    }
+}
+
+/// Lifecycle state of one replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaState {
+    /// Accepting routed traffic.
+    Up,
+    /// Finishing in-flight requests; the router skips it.
+    Draining,
+    /// Not serving (drained, killed, or failed to respawn).
+    Down,
+}
+
+const STATE_UP: u8 = 0;
+const STATE_DRAINING: u8 = 1;
+const STATE_DOWN: u8 = 2;
+
+struct Replica {
+    /// The live runtime, `None` while down. Dispatchers clone the `Arc`
+    /// out and drop the lock — a drain/respawn never blocks behind an
+    /// in-flight request.
+    runtime: Mutex<Option<Arc<ServeRuntime>>>,
+    /// Current [`ServeConfig`] (faults may be cleared across respawns).
+    config: Mutex<ServeConfig>,
+    state: AtomicU8,
+    /// Requests currently dispatched to this replica.
+    inflight: AtomicUsize,
+    /// Requests this replica completed successfully.
+    served: AtomicUsize,
+    /// Dispatches that came back with an error.
+    failures: AtomicUsize,
+    /// Times this replica's runtime was (re)built after construction.
+    respawns: AtomicUsize,
+}
+
+impl Replica {
+    fn state(&self) -> ReplicaState {
+        match self.state.load(Ordering::SeqCst) {
+            STATE_UP => ReplicaState::Up,
+            STATE_DRAINING => ReplicaState::Draining,
+            _ => ReplicaState::Down,
+        }
+    }
+
+    fn set_state(&self, state: ReplicaState) {
+        let raw = match state {
+            ReplicaState::Up => STATE_UP,
+            ReplicaState::Draining => STATE_DRAINING,
+            ReplicaState::Down => STATE_DOWN,
+        };
+        self.state.store(raw, Ordering::SeqCst);
+    }
+}
+
+/// Decrements a replica's inflight count when a dispatch ends, however
+/// it ends — success, typed error, or the determinism assert unwinding.
+struct InflightGuard<'a>(&'a Replica);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Point-in-time status of one replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaStatus {
+    /// Replica index (also its [`ServeConfig::replica_label`]).
+    pub index: usize,
+    /// Lifecycle state.
+    pub state: ReplicaState,
+    /// Requests currently dispatched to it.
+    pub inflight: usize,
+    /// Requests completed successfully.
+    pub served: usize,
+    /// Dispatches that returned an error.
+    pub failures: usize,
+    /// Times its runtime was rebuilt.
+    pub respawns: usize,
+    /// Tasks queued on its pool right now (`0` while down).
+    pub queue_depth: usize,
+    /// Its runtime's counters (`None` while down).
+    pub serve: Option<ServeStats>,
+}
+
+/// Point-in-time status of the whole fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetStats {
+    /// One status per replica, by index.
+    pub replicas: Vec<ReplicaStatus>,
+    /// Requests the fleet completed successfully.
+    pub served: usize,
+    /// Re-dispatch attempts beyond each request's first dispatch.
+    pub redispatches: usize,
+}
+
+/// A successfully served request, with its dispatch trace.
+#[derive(Debug, Clone)]
+pub struct FleetResponse {
+    /// The optimized, deobfuscated protected graph.
+    pub graph: Graph,
+    /// Its reassembled parameters.
+    pub params: TensorMap,
+    /// Dispatch attempts made (1 = no chaos encountered).
+    pub attempts: u32,
+    /// Replica indices tried, in order; the last one served it.
+    pub replicas_tried: Vec<usize>,
+    /// Phase breakdown of the *successful* attempt, plus total backoff
+    /// time across all attempts in [`PhaseBreakdown::backoff_ns`].
+    pub phases: PhaseBreakdown,
+}
+
+/// N warm [`ServeRuntime`] replicas behind a consistent-hash router with
+/// deadline/retry re-dispatch. See the [module docs](crate::fleet).
+///
+/// ```
+/// use proteus::fleet::{Fleet, FleetConfig};
+/// use proteus::{PartitionSpec, Proteus, ProteusConfig, ServeConfig};
+/// use proteus_graph::TensorMap;
+/// use proteus_graphgen::GraphRnnConfig;
+/// use proteus_opt::{Optimizer, Profile};
+///
+/// let proteus = Proteus::builder()
+///     .config(ProteusConfig {
+///         k: 2,
+///         partitions: PartitionSpec::Count(1),
+///         graphrnn: GraphRnnConfig { epochs: 1, ..Default::default() },
+///         topology_pool: 10,
+///         ..Default::default()
+///     })
+///     .corpus_model(proteus_models::build(proteus_models::ModelKind::ResNet))
+///     .train_shared()?;
+///
+/// let fleet = Fleet::new(
+///     Optimizer::new(Profile::OrtLike),
+///     FleetConfig {
+///         replicas: 2,
+///         serve: ServeConfig { workers: 1, window: 4, ..Default::default() },
+///         ..Default::default()
+///     },
+/// )?;
+/// let secret = proteus_models::build(proteus_models::ModelKind::AlexNet);
+/// let response = fleet.serve_request_traced(&proteus, &secret, &TensorMap::new(), 11)?;
+/// assert!(response.graph.validate().is_ok());
+/// assert_eq!(response.attempts, 1, "no chaos, no retries");
+/// # Ok::<(), proteus::ProteusError>(())
+/// ```
+pub struct Fleet {
+    optimizer: Optimizer,
+    config: FleetConfig,
+    replicas: Vec<Replica>,
+    /// Consistent-hash ring: `(point, replica)` sorted by point.
+    ring: Vec<(u64, usize)>,
+    served: AtomicUsize,
+    redispatches: AtomicUsize,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("replicas", &self.replicas.len())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Fleet {
+    /// Spawns `config.replicas` warm runtimes sharing one optimizer
+    /// profile.
+    ///
+    /// # Errors
+    /// [`ProteusError::Config`] for a degenerate config,
+    /// [`ProteusError::ReplicaUnavailable`] when a replica's threads
+    /// cannot be spawned.
+    pub fn new(optimizer: Optimizer, config: FleetConfig) -> Result<Fleet, ProteusError> {
+        Fleet::with_replica_faults(optimizer, config, &[])
+    }
+
+    /// [`Fleet::new`] with per-replica fault plans: `faults[i]` arms
+    /// replica `i` (replicas beyond the slice get `config.serve.faults`).
+    /// This is how chaos tests fault one replica while its peers stay
+    /// healthy.
+    ///
+    /// # Errors
+    /// As [`Fleet::new`].
+    pub fn with_replica_faults(
+        optimizer: Optimizer,
+        config: FleetConfig,
+        faults: &[FaultPlan],
+    ) -> Result<Fleet, ProteusError> {
+        config.validate()?;
+        let mut replicas = Vec::with_capacity(config.replicas);
+        for index in 0..config.replicas {
+            let mut serve = config.serve;
+            serve.replica_label = index;
+            if let Some(plan) = faults.get(index) {
+                serve.faults = *plan;
+            }
+            let runtime = Arc::new(ServeRuntime::new(optimizer.clone(), serve)?);
+            replicas.push(Replica {
+                runtime: Mutex::new(Some(runtime)),
+                config: Mutex::new(serve),
+                state: AtomicU8::new(STATE_UP),
+                inflight: AtomicUsize::new(0),
+                served: AtomicUsize::new(0),
+                failures: AtomicUsize::new(0),
+                respawns: AtomicUsize::new(0),
+            });
+        }
+        let mut ring: Vec<(u64, usize)> = (0..config.replicas)
+            .flat_map(|replica| {
+                (0..config.virtual_nodes).map(move |v| {
+                    let point = splitmix64(
+                        0xF1EE7
+                            ^ ((replica as u64) << 32)
+                            ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    (point, replica)
+                })
+            })
+            .collect();
+        ring.sort_unstable();
+        Ok(Fleet {
+            optimizer,
+            config,
+            replicas,
+            ring,
+            served: AtomicUsize::new(0),
+            redispatches: AtomicUsize::new(0),
+        })
+    }
+
+    /// The fleet's configuration.
+    pub fn config(&self) -> FleetConfig {
+        self.config
+    }
+
+    /// Number of replica slots (up or not).
+    pub fn replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// A replica's lifecycle state.
+    ///
+    /// # Errors
+    /// [`ProteusError::Config`] for an out-of-range index.
+    pub fn replica_state(&self, index: usize) -> Result<ReplicaState, ProteusError> {
+        Ok(self.replica(index)?.state())
+    }
+
+    fn replica(&self, index: usize) -> Result<&Replica, ProteusError> {
+        self.replicas.get(index).ok_or_else(|| {
+            ProteusError::config(format!(
+                "replica index {index} out of range (fleet has {})",
+                self.replicas.len()
+            ))
+        })
+    }
+
+    /// All replicas in this request's ring preference order: the walk
+    /// starts at `splitmix64(request_id)` and records each replica the
+    /// first time one of its ring points appears. Deterministic per
+    /// request id, independent of replica health.
+    pub fn route_order(&self, request_id: u64) -> Vec<usize> {
+        let start = splitmix64(request_id);
+        let begin = self.ring.partition_point(|&(point, _)| point < start);
+        let mut order = Vec::with_capacity(self.replicas.len());
+        let mut seen = HashSet::new();
+        for i in 0..self.ring.len() {
+            let (_, replica) = self.ring[(begin + i) % self.ring.len()];
+            if seen.insert(replica) {
+                order.push(replica);
+                if order.len() == self.replicas.len() {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    /// The replica a request routes to right now: the first replica in
+    /// ring order that is [`ReplicaState::Up`]. `None` when the whole
+    /// fleet is down.
+    pub fn route(&self, request_id: u64) -> Option<usize> {
+        self.route_order(request_id)
+            .into_iter()
+            .find(|&r| self.replicas[r].state() == ReplicaState::Up)
+    }
+
+    /// Point-in-time fleet counters.
+    pub fn stats(&self) -> FleetStats {
+        FleetStats {
+            replicas: self
+                .replicas
+                .iter()
+                .enumerate()
+                .map(|(index, r)| {
+                    let runtime = relock(&r.runtime).clone();
+                    ReplicaStatus {
+                        index,
+                        state: r.state(),
+                        inflight: r.inflight.load(Ordering::SeqCst),
+                        served: r.served.load(Ordering::SeqCst),
+                        failures: r.failures.load(Ordering::SeqCst),
+                        respawns: r.respawns.load(Ordering::SeqCst),
+                        queue_depth: runtime.as_ref().map_or(0, |rt| rt.queue_depth()),
+                        serve: runtime.as_ref().map(|rt| rt.stats()),
+                    }
+                })
+                .collect(),
+            served: self.served.load(Ordering::SeqCst),
+            redispatches: self.redispatches.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Stops routing to replica `index`, waits for its in-flight
+    /// requests to complete, then drops its runtime (which drains queued
+    /// tasks and joins the workers). The replica ends [`ReplicaState::Down`];
+    /// bring it back with [`Fleet::respawn`].
+    ///
+    /// # Errors
+    /// [`ProteusError::Config`] for an out-of-range index;
+    /// [`ProteusError::Protocol`] if in-flight requests have not finished
+    /// within 30 seconds (the replica is left draining).
+    pub fn drain(&self, index: usize) -> Result<(), ProteusError> {
+        let replica = self.replica(index)?;
+        replica.set_state(ReplicaState::Draining);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while replica.inflight.load(Ordering::SeqCst) > 0 {
+            if Instant::now() >= deadline {
+                return Err(ProteusError::protocol(format!(
+                    "drain of replica {index} timed out with requests still in flight"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let runtime = relock(&replica.runtime).take();
+        drop(runtime); // ServeRuntime::drop drains queues and joins workers
+        replica.set_state(ReplicaState::Down);
+        Ok(())
+    }
+
+    /// Builds a fresh runtime in slot `index` (with the replica's current
+    /// config) and marks it [`ReplicaState::Up`].
+    ///
+    /// # Errors
+    /// [`ProteusError::Config`] for an out-of-range index, plus anything
+    /// [`ServeRuntime::new`] rejects (the replica stays down).
+    pub fn respawn(&self, index: usize) -> Result<(), ProteusError> {
+        let replica = self.replica(index)?;
+        let config = *relock(&replica.config);
+        self.respawn_with(index, config)
+    }
+
+    /// [`Fleet::respawn`] with an explicit config for the new runtime
+    /// (faults can be re-armed or cleared).
+    ///
+    /// # Errors
+    /// As [`Fleet::respawn`].
+    pub fn respawn_with(&self, index: usize, mut config: ServeConfig) -> Result<(), ProteusError> {
+        let replica = self.replica(index)?;
+        config.replica_label = index;
+        let runtime = Arc::new(ServeRuntime::new(self.optimizer.clone(), config)?);
+        *relock(&replica.config) = config;
+        let old = relock(&replica.runtime).replace(runtime);
+        drop(old);
+        replica.respawns.fetch_add(1, Ordering::SeqCst);
+        replica.set_state(ReplicaState::Up);
+        Ok(())
+    }
+
+    /// Serves one request through the fleet. See
+    /// [`Fleet::serve_request_traced`] for the dispatch trace.
+    ///
+    /// # Errors
+    /// As [`Fleet::serve_request_traced`].
+    pub fn serve_request(
+        &self,
+        proteus: &Proteus,
+        graph: &Graph,
+        params: &TensorMap,
+        request_id: u64,
+    ) -> Result<(Graph, TensorMap), ProteusError> {
+        self.serve_request_traced(proteus, graph, params, request_id)
+            .map(|r| (r.graph, r.params))
+    }
+
+    /// Serves one request: route by consistent hash, dispatch, and on a
+    /// retryable failure back off and re-dispatch to the next healthy
+    /// replica — hard-asserting that buckets completed by different
+    /// attempts are bit-identical (see the module docs for why that is
+    /// an invariant).
+    ///
+    /// # Errors
+    /// - [`ProteusError::Deadline`] — the end-to-end budget elapsed
+    ///   (terminal, never retried);
+    /// - [`ProteusError::RetriesExhausted`] — every allowed attempt
+    ///   failed retryably; carries the last attempt's error;
+    /// - [`ProteusError::ReplicaUnavailable`] — no replica was up to
+    ///   dispatch to at all;
+    /// - plus any non-retryable session/protocol error, surfaced as-is.
+    pub fn serve_request_traced(
+        &self,
+        proteus: &Proteus,
+        graph: &Graph,
+        params: &TensorMap,
+        request_id: u64,
+    ) -> Result<FleetResponse, ProteusError> {
+        let started = Instant::now();
+        let deadline = (self.config.deadline_ms > 0)
+            .then(|| started + Duration::from_millis(self.config.deadline_ms));
+        let order = self.route_order(request_id);
+        let max_attempts = self.config.max_retries.saturating_add(1);
+        // bytes of every bucket completed by any attempt: the re-dispatch
+        // determinism witness
+        let mut witnessed: HashMap<u32, Bytes> = HashMap::new();
+        let mut excluded: HashSet<usize> = HashSet::new();
+        let mut replicas_tried = Vec::new();
+        let mut backoff_ns = 0u64;
+        let mut last_err = None;
+        for attempt in 1..=max_attempts {
+            let target = match self.pick(&order, &excluded) {
+                Some(t) => t,
+                None if !excluded.is_empty() => {
+                    // every replica has failed this request once; retry
+                    // the full ring (one may have respawned meanwhile)
+                    excluded.clear();
+                    match self.pick(&order, &excluded) {
+                        Some(t) => t,
+                        None => break,
+                    }
+                }
+                None => break,
+            };
+            replicas_tried.push(target);
+            if attempt > 1 {
+                self.redispatches.fetch_add(1, Ordering::SeqCst);
+            }
+            match self.dispatch(
+                proteus,
+                graph,
+                params,
+                request_id,
+                target,
+                started,
+                deadline,
+                &mut witnessed,
+            ) {
+                Ok((graph, params, mut phases)) => {
+                    self.replicas[target].served.fetch_add(1, Ordering::SeqCst);
+                    self.served.fetch_add(1, Ordering::SeqCst);
+                    phases.backoff_ns = phases.backoff_ns.saturating_add(backoff_ns);
+                    return Ok(FleetResponse {
+                        graph,
+                        params,
+                        attempts: attempt,
+                        replicas_tried,
+                        phases,
+                    });
+                }
+                Err(err) => {
+                    self.note_failure(target, &err);
+                    if !err.is_retryable() {
+                        return Err(err);
+                    }
+                    excluded.insert(target);
+                    last_err = Some(err);
+                    if attempt < max_attempts {
+                        // exponential backoff, capped and charged against
+                        // the deadline
+                        let exp = (attempt - 1).min(8);
+                        let delay = Duration::from_millis(self.config.backoff_ms << exp);
+                        if let Some(d) = deadline {
+                            let now = Instant::now();
+                            if now + delay >= d {
+                                return Err(ProteusError::Deadline {
+                                    request_id,
+                                    elapsed_ms: started.elapsed().as_millis() as u64,
+                                });
+                            }
+                        }
+                        if !delay.is_zero() {
+                            std::thread::sleep(delay);
+                            backoff_ns = backoff_ns.saturating_add(delay.as_nanos() as u64);
+                        }
+                    }
+                }
+            }
+        }
+        match last_err {
+            Some(last) => Err(ProteusError::RetriesExhausted {
+                request_id,
+                attempts: replicas_tried.len() as u32,
+                last: Box::new(last),
+            }),
+            // no attempt was even possible: the fleet has no up replica
+            None => Err(ProteusError::ReplicaUnavailable {
+                replica: order.first().copied().unwrap_or(0),
+                detail: "no healthy replica to dispatch to".into(),
+            }),
+        }
+    }
+
+    /// First replica in `order` that is up and not excluded this request.
+    fn pick(&self, order: &[usize], excluded: &HashSet<usize>) -> Option<usize> {
+        order
+            .iter()
+            .copied()
+            .find(|&r| !excluded.contains(&r) && self.replicas[r].state() == ReplicaState::Up)
+    }
+
+    /// Accounts a failed dispatch and (for replica-level loss) downs and
+    /// optionally auto-respawns the replica with its faults cleared.
+    fn note_failure(&self, target: usize, err: &ProteusError) {
+        let replica = &self.replicas[target];
+        replica.failures.fetch_add(1, Ordering::SeqCst);
+        if let ProteusError::ReplicaUnavailable { .. } = err {
+            replica.set_state(ReplicaState::Down);
+            let dead = relock(&replica.runtime).take();
+            drop(dead); // joins the killed runtime's threads
+            if self.config.auto_respawn {
+                let mut config = *relock(&replica.config);
+                // fresh-process semantics: the injected fault killed the
+                // old process; its replacement does not inherit the plan
+                config.faults = FaultPlan::default();
+                let _ = self.respawn_with(target, config);
+            }
+        }
+    }
+
+    /// One dispatch attempt against one replica: stream the session's
+    /// frames in (deadline-aware), collect optimized frames, witness
+    /// their bytes for the determinism assert, reassemble.
+    #[allow(clippy::too_many_arguments)] // internal; splitting a param struct would obscure the flow
+    fn dispatch(
+        &self,
+        proteus: &Proteus,
+        graph: &Graph,
+        params: &TensorMap,
+        request_id: u64,
+        target: usize,
+        started: Instant,
+        deadline: Option<Instant>,
+        witnessed: &mut HashMap<u32, Bytes>,
+    ) -> Result<(Graph, TensorMap, PhaseBreakdown), ProteusError> {
+        let replica = self.replica(target)?;
+        let runtime =
+            relock(&replica.runtime)
+                .clone()
+                .ok_or_else(|| ProteusError::ReplicaUnavailable {
+                    replica: target,
+                    detail: "replica slot is empty (down)".into(),
+                })?;
+        replica.inflight.fetch_add(1, Ordering::SeqCst);
+        let _inflight = InflightGuard(replica);
+
+        let mut session = proteus.obfuscate_session(graph, params, request_id)?;
+        let num_buckets = session.num_buckets();
+        let handle = runtime.handle(request_id);
+        let mut completed: Vec<SealedBucket> = Vec::with_capacity(num_buckets);
+        while let Some(frame) = session.next_frame() {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return Err(ProteusError::Deadline {
+                        request_id,
+                        elapsed_ms: started.elapsed().as_millis() as u64,
+                    });
+                }
+                handle.submit_deadline(frame, d)?;
+            } else {
+                handle.submit(frame)?;
+            }
+            while let Some(done) = handle.try_recv() {
+                witness(witnessed, request_id, &done);
+                completed.push(done);
+            }
+        }
+        let owner_phases = session.phases();
+        let secrets = session.finish()?;
+        while completed.len() < num_buckets {
+            let done = match deadline {
+                Some(d) => handle.recv_deadline(d)?,
+                None => handle.recv()?,
+            };
+            witness(witnessed, request_id, &done);
+            completed.push(done);
+        }
+        let mut reassembly = DeobfuscationSession::new(&secrets);
+        for frame in completed {
+            reassembly.accept(frame)?;
+        }
+        let (out_graph, out_params) = reassembly.finish()?;
+        let phases = owner_phases.merged(handle.phases());
+        Ok((out_graph, out_params, phases))
+    }
+}
+
+/// The re-dispatch determinism hard-assert: a bucket completed by this
+/// attempt must be byte-identical to the same bucket completed by any
+/// earlier attempt on any replica. A violation means request-id-keyed
+/// determinism — the property the whole retry design rests on — is
+/// broken, so this panics rather than returning an error.
+fn witness(witnessed: &mut HashMap<u32, Bytes>, request_id: u64, frame: &SealedBucket) {
+    let bytes = frame.to_bytes();
+    match witnessed.get(&frame.bucket_index) {
+        Some(prev) => assert_eq!(
+            *prev, bytes,
+            "determinism violation: request {request_id:#x} bucket {} produced \
+             different bytes on re-dispatch",
+            frame.bucket_index
+        ),
+        None => {
+            witnessed.insert(frame.bucket_index, bytes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use crate::config::{PartitionSpec, ProteusConfig};
+    use proteus_graphgen::GraphRnnConfig;
+    use proteus_models::{build, ModelKind};
+    use proteus_opt::Profile;
+
+    fn quick_proteus() -> Proteus {
+        Proteus::train(
+            ProteusConfig {
+                k: 2,
+                partitions: PartitionSpec::Count(2),
+                graphrnn: GraphRnnConfig {
+                    epochs: 2,
+                    max_nodes: 20,
+                    ..Default::default()
+                },
+                topology_pool: 30,
+                ..Default::default()
+            },
+            &[build(ModelKind::ResNet)],
+        )
+    }
+
+    fn quick_fleet(replicas: usize) -> Fleet {
+        Fleet::new(
+            Optimizer::new(Profile::OrtLike),
+            FleetConfig {
+                replicas,
+                serve: ServeConfig {
+                    workers: 1,
+                    window: 4,
+                    cache_capacity: 0,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .expect("fleet starts")
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_fleets() {
+        let err = FleetConfig {
+            replicas: 0,
+            ..Default::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(matches!(err, ProteusError::Config { .. }), "{err:?}");
+        let err = FleetConfig {
+            virtual_nodes: 0,
+            ..Default::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(matches!(err, ProteusError::Config { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_covers_all_replicas() {
+        let fleet = quick_fleet(3);
+        for rid in 0..50u64 {
+            let a = fleet.route_order(rid);
+            let b = fleet.route_order(rid);
+            assert_eq!(a, b, "route order must be a pure function of rid");
+            assert_eq!(a.len(), 3, "order visits every replica");
+            let mut sorted = a.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2]);
+        }
+        // the ring spreads keys: over many ids, every replica is primary
+        // for some of them
+        let mut primaries = HashSet::new();
+        for rid in 0..200u64 {
+            primaries.insert(fleet.route(rid).expect("fleet up"));
+        }
+        assert_eq!(primaries.len(), 3, "every replica owns some keyspace");
+    }
+
+    #[test]
+    fn router_skips_non_up_replicas_without_remapping_everything() {
+        let fleet = quick_fleet(3);
+        // find a rid primary-routed to replica 0 and one routed elsewhere
+        let rid_on_0 = (0..500u64)
+            .find(|&rid| fleet.route(rid) == Some(0))
+            .expect("some rid routes to 0");
+        let rid_elsewhere = (0..500u64)
+            .find(|&rid| fleet.route(rid).is_some_and(|r| r != 0))
+            .expect("some rid routes elsewhere");
+        let elsewhere_before = fleet.route(rid_elsewhere);
+        fleet.drain(0).expect("drain idle replica");
+        assert_eq!(fleet.replica_state(0).unwrap(), ReplicaState::Down);
+        let rerouted = fleet.route(rid_on_0).expect("fleet still up");
+        assert_ne!(rerouted, 0, "downed replica must be skipped");
+        assert_eq!(
+            fleet.route(rid_elsewhere),
+            elsewhere_before,
+            "keys not owned by the downed replica keep their primary"
+        );
+        fleet.respawn(0).expect("respawn");
+        assert_eq!(fleet.replica_state(0).unwrap(), ReplicaState::Up);
+        assert_eq!(fleet.route(rid_on_0), Some(0), "ownership returns");
+    }
+
+    #[test]
+    fn fleet_serves_bit_identically_to_a_single_runtime() {
+        let proteus = quick_proteus();
+        let g = build(ModelKind::AlexNet);
+        let fleet = quick_fleet(2);
+        let standalone = ServeRuntime::new(
+            Optimizer::new(Profile::OrtLike),
+            ServeConfig {
+                workers: 1,
+                window: 4,
+                cache_capacity: 0,
+                ..Default::default()
+            },
+        )
+        .expect("runtime");
+        for rid in [3u64, 17, 90] {
+            let got = fleet
+                .serve_request_traced(&proteus, &g, &TensorMap::new(), rid)
+                .expect("fleet serves");
+            assert_eq!(got.attempts, 1);
+            let (want_g, want_p) = standalone
+                .serve_request(&proteus, &g, &TensorMap::new(), rid)
+                .expect("standalone serves");
+            assert_eq!(got.graph, want_g, "request {rid}: fleet diverged");
+            assert_eq!(got.params, want_p);
+        }
+        let stats = fleet.stats();
+        assert_eq!(stats.served, 3);
+        assert_eq!(stats.redispatches, 0);
+    }
+}

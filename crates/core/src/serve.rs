@@ -40,6 +40,22 @@
 //! [`RequestHandle::phases`] breakdown measures the win instead of
 //! asserting it.
 //!
+//! # Crash containment
+//!
+//! The runtime is crash-contained. Every pool task runs under
+//! `catch_unwind`: a panicking optimizer task fails *its own request's*
+//! lane with a typed [`ProteusError::WorkerCrashed`] — in-flight frames
+//! of that request are abandoned (a frame never surfaces with missing
+//! members) while every other lane keeps flowing. A supervisor thread
+//! respawns worker threads that exit for any reason other than shutdown,
+//! so pool capacity survives even aborting faults. Lock poisoning is
+//! recovered structurally where the data cannot be inconsistent (queues,
+//! park/registry locks) and converted to typed lane failures where it can
+//! (a request's reassembly state). All of it is drivable by the
+//! deterministic [`crate::config::FaultPlan`] in [`ServeConfig::faults`]
+//! — the chaos battery (`tests/fleet_chaos.rs`) replays exact failure
+//! schedules from a seed.
+//!
 //! # Example
 //!
 //! ```
@@ -74,8 +90,14 @@
 //! # Ok::<(), proteus::ProteusError>(())
 //! ```
 
+// The serving hot path must never panic on behalf of a request: every
+// `unwrap`/`expect` here is either converted to a typed error or justified
+// as a true invariant at the use site. CI runs clippy with `-D warnings`,
+// so a new unjustified panic path fails the build.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::bucket::{Bucket, BucketMember, SealedBucket};
-use crate::config::ServeConfig;
+use crate::config::{FaultPlan, ServeConfig};
 use crate::error::ProteusError;
 use crate::phase::PhaseBreakdown;
 use crate::pipeline::Proteus;
@@ -85,10 +107,38 @@ use proteus_graph::wire::{encode_graph, encode_params, fnv1a64};
 use proteus_graph::{Graph, TensorMap};
 use proteus_opt::{Optimizer, Profile};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering from poison by taking the guard anyway.
+///
+/// Only used for locks whose protected data stays structurally valid
+/// across a panic: the steal deques (single push/pop operations), the
+/// park and supervisor rendezvous locks (`()` payloads), the handle
+/// registry (a vector of weak pointers), and the worker slot table. A
+/// panic on another thread cannot leave any of these half-mutated in a
+/// way later readers would misinterpret, so propagating the poison would
+/// turn one contained crash into a pool-wide outage for no safety gain.
+/// Request-lane locks are NOT handled here — their reassembly state *can*
+/// be mid-mutation, so [`RequestState::lane`] heals them and surfaces a
+/// typed error instead.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Extracts a human-readable message from a `catch_unwind` payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
 
 /// A work-stealing task scheduler over plain std primitives: one deque
 /// per worker, round-robin placement, and steal-from-the-back when a
@@ -134,13 +184,12 @@ impl<T> StealQueues<T> {
         self.queues.len()
     }
 
-    /// Places one task, round-robin across worker deques.
+    /// Places one task, round-robin across worker deques. Poisoned deque
+    /// locks are recovered: a deque is always a valid deque even when the
+    /// poisoning panic happened elsewhere in the critical section.
     pub fn push(&self, item: T) {
         let w = self.next.fetch_add(1, Ordering::Relaxed) % self.queues.len();
-        self.queues[w]
-            .lock()
-            .expect("queue poisoned")
-            .push_back(item);
+        relock(&self.queues[w]).push_back(item);
     }
 
     /// Pops the next task for `worker`: the front of its own deque, or —
@@ -148,16 +197,12 @@ impl<T> StealQueues<T> {
     pub fn pop(&self, worker: usize) -> Option<T> {
         let n = self.queues.len();
         let own = worker % n;
-        if let Some(item) = self.queues[own].lock().expect("queue poisoned").pop_front() {
+        if let Some(item) = relock(&self.queues[own]).pop_front() {
             return Some(item);
         }
         for off in 1..n {
             let victim = (own + off) % n;
-            if let Some(item) = self.queues[victim]
-                .lock()
-                .expect("queue poisoned")
-                .pop_back()
-            {
+            if let Some(item) = relock(&self.queues[victim]).pop_back() {
                 return Some(item);
             }
         }
@@ -199,23 +244,61 @@ struct CacheInner {
 /// bytes, so a collision degrades to a miss, never to a wrong answer.
 /// Eviction is FIFO at [`ServeConfig::cache_capacity`] entries; capacity
 /// `0` disables the cache entirely (every member goes to the pool).
+///
+/// The cache self-heals from lock poisoning: it is pure memoization, so
+/// when a panic poisons the lock mid-mutation the recovery path drops
+/// every resident entry, clears the poison, and keeps serving — losing
+/// cached latency, never correctness. [`OptimizedCache::poison_heals`]
+/// counts how often that happened.
 #[derive(Debug)]
 pub struct OptimizedCache {
     capacity: usize,
     inner: Mutex<CacheInner>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    /// Times a poisoned lock was healed by dropping all entries.
+    heals: AtomicUsize,
+    /// 1-based insert ordinal, driving the cache-poisoning fault.
+    inserts: AtomicU64,
+    faults: FaultPlan,
 }
 
 impl OptimizedCache {
     /// Creates a cache holding at most `capacity` optimized members;
     /// `0` disables caching (lookups miss, inserts drop).
     pub fn new(capacity: usize) -> OptimizedCache {
+        OptimizedCache::with_faults(capacity, FaultPlan::default())
+    }
+
+    /// [`OptimizedCache::new`] with a fault plan armed — used by chaos
+    /// tests to poison the cache lock on a chosen insert.
+    pub fn with_faults(capacity: usize, faults: FaultPlan) -> OptimizedCache {
         OptimizedCache {
             capacity,
             inner: Mutex::new(CacheInner::default()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            heals: AtomicUsize::new(0),
+            inserts: AtomicU64::new(0),
+            faults,
+        }
+    }
+
+    /// Locks the cache, healing a poisoned lock by dropping every entry.
+    /// A panic mid-`insert` can leave `buckets` and `order` disagreeing,
+    /// so the only state the recovered guard may expose is the empty one;
+    /// correctness is unaffected because every entry is recomputable.
+    fn guard(&self) -> MutexGuard<'_, CacheInner> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                guard.buckets.clear();
+                guard.order.clear();
+                self.inner.clear_poison();
+                self.heals.fetch_add(1, Ordering::Relaxed);
+                guard
+            }
         }
     }
 
@@ -231,7 +314,14 @@ impl OptimizedCache {
 
     /// Entries currently resident.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache poisoned").order.len()
+        self.guard().order.len()
+    }
+
+    /// Times a poisoned cache lock was healed (entries dropped, poison
+    /// cleared). Nonzero only after a worker panicked while holding the
+    /// cache lock — injected or real.
+    pub fn poison_heals(&self) -> usize {
+        self.heals.load(Ordering::Relaxed)
     }
 
     /// Whether the cache holds no entries.
@@ -274,7 +364,7 @@ impl OptimizedCache {
         }
         let fp = fnv1a64(key);
         let found = {
-            let inner = self.inner.lock().expect("cache poisoned");
+            let inner = self.guard();
             inner
                 .buckets
                 .get(&fp)
@@ -300,8 +390,18 @@ impl OptimizedCache {
         if !self.is_enabled() {
             return false;
         }
+        let ordinal = self.inserts.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.faults.poison_cache_fires(ordinal) {
+            // deliberately panic while holding the cache lock, contained:
+            // the lock is now poisoned exactly as a crashing worker would
+            // leave it, and the insert below must go through the heal path
+            let _ = catch_unwind(AssertUnwindSafe(|| {
+                let _held = self.inner.lock();
+                panic!("fault injection: cache lock poisoned at insert {ordinal}");
+            }));
+        }
         let fp = fnv1a64(&key);
-        let mut inner = self.inner.lock().expect("cache poisoned");
+        let mut inner = self.guard();
         if inner
             .buckets
             .get(&fp)
@@ -353,7 +453,9 @@ pub struct SentinelPool {
 }
 
 impl SentinelPool {
-    /// Spawns the warmer over a shared trained instance.
+    /// Spawns the warmer over a shared trained instance. If the OS
+    /// refuses the thread, the pool is inert — sessions fall back to
+    /// building sentinels lazily, which is always correct.
     pub fn spawn(proteus: Arc<Proteus>) -> SentinelPool {
         let stop = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&stop);
@@ -373,11 +475,8 @@ impl SentinelPool {
                 }
                 built
             })
-            .expect("spawn sentinel warmer");
-        SentinelPool {
-            stop,
-            handle: Some(handle),
-        }
+            .ok();
+        SentinelPool { stop, handle }
     }
 
     /// Asks the warmer to stop after the key it is currently building.
@@ -386,11 +485,13 @@ impl SentinelPool {
     }
 
     /// Waits for the sweep to finish (or honor [`SentinelPool::stop`])
-    /// and returns how many keys resolved to a sentinel.
+    /// and returns how many keys resolved to a sentinel. A warmer that
+    /// panicked (or never spawned) reports zero — the inventory is warmed
+    /// lazily by sessions either way.
     pub fn join(mut self) -> usize {
         self.handle
             .take()
-            .map(|h| h.join().expect("sentinel warmer panicked"))
+            .map(|h| h.join().unwrap_or(0))
             .unwrap_or(0)
     }
 }
@@ -437,6 +538,11 @@ struct RequestInner {
     done: VecDeque<SealedBucket>,
     /// Set when the runtime shuts down — receivers stop blocking.
     closed: bool,
+    /// Set (once, first failure wins) when the lane fails: a worker
+    /// crashed on one of this request's tasks, the replica was killed, or
+    /// the lane's own lock was poisoned. Submit/recv surface it as a
+    /// typed error after any already-completed frames drain.
+    failed: Option<ProteusError>,
 }
 
 struct RequestState {
@@ -444,10 +550,64 @@ struct RequestState {
     window: usize,
     inner: Mutex<RequestInner>,
     cv: Condvar,
+    /// Set when every [`RequestHandle`] clone for this lane is dropped:
+    /// pending pool tasks detach (skip the optimizer, drop their result)
+    /// instead of filling reassembly state nobody will read.
+    cancelled: AtomicBool,
     /// Worker-pool optimizer nanoseconds spent on this request's members.
     optimize_ns: AtomicU64,
     /// Frame encode/decode nanoseconds on the byte-stream entry points.
     wire_ns: AtomicU64,
+}
+
+impl RequestState {
+    /// Locks the lane, healing a poisoned lock into a typed failure.
+    ///
+    /// A poisoned lane lock means bookkeeping died mid-update, so the
+    /// reassembly state (`partial`, `inflight`) may be inconsistent —
+    /// the heal abandons it and marks the lane failed (first failure
+    /// wins), which is exactly the contract a crashed worker gets. Frames
+    /// already in `done` are complete and stay deliverable.
+    fn lane(&self) -> MutexGuard<'_, RequestInner> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                if guard.failed.is_none() {
+                    guard.failed = Some(ProteusError::WorkerCrashed {
+                        request_id: self.request_id,
+                        detail: "lane bookkeeping interrupted by a panic (lock poisoned); \
+                                 in-flight frames abandoned"
+                            .into(),
+                    });
+                }
+                guard.partial.clear();
+                guard.inflight = 0;
+                self.inner.clear_poison();
+                self.cv.notify_all();
+                guard
+            }
+        }
+    }
+}
+
+/// Drop hook shared by every clone of a [`RequestHandle`]: when the last
+/// clone goes away, mark the lane cancelled so queued tasks detach and
+/// abandoned reassembly state is freed — a dropped handle must never
+/// strand worker results or block runtime shutdown.
+struct CancelGuard {
+    state: Arc<RequestState>,
+}
+
+impl Drop for CancelGuard {
+    fn drop(&mut self) {
+        self.state.cancelled.store(true, Ordering::SeqCst);
+        let mut lane = self.state.lane();
+        lane.partial.clear();
+        lane.inflight = 0;
+        drop(lane);
+        self.state.cv.notify_all();
+    }
 }
 
 /// Counters of a running [`ServeRuntime`].
@@ -466,6 +626,19 @@ pub struct ServeStats {
     pub cache_misses: usize,
     /// Entries currently resident in the [`OptimizedCache`].
     pub cache_entries: usize,
+    /// Tasks whose execution panicked; each failed its request's lane
+    /// with [`ProteusError::WorkerCrashed`] and was contained there.
+    pub tasks_crashed: usize,
+    /// Tasks dropped without running because their request's handle was
+    /// dropped (or lane already failed) — cancelled work, not lost work.
+    pub tasks_detached: usize,
+    /// Worker threads the supervisor respawned after an abnormal exit.
+    pub workers_respawned: usize,
+    /// Times a poisoned [`OptimizedCache`] lock self-healed.
+    pub cache_poison_heals: usize,
+    /// Whether the runtime was killed (the replica-loss fault) rather
+    /// than gracefully shut down.
+    pub killed: bool,
 }
 
 struct PoolShared {
@@ -477,10 +650,31 @@ struct PoolShared {
     park: Mutex<()>,
     cv: Condvar,
     shutdown: AtomicBool,
+    /// Set by the kill fault: abrupt replica loss. Workers exit without
+    /// draining and every lane fails with
+    /// [`ProteusError::ReplicaUnavailable`]. Implies `shutdown`.
+    killed: AtomicBool,
     tasks_executed: AtomicUsize,
     max_queue_depth: AtomicUsize,
+    tasks_crashed: AtomicUsize,
+    tasks_detached: AtomicUsize,
+    workers_respawned: AtomicUsize,
+    /// 1-based ordinal of pool task execution, driving fault draws.
+    task_ordinal: AtomicU64,
+    faults: FaultPlan,
+    /// This runtime's replica identity in fleet error reports.
+    label: usize,
     /// Every handle ever created, so shutdown can wake blocked clients.
     requests: Mutex<Vec<Weak<RequestState>>>,
+    /// Worker thread handles by slot, shared with the supervisor so it
+    /// can join and replace a dead worker in place.
+    slots: Mutex<Vec<Option<JoinHandle<()>>>>,
+    /// Indices of workers that have exited, pushed by the worker's own
+    /// exit trailer; the supervisor's work queue.
+    exited: Mutex<Vec<usize>>,
+    /// Supervisor rendezvous: notified on worker exit and on shutdown.
+    sup_park: Mutex<()>,
+    sup_cv: Condvar,
 }
 
 impl PoolShared {
@@ -488,12 +682,78 @@ impl PoolShared {
         self.queues.push(task);
         let depth = self.pending.fetch_add(1, Ordering::SeqCst) + 1;
         self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
-        let _guard = self.park.lock().expect("park poisoned");
+        let _guard = relock(&self.park);
         self.cv.notify_all();
     }
 
-    fn run_task(&self, task: Task) {
+    /// Fails a request's lane with `err` (first failure wins) and
+    /// abandons its in-flight reassembly — a frame must never surface
+    /// with missing members.
+    fn fail_request(&self, req: &RequestState, err: ProteusError) {
+        let mut lane = req.lane();
+        if lane.failed.is_none() {
+            lane.failed = Some(err);
+        }
+        lane.partial.clear();
+        lane.inflight = 0;
+        drop(lane);
+        req.cv.notify_all();
+    }
+
+    /// Runs one pool task with crash containment. Returns `false` when
+    /// the worker running it should retire (runtime killed, or an
+    /// aborting fault fired) — the supervisor respawns retired workers.
+    fn run_task(&self, task: Task) -> bool {
+        let ordinal = self.task_ordinal.fetch_add(1, Ordering::SeqCst) + 1;
+        let faults = self.faults;
+        if faults.is_active() && faults.kill_fires(ordinal) {
+            self.kill(format!("fault injection: replica killed at task {ordinal}"));
+            return false;
+        }
+        if self.killed.load(Ordering::SeqCst) {
+            return false;
+        }
+        if task.req.cancelled.load(Ordering::SeqCst) || {
+            // skip-before-running: the lane already failed, so this
+            // task's output would be dropped anyway
+            task.req.lane().failed.is_some()
+        } {
+            self.tasks_detached.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        let req = Arc::clone(&task.req);
+        // the whole task — fault draws, optimizer, completion bookkeeping
+        // — runs under catch_unwind, so any panic (injected or a real
+        // bug) fails only this request's lane, not the pool. The closure
+        // only touches task-local data and lane locks that heal poison,
+        // so continuing after the unwind is sound (AssertUnwindSafe).
+        let crashed = catch_unwind(AssertUnwindSafe(|| self.execute_task(task, ordinal))).err();
+        if let Some(payload) = crashed {
+            self.tasks_crashed.fetch_add(1, Ordering::Relaxed);
+            self.fail_request(
+                &req,
+                ProteusError::WorkerCrashed {
+                    request_id: req.request_id,
+                    detail: panic_message(payload),
+                },
+            );
+            return !faults.abort_worker;
+        }
+        true
+    }
+
+    /// The fallible body of one task: optimize the member (with stall and
+    /// panic faults applied) and land it in the request's reassembly
+    /// state. Runs inside `run_task`'s catch_unwind.
+    fn execute_task(&self, task: Task, ordinal: u64) {
+        let faults = self.faults;
+        if faults.is_active() && faults.stall_fires(ordinal) {
+            std::thread::sleep(Duration::from_millis(u64::from(faults.stall_ms)));
+        }
         let started = Instant::now();
+        if faults.is_active() && faults.panic_fires(ordinal) {
+            panic!("fault injection: optimizer task {ordinal} panicked mid-request");
+        }
         let (graph, params, _) = self.optimizer.optimize(&task.graph, &task.params);
         task.req
             .optimize_ns
@@ -502,49 +762,178 @@ impl PoolShared {
             self.cache.insert(key, graph.clone(), params.clone());
         }
         self.tasks_executed.fetch_add(1, Ordering::Relaxed);
-        let mut inner = task.req.inner.lock().expect("request poisoned");
-        let partial = inner
-            .partial
-            .get_mut(&task.bucket_index)
-            .expect("partial bucket exists until its last member lands");
+        let mut lane = task.req.lane();
+        if lane.failed.is_some() || task.req.cancelled.load(Ordering::SeqCst) {
+            // the lane failed or was cancelled while we optimized: the
+            // reassembly state is gone, drop the result on the floor
+            return;
+        }
+        let Some(partial) = lane.partial.get_mut(&task.bucket_index) else {
+            // same race, observed through the cleared map instead of the
+            // flags — a detached task, not an invariant violation
+            self.tasks_detached.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
         partial.slots[task.member] = Some(BucketMember { graph, params });
         partial.remaining -= 1;
         if partial.remaining == 0 {
-            let finished = inner
-                .partial
-                .remove(&task.bucket_index)
-                .expect("just updated");
-            let members: Vec<BucketMember> = finished
-                .slots
-                .into_iter()
-                .map(|slot| slot.expect("every member optimized"))
-                .collect();
-            inner.done.push_back(SealedBucket {
+            let Some(finished) = lane.partial.remove(&task.bucket_index) else {
+                // just held under the same lock guard
+                unreachable!("partial bucket vanished between get_mut and remove");
+            };
+            let mut members: Vec<BucketMember> = Vec::with_capacity(finished.slots.len());
+            for (i, slot) in finished.slots.into_iter().enumerate() {
+                match slot {
+                    Some(m) => members.push(m),
+                    // remaining hit zero, so every slot was filled by a
+                    // cache prefill or a landed task; an empty slot here
+                    // is accounting corruption and the frame must not be
+                    // emitted half-built — fail the lane instead
+                    None => {
+                        drop(lane);
+                        self.fail_request(
+                            &task.req,
+                            ProteusError::WorkerCrashed {
+                                request_id: task.req.request_id,
+                                detail: format!(
+                                    "bucket {} member {i} missing at completion; \
+                                     frame withheld",
+                                    task.bucket_index
+                                ),
+                            },
+                        );
+                        return;
+                    }
+                }
+            }
+            lane.done.push_back(SealedBucket {
                 bucket_index: task.bucket_index,
                 num_buckets: finished.num_buckets,
                 bucket: Bucket { members },
             });
-            inner.inflight -= 1;
+            lane.inflight = lane.inflight.saturating_sub(1);
             task.req.cv.notify_all();
+        }
+    }
+
+    /// Abrupt replica loss: stop the pool without draining and fail every
+    /// open lane with [`ProteusError::ReplicaUnavailable`]. Idempotent.
+    fn kill(&self, detail: String) {
+        if self.killed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shutdown.store(true, Ordering::SeqCst);
+        let mut requests = relock(&self.requests);
+        for weak in requests.drain(..) {
+            if let Some(req) = weak.upgrade() {
+                let mut lane = req.lane();
+                if lane.failed.is_none() {
+                    lane.failed = Some(ProteusError::ReplicaUnavailable {
+                        replica: self.label,
+                        detail: detail.clone(),
+                    });
+                }
+                lane.closed = true;
+                lane.partial.clear();
+                lane.inflight = 0;
+                drop(lane);
+                req.cv.notify_all();
+            }
+        }
+        drop(requests);
+        {
+            let _guard = relock(&self.park);
+            self.cv.notify_all();
+        }
+        {
+            let _guard = relock(&self.sup_park);
+            self.sup_cv.notify_all();
         }
     }
 
     fn worker_loop(&self, worker: usize) {
         loop {
+            if self.killed.load(Ordering::SeqCst) {
+                return;
+            }
             if let Some(task) = self.queues.pop(worker) {
                 self.pending.fetch_sub(1, Ordering::SeqCst);
-                self.run_task(task);
+                if !self.run_task(task) {
+                    return;
+                }
                 continue;
             }
-            let mut guard = self.park.lock().expect("park poisoned");
+            let mut guard = relock(&self.park);
             while self.pending.load(Ordering::SeqCst) == 0 && !self.shutdown.load(Ordering::SeqCst)
             {
-                guard = self.cv.wait(guard).expect("park poisoned");
+                guard = self.cv.wait(guard).unwrap_or_else(PoisonError::into_inner);
             }
             if self.pending.load(Ordering::SeqCst) == 0 && self.shutdown.load(Ordering::SeqCst) {
                 return;
             }
         }
+    }
+}
+
+/// Spawns one pool worker into slot `w`. The worker's exit trailer
+/// reports its index to the supervisor queue no matter *why* it exited —
+/// graceful shutdown, an aborting fault, or a panic escaping the
+/// per-task containment — so a worker death can never go unnoticed.
+fn spawn_worker(shared: &Arc<PoolShared>, w: usize) -> Result<JoinHandle<()>, ProteusError> {
+    let pool = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("proteus-serve-{w}"))
+        .spawn(move || {
+            let _ = catch_unwind(AssertUnwindSafe(|| pool.worker_loop(w)));
+            relock(&pool.exited).push(w);
+            let _guard = relock(&pool.sup_park);
+            pool.sup_cv.notify_all();
+        })
+        .map_err(|e| ProteusError::ReplicaUnavailable {
+            replica: shared.label,
+            detail: format!("failed to spawn serve worker {w}: {e}"),
+        })
+}
+
+/// The supervisor: joins workers that exited and respawns them in place,
+/// keeping pool capacity constant across worker deaths. Exits (without
+/// respawning) once shutdown is flagged.
+fn supervisor_loop(shared: &Arc<PoolShared>) {
+    loop {
+        let next_exit = {
+            let mut guard = relock(&shared.sup_park);
+            loop {
+                if let Some(w) = relock(&shared.exited).pop() {
+                    break Some(w);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                guard = shared
+                    .sup_cv
+                    .wait(guard)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some(w) = next_exit else { return };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // workers exiting because the pool is going down; leave the
+            // handles for Drop to join
+            return;
+        }
+        // join the dead thread (it pushed its index in its final
+        // statements, so this blocks at most momentarily), then refill
+        // the slot
+        let old = relock(&shared.slots)[w].take();
+        if let Some(handle) = old {
+            let _ = handle.join();
+        }
+        if let Ok(handle) = spawn_worker(shared, w) {
+            relock(&shared.slots)[w] = Some(handle);
+            shared.workers_respawned.fetch_add(1, Ordering::SeqCst);
+        }
+        // a failed respawn degrades capacity but keeps the pool alive;
+        // the remaining workers still drain every queue
     }
 }
 
@@ -565,7 +954,7 @@ impl PoolShared {
 pub struct ServeRuntime {
     shared: Arc<PoolShared>,
     config: ServeConfig,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for PoolShared {
@@ -578,39 +967,72 @@ impl std::fmt::Debug for PoolShared {
 }
 
 impl ServeRuntime {
-    /// Starts the worker pool.
+    /// Starts the worker pool and its supervisor.
     ///
     /// # Errors
     /// [`ProteusError::Config`] when `config` is degenerate
-    /// ([`ServeConfig::validate`]).
+    /// ([`ServeConfig::validate`]); [`ProteusError::ReplicaUnavailable`]
+    /// when the OS refuses to spawn the pool's threads.
     pub fn new(optimizer: Optimizer, config: ServeConfig) -> Result<ServeRuntime, ProteusError> {
         config.validate()?;
         let workers = config.num_workers();
         let shared = Arc::new(PoolShared {
             optimizer,
-            cache: OptimizedCache::new(config.cache_capacity),
+            cache: OptimizedCache::with_faults(config.cache_capacity, config.faults),
             queues: StealQueues::new(workers),
             pending: AtomicUsize::new(0),
             park: Mutex::new(()),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            killed: AtomicBool::new(false),
             tasks_executed: AtomicUsize::new(0),
             max_queue_depth: AtomicUsize::new(0),
+            tasks_crashed: AtomicUsize::new(0),
+            tasks_detached: AtomicUsize::new(0),
+            workers_respawned: AtomicUsize::new(0),
+            task_ordinal: AtomicU64::new(0),
+            faults: config.faults,
+            label: config.replica_label,
             requests: Mutex::new(Vec::new()),
+            slots: Mutex::new((0..workers).map(|_| None).collect()),
+            exited: Mutex::new(Vec::new()),
+            sup_park: Mutex::new(()),
+            sup_cv: Condvar::new(),
         });
-        let handles = (0..workers)
-            .map(|w| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("proteus-serve-{w}"))
-                    .spawn(move || shared.worker_loop(w))
-                    .expect("spawn serve worker")
-            })
-            .collect();
+        for w in 0..workers {
+            match spawn_worker(&shared, w) {
+                Ok(handle) => relock(&shared.slots)[w] = Some(handle),
+                Err(e) => {
+                    // unwind the partial pool before reporting
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                    {
+                        let _guard = relock(&shared.park);
+                        shared.cv.notify_all();
+                    }
+                    let spawned: Vec<JoinHandle<()>> = relock(&shared.slots)
+                        .iter_mut()
+                        .filter_map(Option::take)
+                        .collect();
+                    for handle in spawned {
+                        let _ = handle.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("proteus-serve-supervisor".into())
+                .spawn(move || supervisor_loop(&shared))
+                .ok()
+            // a pool without a supervisor still serves; it just cannot
+            // respawn workers that abort
+        };
         Ok(ServeRuntime {
             shared,
             config,
-            workers: handles,
+            supervisor,
         })
     }
 
@@ -622,13 +1044,30 @@ impl ServeRuntime {
     /// Current pool counters.
     pub fn stats(&self) -> ServeStats {
         ServeStats {
-            workers: self.workers.len(),
+            workers: self.shared.queues.workers(),
             tasks_executed: self.shared.tasks_executed.load(Ordering::Relaxed),
             max_queue_depth: self.shared.max_queue_depth.load(Ordering::Relaxed),
             cache_hits: self.shared.cache.hits(),
             cache_misses: self.shared.cache.misses(),
             cache_entries: self.shared.cache.len(),
+            tasks_crashed: self.shared.tasks_crashed.load(Ordering::Relaxed),
+            tasks_detached: self.shared.tasks_detached.load(Ordering::Relaxed),
+            workers_respawned: self.shared.workers_respawned.load(Ordering::SeqCst),
+            cache_poison_heals: self.shared.cache.poison_heals(),
+            killed: self.shared.killed.load(Ordering::SeqCst),
         }
+    }
+
+    /// Whether the runtime can still accept work (not shut down or
+    /// killed). A fleet uses this as the replica health probe.
+    pub fn is_healthy(&self) -> bool {
+        !self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Tasks queued and not yet claimed by a worker — the router's
+    /// queue-depth signal.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.pending.load(Ordering::SeqCst)
     }
 
     /// The shared optimized-member cache (disabled at
@@ -640,6 +1079,9 @@ impl ServeRuntime {
     /// Opens a handle for one request's frame stream. Handles are cheap;
     /// every concurrent request gets its own, all sharing this pool.
     pub fn handle(&self, request_id: u64) -> RequestHandle {
+        // a handle opened on a dead runtime is born closed/failed so its
+        // first submit or recv reports the typed condition immediately
+        let killed = self.shared.killed.load(Ordering::SeqCst);
         let state = Arc::new(RequestState {
             request_id,
             window: self.config.window,
@@ -648,13 +1090,18 @@ impl ServeRuntime {
                 seen: HashSet::new(),
                 partial: HashMap::new(),
                 done: VecDeque::new(),
-                closed: false,
+                closed: self.shared.shutdown.load(Ordering::SeqCst),
+                failed: killed.then(|| ProteusError::ReplicaUnavailable {
+                    replica: self.shared.label,
+                    detail: "handle opened on a killed runtime".into(),
+                }),
             }),
             cv: Condvar::new(),
+            cancelled: AtomicBool::new(false),
             optimize_ns: AtomicU64::new(0),
             wire_ns: AtomicU64::new(0),
         });
-        let mut requests = self.shared.requests.lock().expect("registry poisoned");
+        let mut requests = relock(&self.shared.requests);
         // prune dead entries on every registration so a long-lived
         // runtime's registry stays proportional to *live* requests, not
         // to every request ever served
@@ -663,6 +1110,9 @@ impl ServeRuntime {
         drop(requests);
         RequestHandle {
             pool: Arc::clone(&self.shared),
+            _cancel: Arc::new(CancelGuard {
+                state: Arc::clone(&state),
+            }),
             state,
         }
     }
@@ -711,18 +1161,33 @@ impl Drop for ServeRuntime {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         {
-            let _guard = self.shared.park.lock().expect("park poisoned");
+            let _guard = relock(&self.shared.park);
             self.shared.cv.notify_all();
         }
-        for worker in self.workers.drain(..) {
+        {
+            let _guard = relock(&self.shared.sup_park);
+            self.shared.sup_cv.notify_all();
+        }
+        // supervisor first, so no new worker appears while we join slots
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
+        }
+        let workers: Vec<JoinHandle<()>> = relock(&self.shared.slots)
+            .iter_mut()
+            .filter_map(Option::take)
+            .collect();
+        for worker in workers {
             let _ = worker.join();
         }
-        // workers have drained every queued task; unblock any client still
+        // workers have drained every queued task (kill path excepted —
+        // its lanes were already failed); unblock any client still
         // waiting on a handle
-        let mut requests = self.shared.requests.lock().expect("registry poisoned");
+        let mut requests = relock(&self.shared.requests);
         for weak in requests.drain(..) {
             if let Some(req) = weak.upgrade() {
-                req.inner.lock().expect("request poisoned").closed = true;
+                let mut lane = req.lane();
+                lane.closed = true;
+                drop(lane);
                 req.cv.notify_all();
             }
         }
@@ -734,11 +1199,25 @@ impl Drop for ServeRuntime {
 /// frames in completion order.
 ///
 /// Cloning is cheap and clones refer to the same lane, so a producer
-/// thread can submit while a consumer thread receives.
+/// thread can submit while a consumer thread receives. When the **last**
+/// clone is dropped the lane is cancelled: tasks still queued for it
+/// detach (workers skip them), its reassembly state is freed, and
+/// runtime shutdown never waits on the abandoned request.
 #[derive(Debug, Clone)]
 pub struct RequestHandle {
     pool: Arc<PoolShared>,
     state: Arc<RequestState>,
+    /// Shared drop hook: fires when the last clone goes away. Held only
+    /// for its Drop side effect.
+    _cancel: Arc<CancelGuard>,
+}
+
+impl std::fmt::Debug for CancelGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelGuard")
+            .field("request_id", &self.state.request_id)
+            .finish()
+    }
 }
 
 impl std::fmt::Debug for RequestState {
@@ -758,7 +1237,7 @@ impl RequestHandle {
 
     /// Frames submitted and not yet fully optimized.
     pub fn in_flight(&self) -> usize {
-        self.state.inner.lock().expect("request poisoned").inflight
+        self.state.lane().inflight
     }
 
     /// Submits one sealed frame to the shared pool, splitting it into
@@ -769,25 +1248,49 @@ impl RequestHandle {
     /// # Errors
     /// [`ProteusError::DuplicateFrame`] when this bucket index was already
     /// submitted on this handle; [`ProteusError::Protocol`] when the
-    /// runtime has shut down.
+    /// runtime has shut down; [`ProteusError::WorkerCrashed`] /
+    /// [`ProteusError::ReplicaUnavailable`] when the lane already failed.
     pub fn submit(&self, frame: SealedBucket) -> Result<(), ProteusError> {
+        self.submit_inner(frame, None)
+    }
+
+    /// [`RequestHandle::submit`] with a wall-clock deadline on the
+    /// backpressure wait: when the window is still full at `deadline`
+    /// (e.g. every worker is stalled), returns [`ProteusError::Deadline`]
+    /// instead of blocking forever.
+    ///
+    /// # Errors
+    /// [`ProteusError::Deadline`] on timeout, plus everything
+    /// [`RequestHandle::submit`] rejects.
+    pub fn submit_deadline(
+        &self,
+        frame: SealedBucket,
+        deadline: Instant,
+    ) -> Result<(), ProteusError> {
+        self.submit_inner(frame, Some(deadline))
+    }
+
+    fn submit_inner(
+        &self,
+        frame: SealedBucket,
+        deadline: Option<Instant>,
+    ) -> Result<(), ProteusError> {
         let SealedBucket {
             bucket_index,
             num_buckets,
             bucket,
         } = frame;
-        if self
-            .state
-            .inner
-            .lock()
-            .expect("request poisoned")
-            .seen
-            .contains(&bucket_index)
         {
-            return Err(ProteusError::DuplicateFrame {
-                bucket_index,
-                request_id: self.state.request_id,
-            });
+            let lane = self.state.lane();
+            if let Some(err) = &lane.failed {
+                return Err(err.clone());
+            }
+            if lane.seen.contains(&bucket_index) {
+                return Err(ProteusError::DuplicateFrame {
+                    bucket_index,
+                    request_id: self.state.request_id,
+                });
+            }
         }
         // classify members against the shared optimized-member cache
         // *outside* the request lock: hits are prefilled into their
@@ -810,9 +1313,36 @@ impl RequestHandle {
             }
         }
         {
-            let mut inner = self.state.inner.lock().expect("request poisoned");
-            while inner.inflight >= self.state.window && !inner.closed {
-                inner = self.state.cv.wait(inner).expect("request poisoned");
+            let mut inner = self.state.lane();
+            let submit_started = Instant::now();
+            while inner.inflight >= self.state.window && !inner.closed && inner.failed.is_none() {
+                match deadline {
+                    None => {
+                        inner = self
+                            .state
+                            .cv
+                            .wait(inner)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    Some(deadline) => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            return Err(ProteusError::Deadline {
+                                request_id: self.state.request_id,
+                                elapsed_ms: submit_started.elapsed().as_millis() as u64,
+                            });
+                        }
+                        inner = self
+                            .state
+                            .cv
+                            .wait_timeout(inner, deadline - now)
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .0;
+                    }
+                }
+            }
+            if let Some(err) = &inner.failed {
+                return Err(err.clone());
             }
             if inner.closed {
                 return Err(ProteusError::protocol(format!(
@@ -831,16 +1361,24 @@ impl RequestHandle {
             if misses.is_empty() {
                 // every member cached (or the frame was empty): nothing to
                 // optimize, complete immediately so recv() and reassembly
-                // see the frame without a trip through the pool
+                // see the frame without a trip through the pool. Every
+                // slot was prefilled by construction (no misses), so an
+                // empty one is memory corruption, not a request error.
+                let mut members = Vec::with_capacity(slots.len());
+                for (i, slot) in slots.into_iter().enumerate() {
+                    match slot {
+                        Some(m) => members.push(m),
+                        None => {
+                            unreachable!(
+                                "bucket {bucket_index} member {i} neither cached nor missed"
+                            )
+                        }
+                    }
+                }
                 inner.done.push_back(SealedBucket {
                     bucket_index,
                     num_buckets,
-                    bucket: Bucket {
-                        members: slots
-                            .into_iter()
-                            .map(|slot| slot.expect("all members cached"))
-                            .collect(),
-                    },
+                    bucket: Bucket { members },
                 });
                 self.state.cv.notify_all();
                 return Ok(());
@@ -896,15 +1434,40 @@ impl RequestHandle {
     /// Returns the next fully optimized frame, blocking until one
     /// completes. Frames surface in completion order, not bucket order.
     ///
+    /// Already-completed frames drain before a failure surfaces: a lane
+    /// that crashed after finishing three of five buckets still delivers
+    /// those three (complete, byte-exact) frames, then the typed error.
+    ///
     /// # Errors
-    /// [`ProteusError::Protocol`] when nothing is in flight (the frame
-    /// being waited for was never submitted — blocking would deadlock) or
-    /// when the runtime shut down with this request's queue empty.
+    /// [`ProteusError::WorkerCrashed`] / [`ProteusError::ReplicaUnavailable`]
+    /// when the lane failed; [`ProteusError::Protocol`] when nothing is in
+    /// flight (the frame being waited for was never submitted — blocking
+    /// would deadlock) or when the runtime shut down with this request's
+    /// queue empty.
     pub fn recv(&self) -> Result<SealedBucket, ProteusError> {
-        let mut inner = self.state.inner.lock().expect("request poisoned");
+        self.recv_inner(None)
+    }
+
+    /// [`RequestHandle::recv`] with a wall-clock deadline: returns
+    /// [`ProteusError::Deadline`] when no frame has completed by
+    /// `deadline` — the per-request latency budget the fleet enforces.
+    ///
+    /// # Errors
+    /// [`ProteusError::Deadline`] on timeout, plus everything
+    /// [`RequestHandle::recv`] rejects.
+    pub fn recv_deadline(&self, deadline: Instant) -> Result<SealedBucket, ProteusError> {
+        self.recv_inner(Some(deadline))
+    }
+
+    fn recv_inner(&self, deadline: Option<Instant>) -> Result<SealedBucket, ProteusError> {
+        let started = Instant::now();
+        let mut inner = self.state.lane();
         loop {
             if let Some(frame) = inner.done.pop_front() {
                 return Ok(frame);
+            }
+            if let Some(err) = &inner.failed {
+                return Err(err.clone());
             }
             if inner.closed {
                 return Err(ProteusError::protocol(format!(
@@ -918,18 +1481,42 @@ impl RequestHandle {
                     self.state.request_id
                 )));
             }
-            inner = self.state.cv.wait(inner).expect("request poisoned");
+            match deadline {
+                None => {
+                    inner = self
+                        .state
+                        .cv
+                        .wait(inner)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(ProteusError::Deadline {
+                            request_id: self.state.request_id,
+                            elapsed_ms: started.elapsed().as_millis() as u64,
+                        });
+                    }
+                    inner = self
+                        .state
+                        .cv
+                        .wait_timeout(inner, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0;
+                }
+            }
         }
     }
 
     /// Returns the next fully optimized frame if one is ready.
     pub fn try_recv(&self) -> Option<SealedBucket> {
-        self.state
-            .inner
-            .lock()
-            .expect("request poisoned")
-            .done
-            .pop_front()
+        self.state.lane().done.pop_front()
+    }
+
+    /// The lane's failure, if it failed — without consuming completed
+    /// frames the way [`RequestHandle::recv`] would.
+    pub fn failure(&self) -> Option<ProteusError> {
+        self.state.lane().failed.clone()
     }
 
     /// [`RequestHandle::recv`], encoded as one v2 multiplexed wire frame
@@ -965,6 +1552,10 @@ impl RequestHandle {
 
 #[cfg(test)]
 mod tests {
+    // tests assert on Results aggressively; the unwrap/expect discipline
+    // applies to the production request path, not to test scaffolding
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::config::{PartitionSpec, ProteusConfig};
     use proteus_graphgen::GraphRnnConfig;
@@ -1007,6 +1598,21 @@ mod tests {
                 workers,
                 window,
                 cache_capacity: 0,
+                ..Default::default()
+            },
+        )
+        .expect("runtime starts")
+    }
+
+    fn runtime_faulted(workers: usize, window: usize, faults: FaultPlan) -> ServeRuntime {
+        ServeRuntime::new(
+            Optimizer::new(Profile::OrtLike),
+            ServeConfig {
+                workers,
+                window,
+                cache_capacity: 0,
+                faults,
+                replica_label: 7,
             },
         )
         .expect("runtime starts")
@@ -1277,6 +1883,222 @@ mod tests {
         let warmer = SentinelPool::spawn(Arc::clone(&proteus));
         warmer.stop();
         let _ = warmer.join();
+    }
+
+    #[test]
+    fn worker_panic_fails_only_its_own_lane() {
+        let proteus = quick_proteus();
+        let g = build(ModelKind::AlexNet);
+        // the very first pool task panics (contained); later tasks run
+        let rt = runtime_faulted(
+            1,
+            8,
+            FaultPlan {
+                panic_at: 1,
+                ..FaultPlan::default()
+            },
+        );
+        let err = rt
+            .serve_request(&proteus, &g, &TensorMap::new(), 41)
+            .expect_err("first request must fail typed");
+        assert!(
+            matches!(err, ProteusError::WorkerCrashed { request_id: 41, .. }),
+            "{err:?}"
+        );
+        assert_eq!(rt.stats().tasks_crashed, 1);
+        assert!(rt.is_healthy(), "a contained panic must not down the pool");
+        // the pool keeps serving: a later request is untouched and
+        // bit-identical to its serial path
+        let optimizer = Optimizer::new(Profile::OrtLike);
+        let (served, served_params) = rt
+            .serve_request(&proteus, &g, &TensorMap::new(), 42)
+            .expect("pool recovered");
+        let mut session = proteus
+            .obfuscate_session(&g, &TensorMap::new(), 42)
+            .expect("session");
+        let frames: Vec<SealedBucket> = session
+            .by_ref()
+            .map(|f| f.optimize(&optimizer, Some(1)))
+            .collect();
+        let secrets = session.finish().expect("secrets");
+        let mut reassembly = DeobfuscationSession::new(&secrets);
+        for f in frames {
+            reassembly.accept(f).expect("accept");
+        }
+        let (serial, serial_params) = reassembly.finish().expect("finish");
+        assert_eq!(served, serial);
+        assert_eq!(served_params, serial_params);
+    }
+
+    #[test]
+    fn aborting_worker_is_respawned_by_the_supervisor() {
+        let proteus = quick_proteus();
+        let g = build(ModelKind::AlexNet);
+        // one worker; the first task's panic also retires the thread
+        let rt = runtime_faulted(
+            1,
+            8,
+            FaultPlan {
+                panic_at: 1,
+                abort_worker: true,
+                ..FaultPlan::default()
+            },
+        );
+        let err = rt
+            .serve_request(&proteus, &g, &TensorMap::new(), 51)
+            .expect_err("crashed lane");
+        assert!(matches!(err, ProteusError::WorkerCrashed { .. }), "{err:?}");
+        // the supervisor notices the dead worker and refills the slot
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while rt.stats().workers_respawned == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(rt.stats().workers_respawned >= 1, "supervisor respawned");
+        // with the sole worker respawned, the pool still serves
+        let (served, _) = rt
+            .serve_request(&proteus, &g, &TensorMap::new(), 52)
+            .expect("respawned worker serves");
+        assert!(served.validate().is_ok());
+    }
+
+    #[test]
+    fn kill_fault_surfaces_replica_unavailable() {
+        let proteus = quick_proteus();
+        let g = build(ModelKind::AlexNet);
+        let rt = runtime_faulted(
+            2,
+            8,
+            FaultPlan {
+                kill_at_task: 2,
+                ..FaultPlan::default()
+            },
+        );
+        let err = rt
+            .serve_request(&proteus, &g, &TensorMap::new(), 61)
+            .expect_err("killed mid-request");
+        assert!(
+            matches!(err, ProteusError::ReplicaUnavailable { replica: 7, .. }),
+            "{err:?}"
+        );
+        let stats = rt.stats();
+        assert!(stats.killed);
+        assert!(!rt.is_healthy());
+        // a handle opened after the kill is born failed, not wedged
+        let late = rt.handle(62);
+        let err = late.recv().expect_err("born failed");
+        assert!(
+            matches!(err, ProteusError::ReplicaUnavailable { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn dropping_a_handle_detaches_pending_tasks() {
+        let proteus = quick_proteus();
+        let g = build(ModelKind::AlexNet);
+        // one worker stalling 40ms per task: dropping the handle right
+        // after submit leaves most tasks queued, which must detach
+        let rt = runtime_faulted(
+            1,
+            8,
+            FaultPlan {
+                stall_one_in: 1,
+                stall_ms: 40,
+                ..FaultPlan::default()
+            },
+        );
+        let mut session = proteus
+            .obfuscate_session(&g, &TensorMap::new(), 71)
+            .expect("session");
+        let handle = rt.handle(71);
+        while let Some(frame) = session.next_frame() {
+            handle.submit(frame).expect("submit");
+        }
+        drop(handle); // cancel with tasks in flight
+                      // a fresh request on the same pool is unaffected by the abandoned
+                      // lane (its queued tasks are skipped, not executed)
+        let (served, _) = rt
+            .serve_request(&proteus, &g, &TensorMap::new(), 72)
+            .expect("pool still serves after cancel");
+        assert!(served.validate().is_ok());
+        let stats = rt.stats();
+        assert!(
+            stats.tasks_detached > 0,
+            "queued tasks of the dropped handle must detach: {stats:?}"
+        );
+        // shutdown must not hang on the cancelled request (Drop below
+        // joins the workers; reaching the end of the test is the assert)
+    }
+
+    #[test]
+    fn recv_deadline_times_out_typed() {
+        let proteus = quick_proteus();
+        let g = build(ModelKind::AlexNet);
+        // every task stalls 300ms; a 40ms deadline must fire first
+        let rt = runtime_faulted(
+            1,
+            8,
+            FaultPlan {
+                stall_one_in: 1,
+                stall_ms: 300,
+                ..FaultPlan::default()
+            },
+        );
+        let mut session = proteus
+            .obfuscate_session(&g, &TensorMap::new(), 81)
+            .expect("session");
+        let handle = rt.handle(81);
+        let frame = session.next_frame().expect("frame");
+        handle.submit(frame).expect("submit");
+        let err = handle
+            .recv_deadline(Instant::now() + Duration::from_millis(40))
+            .expect_err("deadline fires");
+        assert!(
+            matches!(err, ProteusError::Deadline { request_id: 81, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn poisoned_cache_lock_heals_and_keeps_bytes_identical() {
+        let proteus = quick_proteus();
+        let g = build(ModelKind::AlexNet);
+        // cache ON, with its lock poisoned on the very first insert
+        let rt = ServeRuntime::new(
+            Optimizer::new(Profile::OrtLike),
+            ServeConfig {
+                workers: 2,
+                window: 4,
+                cache_capacity: 4096,
+                faults: FaultPlan {
+                    poison_cache_at: 1,
+                    ..FaultPlan::default()
+                },
+                replica_label: 0,
+            },
+        )
+        .expect("runtime");
+        let (poisoned_run, pp) = rt
+            .serve_request(&proteus, &g, &TensorMap::new(), 91)
+            .expect("request survives the poisoned cache");
+        assert!(rt.cache().poison_heals() >= 1, "heal path exercised");
+        // bytes are unaffected: compare with a clean cached runtime
+        let clean = runtime(2, 4);
+        let (clean_run, cp) = clean
+            .serve_request(&proteus, &g, &TensorMap::new(), 91)
+            .expect("clean serve");
+        assert_eq!(poisoned_run, clean_run, "poison heal changed bytes");
+        assert_eq!(pp, cp);
+        // the healed cache still works: a replay now hits
+        let tasks_before = rt.stats().tasks_executed;
+        let _ = rt
+            .serve_request(&proteus, &g, &TensorMap::new(), 91)
+            .expect("replay");
+        assert_eq!(
+            rt.stats().tasks_executed,
+            tasks_before,
+            "replay served from the healed cache"
+        );
     }
 
     #[test]

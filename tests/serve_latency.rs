@@ -49,6 +49,7 @@ fn runtime(cache_capacity: usize) -> ServeRuntime {
             workers: 2,
             window: 2,
             cache_capacity,
+            ..Default::default()
         },
     )
     .expect("runtime starts")

@@ -108,6 +108,7 @@ fn concurrent_clients_are_bit_identical_to_serial_path() {
             // (one task per member); cache semantics are pinned by
             // tests/serve_latency.rs
             cache_capacity: 0,
+            ..Default::default()
         },
     )
     .expect("runtime");
