@@ -16,7 +16,16 @@
 //! runs it in smoke mode (`--smoke`, one 8-request wave) where the parity
 //! assertions still hold even though the timings are noisy.
 //!
-//! Usage: `cargo run --release -p proteus-bench --bin serve [-- --smoke] [-- --no-cache] [-- --out PATH]`
+//! `--net` switches the binary into the *network* loadgen: the same
+//! open-loop request mix is driven twice — once against a fresh
+//! in-process [`ServeRuntime`], once over real loopback TCP sockets
+//! through `proteus-net` (one connection per tenant request, full
+//! handshake, wire-v2 frames both ways) — and `BENCH_net.json` records
+//! both latency distributions plus the socket overhead. The two waves
+//! must produce bit-identical optimized wire bytes, asserted per
+//! request.
+//!
+//! Usage: `cargo run --release -p proteus-bench --bin serve [-- --smoke] [-- --no-cache] [-- --net] [-- --out PATH]`
 
 use proteus::serve::{SentinelPool, ServeRuntime};
 use proteus::{
@@ -76,16 +85,248 @@ struct RequestResult {
     reassembled: (Graph, TensorMap),
 }
 
+/// One pre-generated tenant request for the network loadgen: wire-v2
+/// frames ready to submit, plus the owner's reassembly secrets.
+struct PreparedRequest {
+    rid: u64,
+    frames: Vec<bytes::Bytes>,
+    secrets: proteus::ObfuscationSecrets,
+}
+
+/// Latency distribution of one measured wave.
+struct WaveStats {
+    throughput_rps: f64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+}
+
+fn wave_stats(mut latencies: Vec<f64>, wall: Duration) -> WaveStats {
+    let n = latencies.len();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    WaveStats {
+        throughput_rps: n as f64 / wall.as_secs_f64(),
+        p50: percentile(&latencies, 0.50),
+        p95: percentile(&latencies, 0.95),
+        p99: percentile(&latencies, 0.99),
+    }
+}
+
+/// The `--net` loadgen: the same open-loop wave measured against an
+/// in-process runtime and over loopback TCP, with per-request byte
+/// parity between the two asserted.
+fn run_net_bench(proteus: &Arc<Proteus>, smoke: bool, serve_config: ServeConfig, out_path: &str) {
+    use proteus_net::{NetBackend, NetClient, NetServer, NetServerConfig, TenantAuth};
+
+    let requests: u64 = if smoke { 6 } else { 16 };
+    let interval = if smoke {
+        Duration::ZERO
+    } else {
+        Duration::from_millis(50)
+    };
+
+    // pre-generate every request outside the measured region: generation
+    // cost is the owner's and identical for both transports
+    println!("== pre-generating {requests} obfuscated requests ==");
+    let prepared: Vec<PreparedRequest> = (0..requests)
+        .map(|rid| {
+            let graph = request_model(rid, smoke);
+            let mut session = proteus
+                .obfuscate_session(&graph, &TensorMap::new(), rid)
+                .expect("session");
+            let mut frames = Vec::with_capacity(session.num_buckets());
+            while let Some(frame) = session.next_frame() {
+                frames.push(frame.to_mux_bytes(rid));
+            }
+            let secrets = session.finish().expect("secrets");
+            PreparedRequest {
+                rid,
+                frames,
+                secrets,
+            }
+        })
+        .collect();
+
+    // wave 1: in-process — a fresh runtime, frames submitted directly
+    println!(
+        "== in-process wave: {requests} requests, {:.1}ms inter-arrival ==",
+        interval.as_secs_f64() * 1e3
+    );
+    let runtime =
+        ServeRuntime::new(Optimizer::new(Profile::OrtLike), serve_config).expect("runtime");
+    let t0 = Instant::now() + Duration::from_millis(5);
+    let mut inproc: Vec<(u64, f64, Vec<bytes::Bytes>)> = std::thread::scope(|scope| {
+        let joins: Vec<_> = prepared
+            .iter()
+            .map(|req| {
+                let runtime = &runtime;
+                scope.spawn(move || {
+                    let arrival = t0 + interval * req.rid as u32;
+                    while Instant::now() < arrival {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    let submitted = Instant::now();
+                    let handle = runtime.handle(req.rid);
+                    for wire in &req.frames {
+                        handle.submit_bytes(wire.clone()).expect("submit");
+                    }
+                    let mut got = Vec::with_capacity(req.frames.len());
+                    while got.len() < req.frames.len() {
+                        got.push(handle.recv_bytes().expect("recv"));
+                    }
+                    (req.rid, submitted.elapsed().as_secs_f64() * 1e3, got)
+                })
+            })
+            .collect();
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("client thread"))
+            .collect()
+    });
+    let inproc_wall = t0.elapsed();
+    drop(runtime);
+
+    // wave 2: loopback TCP — a fresh runtime behind the daemon, one
+    // connection per request, full handshake, frames both directions on
+    // real sockets. Latency starts after connect: it measures the same
+    // submit-to-last-frame quantity as the in-process wave.
+    println!("== loopback socket wave: {requests} connections ==");
+    let server = NetServer::bind(
+        NetBackend::Runtime(
+            ServeRuntime::new(Optimizer::new(Profile::OrtLike), serve_config).expect("runtime"),
+        ),
+        proteus.config_fingerprint(),
+        NetServerConfig {
+            auth: vec![TenantAuth::new("loadgen", "loadgen")],
+            ..Default::default()
+        },
+    )
+    .expect("server binds");
+    let addr = server.local_addr();
+    let fingerprint = proteus.config_fingerprint();
+    let t0 = Instant::now() + Duration::from_millis(5);
+    let mut net: Vec<(u64, f64, Vec<bytes::Bytes>)> = std::thread::scope(|scope| {
+        let joins: Vec<_> = prepared
+            .iter()
+            .map(|req| {
+                scope.spawn(move || {
+                    let arrival = t0 + interval * req.rid as u32;
+                    while Instant::now() < arrival {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    let client = NetClient::connect(addr, "loadgen", fingerprint).expect("connect");
+                    let submitted = Instant::now();
+                    let got = client
+                        .run_request(req.rid, req.frames.clone())
+                        .expect("request completes");
+                    (req.rid, submitted.elapsed().as_secs_f64() * 1e3, got)
+                })
+            })
+            .collect();
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("client thread"))
+            .collect()
+    });
+    let net_wall = t0.elapsed();
+    let server_stats = server.shutdown(Duration::from_secs(30));
+    assert_eq!(server_stats.requests_completed as u64, requests);
+    assert_eq!(server_stats.requests_failed, 0);
+
+    // parity gate: for every request, the bytes that crossed the socket
+    // are bit-identical to the in-process runtime's output, and they
+    // reassemble into a valid model under the owner's secrets
+    println!("== verifying socket-vs-in-process byte parity ==");
+    inproc.sort_by_key(|(rid, _, _)| *rid);
+    net.sort_by_key(|(rid, _, _)| *rid);
+    for (req, ((rid_a, _, got_inproc), (rid_b, _, got_net))) in
+        prepared.iter().zip(inproc.iter().zip(&net))
+    {
+        assert_eq!(*rid_a, req.rid);
+        assert_eq!(*rid_b, req.rid);
+        let mut a: Vec<Vec<u8>> = got_inproc.iter().map(|b| b.to_vec()).collect();
+        let mut b: Vec<Vec<u8>> = got_net.iter().map(|b| b.to_vec()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(
+            a, b,
+            "request {}: socket bytes diverged from the in-process path",
+            req.rid
+        );
+        let mut reassembly = DeobfuscationSession::new(&req.secrets);
+        for raw in got_net {
+            reassembly.accept_mux_bytes(raw.clone()).expect("accept");
+        }
+        let (graph, _params) = reassembly.finish().expect("finish");
+        graph.validate().expect("reassembled model validates");
+    }
+    println!("   all {requests} requests bit-identical across transports");
+
+    let inproc_stats = wave_stats(inproc.iter().map(|(_, l, _)| *l).collect(), inproc_wall);
+    let net_stats = wave_stats(net.iter().map(|(_, l, _)| *l).collect(), net_wall);
+    println!(
+        "\nin-process   p50 {:7.1}ms  p95 {:7.1}ms  p99 {:7.1}ms  {:7.1} req/s",
+        inproc_stats.p50, inproc_stats.p95, inproc_stats.p99, inproc_stats.throughput_rps
+    );
+    println!(
+        "loopback     p50 {:7.1}ms  p95 {:7.1}ms  p99 {:7.1}ms  {:7.1} req/s",
+        net_stats.p50, net_stats.p95, net_stats.p99, net_stats.throughput_rps
+    );
+    println!(
+        "socket tax   p50 {:+.1}ms ({:.2}x)",
+        net_stats.p50 - inproc_stats.p50,
+        net_stats.p50 / inproc_stats.p50
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"BENCH_net\",\n  \"mode\": \"{}\",\n  \"requests\": {},\n  \
+         \"open_loop_interval_ms\": {:.1},\n  \
+         \"transport\": {{\"kind\": \"loopback TCP, one connection per request\", \
+         \"handshake\": \"outside the latency window\", \"workers\": {}, \"window\": {}}},\n  \
+         \"in_process\": {{\"throughput_rps\": {:.1}, \"latency_to_last_frame_ms\": \
+         {{\"p50\": {:.2}, \"p95\": {:.2}, \"p99\": {:.2}}}}},\n  \
+         \"loopback_socket\": {{\"throughput_rps\": {:.1}, \"latency_to_last_frame_ms\": \
+         {{\"p50\": {:.2}, \"p95\": {:.2}, \"p99\": {:.2}}}}},\n  \
+         \"socket_overhead\": {{\"p50_ms\": {:.2}, \"p50_ratio\": {:.3}}},\n  \
+         \"parity\": \"per-request optimized wire bytes bit-identical across transports (asserted)\"\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        requests,
+        interval.as_secs_f64() * 1e3,
+        serve_config.workers,
+        serve_config.window,
+        inproc_stats.throughput_rps,
+        inproc_stats.p50,
+        inproc_stats.p95,
+        inproc_stats.p99,
+        net_stats.throughput_rps,
+        net_stats.p50,
+        net_stats.p95,
+        net_stats.p99,
+        net_stats.p50 - inproc_stats.p50,
+        net_stats.p50 / inproc_stats.p50,
+    );
+    std::fs::write(out_path, json).expect("write BENCH_net.json");
+    println!("\nwrote {out_path}");
+    println!("parity assertions passed");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let no_cache = args.iter().any(|a| a == "--no-cache");
+    let net_mode = args.iter().any(|a| a == "--net");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+        .unwrap_or_else(|| {
+            if net_mode {
+                "BENCH_net.json".to_string()
+            } else {
+                "BENCH_serve.json".to_string()
+            }
+        });
     let requests: u64 = if smoke { 8 } else { 24 };
     let interval = if smoke {
         Duration::ZERO
@@ -143,6 +384,11 @@ fn main() {
         "   {warmed} sentinels built in {warm_ms:.0}ms ({} inventory keys)",
         proteus.inventory().len()
     );
+
+    if net_mode {
+        run_net_bench(&proteus, smoke, serve_config, &out_path);
+        return;
+    }
 
     let runtime =
         ServeRuntime::new(Optimizer::new(Profile::OrtLike), serve_config).expect("runtime");

@@ -53,7 +53,7 @@ use crate::config::{FaultPlan, ServeConfig};
 use crate::error::ProteusError;
 use crate::phase::PhaseBreakdown;
 use crate::pipeline::Proteus;
-use crate::serve::{ServeRuntime, ServeStats};
+use crate::serve::{RequestHandle, ServeRuntime, ServeStats};
 use crate::session::{splitmix64, DeobfuscationSession};
 use bytes::Bytes;
 use proteus_graph::{Graph, TensorMap};
@@ -416,6 +416,32 @@ impl Fleet {
         self.route_order(request_id)
             .into_iter()
             .find(|&r| self.replicas[r].state() == ReplicaState::Up)
+    }
+
+    /// Opens a frame-level lane for `request_id` on the replica the
+    /// consistent-hash ring routes it to right now (first [`ReplicaState::Up`]
+    /// replica in ring order) — the entry point a network front-end uses
+    /// to stream externally-produced frames into the fleet without
+    /// owning the model. Unlike [`Fleet::serve_request`], the lane does
+    /// no re-dispatch: a replica failure surfaces on the handle as a
+    /// typed error and the caller decides whether to reopen a lane.
+    ///
+    /// # Errors
+    /// [`ProteusError::ReplicaUnavailable`] when no replica is up.
+    pub fn lane(&self, request_id: u64) -> Result<RequestHandle, ProteusError> {
+        for index in self.route_order(request_id) {
+            let replica = &self.replicas[index];
+            if replica.state() != ReplicaState::Up {
+                continue;
+            }
+            if let Some(runtime) = relock(&replica.runtime).as_ref() {
+                return Ok(runtime.handle(request_id));
+            }
+        }
+        Err(ProteusError::ReplicaUnavailable {
+            replica: usize::MAX,
+            detail: format!("no healthy replica to open a lane for request {request_id}"),
+        })
     }
 
     /// Point-in-time fleet counters.

@@ -54,8 +54,9 @@ pub use op::{
 pub use shape::{infer_shapes, Shape};
 pub use stats::GraphStats;
 pub use wire::{
-    decode_frame, encode_frame, encode_frame_v2, peek_frame_request_id, Frame, WireError,
-    FRAME_MAGIC, WIRE_VERSION, WIRE_VERSION_V1, WIRE_VERSION_V2,
+    decode_error_frame, decode_frame, encode_error_frame, encode_frame, encode_frame_v2,
+    peek_frame_request_id, ErrorCode, ErrorFrame, Frame, WireError, ERROR_FRAME_MAGIC, FRAME_MAGIC,
+    MAX_ERROR_DETAIL, WIRE_VERSION, WIRE_VERSION_V1, WIRE_VERSION_V2,
 };
 
 use std::fmt;

@@ -327,6 +327,263 @@ pub fn decode_frame(buf: &mut Bytes) -> WResult<Frame> {
     })
 }
 
+/// Magic bytes opening every [`ErrorFrame`] on the wire. Distinct from
+/// [`FRAME_MAGIC`] so a receiver can tell data from errors after reading
+/// four bytes, before committing to a header layout.
+pub const ERROR_FRAME_MAGIC: [u8; 4] = *b"PRTE";
+
+/// Largest error-frame detail string a decoder will accept. Details are
+/// human-oriented diagnostics, not payloads; anything bigger is a
+/// malformed length field, not a legitimate message.
+pub const MAX_ERROR_DETAIL: usize = 64 * 1024;
+
+/// Typed reason codes carried by [`ErrorFrame`]s — the service-level error
+/// taxonomy, flattened to stable `u16` values so failures cross the trust
+/// boundary as values a client can match on instead of as dropped
+/// connections. Codes 1–11 mirror the core `ProteusError` variants; codes
+/// 12–18 are service conditions that only exist at the network boundary
+/// (handshake rejection, admission control, shutdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// Invalid obfuscation configuration on the serving side.
+    Config = 1,
+    /// Graph partitioning failed for the request.
+    Partition = 2,
+    /// A frame failed wire decoding (truncation, corruption, bad magic).
+    Wire = 3,
+    /// Graph validation or execution failed.
+    Graph = 4,
+    /// A protocol invariant was violated (wrong lane, recv on idle lane).
+    Protocol = 5,
+    /// The same bucket index was submitted twice for one request.
+    DuplicateFrame = 6,
+    /// A persistent artifact could not be loaded or verified.
+    Artifact = 7,
+    /// A serving worker crashed while optimizing the frame.
+    WorkerCrashed = 8,
+    /// The request missed its latency deadline.
+    Deadline = 9,
+    /// No healthy replica was available to take the request.
+    ReplicaUnavailable = 10,
+    /// The request was retried to exhaustion across replicas.
+    RetriesExhausted = 11,
+    /// Handshake rejected: peer speaks an unsupported protocol version.
+    VersionMismatch = 12,
+    /// Handshake rejected: the tenant auth token is not recognised.
+    BadAuth = 13,
+    /// Handshake rejected: the client expects a different trained
+    /// artifact than the one the server warm-started from.
+    FingerprintMismatch = 14,
+    /// Admission rejected: the tenant exceeded its concurrent-request
+    /// quota.
+    QuotaExceeded = 15,
+    /// Admission rejected: the server is at its connection limit.
+    ConnectionLimit = 16,
+    /// The server is draining for shutdown and accepts no new requests.
+    Shutdown = 17,
+    /// Any other server-side failure.
+    Internal = 18,
+}
+
+impl ErrorCode {
+    /// Every defined code, in ascending wire-value order.
+    pub const ALL: [ErrorCode; 18] = [
+        ErrorCode::Config,
+        ErrorCode::Partition,
+        ErrorCode::Wire,
+        ErrorCode::Graph,
+        ErrorCode::Protocol,
+        ErrorCode::DuplicateFrame,
+        ErrorCode::Artifact,
+        ErrorCode::WorkerCrashed,
+        ErrorCode::Deadline,
+        ErrorCode::ReplicaUnavailable,
+        ErrorCode::RetriesExhausted,
+        ErrorCode::VersionMismatch,
+        ErrorCode::BadAuth,
+        ErrorCode::FingerprintMismatch,
+        ErrorCode::QuotaExceeded,
+        ErrorCode::ConnectionLimit,
+        ErrorCode::Shutdown,
+        ErrorCode::Internal,
+    ];
+
+    /// The stable wire value of this code.
+    pub fn as_u16(self) -> u16 {
+        self as u16
+    }
+
+    /// Decodes a wire value back to a typed code. Unknown values are a
+    /// decode error, not a silent `Internal` — a peer speaking a newer
+    /// taxonomy must be surfaced, per the same explicit-rejection policy
+    /// as [`WireError::UnknownVersion`].
+    pub fn from_u16(v: u16) -> WResult<ErrorCode> {
+        ErrorCode::ALL
+            .iter()
+            .copied()
+            .find(|c| c.as_u16() == v)
+            .ok_or_else(|| WireError::malformed(format!("unknown error code {v}")))
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorCode::Config => "config",
+            ErrorCode::Partition => "partition",
+            ErrorCode::Wire => "wire",
+            ErrorCode::Graph => "graph",
+            ErrorCode::Protocol => "protocol",
+            ErrorCode::DuplicateFrame => "duplicate-frame",
+            ErrorCode::Artifact => "artifact",
+            ErrorCode::WorkerCrashed => "worker-crashed",
+            ErrorCode::Deadline => "deadline",
+            ErrorCode::ReplicaUnavailable => "replica-unavailable",
+            ErrorCode::RetriesExhausted => "retries-exhausted",
+            ErrorCode::VersionMismatch => "version-mismatch",
+            ErrorCode::BadAuth => "bad-auth",
+            ErrorCode::FingerprintMismatch => "fingerprint-mismatch",
+            ErrorCode::QuotaExceeded => "quota-exceeded",
+            ErrorCode::ConnectionLimit => "connection-limit",
+            ErrorCode::Shutdown => "shutdown",
+            ErrorCode::Internal => "internal",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A server→client error notification: which request failed, a typed
+/// reason code, and a human-oriented detail string. Encoded with
+/// [`encode_error_frame`]; carried on the same byte stream as data
+/// frames, distinguished by [`ERROR_FRAME_MAGIC`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorFrame {
+    /// The request the failure belongs to; `0` for connection-level
+    /// failures that predate any request (handshake rejection).
+    pub request_id: u64,
+    /// The typed reason.
+    pub code: ErrorCode,
+    /// Human-oriented diagnostic detail (UTF-8, possibly empty).
+    pub detail: String,
+}
+
+impl ErrorFrame {
+    /// Builds an error frame.
+    pub fn new(request_id: u64, code: ErrorCode, detail: impl Into<String>) -> ErrorFrame {
+        ErrorFrame {
+            request_id,
+            code,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for ErrorFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "remote error [{}] on request {}: {}",
+            self.code, self.request_id, self.detail
+        )
+    }
+}
+
+/// Encodes an [`ErrorFrame`]:
+///
+/// ```text
+/// magic[4]="PRTE" | version u16 | request_id u64 | code u16 |
+/// detail_len u32 | checksum u64 | detail bytes
+/// ```
+///
+/// The checksum is FNV-1a over the header fields after the magic
+/// (version, request id, code, detail length) followed by the detail
+/// bytes, mirroring the data-frame checksum so single-byte corruption
+/// anywhere is detected. Details longer than [`MAX_ERROR_DETAIL`] are
+/// truncated on encode — an error report must never itself become
+/// undecodable.
+pub fn encode_error_frame(frame: &ErrorFrame) -> Bytes {
+    let detail = frame.detail.as_bytes();
+    let detail = &detail[..floor_char_boundary(&frame.detail, detail.len().min(MAX_ERROR_DETAIL))];
+    let mut buf = BytesMut::with_capacity(28 + detail.len());
+    buf.put_slice(&ERROR_FRAME_MAGIC);
+    buf.put_u16_le(WIRE_VERSION_V2);
+    buf.put_u64_le(frame.request_id);
+    buf.put_u16_le(frame.code.as_u16());
+    buf.put_u32_le(detail.len() as u32);
+    let h = fnv1a64_continue(FNV_OFFSET_BASIS, &buf[4..20]);
+    buf.put_u64_le(fnv1a64_continue(h, detail));
+    buf.put_slice(detail);
+    buf.freeze()
+}
+
+/// Largest UTF-8 boundary at or below `at` (stable substitute for the
+/// unstable `str::floor_char_boundary`).
+fn floor_char_boundary(s: &str, mut at: usize) -> usize {
+    while at > 0 && !s.is_char_boundary(at) {
+        at -= 1;
+    }
+    at
+}
+
+/// Decodes one [`ErrorFrame`] from the front of `buf`, leaving any
+/// trailing bytes.
+///
+/// # Errors
+/// [`WireError::BadMagic`] when the buffer does not open with
+/// [`ERROR_FRAME_MAGIC`], [`WireError::UnknownVersion`] for versions other
+/// than [`WIRE_VERSION_V2`], [`WireError::Malformed`] for unknown codes,
+/// implausible detail lengths, or invalid UTF-8,
+/// [`WireError::ChecksumMismatch`] for corrupted bytes, and
+/// [`WireError::Truncated`] when the buffer ends early.
+pub fn decode_error_frame(buf: &mut Bytes) -> WResult<ErrorFrame> {
+    need(buf, 4, "error frame magic")?;
+    let mut magic = [0u8; 4];
+    magic.copy_from_slice(&buf.split_to(4));
+    if magic != ERROR_FRAME_MAGIC {
+        return Err(WireError::BadMagic { got: magic });
+    }
+    need(buf, 2, "error frame version")?;
+    let version = buf.get_u16_le();
+    if version != WIRE_VERSION_V2 {
+        return Err(WireError::UnknownVersion {
+            got: version,
+            supported: WIRE_VERSION,
+        });
+    }
+    need(buf, 8 + 2 + 4 + 8, "error frame header")?;
+    let request_id = buf.get_u64_le();
+    let code_raw = buf.get_u16_le();
+    let detail_len = buf.get_u32_le() as usize;
+    let checksum = buf.get_u64_le();
+    if detail_len > MAX_ERROR_DETAIL {
+        return Err(WireError::malformed(format!(
+            "implausible error detail length {detail_len}"
+        )));
+    }
+    need(buf, detail_len, "error frame detail")?;
+    let detail_bytes = buf.split_to(detail_len);
+    let mut h = fnv1a64_continue(FNV_OFFSET_BASIS, &version.to_le_bytes());
+    h = fnv1a64_continue(h, &request_id.to_le_bytes());
+    h = fnv1a64_continue(h, &code_raw.to_le_bytes());
+    h = fnv1a64_continue(h, &(detail_len as u32).to_le_bytes());
+    let got = fnv1a64_continue(h, &detail_bytes);
+    if got != checksum {
+        return Err(WireError::ChecksumMismatch {
+            expected: checksum,
+            got,
+        });
+    }
+    let code = ErrorCode::from_u16(code_raw)?;
+    let detail = String::from_utf8(detail_bytes.to_vec())
+        .map_err(|_| WireError::malformed("error detail is not valid utf8"))?;
+    Ok(ErrorFrame {
+        request_id,
+        code,
+        detail,
+    })
+}
+
 fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
@@ -1131,5 +1388,197 @@ mod tests {
                 "cut at {cut} not rejected as truncated"
             );
         }
+    }
+
+    /// Hand-builds an error frame with arbitrary raw fields and a correct
+    /// checksum, so tests can exercise decoder rejections that
+    /// `encode_error_frame` refuses to produce.
+    fn raw_error_frame(version: u16, request_id: u64, code: u16, detail: &[u8]) -> Bytes {
+        let mut buf = BytesMut::with_capacity(28 + detail.len());
+        buf.put_slice(&ERROR_FRAME_MAGIC);
+        buf.put_u16_le(version);
+        buf.put_u64_le(request_id);
+        buf.put_u16_le(code);
+        buf.put_u32_le(detail.len() as u32);
+        let h = fnv1a64_continue(FNV_OFFSET_BASIS, &buf[4..20]);
+        buf.put_u64_le(fnv1a64_continue(h, detail));
+        buf.put_slice(detail);
+        buf.freeze()
+    }
+
+    #[test]
+    fn error_frame_roundtrips_every_code() {
+        for (i, code) in ErrorCode::ALL.iter().copied().enumerate() {
+            let ef = ErrorFrame::new(0xAB00 + i as u64, code, format!("detail for {code}"));
+            let mut buf = encode_error_frame(&ef);
+            let back = decode_error_frame(&mut buf).unwrap();
+            assert_eq!(back, ef);
+            assert!(buf.is_empty(), "no trailing bytes");
+        }
+    }
+
+    #[test]
+    fn error_frame_roundtrips_empty_detail() {
+        let ef = ErrorFrame::new(0, ErrorCode::Shutdown, "");
+        let mut buf = encode_error_frame(&ef);
+        assert_eq!(decode_error_frame(&mut buf).unwrap(), ef);
+    }
+
+    #[test]
+    fn error_code_wire_values_are_stable() {
+        // these values are the wire contract — changing one silently
+        // breaks deployed clients, so pin each explicitly
+        let pinned: [(ErrorCode, u16); 18] = [
+            (ErrorCode::Config, 1),
+            (ErrorCode::Partition, 2),
+            (ErrorCode::Wire, 3),
+            (ErrorCode::Graph, 4),
+            (ErrorCode::Protocol, 5),
+            (ErrorCode::DuplicateFrame, 6),
+            (ErrorCode::Artifact, 7),
+            (ErrorCode::WorkerCrashed, 8),
+            (ErrorCode::Deadline, 9),
+            (ErrorCode::ReplicaUnavailable, 10),
+            (ErrorCode::RetriesExhausted, 11),
+            (ErrorCode::VersionMismatch, 12),
+            (ErrorCode::BadAuth, 13),
+            (ErrorCode::FingerprintMismatch, 14),
+            (ErrorCode::QuotaExceeded, 15),
+            (ErrorCode::ConnectionLimit, 16),
+            (ErrorCode::Shutdown, 17),
+            (ErrorCode::Internal, 18),
+        ];
+        for (code, value) in pinned {
+            assert_eq!(code.as_u16(), value);
+            assert_eq!(ErrorCode::from_u16(value).unwrap(), code);
+        }
+        assert!(ErrorCode::from_u16(0).is_err());
+        assert!(ErrorCode::from_u16(19).is_err());
+        assert!(ErrorCode::from_u16(u16::MAX).is_err());
+    }
+
+    #[test]
+    fn error_frame_detects_single_byte_corruption_everywhere() {
+        let ef = ErrorFrame::new(0x1122_3344_5566_7788, ErrorCode::Deadline, "missed by 3ms");
+        let bytes = encode_error_frame(&ef);
+        for pos in 0..bytes.len() {
+            let mut raw = bytes.to_vec();
+            raw[pos] ^= 0x40;
+            let mut buf = Bytes::copy_from_slice(&raw);
+            assert!(
+                decode_error_frame(&mut buf).is_err(),
+                "corruption at byte {pos} decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn error_frame_rejects_truncation_at_every_length() {
+        let ef = ErrorFrame::new(9, ErrorCode::BadAuth, "token unknown");
+        let bytes = encode_error_frame(&ef);
+        for cut in 0..bytes.len() {
+            let mut buf = bytes.slice(0..cut);
+            assert!(
+                matches!(
+                    decode_error_frame(&mut buf),
+                    Err(WireError::Truncated { .. })
+                ),
+                "cut at {cut} not rejected as truncated"
+            );
+        }
+    }
+
+    #[test]
+    fn error_frame_rejects_unknown_code_with_valid_checksum() {
+        // a validly-checksummed frame carrying a code from a newer
+        // taxonomy must surface as Malformed, never as a silent default
+        let mut buf = raw_error_frame(WIRE_VERSION_V2, 1, 999, b"future code");
+        assert!(matches!(
+            decode_error_frame(&mut buf),
+            Err(WireError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn error_frame_rejects_unknown_version_and_bad_magic() {
+        let mut buf = raw_error_frame(7, 1, 1, b"x");
+        assert_eq!(
+            decode_error_frame(&mut buf),
+            Err(WireError::UnknownVersion {
+                got: 7,
+                supported: WIRE_VERSION
+            })
+        );
+        let bytes = encode_error_frame(&ErrorFrame::new(1, ErrorCode::Wire, "x"));
+        let mut raw = bytes.to_vec();
+        raw[0] = b'X';
+        let mut buf = Bytes::copy_from_slice(&raw);
+        assert!(matches!(
+            decode_error_frame(&mut buf),
+            Err(WireError::BadMagic { .. })
+        ));
+        // a data frame handed to the error decoder is a magic mismatch,
+        // not a misparse
+        let mut buf = encode_frame_v2(5, 0, b"data");
+        assert!(matches!(
+            decode_error_frame(&mut buf),
+            Err(WireError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn error_frame_rejects_invalid_utf8_detail() {
+        let mut buf = raw_error_frame(WIRE_VERSION_V2, 1, 3, &[0xFF, 0xFE, 0x41]);
+        assert!(matches!(
+            decode_error_frame(&mut buf),
+            Err(WireError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn error_frame_rejects_implausible_detail_length() {
+        let mut buf = raw_error_frame(WIRE_VERSION_V2, 1, 3, b"short");
+        // rewrite detail_len to something past MAX_ERROR_DETAIL; the
+        // length check must fire before any attempt to read that much
+        let mut raw = buf.to_vec();
+        raw[16..20].copy_from_slice(&(MAX_ERROR_DETAIL as u32 + 1).to_le_bytes());
+        buf = Bytes::copy_from_slice(&raw);
+        assert!(matches!(
+            decode_error_frame(&mut buf),
+            Err(WireError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn error_frame_truncates_oversized_detail_on_encode() {
+        let ef = ErrorFrame::new(1, ErrorCode::Internal, "x".repeat(MAX_ERROR_DETAIL + 500));
+        let mut buf = encode_error_frame(&ef);
+        let back = decode_error_frame(&mut buf).unwrap();
+        assert_eq!(back.detail.len(), MAX_ERROR_DETAIL);
+        assert_eq!(back.code, ErrorCode::Internal);
+    }
+
+    #[test]
+    fn error_frames_interleave_with_data_frames_on_one_stream() {
+        let mut stream = BytesMut::new();
+        stream.put_slice(&encode_frame_v2(10, 0, b"bucket"));
+        stream.put_slice(&encode_error_frame(&ErrorFrame::new(
+            11,
+            ErrorCode::Deadline,
+            "late",
+        )));
+        stream.put_slice(&encode_frame_v2(10, 1, b"bucket2"));
+        let mut buf = stream.freeze();
+        // receiver branches on the 4-byte magic before committing to a
+        // header layout
+        assert_eq!(&buf[0..4], &FRAME_MAGIC);
+        let f = decode_frame(&mut buf).unwrap();
+        assert_eq!(f.request_id, 10);
+        assert_eq!(&buf[0..4], &ERROR_FRAME_MAGIC);
+        let e = decode_error_frame(&mut buf).unwrap();
+        assert_eq!((e.request_id, e.code), (11, ErrorCode::Deadline));
+        let f = decode_frame(&mut buf).unwrap();
+        assert_eq!(f.bucket_index, 1);
+        assert!(buf.is_empty());
     }
 }

@@ -1,0 +1,185 @@
+//! `proteus-serve` — the TCP serving daemon: warm-starts from a `PRTA`
+//! artifact and serves wire-v2 obfuscation traffic on a socket.
+//!
+//! The daemon is the optimizer party of the paper's threat model: it
+//! holds trained sentinel-generation state (so obfuscated buckets are
+//! indistinguishable) but never sees a whole model — clients stream
+//! sealed buckets at it and reassemble the optimized results with
+//! secrets that never leave their process.
+//!
+//! ```text
+//! proteus-serve --artifact zoo.prta --addr 127.0.0.1:7070 \
+//!     --token team-a:sesame --token team-b:mellon \
+//!     --replicas 2 --quota 8 --max-connections 64
+//! ```
+//!
+//! `--oneshot` serves until the first accepted connection has come and
+//! gone, then drains and exits — the deterministic mode CI's loopback
+//! round trip uses (no signal choreography needed).
+
+use proteus::{Fleet, FleetConfig, Proteus, ServeConfig};
+use proteus_net::{NetBackend, NetServer, NetServerConfig, TenantAuth};
+use proteus_opt::{Optimizer, Profile};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: proteus-serve --artifact PATH [--addr HOST:PORT] [--token TENANT:SECRET ...]\n\
+         \x20      [--replicas N] [--workers N] [--window N] [--cache N]\n\
+         \x20      [--max-connections N] [--quota N] [--profile ort|hidet]\n\
+         \x20      [--oneshot] [--grace-secs N]\n\
+         \n\
+         --artifact       PRTA artifact to warm-start from (see proteus-train)\n\
+         --addr           bind address (default 127.0.0.1:7070; port 0 picks a free port)\n\
+         --token          tenant credential, repeatable (default demo:demo)\n\
+         --replicas       fleet replicas; 1 = single shared runtime (default 1)\n\
+         --quota          max concurrent requests per tenant; 0 = unlimited\n\
+         --max-connections max open connections; 0 = unlimited\n\
+         --oneshot        exit after the first connection completes\n\
+         --grace-secs     shutdown drain budget (default 30)"
+    );
+    ExitCode::FAILURE
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_usize(args: &[String], flag: &str, default: usize) -> Result<usize, String> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{flag} expects an integer, got `{v}`")),
+    }
+}
+
+fn parse_tokens(args: &[String]) -> Result<Vec<TenantAuth>, String> {
+    let mut auth = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--token" {
+            let spec = args
+                .get(i + 1)
+                .ok_or("--token expects TENANT:SECRET".to_string())?;
+            let (tenant, secret) = spec
+                .split_once(':')
+                .ok_or_else(|| format!("--token `{spec}` is not TENANT:SECRET"))?;
+            if tenant.is_empty() || secret.is_empty() {
+                return Err(format!("--token `{spec}` has an empty side"));
+            }
+            auth.push(TenantAuth::new(tenant, secret));
+        }
+    }
+    if auth.is_empty() {
+        auth.push(TenantAuth::new("demo", "demo"));
+    }
+    Ok(auth)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let artifact = flag_value(args, "--artifact").ok_or("missing --artifact PATH")?;
+    let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7070".to_string());
+    let auth = parse_tokens(args)?;
+    let replicas = parse_usize(args, "--replicas", 1)?;
+    let oneshot = args.iter().any(|a| a == "--oneshot");
+    let grace = Duration::from_secs(parse_usize(args, "--grace-secs", 30)? as u64);
+    let profile = match flag_value(args, "--profile").as_deref() {
+        None | Some("ort") => Profile::OrtLike,
+        Some("hidet") => Profile::HidetLike,
+        Some(other) => return Err(format!("unknown profile `{other}` (ort|hidet)")),
+    };
+    let serve_config = ServeConfig {
+        workers: parse_usize(args, "--workers", 0)?,
+        window: parse_usize(args, "--window", 4)?,
+        cache_capacity: parse_usize(args, "--cache", 4096)?,
+        ..Default::default()
+    };
+
+    let t = Instant::now();
+    let proteus = Proteus::load_artifact(&artifact).map_err(|e| e.to_string())?;
+    let fingerprint = proteus.config_fingerprint();
+    eprintln!(
+        "warm-started from {artifact} in {:.1} ms (config fingerprint {fingerprint:#018x})",
+        t.elapsed().as_secs_f64() * 1e3
+    );
+
+    let optimizer = Optimizer::new(profile);
+    let backend = if replicas <= 1 {
+        NetBackend::Runtime(
+            proteus::ServeRuntime::new(optimizer, serve_config).map_err(|e| e.to_string())?,
+        )
+    } else {
+        NetBackend::Fleet(
+            Fleet::new(
+                optimizer,
+                FleetConfig {
+                    replicas,
+                    serve: serve_config,
+                    ..Default::default()
+                },
+            )
+            .map_err(|e| e.to_string())?,
+        )
+    };
+
+    let tenants = auth.len();
+    let server = NetServer::bind(
+        backend,
+        fingerprint,
+        NetServerConfig {
+            addr,
+            auth,
+            max_connections: parse_usize(args, "--max-connections", 0)?,
+            tenant_quota: parse_usize(args, "--quota", 0)?,
+            banner: format!("proteus-serve/{}", env!("CARGO_PKG_VERSION")),
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "listening on {} ({tenants} tenant(s){})",
+        server.local_addr(),
+        if oneshot { ", oneshot" } else { "" }
+    );
+
+    if oneshot {
+        // serve until at least one connection has been accepted AND all
+        // connections have gone away again, then drain
+        loop {
+            let stats = server.stats();
+            if stats.connections_accepted > 0 && stats.active_connections == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let stats = server.shutdown(grace);
+        eprintln!(
+            "oneshot complete: {} request(s) completed, {} failed, {} handshake(s) rejected",
+            stats.requests_completed, stats.requests_failed, stats.handshakes_rejected
+        );
+        return Ok(());
+    }
+
+    // long-running mode: serve until the process is killed. Park the
+    // main thread; connection threads do all the work.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        return usage();
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! Versioned, length-prefixed connection handshake.
+//!
+//! Before any frame flows, the client sends a [`ClientHello`] and the
+//! server answers with either a [`ServerHello`] (accepted) or a `PRTE`
+//! error frame (rejected, typed) followed by a close. Both hellos are
+//! checksummed with the same FNV-1a scheme as data frames, so a
+//! corrupted handshake is caught byte-for-byte instead of misparsing.
+//!
+//! What the handshake pins down:
+//!
+//! - **network protocol version** ([`NET_PROTOCOL_VERSION`]) — the
+//!   framing/handshake layout itself;
+//! - **wire version** — the data-frame format the client will send
+//!   (the server rejects versions it does not speak);
+//! - **tenant auth token** — admission control and per-tenant quotas;
+//! - **artifact fingerprint** — the client states which trained
+//!   artifact it expects to be talking to
+//!   ([`proteus::artifact::config_fingerprint`]); a server warm-started
+//!   from different trained state rejects the connection rather than
+//!   serve subtly-different bytes.
+
+use crate::codec::FrameReader;
+use crate::error::NetError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use proteus_graph::wire::{fnv1a64, WireError, WIRE_VERSION};
+use std::io::Read;
+
+/// The handshake + framing layout version this library speaks. Bumped
+/// whenever the hello byte layout or the frame family set changes.
+pub const NET_PROTOCOL_VERSION: u16 = 1;
+
+/// Magic bytes opening a [`ClientHello`].
+pub const CLIENT_HELLO_MAGIC: [u8; 4] = *b"PRTH";
+
+/// Magic bytes opening a [`ServerHello`].
+pub const SERVER_HELLO_MAGIC: [u8; 4] = *b"PRTS";
+
+/// Largest auth token / banner a hello may carry.
+pub const MAX_HELLO_BLOB: usize = 4096;
+
+/// Fixed-size prefix of both hellos: magic(4) + net proto(2) + wire
+/// version(2) + fingerprint(8) + blob len(4) + checksum(8).
+const HELLO_PREFIX: usize = 28;
+
+/// The client's opening message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientHello {
+    /// Handshake/framing layout version the client speaks.
+    pub net_protocol: u16,
+    /// Data-frame wire version the client will send.
+    pub wire_version: u16,
+    /// Fingerprint of the trained artifact the client expects the
+    /// server to be warm-started from.
+    pub fingerprint: u64,
+    /// Tenant auth token.
+    pub token: String,
+}
+
+/// The server's acceptance message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerHello {
+    /// Handshake/framing layout version the server speaks.
+    pub net_protocol: u16,
+    /// Newest data-frame wire version the server accepts.
+    pub wire_version: u16,
+    /// Fingerprint of the trained artifact the server is serving.
+    pub fingerprint: u64,
+    /// Free-form server identification banner.
+    pub banner: String,
+}
+
+fn encode_hello(magic: [u8; 4], proto: u16, wire: u16, fingerprint: u64, blob: &str) -> Bytes {
+    let blob = blob.as_bytes();
+    let mut buf = BytesMut::with_capacity(HELLO_PREFIX + blob.len());
+    buf.put_slice(&magic);
+    buf.put_u16_le(proto);
+    buf.put_u16_le(wire);
+    buf.put_u64_le(fingerprint);
+    buf.put_u32_le(blob.len() as u32);
+    let mut hashed = buf[4..20].to_vec();
+    hashed.extend_from_slice(blob);
+    buf.put_u64_le(fnv1a64(&hashed));
+    buf.put_slice(blob);
+    buf.freeze()
+}
+
+/// Decoded fields shared by both hello directions.
+struct RawHello {
+    proto: u16,
+    wire: u16,
+    fingerprint: u64,
+    blob: String,
+}
+
+fn decode_hello(expect_magic: [u8; 4], buf: &mut Bytes) -> Result<RawHello, NetError> {
+    if buf.len() < 4 {
+        return Err(NetError::Wire(WireError::truncated("hello magic")));
+    }
+    let mut magic = [0u8; 4];
+    magic.copy_from_slice(&buf.split_to(4));
+    if magic != expect_magic {
+        return Err(NetError::Wire(WireError::BadMagic { got: magic }));
+    }
+    if buf.len() < HELLO_PREFIX - 4 {
+        return Err(NetError::Wire(WireError::truncated("hello header")));
+    }
+    let proto = buf.get_u16_le();
+    let wire = buf.get_u16_le();
+    let fingerprint = buf.get_u64_le();
+    let blob_len = buf.get_u32_le() as usize;
+    let checksum = buf.get_u64_le();
+    if blob_len > MAX_HELLO_BLOB {
+        return Err(NetError::Wire(WireError::malformed(format!(
+            "hello blob length {blob_len} is implausible"
+        ))));
+    }
+    if buf.len() < blob_len {
+        return Err(NetError::Wire(WireError::truncated("hello blob")));
+    }
+    let blob_bytes = buf.split_to(blob_len);
+    let mut hashed = Vec::with_capacity(16 + blob_len);
+    hashed.extend_from_slice(&proto.to_le_bytes());
+    hashed.extend_from_slice(&wire.to_le_bytes());
+    hashed.extend_from_slice(&fingerprint.to_le_bytes());
+    hashed.extend_from_slice(&(blob_len as u32).to_le_bytes());
+    hashed.extend_from_slice(&blob_bytes);
+    let got = fnv1a64(&hashed);
+    if got != checksum {
+        return Err(NetError::Wire(WireError::ChecksumMismatch {
+            expected: checksum,
+            got,
+        }));
+    }
+    let blob = String::from_utf8(blob_bytes.to_vec())
+        .map_err(|_| NetError::Wire(WireError::malformed("hello blob is not valid utf8")))?;
+    Ok(RawHello {
+        proto,
+        wire,
+        fingerprint,
+        blob,
+    })
+}
+
+impl ClientHello {
+    /// Builds the hello this library sends for a connection.
+    pub fn new(fingerprint: u64, token: impl Into<String>) -> ClientHello {
+        ClientHello {
+            net_protocol: NET_PROTOCOL_VERSION,
+            wire_version: WIRE_VERSION,
+            fingerprint,
+            token: token.into(),
+        }
+    }
+
+    /// Encodes to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        encode_hello(
+            CLIENT_HELLO_MAGIC,
+            self.net_protocol,
+            self.wire_version,
+            self.fingerprint,
+            &self.token,
+        )
+    }
+
+    /// Decodes from the front of `buf`, leaving trailing bytes.
+    ///
+    /// # Errors
+    /// [`NetError::Wire`] for bad magic, truncation, corruption,
+    /// implausible token length, or invalid UTF-8.
+    pub fn decode(buf: &mut Bytes) -> Result<ClientHello, NetError> {
+        let raw = decode_hello(CLIENT_HELLO_MAGIC, buf)?;
+        Ok(ClientHello {
+            net_protocol: raw.proto,
+            wire_version: raw.wire,
+            fingerprint: raw.fingerprint,
+            token: raw.blob,
+        })
+    }
+}
+
+impl ServerHello {
+    /// Builds the hello a server answers an accepted connection with.
+    pub fn new(fingerprint: u64, banner: impl Into<String>) -> ServerHello {
+        ServerHello {
+            net_protocol: NET_PROTOCOL_VERSION,
+            wire_version: WIRE_VERSION,
+            fingerprint,
+            banner: banner.into(),
+        }
+    }
+
+    /// Encodes to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        encode_hello(
+            SERVER_HELLO_MAGIC,
+            self.net_protocol,
+            self.wire_version,
+            self.fingerprint,
+            &self.banner,
+        )
+    }
+
+    /// Decodes from the front of `buf`, leaving trailing bytes.
+    ///
+    /// # Errors
+    /// As [`ClientHello::decode`].
+    pub fn decode(buf: &mut Bytes) -> Result<ServerHello, NetError> {
+        let raw = decode_hello(SERVER_HELLO_MAGIC, buf)?;
+        Ok(ServerHello {
+            net_protocol: raw.proto,
+            wire_version: raw.wire,
+            fingerprint: raw.fingerprint,
+            banner: raw.blob,
+        })
+    }
+}
+
+/// Reads one hello's worth of bytes from a stream into `reader`,
+/// tolerating arbitrary chunking: first the fixed prefix, then exactly
+/// the blob length it announces. Returns the complete hello bytes;
+/// anything the peer pipelined after its hello stays buffered in
+/// `reader` for frame reassembly.
+///
+/// # Errors
+/// [`NetError::Io`] on read failure, [`NetError::Handshake`] on EOF
+/// mid-hello, [`NetError::Wire`] for an implausible blob length.
+pub fn read_hello_bytes(
+    stream: &mut impl Read,
+    reader: &mut FrameReader,
+) -> Result<Bytes, NetError> {
+    let mut chunk = [0u8; 512];
+    loop {
+        if let Some(len_field) = reader.peek_bytes(16, 4) {
+            // blob length field sits at bytes 16..20 of either hello
+            let blob_len =
+                u32::from_le_bytes([len_field[0], len_field[1], len_field[2], len_field[3]])
+                    as usize;
+            if blob_len > MAX_HELLO_BLOB {
+                return Err(NetError::Wire(WireError::malformed(format!(
+                    "hello blob length {blob_len} is implausible"
+                ))));
+            }
+            if reader.buffered() >= HELLO_PREFIX + blob_len {
+                return Ok(reader.split_bytes(HELLO_PREFIX + blob_len));
+            }
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| NetError::io("reading handshake", e))?;
+        if n == 0 {
+            return Err(NetError::handshake("peer closed mid-handshake"));
+        }
+        reader.push(&chunk[..n]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // tests assert on Results aggressively; the unwrap/expect discipline
+    // is for production paths
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn client_hello_roundtrip() {
+        let hello = ClientHello::new(0xFEED_CAFE_1234_5678, "tenant-token");
+        let mut buf = hello.encode();
+        assert_eq!(ClientHello::decode(&mut buf).unwrap(), hello);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn server_hello_roundtrip() {
+        let hello = ServerHello::new(42, "proteus-serve/0.1");
+        let mut buf = hello.encode();
+        assert_eq!(ServerHello::decode(&mut buf).unwrap(), hello);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn hello_detects_single_byte_corruption_everywhere() {
+        let bytes = ClientHello::new(7, "secret").encode();
+        for pos in 0..bytes.len() {
+            let mut raw = bytes.to_vec();
+            raw[pos] ^= 0x20;
+            let mut buf = Bytes::copy_from_slice(&raw);
+            assert!(
+                ClientHello::decode(&mut buf).is_err(),
+                "corruption at byte {pos} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn hello_rejects_truncation_at_every_length() {
+        let bytes = ServerHello::new(7, "banner").encode();
+        for cut in 0..bytes.len() {
+            let mut buf = bytes.slice(0..cut);
+            assert!(
+                ServerHello::decode(&mut buf).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn hello_directions_do_not_cross_decode() {
+        let mut c = ClientHello::new(1, "t").encode();
+        assert!(matches!(
+            ServerHello::decode(&mut c),
+            Err(NetError::Wire(WireError::BadMagic { .. }))
+        ));
+        let mut s = ServerHello::new(1, "b").encode();
+        assert!(matches!(
+            ClientHello::decode(&mut s),
+            Err(NetError::Wire(WireError::BadMagic { .. }))
+        ));
+    }
+
+    #[test]
+    fn read_hello_bytes_tolerates_any_chunking() {
+        let hello = ClientHello::new(9, "some-longer-token-value");
+        let encoded = hello.encode();
+        // Cursor reads in whatever sizes the loop's buffer allows; also
+        // exercise a sink that returns one byte at a time
+        struct OneByte<'a>(&'a [u8], usize);
+        impl Read for OneByte<'_> {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                if self.1 >= self.0.len() || out.is_empty() {
+                    return Ok(0);
+                }
+                out[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+        let mut reader = FrameReader::new();
+        let mut bytes = read_hello_bytes(&mut Cursor::new(encoded.to_vec()), &mut reader).unwrap();
+        assert_eq!(ClientHello::decode(&mut bytes).unwrap(), hello);
+        let mut reader = FrameReader::new();
+        let mut bytes = read_hello_bytes(&mut OneByte(&encoded, 0), &mut reader).unwrap();
+        assert_eq!(ClientHello::decode(&mut bytes).unwrap(), hello);
+    }
+
+    #[test]
+    fn read_hello_leaves_pipelined_frames_buffered() {
+        use proteus_graph::wire::encode_frame_v2;
+        let hello = ClientHello::new(9, "token");
+        let frame = encode_frame_v2(5, 0, b"eager payload");
+        let mut stream = hello.encode().to_vec();
+        stream.extend_from_slice(&frame);
+        let mut reader = FrameReader::new();
+        let mut bytes = read_hello_bytes(&mut Cursor::new(stream), &mut reader).unwrap();
+        assert_eq!(ClientHello::decode(&mut bytes).unwrap(), hello);
+        // the frame the peer pipelined right behind its hello is intact
+        assert_eq!(
+            reader.try_next().unwrap(),
+            Some(crate::codec::NetFrame::Data(frame))
+        );
+    }
+
+    #[test]
+    fn read_hello_bytes_rejects_eof_mid_hello() {
+        let encoded = ClientHello::new(9, "token").encode();
+        let partial = &encoded[..encoded.len() - 2];
+        let mut reader = FrameReader::new();
+        assert!(matches!(
+            read_hello_bytes(&mut Cursor::new(partial.to_vec()), &mut reader),
+            Err(NetError::Handshake { .. })
+        ));
+    }
+}

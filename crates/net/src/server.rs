@@ -1,0 +1,856 @@
+//! The serving daemon: accepts authenticated connections, demultiplexes
+//! interleaved frames per connection by peeking the request id, and
+//! streams each request through a [`proteus::ServeRuntime`] or
+//! [`proteus::Fleet`] lane.
+//!
+//! ## Threading and failure domains
+//!
+//! One accept thread polls the listener; each connection gets a
+//! *reader* thread (socket → [`FrameReader`] → lane `submit_bytes`) and
+//! a *writer* thread (lane `try_recv` → socket). The split matters for
+//! backpressure: a reader blocked in `submit_bytes` (lane window full)
+//! stops reading, TCP flow control propagates the stall to the client,
+//! and the writer keeps draining completed frames the whole time — so
+//! the window opens again and the system never deadlocks on a full
+//! socket buffer in either direction.
+//!
+//! All socket writes after the handshake go through the writer thread;
+//! the reader queues error frames for it instead of writing directly.
+//! Frames are written whole or not at all, so a live server never emits
+//! a torn frame — a client sees either a complete frame or a closed
+//! connection.
+//!
+//! ## Admission control
+//!
+//! Three gates, each rejected with a typed error frame rather than a
+//! reset: connection limit (at accept), tenant auth + version +
+//! fingerprint (at handshake), and per-tenant concurrent-request quota
+//! (at first frame of a new request id).
+//!
+//! ## Shutdown
+//!
+//! [`NetServer::shutdown`] stops accepting, flags draining (new request
+//! ids are rejected with [`ErrorCode::Shutdown`]), waits for in-flight
+//! requests to finish within the grace period, then force-closes
+//! stragglers. A fleet backend is drained replica by replica —
+//! reusing [`proteus::Fleet::drain`] — before the call returns.
+
+use crate::codec::{FrameReader, FrameWriter, NetFrame};
+use crate::error::{error_frame_for, NetError};
+use crate::handshake::{read_hello_bytes, ClientHello, ServerHello, NET_PROTOCOL_VERSION};
+use bytes::Bytes;
+use proteus::serve::RequestHandle;
+use proteus::{Fleet, ProteusError, ServeRuntime};
+use proteus_graph::wire::{
+    encode_error_frame, peek_frame_request_id, ErrorCode, ErrorFrame, WIRE_VERSION,
+    WIRE_VERSION_V1, WIRE_VERSION_V2,
+};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::Read;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Lock, recovering the guard from a poisoned mutex: the shared state
+/// is counters and registries, valid at every instant, so a panicking
+/// peer thread must not wedge the rest of the server.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One tenant's credential.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantAuth {
+    /// Tenant name (quota accounting key).
+    pub tenant: String,
+    /// The token the tenant authenticates with.
+    pub token: String,
+}
+
+impl TenantAuth {
+    /// Builds a credential.
+    pub fn new(tenant: impl Into<String>, token: impl Into<String>) -> TenantAuth {
+        TenantAuth {
+            tenant: tenant.into(),
+            token: token.into(),
+        }
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Address to bind, e.g. `"127.0.0.1:0"` (port 0 picks a free
+    /// port; read it back from [`NetServer::local_addr`]).
+    pub addr: String,
+    /// Accepted tenant credentials. Empty means *no* client can
+    /// authenticate — auth is never implicitly open.
+    pub auth: Vec<TenantAuth>,
+    /// Maximum concurrently-open client connections; `0` = unlimited.
+    pub max_connections: usize,
+    /// Maximum concurrently-active requests per tenant; `0` =
+    /// unlimited.
+    pub tenant_quota: usize,
+    /// Free-form banner announced in the server hello.
+    pub banner: String,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> NetServerConfig {
+        NetServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            auth: Vec::new(),
+            max_connections: 0,
+            tenant_quota: 0,
+            banner: "proteus-serve".to_string(),
+        }
+    }
+}
+
+/// The optimization engine behind the socket: a single shared runtime,
+/// or a replicated fleet (requests route by consistent hash and the
+/// server reuses fleet drain on shutdown).
+pub enum NetBackend {
+    /// One shared [`ServeRuntime`].
+    Runtime(ServeRuntime),
+    /// A replicated [`Fleet`].
+    Fleet(Fleet),
+}
+
+impl std::fmt::Debug for NetBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetBackend::Runtime(_) => f.write_str("NetBackend::Runtime"),
+            NetBackend::Fleet(fleet) => {
+                write!(f, "NetBackend::Fleet({} replicas)", fleet.replicas())
+            }
+        }
+    }
+}
+
+impl NetBackend {
+    fn lane(&self, request_id: u64) -> Result<RequestHandle, ProteusError> {
+        match self {
+            NetBackend::Runtime(rt) => Ok(rt.handle(request_id)),
+            NetBackend::Fleet(fleet) => fleet.lane(request_id),
+        }
+    }
+}
+
+/// Point-in-time server counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetServerStats {
+    /// Connections that passed the connection limit and were handed to
+    /// a handler thread.
+    pub connections_accepted: usize,
+    /// Connections turned away at the limit.
+    pub connections_rejected: usize,
+    /// Handshakes rejected (bad auth, version, fingerprint, malformed).
+    pub handshakes_rejected: usize,
+    /// Requests whose every frame was optimized and written back.
+    pub requests_completed: usize,
+    /// Requests that ended with an error frame (admission rejections
+    /// included).
+    pub requests_failed: usize,
+    /// Requests admitted and currently streaming (lane open).
+    pub requests_active: usize,
+    /// Connections currently open.
+    pub active_connections: usize,
+}
+
+struct Counters {
+    connections_accepted: AtomicUsize,
+    connections_rejected: AtomicUsize,
+    handshakes_rejected: AtomicUsize,
+    requests_completed: AtomicUsize,
+    requests_failed: AtomicUsize,
+    requests_active: AtomicUsize,
+    active_connections: AtomicUsize,
+}
+
+struct ServerShared {
+    backend: NetBackend,
+    config: NetServerConfig,
+    /// token → tenant.
+    tokens: HashMap<String, String>,
+    fingerprint: u64,
+    /// Set once: stop accepting, reject new request ids, drain.
+    draining: AtomicBool,
+    counters: Counters,
+    /// Concurrently-active requests per tenant.
+    tenant_active: Mutex<HashMap<String, usize>>,
+    /// Clones of every open connection, for force-close on shutdown.
+    open_streams: Mutex<Vec<TcpStream>>,
+    /// Handler threads, joined on shutdown.
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ServerShared {
+    fn release_tenant(&self, tenant: &str) {
+        let mut map = relock(&self.tenant_active);
+        if let Some(n) = map.get_mut(tenant) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                map.remove(tenant);
+            }
+        }
+    }
+}
+
+/// A running TCP serving daemon. Dropping the server shuts it down with
+/// a short grace period; call [`NetServer::shutdown`] for an explicit
+/// drain with a chosen budget.
+#[derive(Debug)]
+pub struct NetServer {
+    shared: Arc<ServerShared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServerShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerShared")
+            .field("fingerprint", &self.fingerprint)
+            .field("draining", &self.draining)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NetServer {
+    /// Binds and starts serving in background threads.
+    ///
+    /// # Errors
+    /// [`NetError::Io`] when the address cannot be bound.
+    pub fn bind(
+        backend: NetBackend,
+        fingerprint: u64,
+        config: NetServerConfig,
+    ) -> Result<NetServer, NetError> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| NetError::io(format!("binding {}", config.addr), e))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| NetError::io("reading bound address", e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| NetError::io("setting listener nonblocking", e))?;
+        let tokens = config
+            .auth
+            .iter()
+            .map(|a| (a.token.clone(), a.tenant.clone()))
+            .collect();
+        let shared = Arc::new(ServerShared {
+            backend,
+            config,
+            tokens,
+            fingerprint,
+            draining: AtomicBool::new(false),
+            counters: Counters {
+                connections_accepted: AtomicUsize::new(0),
+                connections_rejected: AtomicUsize::new(0),
+                handshakes_rejected: AtomicUsize::new(0),
+                requests_completed: AtomicUsize::new(0),
+                requests_failed: AtomicUsize::new(0),
+                requests_active: AtomicUsize::new(0),
+                active_connections: AtomicUsize::new(0),
+            },
+            tenant_active: Mutex::new(HashMap::new()),
+            open_streams: Mutex::new(Vec::new()),
+            handlers: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = thread::Builder::new()
+            .name("proteus-net-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .map_err(|e| NetError::io("spawning accept thread", e))?;
+        Ok(NetServer {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address the server actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> NetServerStats {
+        let c = &self.shared.counters;
+        NetServerStats {
+            connections_accepted: c.connections_accepted.load(Ordering::SeqCst),
+            connections_rejected: c.connections_rejected.load(Ordering::SeqCst),
+            handshakes_rejected: c.handshakes_rejected.load(Ordering::SeqCst),
+            requests_completed: c.requests_completed.load(Ordering::SeqCst),
+            requests_failed: c.requests_failed.load(Ordering::SeqCst),
+            requests_active: c.requests_active.load(Ordering::SeqCst),
+            active_connections: c.active_connections.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Graceful drain: stop accepting, reject new request ids with
+    /// [`ErrorCode::Shutdown`], let in-flight requests finish within
+    /// `grace`, force-close whatever remains, join every thread, and
+    /// drain the backend (fleet replicas via [`proteus::Fleet::drain`]).
+    ///
+    /// Returns the final counters.
+    pub fn shutdown(mut self, grace: Duration) -> NetServerStats {
+        self.shutdown_inner(grace)
+    }
+
+    fn shutdown_inner(&mut self, grace: Duration) -> NetServerStats {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join(); // exits promptly: the loop polls `draining`
+        }
+        let deadline = Instant::now() + grace;
+        while self
+            .shared
+            .counters
+            .active_connections
+            .load(Ordering::SeqCst)
+            > 0
+            && Instant::now() < deadline
+        {
+            thread::sleep(Duration::from_millis(1));
+        }
+        // force-close stragglers; handler threads then exit on I/O error
+        for stream in relock(&self.shared.open_streams).iter() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let handlers: Vec<JoinHandle<()>> = relock(&self.shared.handlers).drain(..).collect();
+        for h in handlers {
+            let _ = h.join();
+        }
+        if let NetBackend::Fleet(fleet) = &self.shared.backend {
+            for index in 0..fleet.replicas() {
+                let _ = fleet.drain(index);
+            }
+        }
+        self.stats()
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.shutdown_inner(Duration::from_secs(5));
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
+    while !shared.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let limit = shared.config.max_connections;
+                let active = shared.counters.active_connections.load(Ordering::SeqCst);
+                if limit > 0 && active >= limit {
+                    shared
+                        .counters
+                        .connections_rejected
+                        .fetch_add(1, Ordering::SeqCst);
+                    reject_connection(
+                        stream,
+                        ErrorCode::ConnectionLimit,
+                        format!("server is at its connection limit of {limit}"),
+                    );
+                    continue;
+                }
+                shared
+                    .counters
+                    .connections_accepted
+                    .fetch_add(1, Ordering::SeqCst);
+                shared
+                    .counters
+                    .active_connections
+                    .fetch_add(1, Ordering::SeqCst);
+                if let Ok(clone) = stream.try_clone() {
+                    relock(&shared.open_streams).push(clone);
+                }
+                let conn_shared = Arc::clone(&shared);
+                let spawned = thread::Builder::new()
+                    .name("proteus-net-conn".to_string())
+                    .spawn(move || {
+                        handle_connection(stream, &conn_shared);
+                        conn_shared
+                            .counters
+                            .active_connections
+                            .fetch_sub(1, Ordering::SeqCst);
+                    });
+                match spawned {
+                    Ok(handle) => relock(&shared.handlers).push(handle),
+                    Err(_) => {
+                        // thread spawn failure: undo the accept accounting
+                        shared
+                            .counters
+                            .active_connections
+                            .fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    // listener drops here: further connects are refused by the OS
+}
+
+/// Answers a connection that never gets a handler thread (limit, or a
+/// rejected handshake) with one typed error frame, then closes.
+fn reject_connection(mut stream: TcpStream, code: ErrorCode, detail: String) {
+    let frame = encode_error_frame(&ErrorFrame::new(0, code, detail));
+    let _ = FrameWriter::new(&mut stream).write_frame(&frame);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// One request's lane and its per-connection bookkeeping.
+struct Lane {
+    handle: RequestHandle,
+    tenant: String,
+    /// Frames submitted into the lane from this connection.
+    submitted: usize,
+    /// Optimized frames written back to the client.
+    delivered: usize,
+    /// Total frames the request will produce, learned from the first
+    /// completed bucket (every sealed bucket carries `num_buckets`).
+    expected: Option<usize>,
+    /// An error frame for this lane has been written; it is dead.
+    failed: bool,
+}
+
+/// State shared between a connection's reader and writer threads.
+struct ConnState {
+    lanes: HashMap<u64, Lane>,
+    /// Request ids rejected at admission — later frames for them are
+    /// dropped without another error frame.
+    rejected: HashSet<u64>,
+    /// Error frames queued by the reader for the writer to send.
+    errors: VecDeque<ErrorFrame>,
+    /// The client half-closed (or the read side failed): no more
+    /// submissions; drain and close.
+    eof: bool,
+    /// The connection is unusable (write failed): drop everything now.
+    fatal: bool,
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Arc<ServerShared>) {
+    let _ = stream.set_nodelay(true);
+    let mut reader = FrameReader::new();
+
+    // --- handshake ---
+    let hello = match read_hello_bytes(&mut stream, &mut reader) {
+        Ok(mut bytes) => match ClientHello::decode(&mut bytes) {
+            Ok(hello) => hello,
+            Err(e) => {
+                shared
+                    .counters
+                    .handshakes_rejected
+                    .fetch_add(1, Ordering::SeqCst);
+                reject_connection(stream, ErrorCode::Protocol, format!("malformed hello: {e}"));
+                return;
+            }
+        },
+        Err(_) => {
+            // peer vanished before completing a hello; nothing to answer
+            shared
+                .counters
+                .handshakes_rejected
+                .fetch_add(1, Ordering::SeqCst);
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+    };
+    let rejection = if hello.net_protocol != NET_PROTOCOL_VERSION {
+        Some((
+            ErrorCode::VersionMismatch,
+            format!(
+                "client speaks net protocol {}, server speaks {}",
+                hello.net_protocol, NET_PROTOCOL_VERSION
+            ),
+        ))
+    } else if hello.wire_version != WIRE_VERSION_V1 && hello.wire_version != WIRE_VERSION_V2 {
+        Some((
+            ErrorCode::VersionMismatch,
+            format!(
+                "client sends wire version {}, server accepts up to {}",
+                hello.wire_version, WIRE_VERSION
+            ),
+        ))
+    } else if shared.draining.load(Ordering::SeqCst) {
+        Some((
+            ErrorCode::Shutdown,
+            "server is draining for shutdown".to_string(),
+        ))
+    } else {
+        match shared.tokens.get(&hello.token) {
+            None => Some((ErrorCode::BadAuth, "unknown tenant auth token".to_string())),
+            Some(_) if hello.fingerprint != shared.fingerprint => Some((
+                ErrorCode::FingerprintMismatch,
+                format!(
+                    "client expects artifact {:#018x}, server serves {:#018x}",
+                    hello.fingerprint, shared.fingerprint
+                ),
+            )),
+            Some(_) => None,
+        }
+    };
+    if let Some((code, detail)) = rejection {
+        shared
+            .counters
+            .handshakes_rejected
+            .fetch_add(1, Ordering::SeqCst);
+        reject_connection(stream, code, detail);
+        return;
+    }
+    // tokens map hit is guaranteed by the rejection chain above
+    let tenant = match shared.tokens.get(&hello.token) {
+        Some(t) => t.clone(),
+        None => return,
+    };
+    let server_hello = ServerHello::new(shared.fingerprint, shared.config.banner.clone());
+    if FrameWriter::new(&mut stream)
+        .write_frame(&server_hello.encode())
+        .is_err()
+    {
+        return;
+    }
+
+    // --- frame exchange ---
+    let state = Arc::new(Mutex::new(ConnState {
+        lanes: HashMap::new(),
+        rejected: HashSet::new(),
+        errors: VecDeque::new(),
+        eof: false,
+        fatal: false,
+    }));
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let writer_state = Arc::clone(&state);
+    let writer_shared = Arc::clone(shared);
+    let writer = match thread::Builder::new()
+        .name("proteus-net-write".to_string())
+        .spawn(move || writer_loop(writer_stream, &writer_state, &writer_shared))
+    {
+        Ok(handle) => handle,
+        Err(_) => return,
+    };
+
+    reader_loop(&mut stream, &mut reader, &state, shared, &tenant);
+    let _ = writer.join();
+    // release anything still held (fatal teardown path)
+    let mut st = relock(&state);
+    for (_, lane) in st.lanes.drain() {
+        shared.release_tenant(&lane.tenant);
+        shared
+            .counters
+            .requests_active
+            .fetch_sub(1, Ordering::SeqCst);
+        shared
+            .counters
+            .requests_failed
+            .fetch_add(1, Ordering::SeqCst);
+        // dropping the last handle clone cancels the lane: queued tasks
+        // detach, nothing is ever written for it — fails closed
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Socket → frames → lanes. Runs on the connection's main thread.
+fn reader_loop(
+    stream: &mut TcpStream,
+    reader: &mut FrameReader,
+    state: &Arc<Mutex<ConnState>>,
+    shared: &Arc<ServerShared>,
+    tenant: &str,
+) {
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        // drain complete frames before blocking on the socket again
+        loop {
+            match reader.try_next() {
+                Ok(Some(NetFrame::Data(raw))) => {
+                    if !dispatch_frame(raw, state, shared, tenant) {
+                        relock(state).eof = true;
+                        return;
+                    }
+                }
+                Ok(Some(NetFrame::Error(_))) => {
+                    // clients have no business sending error frames;
+                    // treat it as a framing violation and close
+                    let mut st = relock(state);
+                    st.errors.push_back(ErrorFrame::new(
+                        0,
+                        ErrorCode::Protocol,
+                        "client sent an error frame",
+                    ));
+                    st.eof = true;
+                    return;
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // unsynchronisable stream: report once, stop reading
+                    let mut st = relock(state);
+                    st.errors
+                        .push_back(ErrorFrame::new(0, ErrorCode::Wire, e.to_string()));
+                    st.eof = true;
+                    return;
+                }
+            }
+        }
+        if relock(state).fatal {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                relock(state).eof = true;
+                return;
+            }
+            Ok(n) => reader.push(&chunk[..n]),
+            Err(_) => {
+                let mut st = relock(state);
+                st.eof = true;
+                st.fatal = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Routes one raw data frame to its lane, opening the lane (through
+/// admission control) on the first frame of a new request id. Returns
+/// `false` only for failures that must end the connection.
+fn dispatch_frame(
+    raw: Bytes,
+    state: &Arc<Mutex<ConnState>>,
+    shared: &Arc<ServerShared>,
+    tenant: &str,
+) -> bool {
+    let request_id = match peek_frame_request_id(&raw) {
+        Ok(rid) => rid,
+        Err(e) => {
+            let mut st = relock(state);
+            st.errors
+                .push_back(ErrorFrame::new(0, ErrorCode::Wire, e.to_string()));
+            return false;
+        }
+    };
+    // fast path: existing lane (clone the handle out so submit_bytes —
+    // which can block on the backpressure window — runs without the
+    // connection lock held)
+    let existing = {
+        let mut st = relock(state);
+        if st.rejected.contains(&request_id) {
+            return true; // already rejected; drop silently
+        }
+        match st.lanes.get_mut(&request_id) {
+            Some(lane) if lane.failed => return true,
+            Some(lane) => {
+                lane.submitted += 1;
+                Some(lane.handle.clone())
+            }
+            None => None,
+        }
+    };
+    let handle = match existing {
+        Some(h) => h,
+        None => {
+            // admission for a new request id
+            let reject = |code: ErrorCode, detail: String| {
+                let mut st = relock(state);
+                st.rejected.insert(request_id);
+                st.errors
+                    .push_back(ErrorFrame::new(request_id, code, detail));
+                shared
+                    .counters
+                    .requests_failed
+                    .fetch_add(1, Ordering::SeqCst);
+            };
+            if shared.draining.load(Ordering::SeqCst) {
+                reject(
+                    ErrorCode::Shutdown,
+                    "server is draining; request rejected".to_string(),
+                );
+                return true;
+            }
+            let quota = shared.config.tenant_quota;
+            if quota > 0 {
+                let mut map = relock(&shared.tenant_active);
+                let n = map.entry(tenant.to_string()).or_insert(0);
+                if *n >= quota {
+                    drop(map);
+                    reject(
+                        ErrorCode::QuotaExceeded,
+                        format!("tenant {tenant} is at its quota of {quota} concurrent requests"),
+                    );
+                    return true;
+                }
+                *n += 1;
+            } else {
+                *relock(&shared.tenant_active)
+                    .entry(tenant.to_string())
+                    .or_insert(0) += 1;
+            }
+            match shared.backend.lane(request_id) {
+                Ok(handle) => {
+                    let mut st = relock(state);
+                    st.lanes.insert(
+                        request_id,
+                        Lane {
+                            handle: handle.clone(),
+                            tenant: tenant.to_string(),
+                            submitted: 1,
+                            delivered: 0,
+                            expected: None,
+                            failed: false,
+                        },
+                    );
+                    shared
+                        .counters
+                        .requests_active
+                        .fetch_add(1, Ordering::SeqCst);
+                    handle
+                }
+                Err(e) => {
+                    shared.release_tenant(tenant);
+                    reject(crate::error::error_code_for(&e), e.to_string());
+                    return true;
+                }
+            }
+        }
+    };
+    if let Err(e) = handle.submit_bytes(raw) {
+        // the lane survives a per-frame rejection (duplicate, corrupt);
+        // the client learns which frame and why
+        let mut st = relock(state);
+        st.errors.push_back(error_frame_for(request_id, &e));
+    }
+    true
+}
+
+/// Lanes → socket. Runs until the connection is finished: every lane
+/// complete or failed, the reader at EOF, and the error queue flushed.
+fn writer_loop(stream: TcpStream, state: &Arc<Mutex<ConnState>>, shared: &Arc<ServerShared>) {
+    let mut writer = FrameWriter::new(&stream);
+    loop {
+        // collect work under the lock, write outside it
+        let (errors, ready, done) = {
+            let mut st = relock(state);
+            let errors: Vec<ErrorFrame> = st.errors.drain(..).collect();
+            let mut ready: Vec<(u64, Bytes)> = Vec::new();
+            let mut failed: Vec<(u64, ErrorFrame)> = Vec::new();
+            let mut completed: Vec<u64> = Vec::new();
+            let eof = st.eof;
+            for (&rid, lane) in st.lanes.iter_mut() {
+                while let Some(bucket) = lane.handle.try_recv() {
+                    lane.expected = Some(bucket.num_buckets as usize);
+                    lane.delivered += 1;
+                    ready.push((rid, bucket.to_mux_bytes(rid)));
+                }
+                if let Some(err) = lane.handle.failure() {
+                    if !lane.failed {
+                        lane.failed = true;
+                        failed.push((rid, error_frame_for(rid, &err)));
+                    }
+                    continue;
+                }
+                let complete = lane.expected.is_some_and(|e| lane.delivered == e);
+                // at client EOF a lane that will never see its missing
+                // frames (client bailed early) finishes once everything
+                // actually submitted has come back
+                let drained_at_eof =
+                    eof && lane.delivered == lane.submitted && lane.handle.in_flight() == 0;
+                if complete || drained_at_eof {
+                    completed.push(rid);
+                }
+            }
+            for (rid, frame) in failed {
+                st.errors.push_back(frame);
+                if let Some(lane) = st.lanes.remove(&rid) {
+                    shared.release_tenant(&lane.tenant);
+                    shared
+                        .counters
+                        .requests_active
+                        .fetch_sub(1, Ordering::SeqCst);
+                    shared
+                        .counters
+                        .requests_failed
+                        .fetch_add(1, Ordering::SeqCst);
+                }
+                st.rejected.insert(rid);
+            }
+            for rid in completed {
+                if let Some(lane) = st.lanes.remove(&rid) {
+                    shared.release_tenant(&lane.tenant);
+                    shared
+                        .counters
+                        .requests_active
+                        .fetch_sub(1, Ordering::SeqCst);
+                    if lane.expected.is_some_and(|e| lane.delivered == e) {
+                        shared
+                            .counters
+                            .requests_completed
+                            .fetch_add(1, Ordering::SeqCst);
+                    } else {
+                        // drained at EOF short of the full bucket count:
+                        // the client abandoned the request mid-stream
+                        shared
+                            .counters
+                            .requests_failed
+                            .fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            // take failure frames queued just above in the same pass
+            let mut all_errors = errors;
+            all_errors.extend(st.errors.drain(..));
+            let finished = st.fatal || (st.eof && st.lanes.is_empty() && all_errors.is_empty());
+            (all_errors, ready, finished)
+        };
+        let mut write_failed = false;
+        for frame in &errors {
+            if writer.write_frame(&encode_error_frame(frame)).is_err() {
+                write_failed = true;
+                break;
+            }
+        }
+        if !write_failed {
+            for (_rid, bytes) in &ready {
+                if writer.write_frame(bytes).is_err() {
+                    write_failed = true;
+                    break;
+                }
+            }
+        }
+        if write_failed {
+            // client is gone: fail closed — drop every lane (cancelling
+            // queued work) and let the reader observe `fatal`
+            let mut st = relock(state);
+            st.fatal = true;
+            for (_, lane) in st.lanes.drain() {
+                shared.release_tenant(&lane.tenant);
+                shared
+                    .counters
+                    .requests_active
+                    .fetch_sub(1, Ordering::SeqCst);
+                shared
+                    .counters
+                    .requests_failed
+                    .fetch_add(1, Ordering::SeqCst);
+            }
+            return;
+        }
+        if done {
+            let _ = stream.shutdown(Shutdown::Write);
+            return;
+        }
+        thread::sleep(Duration::from_micros(200));
+    }
+}

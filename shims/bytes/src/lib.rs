@@ -240,6 +240,22 @@ impl BytesMut {
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
     }
+
+    /// Appends bytes (same surface as the registry crate's inherent
+    /// method; [`BufMut::put_slice`] is the trait spelling).
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Splits off and returns the first `len` bytes, leaving the rest
+    /// in place. Panics when `len` exceeds the buffer, matching the
+    /// registry crate.
+    pub fn split_to(&mut self, len: usize) -> BytesMut {
+        assert!(len <= self.data.len(), "split_to out of bounds");
+        let rest = self.data.split_off(len);
+        let head = std::mem::replace(&mut self.data, rest);
+        BytesMut { data: head }
+    }
 }
 
 impl BufMut for BytesMut {

@@ -1,0 +1,426 @@
+//! Loopback end-to-end coverage for the TCP serving boundary
+//! (`proteus-net`): the deployed split must be **bit-identical** to the
+//! in-process session path, and every rejection at the socket boundary
+//! must surface as a *typed* value, never a silent disconnect.
+//!
+//! - zoo-wide multi-tenant parity: every model of the 13-model zoo,
+//!   streamed over real sockets by concurrent tenants with interleaved
+//!   request frames, reassembles to the same bytes as optimizing the
+//!   same frames in-process;
+//! - mid-stream client disconnect: the server lane fails closed (no
+//!   partial frame escapes, the server stays healthy);
+//! - bad auth / fingerprint mismatch / version skew: typed handshake
+//!   rejections;
+//! - per-tenant quotas and connection limits: typed admission
+//!   rejections;
+//! - graceful drain: in-flight requests complete through shutdown, new
+//!   connections are refused after it.
+//!
+//! CI runs this suite in release mode (the `net-e2e` job).
+
+use proteus::serve::ServeRuntime;
+use proteus::{
+    DeobfuscationSession, PartitionSpec, Proteus, ProteusConfig, SealedBucket, ServeConfig,
+};
+use proteus_graph::wire::ErrorCode;
+use proteus_graph::TensorMap;
+use proteus_graphgen::GraphRnnConfig;
+use proteus_models::{build, ModelKind};
+use proteus_net::handshake::{read_hello_bytes, ClientHello, ServerHello};
+use proteus_net::{
+    FrameReader, FrameWriter, NetBackend, NetClient, NetRequest, NetServer, NetServerConfig,
+    TenantAuth,
+};
+use proteus_opt::{Optimizer, Profile};
+use std::net::TcpStream;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+fn quick_config() -> ProteusConfig {
+    ProteusConfig {
+        k: 2,
+        partitions: PartitionSpec::Count(3),
+        graphrnn: GraphRnnConfig {
+            epochs: 2,
+            max_nodes: 20,
+            ..Default::default()
+        },
+        topology_pool: 30,
+        ..Default::default()
+    }
+}
+
+/// One shared trained instance for the whole suite — training dominates
+/// test wall-clock and every test only needs *a* trained owner/server
+/// pair that agree on state.
+fn shared_proteus() -> Arc<Proteus> {
+    static SHARED: OnceLock<Arc<Proteus>> = OnceLock::new();
+    Arc::clone(
+        SHARED
+            .get_or_init(|| Arc::new(Proteus::train(quick_config(), &[build(ModelKind::ResNet)]))),
+    )
+}
+
+fn two_tenant_auth() -> Vec<TenantAuth> {
+    vec![
+        TenantAuth::new("alpha", "alpha-token"),
+        TenantAuth::new("beta", "beta-token"),
+    ]
+}
+
+/// Spawns a loopback server backed by a fresh single runtime over the
+/// shared trained state.
+fn spawn_server(config: NetServerConfig) -> NetServer {
+    let runtime = ServeRuntime::new(
+        Optimizer::new(Profile::OrtLike),
+        ServeConfig {
+            workers: 2,
+            ..Default::default()
+        },
+    )
+    .expect("runtime spawns");
+    NetServer::bind(
+        NetBackend::Runtime(runtime),
+        shared_proteus().config_fingerprint(),
+        config,
+    )
+    .expect("server binds")
+}
+
+fn default_server() -> NetServer {
+    spawn_server(NetServerConfig {
+        auth: two_tenant_auth(),
+        ..Default::default()
+    })
+}
+
+/// Owner side of one request: session frames (wire bytes), the input
+/// buckets (for the serial reference), and the reassembly secrets.
+struct OwnedRequest {
+    request: NetRequest,
+    inputs: Vec<SealedBucket>,
+    secrets: proteus::ObfuscationSecrets,
+    kind: ModelKind,
+}
+
+fn owned_request(kind: ModelKind, request_id: u64) -> OwnedRequest {
+    let proteus = shared_proteus();
+    let g = build(kind);
+    let mut session = proteus
+        .obfuscate_session(&g, &TensorMap::new(), request_id)
+        .expect("session opens");
+    let mut inputs = Vec::with_capacity(session.num_buckets());
+    let mut frames = Vec::with_capacity(session.num_buckets());
+    while let Some(frame) = session.next_frame() {
+        frames.push(frame.to_mux_bytes(request_id));
+        inputs.push(frame);
+    }
+    let secrets = session.finish().expect("all frames emitted");
+    OwnedRequest {
+        request: NetRequest { request_id, frames },
+        inputs,
+        secrets,
+        kind,
+    }
+}
+
+/// The in-process reference: the same input frames optimized serially,
+/// as sorted wire bytes (completion order is scheduling-dependent).
+fn serial_reference(inputs: &[SealedBucket], request_id: u64) -> Vec<Vec<u8>> {
+    let optimizer = Optimizer::new(Profile::OrtLike);
+    let mut want: Vec<Vec<u8>> = inputs
+        .iter()
+        .map(|f| {
+            f.optimize(&optimizer, Some(1))
+                .to_mux_bytes(request_id)
+                .to_vec()
+        })
+        .collect();
+    want.sort();
+    want
+}
+
+/// Asserts one response matches its serial reference bit-for-bit and
+/// reassembles into a valid optimized graph.
+fn assert_parity(owned: &OwnedRequest, frames: &[bytes::Bytes]) {
+    let mut got: Vec<Vec<u8>> = frames.iter().map(|b| b.to_vec()).collect();
+    got.sort();
+    assert_eq!(
+        got,
+        serial_reference(&owned.inputs, owned.request.request_id),
+        "remote wire bytes diverge from the in-process path on {} (rid {})",
+        owned.kind.name(),
+        owned.request.request_id
+    );
+    let mut reassembly = DeobfuscationSession::new(&owned.secrets);
+    for raw in frames {
+        reassembly
+            .accept_mux_bytes(raw.clone())
+            .expect("optimized frame accepted");
+    }
+    let (graph, _params) = reassembly.finish().expect("reassembly completes");
+    graph.validate().expect("optimized graph validates");
+}
+
+// ---------------------------------------------------------------------------
+// zoo-wide multi-tenant parity
+// ---------------------------------------------------------------------------
+
+#[test]
+fn zoo_parity_multi_tenant_over_loopback() {
+    let server = default_server();
+    let addr = server.local_addr();
+    let fingerprint = shared_proteus().config_fingerprint();
+
+    // three concurrent tenant connections, each multiplexing a slice of
+    // the zoo as interleaved request frames on one socket
+    let slices: Vec<(&str, Vec<ModelKind>)> = vec![
+        ("alpha-token", ModelKind::ALL[0..5].to_vec()),
+        ("beta-token", ModelKind::ALL[5..9].to_vec()),
+        ("alpha-token", ModelKind::ALL[9..13].to_vec()),
+    ];
+    let workers: Vec<std::thread::JoinHandle<()>> = slices
+        .into_iter()
+        .enumerate()
+        .map(|(slot, (token, kinds))| {
+            std::thread::spawn(move || {
+                let owned: Vec<OwnedRequest> = kinds
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &kind)| owned_request(kind, 1000 * (slot as u64 + 1) + i as u64))
+                    .collect();
+                let client = NetClient::connect(addr, token, fingerprint).expect("tenant connects");
+                let responses = client
+                    .run_requests(owned.iter().map(|o| o.request.clone()).collect())
+                    .expect("wave completes");
+                assert_eq!(responses.len(), owned.len());
+                for (owned, response) in owned.iter().zip(&responses) {
+                    let frames = response
+                        .result
+                        .as_ref()
+                        .unwrap_or_else(|e| panic!("{} failed remotely: {e}", owned.kind.name()));
+                    assert_eq!(frames.len(), owned.inputs.len(), "{}", owned.kind.name());
+                    assert_parity(owned, frames);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("tenant thread clean");
+    }
+    let stats = server.shutdown(Duration::from_secs(30));
+    assert_eq!(stats.connections_accepted, 3);
+    assert_eq!(stats.requests_completed, 13, "whole zoo served");
+    assert_eq!(stats.requests_failed, 0);
+    assert_eq!(stats.handshakes_rejected, 0);
+}
+
+// ---------------------------------------------------------------------------
+// typed handshake rejections
+// ---------------------------------------------------------------------------
+
+#[test]
+fn bad_auth_is_rejected_typed() {
+    let server = default_server();
+    let fingerprint = shared_proteus().config_fingerprint();
+    let err = NetClient::connect(server.local_addr(), "wrong-token", fingerprint)
+        .expect_err("bad token must not connect");
+    assert_eq!(err.remote_code(), Some(ErrorCode::BadAuth), "{err}");
+    let stats = server.shutdown(Duration::from_secs(5));
+    assert_eq!(stats.handshakes_rejected, 1);
+    assert_eq!(stats.requests_completed, 0);
+}
+
+#[test]
+fn fingerprint_mismatch_is_rejected_typed() {
+    let server = default_server();
+    let fingerprint = shared_proteus().config_fingerprint();
+    let err = NetClient::connect(server.local_addr(), "alpha-token", fingerprint ^ 0xBAD)
+        .expect_err("stale artifact expectation must not connect");
+    assert_eq!(
+        err.remote_code(),
+        Some(ErrorCode::FingerprintMismatch),
+        "{err}"
+    );
+    let stats = server.shutdown(Duration::from_secs(5));
+    assert_eq!(stats.handshakes_rejected, 1);
+}
+
+#[test]
+fn net_protocol_version_skew_is_rejected_typed() {
+    let server = default_server();
+    let fingerprint = shared_proteus().config_fingerprint();
+    // speak a future handshake version by hand
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut hello = ClientHello::new(fingerprint, "alpha-token");
+    hello.net_protocol = 99;
+    FrameWriter::new(&mut stream)
+        .write_frame(&hello.encode())
+        .expect("hello written");
+    let mut reader = FrameReader::new();
+    let reply = read_hello_bytes(&mut stream, &mut reader).expect("server answers");
+    let mut buf = reply;
+    let frame = proteus_graph::wire::decode_error_frame(&mut buf).expect("typed error frame");
+    assert_eq!(frame.code, ErrorCode::VersionMismatch);
+    assert_eq!(frame.request_id, 0, "connection-level failure");
+    drop(stream);
+    let stats = server.shutdown(Duration::from_secs(5));
+    assert_eq!(stats.handshakes_rejected, 1);
+}
+
+// ---------------------------------------------------------------------------
+// admission control
+// ---------------------------------------------------------------------------
+
+#[test]
+fn tenant_quota_rejects_excess_concurrent_requests_typed() {
+    let server = spawn_server(NetServerConfig {
+        auth: two_tenant_auth(),
+        tenant_quota: 1,
+        ..Default::default()
+    });
+    let fingerprint = shared_proteus().config_fingerprint();
+    let first = owned_request(ModelKind::AlexNet, 41);
+    let second = owned_request(ModelKind::MobileNet, 42);
+    let client = NetClient::connect(server.local_addr(), "alpha-token", fingerprint)
+        .expect("tenant connects");
+    // frames interleave on the wire, so request 42's first frame arrives
+    // while 41 is still active — deterministic quota hit
+    let responses = client
+        .run_requests(vec![first.request.clone(), second.request.clone()])
+        .expect("wave completes");
+    let ok = responses[0].result.as_ref().expect("within quota");
+    assert_parity(&first, ok);
+    let err = responses[1]
+        .result
+        .as_ref()
+        .expect_err("over quota must fail typed");
+    assert_eq!(err.code, ErrorCode::QuotaExceeded);
+    assert_eq!(err.request_id, 42);
+    let stats = server.shutdown(Duration::from_secs(30));
+    assert_eq!(stats.requests_completed, 1);
+    assert_eq!(stats.requests_failed, 1);
+}
+
+#[test]
+fn connection_limit_rejects_excess_connections_typed() {
+    let server = spawn_server(NetServerConfig {
+        auth: two_tenant_auth(),
+        max_connections: 1,
+        ..Default::default()
+    });
+    let fingerprint = shared_proteus().config_fingerprint();
+    let first = NetClient::connect(server.local_addr(), "alpha-token", fingerprint)
+        .expect("first connection admitted");
+    let err = NetClient::connect(server.local_addr(), "beta-token", fingerprint)
+        .expect_err("second connection must be turned away");
+    assert_eq!(err.remote_code(), Some(ErrorCode::ConnectionLimit), "{err}");
+    drop(first);
+    let stats = server.shutdown(Duration::from_secs(5));
+    assert_eq!(stats.connections_rejected, 1);
+}
+
+// ---------------------------------------------------------------------------
+// failure semantics on a live stream
+// ---------------------------------------------------------------------------
+
+#[test]
+fn duplicate_frame_surfaces_typed_midstream() {
+    let server = default_server();
+    let fingerprint = shared_proteus().config_fingerprint();
+    let owned = owned_request(ModelKind::AlexNet, 77);
+    let mut frames = owned.request.frames.clone();
+    frames.insert(1, frames[0].clone()); // resubmit bucket 0
+    let client = NetClient::connect(server.local_addr(), "alpha-token", fingerprint)
+        .expect("tenant connects");
+    let err = client
+        .run_request(77, frames)
+        .expect_err("duplicate must surface");
+    assert_eq!(err.remote_code(), Some(ErrorCode::DuplicateFrame), "{err}");
+    server.shutdown(Duration::from_secs(30));
+}
+
+#[test]
+fn mid_stream_disconnect_fails_closed_and_server_survives() {
+    let server = default_server();
+    let addr = server.local_addr();
+    let fingerprint = shared_proteus().config_fingerprint();
+    let owned = owned_request(ModelKind::ResNet, 55);
+    assert!(
+        owned.request.frames.len() >= 2,
+        "needs a multi-frame request"
+    );
+
+    // raw socket: handshake, submit ONE frame of the multi-frame
+    // request, then vanish mid-stream
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        FrameWriter::new(&mut stream)
+            .write_frame(&ClientHello::new(fingerprint, "alpha-token").encode())
+            .expect("hello written");
+        let mut reader = FrameReader::new();
+        let mut reply = read_hello_bytes(&mut stream, &mut reader).expect("server hello");
+        ServerHello::decode(&mut reply).expect("accepted");
+        FrameWriter::new(&mut stream)
+            .write_frame(&owned.request.frames[0])
+            .expect("first frame written");
+        // dropping the stream closes both halves abruptly
+    }
+
+    // the server must absorb the abandonment and keep serving: a full
+    // request on a fresh connection still round-trips with parity
+    let retry = owned_request(ModelKind::ResNet, 56);
+    let client =
+        NetClient::connect(addr, "beta-token", fingerprint).expect("server still accepting");
+    let frames = client
+        .run_request(56, retry.request.frames.clone())
+        .expect("post-disconnect request completes");
+    assert_parity(&retry, &frames);
+
+    let stats = server.shutdown(Duration::from_secs(30));
+    assert_eq!(stats.connections_accepted, 2);
+    assert_eq!(
+        stats.requests_completed, 1,
+        "only the live request completes"
+    );
+    // the abandoned lane fails closed: it is torn down and counted,
+    // with no partial frame ever written to anyone
+    assert_eq!(stats.requests_failed, 1);
+}
+
+// ---------------------------------------------------------------------------
+// graceful drain
+// ---------------------------------------------------------------------------
+
+#[test]
+fn graceful_drain_completes_in_flight_requests() {
+    let server = default_server();
+    let addr = server.local_addr();
+    let fingerprint = shared_proteus().config_fingerprint();
+
+    // a request big enough to still be in flight when shutdown begins
+    let owned = owned_request(ModelKind::DenseNet, 91);
+    let in_flight = std::thread::spawn(move || {
+        let client = NetClient::connect(addr, "alpha-token", fingerprint).expect("tenant connects");
+        let frames = client
+            .run_request(91, owned.request.frames.clone())
+            .expect("in-flight request completes through the drain");
+        assert_parity(&owned, &frames);
+    });
+    // wait until the request's lane is actually admitted (connection
+    // counts alone race the first frame's dispatch), then drain
+    while server.stats().requests_active == 0 && server.stats().requests_completed == 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let stats = server.shutdown(Duration::from_secs(30));
+    in_flight.join().expect("client thread clean");
+    assert_eq!(stats.requests_completed, 1);
+    assert_eq!(stats.active_connections, 0);
+
+    // after shutdown the listener is gone: new connections are refused
+    // by the OS, not left hanging
+    assert!(
+        NetClient::connect(addr, "alpha-token", fingerprint).is_err(),
+        "post-shutdown connect must fail"
+    );
+}
