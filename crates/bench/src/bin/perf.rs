@@ -336,6 +336,46 @@ fn main() {
     series.push(cold);
     series.push(warm);
 
+    // Durable-store recovery time: how long a killed daemon spends
+    // replaying its committed WAL (every frame checksum + chain link
+    // verified) before it can take traffic. One store, N journaled lane
+    // frames; each sample is a full open_or_create on that directory.
+    {
+        use proteus::store::Store;
+        let records = if smoke { 64 } else { 512 };
+        let dir = std::env::temp_dir().join(format!("proteus-perf-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (store, _) = Store::open_or_create(&dir).expect("store creates");
+        let frame = vec![0xA5u8; 1024];
+        for rid in 0..records as u64 {
+            store.record_lane_frame(rid, &frame).expect("journal");
+        }
+        let committed = store.committed_len();
+        drop(store);
+        let recovery_samples: Vec<f64> = (0..iters)
+            .map(|_| {
+                let t = Instant::now();
+                let (reopened, report) = Store::open_or_create(&dir).expect("store recovers");
+                let us = t.elapsed().as_secs_f64() * 1e6;
+                assert_eq!(report.pending_lanes, records, "every lane survives replay");
+                std::hint::black_box(reopened);
+                us
+            })
+            .collect();
+        let recovery = Series {
+            label: format!("store/recovery-replay/{records}x1KiB"),
+            samples: recovery_samples,
+        };
+        println!(
+            "\nStore recovery: {} records ({} WAL bytes) replayed + verified in {:.0} us",
+            records + 1, // + genesis
+            committed,
+            recovery.mean(),
+        );
+        series.push(recovery);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     // Per-phase breakdown of a served request with the inventory warmed
     // and the optimized cache on: generation/semantic measured by the
     // owner session, optimization/wire by the pool handle. Recorded as

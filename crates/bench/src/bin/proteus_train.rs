@@ -14,6 +14,10 @@
 //!   the embedded config, and hard-assert (a) the fresh instance
 //!   re-serializes to the same state sections and (b) both instances
 //!   produce bit-identical obfuscation wire bytes on the probe models.
+//! - `store verify DIR` — fsck a durable store directory
+//!   (`proteus-serve --store-dir`): replay the committed WAL horizon,
+//!   verifying every frame checksum and the Merkle-style digest chain,
+//!   and report what is resident. Exits nonzero on any corruption.
 //!
 //! Examples:
 //!
@@ -21,8 +25,10 @@
 //! proteus-train train --out zoo.prta --corpus resnet,mobilenet --quick
 //! proteus-train inspect zoo.prta
 //! proteus-train verify zoo.prta --probe alexnet,bert
+//! proteus-train store verify /var/lib/proteus/store
 //! ```
 
+use proteus::store::Store;
 use proteus::{PartitionSpec, Proteus, ProteusConfig, TrainedArtifact};
 use proteus_graph::TensorMap;
 use proteus_graphgen::GraphRnnConfig;
@@ -38,6 +44,7 @@ fn usage() -> ExitCode {
          \x20       [--seed N] [--target-size N] [--quick]\n\
          \x20 inspect PATH\n\
          \x20 verify PATH [--probe a,b,..]\n\
+         \x20 store verify DIR\n\
          \n\
          model names: {}",
         ModelKind::ALL
@@ -264,10 +271,42 @@ fn cmd_verify(path: &str, args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_store_verify(dir: &str) -> Result<(), String> {
+    let t = Instant::now();
+    // typed failure — Corrupt names the first bad byte offset, Marker a
+    // commit marker that cannot be trusted — mapped to a nonzero exit
+    let report = Store::verify(dir).map_err(|e| e.to_string())?;
+    println!("store               {dir}");
+    println!(
+        "committed           {} record(s), {} bytes",
+        report.records, report.committed_len
+    );
+    println!("chain digest        {:#018x}", report.chain_digest);
+    if report.tail_bytes > 0 {
+        println!(
+            "uncommitted tail    {} byte(s) (a crash between append and commit;\n\
+             \x20                   the next open truncates it — nothing acknowledged is lost)",
+            report.tail_bytes
+        );
+    }
+    println!("artifacts           {}", report.artifacts);
+    println!("open sessions       {}", report.open_sessions);
+    println!("pending lanes       {}", report.pending_lanes);
+    println!(
+        "store verify OK ({:.1} ms, every checksum and chain link checked)",
+        t.elapsed().as_secs_f64() * 1e3
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("train") => cmd_train(&args[1..]),
+        Some("store") => match (args.get(1).map(String::as_str), args.get(2)) {
+            (Some("verify"), Some(dir)) if !dir.starts_with("--") => cmd_store_verify(dir),
+            _ => Err("store expects: store verify DIR".to_string()),
+        },
         Some("inspect") => match args.get(1) {
             Some(path) if !path.starts_with("--") => cmd_inspect(path),
             _ => Err("inspect requires PATH".to_string()),

@@ -277,6 +277,16 @@ fn need(buf: &impl Buf, n: usize, what: &str) -> AResult<()> {
     }
 }
 
+/// Caps an untrusted element count for pre-allocation: never reserve more
+/// elements than the remaining bytes could possibly encode (at `min_bytes`
+/// encoded bytes per element). The decode loop still reads the full
+/// declared count, so a lying header hits a typed truncation error —
+/// after the plausibility bounds but *before* any allocation sized by
+/// attacker-controlled bytes.
+fn bounded_capacity(count: usize, buf: &impl Buf, min_bytes: usize) -> usize {
+    count.min(buf.remaining() / min_bytes.max(1))
+}
+
 /// Longest string the artifact codec will write or read (1 MiB) —
 /// `put_str` and `get_str` enforce the same bound, so everything
 /// [`TrainedArtifact::to_bytes`] produces is loadable by construction.
@@ -474,7 +484,8 @@ fn decode_rnn_weights(buf: &mut Bytes) -> AResult<Vec<(String, Matrix)>> {
             "implausible rnn parameter count {count}"
         )));
     }
-    let mut out = Vec::with_capacity(count);
+    // an entry encodes to at least 12 bytes (empty name + shape header)
+    let mut out = Vec::with_capacity(bounded_capacity(count, buf, 12));
     for _ in 0..count {
         let name = get_str(buf, "rnn parameter name")?;
         need(buf, 8, "rnn parameter shape")?;
@@ -523,7 +534,7 @@ fn decode_pool(buf: &mut Bytes) -> AResult<Vec<UGraph>> {
             "implausible pool size {count}"
         )));
     }
-    let mut pool = Vec::with_capacity(count);
+    let mut pool = Vec::with_capacity(bounded_capacity(count, buf, 4));
     for _ in 0..count {
         need(buf, 4, "topology node count")?;
         let n = buf.get_u32_le() as usize;
@@ -532,7 +543,7 @@ fn decode_pool(buf: &mut Bytes) -> AResult<Vec<UGraph>> {
                 "implausible topology node count {n}"
             )));
         }
-        let mut adj = Vec::with_capacity(n);
+        let mut adj = Vec::with_capacity(bounded_capacity(n, buf, 4));
         for _ in 0..n {
             need(buf, 4, "neighbor count")?;
             let deg = buf.get_u32_le() as usize;
@@ -541,7 +552,7 @@ fn decode_pool(buf: &mut Bytes) -> AResult<Vec<UGraph>> {
                     "node degree {deg} exceeds topology size {n}"
                 )));
             }
-            let mut neigh = Vec::with_capacity(deg);
+            let mut neigh = Vec::with_capacity(bounded_capacity(deg, buf, 4));
             for _ in 0..deg {
                 need(buf, 4, "neighbor id")?;
                 neigh.push(buf.get_u32_le() as usize);
@@ -638,7 +649,8 @@ fn decode_sentinels(
              ({pool_len} topologies x 2 regimes x {variants} variants)"
         )));
     }
-    let mut out: Vec<(SentinelKey, Graph)> = Vec::with_capacity(count);
+    // an entry encodes to at least 17 bytes (key header + graph length)
+    let mut out: Vec<(SentinelKey, Graph)> = Vec::with_capacity(bounded_capacity(count, buf, 17));
     for i in 0..count {
         need(buf, 4 + 1 + 4 + 4, "sentinel entry header")?;
         let topo = buf.get_u32_le();
@@ -1127,6 +1139,38 @@ impl Proteus {
     /// [`config_fingerprint`]).
     pub fn config_fingerprint(&self) -> u64 {
         config_fingerprint(self.config())
+    }
+
+    /// Writes this trained instance's `PRTA` bytes into a durable
+    /// [`Store`](crate::store::Store) — the crash-safe sibling of
+    /// [`Proteus::save_artifact`]. Content-addressed: returns the
+    /// artifact's content digest, and re-saving identical state appends
+    /// nothing.
+    ///
+    /// # Errors
+    /// [`ProteusError::Store`] when the append fails.
+    pub fn save_artifact_store(&self, store: &crate::store::Store) -> Result<u64, ProteusError> {
+        let bytes = self.to_artifact_bytes();
+        Ok(store.put_artifact(&bytes, self.config_fingerprint())?)
+    }
+
+    /// Cold-starts a trained instance from the most recent artifact in a
+    /// durable [`Store`](crate::store::Store) — the crash-safe sibling
+    /// of [`Proteus::load_artifact`]. The store's chained digests have
+    /// already vouched for the bytes; the full `PRTA` section validation
+    /// still runs on top.
+    ///
+    /// # Errors
+    /// [`ProteusError::Store`] ([`StoreError::Missing`](crate::store::StoreError::Missing))
+    /// when the store holds no artifact; [`ProteusError::Artifact`] for
+    /// every decode or validation defect.
+    pub fn load_artifact_store(store: &crate::store::Store) -> Result<Proteus, ProteusError> {
+        let (_, bytes) = store.latest_artifact().ok_or(ProteusError::Store(
+            crate::store::StoreError::Missing {
+                what: "any trained artifact".into(),
+            },
+        ))?;
+        Proteus::from_artifact_bytes(&bytes)
     }
 }
 

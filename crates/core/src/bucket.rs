@@ -127,7 +127,11 @@ fn decode_sealed_payload(bucket_index: u32, mut payload: Bytes) -> Result<Sealed
             "bucket index {bucket_index} out of range for {num_buckets}-bucket model"
         )));
     }
-    let mut members = Vec::with_capacity(nm);
+    // clamp the pre-allocation by what the payload could possibly hold (a
+    // member encodes to at least its two length prefixes) — the loop still
+    // reads all `nm` members, so a lying count is a typed truncation, not
+    // a huge allocation
+    let mut members = Vec::with_capacity(nm.min(payload.remaining() / 8));
     for _ in 0..nm {
         members.push(decode_member(&mut payload)?);
     }
@@ -273,7 +277,9 @@ impl ObfuscatedModel {
                 "implausible bucket count {nb}"
             )));
         }
-        let mut buckets = Vec::with_capacity(nb);
+        // a sealed frame is at least its 22-byte v1 header; clamp the
+        // pre-allocation so a corrupt count cannot demand gigabytes
+        let mut buckets = Vec::with_capacity(nb.min(data.remaining() / 22));
         for i in 0..nb {
             let sealed = SealedBucket::decode_from(&mut data)?;
             if sealed.bucket_index as usize != i || sealed.num_buckets as usize != nb {

@@ -8,6 +8,7 @@
 //! invariants.
 
 use crate::artifact::ArtifactError;
+use crate::store::StoreError;
 use proteus_graph::{GraphError, WireError};
 use std::fmt;
 
@@ -88,6 +89,10 @@ pub enum ProteusError {
         /// What happened to it.
         detail: String,
     },
+    /// The durable store failed: filesystem I/O, a corrupt or tampered
+    /// WAL record, an unusable commit marker, a missing entry, or store
+    /// misuse (see [`crate::store::StoreError`]).
+    Store(StoreError),
     /// The fleet's bounded retry budget ran out without any replica
     /// completing the request. Carries the final attempt's error so the
     /// caller can see *why* the last replica failed.
@@ -170,6 +175,7 @@ impl fmt::Display for ProteusError {
             ProteusError::ReplicaUnavailable { replica, detail } => {
                 write!(f, "replica {replica} unavailable: {detail}")
             }
+            ProteusError::Store(e) => write!(f, "{e}"),
             ProteusError::RetriesExhausted {
                 request_id,
                 attempts,
@@ -188,6 +194,7 @@ impl std::error::Error for ProteusError {
             ProteusError::Wire(e) => Some(e),
             ProteusError::Graph(e) => Some(e),
             ProteusError::Artifact(e) => Some(e),
+            ProteusError::Store(e) => Some(e),
             ProteusError::RetriesExhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
@@ -197,6 +204,12 @@ impl std::error::Error for ProteusError {
 impl From<ArtifactError> for ProteusError {
     fn from(e: ArtifactError) -> ProteusError {
         ProteusError::Artifact(e)
+    }
+}
+
+impl From<StoreError> for ProteusError {
+    fn from(e: StoreError) -> ProteusError {
+        ProteusError::Store(e)
     }
 }
 

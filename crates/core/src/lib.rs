@@ -113,6 +113,7 @@ pub mod semantic;
 pub mod sentinel;
 pub mod serve;
 pub mod session;
+pub mod store;
 
 pub use artifact::{
     config_fingerprint, ArtifactError, ArtifactSummary, TrainedArtifact, ARTIFACT_MAGIC,
@@ -142,3 +143,4 @@ pub use session::{
     derive_member_seed, derive_request_seed, splitmix64, DeobfuscationSession, ObfuscationSession,
     LEGACY_REQUEST_ID,
 };
+pub use store::{RecoveryReport, SessionCheckpoint, Store, StoreError, VerifyReport};

@@ -222,7 +222,10 @@ struct CacheEntry {
 #[derive(Debug, Default)]
 struct CacheInner {
     /// Entries bucketed by the 64-bit fingerprint of their full key.
-    buckets: HashMap<u64, Vec<CacheEntry>>,
+    /// Within a bucket, entries sit in insertion order; FIFO eviction
+    /// pops the front, so the deque keeps eviction O(1) where a `Vec`
+    /// would shift the whole colliding bucket on every eviction.
+    buckets: HashMap<u64, VecDeque<CacheEntry>>,
     /// Insertion order of fingerprints, for FIFO eviction.
     order: VecDeque<u64>,
 }
@@ -412,9 +415,11 @@ impl OptimizedCache {
         if inner.order.len() >= self.capacity {
             if let Some(old_fp) = inner.order.pop_front() {
                 if let Some(bucket) = inner.buckets.get_mut(&old_fp) {
-                    if !bucket.is_empty() {
-                        bucket.remove(0);
-                    }
+                    // entries within a fingerprint bucket are in insertion
+                    // order, so popping the front evicts exactly the entry
+                    // `order` named — same FIFO order as the old
+                    // `Vec::remove(0)`, without the O(n) shift
+                    bucket.pop_front();
                     if bucket.is_empty() {
                         inner.buckets.remove(&old_fp);
                     }
@@ -425,7 +430,7 @@ impl OptimizedCache {
             .buckets
             .entry(fp)
             .or_default()
-            .push(CacheEntry { key, graph, params });
+            .push_back(CacheEntry { key, graph, params });
         inner.order.push_back(fp);
         true
     }
@@ -1115,6 +1120,36 @@ impl ServeRuntime {
             }),
             state,
         }
+    }
+
+    /// Re-runs one interrupted serving lane from its journaled input
+    /// frames (raw v1/v2 wire bytes, as a durable
+    /// [`Store`](crate::store::Store) replays them) and returns the
+    /// optimized response frames in completion order. Request-id-keyed
+    /// determinism makes the replayed responses byte-identical to what
+    /// the killed daemon would have produced.
+    ///
+    /// # Errors
+    /// Everything [`RequestHandle::submit_bytes`] / [`RequestHandle::recv_bytes`]
+    /// reject: decode failures, request-id mismatches, duplicates, and
+    /// lane failures.
+    pub fn resume_lane(
+        &self,
+        request_id: u64,
+        frames: &[Bytes],
+    ) -> Result<Vec<Bytes>, ProteusError> {
+        let handle = self.handle(request_id);
+        // submit-all-then-recv-all is deadlock-free: the window counts
+        // frames awaiting optimization, not awaiting recv, so completed
+        // frames accumulate in the done queue while we keep submitting
+        for frame in frames {
+            handle.submit_bytes(frame.clone())?;
+        }
+        let mut out = Vec::with_capacity(frames.len());
+        for _ in frames {
+            out.push(handle.recv_bytes()?);
+        }
+        Ok(out)
     }
 
     /// Drives one owner-side request end to end through the shared pool:

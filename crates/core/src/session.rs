@@ -283,6 +283,54 @@ impl<'s> DeobfuscationSession<'s> {
         }
     }
 
+    /// Rebuilds a session from checkpointed state: the secrets plus the
+    /// raw wire frames accepted before the interruption (e.g. the frames
+    /// a [`crate::store::Store`] journaled for this request). Each frame
+    /// is re-accepted through the normal validation path, so a journal
+    /// that was tampered with or truncated mid-frame fails typed instead
+    /// of resuming silently wrong.
+    ///
+    /// Request-id-keyed determinism makes the resumed run exactly
+    /// assertable: accepting the remaining frames and calling
+    /// [`DeobfuscationSession::finish`] yields bytes identical to an
+    /// uninterrupted session.
+    ///
+    /// # Errors
+    /// Everything [`DeobfuscationSession::accept_bytes`] rejects —
+    /// decode failures, duplicates, out-of-range frames.
+    pub fn resume(
+        secrets: &'s ObfuscationSecrets,
+        frames: &[Bytes],
+    ) -> Result<DeobfuscationSession<'s>, ProteusError> {
+        let mut session = DeobfuscationSession::new(secrets);
+        for frame in frames {
+            session.accept_bytes(frame.clone())?;
+        }
+        Ok(session)
+    }
+
+    /// Rebuilds a session from already-extracted members (the
+    /// [`crate::store::SessionCheckpoint`] resume path).
+    pub(crate) fn resume_from_slots(
+        secrets: &'s ObfuscationSecrets,
+        slots: Vec<Option<BucketMember>>,
+    ) -> DeobfuscationSession<'s> {
+        let received = slots.iter().filter(|s| s.is_some()).count();
+        DeobfuscationSession {
+            secrets,
+            slots,
+            received,
+        }
+    }
+
+    /// Snapshots this session into a self-contained, serializable
+    /// [`crate::store::SessionCheckpoint`]: the secrets plus every real
+    /// member extracted so far. The session keeps running — checkpoints
+    /// can be taken after every accepted frame.
+    pub fn checkpoint(&self) -> crate::store::SessionCheckpoint {
+        crate::store::SessionCheckpoint::from_parts(self.secrets.clone(), self.slots.clone())
+    }
+
     /// `n` — how many frames this session expects in total.
     pub fn num_buckets(&self) -> usize {
         self.slots.len()

@@ -1,0 +1,872 @@
+//! `proteus::store` — a content-addressed, crash-safe durable store for
+//! trained artifacts and in-flight sessions.
+//!
+//! Everything the store persists goes through a write-ahead log of
+//! wire-v1-framed records whose digests are Merkle-style chained (each
+//! record's FNV-1a is seeded with the previous record's digest, and each
+//! record's checksummed payload names its predecessor's digest — see
+//! [`wal`]). Appends commit atomically by renaming a small marker file
+//! over the previous one; recovery replays the committed horizon and
+//! truncates any uncommitted tail a crash left behind. The failure
+//! discipline matches the net codec's: every bad byte is a typed
+//! [`StoreError`], and nothing is ever silently resynced.
+//!
+//! What the log carries:
+//!
+//! - **Artifacts** — `PRTA` bytes, content-addressed by their FNV-1a
+//!   digest and indexed by config fingerprint
+//!   ([`Store::put_artifact`] / [`Store::latest_artifact`]; the
+//!   convenience wrappers are
+//!   [`Proteus::save_artifact_store`](crate::Proteus::save_artifact_store)
+//!   and
+//!   [`Proteus::load_artifact_store`](crate::Proteus::load_artifact_store)).
+//! - **Owner sessions** — checkpointed [`ObfuscationSecrets`] plus the
+//!   raw optimized frames accepted so far, so a killed owner process can
+//!   [`DeobfuscationSession::resume`](crate::DeobfuscationSession::resume)
+//!   and finish with bit-identical output.
+//! - **Serving lanes** — the input frames a daemon accepted but had not
+//!   finished when it died, so a restarted `proteus-serve --store-dir`
+//!   re-optimizes them (request-id-keyed determinism makes the replayed
+//!   bytes identical) before taking new traffic.
+//!
+//! Crash matrix (what a `SIGKILL` at any byte boundary means):
+//!
+//! | killed during            | after recovery                           |
+//! |--------------------------|------------------------------------------|
+//! | WAL record append        | tail truncated; append was never acked   |
+//! | marker tmp write         | old marker intact; tail truncated        |
+//! | marker rename            | rename is atomic: old or new, never torn |
+//! | any later read           | nothing to recover                       |
+//!
+//! A flipped byte is *not* a crash: inside the committed horizon it
+//! breaks the frame checksum or the digest chain and surfaces as
+//! [`StoreError::Corrupt`]; in the marker it surfaces as
+//! [`StoreError::Marker`]. `proteus-train store verify DIR` runs the
+//! same fsck read-only.
+
+mod codec;
+pub mod wal;
+
+pub use codec::SessionCheckpoint;
+pub(crate) use codec::{decode_secrets, encode_secrets};
+
+use crate::bucket::ObfuscationSecrets;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use proteus_graph::wire::fnv1a64;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use wal::{Marker, RecordTag, WalRecord};
+
+/// Any failure of the durable store. Typed and fail-closed, like every
+/// other decode boundary in the workspace: corruption never degrades
+/// into a silent partial recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A filesystem operation failed.
+    Io {
+        /// What was being done.
+        context: String,
+        /// The OS error, stringified (kept clonable/comparable).
+        detail: String,
+    },
+    /// A byte inside the committed WAL horizon is wrong: a record failed
+    /// its frame checksum, broke the digest chain, carried a bad
+    /// sequence number or tag, or the replay disagrees with the marker.
+    Corrupt {
+        /// Byte offset of the first bad record.
+        offset: u64,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The commit marker itself is missing, malformed, or fails its
+    /// checksum — the store has no trustworthy committed horizon.
+    Marker {
+        /// What was wrong.
+        detail: String,
+    },
+    /// The store does not hold what was asked for (no such artifact, no
+    /// such open session).
+    Missing {
+        /// What was requested.
+        what: String,
+    },
+    /// The caller drove the store out of protocol (checkpointing the
+    /// same request twice, journaling a frame for a request that was
+    /// never opened, ...).
+    Invalid {
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl StoreError {
+    fn io(context: impl Into<String>, err: &std::io::Error) -> StoreError {
+        StoreError::Io {
+            context: context.into(),
+            detail: err.to_string(),
+        }
+    }
+
+    pub(crate) fn corrupt(offset: u64, detail: impl Into<String>) -> StoreError {
+        StoreError::Corrupt {
+            offset,
+            detail: detail.into(),
+        }
+    }
+
+    pub(crate) fn marker(detail: impl Into<String>) -> StoreError {
+        StoreError::Marker {
+            detail: detail.into(),
+        }
+    }
+
+    fn missing(what: impl Into<String>) -> StoreError {
+        StoreError::Missing { what: what.into() }
+    }
+
+    fn invalid(detail: impl Into<String>) -> StoreError {
+        StoreError::Invalid {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { context, detail } => {
+                write!(f, "store i/o error {context}: {detail}")
+            }
+            StoreError::Corrupt { offset, detail } => {
+                write!(f, "store corrupt at byte {offset}: {detail}")
+            }
+            StoreError::Marker { detail } => write!(f, "store commit marker unusable: {detail}"),
+            StoreError::Missing { what } => write!(f, "store does not hold {what}"),
+            StoreError::Invalid { detail } => write!(f, "store misuse: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// What [`Store::open_or_create`] found and did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Whether the store was created fresh (no prior state existed).
+    pub created: bool,
+    /// Committed records replayed.
+    pub records: u64,
+    /// Uncommitted tail bytes truncated (a crash between append and
+    /// commit left them; the append was never acknowledged).
+    pub truncated_bytes: u64,
+    /// Artifacts resident after replay.
+    pub artifacts: usize,
+    /// Owner sessions still open after replay.
+    pub open_sessions: usize,
+    /// Serving lanes still pending after replay.
+    pub pending_lanes: usize,
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.created {
+            return write!(f, "created fresh store");
+        }
+        write!(
+            f,
+            "replayed {} record(s) ({} artifact(s), {} open session(s), {} pending lane(s))",
+            self.records, self.artifacts, self.open_sessions, self.pending_lanes
+        )?;
+        if self.truncated_bytes > 0 {
+            write!(
+                f,
+                "; truncated {} uncommitted tail byte(s)",
+                self.truncated_bytes
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// What [`Store::verify`] (the read-only fsck) found in a healthy store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Committed records verified.
+    pub records: u64,
+    /// Committed WAL bytes.
+    pub committed_len: u64,
+    /// Chain digest at the committed horizon.
+    pub chain_digest: u64,
+    /// Uncommitted tail bytes present (would be truncated by a
+    /// recovering open; harmless).
+    pub tail_bytes: u64,
+    /// Artifacts resident.
+    pub artifacts: usize,
+    /// Owner sessions open.
+    pub open_sessions: usize,
+    /// Serving lanes pending.
+    pub pending_lanes: usize,
+}
+
+/// One resident artifact: content digest, config fingerprint, bytes.
+#[derive(Debug, Clone)]
+struct ArtifactEntry {
+    digest: u64,
+    fingerprint: u64,
+    bytes: Bytes,
+}
+
+/// Journaled state of one open owner session.
+#[derive(Debug, Clone, Default)]
+struct SessionState {
+    secrets: Bytes,
+    frames: Vec<Bytes>,
+}
+
+/// Mutable state behind the store's lock: the WAL append handle, the
+/// chain position, and the indexes replay rebuilt.
+#[derive(Debug)]
+struct Inner {
+    wal: File,
+    chain: u64,
+    records: u64,
+    committed_len: u64,
+    artifacts: Vec<ArtifactEntry>,
+    sessions: BTreeMap<u64, SessionState>,
+    lanes: BTreeMap<u64, Vec<Bytes>>,
+}
+
+/// The crash-safe durable store. Thread-safe behind one internal lock —
+/// share it as an `Arc<Store>` between a serving daemon's connection
+/// threads.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+fn read_file(path: &Path, context: &str) -> Result<Vec<u8>, StoreError> {
+    let mut buf = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut buf))
+        .map_err(|e| StoreError::io(context, &e))?;
+    Ok(buf)
+}
+
+impl Store {
+    /// Path of the WAL file inside a store directory.
+    pub fn wal_path(dir: impl AsRef<Path>) -> PathBuf {
+        dir.as_ref().join(wal::WAL_FILE)
+    }
+
+    /// Path of the commit marker inside a store directory.
+    pub fn marker_path(dir: impl AsRef<Path>) -> PathBuf {
+        dir.as_ref().join(wal::MARKER_FILE)
+    }
+
+    /// Opens the store at `dir`, creating it (directory, genesis record,
+    /// first commit marker) when nothing is there yet.
+    ///
+    /// Opening an existing store replays the committed horizon —
+    /// verifying every frame checksum, the digest chain, and the
+    /// sequence numbers against the marker — then truncates any
+    /// uncommitted tail a crash left. The report says what happened.
+    ///
+    /// # Errors
+    /// [`StoreError::Marker`] / [`StoreError::Corrupt`] when the state
+    /// on disk cannot be trusted (exactly one of marker/WAL missing, a
+    /// failed checksum, a broken chain); [`StoreError::Io`] on
+    /// filesystem failure. Never a partial recovery.
+    pub fn open_or_create(dir: impl AsRef<Path>) -> Result<(Store, RecoveryReport), StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| StoreError::io(format!("creating {}", dir.display()), &e))?;
+        let wal_path = Store::wal_path(&dir);
+        let marker_path = Store::marker_path(&dir);
+        match (wal_path.exists(), marker_path.exists()) {
+            (false, false) => Store::create(dir),
+            (true, true) => Store::recover(dir),
+            (true, false) => Err(StoreError::marker(
+                "WAL exists but the commit marker is missing — no committed horizon to recover to",
+            )),
+            (false, true) => Err(StoreError::marker(
+                "commit marker exists but the WAL is missing",
+            )),
+        }
+    }
+
+    fn create(dir: PathBuf) -> Result<(Store, RecoveryReport), StoreError> {
+        let wal_path = Store::wal_path(&dir);
+        let wal = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .write(true)
+            .open(&wal_path)
+            .map_err(|e| StoreError::io(format!("creating {}", wal_path.display()), &e))?;
+        let store = Store {
+            dir,
+            inner: Mutex::new(Inner {
+                wal,
+                chain: wal::CHAIN_SEED,
+                records: 0,
+                committed_len: 0,
+                artifacts: Vec::new(),
+                sessions: BTreeMap::new(),
+                lanes: BTreeMap::new(),
+            }),
+        };
+        {
+            let mut inner = store.lock();
+            let body = wal::STORE_FORMAT_VERSION.to_le_bytes();
+            store.append(&mut inner, RecordTag::Genesis, &body)?;
+        }
+        Ok((
+            store,
+            RecoveryReport {
+                created: true,
+                records: 1,
+                ..RecoveryReport::default()
+            },
+        ))
+    }
+
+    fn recover(dir: PathBuf) -> Result<(Store, RecoveryReport), StoreError> {
+        let wal_path = Store::wal_path(&dir);
+        let marker_bytes = read_file(&Store::marker_path(&dir), "reading commit marker")?;
+        let marker = wal::decode_marker(&marker_bytes)?;
+        let wal_bytes = read_file(&wal_path, "reading WAL")?;
+        let records = wal::replay(&wal_bytes, &marker)?;
+
+        let mut inner = Inner {
+            wal: OpenOptions::new()
+                .append(true)
+                .open(&wal_path)
+                .map_err(|e| StoreError::io(format!("opening {}", wal_path.display()), &e))?,
+            chain: marker.chain,
+            records: marker.records,
+            committed_len: marker.committed_len,
+            artifacts: Vec::new(),
+            sessions: BTreeMap::new(),
+            lanes: BTreeMap::new(),
+        };
+        for (i, record) in records.iter().enumerate() {
+            apply(&mut inner, record).map_err(|detail| StoreError::corrupt(i as u64, detail))?;
+        }
+
+        // truncate the uncommitted tail (a crash between append and
+        // marker rename); those bytes were never acknowledged
+        let truncated_bytes = wal_bytes.len() as u64 - marker.committed_len;
+        if truncated_bytes > 0 {
+            inner
+                .wal
+                .set_len(marker.committed_len)
+                .and_then(|()| inner.wal.sync_data())
+                .map_err(|e| StoreError::io("truncating uncommitted tail", &e))?;
+        }
+
+        let report = RecoveryReport {
+            created: false,
+            records: marker.records,
+            truncated_bytes,
+            artifacts: inner.artifacts.len(),
+            open_sessions: inner.sessions.len(),
+            pending_lanes: inner.lanes.len(),
+        };
+        Ok((
+            Store {
+                dir,
+                inner: Mutex::new(inner),
+            },
+            report,
+        ))
+    }
+
+    /// Read-only fsck of the store at `dir`: replays and verifies the
+    /// committed horizon exactly like an open would, without touching
+    /// the files. The tool surface is `proteus-train store verify DIR`.
+    ///
+    /// # Errors
+    /// Exactly the errors [`Store::open_or_create`] would report.
+    pub fn verify(dir: impl AsRef<Path>) -> Result<VerifyReport, StoreError> {
+        let dir = dir.as_ref();
+        let marker_bytes = read_file(&Store::marker_path(dir), "reading commit marker")?;
+        let marker = wal::decode_marker(&marker_bytes)?;
+        let wal_bytes = read_file(&Store::wal_path(dir), "reading WAL")?;
+        let records = wal::replay(&wal_bytes, &marker)?;
+        // interpret the records too: a digest-valid log whose contents
+        // are self-inconsistent (frame for an unopened session, artifact
+        // body hash mismatch) is still corruption
+        let mut shadow = Inner {
+            wal: File::open(Store::wal_path(dir))
+                .map_err(|e| StoreError::io("reopening WAL", &e))?,
+            chain: marker.chain,
+            records: marker.records,
+            committed_len: marker.committed_len,
+            artifacts: Vec::new(),
+            sessions: BTreeMap::new(),
+            lanes: BTreeMap::new(),
+        };
+        for (i, record) in records.iter().enumerate() {
+            apply(&mut shadow, record).map_err(|detail| StoreError::corrupt(i as u64, detail))?;
+        }
+        Ok(VerifyReport {
+            records: marker.records,
+            committed_len: marker.committed_len,
+            chain_digest: marker.chain,
+            tail_bytes: wal_bytes.len() as u64 - marker.committed_len,
+            artifacts: shadow.artifacts.len(),
+            open_sessions: shadow.sessions.len(),
+            pending_lanes: shadow.lanes.len(),
+        })
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Committed records in the log.
+    pub fn records(&self) -> u64 {
+        self.lock().records
+    }
+
+    /// Committed WAL length in bytes.
+    pub fn committed_len(&self) -> u64 {
+        self.lock().committed_len
+    }
+
+    // -- artifacts ----------------------------------------------------
+
+    /// Stores a trained artifact (`PRTA` bytes), content-addressed:
+    /// returns the artifact's FNV-1a content digest, and appends nothing
+    /// when identical bytes are already resident. `fingerprint` is the
+    /// config fingerprint the artifact is indexed under for lookup.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] on append failure.
+    pub fn put_artifact(&self, bytes: &[u8], fingerprint: u64) -> Result<u64, StoreError> {
+        let digest = fnv1a64(bytes);
+        let mut inner = self.lock();
+        if inner.artifacts.iter().any(|a| a.digest == digest) {
+            return Ok(digest);
+        }
+        let mut body = BytesMut::with_capacity(8 + 8 + 4 + bytes.len());
+        body.put_u64_le(fingerprint);
+        body.put_u64_le(digest);
+        body.put_u32_le(bytes.len() as u32);
+        body.put_slice(bytes);
+        self.append(&mut inner, RecordTag::Artifact, &body)?;
+        Ok(digest)
+    }
+
+    /// The most recently stored artifact, as `(config fingerprint,
+    /// bytes)`.
+    pub fn latest_artifact(&self) -> Option<(u64, Bytes)> {
+        let inner = self.lock();
+        inner
+            .artifacts
+            .last()
+            .map(|a| (a.fingerprint, a.bytes.clone()))
+    }
+
+    /// The artifact with the given content digest, if resident.
+    pub fn artifact(&self, digest: u64) -> Option<Bytes> {
+        let inner = self.lock();
+        inner
+            .artifacts
+            .iter()
+            .find(|a| a.digest == digest)
+            .map(|a| a.bytes.clone())
+    }
+
+    /// Number of distinct artifacts resident.
+    pub fn artifact_count(&self) -> usize {
+        self.lock().artifacts.len()
+    }
+
+    // -- owner sessions -----------------------------------------------
+
+    /// Opens a durable session for `secrets.request_id`: checkpoints the
+    /// secrets so the reassembly can be resumed after a crash.
+    ///
+    /// # Errors
+    /// [`StoreError::Invalid`] when the request is already open;
+    /// [`StoreError::Io`] on append failure.
+    pub fn checkpoint_session(&self, secrets: &ObfuscationSecrets) -> Result<(), StoreError> {
+        let mut inner = self.lock();
+        if inner.sessions.contains_key(&secrets.request_id) {
+            return Err(StoreError::invalid(format!(
+                "session {:#x} is already open",
+                secrets.request_id
+            )));
+        }
+        let body = encode_secrets(secrets);
+        self.append(&mut inner, RecordTag::SessionOpen, &body)
+    }
+
+    /// Journals one accepted optimized frame (raw wire bytes, v1 or v2)
+    /// for an open session.
+    ///
+    /// # Errors
+    /// [`StoreError::Invalid`] when no such session is open;
+    /// [`StoreError::Io`] on append failure.
+    pub fn checkpoint_frame(&self, request_id: u64, frame: &[u8]) -> Result<(), StoreError> {
+        let mut inner = self.lock();
+        if !inner.sessions.contains_key(&request_id) {
+            return Err(StoreError::invalid(format!(
+                "no open session {request_id:#x} to journal a frame for"
+            )));
+        }
+        let mut body = BytesMut::with_capacity(8 + frame.len());
+        body.put_u64_le(request_id);
+        body.put_slice(frame);
+        self.append(&mut inner, RecordTag::SessionFrame, &body)
+    }
+
+    /// Marks a session finished; its journaled state is garbage from
+    /// here on and will not be offered for resume.
+    ///
+    /// # Errors
+    /// [`StoreError::Invalid`] when no such session is open;
+    /// [`StoreError::Io`] on append failure.
+    pub fn finish_session(&self, request_id: u64) -> Result<(), StoreError> {
+        let mut inner = self.lock();
+        if !inner.sessions.contains_key(&request_id) {
+            return Err(StoreError::invalid(format!(
+                "no open session {request_id:#x} to finish"
+            )));
+        }
+        self.append(
+            &mut inner,
+            RecordTag::SessionDone,
+            &request_id.to_le_bytes(),
+        )
+    }
+
+    /// Request ids of every session still open (checkpointed, never
+    /// finished), in ascending order.
+    pub fn open_sessions(&self) -> Vec<u64> {
+        self.lock().sessions.keys().copied().collect()
+    }
+
+    /// The journaled state of an open session: its decoded secrets and
+    /// the raw frames accepted before the interruption — exactly the
+    /// arguments of
+    /// [`DeobfuscationSession::resume`](crate::DeobfuscationSession::resume).
+    ///
+    /// # Errors
+    /// [`StoreError::Missing`] when no such session is open;
+    /// [`StoreError::Corrupt`] when the journaled secrets no longer
+    /// decode (cannot happen without on-disk tampering surviving the
+    /// chain — defense in depth).
+    pub fn resume_session(
+        &self,
+        request_id: u64,
+    ) -> Result<(ObfuscationSecrets, Vec<Bytes>), StoreError> {
+        let inner = self.lock();
+        let state = inner
+            .sessions
+            .get(&request_id)
+            .ok_or_else(|| StoreError::missing(format!("an open session {request_id:#x}")))?;
+        let mut sbytes = state.secrets.clone();
+        let secrets = decode_secrets(&mut sbytes)
+            .map_err(|e| StoreError::corrupt(0, format!("journaled secrets: {e}")))?;
+        Ok((secrets, state.frames.clone()))
+    }
+
+    // -- serving lanes ------------------------------------------------
+
+    /// Journals one input frame (raw wire bytes) submitted to a serving
+    /// lane. The first frame of a request id opens the lane.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] on append failure.
+    pub fn record_lane_frame(&self, request_id: u64, frame: &[u8]) -> Result<(), StoreError> {
+        let mut inner = self.lock();
+        let mut body = BytesMut::with_capacity(8 + frame.len());
+        body.put_u64_le(request_id);
+        body.put_slice(frame);
+        self.append(&mut inner, RecordTag::LaneSubmit, &body)
+    }
+
+    /// Marks a serving lane fully delivered; it will not be re-run on
+    /// recovery. A lane that was never journaled is fine to finish —
+    /// the daemon calls this unconditionally at lane teardown.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] on append failure.
+    pub fn finish_lane(&self, request_id: u64) -> Result<(), StoreError> {
+        let mut inner = self.lock();
+        if !inner.lanes.contains_key(&request_id) {
+            return Ok(());
+        }
+        self.append(&mut inner, RecordTag::LaneDone, &request_id.to_le_bytes())
+    }
+
+    /// Every pending lane (submitted frames that were never marked
+    /// delivered), in ascending request-id order — what a restarted
+    /// daemon re-optimizes before taking traffic.
+    pub fn pending_lanes(&self) -> Vec<(u64, Vec<Bytes>)> {
+        self.lock()
+            .lanes
+            .iter()
+            .map(|(rid, frames)| (*rid, frames.clone()))
+            .collect()
+    }
+
+    // -- internals ----------------------------------------------------
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // the store holds no state that can go inconsistent under a
+        // panicking holder half-way: appends write-then-apply, and apply
+        // is infallible once the record is durable. Healing the poison
+        // keeps the daemon serving.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Appends one record and commits it: write + flush + fsync the WAL,
+    /// then atomically rename the refreshed marker into place, then
+    /// apply the record to the in-memory indexes. Only returns `Ok`
+    /// after the rename — the all-or-nothing acknowledgement boundary.
+    fn append(&self, inner: &mut Inner, tag: RecordTag, body: &[u8]) -> Result<(), StoreError> {
+        let record = wal::encode_record(tag, inner.records, inner.chain, body);
+        inner
+            .wal
+            .write_all(&record)
+            .and_then(|()| inner.wal.flush())
+            .and_then(|()| inner.wal.sync_data())
+            .map_err(|e| StoreError::io("appending WAL record", &e))?;
+        let chain = wal::chain_digest(inner.chain, &record);
+        let marker = Marker {
+            committed_len: inner.committed_len + record.len() as u64,
+            chain,
+            records: inner.records + 1,
+        };
+        let tmp = self.dir.join(wal::MARKER_TMP_FILE);
+        let dst = self.dir.join(wal::MARKER_FILE);
+        let stage = |tmp: &Path| -> std::io::Result<()> {
+            let mut f = File::create(tmp)?;
+            f.write_all(&wal::encode_marker(&marker))?;
+            f.sync_data()?;
+            std::fs::rename(tmp, &dst)
+        };
+        stage(&tmp).map_err(|e| StoreError::io("committing marker", &e))?;
+        inner.chain = chain;
+        inner.records = marker.records;
+        inner.committed_len = marker.committed_len;
+        let applied = apply(
+            inner,
+            &WalRecord {
+                tag,
+                seq: marker.records - 1,
+                body: Bytes::copy_from_slice(body),
+            },
+        );
+        debug_assert!(
+            applied.is_ok(),
+            "append validated before write: {applied:?}"
+        );
+        Ok(())
+    }
+}
+
+/// Interprets one chain-verified record into the in-memory indexes.
+/// Returns a description of the inconsistency when the log is
+/// self-contradictory (callers wrap it in [`StoreError::Corrupt`]).
+fn apply(inner: &mut Inner, record: &WalRecord) -> Result<(), String> {
+    let mut body = record.body.clone();
+    match record.tag {
+        RecordTag::Genesis => {
+            if body.remaining() < 4 {
+                return Err("genesis record too short".into());
+            }
+            let version = body.get_u32_le();
+            if version != wal::STORE_FORMAT_VERSION {
+                return Err(format!(
+                    "store format version {version} (this library speaks {})",
+                    wal::STORE_FORMAT_VERSION
+                ));
+            }
+            if record.seq != 0 {
+                return Err(format!("genesis record at sequence {}", record.seq));
+            }
+        }
+        RecordTag::Artifact => {
+            if body.remaining() < 20 {
+                return Err("artifact record too short".into());
+            }
+            let fingerprint = body.get_u64_le();
+            let digest = body.get_u64_le();
+            let len = body.get_u32_le() as usize;
+            if body.remaining() != len {
+                return Err(format!(
+                    "artifact record claims {len} bytes, carries {}",
+                    body.remaining()
+                ));
+            }
+            let bytes = body;
+            if fnv1a64(&bytes) != digest {
+                return Err(format!(
+                    "artifact content does not hash to its recorded digest {digest:#018x}"
+                ));
+            }
+            inner.artifacts.push(ArtifactEntry {
+                digest,
+                fingerprint,
+                bytes,
+            });
+        }
+        RecordTag::SessionOpen => {
+            let mut peek = body.clone();
+            if peek.remaining() < 9 {
+                return Err("session-open record too short".into());
+            }
+            peek.get_u8(); // codec version; validated on resume
+            let request_id = peek.get_u64_le();
+            if inner.sessions.contains_key(&request_id) {
+                return Err(format!("session {request_id:#x} opened twice"));
+            }
+            inner.sessions.insert(
+                request_id,
+                SessionState {
+                    secrets: body,
+                    frames: Vec::new(),
+                },
+            );
+        }
+        RecordTag::SessionFrame => {
+            if body.remaining() < 8 {
+                return Err("session-frame record too short".into());
+            }
+            let request_id = body.get_u64_le();
+            let state = inner
+                .sessions
+                .get_mut(&request_id)
+                .ok_or_else(|| format!("frame journaled for unopened session {request_id:#x}"))?;
+            state.frames.push(body);
+        }
+        RecordTag::SessionDone => {
+            if body.remaining() < 8 {
+                return Err("session-done record too short".into());
+            }
+            let request_id = body.get_u64_le();
+            if inner.sessions.remove(&request_id).is_none() {
+                return Err(format!("unopened session {request_id:#x} marked done"));
+            }
+        }
+        RecordTag::LaneSubmit => {
+            if body.remaining() < 8 {
+                return Err("lane-submit record too short".into());
+            }
+            let request_id = body.get_u64_le();
+            inner.lanes.entry(request_id).or_default().push(body);
+        }
+        RecordTag::LaneDone => {
+            if body.remaining() < 8 {
+                return Err("lane-done record too short".into());
+            }
+            let request_id = body.get_u64_le();
+            if inner.lanes.remove(&request_id).is_none() {
+                return Err(format!("unsubmitted lane {request_id:#x} marked done"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("proteus-store-unit-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fresh_store_reopens_empty() {
+        let dir = tempdir("fresh");
+        let (store, report) = Store::open_or_create(&dir).unwrap();
+        assert!(report.created);
+        assert_eq!(store.records(), 1, "genesis only");
+        drop(store);
+        let (store, report) = Store::open_or_create(&dir).unwrap();
+        assert!(!report.created);
+        assert_eq!(report.records, 1);
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(store.artifact_count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn artifact_roundtrips_and_dedups() {
+        let dir = tempdir("artifact");
+        let (store, _) = Store::open_or_create(&dir).unwrap();
+        let digest = store.put_artifact(b"pretend-prta", 0xF00D).unwrap();
+        let again = store.put_artifact(b"pretend-prta", 0xF00D).unwrap();
+        assert_eq!(digest, again);
+        assert_eq!(store.artifact_count(), 1, "content-addressed dedup");
+        assert_eq!(store.records(), 2, "second put appended nothing");
+        drop(store);
+        let (store, report) = Store::open_or_create(&dir).unwrap();
+        assert_eq!(report.artifacts, 1);
+        let (fp, bytes) = store.latest_artifact().unwrap();
+        assert_eq!(fp, 0xF00D);
+        assert_eq!(&bytes[..], b"pretend-prta");
+        assert_eq!(store.artifact(digest).unwrap(), bytes);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lane_journal_survives_reopen_until_done() {
+        let dir = tempdir("lanes");
+        let (store, _) = Store::open_or_create(&dir).unwrap();
+        store.record_lane_frame(7, b"frame-a").unwrap();
+        store.record_lane_frame(7, b"frame-b").unwrap();
+        store.record_lane_frame(9, b"frame-c").unwrap();
+        store.finish_lane(9).unwrap();
+        store.finish_lane(1234).unwrap(); // never journaled: a no-op
+        drop(store);
+        let (store, report) = Store::open_or_create(&dir).unwrap();
+        assert_eq!(report.pending_lanes, 1);
+        let lanes = store.pending_lanes();
+        assert_eq!(lanes.len(), 1);
+        assert_eq!(lanes[0].0, 7);
+        assert_eq!(&lanes[0].1[0][..], b"frame-a");
+        assert_eq!(&lanes[0].1[1][..], b"frame-b");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn misuse_is_typed_invalid() {
+        let dir = tempdir("misuse");
+        let (store, _) = Store::open_or_create(&dir).unwrap();
+        let err = store.checkpoint_frame(99, b"frame").unwrap_err();
+        assert!(matches!(err, StoreError::Invalid { .. }), "{err}");
+        let err = store.finish_session(99).unwrap_err();
+        assert!(matches!(err, StoreError::Invalid { .. }), "{err}");
+        let err = store.resume_session(99).unwrap_err();
+        assert!(matches!(err, StoreError::Missing { .. }), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn half_missing_store_is_typed_marker_error() {
+        let dir = tempdir("half");
+        let (store, _) = Store::open_or_create(&dir).unwrap();
+        drop(store);
+        std::fs::remove_file(Store::marker_path(&dir)).unwrap();
+        let err = Store::open_or_create(&dir).unwrap_err();
+        assert!(matches!(err, StoreError::Marker { .. }), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

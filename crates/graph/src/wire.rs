@@ -141,13 +141,23 @@ pub fn fnv1a64(data: &[u8]) -> u64 {
 
 /// Feeds more bytes into a running FNV-1a state — the framing code hashes
 /// header fields and payload incrementally instead of copying them into
-/// one buffer.
-fn fnv1a64_continue(mut h: u64, data: &[u8]) -> u64 {
+/// one buffer, and the durable store chains record digests by seeding
+/// each record's hash with the previous record's digest.
+pub fn fnv1a64_continue(mut h: u64, data: &[u8]) -> u64 {
     for &b in data {
         h ^= b as u64;
         h = h.wrapping_mul(0x100_0000_01b3);
     }
     h
+}
+
+/// Caps an untrusted element count for pre-allocation: never reserve more
+/// elements than the remaining bytes could possibly encode (at `min_bytes`
+/// encoded bytes per element). The decode loop still reads the full
+/// declared count — a lying header hits a typed [`WireError::Truncated`]
+/// instead of demanding a multi-GiB allocation first.
+fn bounded_capacity(count: usize, buf: &impl Buf, min_bytes: usize) -> usize {
+    count.min(buf.remaining() / min_bytes.max(1))
 }
 
 /// One decoded wire frame: header fields plus the raw payload (the payload
@@ -971,8 +981,12 @@ pub fn decode_graph(buf: &mut Bytes) -> WResult<Graph> {
             "implausible node count {count}"
         )));
     }
-    let mut ids: Vec<NodeId> = Vec::with_capacity(count);
-    let mut pending: Vec<Node> = Vec::with_capacity(count);
+    // a node encodes to at least 9 bytes (empty name, 1-byte op, input
+    // count), so a tiny buffer claiming millions of nodes cannot force a
+    // matching pre-allocation
+    let cap = bounded_capacity(count, buf, 9);
+    let mut ids: Vec<NodeId> = Vec::with_capacity(cap);
+    let mut pending: Vec<Node> = Vec::with_capacity(cap);
     for _ in 0..count {
         let node_name = get_str(buf)?;
         let op = get_op(buf)?;
@@ -983,7 +997,7 @@ pub fn decode_graph(buf: &mut Bytes) -> WResult<Graph> {
                 "node has {n_in} inputs in {count}-node graph"
             )));
         }
-        let mut inputs = Vec::with_capacity(n_in);
+        let mut inputs = Vec::with_capacity(bounded_capacity(n_in, buf, 4));
         for _ in 0..n_in {
             need(buf, 4, "input id")?;
             let raw = buf.get_u32_le() as usize;
@@ -1009,7 +1023,7 @@ pub fn decode_graph(buf: &mut Bytes) -> WResult<Graph> {
             "{n_out} outputs in {count}-node graph"
         )));
     }
-    let mut outs = Vec::with_capacity(n_out);
+    let mut outs = Vec::with_capacity(bounded_capacity(n_out, buf, 4));
     for _ in 0..n_out {
         need(buf, 4, "output id")?;
         let raw = buf.get_u32_le() as usize;

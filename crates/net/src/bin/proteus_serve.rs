@@ -16,21 +16,35 @@
 //! `--oneshot` serves until the first accepted connection has come and
 //! gone, then drains and exits — the deterministic mode CI's loopback
 //! round trip uses (no signal choreography needed).
+//!
+//! `--store-dir DIR` makes the daemon crash-safe: the artifact and every
+//! in-flight request are journaled into a durable store
+//! ([`proteus::store`]), so a `kill -9`'d daemon restarted on the same
+//! directory warm-starts from the stored artifact, re-optimizes exactly
+//! the requests whose clients never got their answer (bit-identical, by
+//! request-id-keyed determinism), and only then takes new traffic.
 
+use proteus::store::Store;
 use proteus::{Fleet, FleetConfig, Proteus, ServeConfig};
 use proteus_net::{NetBackend, NetServer, NetServerConfig, TenantAuth};
 use proteus_opt::{Optimizer, Profile};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: proteus-serve --artifact PATH [--addr HOST:PORT] [--token TENANT:SECRET ...]\n\
+        "usage: proteus-serve [--artifact PATH] [--store-dir DIR] [--addr HOST:PORT]\n\
+         \x20      [--token TENANT:SECRET ...]\n\
          \x20      [--replicas N] [--workers N] [--window N] [--cache N]\n\
          \x20      [--max-connections N] [--quota N] [--profile ort|hidet]\n\
          \x20      [--oneshot] [--grace-secs N]\n\
          \n\
          --artifact       PRTA artifact to warm-start from (see proteus-train)\n\
+         --store-dir      durable store directory: journals the artifact and every\n\
+         \x20                in-flight request; a killed daemon restarted here recovers\n\
+         \x20                and finishes them. With --artifact, the artifact is stored;\n\
+         \x20                without it, the daemon warm-starts from the store\n\
          --addr           bind address (default 127.0.0.1:7070; port 0 picks a free port)\n\
          --token          tenant credential, repeatable (default demo:demo)\n\
          --replicas       fleet replicas; 1 = single shared runtime (default 1)\n\
@@ -81,7 +95,11 @@ fn parse_tokens(args: &[String]) -> Result<Vec<TenantAuth>, String> {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    let artifact = flag_value(args, "--artifact").ok_or("missing --artifact PATH")?;
+    let artifact = flag_value(args, "--artifact");
+    let store_dir = flag_value(args, "--store-dir");
+    if artifact.is_none() && store_dir.is_none() {
+        return Err("missing --artifact PATH (or --store-dir DIR holding one)".to_string());
+    }
     let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7070".to_string());
     let auth = parse_tokens(args)?;
     let replicas = parse_usize(args, "--replicas", 1)?;
@@ -99,11 +117,33 @@ fn run(args: &[String]) -> Result<(), String> {
         ..Default::default()
     };
 
+    // a corrupt or tampered store is a hard startup error (typed, never
+    // a silent partial recovery) — the operator must intervene
+    let store = match &store_dir {
+        Some(dir) => {
+            let (store, report) = Store::open_or_create(dir).map_err(|e| e.to_string())?;
+            eprintln!("store {dir}: {report}");
+            Some(Arc::new(store))
+        }
+        None => None,
+    };
+
     let t = Instant::now();
-    let proteus = Proteus::load_artifact(&artifact).map_err(|e| e.to_string())?;
+    let proteus = match (&artifact, &store) {
+        (Some(path), _) => Proteus::load_artifact(path).map_err(|e| e.to_string())?,
+        (None, Some(store)) => Proteus::load_artifact_store(store).map_err(|e| e.to_string())?,
+        (None, None) => unreachable!("rejected above"),
+    };
+    if let (Some(_), Some(store)) = (&artifact, &store) {
+        // make the artifact durable so later restarts need no --artifact
+        proteus
+            .save_artifact_store(store)
+            .map_err(|e| e.to_string())?;
+    }
     let fingerprint = proteus.config_fingerprint();
     eprintln!(
-        "warm-started from {artifact} in {:.1} ms (config fingerprint {fingerprint:#018x})",
+        "warm-started from {} in {:.1} ms (config fingerprint {fingerprint:#018x})",
+        artifact.as_deref().unwrap_or("store"),
         t.elapsed().as_secs_f64() * 1e3
     );
 
@@ -126,6 +166,35 @@ fn run(args: &[String]) -> Result<(), String> {
         )
     };
 
+    // before taking traffic: finish every lane the previous incarnation
+    // was killed in the middle of. Re-optimizing is deterministic
+    // (request-id-keyed), so a client retrying its request gets
+    // bit-identical frames — now served from the warmed cache.
+    if let Some(store) = &store {
+        for (rid, frames) in store.pending_lanes() {
+            let replay = || -> Result<usize, proteus::ProteusError> {
+                let handle = backend.lane(rid)?;
+                for frame in &frames {
+                    handle.submit_bytes(frame.clone())?;
+                }
+                let mut delivered = 0;
+                for _ in &frames {
+                    handle.recv_bytes()?;
+                    delivered += 1;
+                }
+                Ok(delivered)
+            };
+            match replay() {
+                Ok(n) => eprintln!("recovered lane {rid:#x}: re-optimized {n} frame(s)"),
+                // a lane that fails on replay failed identically before
+                // the kill (duplicates, corrupt frames); it fails closed
+                // here exactly like the live path
+                Err(e) => eprintln!("recovered lane {rid:#x}: failed closed ({e})"),
+            }
+            store.finish_lane(rid).map_err(|e| e.to_string())?;
+        }
+    }
+
     let tenants = auth.len();
     let server = NetServer::bind(
         backend,
@@ -136,6 +205,7 @@ fn run(args: &[String]) -> Result<(), String> {
             max_connections: parse_usize(args, "--max-connections", 0)?,
             tenant_quota: parse_usize(args, "--quota", 0)?,
             banner: format!("proteus-serve/{}", env!("CARGO_PKG_VERSION")),
+            store: store.clone(),
         },
     )
     .map_err(|e| e.to_string())?;

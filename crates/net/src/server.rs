@@ -40,6 +40,7 @@ use crate::error::{error_frame_for, NetError};
 use crate::handshake::{read_hello_bytes, ClientHello, ServerHello, NET_PROTOCOL_VERSION};
 use bytes::Bytes;
 use proteus::serve::RequestHandle;
+use proteus::store::Store;
 use proteus::{Fleet, ProteusError, ServeRuntime};
 use proteus_graph::wire::{
     encode_error_frame, peek_frame_request_id, ErrorCode, ErrorFrame, WIRE_VERSION,
@@ -95,6 +96,12 @@ pub struct NetServerConfig {
     pub tenant_quota: usize,
     /// Free-form banner announced in the server hello.
     pub banner: String,
+    /// Durable store to journal in-flight lanes into. Every frame a
+    /// lane accepts is recorded before serving proceeds, and the lane
+    /// is marked done when it completes or fails — so a killed daemon
+    /// restarted with the same store re-runs exactly the lanes whose
+    /// clients never got their answer. `None` = no durability.
+    pub store: Option<Arc<Store>>,
 }
 
 impl Default for NetServerConfig {
@@ -105,6 +112,7 @@ impl Default for NetServerConfig {
             max_connections: 0,
             tenant_quota: 0,
             banner: "proteus-serve".to_string(),
+            store: None,
         }
     }
 }
@@ -131,7 +139,11 @@ impl std::fmt::Debug for NetBackend {
 }
 
 impl NetBackend {
-    fn lane(&self, request_id: u64) -> Result<RequestHandle, ProteusError> {
+    /// Opens a lane (a [`RequestHandle`]) for one request id, routing to
+    /// the shared runtime or the fleet's replica for that id. The server
+    /// uses this per admitted request; `proteus-serve` also uses it to
+    /// replay journaled lanes during store recovery.
+    pub fn lane(&self, request_id: u64) -> Result<RequestHandle, ProteusError> {
         match self {
             NetBackend::Runtime(rt) => Ok(rt.handle(request_id)),
             NetBackend::Fleet(fleet) => fleet.lane(request_id),
@@ -187,6 +199,13 @@ struct ServerShared {
     handlers: Mutex<Vec<JoinHandle<()>>>,
 }
 
+/// How a lane ended, for the completed/failed counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LaneOutcome {
+    Completed,
+    Failed,
+}
+
 impl ServerShared {
     fn release_tenant(&self, tenant: &str) {
         let mut map = relock(&self.tenant_active);
@@ -195,6 +214,29 @@ impl ServerShared {
             if *n == 0 {
                 map.remove(tenant);
             }
+        }
+    }
+
+    /// The single owner of every lane-teardown side effect: the
+    /// `requests_active` decrement, the tenant-quota release, the
+    /// completed/failed counter, and the durable lane-done mark. Takes
+    /// the [`Lane`] by value — a lane can only be passed here once
+    /// (removing it from the connection's map is what yields ownership),
+    /// so the gauge can never double-decrement no matter how many
+    /// teardown paths race.
+    fn release_lane(&self, request_id: u64, lane: Lane, outcome: LaneOutcome) {
+        self.release_tenant(&lane.tenant);
+        self.counters.requests_active.fetch_sub(1, Ordering::SeqCst);
+        match outcome {
+            LaneOutcome::Completed => &self.counters.requests_completed,
+            LaneOutcome::Failed => &self.counters.requests_failed,
+        }
+        .fetch_add(1, Ordering::SeqCst);
+        if let Some(store) = &self.config.store {
+            // the client has its answer (or its error frame) either
+            // way: the journaled lane must not be re-run on restart.
+            // Journal failure here must not take down live serving.
+            let _ = store.finish_lane(request_id);
         }
     }
 }
@@ -547,18 +589,10 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<ServerShared>) {
     let _ = writer.join();
     // release anything still held (fatal teardown path)
     let mut st = relock(&state);
-    for (_, lane) in st.lanes.drain() {
-        shared.release_tenant(&lane.tenant);
-        shared
-            .counters
-            .requests_active
-            .fetch_sub(1, Ordering::SeqCst);
-        shared
-            .counters
-            .requests_failed
-            .fetch_add(1, Ordering::SeqCst);
+    for (rid, lane) in st.lanes.drain() {
         // dropping the last handle clone cancels the lane: queued tasks
         // detach, nothing is ever written for it — fails closed
+        shared.release_lane(rid, lane, LaneOutcome::Failed);
     }
     let _ = stream.shutdown(Shutdown::Both);
 }
@@ -726,6 +760,14 @@ fn dispatch_frame(
             }
         }
     };
+    // journal *before* submitting: once the frame can influence an
+    // answer the client might act on, it must survive a daemon kill.
+    // A frame the lane then rejects (duplicate, corrupt) is journaled
+    // too — harmless, since resume replays it into a lane that rejects
+    // it identically. Journal failure must not take down live serving.
+    if let Some(store) = &shared.config.store {
+        let _ = store.record_lane_frame(request_id, &raw);
+    }
     if let Err(e) = handle.submit_bytes(raw) {
         // the lane survives a per-frame rejection (duplicate, corrupt);
         // the client learns which frame and why
@@ -774,38 +816,20 @@ fn writer_loop(stream: TcpStream, state: &Arc<Mutex<ConnState>>, shared: &Arc<Se
             for (rid, frame) in failed {
                 st.errors.push_back(frame);
                 if let Some(lane) = st.lanes.remove(&rid) {
-                    shared.release_tenant(&lane.tenant);
-                    shared
-                        .counters
-                        .requests_active
-                        .fetch_sub(1, Ordering::SeqCst);
-                    shared
-                        .counters
-                        .requests_failed
-                        .fetch_add(1, Ordering::SeqCst);
+                    shared.release_lane(rid, lane, LaneOutcome::Failed);
                 }
                 st.rejected.insert(rid);
             }
             for rid in completed {
                 if let Some(lane) = st.lanes.remove(&rid) {
-                    shared.release_tenant(&lane.tenant);
-                    shared
-                        .counters
-                        .requests_active
-                        .fetch_sub(1, Ordering::SeqCst);
-                    if lane.expected.is_some_and(|e| lane.delivered == e) {
-                        shared
-                            .counters
-                            .requests_completed
-                            .fetch_add(1, Ordering::SeqCst);
+                    let outcome = if lane.expected.is_some_and(|e| lane.delivered == e) {
+                        LaneOutcome::Completed
                     } else {
                         // drained at EOF short of the full bucket count:
                         // the client abandoned the request mid-stream
-                        shared
-                            .counters
-                            .requests_failed
-                            .fetch_add(1, Ordering::SeqCst);
-                    }
+                        LaneOutcome::Failed
+                    };
+                    shared.release_lane(rid, lane, outcome);
                 }
             }
             // take failure frames queued just above in the same pass
@@ -834,16 +858,8 @@ fn writer_loop(stream: TcpStream, state: &Arc<Mutex<ConnState>>, shared: &Arc<Se
             // queued work) and let the reader observe `fatal`
             let mut st = relock(state);
             st.fatal = true;
-            for (_, lane) in st.lanes.drain() {
-                shared.release_tenant(&lane.tenant);
-                shared
-                    .counters
-                    .requests_active
-                    .fetch_sub(1, Ordering::SeqCst);
-                shared
-                    .counters
-                    .requests_failed
-                    .fetch_add(1, Ordering::SeqCst);
+            for (rid, lane) in st.lanes.drain() {
+                shared.release_lane(rid, lane, LaneOutcome::Failed);
             }
             return;
         }

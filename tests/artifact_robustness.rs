@@ -17,7 +17,7 @@ use proteus::{
     ArtifactError, PartitionSpec, Proteus, ProteusConfig, ProteusError, ServeConfig, ServeRuntime,
     TrainedArtifact, ARTIFACT_VERSION,
 };
-use proteus_graph::wire::{decode_frame, encode_frame};
+use proteus_graph::wire::{decode_frame, decode_graph, encode_frame, WireError};
 use proteus_graph::TensorMap;
 use proteus_graphgen::GraphRnnConfig;
 use proteus_models::{build, ModelKind};
@@ -208,6 +208,71 @@ fn tampered_config_section_is_a_fingerprint_mismatch() {
     match TrainedArtifact::from_bytes(&rebuilt) {
         Err(ArtifactError::FingerprintMismatch { .. }) => {}
         other => panic!("expected FingerprintMismatch, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// robustness: lying length prefixes must never drive allocations
+
+/// Regression for the untrusted-length hardening: a section whose leading
+/// element count claims the plausibility maximum while its payload holds
+/// almost nothing must be rejected with a typed error. Before the
+/// `bounded_capacity` clamps, the count went straight into
+/// `Vec::with_capacity`, so a handful of corrupt bytes demanded a
+/// megabyte-scale allocation before the decode loop could notice the lie.
+#[test]
+fn section_claiming_maximal_pool_count_fails_typed() {
+    let (_, bytes) = trained();
+    let mut buf = bytes::Bytes::copy_from_slice(&bytes[10..]);
+    let mut rebuilt: Vec<u8> = bytes[..10].to_vec();
+    for _ in 0..6 {
+        let frame = decode_frame(&mut buf).expect("section decodes");
+        if frame.bucket_index == 3 {
+            // SECTION_POOL: the largest count the plausibility bound
+            // admits (2^20 topologies), backed by 8 bytes of payload,
+            // behind a *valid* section checksum
+            let mut payload = (1u32 << 20).to_le_bytes().to_vec();
+            payload.extend_from_slice(&[0u8; 8]);
+            rebuilt.extend_from_slice(&encode_frame(frame.bucket_index, &payload));
+        } else {
+            rebuilt.extend_from_slice(&encode_frame(frame.bucket_index, &frame.payload));
+        }
+    }
+    match TrainedArtifact::from_bytes(&rebuilt) {
+        Err(ArtifactError::Truncated { .. } | ArtifactError::Malformed { .. }) => {}
+        other => panic!("lying pool count: expected a typed decode error, got {other:?}"),
+    }
+}
+
+/// Same property at the bucket protocol layer: a sealed-bucket payload
+/// declaring a million members over a near-empty buffer is a typed
+/// truncation, reached without a member-count-sized pre-allocation.
+#[test]
+fn sealed_bucket_claiming_a_million_members_fails_typed() {
+    use proteus::SealedBucket;
+    // payload: num_buckets=1 | member count=1_000_000 (largest plausible)
+    let mut payload = 1u32.to_le_bytes().to_vec();
+    payload.extend_from_slice(&1_000_000u32.to_le_bytes());
+    payload.extend_from_slice(&[0u8; 4]);
+    let mut framed = bytes::Bytes::copy_from_slice(&encode_frame(0, &payload));
+    match SealedBucket::decode_from(&mut framed) {
+        Err(WireError::Truncated { .. }) => {}
+        other => panic!("lying member count: expected Truncated, got {other:?}"),
+    }
+}
+
+/// And at the graph codec: ten million declared nodes (the plausibility
+/// ceiling) over an empty tail is typed truncation, with the
+/// pre-allocation capped by the bytes actually present.
+#[test]
+fn graph_bytes_claiming_ten_million_nodes_fail_typed() {
+    // encode_graph layout: name (len-prefixed) | node count u32 | nodes...
+    let mut raw = 0u32.to_le_bytes().to_vec(); // empty name
+    raw.extend_from_slice(&10_000_000u32.to_le_bytes());
+    let mut buf = bytes::Bytes::copy_from_slice(&raw);
+    match decode_graph(&mut buf) {
+        Err(WireError::Truncated { .. }) => {}
+        other => panic!("lying node count: expected Truncated, got {other:?}"),
     }
 }
 

@@ -67,6 +67,50 @@ fn expectations() -> &'static Vec<Expected> {
     })
 }
 
+/// Deterministic FIFO pin: with a full cache, each insert evicts exactly
+/// the *oldest* resident entry, in insertion order. This is the
+/// eviction sequence the cache has always had; the bucket storage moving
+/// from `Vec::remove(0)` to `VecDeque::pop_front` must not change it.
+#[test]
+fn eviction_order_is_exactly_fifo() {
+    let table = expectations();
+    for capacity in 1..=4usize {
+        let cache = OptimizedCache::new(capacity);
+        for (i, item) in table.iter().enumerate() {
+            cache.insert(item.key.clone(), item.graph.clone(), item.params.clone());
+            assert_eq!(cache.len(), capacity.min(i + 1));
+            // exactly the last `capacity` inserts are resident — the
+            // prefix was evicted oldest-first
+            for (j, probe) in table.iter().enumerate() {
+                let resident = cache.lookup(&probe.key).is_some();
+                let expected = j <= i && j + capacity > i;
+                assert_eq!(
+                    resident, expected,
+                    "capacity {capacity}: after inserting 0..={i}, member {j} \
+                     residency diverged from FIFO order"
+                );
+            }
+        }
+        // re-inserting a resident key is a no-op: it must neither evict
+        // nor change the order (member 5-capacity..6 are resident here)
+        let oldest = &table[table.len() - capacity];
+        cache.insert(
+            oldest.key.clone(),
+            oldest.graph.clone(),
+            oldest.params.clone(),
+        );
+        assert_eq!(cache.len(), capacity);
+        assert!(cache.lookup(&oldest.key).is_some());
+        if capacity > 1 {
+            let newest = &table[table.len() - 1];
+            assert!(
+                cache.lookup(&newest.key).is_some(),
+                "capacity {capacity}: duplicate insert evicted the newest entry"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 

@@ -388,6 +388,86 @@ fn mid_stream_disconnect_fails_closed_and_server_survives() {
     assert_eq!(stats.requests_failed, 1);
 }
 
+/// Regression for the `requests_active` gauge: lane teardown used to
+/// decrement it at four scattered sites (post-join drain, failed-lane
+/// removal, completed removal, write-failure drain), and a lane hitting
+/// two of them would double-decrement — wrapping the `usize` gauge to
+/// ~2^64 and wedging graceful drain forever. Teardown is now single-owned
+/// (`release_lane` consumes the `Lane` by value), so after any mix of
+/// completed, rejected, and abandoned lanes the gauge must settle at
+/// exactly zero and never read as wrapped along the way.
+#[test]
+fn requests_active_settles_to_zero_after_mixed_outcomes() {
+    let server = default_server();
+    let addr = server.local_addr();
+    let fingerprint = shared_proteus().config_fingerprint();
+
+    // outcome 1: a request that completes normally
+    let done = owned_request(ModelKind::MobileNet, 71);
+    let client = NetClient::connect(addr, "alpha-token", fingerprint).expect("tenant connects");
+    let frames = client
+        .run_request(71, done.request.frames.clone())
+        .expect("request completes");
+    assert_parity(&done, &frames);
+
+    // outcome 2: a request carrying a mid-stream per-frame rejection
+    // (the duplicate is refused with a typed error, the lane survives
+    // and still completes — exercising the error-queue path alongside
+    // the completion teardown)
+    let dup = owned_request(ModelKind::AlexNet, 72);
+    let mut dup_frames = dup.request.frames.clone();
+    dup_frames.insert(1, dup_frames[0].clone());
+    let client = NetClient::connect(addr, "beta-token", fingerprint).expect("tenant connects");
+    client
+        .run_request(72, dup_frames)
+        .expect_err("duplicate must surface to the client");
+
+    // outcome 3: a lane abandoned by a mid-stream disconnect (torn down
+    // by the post-join drain, not the writer loop)
+    {
+        let abandoned = owned_request(ModelKind::ResNet, 73);
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        FrameWriter::new(&mut stream)
+            .write_frame(&ClientHello::new(fingerprint, "alpha-token").encode())
+            .expect("hello written");
+        let mut reader = FrameReader::new();
+        let mut reply = read_hello_bytes(&mut stream, &mut reader).expect("server hello");
+        ServerHello::decode(&mut reply).expect("accepted");
+        FrameWriter::new(&mut stream)
+            .write_frame(&abandoned.request.frames[0])
+            .expect("first frame written");
+        // dropping the stream abandons the lane mid-request
+    }
+
+    // every lane above is torn down exactly once: the gauge drains to 0
+    // and never wraps (a double-decrement reads as ~2^64, caught by the
+    // sanity bound on every observation)
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let active = server.stats().requests_active;
+        assert!(
+            active <= 3,
+            "requests_active read {active}: gauge wrapped past zero"
+        );
+        if active == 0 && server.stats().active_connections == 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "gauge never settled: requests_active still {active}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let stats = server.shutdown(Duration::from_secs(30));
+    assert_eq!(stats.requests_active, 0, "gauge must end at exactly zero");
+    assert_eq!(
+        stats.requests_completed, 2,
+        "clean + duplicate-carrying lanes both complete"
+    );
+    assert_eq!(stats.requests_failed, 1, "the abandoned lane fails closed");
+}
+
 // ---------------------------------------------------------------------------
 // graceful drain
 // ---------------------------------------------------------------------------

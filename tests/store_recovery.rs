@@ -1,0 +1,519 @@
+//! Crash-safety battery for the durable store (`proteus::store`).
+//!
+//! Three contracts are enforced here, mirroring the acceptance bar of the
+//! store design:
+//!
+//! - **Crash recovery**: a SIGKILL-equivalent interruption at *any* WAL
+//!   byte boundary — simulated by truncating the on-disk log at every
+//!   position past the committed horizon — recovers to exactly the last
+//!   committed record. Nothing acknowledged is ever lost, and nothing
+//!   unacknowledged ever resurfaces.
+//! - **Tamper detection**: any single flipped byte, any duplicated or
+//!   reordered record, and any marker/WAL mismatch inside the committed
+//!   horizon is a typed [`StoreError`] — never a panic, never a silent
+//!   partial recovery.
+//! - **Resume parity**: a [`DeobfuscationSession`] interrupted at an
+//!   arbitrary point, journaled into the store, and resumed after a
+//!   "kill" (drop + reopen from disk) finishes with output bit-identical
+//!   to the uninterrupted run, across the full model zoo.
+//!
+//! CI runs this suite in release mode in the `store-recovery` job,
+//! alongside a real `proteus-serve` kill-and-restart round trip.
+
+use proteus::store::{SessionCheckpoint, Store, StoreError};
+use proteus::{
+    DeobfuscationSession, PartitionSpec, Proteus, ProteusConfig, ProteusError, SealedBucket,
+};
+use proteus_graph::wire::{encode_graph, encode_params};
+use proteus_graph::TensorMap;
+use proteus_graphgen::GraphRnnConfig;
+use proteus_models::{build, ModelKind};
+use proteus_opt::{Optimizer, Profile};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+fn quick_proteus() -> &'static Proteus {
+    static QUICK: OnceLock<Proteus> = OnceLock::new();
+    QUICK.get_or_init(|| {
+        let cfg = ProteusConfig {
+            k: 2,
+            partitions: PartitionSpec::Count(3),
+            graphrnn: GraphRnnConfig {
+                epochs: 2,
+                max_nodes: 20,
+                ..Default::default()
+            },
+            topology_pool: 30,
+            ..Default::default()
+        };
+        Proteus::train(cfg, &[build(ModelKind::ResNet)])
+    })
+}
+
+/// A unique scratch directory per call; callers clean up on success (a
+/// failed test leaves its directory behind for inspection).
+fn scratch(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "proteus-store-recovery-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Writes a store directory from raw WAL + marker bytes, bypassing the
+/// Store API — how every crash/tamper scenario is staged.
+fn stage(dir: &Path, wal: &[u8], marker: &[u8]) {
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).expect("scratch dir");
+    std::fs::write(Store::wal_path(dir), wal).expect("stage wal");
+    std::fs::write(Store::marker_path(dir), marker).expect("stage marker");
+}
+
+/// Builds a store with `frames_per_lane` journaled frames on each given
+/// lane and returns the raw on-disk bytes `(wal, marker)`.
+fn journaled_store(tag: &str, lanes: &[u64], frames_per_lane: usize) -> (Vec<u8>, Vec<u8>) {
+    let dir = scratch(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    let (store, _) = Store::open_or_create(&dir).expect("store creates");
+    for &rid in lanes {
+        for i in 0..frames_per_lane {
+            let frame = vec![(rid as u8) ^ (i as u8); 48];
+            store.record_lane_frame(rid, &frame).expect("journal");
+        }
+    }
+    drop(store);
+    let wal = std::fs::read(Store::wal_path(&dir)).expect("read wal");
+    let marker = std::fs::read(Store::marker_path(&dir)).expect("read marker");
+    let _ = std::fs::remove_dir_all(&dir);
+    (wal, marker)
+}
+
+/// Byte offsets where each committed WAL record starts (wire v1 frame:
+/// 22-byte header with the payload length at offset 10).
+fn record_offsets(wal: &[u8]) -> Vec<usize> {
+    let mut offsets = Vec::new();
+    let mut at = 0usize;
+    while at < wal.len() {
+        offsets.push(at);
+        let len = u32::from_le_bytes(wal[at + 10..at + 14].try_into().expect("len field"));
+        at += 22 + len as usize;
+    }
+    assert_eq!(at, wal.len(), "wal parses into whole records");
+    offsets
+}
+
+// ---------------------------------------------------------------------------
+// crash recovery: torn tails at every byte boundary
+
+#[test]
+fn kill_at_every_byte_past_the_horizon_recovers_the_committed_state() {
+    // commit point: 2 lanes journaled; crash window: 2 more frames
+    // appended whose marker rename "never happened"
+    let dir = scratch("torn-build");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (store, _) = Store::open_or_create(&dir).expect("store creates");
+    store.record_lane_frame(7, &[0xAA; 40]).expect("journal");
+    store.record_lane_frame(9, &[0xBB; 40]).expect("journal");
+    let committed = store.committed_len() as usize;
+    let mid_marker = std::fs::read(Store::marker_path(&dir)).expect("marker snapshot");
+    store.record_lane_frame(7, &[0xCC; 40]).expect("journal");
+    store.finish_lane(9).expect("finish");
+    drop(store);
+    let wal = std::fs::read(Store::wal_path(&dir)).expect("wal snapshot");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(wal.len() > committed);
+
+    let dir = scratch("torn");
+    for cut in committed..=wal.len() {
+        stage(&dir, &wal[..cut], &mid_marker);
+        let (reopened, report) =
+            Store::open_or_create(&dir).unwrap_or_else(|e| panic!("cut at {cut}: {e}"));
+        assert_eq!(
+            report.truncated_bytes as usize,
+            cut - committed,
+            "cut {cut}"
+        );
+        assert_eq!(report.pending_lanes, 2, "cut {cut}");
+        // the unacknowledged appends are gone: lane 7 has exactly its
+        // one committed frame, lane 9 is still pending
+        let lanes = reopened.pending_lanes();
+        assert_eq!(lanes[0].0, 7);
+        assert_eq!(lanes[0].1.len(), 1, "cut {cut}: torn tail resurfaced");
+        assert_eq!(lanes[1].0, 9);
+        drop(reopened);
+        // the tail was physically truncated: a second open sees a clean log
+        let on_disk = std::fs::read(Store::wal_path(&dir)).expect("wal after recovery");
+        assert_eq!(on_disk.len(), committed, "cut {cut}: tail not truncated");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovered_store_keeps_accepting_appends() {
+    // recovery is not read-only: the truncated log must chain correctly
+    // for every append after the crash
+    let (wal, marker) = journaled_store("append-build", &[1, 2], 2);
+    let dir = scratch("append");
+    stage(&dir, &wal, &marker);
+    let (store, report) = Store::open_or_create(&dir).expect("recovers");
+    assert_eq!(report.pending_lanes, 2);
+    store
+        .record_lane_frame(3, &[0xDD; 48])
+        .expect("post-crash append");
+    store.finish_lane(1).expect("post-crash finish");
+    drop(store);
+    let (store, report) = Store::open_or_create(&dir).expect("reopens");
+    assert_eq!(report.pending_lanes, 2, "lane 1 done, lane 3 new");
+    assert_eq!(store.pending_lanes()[0].0, 2);
+    assert_eq!(store.pending_lanes()[1].0, 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// tamper detection: typed errors, never silent resync
+
+#[test]
+fn flipping_any_byte_of_the_committed_wal_is_detected() {
+    let (wal, marker) = journaled_store("flip-build", &[5], 3);
+    let dir = scratch("flip");
+    for pos in 0..wal.len() {
+        let mut bad = wal.clone();
+        bad[pos] ^= 0x01;
+        stage(&dir, &bad, &marker);
+        match Store::open_or_create(&dir) {
+            Err(StoreError::Corrupt { .. } | StoreError::Marker { .. }) => {}
+            other => panic!("flip at byte {pos}: expected Corrupt, got {other:?}"),
+        }
+        // the fsck path must agree with the recovery path
+        assert!(
+            Store::verify(&dir).is_err(),
+            "verify accepted flip at {pos}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flipping_any_byte_of_the_marker_is_detected() {
+    let (wal, marker) = journaled_store("marker-build", &[5], 2);
+    let dir = scratch("marker");
+    for pos in 0..marker.len() {
+        let mut bad = marker.clone();
+        bad[pos] ^= 0x01;
+        stage(&dir, &wal, &bad);
+        match Store::open_or_create(&dir) {
+            // most flips break the marker checksum; flips *of* the
+            // checksum field or the committed-length field can also
+            // surface as a chain/length mismatch against the WAL
+            Err(StoreError::Marker { .. } | StoreError::Corrupt { .. }) => {}
+            other => panic!("marker flip at byte {pos}: expected an error, got {other:?}"),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn swapped_and_duplicated_records_break_the_chain() {
+    // 3 equal-sized lane records after genesis: swapping or duplicating
+    // whole, individually-valid records must still be detected, because
+    // each record names its predecessor's digest and its own sequence
+    let (wal, marker) = journaled_store("splice-build", &[5], 3);
+    let offsets = record_offsets(&wal);
+    assert_eq!(offsets.len(), 4, "genesis + 3 lane records");
+    let (r1, r2, r3) = (offsets[1], offsets[2], offsets[3]);
+    assert_eq!(r2 - r1, r3 - r2, "equal-sized records");
+    let size = r2 - r1;
+    let dir = scratch("splice");
+
+    // swap records 1 and 2
+    let mut swapped = wal.clone();
+    swapped.copy_within(r2..r3, r1);
+    swapped[r1 + size..r1 + 2 * size].copy_from_slice(&wal[r1..r2]);
+    stage(&dir, &swapped, &marker);
+    assert!(
+        matches!(Store::open_or_create(&dir), Err(StoreError::Corrupt { .. })),
+        "swapped records were accepted"
+    );
+
+    // duplicate record 1 over record 2
+    let mut duped = wal.clone();
+    duped.copy_within(r1..r2, r2);
+    stage(&dir, &duped, &marker);
+    assert!(
+        matches!(Store::open_or_create(&dir), Err(StoreError::Corrupt { .. })),
+        "duplicated record was accepted"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wal_shorter_than_the_marker_is_corrupt_not_a_torn_tail() {
+    // truncation *inside* the committed horizon means acknowledged data
+    // is gone — that is corruption, categorically different from an
+    // unacknowledged tail
+    let (wal, marker) = journaled_store("short-build", &[5], 2);
+    let dir = scratch("short");
+    for cut in [0, 1, wal.len() / 2, wal.len() - 1] {
+        stage(&dir, &wal[..cut], &marker);
+        assert!(
+            matches!(Store::open_or_create(&dir), Err(StoreError::Corrupt { .. })),
+            "committed-region truncation at {cut} was not Corrupt"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// checkpoint → kill → resume: bit parity across the zoo
+
+#[test]
+fn interrupted_sessions_resume_bit_identically_across_the_zoo() {
+    let proteus = quick_proteus();
+    let optimizer = Optimizer::new(Profile::OrtLike);
+    let dir = scratch("zoo");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (store, _) = Store::open_or_create(&dir).expect("store creates");
+
+    let mut expected_open = Vec::new();
+    for (i, kind) in ModelKind::ALL.iter().enumerate() {
+        let rid = 0x5000 + i as u64;
+        let g = build(*kind);
+        let mut session = proteus
+            .obfuscate_session(&g, &TensorMap::new(), rid)
+            .expect("session");
+        let mut optimized: Vec<SealedBucket> = Vec::new();
+        while let Some(frame) = session.next_frame() {
+            optimized.push(frame.optimize(&optimizer, None));
+        }
+        let secrets = session.finish().expect("secrets");
+
+        // the uninterrupted reference
+        let mut reference = proteus.deobfuscate_session(&secrets);
+        for frame in &optimized {
+            reference.accept(frame.clone()).expect("accept");
+        }
+        let (ref_graph, ref_params) = reference.finish().expect("reference finish");
+
+        // interrupted run: journal the secrets and the first `i % n + 1`
+        // frames (a different interruption point per model), then "kill"
+        let cut = (i % optimized.len()) + 1;
+        store.checkpoint_session(&secrets).expect("checkpoint");
+        let mut partial = proteus.deobfuscate_session(&secrets);
+        for frame in &optimized[..cut] {
+            let bytes = frame.to_bytes();
+            partial.accept_bytes(bytes.clone()).expect("accept");
+            store.checkpoint_frame(rid, &bytes).expect("journal frame");
+        }
+        drop(partial);
+        expected_open.push((rid, kind, optimized, cut, ref_graph, ref_params));
+    }
+    drop(store); // the kill
+
+    let (store, report) = Store::open_or_create(&dir).expect("recovers");
+    assert_eq!(report.open_sessions, ModelKind::ALL.len());
+    assert_eq!(store.open_sessions().len(), ModelKind::ALL.len());
+
+    for (rid, kind, optimized, cut, ref_graph, ref_params) in expected_open {
+        let (secrets, frames) = store.resume_session(rid).expect("resume_session");
+        assert_eq!(frames.len(), cut, "{kind}: journaled frame count");
+        let mut resumed = DeobfuscationSession::resume(&secrets, &frames).expect("resume");
+        assert_eq!(resumed.received(), cut, "{kind}: resumed progress");
+        for frame in &optimized[cut..] {
+            resumed.accept(frame.clone()).expect("accept rest");
+        }
+        let (graph, params) = resumed.finish().expect("resumed finish");
+        assert_eq!(
+            encode_graph(&graph).to_vec(),
+            encode_graph(&ref_graph).to_vec(),
+            "{kind}: resumed graph diverges from the uninterrupted run"
+        );
+        assert_eq!(
+            encode_params(&graph, &params).to_vec(),
+            encode_params(&ref_graph, &ref_params).to_vec(),
+            "{kind}: resumed params diverge from the uninterrupted run"
+        );
+        store.finish_session(rid).expect("finish_session");
+    }
+    assert!(store.open_sessions().is_empty(), "every session finished");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resuming_a_journal_with_a_duplicate_frame_fails_typed() {
+    let proteus = quick_proteus();
+    let optimizer = Optimizer::new(Profile::OrtLike);
+    let g = build(ModelKind::AlexNet);
+    let rid = 0x6001;
+    let mut session = proteus
+        .obfuscate_session(&g, &TensorMap::new(), rid)
+        .expect("session");
+    let first = session
+        .next_frame()
+        .expect("frame")
+        .optimize(&optimizer, None)
+        .to_bytes();
+    for _ in session.by_ref() {}
+    let secrets = session.finish().expect("secrets");
+    let frames = vec![first.clone(), first];
+    match DeobfuscationSession::resume(&secrets, &frames) {
+        Err(ProteusError::DuplicateFrame { request_id, .. }) => assert_eq!(request_id, rid),
+        other => panic!("expected DuplicateFrame, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SessionCheckpoint byte codec
+
+#[test]
+fn session_checkpoint_roundtrips_and_resumes_identically() {
+    let proteus = quick_proteus();
+    let optimizer = Optimizer::new(Profile::OrtLike);
+    let g = build(ModelKind::Bert);
+    let rid = 0x7001;
+    let mut session = proteus
+        .obfuscate_session(&g, &TensorMap::new(), rid)
+        .expect("session");
+    let optimized: Vec<SealedBucket> = session
+        .by_ref()
+        .map(|f| f.optimize(&optimizer, None))
+        .collect();
+    let secrets = session.finish().expect("secrets");
+
+    let mut reference = proteus.deobfuscate_session(&secrets);
+    let mut partial = proteus.deobfuscate_session(&secrets);
+    for frame in &optimized {
+        reference.accept(frame.clone()).expect("accept");
+    }
+    partial.accept(optimized[0].clone()).expect("accept");
+    let (ref_graph, ref_params) = reference.finish().expect("reference");
+
+    let checkpoint = partial.checkpoint();
+    assert_eq!(checkpoint.request_id(), rid);
+    assert_eq!(checkpoint.received(), 1);
+    let bytes = checkpoint.to_bytes();
+    let restored = SessionCheckpoint::from_bytes(bytes.clone()).expect("decodes");
+    assert_eq!(restored.request_id(), rid);
+    assert_eq!(restored.received(), 1);
+    let mut resumed = restored.resume();
+    for frame in &optimized[1..] {
+        resumed.accept(frame.clone()).expect("accept rest");
+    }
+    let (graph, params) = resumed.finish().expect("resumed");
+    assert_eq!(
+        encode_graph(&graph).to_vec(),
+        encode_graph(&ref_graph).to_vec(),
+        "checkpoint-resumed graph diverges"
+    );
+    assert_eq!(
+        encode_params(&graph, &params).to_vec(),
+        encode_params(&ref_graph, &ref_params).to_vec(),
+        "checkpoint-resumed params diverge"
+    );
+
+    // hardening: every truncation of the checkpoint bytes fails typed
+    for cut in 0..bytes.len() {
+        assert!(
+            SessionCheckpoint::from_bytes(bytes.slice(0..cut)).is_err(),
+            "checkpoint truncation at {cut} was accepted"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// randomized battery
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn template() -> &'static (Vec<u8>, Vec<u8>, usize) {
+        static T: OnceLock<(Vec<u8>, Vec<u8>, usize)> = OnceLock::new();
+        T.get_or_init(|| {
+            let dir = scratch("prop-build");
+            let _ = std::fs::remove_dir_all(&dir);
+            let (store, _) = Store::open_or_create(&dir).expect("store creates");
+            store.record_lane_frame(11, &[0x11; 64]).expect("journal");
+            store.record_lane_frame(13, &[0x13; 64]).expect("journal");
+            let committed = store.committed_len() as usize;
+            let marker = std::fs::read(Store::marker_path(&dir)).expect("marker");
+            store.record_lane_frame(11, &[0x22; 64]).expect("journal");
+            store.record_lane_frame(17, &[0x17; 64]).expect("journal");
+            drop(store);
+            let wal = std::fs::read(Store::wal_path(&dir)).expect("wal");
+            let _ = std::fs::remove_dir_all(&dir);
+            (wal, marker, committed)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn random_kill_point_recovers_or_rejects_typed(cut_pick in proptest::num::u64::ANY) {
+            let (wal, marker, committed) = template();
+            let committed = *committed;
+            let cut = (cut_pick as usize) % (wal.len() + 1);
+            let dir = scratch("prop-cut");
+            stage(&dir, &wal[..cut], marker);
+            match Store::open_or_create(&dir) {
+                Ok((store, report)) => {
+                    // only possible at or past the committed horizon,
+                    // and always lands exactly on it
+                    prop_assert!(cut >= committed);
+                    prop_assert_eq!(report.truncated_bytes as usize, cut - committed);
+                    prop_assert_eq!(store.committed_len() as usize, committed);
+                    prop_assert_eq!(report.pending_lanes, 2);
+                }
+                Err(StoreError::Corrupt { .. }) => prop_assert!(cut < committed),
+                Err(e) => panic!("untyped failure at cut {cut}: {e}"),
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        #[test]
+        fn random_byte_flip_anywhere_is_never_silent(
+            pos_pick in proptest::num::u64::ANY,
+            bit in 0u8..8,
+        ) {
+            let (wal, marker, committed) = template();
+            // flip within the *committed* region (the tail is legal to
+            // damage: it is truncated unread)
+            let pos = (pos_pick as usize) % *committed;
+            let mut bad = wal.clone();
+            bad[pos] ^= 1u8 << bit;
+            let dir = scratch("prop-flip");
+            stage(&dir, &bad, marker);
+            prop_assert!(
+                matches!(
+                    Store::open_or_create(&dir),
+                    Err(StoreError::Corrupt { .. } | StoreError::Marker { .. })
+                ),
+                "flip at byte {} bit {} was accepted", pos, bit
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        #[test]
+        fn damage_beyond_the_horizon_never_corrupts_recovery(
+            pos_pick in proptest::num::u64::ANY,
+            byte in proptest::num::u8::ANY,
+        ) {
+            let (wal, marker, committed) = template();
+            let committed = *committed;
+            // the template always carries two uncommitted records
+            let tail_len = wal.len() - committed;
+            let pos = committed + (pos_pick as usize) % tail_len;
+            let mut bad = wal.clone();
+            bad[pos] = byte;
+            let dir = scratch("prop-tail");
+            stage(&dir, &bad, marker);
+            let (store, report) = Store::open_or_create(&dir)
+                .unwrap_or_else(|e| panic!("tail damage at {pos} broke recovery: {e}"));
+            prop_assert_eq!(report.truncated_bytes as usize, tail_len);
+            prop_assert_eq!(store.committed_len() as usize, committed);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
