@@ -33,10 +33,20 @@
 //!
 //! | killed during            | after recovery                           |
 //! |--------------------------|------------------------------------------|
+//! | store creation           | WAL holds at most a genesis prefix and no marker exists; nothing was committed — recreated fresh |
 //! | WAL record append        | tail truncated; append was never acked   |
 //! | marker tmp write         | old marker intact; tail truncated        |
 //! | marker rename            | rename is atomic: old or new, never torn |
 //! | any later read           | nothing to recover                       |
+//!
+//! Every append fsyncs the WAL, the staged marker, *and* the store
+//! directory before acknowledging, so the commit boundary survives
+//! power loss as well as a killed process. A *failed* append rolls the
+//! WAL back to the committed horizon before returning its error, so
+//! orphan bytes of a half-written record can never end up under a
+//! later marker; if even that rollback fails, the store poisons itself
+//! ([`StoreError::Poisoned`]) and refuses further appends until a
+//! reopen replays the on-disk truth.
 //!
 //! A flipped byte is *not* a crash: inside the committed horizon it
 //! breaks the frame checksum or the digest chain and surfaces as
@@ -101,6 +111,15 @@ pub enum StoreError {
         /// What was wrong.
         detail: String,
     },
+    /// A failed append could not be cleanly undone (the WAL rollback
+    /// or the directory sync after a committed rename failed), so the
+    /// in-memory view can no longer be trusted to match the disk.
+    /// Further appends are refused; reopening the store replays the
+    /// on-disk truth and recovers.
+    Poisoned {
+        /// The failure that poisoned the store.
+        detail: String,
+    },
 }
 
 impl StoreError {
@@ -133,6 +152,12 @@ impl StoreError {
             detail: detail.into(),
         }
     }
+
+    fn poisoned(detail: impl Into<String>) -> StoreError {
+        StoreError::Poisoned {
+            detail: detail.into(),
+        }
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -147,6 +172,9 @@ impl fmt::Display for StoreError {
             StoreError::Marker { detail } => write!(f, "store commit marker unusable: {detail}"),
             StoreError::Missing { what } => write!(f, "store does not hold {what}"),
             StoreError::Invalid { detail } => write!(f, "store misuse: {detail}"),
+            StoreError::Poisoned { detail } => {
+                write!(f, "store poisoned (reopen to recover): {detail}")
+            }
         }
     }
 }
@@ -235,9 +263,62 @@ struct Inner {
     chain: u64,
     records: u64,
     committed_len: u64,
+    /// `Some` when a failed append could not be cleanly undone: the
+    /// in-memory view may disagree with the WAL bytes, so appends are
+    /// refused until the store is reopened (which replays the disk).
+    poisoned: Option<String>,
     artifacts: Vec<ArtifactEntry>,
     sessions: BTreeMap<u64, SessionState>,
     lanes: BTreeMap<u64, Vec<Bytes>>,
+    /// Test-only fault injection: the next append writes a partial
+    /// record and then fails, the way ENOSPC mid-`write_all` would.
+    #[cfg(test)]
+    fail_next_append: bool,
+}
+
+impl Inner {
+    /// Fresh in-memory state positioned at `horizon` with empty
+    /// indexes (replay fills them).
+    fn new(wal: File, horizon: &Marker) -> Inner {
+        Inner {
+            wal,
+            chain: horizon.chain,
+            records: horizon.records,
+            committed_len: horizon.committed_len,
+            poisoned: None,
+            artifacts: Vec::new(),
+            sessions: BTreeMap::new(),
+            lanes: BTreeMap::new(),
+            #[cfg(test)]
+            fail_next_append: false,
+        }
+    }
+}
+
+/// Rolls the WAL back to the committed horizon after a failed append,
+/// so the orphan bytes of a half-written record can never sit under a
+/// marker a *later* successful append commits (replay would then hit
+/// `Corrupt` and the store would be unrecoverable). When even the
+/// rollback fails, the store poisons itself: further appends are
+/// refused, and only a reopen — whose recovery truncates the tail from
+/// the on-disk truth — resumes service.
+fn rollback(inner: &mut Inner, cause: StoreError) -> StoreError {
+    if let Err(e) = inner
+        .wal
+        .set_len(inner.committed_len)
+        .and_then(|()| inner.wal.sync_data())
+    {
+        inner.poisoned = Some(format!(
+            "append failed ({cause}) and rolling the WAL back failed too ({e})"
+        ));
+    }
+    cause
+}
+
+/// Fsyncs the store directory so a just-renamed marker (and the WAL's
+/// directory entry) survive power loss, not just process death.
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
 }
 
 /// The crash-safe durable store. Thread-safe behind one internal lock —
@@ -276,11 +357,17 @@ impl Store {
     /// sequence numbers against the marker — then truncates any
     /// uncommitted tail a crash left. The report says what happened.
     ///
+    /// A WAL with no marker that holds at most a (possibly torn)
+    /// prefix of the genesis record is a crash *during creation* —
+    /// nothing was ever committed — and is recreated fresh. Any other
+    /// WAL without a marker lost its commit horizon and is refused.
+    ///
     /// # Errors
     /// [`StoreError::Marker`] / [`StoreError::Corrupt`] when the state
-    /// on disk cannot be trusted (exactly one of marker/WAL missing, a
-    /// failed checksum, a broken chain); [`StoreError::Io`] on
-    /// filesystem failure. Never a partial recovery.
+    /// on disk cannot be trusted (marker missing with committed-looking
+    /// data present, WAL missing, a failed checksum, a broken chain);
+    /// [`StoreError::Io`] on filesystem failure. Never a partial
+    /// recovery.
     pub fn open_or_create(dir: impl AsRef<Path>) -> Result<(Store, RecoveryReport), StoreError> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)
@@ -290,9 +377,29 @@ impl Store {
         match (wal_path.exists(), marker_path.exists()) {
             (false, false) => Store::create(dir),
             (true, true) => Store::recover(dir),
-            (true, false) => Err(StoreError::marker(
-                "WAL exists but the commit marker is missing — no committed horizon to recover to",
-            )),
+            (true, false) => {
+                // a crash inside `create` — after the WAL file appeared
+                // but before the first marker rename landed — leaves
+                // exactly a prefix of the canonical genesis record and
+                // no marker. Nothing was ever committed or
+                // acknowledged, so recreating fresh loses nothing. Any
+                // *other* WAL without a marker means acknowledged state
+                // lost its commit horizon: refuse.
+                let wal_bytes = read_file(&wal_path, "reading WAL")?;
+                let genesis = wal::encode_record(
+                    RecordTag::Genesis,
+                    0,
+                    wal::CHAIN_SEED,
+                    &wal::STORE_FORMAT_VERSION.to_le_bytes(),
+                );
+                if genesis.starts_with(&wal_bytes) {
+                    Store::create(dir)
+                } else {
+                    Err(StoreError::marker(
+                        "WAL exists but the commit marker is missing — no committed horizon to recover to",
+                    ))
+                }
+            }
             (false, true) => Err(StoreError::marker(
                 "commit marker exists but the WAL is missing",
             )),
@@ -301,23 +408,31 @@ impl Store {
 
     fn create(dir: PathBuf) -> Result<(Store, RecoveryReport), StoreError> {
         let wal_path = Store::wal_path(&dir);
+        // a partial genesis WAL from a creation crash may exist
+        // (open_or_create routes that state here): remove it, since
+        // `truncate` cannot be combined with the append mode we need —
+        // rollback after a failed append shrinks the file with
+        // `set_len`, and O_APPEND keeps the next write at the new end
+        // instead of a stale cursor past EOF
+        if wal_path.exists() {
+            std::fs::remove_file(&wal_path)
+                .map_err(|e| StoreError::io(format!("removing {}", wal_path.display()), &e))?;
+        }
         let wal = OpenOptions::new()
             .create(true)
-            .truncate(true)
-            .write(true)
+            .append(true)
             .open(&wal_path)
             .map_err(|e| StoreError::io(format!("creating {}", wal_path.display()), &e))?;
         let store = Store {
             dir,
-            inner: Mutex::new(Inner {
+            inner: Mutex::new(Inner::new(
                 wal,
-                chain: wal::CHAIN_SEED,
-                records: 0,
-                committed_len: 0,
-                artifacts: Vec::new(),
-                sessions: BTreeMap::new(),
-                lanes: BTreeMap::new(),
-            }),
+                &Marker {
+                    committed_len: 0,
+                    chain: wal::CHAIN_SEED,
+                    records: 0,
+                },
+            )),
         };
         {
             let mut inner = store.lock();
@@ -341,18 +456,13 @@ impl Store {
         let wal_bytes = read_file(&wal_path, "reading WAL")?;
         let records = wal::replay(&wal_bytes, &marker)?;
 
-        let mut inner = Inner {
-            wal: OpenOptions::new()
+        let mut inner = Inner::new(
+            OpenOptions::new()
                 .append(true)
                 .open(&wal_path)
                 .map_err(|e| StoreError::io(format!("opening {}", wal_path.display()), &e))?,
-            chain: marker.chain,
-            records: marker.records,
-            committed_len: marker.committed_len,
-            artifacts: Vec::new(),
-            sessions: BTreeMap::new(),
-            lanes: BTreeMap::new(),
-        };
+            &marker,
+        );
         for (i, record) in records.iter().enumerate() {
             apply(&mut inner, record).map_err(|detail| StoreError::corrupt(i as u64, detail))?;
         }
@@ -400,16 +510,10 @@ impl Store {
         // interpret the records too: a digest-valid log whose contents
         // are self-inconsistent (frame for an unopened session, artifact
         // body hash mismatch) is still corruption
-        let mut shadow = Inner {
-            wal: File::open(Store::wal_path(dir))
-                .map_err(|e| StoreError::io("reopening WAL", &e))?,
-            chain: marker.chain,
-            records: marker.records,
-            committed_len: marker.committed_len,
-            artifacts: Vec::new(),
-            sessions: BTreeMap::new(),
-            lanes: BTreeMap::new(),
-        };
+        let mut shadow = Inner::new(
+            File::open(Store::wal_path(dir)).map_err(|e| StoreError::io("reopening WAL", &e))?,
+            &marker,
+        );
         for (i, record) in records.iter().enumerate() {
             apply(&mut shadow, record).map_err(|detail| StoreError::corrupt(i as u64, detail))?;
         }
@@ -439,19 +543,41 @@ impl Store {
         self.lock().committed_len
     }
 
+    /// Whether a failed append has poisoned the store — appends are
+    /// refused with [`StoreError::Poisoned`] until it is reopened. A
+    /// health signal for long-running daemons.
+    pub fn is_poisoned(&self) -> bool {
+        self.lock().poisoned.is_some()
+    }
+
+    /// Makes the next append write a partial record and fail, the way
+    /// ENOSPC mid-`write_all` would.
+    #[cfg(test)]
+    fn inject_append_failure(&self) {
+        self.lock().fail_next_append = true;
+    }
+
     // -- artifacts ----------------------------------------------------
 
     /// Stores a trained artifact (`PRTA` bytes), content-addressed:
-    /// returns the artifact's FNV-1a content digest, and appends nothing
-    /// when identical bytes are already resident. `fingerprint` is the
-    /// config fingerprint the artifact is indexed under for lookup.
+    /// returns the artifact's FNV-1a content digest, and appends
+    /// nothing when identical bytes are already resident *under the
+    /// same fingerprint*. `fingerprint` is the config fingerprint the
+    /// artifact is indexed under for lookup — the same bytes arriving
+    /// under a new fingerprint append a fresh index record, so
+    /// [`Store::latest_artifact`] always reports the association most
+    /// recently saved.
     ///
     /// # Errors
     /// [`StoreError::Io`] on append failure.
     pub fn put_artifact(&self, bytes: &[u8], fingerprint: u64) -> Result<u64, StoreError> {
         let digest = fnv1a64(bytes);
         let mut inner = self.lock();
-        if inner.artifacts.iter().any(|a| a.digest == digest) {
+        if inner
+            .artifacts
+            .iter()
+            .any(|a| a.digest == digest && a.fingerprint == fingerprint)
+        {
             return Ok(digest);
         }
         let mut body = BytesMut::with_capacity(8 + 8 + 4 + bytes.len());
@@ -631,17 +757,39 @@ impl Store {
     }
 
     /// Appends one record and commits it: write + flush + fsync the WAL,
-    /// then atomically rename the refreshed marker into place, then
-    /// apply the record to the in-memory indexes. Only returns `Ok`
-    /// after the rename — the all-or-nothing acknowledgement boundary.
+    /// atomically rename the refreshed marker into place, fsync the
+    /// store directory (so the rename — and, on the first append, the
+    /// WAL's directory entry — survive power loss, not just process
+    /// death), then apply the record to the in-memory indexes. Only
+    /// returns `Ok` after the directory sync — the all-or-nothing
+    /// acknowledgement boundary.
+    ///
+    /// A failed append never leaves orphan bytes under a later marker:
+    /// the WAL is [`rollback`]ed to the committed horizon before the
+    /// error returns, and when that cannot be done the store poisons
+    /// itself and refuses further appends ([`StoreError::Poisoned`]).
     fn append(&self, inner: &mut Inner, tag: RecordTag, body: &[u8]) -> Result<(), StoreError> {
+        if let Some(detail) = &inner.poisoned {
+            return Err(StoreError::poisoned(detail.clone()));
+        }
         let record = wal::encode_record(tag, inner.records, inner.chain, body);
-        inner
+        #[cfg(test)]
+        if inner.fail_next_append {
+            inner.fail_next_append = false;
+            let _ = inner.wal.write_all(&record[..record.len() / 2]);
+            let _ = inner.wal.sync_data();
+            let injected = std::io::Error::other("injected mid-write failure");
+            let cause = StoreError::io("appending WAL record", &injected);
+            return Err(rollback(inner, cause));
+        }
+        if let Err(e) = inner
             .wal
             .write_all(&record)
             .and_then(|()| inner.wal.flush())
             .and_then(|()| inner.wal.sync_data())
-            .map_err(|e| StoreError::io("appending WAL record", &e))?;
+        {
+            return Err(rollback(inner, StoreError::io("appending WAL record", &e)));
+        }
         let chain = wal::chain_digest(inner.chain, &record);
         let marker = Marker {
             committed_len: inner.committed_len + record.len() as u64,
@@ -656,7 +804,18 @@ impl Store {
             f.sync_data()?;
             std::fs::rename(tmp, &dst)
         };
-        stage(&tmp).map_err(|e| StoreError::io("committing marker", &e))?;
+        if let Err(e) = stage(&tmp) {
+            return Err(rollback(inner, StoreError::io("committing marker", &e)));
+        }
+        if let Err(e) = sync_dir(&self.dir) {
+            // the new marker is already renamed into place, so the
+            // record must *stay* — truncating now would leave the
+            // marker claiming bytes the WAL no longer has. Poison
+            // instead; a reopen replays the (consistent) on-disk state.
+            let err = StoreError::io("syncing store directory", &e);
+            inner.poisoned = Some(err.to_string());
+            return Err(err);
+        }
         inner.chain = chain;
         inner.records = marker.records;
         inner.committed_len = marker.committed_len;
@@ -863,10 +1022,89 @@ mod tests {
     fn half_missing_store_is_typed_marker_error() {
         let dir = tempdir("half");
         let (store, _) = Store::open_or_create(&dir).unwrap();
+        // committed data beyond genesis: losing the marker now means
+        // acknowledged state has no horizon — must refuse, not recreate
+        store.put_artifact(b"acked-bytes", 0xA).unwrap();
         drop(store);
         std::fs::remove_file(Store::marker_path(&dir)).unwrap();
         let err = Store::open_or_create(&dir).unwrap_err();
         assert!(matches!(err, StoreError::Marker { .. }), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_during_creation_recreates_fresh() {
+        // a kill anywhere inside create() leaves a prefix of the
+        // canonical genesis record and no marker; every such state must
+        // open as a fresh store
+        let genesis = wal::encode_record(
+            RecordTag::Genesis,
+            0,
+            wal::CHAIN_SEED,
+            &wal::STORE_FORMAT_VERSION.to_le_bytes(),
+        );
+        let dir = tempdir("createcrash");
+        for cut in [0, 1, genesis.len() / 2, genesis.len()] {
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(Store::wal_path(&dir), &genesis[..cut]).unwrap();
+            let (store, report) = Store::open_or_create(&dir)
+                .unwrap_or_else(|e| panic!("creation crash at byte {cut} not recovered: {e}"));
+            assert!(report.created, "cut {cut}");
+            assert_eq!(store.records(), 1, "cut {cut}: genesis only");
+            drop(store);
+        }
+        // anything that is NOT a genesis prefix must still refuse
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(Store::wal_path(&dir), b"not a genesis record").unwrap();
+        let err = Store::open_or_create(&dir).unwrap_err();
+        assert!(matches!(err, StoreError::Marker { .. }), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_append_rolls_back_and_the_store_stays_usable() {
+        let dir = tempdir("rollback");
+        let (store, _) = Store::open_or_create(&dir).unwrap();
+        store.put_artifact(b"first", 0x1).unwrap();
+        let committed = store.committed_len();
+
+        store.inject_append_failure();
+        let err = store.put_artifact(b"doomed", 0x2).unwrap_err();
+        assert!(matches!(err, StoreError::Io { .. }), "{err}");
+        assert!(!store.is_poisoned(), "rollback succeeded, not poisoned");
+        // the orphan bytes are gone from the WAL, not just unclaimed
+        let wal_len = std::fs::metadata(Store::wal_path(&dir)).unwrap().len();
+        assert_eq!(wal_len, committed, "orphan record bytes not rolled back");
+
+        // the next append lands after the rollback point and the store
+        // reopens clean — the exact scenario that used to brick it
+        store.put_artifact(b"second", 0x3).unwrap();
+        drop(store);
+        let (store, report) = Store::open_or_create(&dir).unwrap();
+        assert_eq!(report.artifacts, 2);
+        assert_eq!(store.latest_artifact().unwrap().0, 0x3);
+        assert!(Store::verify(&dir).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn same_bytes_under_new_fingerprint_reindex() {
+        let dir = tempdir("refinger");
+        let (store, _) = Store::open_or_create(&dir).unwrap();
+        let d1 = store.put_artifact(b"same-bytes", 0xAAAA).unwrap();
+        let d2 = store.put_artifact(b"same-bytes", 0xBBBB).unwrap();
+        assert_eq!(d1, d2, "content digest is fingerprint-independent");
+        assert_eq!(
+            store.latest_artifact().unwrap().0,
+            0xBBBB,
+            "new fingerprint association dropped"
+        );
+        assert_eq!(store.records(), 3, "re-fingerprint appended a record");
+        drop(store);
+        let (store, _) = Store::open_or_create(&dir).unwrap();
+        assert_eq!(store.latest_artifact().unwrap().0, 0xBBBB, "after replay");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -170,6 +170,12 @@ pub struct NetServerStats {
     pub requests_active: usize,
     /// Connections currently open.
     pub active_connections: usize,
+    /// Durable-journal appends that failed. Non-zero means the daemon
+    /// kept serving with durability degraded: lanes opened after the
+    /// first failure would not be replayed by a restart. The store
+    /// itself stays consistent (failed appends roll back), so this is
+    /// a health signal, not a corruption signal.
+    pub journal_errors: usize,
 }
 
 struct Counters {
@@ -180,6 +186,7 @@ struct Counters {
     requests_failed: AtomicUsize,
     requests_active: AtomicUsize,
     active_connections: AtomicUsize,
+    journal_errors: AtomicUsize,
 }
 
 struct ServerShared {
@@ -207,6 +214,22 @@ enum LaneOutcome {
 }
 
 impl ServerShared {
+    /// Counts a durable-journal append failure and logs the first one
+    /// (stderr is the daemon's operational log). One line, not a flood:
+    /// after the first failure the `journal_errors` stat is the signal,
+    /// and a poisoned store rejects every later append with the same
+    /// error anyway. Serving continues — durability is degraded, but a
+    /// live answer still reaches the client.
+    fn note_journal_error(&self, request_id: u64, what: &str, err: &proteus::store::StoreError) {
+        let seen = self.counters.journal_errors.fetch_add(1, Ordering::SeqCst);
+        if seen == 0 {
+            eprintln!(
+                "proteus-serve: durable {what} failed for request {request_id:#x}: {err} — \
+                 serving continues with durability degraded (journal_errors in stats)"
+            );
+        }
+    }
+
     fn release_tenant(&self, tenant: &str) {
         let mut map = relock(&self.tenant_active);
         if let Some(n) = map.get_mut(tenant) {
@@ -235,8 +258,11 @@ impl ServerShared {
         if let Some(store) = &self.config.store {
             // the client has its answer (or its error frame) either
             // way: the journaled lane must not be re-run on restart.
-            // Journal failure here must not take down live serving.
-            let _ = store.finish_lane(request_id);
+            // Journal failure must not take down live serving, but it
+            // must not be silent either — count and log it.
+            if let Err(e) = store.finish_lane(request_id) {
+                self.note_journal_error(request_id, "lane-done mark", &e);
+            }
         }
     }
 }
@@ -297,6 +323,7 @@ impl NetServer {
                 requests_failed: AtomicUsize::new(0),
                 requests_active: AtomicUsize::new(0),
                 active_connections: AtomicUsize::new(0),
+                journal_errors: AtomicUsize::new(0),
             },
             tenant_active: Mutex::new(HashMap::new()),
             open_streams: Mutex::new(Vec::new()),
@@ -330,6 +357,7 @@ impl NetServer {
             requests_failed: c.requests_failed.load(Ordering::SeqCst),
             requests_active: c.requests_active.load(Ordering::SeqCst),
             active_connections: c.active_connections.load(Ordering::SeqCst),
+            journal_errors: c.journal_errors.load(Ordering::SeqCst),
         }
     }
 
@@ -764,9 +792,13 @@ fn dispatch_frame(
     // answer the client might act on, it must survive a daemon kill.
     // A frame the lane then rejects (duplicate, corrupt) is journaled
     // too — harmless, since resume replays it into a lane that rejects
-    // it identically. Journal failure must not take down live serving.
+    // it identically. Journal failure must not take down live serving
+    // (the store rolls a failed append back, staying consistent), but
+    // it is counted and logged — durability is degraded from here on.
     if let Some(store) = &shared.config.store {
-        let _ = store.record_lane_frame(request_id, &raw);
+        if let Err(e) = store.record_lane_frame(request_id, &raw) {
+            shared.note_journal_error(request_id, "frame journal", &e);
+        }
     }
     if let Err(e) = handle.submit_bytes(raw) {
         // the lane survives a per-frame rejection (duplicate, corrupt);

@@ -151,6 +151,47 @@ fn kill_at_every_byte_past_the_horizon_recovers_the_committed_state() {
 }
 
 #[test]
+fn kill_during_store_creation_recovers_to_a_fresh_store() {
+    // a crash inside `Store::create` — after the WAL file appeared but
+    // before the first marker rename — leaves a prefix of the canonical
+    // genesis record and no marker. Nothing was ever acknowledged, so
+    // every such state must open as a fresh store, not brick the
+    // directory with a Marker error.
+    use proteus::store::wal::{encode_record, RecordTag, CHAIN_SEED, STORE_FORMAT_VERSION};
+    let genesis = encode_record(
+        RecordTag::Genesis,
+        0,
+        CHAIN_SEED,
+        &STORE_FORMAT_VERSION.to_le_bytes(),
+    );
+    let dir = scratch("create-crash");
+    for cut in 0..=genesis.len() {
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        std::fs::write(Store::wal_path(&dir), &genesis[..cut]).expect("stage partial genesis");
+        let (store, report) = Store::open_or_create(&dir)
+            .unwrap_or_else(|e| panic!("creation kill at byte {cut} not recovered: {e}"));
+        assert!(report.created, "cut {cut}");
+        // the recreated store is fully usable
+        store
+            .record_lane_frame(1, &[0xEE; 32])
+            .expect("post-recovery append");
+        drop(store);
+    }
+    // a WAL without a marker that holds *committed-looking* data is a
+    // different animal: acknowledged state lost its horizon — refuse
+    let (wal, _) = journaled_store("create-crash-build", &[1], 1);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    std::fs::write(Store::wal_path(&dir), &wal).expect("stage wal");
+    assert!(
+        matches!(Store::open_or_create(&dir), Err(StoreError::Marker { .. })),
+        "marker-less committed data must refuse to open"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn recovered_store_keeps_accepting_appends() {
     // recovery is not read-only: the truncated log must chain correctly
     // for every append after the crash
