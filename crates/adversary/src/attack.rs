@@ -11,8 +11,29 @@
 //! search space is `Π_i (1 + s_i)` where `s_i` counts surviving sentinels
 //! of bucket `i` — i.e. `[1 + (1 - β)k]^n` for uniform specificity β.
 
+use crate::learned::StructuralAttacker;
 use crate::sage::SageClassifier;
 use proteus_graph::Graph;
+
+/// Anything that scores a graph with a sentinel-probability. Implemented
+/// by both learning-based adversaries so the bucket attack and the
+/// leakage metrics run against either.
+pub trait BucketClassifier {
+    /// Probability that `graph` is a sentinel.
+    fn confidence(&self, graph: &Graph) -> f64;
+}
+
+impl BucketClassifier for SageClassifier {
+    fn confidence(&self, graph: &Graph) -> f64 {
+        SageClassifier::confidence(self, graph)
+    }
+}
+
+impl BucketClassifier for StructuralAttacker {
+    fn confidence(&self, graph: &Graph) -> f64 {
+        StructuralAttacker::confidence(self, graph)
+    }
+}
 
 /// One obfuscation bucket as the adversary sees it, with ground truth
 /// attached for evaluation.
@@ -57,7 +78,10 @@ impl AttackReport {
 ///
 /// # Panics
 /// Panics if `buckets` is empty.
-pub fn attack_buckets(clf: &SageClassifier, buckets: &[LabelledBucket]) -> AttackReport {
+pub fn attack_buckets<C: BucketClassifier + ?Sized>(
+    clf: &C,
+    buckets: &[LabelledBucket],
+) -> AttackReport {
     assert!(!buckets.is_empty(), "attack needs at least one bucket");
     let real_conf: Vec<f64> = buckets.iter().map(|b| clf.confidence(&b.real)).collect();
     // γ must strictly exceed every real confidence so that no real subgraph

@@ -11,6 +11,12 @@
 //! - [`ExpertReviewer`] — a codified version of the §5.3.3 expert survey's
 //!   visual pattern-matching.
 //!
+//! Plus one escalation beyond the paper: [`StructuralAttacker`], a GNN
+//! classifier that additionally sees a whole-graph [`structural_summary`]
+//! (degree/branching statistics, skip-edge density, opcode-class
+//! histogram) through a mean+max readout — with [`measure_leakage`]
+//! reporting per-family structural-leakage metrics.
+//!
 //! ```
 //! use proteus_adversary::{SageClassifier, SageConfig, Example};
 //! use proteus_graph::{Graph, Op, Activation};
@@ -29,10 +35,16 @@ pub mod attack;
 pub mod expert;
 pub mod features;
 pub mod heuristic;
+pub mod leakage;
+pub mod learned;
 pub mod sage;
 
-pub use attack::{analytic_log10_candidates, attack_buckets, AttackReport, LabelledBucket};
+pub use attack::{
+    analytic_log10_candidates, attack_buckets, AttackReport, BucketClassifier, LabelledBucket,
+};
 pub use expert::{ExpertReviewer, Suspicion};
-pub use features::{GraphFeatures, NODE_FEATURES};
+pub use features::{structural_summary, GraphFeatures, NODE_FEATURES, SUMMARY_FEATURES};
 pub use heuristic::StatsAdversary;
+pub use leakage::{measure_leakage, LeakageReport};
+pub use learned::{StructuralAttacker, StructuralConfig, StructuralExample};
 pub use sage::{Example, SageClassifier, SageConfig};

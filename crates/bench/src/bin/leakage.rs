@@ -1,0 +1,139 @@
+//! Per-family structural-leakage harness: trains the learning-based
+//! adversaries leave-one-out over one representative model per
+//! architecture family and reports, for each family, the structural
+//! leakage of its Proteus buckets — degree/opcode divergence between
+//! reals and sentinels, classifier advantage, and α=1 specificity for
+//! both the paper's GraphSAGE attacker and the escalated structural
+//! attacker. Writes `BENCH_leakage.json`.
+//!
+//! Usage: `cargo run --release -p proteus-bench --bin leakage [-- --smoke] [-- --out PATH]`
+
+use proteus_adversary::{measure_leakage, BucketClassifier, LeakageReport};
+use proteus_bench::{
+    buckets_of, build_material, print_header, print_row, structural_examples, train_adversary,
+    train_structural_adversary, training_examples, AttackScale, ModelMaterial,
+};
+use proteus_models::ModelKind;
+
+/// One representative model per architecture family — the leave-one-out
+/// corpus stays cross-family, so a holdout's metrics measure how much the
+/// *family's* structure leaks, not how well the attacker memorized it.
+const REPRESENTATIVES: [ModelKind; 5] = [
+    ModelKind::AlexNet,    // convnet
+    ModelKind::Bert,       // encoder
+    ModelKind::GptDecoder, // decoder
+    ModelKind::GraphSage,  // gnn
+    ModelKind::UNet,       // unet
+];
+
+const SEED: u64 = 0x5EED;
+
+fn report_json(family: &str, attacker: &str, r: &LeakageReport) -> String {
+    format!(
+        "{{\"family\": \"{family}\", \"attacker\": \"{attacker}\", \"n_buckets\": {}, \
+         \"degree_divergence\": {:.4}, \"opcode_divergence\": {:.4}, \
+         \"classifier_advantage\": {:.4}, \"specificity_alpha1\": {:.4}}}",
+        r.n_buckets,
+        r.degree_divergence,
+        r.opcode_divergence,
+        r.classifier_advantage,
+        r.specificity_alpha1,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_leakage.json".to_string());
+    let (scale, n) = if smoke {
+        (
+            AttackScale {
+                k: 3,
+                k_train: 2,
+                rnn_epochs: 2,
+                pool: 30,
+                gnn_epochs: 3,
+            },
+            4,
+        )
+    } else {
+        (AttackScale::quick(), 6)
+    };
+
+    println!(
+        "== per-family structural leakage (n={n}, k={}, {} mode) ==\n",
+        scale.k,
+        if smoke { "smoke" } else { "quick" }
+    );
+    let materials: Vec<ModelMaterial> = REPRESENTATIVES
+        .iter()
+        .map(|&kind| build_material(kind, n, scale, SEED))
+        .collect();
+
+    let widths = [10usize, 12, 10, 10, 10, 12];
+    print_header(
+        &[
+            "family",
+            "attacker",
+            "deg-div",
+            "op-div",
+            "advantage",
+            "specificity",
+        ],
+        &widths,
+    );
+    let mut rows = Vec::new();
+    for m in &materials {
+        let family = m.kind.family().tag();
+        let buckets = buckets_of(m, false);
+        let sage = train_adversary(
+            &training_examples(&materials, m.kind, false, scale.k_train),
+            scale.gnn_epochs,
+            SEED,
+        );
+        let structural = train_structural_adversary(
+            &structural_examples(&materials, m.kind, false, scale.k_train),
+            scale.gnn_epochs,
+            SEED,
+        );
+        let attackers: [(&str, &dyn BucketClassifier); 2] =
+            [("sage", &sage), ("structural", &structural)];
+        for (name, clf) in attackers {
+            let r = measure_leakage(clf, &buckets);
+            assert!(
+                (0.0..=1.0).contains(&r.degree_divergence)
+                    && (0.0..=1.0).contains(&r.opcode_divergence)
+                    && (0.0..=1.0).contains(&r.classifier_advantage)
+                    && (0.0..=1.0).contains(&r.specificity_alpha1),
+                "{family}/{name}: leakage metrics out of range: {r:?}"
+            );
+            print_row(
+                &[
+                    family.to_string(),
+                    name.to_string(),
+                    format!("{:.3}", r.degree_divergence),
+                    format!("{:.3}", r.opcode_divergence),
+                    format!("{:.3}", r.classifier_advantage),
+                    format!("{:.3}", r.specificity_alpha1),
+                ],
+                &widths,
+            );
+            rows.push(report_json(family, name, &r));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"BENCH_leakage\",\n  \"mode\": \"{}\",\n  \"seed\": {SEED},\n  \
+         \"n_partitions\": {n},\n  \"k\": {},\n  \"reports\": [\n    {}\n  ]\n}}\n",
+        if smoke { "smoke" } else { "quick" },
+        scale.k,
+        rows.join(",\n    "),
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_leakage.json");
+    println!("\nwrote {out_path}");
+}

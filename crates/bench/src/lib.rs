@@ -6,10 +6,13 @@
 //! and table printing. See EXPERIMENTS.md for the experiment index.
 
 use proteus::{random_opcode_sentinels, Proteus, ProteusConfig, SentinelMode};
-use proteus_adversary::{Example, LabelledBucket, SageClassifier, SageConfig};
+use proteus_adversary::{
+    Example, LabelledBucket, SageClassifier, SageConfig, StructuralAttacker, StructuralConfig,
+    StructuralExample,
+};
 use proteus_graph::{Graph, TensorMap};
 use proteus_graphgen::GraphRnnConfig;
-use proteus_models::{build, ModelKind};
+use proteus_models::{build, zoo, ModelKind};
 use proteus_opt::{Optimizer, Profile};
 use proteus_partition::{partition_balanced, partition_by_size, PartitionPlan};
 use rand::rngs::StdRng;
@@ -133,13 +136,14 @@ pub struct ModelMaterial {
 }
 
 /// Builds the leave-one-out sentinel material for `kind`: the factory is
-/// trained on every zoo model *except* the protected one (paper §5.3.2
-/// protocol), then generates `k` sentinels per piece.
+/// trained on every model in the zoo registry *except* the protected one
+/// (paper §5.3.2 protocol, extended to the full registry), then generates
+/// `k` sentinels per piece.
 pub fn build_material(kind: ModelKind, n: usize, scale: AttackScale, seed: u64) -> ModelMaterial {
-    let corpus: Vec<Graph> = ModelKind::ALL
+    let corpus: Vec<Graph> = zoo::all()
         .iter()
-        .filter(|&&k| k != kind)
-        .map(build_ref)
+        .filter(|e| e.kind != kind)
+        .map(|e| (e.build)())
         .collect();
     let config = ProteusConfig {
         k: scale.k,
@@ -183,10 +187,6 @@ pub fn build_material(kind: ModelKind, n: usize, scale: AttackScale, seed: u64) 
         proteus_sentinels,
         baseline_sentinels,
     }
-}
-
-fn build_ref(kind: &ModelKind) -> Graph {
-    build(*kind)
 }
 
 /// Labelled buckets for the attack evaluation.
@@ -241,6 +241,80 @@ pub fn train_adversary(examples: &[Example], epochs: usize, seed: u64) -> SageCl
     );
     clf.train(examples, seed ^ 0x1234);
     clf
+}
+
+/// Structural-attacker training examples from *other* models' material
+/// (leave-one-out), featurized with the whole-graph summary.
+pub fn structural_examples(
+    materials: &[ModelMaterial],
+    holdout: ModelKind,
+    use_baseline: bool,
+    k_train: usize,
+) -> Vec<StructuralExample> {
+    let mut out = Vec::new();
+    for m in materials.iter().filter(|m| m.kind != holdout) {
+        let sentinels = if use_baseline {
+            &m.baseline_sentinels
+        } else {
+            &m.proteus_sentinels
+        };
+        for (piece, fakes) in m.pieces.iter().zip(sentinels) {
+            out.push(StructuralExample::new(piece, false));
+            for f in fakes.iter().take(k_train) {
+                out.push(StructuralExample::new(f, true));
+            }
+        }
+    }
+    out
+}
+
+/// Trains the learned structural attacker on the leave-one-out set.
+pub fn train_structural_adversary(
+    examples: &[StructuralExample],
+    epochs: usize,
+    seed: u64,
+) -> StructuralAttacker {
+    let mut clf = StructuralAttacker::new(
+        StructuralConfig {
+            epochs,
+            ..Default::default()
+        },
+        seed,
+    );
+    clf.train(examples, seed ^ 0x1234);
+    clf
+}
+
+/// Mean of a seeded measurement over a fixed seed set — the de-flake
+/// pattern for adversary accuracy pins: single training draws are noisy,
+/// so bands are pinned on the average over ≥3 fixed seeds.
+///
+/// # Panics
+/// Panics if `seeds` is empty.
+pub fn mean_over_seeds(seeds: &[u64], mut f: impl FnMut(u64) -> f64) -> f64 {
+    assert!(!seeds.is_empty(), "seed averaging needs at least one seed");
+    seeds.iter().map(|&s| f(s)).sum::<f64>() / seeds.len() as f64
+}
+
+/// The fixed seed set used by the adversary regression suites, overridable
+/// via `PROTEUS_ADVERSARY_SEEDS` (comma-separated u64s) so CI can run the
+/// same bands under alternate seeds.
+pub fn adversary_seeds() -> Vec<u64> {
+    match std::env::var("PROTEUS_ADVERSARY_SEEDS") {
+        Ok(csv) => {
+            let seeds: Vec<u64> = csv
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("PROTEUS_ADVERSARY_SEEDS: bad u64 `{s}`"))
+                })
+                .collect();
+            assert!(!seeds.is_empty(), "PROTEUS_ADVERSARY_SEEDS is empty");
+            seeds
+        }
+        Err(_) => vec![0x5EED, 0xBEEF, 0xCAFE],
+    }
 }
 
 /// Prints a markdown-style table row.

@@ -516,7 +516,7 @@ mod tests {
         cfg.partitions = PartitionSpec::Count(2);
         let proteus = Proteus::train(cfg, &[build(ModelKind::MobileNet)]);
         let (model, secrets) = proteus.obfuscate(&g, &params).unwrap();
-        for profile in [Profile::OrtLike, Profile::HidetLike] {
+        for profile in Profile::ALL {
             let optimized = optimize_model(&model, &Optimizer::new(profile));
             let (back, back_params) = proteus.deobfuscate(&secrets, &optimized).unwrap();
             let mut rng = StdRng::seed_from_u64(2);

@@ -351,6 +351,7 @@ impl OptimizedCache {
         let tag: u8 = match profile {
             Profile::OrtLike => 0,
             Profile::HidetLike => 1,
+            Profile::TvmLike => 2,
         };
         let mut buf = Vec::new();
         buf.push(tag);

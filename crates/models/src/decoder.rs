@@ -1,0 +1,161 @@
+//! Decoder-style transformer builders with KV-cache-like graph structure.
+//!
+//! Modern serving workloads run autoregressive decoders one token at a
+//! time: each layer projects the new token to query/key/value, *appends*
+//! the new key/value to a cached prefix, and attends over the full
+//! concatenated sequence. The graph shape is therefore visibly different
+//! from the encoder builders in [`crate::transformer`]: a seq-len-1
+//! activation stream, per-layer `Concat` nodes splicing cache tensors into
+//! the attention operands, pre-LayerNorm residual placement, and a gated
+//! (SwiGLU-style) feed-forward with an elementwise `Mul`. These are the
+//! structures a structural adversary could key on, which is why the
+//! extended-zoo claims battery includes them.
+
+use proteus_graph::{Activation, GemmAttrs, Graph, LayerNormAttrs, NodeId, Op, Shape};
+
+/// Configuration of a KV-cached decoder stack.
+#[derive(Debug, Clone, Copy)]
+pub struct DecoderConfig {
+    /// Vocabulary size of the embedding and the logit head.
+    pub vocab: usize,
+    /// Residual-stream width.
+    pub hidden: usize,
+    /// Number of decoder layers.
+    pub layers: usize,
+    /// Cached prefix length the new token attends over.
+    pub past_len: usize,
+    /// Feed-forward expansion factor (gate and up projections).
+    pub ffn_mult: usize,
+}
+
+/// One cached-attention block: project the token, splice the new key/value
+/// onto the cached prefix, attend over `past_len + 1` positions.
+fn cached_attention(g: &mut Graph, x: NodeId, cfg: &DecoderConfig) -> NodeId {
+    let h = cfg.hidden;
+    let q = g.add(Op::Gemm(GemmAttrs::new(h, h)), [x]);
+    let k_new = g.add(Op::Gemm(GemmAttrs::new(h, h)), [x]);
+    let v_new = g.add(Op::Gemm(GemmAttrs::new(h, h)), [x]);
+    // The cache tensors are session state: weights-store entries shaped
+    // like the decoded prefix.
+    let k_cache = g.constant([1, cfg.past_len, h]);
+    let v_cache = g.constant([1, cfg.past_len, h]);
+    let k = g.add(Op::Concat { axis: 1 }, [k_cache, k_new]);
+    let v = g.add(Op::Concat { axis: 1 }, [v_cache, v_new]);
+    let kt = g.add(
+        Op::Transpose {
+            perm: vec![0, 2, 1],
+        },
+        [k],
+    );
+    let scores = g.add(Op::MatMul, [q, kt]);
+    let scale = g.constant(Shape::new(vec![]));
+    let scaled = g.add(Op::Div, [scores, scale]);
+    let probs = g.add(Op::Softmax { axis: -1 }, [scaled]);
+    let ctx = g.add(Op::MatMul, [probs, v]);
+    g.add(Op::Gemm(GemmAttrs::new(h, h)), [ctx])
+}
+
+/// SwiGLU-style feed-forward: `down(silu(gate(x)) * up(x))`.
+fn gated_ffn(g: &mut Graph, x: NodeId, cfg: &DecoderConfig) -> NodeId {
+    let h = cfg.hidden;
+    let inner = h * cfg.ffn_mult;
+    let gate = g.add(Op::Gemm(GemmAttrs::new(h, inner)), [x]);
+    let act = g.add(Op::Activation(Activation::Silu), [gate]);
+    let up = g.add(Op::Gemm(GemmAttrs::new(h, inner)), [x]);
+    let gated = g.add(Op::Mul, [act, up]);
+    g.add(Op::Gemm(GemmAttrs::new(inner, h)), [gated])
+}
+
+/// One pre-LN decoder layer over the residual stream.
+fn decoder_layer(g: &mut Graph, x: NodeId, cfg: &DecoderConfig) -> NodeId {
+    let ln1 = g.add(Op::LayerNorm(LayerNormAttrs { dim: cfg.hidden }), [x]);
+    let att = cached_attention(g, ln1, cfg);
+    let res1 = g.add(Op::Add, [x, att]);
+    let ln2 = g.add(Op::LayerNorm(LayerNormAttrs { dim: cfg.hidden }), [res1]);
+    let ff = gated_ffn(g, ln2, cfg);
+    g.add(Op::Add, [res1, ff])
+}
+
+/// Builds a single decode step of a KV-cached decoder from a configuration.
+pub fn decoder(name: &str, cfg: DecoderConfig) -> Graph {
+    let mut g = Graph::new(name);
+    let ids = g.input([1, 1]);
+    let emb = g.add(
+        Op::Gather {
+            vocab: cfg.vocab,
+            dim: cfg.hidden,
+        },
+        [ids],
+    );
+    let mut h = emb;
+    for _ in 0..cfg.layers {
+        h = decoder_layer(&mut g, h, &cfg);
+    }
+    let ln_f = g.add(Op::LayerNorm(LayerNormAttrs { dim: cfg.hidden }), [h]);
+    let logits = g.add(Op::Gemm(GemmAttrs::new(cfg.hidden, cfg.vocab)), [ln_f]);
+    g.set_outputs([logits]);
+    g
+}
+
+/// The extended zoo's decoder: 16 layers, hidden 512, a 48-token cached
+/// prefix — deeper than any encoder in the paper zoo, with the KV-cache
+/// concat structure on every layer.
+pub fn gpt_decoder() -> Graph {
+    decoder(
+        "gpt-decoder",
+        DecoderConfig {
+            vocab: 32000,
+            hidden: 512,
+            layers: 16,
+            past_len: 48,
+            ffn_mult: 4,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_graph::infer_shapes;
+
+    #[test]
+    fn decoder_validates_and_infers() {
+        let g = gpt_decoder();
+        g.validate().unwrap();
+        let shapes = infer_shapes(&g).unwrap();
+        assert_eq!(shapes[&g.outputs()[0]].dims(), &[1, 1, 32000]);
+    }
+
+    #[test]
+    fn every_layer_splices_the_cache() {
+        let g = gpt_decoder();
+        let concats = g
+            .iter()
+            .filter(|(_, n)| matches!(n.op, Op::Concat { .. }))
+            .count();
+        assert_eq!(concats, 32, "two cache concats (K and V) per layer");
+    }
+
+    #[test]
+    fn attention_width_covers_the_cached_prefix() {
+        let g = gpt_decoder();
+        let shapes = infer_shapes(&g).unwrap();
+        let softmax_widths: Vec<usize> = g
+            .iter()
+            .filter(|(_, n)| matches!(n.op, Op::Softmax { .. }))
+            .map(|(id, _)| *shapes[&id].dims().last().unwrap())
+            .collect();
+        assert_eq!(softmax_widths.len(), 16);
+        assert!(
+            softmax_widths.iter().all(|&w| w == 49),
+            "past + 1 positions"
+        );
+    }
+
+    #[test]
+    fn gated_ffn_uses_elementwise_mul() {
+        let g = gpt_decoder();
+        let muls = g.iter().filter(|(_, n)| matches!(n.op, Op::Mul)).count();
+        assert_eq!(muls, 16, "one SwiGLU gate per layer");
+    }
+}

@@ -1,0 +1,125 @@
+//! Message-passing GNN builders.
+//!
+//! A graph neural network's computational graph has a distinctive shape:
+//! layers alternate a *neighbour aggregation* (a `MatMul` against a fixed
+//! normalized-adjacency operand) with a *combine* step (concatenate the
+//! node's own state with the aggregated neighbourhood, then project), and
+//! the whole stack is read out with a global mean over the node axis.
+//! None of the paper-era CNNs or encoders contain `MatMul` nodes whose
+//! left operand is a constant, which makes this family a useful probe for
+//! a structural adversary.
+
+use proteus_graph::{Activation, GemmAttrs, Graph, LayerNormAttrs, NodeId, Op};
+
+/// Configuration of a SAGE-style message-passing stack.
+#[derive(Debug, Clone, Copy)]
+pub struct GnnConfig {
+    /// Number of graph nodes in the operand shapes.
+    pub nodes: usize,
+    /// Input feature width per node.
+    pub in_feat: usize,
+    /// Hidden feature width per node.
+    pub hidden: usize,
+    /// Number of message-passing layers.
+    pub layers: usize,
+    /// Output classes of the readout head.
+    pub classes: usize,
+}
+
+/// One message-passing layer: aggregate neighbours through the adjacency
+/// operand, concatenate with the node's own state, project, normalize.
+fn sage_layer(
+    g: &mut Graph,
+    h: NodeId,
+    adj: NodeId,
+    in_feat: usize,
+    out_feat: usize,
+    residual: bool,
+) -> NodeId {
+    let neigh = g.add(Op::MatMul, [adj, h]);
+    let cat = g.add(Op::Concat { axis: 1 }, [h, neigh]);
+    let proj = g.add(Op::Gemm(GemmAttrs::new(2 * in_feat, out_feat)), [cat]);
+    let norm = g.add(Op::LayerNorm(LayerNormAttrs { dim: out_feat }), [proj]);
+    let act = g.add(Op::Activation(Activation::Relu), [norm]);
+    if residual && in_feat == out_feat {
+        g.add(Op::Add, [h, act])
+    } else {
+        act
+    }
+}
+
+/// Builds a message-passing GNN from a configuration.
+pub fn gnn(name: &str, cfg: GnnConfig) -> Graph {
+    let mut g = Graph::new(name);
+    let x = g.input([cfg.nodes, cfg.in_feat]);
+    // Row-normalized adjacency, shipped with the weights like any other
+    // constant operand.
+    let adj = g.constant([cfg.nodes, cfg.nodes]);
+    let mut h = sage_layer(&mut g, x, adj, cfg.in_feat, cfg.hidden, false);
+    for _ in 1..cfg.layers {
+        h = sage_layer(&mut g, h, adj, cfg.hidden, cfg.hidden, true);
+    }
+    // Global mean readout over the node axis, then a linear head.
+    let pooled = g.add(
+        Op::ReduceMean {
+            axes: vec![0],
+            keepdims: true,
+        },
+        [h],
+    );
+    let logits = g.add(Op::Gemm(GemmAttrs::new(cfg.hidden, cfg.classes)), [pooled]);
+    g.set_outputs([logits]);
+    g
+}
+
+/// The extended zoo's GNN: 8 SAGE-style layers over a 64-node graph.
+pub fn graph_sage() -> Graph {
+    gnn(
+        "graphsage",
+        GnnConfig {
+            nodes: 64,
+            in_feat: 64,
+            hidden: 96,
+            layers: 8,
+            classes: 16,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_graph::infer_shapes;
+
+    #[test]
+    fn gnn_validates_and_infers() {
+        let g = graph_sage();
+        g.validate().unwrap();
+        let shapes = infer_shapes(&g).unwrap();
+        assert_eq!(shapes[&g.outputs()[0]].dims(), &[1, 16]);
+    }
+
+    #[test]
+    fn every_layer_aggregates_through_the_adjacency() {
+        let g = graph_sage();
+        let matmuls = g.iter().filter(|(_, n)| matches!(n.op, Op::MatMul)).count();
+        assert_eq!(matmuls, 8, "one adjacency MatMul per layer");
+        let concats = g
+            .iter()
+            .filter(|(_, n)| matches!(n.op, Op::Concat { .. }))
+            .count();
+        assert_eq!(concats, 8, "one self/neighbour combine per layer");
+    }
+
+    #[test]
+    fn readout_pools_the_node_axis() {
+        let g = graph_sage();
+        let shapes = infer_shapes(&g).unwrap();
+        let pooled = g
+            .iter()
+            .find(|(_, n)| matches!(n.op, Op::ReduceMean { .. }))
+            .map(|(id, _)| id)
+            .unwrap();
+        assert_eq!(shapes[&pooled].dims(), &[1, 96]);
+    }
+}

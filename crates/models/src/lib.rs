@@ -18,16 +18,23 @@
 
 pub mod alexnet;
 pub mod blocks;
+pub mod decoder;
 pub mod densenet;
+pub mod gnn;
 pub mod inception;
 pub mod mobilenet;
 pub mod nats;
 pub mod resnet;
 pub mod transformer;
+pub mod unet;
+pub mod zoo;
 
 use proteus_graph::Graph;
+pub use zoo::Family;
 
-/// The models used throughout the paper's evaluation.
+/// The models used throughout the paper's evaluation, plus the modern
+/// extensions (decoder / GNN / U-Net) added for the scenario-diversity
+/// battery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ModelKind {
     AlexNet,
@@ -43,10 +50,15 @@ pub enum ModelKind {
     Roberta,
     DistilBert,
     Xlm,
+    GptDecoder,
+    GraphSage,
+    UNet,
 }
 
 impl ModelKind {
-    /// All zoo models, in a stable order.
+    /// The paper's evaluation models (Figure 6), in a stable order. The
+    /// modern extensions live in [`ModelKind::MODERN`]; the union is
+    /// [`zoo::all`].
     pub const ALL: [ModelKind; 13] = [
         ModelKind::AlexNet,
         ModelKind::MobileNet,
@@ -62,6 +74,10 @@ impl ModelKind {
         ModelKind::DistilBert,
         ModelKind::Xlm,
     ];
+
+    /// The modern architecture families added beyond the paper's tables.
+    pub const MODERN: [ModelKind; 3] =
+        [ModelKind::GptDecoder, ModelKind::GraphSage, ModelKind::UNet];
 
     /// The lowercase name used in the paper's tables.
     pub fn name(self) -> &'static str {
@@ -79,15 +95,65 @@ impl ModelKind {
             ModelKind::Roberta => "roberta",
             ModelKind::DistilBert => "distilbert",
             ModelKind::Xlm => "xlm",
+            ModelKind::GptDecoder => "gpt-decoder",
+            ModelKind::GraphSage => "graphsage",
+            ModelKind::UNet => "unet",
         }
     }
 
-    /// True for the transformer-encoder (language) models.
+    /// True for the transformer (language) models, encoder or decoder.
     pub fn is_language(self) -> bool {
         matches!(
             self,
-            ModelKind::Bert | ModelKind::Roberta | ModelKind::DistilBert | ModelKind::Xlm
+            ModelKind::Bert
+                | ModelKind::Roberta
+                | ModelKind::DistilBert
+                | ModelKind::Xlm
+                | ModelKind::GptDecoder
         )
+    }
+
+    /// The model's architecture family.
+    pub fn family(self) -> Family {
+        match self {
+            ModelKind::AlexNet
+            | ModelKind::MobileNet
+            | ModelKind::ResNet
+            | ModelKind::DenseNet
+            | ModelKind::GoogleNet
+            | ModelKind::ResNeXt
+            | ModelKind::Inception
+            | ModelKind::MnasNet
+            | ModelKind::SEResNet => Family::ConvNet,
+            ModelKind::Bert | ModelKind::Roberta | ModelKind::DistilBert | ModelKind::Xlm => {
+                Family::Encoder
+            }
+            ModelKind::GptDecoder => Family::Decoder,
+            ModelKind::GraphSage => Family::MessagePassing,
+            ModelKind::UNet => Family::UNet,
+        }
+    }
+
+    /// The model's graph builder as a plain function pointer.
+    pub fn builder(self) -> fn() -> Graph {
+        match self {
+            ModelKind::AlexNet => alexnet::alexnet,
+            ModelKind::MobileNet => mobilenet::mobilenet_v2,
+            ModelKind::ResNet => resnet::resnet18,
+            ModelKind::DenseNet => densenet::densenet,
+            ModelKind::GoogleNet => inception::googlenet,
+            ModelKind::ResNeXt => resnet::resnext,
+            ModelKind::Inception => inception::inception_v3,
+            ModelKind::MnasNet => mobilenet::mnasnet,
+            ModelKind::SEResNet => resnet::seresnet,
+            ModelKind::Bert => transformer::bert,
+            ModelKind::Roberta => transformer::roberta,
+            ModelKind::DistilBert => transformer::distilbert,
+            ModelKind::Xlm => transformer::xlm,
+            ModelKind::GptDecoder => decoder::gpt_decoder,
+            ModelKind::GraphSage => gnn::graph_sage,
+            ModelKind::UNet => unet::diffusion_unet,
+        }
     }
 }
 
@@ -99,24 +165,11 @@ impl std::fmt::Display for ModelKind {
 
 /// Builds the computational graph of a zoo model.
 pub fn build(kind: ModelKind) -> Graph {
-    match kind {
-        ModelKind::AlexNet => alexnet::alexnet(),
-        ModelKind::MobileNet => mobilenet::mobilenet_v2(),
-        ModelKind::ResNet => resnet::resnet18(),
-        ModelKind::DenseNet => densenet::densenet(),
-        ModelKind::GoogleNet => inception::googlenet(),
-        ModelKind::ResNeXt => resnet::resnext(),
-        ModelKind::Inception => inception::inception_v3(),
-        ModelKind::MnasNet => mobilenet::mnasnet(),
-        ModelKind::SEResNet => resnet::seresnet(),
-        ModelKind::Bert => transformer::bert(),
-        ModelKind::Roberta => transformer::roberta(),
-        ModelKind::DistilBert => transformer::distilbert(),
-        ModelKind::Xlm => transformer::xlm(),
-    }
+    (kind.builder())()
 }
 
-/// Builds the whole zoo (excluding NAS samples).
+/// Builds the paper zoo (excluding NAS samples and the modern extensions;
+/// see [`zoo::all`] for the full registry).
 pub fn zoo() -> Vec<(ModelKind, Graph)> {
     ModelKind::ALL.iter().map(|&k| (k, build(k))).collect()
 }
@@ -128,19 +181,22 @@ mod tests {
 
     #[test]
     fn every_model_validates_and_infers_shapes() {
-        for (kind, g) in zoo() {
-            g.validate().unwrap_or_else(|e| panic!("{kind}: {e}"));
-            infer_shapes(&g).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        for e in zoo::all() {
+            let g = (e.build)();
+            g.validate()
+                .unwrap_or_else(|err| panic!("{}: {err}", e.name));
+            infer_shapes(&g).unwrap_or_else(|err| panic!("{}: {err}", e.name));
         }
     }
 
     #[test]
     fn models_have_realistic_sizes() {
-        for (kind, g) in zoo() {
-            let n = g.len();
+        for e in zoo::all() {
+            let n = (e.build)().len();
             assert!(
                 (18..=420).contains(&n),
-                "{kind} has unexpected node count {n}"
+                "{} has unexpected node count {n}",
+                e.name
             );
         }
     }
@@ -150,11 +206,14 @@ mod tests {
         assert_eq!(ModelKind::ResNet.name(), "resnet");
         assert_eq!(ModelKind::Xlm.name(), "xlm");
         assert_eq!(ModelKind::ALL.len(), 13);
+        assert_eq!(ModelKind::MODERN.len(), 3);
     }
 
     #[test]
     fn language_models_flagged() {
         assert!(ModelKind::Bert.is_language());
+        assert!(ModelKind::GptDecoder.is_language());
         assert!(!ModelKind::ResNet.is_language());
+        assert!(!ModelKind::GraphSage.is_language());
     }
 }

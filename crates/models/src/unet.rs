@@ -1,0 +1,151 @@
+//! Diffusion-style U-Net builder.
+//!
+//! The U-Net's signature structure is its long-range skip connections:
+//! every encoder level's activation is concatenated (channel axis) into
+//! the matching decoder level, so the graph has `Concat` nodes whose
+//! operands are separated by dozens of intermediate nodes. Upsampling is
+//! expressed as a pixel-shuffle `Reshape` (numel-preserving channel→space
+//! trade), and the bottleneck carries a spatial self-attention block —
+//! both shapes absent from the paper-era zoo. Residual blocks use `Silu`
+//! activations as in diffusion backbones.
+
+use crate::blocks::{conv_bn, conv_bn_act};
+use proteus_graph::{Activation, GemmAttrs, Graph, NodeId, Op, Shape};
+
+/// A diffusion-style residual block: two 3x3 conv+norm stages with Silu,
+/// closed by a residual add.
+fn res_block(g: &mut Graph, x: NodeId, ch: usize) -> NodeId {
+    let c1 = conv_bn_act(g, x, ch, ch, 3, 1, 1, Activation::Silu);
+    let c2 = conv_bn(g, c1, ch, ch, 3, 1, 1);
+    let add = g.add(Op::Add, [x, c2]);
+    g.add(Op::Activation(Activation::Silu), [add])
+}
+
+/// Spatial self-attention at the bottleneck: flatten HxW into a sequence,
+/// run single-head attention, reshape back.
+fn spatial_attention(g: &mut Graph, x: NodeId, ch: usize, hw: usize) -> NodeId {
+    let seq = g.add(
+        Op::Reshape {
+            shape: Shape::from([1, hw * hw, ch]),
+        },
+        [x],
+    );
+    let q = g.add(Op::Gemm(GemmAttrs::new(ch, ch)), [seq]);
+    let k = g.add(Op::Gemm(GemmAttrs::new(ch, ch)), [seq]);
+    let v = g.add(Op::Gemm(GemmAttrs::new(ch, ch)), [seq]);
+    let kt = g.add(
+        Op::Transpose {
+            perm: vec![0, 2, 1],
+        },
+        [k],
+    );
+    let scores = g.add(Op::MatMul, [q, kt]);
+    let scale = g.constant(Shape::new(vec![]));
+    let scaled = g.add(Op::Div, [scores, scale]);
+    let probs = g.add(Op::Softmax { axis: -1 }, [scaled]);
+    let ctx = g.add(Op::MatMul, [probs, v]);
+    let proj = g.add(Op::Gemm(GemmAttrs::new(ch, ch)), [ctx]);
+    let back = g.add(
+        Op::Reshape {
+            shape: Shape::from([1, ch, hw, hw]),
+        },
+        [proj],
+    );
+    g.add(Op::Add, [x, back])
+}
+
+/// Pixel-shuffle upsampling: trade 4x channels for 2x spatial resolution
+/// with a numel-preserving reshape.
+fn pixel_shuffle(g: &mut Graph, x: NodeId, ch: usize, hw: usize) -> NodeId {
+    g.add(
+        Op::Reshape {
+            shape: Shape::from([1, ch / 4, hw * 2, hw * 2]),
+        },
+        [x],
+    )
+}
+
+/// Builds a diffusion-style U-Net over a `1 x in_ch x 32 x 32` latent.
+pub fn unet(name: &str, in_ch: usize, base: usize) -> Graph {
+    let mut g = Graph::new(name);
+    let x = g.input([1, in_ch, 32, 32]);
+
+    // Encoder: stem, then two stride-2 levels. Skip taps are the level
+    // outputs *before* downsampling.
+    let stem = conv_bn_act(&mut g, x, in_ch, base, 3, 1, 1, Activation::Silu);
+    let enc1 = res_block(&mut g, stem, base); // [1, base, 32, 32]
+    let down1 = conv_bn_act(&mut g, enc1, base, base * 2, 3, 2, 1, Activation::Silu);
+    let enc2 = res_block(&mut g, down1, base * 2); // [1, 2b, 16, 16]
+    let down2 = conv_bn_act(&mut g, enc2, base * 2, base * 4, 3, 2, 1, Activation::Silu);
+
+    // Bottleneck at 8x8: residual block + spatial self-attention.
+    let mid = res_block(&mut g, down2, base * 4);
+    let mid = spatial_attention(&mut g, mid, base * 4, 8);
+    let mid = res_block(&mut g, mid, base * 4);
+
+    // Decoder: pixel-shuffle upsample, concat the skip, fuse, refine.
+    let up1 = pixel_shuffle(&mut g, mid, base * 4, 8); // [1, b, 16, 16]
+    let cat1 = g.add(Op::Concat { axis: 1 }, [up1, enc2]); // [1, 3b, 16, 16]
+    let fuse1 = conv_bn_act(&mut g, cat1, base * 3, base * 2, 3, 1, 1, Activation::Silu);
+    let dec1 = res_block(&mut g, fuse1, base * 2);
+
+    let up2 = pixel_shuffle(&mut g, dec1, base * 2, 16); // [1, b/2, 32, 32]
+    let cat2 = g.add(Op::Concat { axis: 1 }, [up2, enc1]); // [1, 3b/2, 32, 32]
+    let fuse2 = conv_bn_act(&mut g, cat2, base * 3 / 2, base, 3, 1, 1, Activation::Silu);
+    let dec2 = res_block(&mut g, fuse2, base);
+
+    // Predicted noise has the latent's shape.
+    let out = g.add(
+        Op::Conv(proteus_graph::ConvAttrs::new(base, in_ch, 3).padding(1)),
+        [dec2],
+    );
+    g.set_outputs([out]);
+    g
+}
+
+/// The extended zoo's U-Net: a 4-channel latent with a 64-channel base
+/// width, matching small latent-diffusion backbones.
+pub fn diffusion_unet() -> Graph {
+    unet("unet", 4, 64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_graph::infer_shapes;
+
+    #[test]
+    fn unet_validates_and_infers() {
+        let g = diffusion_unet();
+        g.validate().unwrap();
+        let shapes = infer_shapes(&g).unwrap();
+        assert_eq!(shapes[&g.outputs()[0]].dims(), &[1, 4, 32, 32]);
+    }
+
+    #[test]
+    fn skip_connections_concat_encoder_taps() {
+        let g = diffusion_unet();
+        let shapes = infer_shapes(&g).unwrap();
+        let concat_dims: Vec<Vec<usize>> = g
+            .iter()
+            .filter(|(_, n)| matches!(n.op, Op::Concat { .. }))
+            .map(|(id, _)| shapes[&id].dims().to_vec())
+            .collect();
+        assert_eq!(concat_dims.len(), 2, "one skip per decoder level");
+        assert!(concat_dims.contains(&vec![1, 192, 16, 16]));
+        assert!(concat_dims.contains(&vec![1, 96, 32, 32]));
+    }
+
+    #[test]
+    fn upsampling_preserves_numel() {
+        let g = diffusion_unet();
+        let shapes = infer_shapes(&g).unwrap();
+        for (id, n) in g.iter() {
+            if let Op::Reshape { .. } = n.op {
+                let out_numel: usize = shapes[&id].dims().iter().product();
+                let in_numel: usize = shapes[&n.inputs[0]].dims().iter().product();
+                assert_eq!(out_numel, in_numel);
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Central model-zoo registry.
+//!
+//! Every parity/claims suite iterates this registry instead of hard-coding
+//! model lists: [`all`] returns one entry per zoo model — the paper's 13
+//! evaluation graphs plus the modern extensions (decoder, GNN, U-Net) —
+//! each carrying its name, architecture family tag, and builder. A suite
+//! that wants a subset filters by [`Family`] or uses [`paper`]/[`modern`];
+//! a registry-count pin in each suite makes silently dropping a model a
+//! test failure rather than a quiet coverage loss.
+
+use crate::ModelKind;
+use proteus_graph::Graph;
+
+/// Coarse architecture family of a zoo model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Family {
+    /// Image CNNs (paper Figure 6 top block).
+    ConvNet,
+    /// Transformer encoders (paper Figure 6 bottom block).
+    Encoder,
+    /// KV-cached autoregressive decoders.
+    Decoder,
+    /// Message-passing graph networks.
+    MessagePassing,
+    /// Diffusion-style U-Nets with long skip connections.
+    UNet,
+}
+
+impl Family {
+    /// All families, in a stable order.
+    pub const ALL: [Family; 5] = [
+        Family::ConvNet,
+        Family::Encoder,
+        Family::Decoder,
+        Family::MessagePassing,
+        Family::UNet,
+    ];
+
+    /// A short lowercase tag for reports and JSON keys.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Family::ConvNet => "convnet",
+            Family::Encoder => "encoder",
+            Family::Decoder => "decoder",
+            Family::MessagePassing => "gnn",
+            Family::UNet => "unet",
+        }
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// One registry row: a zoo model with its name, family, and builder.
+#[derive(Debug, Clone, Copy)]
+pub struct ZooEntry {
+    /// The model's kind (stable identifier).
+    pub kind: ModelKind,
+    /// The lowercase model name.
+    pub name: &'static str,
+    /// The model's architecture family.
+    pub family: Family,
+    /// Builds the model's graph.
+    pub build: fn() -> Graph,
+}
+
+impl ZooEntry {
+    fn of(kind: ModelKind) -> ZooEntry {
+        ZooEntry {
+            kind,
+            name: kind.name(),
+            family: kind.family(),
+            build: kind.builder(),
+        }
+    }
+}
+
+/// Number of models in the full registry.
+pub const COUNT: usize = ModelKind::ALL.len() + ModelKind::MODERN.len();
+
+/// The full registry: the paper zoo followed by the modern extensions,
+/// in a stable order.
+pub fn all() -> Vec<ZooEntry> {
+    ModelKind::ALL
+        .iter()
+        .chain(ModelKind::MODERN.iter())
+        .map(|&k| ZooEntry::of(k))
+        .collect()
+}
+
+/// The paper's 13 evaluation models (Figure 6).
+pub fn paper() -> Vec<ZooEntry> {
+    ModelKind::ALL.iter().map(|&k| ZooEntry::of(k)).collect()
+}
+
+/// The modern extensions: decoder, GNN, U-Net.
+pub fn modern() -> Vec<ZooEntry> {
+    ModelKind::MODERN.iter().map(|&k| ZooEntry::of(k)).collect()
+}
+
+/// Registry entries belonging to `family`.
+pub fn by_family(family: Family) -> Vec<ZooEntry> {
+    all().into_iter().filter(|e| e.family == family).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build;
+
+    #[test]
+    fn registry_count_is_pinned() {
+        assert_eq!(COUNT, 16, "zoo registry grew or shrank; update the pin");
+        assert_eq!(all().len(), COUNT);
+        assert_eq!(paper().len(), 13);
+        assert_eq!(modern().len(), 3);
+    }
+
+    #[test]
+    fn names_are_unique_and_match_kinds() {
+        let entries = all();
+        let mut names: Vec<&str> = entries.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), COUNT, "duplicate registry names");
+        for e in all() {
+            assert_eq!(e.name, e.kind.name());
+            assert_eq!((e.build)().name(), e.name, "builder/graph name mismatch");
+        }
+    }
+
+    #[test]
+    fn every_family_is_represented() {
+        for f in Family::ALL {
+            assert!(!by_family(f).is_empty(), "no registry entry for family {f}");
+        }
+    }
+
+    #[test]
+    fn builders_match_build() {
+        for e in all() {
+            let via_registry = (e.build)();
+            let via_build = build(e.kind);
+            assert_eq!(via_registry.len(), via_build.len());
+        }
+    }
+}

@@ -84,7 +84,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let profile = match flag_value(args, "--profile").as_deref() {
         None | Some("ort") => Profile::OrtLike,
         Some("hidet") => Profile::HidetLike,
-        Some(other) => return Err(format!("unknown profile `{other}` (ort|hidet)")),
+        Some("tvm") => Profile::TvmLike,
+        Some(other) => return Err(format!("unknown profile `{other}` (ort|hidet|tvm)")),
     };
 
     let t = Instant::now();

@@ -108,7 +108,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let profile = match flag_value(args, "--profile").as_deref() {
         None | Some("ort") => Profile::OrtLike,
         Some("hidet") => Profile::HidetLike,
-        Some(other) => return Err(format!("unknown profile `{other}` (ort|hidet)")),
+        Some("tvm") => Profile::TvmLike,
+        Some(other) => return Err(format!("unknown profile `{other}` (ort|hidet|tvm)")),
     };
     let serve_config = ServeConfig {
         workers: parse_usize(args, "--workers", 0)?,

@@ -103,6 +103,7 @@ enum TapeOp {
     Tanh { a: Var },
     Relu { a: Var },
     MeanRows { a: Var },
+    MaxRows { a: Var },
     ConcatCols { a: Var, b: Var },
     BceLogits { logits: Var, targets: Var },
 }
@@ -249,6 +250,21 @@ impl Tape {
         self.push(TapeOp::MeanRows { a }, out)
     }
 
+    /// Max over rows: `n x d -> 1 x d` (max-pooling graph readout). The
+    /// gradient flows to the first maximal row of each column.
+    pub fn max_rows(&mut self, a: Var) -> Var {
+        let m = &self.vals[a.0];
+        let mut out = Matrix::zeros(1, m.cols());
+        for c in 0..m.cols() {
+            let mut best = f32::NEG_INFINITY;
+            for r in 0..m.rows() {
+                best = best.max(m.get(r, c));
+            }
+            out.set(0, c, if best.is_finite() { best } else { 0.0 });
+        }
+        self.push(TapeOp::MaxRows { a }, out)
+    }
+
     /// Column-wise concatenation `[a | b]`.
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
         let (ma, mb) = (&self.vals[a.0], &self.vals[b.0]);
@@ -358,6 +374,22 @@ impl Tape {
                     for r in 0..m.rows() {
                         for c in 0..m.cols() {
                             ga.set(r, c, g.get(0, c) * inv);
+                        }
+                    }
+                    acc(&mut grads, *a, ga);
+                }
+                TapeOp::MaxRows { a } => {
+                    let m = &self.vals[a.0];
+                    let mut ga = Matrix::zeros(m.rows(), m.cols());
+                    for c in 0..m.cols() {
+                        let mut best_r = 0;
+                        for r in 1..m.rows() {
+                            if m.get(r, c) > m.get(best_r, c) {
+                                best_r = r;
+                            }
+                        }
+                        if m.rows() > 0 {
+                            ga.set(best_r, c, g.get(0, c));
                         }
                     }
                     acc(&mut grads, *a, ga);
@@ -541,6 +573,38 @@ mod tests {
         let (_, grads) = f(&store);
         let analytic = grads.get("w").unwrap().clone();
         grad_check(&mut store, "w", &|s| f(s).0, &analytic, 1e-3);
+    }
+
+    #[test]
+    fn max_rows_routes_gradient_to_argmax() {
+        let mut store = ParamStore::new();
+        store.insert("w", Matrix::new(2, 2, vec![0.2, -0.1, 0.4, 0.3]));
+        let f = |s: &ParamStore| -> (f32, Gradients) {
+            let mut tape = Tape::new();
+            let x = tape.constant(Matrix::new(3, 2, vec![1.0, 2.0, 3.0, -4.0, 0.5, 6.0]));
+            let w = tape.param(s, "w");
+            let h = tape.matmul(x, w);
+            let pooled = tape.max_rows(h);
+            let w2 = tape.constant(Matrix::new(2, 1, vec![0.5, -0.25]));
+            let logit = tape.matmul(pooled, w2);
+            let t = tape.constant(Matrix::new(1, 1, vec![1.0]));
+            let loss = tape.bce_with_logits(logit, t);
+            (tape.value(loss).get(0, 0), tape.backward(loss))
+        };
+        let (_, grads) = f(&store);
+        let analytic = grads.get("w").unwrap().clone();
+        grad_check(&mut store, "w", &|s| f(s).0, &analytic, 1e-3);
+    }
+
+    #[test]
+    fn max_rows_forward_takes_column_maxima() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::new(3, 2, vec![1.0, -2.0, 5.0, 0.0, 3.0, -7.0]));
+        let m = tape.max_rows(x);
+        let v = tape.value(m);
+        assert_eq!((v.rows(), v.cols()), (1, 2));
+        assert_eq!(v.get(0, 0), 5.0);
+        assert_eq!(v.get(0, 1), 0.0);
     }
 
     #[test]

@@ -50,6 +50,17 @@ impl CostParams {
             peak_bw: 1.45e12,
         }
     }
+
+    /// Parameters resembling TVM/Ansor auto-scheduled kernels: tuned
+    /// schedules close the per-kernel gap to Hidet, but the generated
+    /// launch path is heavier than Hidet's and lighter than ORT's.
+    pub fn tvm_like() -> CostParams {
+        CostParams {
+            launch_overhead_us: 4.0,
+            peak_flops: 16.0e12,
+            peak_bw: 1.35e12,
+        }
+    }
 }
 
 const BYTES_PER_ELEM: f64 = 4.0;

@@ -15,14 +15,24 @@ pub enum Profile {
     /// Hidet-style: a leaner graph-level set (Hidet pushes most work to
     /// operator-level scheduling), with faster per-kernel parameters.
     HidetLike,
+    /// TVM-style: a layout-first rule mix — data-movement cleanups
+    /// (reshape chains, transpose pairs) run *before* the fusion passes,
+    /// mirroring Relay's canonicalization-then-fuse pipeline, and the
+    /// speculative Winograd selection is left to the auto-scheduler (so it
+    /// is absent here). Distinct rule subset, distinct anchor ordering.
+    TvmLike,
 }
 
 impl Profile {
+    /// Every profile, in a stable order (the order reports iterate).
+    pub const ALL: [Profile; 3] = [Profile::OrtLike, Profile::HidetLike, Profile::TvmLike];
+
     /// The cost-model parameters of this profile.
     pub fn cost_params(self) -> CostParams {
         match self {
             Profile::OrtLike => CostParams::ort_like(),
             Profile::HidetLike => CostParams::hidet_like(),
+            Profile::TvmLike => CostParams::tvm_like(),
         }
     }
 
@@ -65,6 +75,20 @@ impl Profile {
                 "fuse_gemm_act",
                 "cse",
             ]),
+            Profile::TvmLike => pick(&[
+                "eliminate_identity",
+                "fuse_reshape_chain",
+                "eliminate_transpose_pair",
+                "fuse_matmul_transpose",
+                "eliminate_dropout",
+                "constant_fold",
+                "fold_bn_into_conv",
+                "fuse_conv_add",
+                "fuse_conv_act",
+                "fuse_gemm_act",
+                "fuse_add_act",
+                "cse",
+            ]),
         }
     }
 
@@ -73,6 +97,7 @@ impl Profile {
         match self {
             Profile::OrtLike => "onnxruntime-like",
             Profile::HidetLike => "hidet-like",
+            Profile::TvmLike => "tvm-like",
         }
     }
 }

@@ -100,7 +100,7 @@ mod tests {
     fn optimizer_output_verifies() {
         let g = small_net();
         let params = TensorMap::init_random(&g, 33);
-        for profile in [Profile::OrtLike, Profile::HidetLike] {
+        for profile in Profile::ALL {
             let (og, op, _) = Optimizer::new(profile).optimize(&g, &params);
             let eq = check_equivalence(&g, &params, &og, &op, 3, 1e-3, 1).unwrap();
             assert!(eq.is_equivalent(), "{profile:?}: {eq:?}");
@@ -150,10 +150,10 @@ mod tests {
             #[test]
             fn optimizer_preserves_semantics_on_random_graphs(
                 g in arb_elementwise_graph(),
-                profile_ort in proptest::bool::ANY,
+                profile_idx in 0usize..Profile::ALL.len(),
             ) {
                 let params = TensorMap::new();
-                let profile = if profile_ort { Profile::OrtLike } else { Profile::HidetLike };
+                let profile = Profile::ALL[profile_idx];
                 let (og, op, _) = Optimizer::new(profile).optimize(&g, &params);
                 og.validate().unwrap();
                 let eq = check_equivalence(&g, &params, &og, &op, 2, 1e-4, 7).unwrap();

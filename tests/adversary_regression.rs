@@ -1,18 +1,23 @@
-//! Adversary accuracy regression bands: the three attacker families of
-//! the paper's §5.3 evaluation, run on a fixed-seed zoo sample, must stay
-//! inside pinned accuracy bands — so a runtime/scheduling refactor (like
-//! the serving pool) cannot silently change obfuscation quality. The
-//! sentinel generator, the attack harness, and every seed here are fully
-//! deterministic; drift outside a band means the *obfuscation output*
-//! changed, not the measurement.
+//! Adversary accuracy regression bands: the paper's three attacker
+//! families (§5.3) plus the escalated learned structural attacker, run
+//! leave-one-out on a fixed-seed zoo sample that spans the modern
+//! families (CNN, GNN, U-Net), must stay inside pinned accuracy bands —
+//! so a runtime/scheduling refactor (like the serving pool) cannot
+//! silently change obfuscation quality. The sentinel generator, the
+//! attack harness, and every seed here are fully deterministic; drift
+//! outside a band means the *obfuscation output* changed, not the
+//! measurement.
 //!
-//! Bands are pinned wide enough to absorb harmless float-association
-//! differences across platforms, and tight enough that "sentinels became
-//! trivially distinguishable" (or "the classifier went blind") fails.
+//! Classifier trainings are averaged over the fixed seed set of
+//! [`adversary_seeds`] (≥3 seeds, overridable via
+//! `PROTEUS_ADVERSARY_SEEDS` so CI can re-run the bands under alternate
+//! seeds): single training draws are noisy, the seed-mean is stable, and
+//! each band is an explicit tolerance around the seed-mean measurement.
 
 use proteus_adversary::{attack_buckets, ExpertReviewer, StatsAdversary};
 use proteus_bench::{
-    buckets_of, build_material, train_adversary, training_examples, AttackScale, ModelMaterial,
+    adversary_seeds, buckets_of, build_material, mean_over_seeds, structural_examples,
+    train_adversary, train_structural_adversary, training_examples, AttackScale, ModelMaterial,
 };
 use proteus_graph::Graph;
 use proteus_models::ModelKind;
@@ -21,7 +26,20 @@ use std::sync::OnceLock;
 const SEED: u64 = 0x5EED;
 const HOLDOUT: ModelKind = ModelKind::AlexNet;
 
-/// Leave-one-out material for a fixed three-model sample, built once.
+/// The leave-one-out sample: three paper CNNs plus one model from each
+/// modern family small enough for tier-1 (the decoder's scale is covered
+/// by the release-mode leakage harness).
+const SAMPLE: [ModelKind; 5] = [
+    HOLDOUT,
+    ModelKind::MobileNet,
+    ModelKind::ResNet,
+    ModelKind::GraphSage,
+    ModelKind::UNet,
+];
+
+/// Leave-one-out material for the fixed sample, built once. The sentinel
+/// factory behind each material trains on the full zoo registry minus the
+/// protected model.
 fn materials() -> &'static Vec<ModelMaterial> {
     static MATERIALS: OnceLock<Vec<ModelMaterial>> = OnceLock::new();
     MATERIALS.get_or_init(|| {
@@ -32,7 +50,7 @@ fn materials() -> &'static Vec<ModelMaterial> {
             pool: 30,
             gnn_epochs: 3,
         };
-        [HOLDOUT, ModelKind::MobileNet, ModelKind::ResNet]
+        SAMPLE
             .iter()
             .map(|&kind| build_material(kind, 8, scale, SEED))
             .collect()
@@ -59,46 +77,90 @@ fn labelled_holdout() -> Vec<(Graph, bool)> {
 #[test]
 fn sage_classifier_attack_stays_in_band() {
     // full leave-one-out protocol: attack every sample model with a
-    // classifier trained on the other two, aggregate over all 72
-    // sentinels (3 models x 8 buckets x k=3) so the band has fine
-    // granularity
+    // classifier trained on the other four, aggregate over all 120
+    // sentinels (5 models x 8 buckets x k=3), and average the mean
+    // specificity over the fixed seed set
     let materials = materials();
-    let mut specificities = Vec::new();
+    let seeds = adversary_seeds();
+    assert!(seeds.len() >= 3, "band needs >= 3 seeds, got {seeds:?}");
     let mut log10_total = 0.0;
-    for m in materials.iter() {
-        let examples = training_examples(materials, m.kind, false, 2);
-        assert!(!examples.is_empty());
-        let clf = train_adversary(&examples, 3, SEED);
-        let report = attack_buckets(&clf, &buckets_of(m, false));
-        assert_eq!(report.n, 8);
-        assert_eq!(report.k, 3);
-        // α=1 semantics: the threshold keeps every real subgraph by
-        // construction, so γ is a probability strictly inside (0, 1)
-        assert!(
-            report.min_gamma > 0.0 && report.min_gamma < 1.0,
-            "{}: degenerate gamma {}",
-            m.kind,
-            report.min_gamma
-        );
-        specificities.push(report.specificity);
-        log10_total += report.log10_candidates;
-    }
-    let mean_specificity = specificities.iter().sum::<f64>() / specificities.len() as f64;
-    eprintln!("sage mean specificity {mean_specificity:.3}, log10 candidates {log10_total:.2}, per-model {specificities:?}");
-    // pinned around the fixed-seed measurement (0.819 at this quick
-    // scale): a drop below the floor means the classifier went blind, a
-    // rise to 1.0 means every sentinel became trivially separable
+    let mean_specificity = mean_over_seeds(&seeds, |seed| {
+        let mut specificities = Vec::new();
+        for m in materials.iter() {
+            let examples = training_examples(materials, m.kind, false, 2);
+            assert!(!examples.is_empty());
+            let clf = train_adversary(&examples, 3, seed);
+            let report = attack_buckets(&clf, &buckets_of(m, false));
+            assert_eq!(report.n, 8);
+            assert_eq!(report.k, 3);
+            // α=1 semantics: the threshold keeps every real subgraph by
+            // construction, so γ is a probability strictly inside (0, 1)
+            assert!(
+                report.min_gamma > 0.0 && report.min_gamma < 1.0,
+                "{}: degenerate gamma {}",
+                m.kind,
+                report.min_gamma
+            );
+            specificities.push(report.specificity);
+            if seed == seeds[0] {
+                log10_total += report.log10_candidates;
+            }
+        }
+        specificities.iter().sum::<f64>() / specificities.len() as f64
+    });
+    eprintln!(
+        "sage seed-mean specificity {mean_specificity:.3}, log10 candidates {log10_total:.2}"
+    );
+    // pinned as seed-mean ± tolerance (measured 0.692 over the default
+    // seed set at this quick scale, tolerance ±0.25): a drop below the
+    // floor means the classifier went blind, a rise to 1.0 means every
+    // sentinel became trivially separable
     assert!(
-        (0.35..=0.95).contains(&mean_specificity),
-        "Sage mean specificity {mean_specificity:.3} left the pinned band [0.35, 0.95] \
-         (per-model: {specificities:?})"
+        (0.44..=0.94).contains(&mean_specificity),
+        "Sage seed-mean specificity {mean_specificity:.3} left the pinned band [0.44, 0.94]"
     );
     // the aggregate surviving search space must not collapse to the real
-    // models (measured 3.36; log10 = 0 would mean every sentinel
-    // eliminated everywhere)
+    // models (log10 = 0 would mean every sentinel eliminated everywhere)
     assert!(
         log10_total >= 0.8,
         "search space collapsed to 10^{log10_total:.2} across the sample"
+    );
+}
+
+#[test]
+fn learned_structural_attacker_stays_in_band() {
+    // the escalated attacker: same leave-one-out protocol, with the
+    // whole-graph structural summary side input and mean+max readout,
+    // seed-averaged like the Sage band
+    let materials = materials();
+    let seeds = adversary_seeds();
+    assert!(seeds.len() >= 3, "band needs >= 3 seeds, got {seeds:?}");
+    let mean_specificity = mean_over_seeds(&seeds, |seed| {
+        let mut specificities = Vec::new();
+        for m in materials.iter() {
+            let examples = structural_examples(materials, m.kind, false, 2);
+            assert!(!examples.is_empty());
+            let clf = train_structural_adversary(&examples, 3, seed);
+            let report = attack_buckets(&clf, &buckets_of(m, false));
+            assert_eq!(report.n, 8);
+            assert_eq!(report.k, 3);
+            assert!(
+                report.min_gamma > 0.0 && report.min_gamma < 1.0,
+                "{}: degenerate gamma {}",
+                m.kind,
+                report.min_gamma
+            );
+            specificities.push(report.specificity);
+        }
+        specificities.iter().sum::<f64>() / specificities.len() as f64
+    });
+    eprintln!("structural seed-mean specificity {mean_specificity:.3}");
+    // pinned as seed-mean ± tolerance (measured 0.683 over the default
+    // seed set, tolerance ±0.25): the structural attacker may beat Sage,
+    // but sentinels must never become trivially separable under it
+    assert!(
+        (0.43..=0.93).contains(&mean_specificity),
+        "Structural seed-mean specificity {mean_specificity:.3} left the pinned band [0.43, 0.93]"
     );
 }
 
@@ -121,7 +183,7 @@ fn stats_adversary_accuracy_stays_in_band() {
     // drifted out of the real models' band
     assert!(
         (0.10..=0.75).contains(&acc),
-        "StatsAdversary accuracy {acc:.3} left the pinned band [0.10, 0.75] (measured 0.250)"
+        "StatsAdversary accuracy {acc:.3} left the pinned band [0.10, 0.75]"
     );
 }
 
@@ -135,7 +197,7 @@ fn expert_reviewer_accuracy_stays_in_band() {
     // (paper §5.3.3: experts did no better than guessing)
     assert!(
         (0.10..=0.80).contains(&acc),
-        "ExpertReviewer accuracy {acc:.3} left the pinned band [0.10, 0.80] (measured 0.250)"
+        "ExpertReviewer accuracy {acc:.3} left the pinned band [0.10, 0.80]"
     );
 }
 

@@ -20,7 +20,7 @@ use proteus::{
 use proteus_graph::wire::{decode_frame, decode_graph, encode_frame, WireError};
 use proteus_graph::TensorMap;
 use proteus_graphgen::GraphRnnConfig;
-use proteus_models::{build, ModelKind};
+use proteus_models::{build, zoo, ModelKind};
 use proteus_opt::{Optimizer, Profile};
 use std::sync::OnceLock;
 
@@ -57,11 +57,14 @@ fn trained() -> &'static (Proteus, Vec<u8>) {
 
 #[test]
 fn loaded_artifact_obfuscates_bit_identically_across_the_zoo() {
+    // registry-count pin: determinism must hold for the whole registry
+    assert_eq!(zoo::all().len(), zoo::COUNT);
     let (fresh, bytes) = trained();
     let loaded = Proteus::from_artifact_bytes(bytes).expect("artifact loads");
     assert_eq!(fresh.config_fingerprint(), loaded.config_fingerprint());
-    for kind in ModelKind::ALL {
-        let g = build(kind);
+    for entry in zoo::all() {
+        let kind = entry.name;
+        let g = (entry.build)();
         let (a, sa) = fresh.obfuscate(&g, &TensorMap::new()).expect("obfuscate");
         let (b, sb) = loaded.obfuscate(&g, &TensorMap::new()).expect("obfuscate");
         assert_eq!(

@@ -5,7 +5,7 @@ use proteus::{PartitionSpec, Proteus, ProteusConfig};
 use proteus_adversary::{attack_buckets, LabelledBucket, SageClassifier, SageConfig};
 use proteus_graph::{GraphStats, TensorMap};
 use proteus_graphgen::GraphRnnConfig;
-use proteus_models::{build, ModelKind};
+use proteus_models::{build, zoo, ModelKind};
 
 fn quick_config(k: usize) -> ProteusConfig {
     ProteusConfig {
@@ -37,6 +37,51 @@ fn bucket_never_contains_the_whole_model() {
                 m.graph.len(),
                 g.len()
             );
+        }
+    }
+}
+
+#[test]
+fn no_bucket_member_exposes_the_whole_model_across_the_registry() {
+    // The paper's first design requirement swept over the full registry
+    // (modern families included): the architecture in its entirety is
+    // never exposed — every bucket member of every zoo model, real piece
+    // or sentinel, is strictly smaller than the protected model, and the
+    // model is always split across more than one bucket. (The tighter
+    // half-the-model bound is checked on the dedicated ResNet case above;
+    // branchy graphs like googlenet partition less evenly under the quick
+    // 4-way config used for the sweep.)
+    assert_eq!(zoo::all().len(), zoo::COUNT);
+    let cfg = ProteusConfig {
+        k: 2,
+        partitions: PartitionSpec::Count(4),
+        graphrnn: GraphRnnConfig {
+            epochs: 2,
+            max_nodes: 20,
+            ..Default::default()
+        },
+        topology_pool: 24,
+        ..Default::default()
+    };
+    let proteus = Proteus::train(cfg, &[build(ModelKind::MobileNet)]);
+    for entry in zoo::all() {
+        let g = (entry.build)();
+        let (bucket, _) = proteus.obfuscate(&g, &TensorMap::new()).expect("obfuscate");
+        assert!(
+            bucket.buckets.len() > 1,
+            "{}: the whole model landed in a single bucket",
+            entry.name
+        );
+        for b in &bucket.buckets {
+            for m in &b.members {
+                assert!(
+                    m.graph.len() < g.len(),
+                    "{}: a bucket member with {} nodes exposes the whole {}-node model",
+                    entry.name,
+                    m.graph.len(),
+                    g.len()
+                );
+            }
         }
     }
 }

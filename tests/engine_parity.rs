@@ -13,7 +13,7 @@
 use proteus::{PartitionSpec, Proteus, ProteusConfig};
 use proteus_graph::{Graph, TensorMap};
 use proteus_graphgen::GraphRnnConfig;
-use proteus_models::{build, ModelKind};
+use proteus_models::{build, zoo, ModelKind};
 use proteus_opt::{check_equivalence, Engine, Optimizer, Profile};
 
 /// Optimizes `g` with both engines under `profile` and asserts the results
@@ -42,12 +42,16 @@ fn assert_parity(
 }
 
 #[test]
-fn zoo_parity_all_models_both_profiles() {
-    for kind in ModelKind::ALL {
-        let g = build(kind);
-        for profile in [Profile::OrtLike, Profile::HidetLike] {
-            let (og, _) = assert_parity(&g, &TensorMap::new(), profile, &kind.to_string());
-            og.validate().unwrap_or_else(|e| panic!("{kind}: {e}"));
+fn zoo_parity_all_models_all_profiles() {
+    // registry-count pin: a silently dropped zoo model is a test failure,
+    // not a quiet coverage loss
+    assert_eq!(zoo::all().len(), zoo::COUNT);
+    for entry in zoo::all() {
+        let g = (entry.build)();
+        for profile in Profile::ALL {
+            let (og, _) = assert_parity(&g, &TensorMap::new(), profile, entry.name);
+            og.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
         }
     }
 }
@@ -92,7 +96,7 @@ fn bucket_member_parity_over_graphrnn_sentinels() {
     );
     for (bi, bucket) in model.buckets.iter().enumerate() {
         for (mi, member) in bucket.members.iter().enumerate() {
-            for profile in [Profile::OrtLike, Profile::HidetLike] {
+            for profile in Profile::ALL {
                 assert_parity(
                     &member.graph,
                     &member.params,
@@ -126,7 +130,7 @@ fn worklist_output_is_semantically_equivalent() {
     let t = g.add(Op::Activation(Activation::Tanh), [fc]);
     g.set_outputs([t]);
     let params = TensorMap::init_random(&g, 23);
-    for profile in [Profile::OrtLike, Profile::HidetLike] {
+    for profile in Profile::ALL {
         let (og, op) = assert_parity(&g, &params, profile, "semantic");
         let eq = check_equivalence(&g, &params, &og, &op, 3, 1e-3, 5).unwrap();
         assert!(eq.is_equivalent(), "{profile:?}: {eq:?}");
@@ -193,11 +197,111 @@ mod proptests {
         #[test]
         fn engines_agree_on_random_graphs(
             g in arb_graph(),
-            profile_ort in proptest::bool::ANY,
+            profile_idx in 0usize..Profile::ALL.len(),
         ) {
-            let profile = if profile_ort { Profile::OrtLike } else { Profile::HidetLike };
+            let profile = Profile::ALL[profile_idx];
             let (og, _) = assert_parity(&g, &TensorMap::new(), profile, "proptest");
             og.validate().unwrap();
+        }
+    }
+}
+
+mod modern_shape_proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use proteus_graph::{Activation, Op};
+
+    /// U-Net-style skip graphs: a chain of activations with channel-axis
+    /// `Concat` skip connections back to earlier positions — the shape the
+    /// tvm-like profile's reshape/transpose-first anchor ordering sweeps
+    /// differently than the other profiles.
+    fn arb_skip_graph() -> impl Strategy<Value = Graph> {
+        proptest::collection::vec((proptest::num::u64::ANY, proptest::bool::ANY), 2..10).prop_map(
+            |specs| {
+                let mut g = Graph::new("skips");
+                let x = g.input([1, 4, 6, 6]);
+                let mut trunk = vec![x];
+                for (pick, concat) in specs {
+                    let prev = *trunk.last().expect("nonempty");
+                    let next = if concat {
+                        let skip = trunk[(pick as usize) % trunk.len()];
+                        g.add(Op::Concat { axis: 1 }, [prev, skip])
+                    } else {
+                        g.add(Op::Activation(Activation::Silu), [prev])
+                    };
+                    trunk.push(next);
+                }
+                let out = *trunk.last().expect("nonempty");
+                g.set_outputs([out]);
+                g
+            },
+        )
+    }
+
+    /// GNN-style aggregation graphs: repeated `MatMul` against a constant
+    /// adjacency operator with interleaved activations/residuals, closed by
+    /// a `ReduceMean` readout.
+    fn arb_aggregation_graph() -> impl Strategy<Value = Graph> {
+        proptest::collection::vec((0u8..3, proptest::bool::ANY), 1..8).prop_map(|specs| {
+            let mut g = Graph::new("aggregate");
+            let h0 = g.input([6, 8]);
+            let adj = g.constant([6, 6]);
+            let mut h = h0;
+            for (kind, residual) in specs {
+                let next = match kind {
+                    0 => g.add(Op::MatMul, [adj, h]),
+                    1 => g.add(Op::Activation(Activation::Relu), [h]),
+                    _ => g.add(Op::Identity, [h]),
+                };
+                h = if residual {
+                    g.add(Op::Add, [next, h])
+                } else {
+                    next
+                };
+            }
+            let pooled = g.add(
+                Op::ReduceMean {
+                    axes: vec![0],
+                    keepdims: true,
+                },
+                [h],
+            );
+            g.set_outputs([pooled]);
+            g
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        // Parity *and* interpreter equivalence on U-Net skip shapes, under
+        // every profile (profile 3 included).
+        #[test]
+        fn unet_skip_shapes_optimize_equivalently(
+            g in arb_skip_graph(),
+            profile_idx in 0usize..Profile::ALL.len(),
+        ) {
+            let profile = Profile::ALL[profile_idx];
+            let params = TensorMap::init_random(&g, 17);
+            let (og, op) = assert_parity(&g, &params, profile, "unet-skips");
+            og.validate().unwrap();
+            let eq = check_equivalence(&g, &params, &og, &op, 2, 1e-3, 5).unwrap();
+            prop_assert!(eq.is_equivalent(), "{:?}: {:?}", profile, eq);
+        }
+
+        // Parity *and* interpreter equivalence on GNN aggregation shapes,
+        // under every profile.
+        #[test]
+        fn gnn_aggregation_shapes_optimize_equivalently(
+            g in arb_aggregation_graph(),
+            profile_idx in 0usize..Profile::ALL.len(),
+        ) {
+            let profile = Profile::ALL[profile_idx];
+            let params = TensorMap::init_random(&g, 29);
+            let (og, op) = assert_parity(&g, &params, profile, "gnn-aggregation");
+            og.validate().unwrap();
+            let eq = check_equivalence(&g, &params, &og, &op, 2, 1e-3, 5).unwrap();
+            prop_assert!(eq.is_equivalent(), "{:?}: {:?}", profile, eq);
         }
     }
 }

@@ -9,7 +9,7 @@
 
 use proteus_adversary::analytic_log10_candidates;
 use proteus_bench::latency_triple;
-use proteus_models::{build, ModelKind};
+use proteus_models::{build, zoo, ModelKind};
 use proteus_opt::Profile;
 
 /// Figure 6 rows: (n, k, specificity, paper's candidate count).
@@ -102,5 +102,108 @@ fn figure4a_geomean_slowdown_stays_in_the_paper_band() {
     assert!(
         (1.07..=1.14).contains(&rounded),
         "fig4a geomean slowdown {geomean:.4}x left the 1.07-1.14x band"
+    );
+}
+
+/// Figure 4, extended: the partition-blindness slowdown band re-measured
+/// over the *full* registry (modern families included) under every
+/// optimizer profile. Like the fig4a check, everything here is seeded and
+/// the cost model is deterministic, so each (profile, zoo) geomean is a
+/// fixed number; the bands are quoted at two decimals around the seed
+/// measurements (ort 1.1061x, hidet 1.0710x, tvm 1.0965x).
+#[test]
+fn extended_zoo_slowdown_bands_hold_under_every_profile() {
+    // registry-count pin: the extended band covers the whole registry
+    assert_eq!(zoo::all().len(), zoo::COUNT);
+    let bands = [
+        (Profile::OrtLike, 1.07..=1.15),
+        (Profile::HidetLike, 1.03..=1.11),
+        (Profile::TvmLike, 1.06..=1.14),
+    ];
+    for (profile, band) in bands {
+        let log_sum: f64 = zoo::all()
+            .iter()
+            .map(|entry| {
+                let (_, best, proteus) = latency_triple(&(entry.build)(), profile, 8, 42);
+                let slowdown = proteus / best;
+                // >= up to float-association noise: on graphs the
+                // partitioner splits losslessly (e.g. graphsage under the
+                // ort profile) the two paths land on the same estimate
+                assert!(
+                    slowdown >= 0.999,
+                    "{}/{profile:?}: blind partition optimization beat the optimum: {slowdown:.4}",
+                    entry.name
+                );
+                slowdown.ln()
+            })
+            .sum();
+        let geomean = (log_sum / zoo::COUNT as f64).exp();
+        let rounded = (geomean * 100.0).round() / 100.0;
+        eprintln!("extended-zoo slowdown {profile:?}: {geomean:.4}x");
+        assert!(
+            band.contains(&rounded),
+            "{profile:?}: extended-zoo geomean slowdown {geomean:.4}x left {band:?}"
+        );
+    }
+}
+
+/// Figure 5, extended: sentinel statistics stay close to the real pieces'
+/// on the modern families too. One representative model per family is
+/// partitioned, its Proteus sentinels generated, and the KS distance
+/// between real and sentinel average-degree samples must stay below the
+/// pinned ceiling — the property that makes statistics-based
+/// identification fail (§5.3.1).
+#[test]
+fn figure5_sentinel_statistics_band_extends_to_modern_families() {
+    use proteus::{PartitionSpec, Proteus, ProteusConfig, SentinelMode};
+    use proteus_graph::stats::ks_distance;
+    use proteus_graph::{GraphStats, TensorMap};
+    use proteus_graphgen::GraphRnnConfig;
+    use proteus_partition::{partition_balanced, PartitionPlan};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let representatives = [
+        ModelKind::ResNet,
+        ModelKind::Bert,
+        ModelKind::GptDecoder,
+        ModelKind::GraphSage,
+        ModelKind::UNet,
+    ];
+    let corpus: Vec<_> = representatives.iter().map(|&k| build(k)).collect();
+    let config = ProteusConfig {
+        k: 2,
+        partitions: PartitionSpec::Count(4),
+        graphrnn: GraphRnnConfig {
+            epochs: 2,
+            max_nodes: 24,
+            ..Default::default()
+        },
+        topology_pool: 30,
+        ..Default::default()
+    };
+    let proteus = Proteus::train(config, &corpus);
+    let mut rng = StdRng::seed_from_u64(33);
+    let mut real_degrees = Vec::new();
+    let mut fake_degrees = Vec::new();
+    for g in &corpus {
+        let assignment = partition_balanced(g, 4, 8, 11);
+        let plan =
+            PartitionPlan::extract(g, &TensorMap::new(), &assignment).expect("extract succeeds");
+        for piece in &plan.pieces {
+            real_degrees.push(GraphStats::of(&piece.graph).avg_degree);
+            for s in proteus
+                .factory()
+                .generate(&piece.graph, 2, SentinelMode::Generative, &mut rng)
+            {
+                fake_degrees.push(GraphStats::of(&s).avg_degree);
+            }
+        }
+    }
+    let ks = ks_distance(&real_degrees, &fake_degrees);
+    eprintln!("fig5 extended: avg-degree KS distance {ks:.4}");
+    assert!(
+        ks <= 0.45,
+        "sentinel avg-degree distribution drifted from the reals: KS {ks:.4} > 0.45"
     );
 }

@@ -16,7 +16,7 @@ use proteus_graph::{
     Activation, BatchNormAttrs, ConvAttrs, GemmAttrs, Graph, Op, PoolAttrs, TensorMap,
 };
 use proteus_graphgen::GraphRnnConfig;
-use proteus_models::{build, ModelKind};
+use proteus_models::{build, zoo, ModelKind};
 use proteus_opt::{Optimizer, Profile};
 
 fn quick_config(k: usize, n: usize) -> ProteusConfig {
@@ -81,9 +81,12 @@ fn drive_session(
 
 #[test]
 fn wrapper_is_bit_identical_to_session_across_the_zoo() {
+    // registry-count pin: the sweep below must cover the whole registry
+    assert_eq!(zoo::all().len(), zoo::COUNT);
     let proteus = Proteus::train(quick_config(2, 4), &[build(ModelKind::ResNet)]);
-    for kind in ModelKind::ALL {
-        let g = build(kind);
+    for entry in zoo::all() {
+        let kind = entry.name;
+        let g = (entry.build)();
         let (legacy_model, legacy_secrets) =
             proteus.obfuscate(&g, &TensorMap::new()).expect("obfuscate");
         let (session_model, _, session_secrets) =
